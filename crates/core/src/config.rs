@@ -1,0 +1,104 @@
+//! SparseCore configuration (paper Table 2 plus SU micro-parameters).
+
+use sc_cpu::CoreConfig;
+use sc_mem::{ScratchpadConfig, StreamCacheConfig};
+
+/// Full configuration of a SparseCore processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SparseCoreConfig {
+    /// The conventional out-of-order core underneath.
+    pub core: CoreConfig,
+    /// Number of Stream Units (paper default: 4; Figure 12 sweeps 1–16).
+    pub num_sus: usize,
+    /// SU internal comparison buffer width in elements (paper: 16, double
+    /// buffered).
+    pub su_buffer: usize,
+    /// Aggregate S-Cache + scratchpad bandwidth to the SUs in elements per
+    /// cycle (paper: 2 cache lines = 32 elements; Figure 13 sweeps 2–64).
+    pub stream_bandwidth: u64,
+    /// Stream cache geometry (16 slots x 256 B in the paper).
+    pub scache: StreamCacheConfig,
+    /// Scratchpad for stream reuse (16 KiB in the paper).
+    pub scratchpad: ScratchpadConfig,
+    /// Outstanding line fills the S-Cache prefetcher sustains per stream
+    /// (bounds the memory-side supply rate of a stream).
+    pub prefetch_depth: u64,
+    /// Nested-intersection translation buffer capacity (micro-op entries).
+    pub translation_buffer: usize,
+}
+
+impl SparseCoreConfig {
+    /// The paper's Table 2 configuration.
+    pub fn paper() -> Self {
+        SparseCoreConfig {
+            core: CoreConfig::paper(),
+            num_sus: 4,
+            su_buffer: 16,
+            stream_bandwidth: 32,
+            scache: StreamCacheConfig::paper(),
+            scratchpad: ScratchpadConfig::paper(),
+            prefetch_depth: 8,
+            translation_buffer: 32,
+        }
+    }
+
+    /// Paper configuration with a single SU (used for the accelerator
+    /// comparisons in Sections 6.3.1 and 6.9.2, which enable one
+    /// computation unit per design for fairness).
+    pub fn paper_one_su() -> Self {
+        SparseCoreConfig { num_sus: 1, ..Self::paper() }
+    }
+
+    /// Paper configuration with `n` SUs (Figure 12 sweep).
+    pub fn with_sus(n: usize) -> Self {
+        SparseCoreConfig { num_sus: n, ..Self::paper() }
+    }
+
+    /// Paper configuration with the given aggregate stream bandwidth in
+    /// elements/cycle (Figure 13 sweep).
+    pub fn with_bandwidth(elements_per_cycle: u64) -> Self {
+        SparseCoreConfig { stream_bandwidth: elements_per_cycle, ..Self::paper() }
+    }
+
+    /// Small configuration for unit tests (tiny caches, 2 SUs).
+    pub fn tiny() -> Self {
+        SparseCoreConfig {
+            core: CoreConfig::tiny(),
+            num_sus: 2,
+            su_buffer: 4,
+            stream_bandwidth: 8,
+            scache: StreamCacheConfig { slots: 8, slot_keys: 16, key_bytes: 4, elements_per_cycle: 8 },
+            scratchpad: ScratchpadConfig { size_bytes: 1024, latency: 2 },
+            prefetch_depth: 4,
+            translation_buffer: 8,
+        }
+    }
+
+    /// Number of stream registers (= S-Cache slots).
+    pub fn num_stream_registers(&self) -> usize {
+        self.scache.slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_matches_table2() {
+        let c = SparseCoreConfig::paper();
+        assert_eq!(c.core.rob_size, 128);
+        assert_eq!(c.core.load_queue, 32);
+        assert_eq!(c.scache.slot_bytes(), 256);
+        assert_eq!(c.scratchpad.size_bytes, 16 << 10);
+        assert_eq!(c.num_sus, 4);
+        assert_eq!(c.num_stream_registers(), 16);
+    }
+
+    #[test]
+    fn sweep_constructors() {
+        assert_eq!(SparseCoreConfig::paper_one_su().num_sus, 1);
+        assert_eq!(SparseCoreConfig::with_sus(16).num_sus, 16);
+        assert_eq!(SparseCoreConfig::with_bandwidth(64).stream_bandwidth, 64);
+    }
+}

@@ -1,0 +1,272 @@
+//! Stream Mapping Table and stream registers (paper Section 4.1).
+//!
+//! Software names streams by *stream ID*; the processor maps each live ID
+//! onto one of 16 physical stream registers through the SMT. Each SMT
+//! entry carries two valid bits — `VD` (the ID is *defined*: instructions
+//! may reference it) and `VA` (the register is *active*: its resources are
+//! held) — so that an `S_FREE` in flight can revoke the name while the
+//! data remains live until retirement. Re-using an ID across loop
+//! iterations simply overwrites the mapping, exactly as the ISA specifies.
+
+use sc_isa::{Priority, StreamException, StreamId};
+
+/// Index of a physical stream register (= S-Cache slot).
+pub type SregIdx = usize;
+
+/// One physical stream register.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamRegister {
+    /// The stream ID currently mapped here.
+    pub sid: StreamId,
+    /// Byte address of the first key.
+    pub key_addr: u64,
+    /// Byte address of the first value (for (key, value) streams).
+    pub val_addr: Option<u64>,
+    /// Stream length in elements.
+    pub len: u32,
+    /// Scratchpad priority.
+    pub priority: Priority,
+    /// Defined: the ID may be referenced by later instructions.
+    pub vd: bool,
+    /// Active: the register's resources are held.
+    pub va: bool,
+    /// The whole stream's data has been produced (outputs of set ops).
+    pub produced: bool,
+    /// Cycle at which the stream's data becomes usable.
+    pub ready_at: u64,
+}
+
+/// The Stream Mapping Table plus its backing stream registers.
+///
+/// # Example
+///
+/// ```
+/// use sparsecore::smt::Smt;
+/// use sc_isa::{Priority, StreamId};
+///
+/// let mut smt = Smt::new(16);
+/// let idx = smt.define(StreamId::new(3), 0x1000, None, 64, Priority(1), 0)?;
+/// assert_eq!(smt.lookup(StreamId::new(3))?, idx);
+/// smt.free(StreamId::new(3))?;
+/// assert!(smt.lookup(StreamId::new(3)).is_err());
+/// # Ok::<(), sc_isa::StreamException>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Smt {
+    regs: Vec<Option<StreamRegister>>,
+    /// High-water mark of simultaneously active registers.
+    pub peak_active: usize,
+}
+
+impl Smt {
+    /// An SMT with `num_regs` physical stream registers (paper: 16).
+    pub fn new(num_regs: usize) -> Self {
+        assert!(num_regs > 0, "need at least one stream register");
+        Smt { regs: vec![None; num_regs], peak_active: 0 }
+    }
+
+    /// Number of physical registers.
+    pub fn capacity(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Number of currently active registers.
+    pub fn active(&self) -> usize {
+        self.regs.iter().flatten().filter(|r| r.va).count()
+    }
+
+    /// Map `sid` to a register (a new one, or overwriting `sid`'s current
+    /// mapping if the ID is live — the ISA's redefinition rule).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamException::OutOfStreamRegisters`] when all registers are
+    /// active and `sid` is not currently mapped. (Hardware would stall;
+    /// the paper's compiler keeps register pressure under 16 so this never
+    /// fires in the evaluated workloads.)
+    pub fn define(
+        &mut self,
+        sid: StreamId,
+        key_addr: u64,
+        val_addr: Option<u64>,
+        len: u32,
+        priority: Priority,
+        ready_at: u64,
+    ) -> Result<SregIdx, StreamException> {
+        let idx = match self.find(sid) {
+            Some(idx) => idx, // overwrite the live mapping
+            None => self
+                .regs
+                .iter()
+                .position(|r| r.as_ref().is_none_or(|reg| !reg.va))
+                .ok_or(StreamException::OutOfStreamRegisters)?,
+        };
+        self.regs[idx] = Some(StreamRegister {
+            sid,
+            key_addr,
+            val_addr,
+            len,
+            priority,
+            vd: true,
+            va: true,
+            produced: false,
+            ready_at,
+        });
+        self.peak_active = self.peak_active.max(self.active());
+        Ok(idx)
+    }
+
+    fn find(&self, sid: StreamId) -> Option<SregIdx> {
+        self.regs
+            .iter()
+            .position(|r| r.as_ref().is_some_and(|reg| reg.vd && reg.sid == sid))
+    }
+
+    /// Resolve a *defined* stream ID to its register index.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamException::UseUndefined`] when the ID has no live mapping.
+    pub fn lookup(&self, sid: StreamId) -> Result<SregIdx, StreamException> {
+        self.find(sid).ok_or(StreamException::UseUndefined(sid))
+    }
+
+    /// Borrow the register a defined ID maps to.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamException::UseUndefined`] when the ID has no live mapping.
+    pub fn get(&self, sid: StreamId) -> Result<&StreamRegister, StreamException> {
+        let idx = self.lookup(sid)?;
+        Ok(self.regs[idx].as_ref().expect("mapped register exists"))
+    }
+
+    /// Mutably borrow the register a defined ID maps to.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamException::UseUndefined`] when the ID has no live mapping.
+    pub fn get_mut(&mut self, sid: StreamId) -> Result<&mut StreamRegister, StreamException> {
+        let idx = self.lookup(sid)?;
+        Ok(self.regs[idx].as_mut().expect("mapped register exists"))
+    }
+
+    /// Borrow a register by physical index (panics if unbound — internal
+    /// engine use after a successful lookup).
+    pub fn reg(&self, idx: SregIdx) -> &StreamRegister {
+        self.regs[idx].as_ref().expect("register bound")
+    }
+
+    /// Execute `S_FREE sid`: clear `VD` at decode and release the register
+    /// at retire (this simulator retires immediately, so both happen
+    /// here). Returns the freed register's index.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamException::FreeUnmapped`] when the ID has no live mapping.
+    pub fn free(&mut self, sid: StreamId) -> Result<SregIdx, StreamException> {
+        let idx = self.find(sid).ok_or(StreamException::FreeUnmapped(sid))?;
+        let reg = self.regs[idx].as_mut().expect("mapped register exists");
+        reg.vd = false;
+        reg.va = false;
+        Ok(idx)
+    }
+
+    /// Iterate over the currently active registers.
+    pub fn active_regs(&self) -> impl Iterator<Item = (SregIdx, &StreamRegister)> {
+        self.regs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().filter(|reg| reg.va).map(|reg| (i, reg)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(n: u32) -> StreamId {
+        StreamId::new(n)
+    }
+
+    fn smt4() -> Smt {
+        Smt::new(4)
+    }
+
+    #[test]
+    fn define_lookup_free_cycle() {
+        let mut smt = smt4();
+        let idx = smt.define(sid(0), 0x100, None, 10, Priority(0), 0).unwrap();
+        assert_eq!(smt.lookup(sid(0)).unwrap(), idx);
+        assert_eq!(smt.get(sid(0)).unwrap().len, 10);
+        smt.free(sid(0)).unwrap();
+        assert_eq!(smt.lookup(sid(0)), Err(StreamException::UseUndefined(sid(0))));
+        assert_eq!(smt.free(sid(0)), Err(StreamException::FreeUnmapped(sid(0))));
+    }
+
+    #[test]
+    fn redefinition_reuses_register() {
+        let mut smt = smt4();
+        let a = smt.define(sid(7), 0x100, None, 10, Priority(0), 0).unwrap();
+        let b = smt.define(sid(7), 0x200, None, 20, Priority(0), 0).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(smt.get(sid(7)).unwrap().key_addr, 0x200);
+        assert_eq!(smt.active(), 1);
+    }
+
+    #[test]
+    fn freed_register_is_reallocated() {
+        let mut smt = smt4();
+        for n in 0..4 {
+            smt.define(sid(n), 0, None, 1, Priority(0), 0).unwrap();
+        }
+        assert_eq!(
+            smt.define(sid(9), 0, None, 1, Priority(0), 0),
+            Err(StreamException::OutOfStreamRegisters)
+        );
+        smt.free(sid(2)).unwrap();
+        let idx = smt.define(sid(9), 0, None, 1, Priority(0), 0).unwrap();
+        assert_eq!(idx, 2);
+    }
+
+    #[test]
+    fn peak_active_tracked() {
+        let mut smt = smt4();
+        smt.define(sid(0), 0, None, 1, Priority(0), 0).unwrap();
+        smt.define(sid(1), 0, None, 1, Priority(0), 0).unwrap();
+        smt.free(sid(0)).unwrap();
+        smt.define(sid(2), 0, None, 1, Priority(0), 0).unwrap();
+        assert_eq!(smt.peak_active, 2);
+    }
+
+    #[test]
+    fn same_id_across_iterations_distinct_streams() {
+        // Iteration 1 defines s0, frees it; iteration 2 redefines s0 —
+        // conceptually a fresh stream, possibly in a different register.
+        let mut smt = smt4();
+        smt.define(sid(0), 0x100, None, 5, Priority(0), 0).unwrap();
+        smt.free(sid(0)).unwrap();
+        smt.define(sid(0), 0x900, None, 9, Priority(0), 0).unwrap();
+        assert_eq!(smt.get(sid(0)).unwrap().key_addr, 0x900);
+    }
+
+    #[test]
+    fn value_streams_carry_val_addr() {
+        let mut smt = smt4();
+        smt.define(sid(1), 0x10, Some(0x90), 3, Priority(2), 7).unwrap();
+        let reg = smt.get(sid(1)).unwrap();
+        assert_eq!(reg.val_addr, Some(0x90));
+        assert_eq!(reg.priority, Priority(2));
+        assert_eq!(reg.ready_at, 7);
+    }
+
+    #[test]
+    fn active_regs_iterates_only_live() {
+        let mut smt = smt4();
+        smt.define(sid(0), 0, None, 1, Priority(0), 0).unwrap();
+        smt.define(sid(1), 0, None, 1, Priority(0), 0).unwrap();
+        smt.free(sid(0)).unwrap();
+        let live: Vec<u32> = smt.active_regs().map(|(_, r)| r.sid.raw()).collect();
+        assert_eq!(live, vec![1]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Engine-level statistics: instruction counts, SU utilization, and the
+//! stream-length distribution of paper Figure 14.
+
+/// Histogram of stream lengths observed by the engine (each `S_READ` /
+/// `S_VREAD` operand and each produced output stream contributes one
+/// sample).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LengthHistogram {
+    samples: Vec<u32>,
+    sorted: bool,
+}
+
+impl LengthHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one stream length.
+    pub fn record(&mut self, len: u32) {
+        self.samples.push(len);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Mean length; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().map(|&l| l as f64).sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// Cumulative distribution: fraction of samples with length <= `len`.
+    pub fn cdf_at(&mut self, len: u32) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        self.samples.partition_point(|&l| l <= len) as f64 / self.samples.len() as f64
+    }
+
+    /// The CDF sampled at the given points (the Figure 14 series).
+    pub fn cdf_series(&mut self, points: &[u32]) -> Vec<(u32, f64)> {
+        points.iter().map(|&p| (p, self.cdf_at(p))).collect()
+    }
+
+    /// The `q`-quantile of the lengths (q in [0, 1]); `None` when empty.
+    pub fn quantile(&mut self, q: f64) -> Option<u32> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let idx = ((self.samples.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(self.samples[idx])
+    }
+}
+
+/// Counters the engine maintains while executing stream instructions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EngineStats {
+    /// `S_READ` + `S_VREAD` executed.
+    pub reads: u64,
+    /// `S_FREE` executed.
+    pub frees: u64,
+    /// Set-operation instructions executed on SUs (including each nested
+    /// step of `S_NESTINTER`).
+    pub set_ops: u64,
+    /// `S_FETCH` executed.
+    pub fetches: u64,
+    /// `S_NESTINTER` instructions (each expands to many set ops).
+    pub nested: u64,
+    /// Value-side operations (`S_VINTER` + `S_VMERGE`).
+    pub value_ops: u64,
+    /// Total SU-busy cycles (the Figure 10 "Intersection" bucket).
+    pub su_busy_cycles: u64,
+    /// Total elements moved from S-Cache/scratchpad into SUs.
+    pub elements_streamed: u64,
+    /// Scratchpad hits on stream initialization.
+    pub scratchpad_hits: u64,
+    /// Scratchpad misses on stream initialization.
+    pub scratchpad_misses: u64,
+    /// Value loads issued by VA_gen through the normal hierarchy.
+    pub value_loads: u64,
+    /// Stream lengths observed (Figure 14).
+    pub lengths: LengthHistogram,
+}
+
+impl EngineStats {
+    /// Scratchpad hit rate in [0, 1].
+    pub fn scratchpad_hit_rate(&self) -> f64 {
+        let total = self.scratchpad_hits + self.scratchpad_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.scratchpad_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_cdf() {
+        let mut h = LengthHistogram::new();
+        for l in [1u32, 2, 2, 3, 10] {
+            h.record(l);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.cdf_at(2) - 0.6).abs() < 1e-12);
+        assert!((h.cdf_at(10) - 1.0).abs() < 1e-12);
+        assert_eq!(h.cdf_at(0), 0.0);
+        assert!((h.mean() - 3.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = LengthHistogram::new();
+        for l in 0..101u32 {
+            h.record(l);
+        }
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(0.5), Some(50));
+        assert_eq!(h.quantile(1.0), Some(100));
+        assert_eq!(LengthHistogram::new().quantile(0.5), None);
+    }
+
+    #[test]
+    fn cdf_series_matches_points() {
+        let mut h = LengthHistogram::new();
+        for l in [5u32, 15, 25] {
+            h.record(l);
+        }
+        let series = h.cdf_series(&[10, 20, 30]);
+        assert_eq!(series.len(), 3);
+        assert!((series[0].1 - 1.0 / 3.0).abs() < 1e-12);
+        assert!((series[2].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recording_after_cdf_resorts() {
+        let mut h = LengthHistogram::new();
+        h.record(10);
+        assert_eq!(h.cdf_at(10), 1.0);
+        h.record(1);
+        assert_eq!(h.cdf_at(5), 0.5);
+    }
+
+    #[test]
+    fn scratchpad_hit_rate() {
+        let mut s = EngineStats::default();
+        assert_eq!(s.scratchpad_hit_rate(), 0.0);
+        s.scratchpad_hits = 3;
+        s.scratchpad_misses = 1;
+        assert!((s.scratchpad_hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

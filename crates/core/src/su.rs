@@ -1,0 +1,272 @@
+//! Stream Unit timing: the parallel-comparison datapath of paper Figure 6.
+//!
+//! Each SU holds a double-buffered window of up to 16 elements of each
+//! input stream. Per cycle, the head element of each stream is compared in
+//! parallel against the whole window of the other stream, so a stream can
+//! skip up to a full window of non-matching elements in one cycle.
+//! Intersection emits at most one element per cycle; subtraction and merge
+//! can emit several (all elements the comparison proves smaller than the
+//! other stream's head).
+//!
+//! [`simulate`] replays that per-cycle pointer-advancing process over the
+//! *actual* operand keys, returning both the comparison-cycle count and
+//! the number of elements consumed from each stream (early termination via
+//! the bound consumes fewer). The [`crate::engine`] combines these with
+//! the bandwidth and refill-latency terms.
+
+use sc_isa::{Bound, Key};
+
+/// Which set operation an SU performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SuOp {
+    /// Intersection (`S_INTER`, `S_INTER.C`, `S_VINTER`, and each nested
+    /// step of `S_NESTINTER`).
+    Intersect,
+    /// Subtraction (`S_SUB`, `S_SUB.C`).
+    Subtract,
+    /// Merge (`S_MERGE`, `S_MERGE.C`, `S_VMERGE`).
+    Merge,
+}
+
+/// The timing outcome of one SU set operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SuTiming {
+    /// Parallel-comparison cycles (the SU-busy datapath time).
+    pub compare_cycles: u64,
+    /// Elements consumed from stream A (≤ `a.len()` under a bound).
+    pub consumed_a: u64,
+    /// Elements consumed from stream B.
+    pub consumed_b: u64,
+    /// Elements produced (count for `.C` forms, keys for stream forms).
+    pub produced: u64,
+}
+
+impl SuTiming {
+    /// Total elements moved into the SU (the bandwidth demand).
+    pub fn consumed_total(&self) -> u64 {
+        self.consumed_a + self.consumed_b
+    }
+}
+
+/// Replay the Figure 6 parallel comparison over real operands.
+///
+/// `width` is the SU buffer width (16 in the paper). The model:
+///
+/// * heads equal → one output, both advance one — 1 cycle (intersection
+///   produces ≤ 1 element/cycle, as the paper states);
+/// * heads differ → each stream advances past every buffered element
+///   smaller than the other's head (≤ `width` per cycle) — 1 cycle; for
+///   subtraction/merge those skipped elements are emitted in the same
+///   cycle (multiple outputs per cycle, as the paper states);
+/// * a bound stops the operation once no further output can be below it;
+/// * for merge (and subtraction's A-tail), the remaining tail after one
+///   stream is exhausted copies out at `width` elements per cycle.
+pub fn simulate(op: SuOp, a: &[Key], b: &[Key], bound: Bound, width: usize) -> SuTiming {
+    assert!(width > 0, "SU buffer width must be positive");
+    let mut t = SuTiming::default();
+    let (mut i, mut j) = (0usize, 0usize);
+
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        // Early termination: for intersect, outputs are >= max(x, y) is
+        // wrong — outputs are >= min future head; both heads being >= bound
+        // means every further output is too. For subtract/merge, outputs
+        // track the smaller head.
+        let cut = match op {
+            SuOp::Intersect => !bound.admits(x.min(y)),
+            SuOp::Subtract => !bound.admits(x),
+            SuOp::Merge => false, // S_MERGE has no bound operand
+        };
+        if cut {
+            break;
+        }
+        t.compare_cycles += 1;
+        if x == y {
+            match op {
+                SuOp::Intersect | SuOp::Merge => t.produced += 1,
+                SuOp::Subtract => {}
+            }
+            i += 1;
+            j += 1;
+            continue;
+        }
+        // Parallel comparison: advance each side past elements smaller
+        // than the other's head, at most one buffer width per cycle.
+        let a_window = &a[i..(i + width).min(a.len())];
+        let adv_a = a_window.partition_point(|&e| e < y);
+        let b_window = &b[j..(j + width).min(b.len())];
+        let adv_b = b_window.partition_point(|&e| e < x);
+        match op {
+            SuOp::Intersect => {}
+            SuOp::Subtract => {
+                // Elements of A proven smaller than B's head survive, but
+                // only up to the bound.
+                let kept = a_window[..adv_a].partition_point(|&e| bound.admits(e));
+                t.produced += kept as u64;
+            }
+            SuOp::Merge => {
+                t.produced += (adv_a + adv_b) as u64;
+            }
+        }
+        i += adv_a;
+        j += adv_b;
+        debug_assert!(adv_a > 0 || adv_b > 0, "no progress in parallel compare");
+    }
+
+    // Tails.
+    match op {
+        SuOp::Intersect => {}
+        SuOp::Subtract => {
+            if j >= b.len() && i < a.len() {
+                let tail = &a[i..];
+                let kept = tail.partition_point(|&e| bound.admits(e));
+                t.produced += kept as u64;
+                t.compare_cycles += (kept as u64).div_ceil(width as u64);
+                i += kept; // consumption stops at the bound cut
+            }
+        }
+        SuOp::Merge => {
+            let tail = (a.len() - i) + (b.len() - j);
+            if tail > 0 {
+                t.produced += tail as u64;
+                t.compare_cycles += (tail as u64).div_ceil(width as u64);
+                i = a.len();
+                j = b.len();
+            }
+        }
+    }
+
+    t.consumed_a = i as u64;
+    t.consumed_b = j as u64;
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setops;
+
+    const W: usize = 16;
+
+    #[test]
+    fn intersect_counts_match_functional() {
+        let a: Vec<u32> = vec![1, 3, 5, 7, 9, 20, 21, 22, 40];
+        let b: Vec<u32> = vec![2, 3, 7, 21, 35, 40, 41];
+        for bound in [Bound::none(), Bound::below(22), Bound::below(3)] {
+            let t = simulate(SuOp::Intersect, &a, &b, bound, W);
+            assert_eq!(t.produced, setops::intersect_count(&a, &b, bound), "{bound:?}");
+        }
+    }
+
+    #[test]
+    fn subtract_counts_match_functional() {
+        let a: Vec<u32> = vec![1, 3, 5, 7, 9, 20, 21, 22, 40];
+        let b: Vec<u32> = vec![2, 3, 7, 21, 35, 40, 41];
+        for bound in [Bound::none(), Bound::below(22), Bound::below(3)] {
+            let t = simulate(SuOp::Subtract, &a, &b, bound, W);
+            assert_eq!(t.produced, setops::subtract_count(&a, &b, bound), "{bound:?}");
+        }
+    }
+
+    #[test]
+    fn merge_counts_match_functional() {
+        let a: Vec<u32> = vec![1, 3, 5, 7, 9];
+        let b: Vec<u32> = vec![2, 3, 7, 21, 35, 40, 41];
+        let t = simulate(SuOp::Merge, &a, &b, Bound::none(), W);
+        assert_eq!(t.produced, setops::merge_count(&a, &b));
+        assert_eq!(t.consumed_a, a.len() as u64);
+        assert_eq!(t.consumed_b, b.len() as u64);
+    }
+
+    #[test]
+    fn identical_streams_one_match_per_cycle() {
+        let a: Vec<u32> = (0..100).collect();
+        let t = simulate(SuOp::Intersect, &a, &a, Bound::none(), W);
+        assert_eq!(t.produced, 100);
+        assert_eq!(t.compare_cycles, 100); // ≤1 output/cycle for intersect
+    }
+
+    #[test]
+    fn disjoint_streams_skip_a_window_per_cycle() {
+        // A entirely below B: one cycle skips up to 16 elements of A.
+        let a: Vec<u32> = (0..160).collect();
+        let b: Vec<u32> = vec![1000];
+        let t = simulate(SuOp::Intersect, &a, &b, Bound::none(), W);
+        assert_eq!(t.compare_cycles, 10); // 160 / 16
+        assert_eq!(t.produced, 0);
+    }
+
+    #[test]
+    fn interleaved_disjoint_is_the_worst_case() {
+        // Strictly alternating keys defeat the parallel comparison: each
+        // cycle only one side can prove one element smaller than the
+        // other's head, so progress is ~1 element/cycle combined — the
+        // datapath's worst case.
+        let a: Vec<u32> = (0..50).map(|x| x * 2).collect();
+        let b: Vec<u32> = (0..50).map(|x| x * 2 + 1).collect();
+        let t = simulate(SuOp::Intersect, &a, &b, Bound::none(), W);
+        assert!((90..=100).contains(&t.compare_cycles), "cycles={}", t.compare_cycles);
+        assert_eq!(t.produced, 0);
+    }
+
+    #[test]
+    fn parallel_comparison_beats_scalar() {
+        // The headline effect: SU cycles are far below the scalar
+        // element-at-a-time walk (|A| + |B| steps) on skewed operands.
+        let a: Vec<u32> = (0..1000).collect();
+        let b: Vec<u32> = vec![100, 500, 900];
+        let t = simulate(SuOp::Intersect, &a, &b, Bound::none(), W);
+        let scalar_steps = (t.consumed_a + t.consumed_b) as f64;
+        assert!(
+            (t.compare_cycles as f64) < scalar_steps / 4.0,
+            "cycles {} vs scalar {scalar_steps}",
+            t.compare_cycles
+        );
+    }
+
+    #[test]
+    fn bounded_consumes_less() {
+        let a: Vec<u32> = (0..100).collect();
+        let t_full = simulate(SuOp::Intersect, &a, &a, Bound::none(), W);
+        let t_cut = simulate(SuOp::Intersect, &a, &a, Bound::below(10), W);
+        assert_eq!(t_cut.produced, 10);
+        assert!(t_cut.consumed_total() < t_full.consumed_total() / 4);
+        assert!(t_cut.compare_cycles < t_full.compare_cycles / 4);
+    }
+
+    #[test]
+    fn merge_tail_copies_at_width() {
+        let a: Vec<u32> = (0..10).collect();
+        let b: Vec<u32> = (100..260).collect(); // disjoint tail of 160
+        let t = simulate(SuOp::Merge, &a, &b, Bound::none(), W);
+        assert_eq!(t.produced, 170);
+        // 1 cycle per window of A (all < b[0]), then the B tail at 16/cycle.
+        assert!(t.compare_cycles <= 1 + 10, "cycles={}", t.compare_cycles);
+    }
+
+    #[test]
+    fn subtract_bound_limits_consumption() {
+        let a: Vec<u32> = (0..100).collect();
+        let b: Vec<u32> = vec![150];
+        let t = simulate(SuOp::Subtract, &a, &b, Bound::below(10), W);
+        assert_eq!(t.produced, 10);
+        assert!(t.consumed_a <= 32, "consumed_a={}", t.consumed_a);
+    }
+
+    #[test]
+    fn empty_operands() {
+        let t = simulate(SuOp::Intersect, &[], &[1, 2], Bound::none(), W);
+        assert_eq!(t.produced, 0);
+        assert_eq!(t.compare_cycles, 0);
+        let t = simulate(SuOp::Merge, &[], &[1, 2], Bound::none(), W);
+        assert_eq!(t.produced, 2);
+    }
+
+    #[test]
+    fn width_one_degrades_to_scalar() {
+        let a: Vec<u32> = (0..64).collect();
+        let b: Vec<u32> = vec![63];
+        let t = simulate(SuOp::Intersect, &a, &b, Bound::none(), 1);
+        assert_eq!(t.compare_cycles, 64); // one element per cycle
+    }
+}

@@ -1,0 +1,155 @@
+//! Timing-free work counting over the GPM plan executor.
+//!
+//! The analytic accelerator models (GPU, GRAMER scaling) need the raw
+//! *work* a pattern enumeration performs — merge steps, elements touched,
+//! candidate extensions — independent of any micro-architecture. This
+//! backend runs the same plans as the timed backends and counts.
+
+use sc_gpm::exec::SetBackend;
+use sc_graph::CsrGraph;
+use sc_isa::{Key, EOS};
+use sparsecore::setops;
+
+/// A timing-free [`SetBackend`] that tallies work.
+#[derive(Debug)]
+pub struct WorkCounter<'g> {
+    g: &'g CsrGraph,
+    /// Merge-loop steps across all set operations (one pointer advance or
+    /// match each).
+    pub merge_steps: u64,
+    /// Elements read from edge lists and intermediates.
+    pub elements: u64,
+    /// Set operations performed.
+    pub set_ops: u64,
+    /// Loop branches (≈ candidate extensions).
+    pub branches: u64,
+    /// Scalar micro-ops.
+    pub scalar_ops: u64,
+}
+
+/// A counted set: materialized keys.
+#[derive(Debug, Clone)]
+pub struct CountSet(Vec<Key>);
+
+impl<'g> WorkCounter<'g> {
+    /// A fresh counter over `g`.
+    pub fn new(g: &'g CsrGraph) -> Self {
+        WorkCounter { g, merge_steps: 0, elements: 0, set_ops: 0, branches: 0, scalar_ops: 0 }
+    }
+
+    fn walk_cost(&mut self, a: &[Key], b: &[Key], bound: Option<Key>) {
+        // A merge walk visits each consumed element once.
+        let bound = bound.map_or(sc_isa::Bound::none(), sc_isa::Bound::below);
+        let t = sparsecore::su::simulate(sparsecore::su::SuOp::Intersect, a, b, bound, 1);
+        self.merge_steps += t.consumed_total();
+        self.elements += t.consumed_total();
+        self.set_ops += 1;
+    }
+}
+
+impl<'g> SetBackend for WorkCounter<'g> {
+    type Set = CountSet;
+
+    fn edge_list(&mut self, v: Key) -> CountSet {
+        let keys = self.g.neighbors(v).to_vec();
+        self.elements += keys.len() as u64;
+        CountSet(keys)
+    }
+
+    fn edge_list_bounded(&mut self, v: Key, bound: Option<Key>) -> CountSet {
+        let keys = self.g.neighbors(v);
+        let cut = bound.map_or(keys.len(), |bv| keys.partition_point(|&x| x < bv));
+        self.elements += cut as u64;
+        CountSet(keys[..cut].to_vec())
+    }
+
+    fn intersect(&mut self, a: &CountSet, b: &CountSet, bound: Option<Key>) -> CountSet {
+        self.walk_cost(&a.0, &b.0, bound);
+        CountSet(setops::intersect(&a.0, &b.0, bound.map_or(sc_isa::Bound::none(), sc_isa::Bound::below)))
+    }
+
+    fn intersect_count(&mut self, a: &CountSet, b: &CountSet, bound: Option<Key>) -> u64 {
+        self.walk_cost(&a.0, &b.0, bound);
+        setops::intersect_count(&a.0, &b.0, bound.map_or(sc_isa::Bound::none(), sc_isa::Bound::below))
+    }
+
+    fn subtract(&mut self, a: &CountSet, b: &CountSet, bound: Option<Key>) -> CountSet {
+        self.walk_cost(&a.0, &b.0, bound);
+        CountSet(setops::subtract(&a.0, &b.0, bound.map_or(sc_isa::Bound::none(), sc_isa::Bound::below)))
+    }
+
+    fn subtract_count(&mut self, a: &CountSet, b: &CountSet, bound: Option<Key>) -> u64 {
+        self.walk_cost(&a.0, &b.0, bound);
+        setops::subtract_count(&a.0, &b.0, bound.map_or(sc_isa::Bound::none(), sc_isa::Bound::below))
+    }
+
+    fn len(&self, s: &CountSet) -> u64 {
+        s.0.len() as u64
+    }
+
+    fn bounded_len(&mut self, s: &CountSet, bound: Option<Key>) -> u64 {
+        self.scalar_ops += 4;
+        bound.map_or(s.0.len() as u64, |bv| s.0.partition_point(|&x| x < bv) as u64)
+    }
+
+    fn fetch(&mut self, s: &CountSet, idx: u32) -> Key {
+        self.elements += 1;
+        s.0.get(idx as usize).copied().unwrap_or(EOS)
+    }
+
+    fn list_contains(&mut self, v: Key, k: Key) -> bool {
+        self.scalar_ops += 8;
+        self.g.has_edge(v, k)
+    }
+
+    fn nested_count(&mut self, _s: &CountSet) -> Option<u64> {
+        None // counting uses the explicit form so all steps are visible
+    }
+
+    fn release(&mut self, _s: CountSet) {}
+
+    fn loop_branch(&mut self, _pc: u64, taken: bool) {
+        if taken {
+            self.branches += 1;
+        }
+    }
+
+    fn ops(&mut self, n: u64) {
+        self.scalar_ops += n;
+    }
+
+    fn finish(&mut self) -> u64 {
+        0 // timing-free
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_gpm::plan::Induced;
+    use sc_gpm::{exec, App, Pattern, Plan};
+    use sc_graph::generators::uniform_graph;
+
+    #[test]
+    fn counts_match_reference() {
+        let g = uniform_graph(40, 200, 3);
+        let plan = Plan::compile(&Pattern::triangle(), &[0, 1, 2], Induced::Vertex);
+        let mut wc = WorkCounter::new(&g);
+        let n = exec::count(&g, &plan, &mut wc);
+        assert_eq!(n, App::Triangle.run_reference(&g));
+        assert!(wc.merge_steps > 0);
+        assert!(wc.elements > wc.merge_steps / 2);
+    }
+
+    #[test]
+    fn denser_graph_more_work() {
+        let sparse_g = uniform_graph(50, 100, 1);
+        let dense_g = uniform_graph(50, 600, 1);
+        let plan = Plan::compile(&Pattern::triangle(), &[0, 1, 2], Induced::Vertex);
+        let mut a = WorkCounter::new(&sparse_g);
+        exec::count(&sparse_g, &plan, &mut a);
+        let mut b = WorkCounter::new(&dense_g);
+        exec::count(&dense_g, &plan, &mut b);
+        assert!(b.merge_steps > a.merge_steps);
+    }
+}

@@ -1,0 +1,120 @@
+//! GRAMER model (paper Section 6.3.1).
+//!
+//! GRAMER is a locality-aware accelerator for a *pattern-oblivious*
+//! mining algorithm: it grows all connected subgraphs edge by edge and
+//! runs an isomorphism check on every candidate, instead of compiling the
+//! pattern into a guided enumeration. The paper measures it slower than
+//! even the CPU baseline (SparseCore is 40.1x faster on average) — the
+//! redundancy, not the micro-architecture, dominates. The model therefore
+//! enumerates exactly the candidates the algorithm would touch and
+//! charges its (generously fast) on-chip costs.
+
+use sc_graph::CsrGraph;
+
+/// Result of a GRAMER run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GramerRun {
+    /// Pattern-matching embeddings found.
+    pub matches: u64,
+    /// All candidate subgraphs enumerated (the redundancy).
+    pub candidates: u64,
+    /// Modeled cycles.
+    pub cycles: u64,
+}
+
+/// Count size-`k` vertex sets reachable by GRAMER's edge-extension
+/// enumeration for a clique/triangle pattern and model its cycles.
+///
+/// The enumeration mirrors the pattern-oblivious scheme: start from every
+/// edge, repeatedly extend the current connected subgraph by any neighbor
+/// of any member (each extension = one candidate), checking the grown
+/// subgraph against the pattern by isomorphism test. Candidates are
+/// enumerated once per *ordered* growth path, which is where the
+/// redundancy explodes.
+///
+/// # Panics
+///
+/// Panics unless `3 <= k <= 4` (size-5 oblivious enumeration is
+/// intractable even for the model, which is the paper's point; the
+/// benches report GRAMER only where the original paper's workloads ran).
+pub fn mine_clique(g: &CsrGraph, k: usize) -> GramerRun {
+    assert!((3..=4).contains(&k), "pattern-oblivious model supports k in 3..=4");
+    let mut run = GramerRun { matches: 0, candidates: 0, cycles: 0 };
+    let mut members: Vec<u32> = Vec::with_capacity(k);
+    for v in g.vertices() {
+        for &u in g.neighbors(v) {
+            if u <= v {
+                continue; // edges seed once
+            }
+            members.clear();
+            members.push(v);
+            members.push(u);
+            extend(g, k, &mut members, &mut run);
+        }
+    }
+    run
+}
+
+fn extend(g: &CsrGraph, k: usize, members: &mut Vec<u32>, run: &mut GramerRun) {
+    if members.len() == k {
+        run.candidates += 1;
+        // Isomorphism check: compare all pairs against the pattern.
+        let pairs = (k * (k - 1) / 2) as u64;
+        run.cycles += pairs * 4;
+        let is_clique = (0..members.len()).all(|i| {
+            ((i + 1)..members.len()).all(|j| g.has_edge(members[i], members[j]))
+        });
+        if is_clique {
+            run.matches += 1;
+        }
+        return;
+    }
+    // Extend by any neighbor of any member greater than the seed minimum
+    // ordering constraint GRAMER applies to bound (not eliminate)
+    // recounting.
+    let anchor = members[0];
+    for idx in 0..members.len() {
+        let m = members[idx];
+        let neighbors: Vec<u32> = g.neighbors(m).to_vec();
+        for w in neighbors {
+            run.cycles += 2; // queue push/pop + locality-aware buffer access
+            if w <= anchor || members.contains(&w) {
+                continue;
+            }
+            members.push(w);
+            extend(g, k, members, run);
+            members.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_gpm::App;
+    use sc_graph::generators::uniform_graph;
+
+    #[test]
+    fn finds_at_least_every_triangle() {
+        let g = uniform_graph(30, 140, 3);
+        let run = mine_clique(&g, 3);
+        let unique = App::Triangle.run_reference(&g);
+        // Every triangle is matched (multiple times); candidates dominate
+        // matches.
+        assert!(run.matches >= unique);
+        assert!(run.candidates >= run.matches);
+    }
+
+    #[test]
+    fn redundancy_explodes_vs_guided_enumeration() {
+        let g = uniform_graph(40, 400, 5);
+        let run = mine_clique(&g, 3);
+        let unique = App::Triangle.run_reference(&g);
+        assert!(
+            run.candidates as f64 > 2.0 * unique as f64,
+            "candidates {} vs triangles {unique}",
+            run.candidates
+        );
+    }
+
+}

@@ -1,0 +1,39 @@
+//! Baseline accelerator models for the SparseCore reproduction.
+//!
+//! The paper compares SparseCore against prior accelerators by modeling
+//! their processing elements and memory access patterns inside the same
+//! simulator (Sections 6.1 and 6.9.2 describe this methodology — the
+//! original RTL is not run). This crate rebuilds those models:
+//!
+//! * [`FlexMinerModel`] — the pattern-aware GPM accelerator: the *same*
+//!   enumeration algorithm as SparseCore (both use symmetry breaking and
+//!   bounded intersection), but set operations execute on a cmap-style
+//!   PE at one element per cycle, with a 4 MiB shared cache in front of
+//!   memory. SparseCore's edge over it is the SU's parallel comparison.
+//! * [`triejax`] — the worst-case-optimal-join engine: no symmetry
+//!   breaking (each k-clique enumerated k! times), binary-search (LUB)
+//!   list lookups, and a partial-join-result cache whose 1 KiB entry
+//!   limit cannot hold high-degree lists.
+//! * [`gramer`] — the pattern-oblivious enumerator: extends all connected
+//!   subgraphs without pattern awareness and pays an isomorphism check
+//!   per candidate.
+//! * [`gpu`] — an analytic NVIDIA K40m model calibrated with the paper's
+//!   measured utilizations (4.4% warp occupancy, 13% memory bandwidth),
+//!   with and without symmetry breaking.
+//! * [`tensor_accels`] — ExTensor (inner product), OuterSPACE (outer
+//!   product) and Gamma (Gustavson) as [`sc_kernels::TensorBackend`]s
+//!   with each design's published PE/buffering behaviour.
+//! * [`counter`] — a timing-free work-counting backend used by the
+//!   analytic models.
+
+pub mod counter;
+pub mod flexminer;
+pub mod gpu;
+pub mod gramer;
+pub mod tensor_accels;
+pub mod triejax;
+
+pub use counter::WorkCounter;
+pub use flexminer::FlexMinerModel;
+pub use gpu::{GpuConfig, GpuEstimate};
+pub use tensor_accels::{ExTensorBackend, GammaBackend, OuterSpaceBackend};

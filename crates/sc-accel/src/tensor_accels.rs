@@ -1,0 +1,282 @@
+//! Tensor-accelerator models: ExTensor, OuterSPACE, Gamma (paper
+//! Section 6.9.2).
+//!
+//! Each model is a [`TensorBackend`], so the *same* kernel code from
+//! `sc-kernels` runs on it — only the dataflow each accelerator was built
+//! for makes sense on it, which the benches respect (ExTensor runs inner
+//! product, OuterSPACE outer product, Gamma Gustavson), exactly like the
+//! paper's Figure 16.
+//!
+//! Modeling choices follow Section 6.9.2 verbatim:
+//! * **ExTensor**: intersections on parallel comparators (same width as
+//!   a SparseCore SU), operand transfer DRAM→LLB charged per line, no
+//!   general-purpose-core overhead — a pure fixed-function pipeline.
+//! * **OuterSPACE**: one multiply per cycle per PE; cache/scratchpad
+//!   modeled at L1 latency (the paper configured it so); HMC transfer
+//!   charged per line.
+//! * **Gamma**: one element per cycle PE, FiberCache modeled as
+//!   "always hit" (their fetcher hides misses).
+
+use sc_isa::Bound;
+use sc_kernels::{TensorBackend, VStream};
+use sparsecore::su::{simulate, SuOp};
+
+/// Common handle: a cloned stream (fixed-function engines have no
+/// register pressure to model).
+#[derive(Debug, Clone)]
+pub struct AccelStream(VStream);
+
+/// ExTensor: inner-product accelerator with parallel comparator PEs.
+#[derive(Debug, Default)]
+pub struct ExTensorBackend {
+    cycles: u64,
+    /// Lines already streamed into the LLB (operand reuse across dots).
+    llb: std::collections::HashSet<u64>,
+}
+
+impl ExTensorBackend {
+    /// Fresh model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn stream_in(&mut self, s: &VStream) {
+        // DRAM -> LLB once per line; resident afterwards.
+        let lines = (s.keys.len() as u64 * 12).div_ceil(64);
+        for l in 0..lines {
+            if self.llb.insert(s.key_addr + l * 64) {
+                self.cycles += 4; // amortized burst transfer per line
+            }
+        }
+    }
+}
+
+impl TensorBackend for ExTensorBackend {
+    type Handle = AccelStream;
+
+    fn load(&mut self, s: &VStream, _priority: u32) -> AccelStream {
+        self.stream_in(s);
+        AccelStream(s.clone())
+    }
+
+    fn dot(&mut self, a: &AccelStream, b: &AccelStream) -> f64 {
+        let t = simulate(SuOp::Intersect, &a.0.keys, &b.0.keys, Bound::none(), 16);
+        // ExTensor's *hierarchical* intersection first intersects
+        // coordinate blocks, skipping whole regions the flat comparator
+        // must scan; model the two-level skip as halving the scan cycles
+        // (matches still emit one per cycle). Value MACs are decoupled
+        // and overlap fully.
+        self.cycles += (t.compare_cycles / 2).max(t.produced).max(t.consumed_total() / 32);
+        let (acc, _) = sparsecore::setops::vinter(
+            &a.0.keys,
+            &a.0.vals,
+            &b.0.keys,
+            &b.0.vals,
+            sc_isa::ValueOp::Mac,
+        );
+        acc
+    }
+
+    fn scaled_merge(&mut self, _sa: f64, _a: &AccelStream, _sb: f64, _b: &AccelStream) -> VStream {
+        unimplemented!("ExTensor is an inner-product design; merges are not its dataflow")
+    }
+
+    fn release(&mut self, _h: AccelStream) {}
+
+    fn ops(&mut self, _n: u64) {
+        // Fixed-function sequencer: loop control is free.
+    }
+
+    fn loop_branch(&mut self, _pc: u64, _taken: bool) {
+        // The decoupled coordinate sequencer overlaps next-pair setup
+        // with the comparator array: no exposed cycle.
+    }
+
+    fn store_result(&mut self, _addr: u64) {
+        self.cycles += 1;
+    }
+
+    fn finish(&mut self) -> u64 {
+        self.cycles
+    }
+}
+
+/// OuterSPACE: outer-product accelerator.
+#[derive(Debug, Default)]
+pub struct OuterSpaceBackend {
+    cycles: u64,
+}
+
+impl OuterSpaceBackend {
+    /// Fresh model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TensorBackend for OuterSpaceBackend {
+    type Handle = AccelStream;
+
+    fn load(&mut self, s: &VStream, _priority: u32) -> AccelStream {
+        // HMC transfer: one cycle per 16-byte beat, overlapped 4-wide.
+        self.cycles += (s.keys.len() as u64 * 12).div_ceil(64);
+        AccelStream(s.clone())
+    }
+
+    fn dot(&mut self, a: &AccelStream, b: &AccelStream) -> f64 {
+        // Not OuterSPACE's dataflow, but harmless to support: 1/cycle.
+        let t = simulate(SuOp::Intersect, &a.0.keys, &b.0.keys, Bound::none(), 1);
+        self.cycles += t.consumed_total();
+        let (acc, _) = sparsecore::setops::vinter(
+            &a.0.keys,
+            &a.0.vals,
+            &b.0.keys,
+            &b.0.vals,
+            sc_isa::ValueOp::Mac,
+        );
+        acc
+    }
+
+    fn scaled_merge(&mut self, sa: f64, a: &AccelStream, sb: f64, b: &AccelStream) -> VStream {
+        // Multiply stage at 1 element/cycle + linked-list style merge at
+        // scratchpad (L1) latency already folded into per-element cost.
+        let (keys, vals) =
+            sparsecore::setops::vmerge(sa, &a.0.keys, &a.0.vals, sb, &b.0.keys, &b.0.vals);
+        self.cycles += (a.0.keys.len() + b.0.keys.len()) as u64;
+        VStream { keys, vals, key_addr: 0xE400_0000, val_addr: 0xE600_0000 }
+    }
+
+    fn release(&mut self, _h: AccelStream) {}
+
+    fn ops(&mut self, _n: u64) {}
+
+    fn loop_branch(&mut self, _pc: u64, _taken: bool) {
+        self.cycles += 1;
+    }
+
+    fn store_result(&mut self, _addr: u64) {
+        self.cycles += 1;
+    }
+
+    fn finish(&mut self) -> u64 {
+        self.cycles
+    }
+}
+
+/// Gamma: Gustavson accelerator with an always-hit FiberCache.
+#[derive(Debug, Default)]
+pub struct GammaBackend {
+    cycles: u64,
+}
+
+impl GammaBackend {
+    /// Fresh model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TensorBackend for GammaBackend {
+    type Handle = AccelStream;
+
+    fn load(&mut self, s: &VStream, _priority: u32) -> AccelStream {
+        // FiberCache fetcher hides the miss latency entirely (the paper's
+        // "always hit" simplification) — only a pipeline fill cycle.
+        self.cycles += 1;
+        let _ = s.len();
+        AccelStream(s.clone())
+    }
+
+    fn dot(&mut self, a: &AccelStream, b: &AccelStream) -> f64 {
+        let t = simulate(SuOp::Intersect, &a.0.keys, &b.0.keys, Bound::none(), 1);
+        self.cycles += t.consumed_total();
+        let (acc, _) = sparsecore::setops::vinter(
+            &a.0.keys,
+            &a.0.vals,
+            &b.0.keys,
+            &b.0.vals,
+            sc_isa::ValueOp::Mac,
+        );
+        acc
+    }
+
+    fn scaled_merge(&mut self, sa: f64, a: &AccelStream, sb: f64, b: &AccelStream) -> VStream {
+        // Gamma's scheduler performs one *high-radix* merge per output
+        // row: every input-fiber element passes through the merge network
+        // exactly once, so only the new fiber's elements cost cycles —
+        // the running accumulator is not re-walked (unlike the binary
+        // S_VMERGE cascade the flexible processor executes).
+        let (keys, vals) =
+            sparsecore::setops::vmerge(sa, &a.0.keys, &a.0.vals, sb, &b.0.keys, &b.0.vals);
+        self.cycles += b.0.keys.len() as u64 + 1;
+        VStream { keys, vals, key_addr: 0xE800_0000, val_addr: 0xEA00_0000 }
+    }
+
+    fn release(&mut self, _h: AccelStream) {}
+
+    fn ops(&mut self, _n: u64) {}
+
+    fn loop_branch(&mut self, _pc: u64, _taken: bool) {
+        self.cycles += 1;
+    }
+
+    fn store_result(&mut self, _addr: u64) {
+        self.cycles += 1;
+    }
+
+    fn finish(&mut self) -> u64 {
+        self.cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_kernels::{gustavson, inner_product, outer_product, InnerOptions, StreamTensorBackend};
+    use sc_tensor::dense::{dense_close, matmul_reference};
+    use sc_tensor::generators::random_matrix;
+    use sparsecore::{Engine, SparseCoreConfig};
+
+    #[test]
+    fn extensor_inner_product_correct() {
+        let a = random_matrix(10, 8, 30, 31);
+        let b = random_matrix(8, 9, 28, 32);
+        let r = inner_product(&a, &b.to_csc(), &mut ExTensorBackend::new(), InnerOptions::default());
+        assert!(dense_close(&r.c.to_dense(), &matmul_reference(&a, &b), 1e-9));
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn outerspace_outer_product_correct() {
+        let a = random_matrix(7, 9, 25, 33);
+        let b = random_matrix(9, 6, 22, 34);
+        let r = outer_product(&a.to_csc(), &b, &mut OuterSpaceBackend::new());
+        assert!(dense_close(&r.c.to_dense(), &matmul_reference(&a, &b), 1e-9));
+    }
+
+    #[test]
+    fn gamma_gustavson_correct() {
+        let a = random_matrix(8, 8, 26, 35);
+        let b = random_matrix(8, 8, 26, 36);
+        let r = gustavson(&a, &b, &mut GammaBackend::new());
+        assert!(dense_close(&r.c.to_dense(), &matmul_reference(&a, &b), 1e-9));
+    }
+
+    #[test]
+    fn specialized_beats_sparsecore_per_dataflow() {
+        // The Figure 16 trade-off: fixed-function designs beat the
+        // flexible processor on their own dataflow.
+        let a = random_matrix(32, 32, 720, 37);
+        let b = random_matrix(32, 32, 720, 38);
+
+        let ext = inner_product(&a, &b.to_csc(), &mut ExTensorBackend::new(), InnerOptions::default());
+        let mut sc = StreamTensorBackend::with_engine(Engine::new(SparseCoreConfig::paper_one_su()));
+        let scr = inner_product(&a, &b.to_csc(), &mut sc, InnerOptions::default());
+        assert!(ext.cycles < scr.cycles, "ExTensor {} vs SparseCore {}", ext.cycles, scr.cycles);
+
+        let gam = gustavson(&a, &b, &mut GammaBackend::new());
+        let mut sc = StreamTensorBackend::with_engine(Engine::new(SparseCoreConfig::paper_one_su()));
+        let scg = gustavson(&a, &b, &mut sc);
+        assert!(gam.cycles < scg.cycles, "Gamma {} vs SparseCore {}", gam.cycles, scg.cycles);
+    }
+}

@@ -1,0 +1,25 @@
+//! Criterion benchmarks: the GPM applications end-to-end on a fixed
+//! small graph, on both backends (the simulation throughput itself).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sc_gpm::App;
+use sc_graph::Dataset;
+use sparsecore::SparseCoreConfig;
+
+fn bench_apps(c: &mut Criterion) {
+    let g = Dataset::Citeseer.build();
+    let mut group = c.benchmark_group("gpm_apps_citeseer");
+    group.sample_size(10);
+    for app in [App::Triangle, App::ThreeChain, App::TailedTriangle, App::Clique4] {
+        group.bench_function(format!("{app}_cpu"), |bench| {
+            bench.iter(|| black_box(app.run_scalar(&g)))
+        });
+        group.bench_function(format!("{app}_sparsecore"), |bench| {
+            bench.iter(|| black_box(app.run_stream(&g, SparseCoreConfig::paper())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion micro-benchmark: `S_NESTINTER` vs the explicit
+//! read/intersect/free loop it replaces (paper Figure 3(a)).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sc_graph::generators::uniform_graph;
+use sc_gpm::exec::{self, SetBackend, StreamBackend};
+use sc_gpm::plan::Induced;
+use sc_gpm::{Pattern, Plan};
+use sparsecore::{Engine, SparseCoreConfig};
+
+fn bench_nested(c: &mut Criterion) {
+    let g = uniform_graph(200, 3000, 42);
+    let plan = Plan::compile(&Pattern::triangle(), &[0, 1, 2], Induced::Vertex);
+    let mut group = c.benchmark_group("nested_intersection");
+    group.sample_size(20);
+    group.bench_function("triangle_with_nestinter", |bench| {
+        bench.iter(|| {
+            let mut b =
+                StreamBackend::with_engine(&g, Engine::new(SparseCoreConfig::paper()), true);
+            let n = exec::count(&g, &plan, &mut b);
+            black_box((n, b.finish()))
+        })
+    });
+    group.bench_function("triangle_explicit_loop", |bench| {
+        bench.iter(|| {
+            let mut b =
+                StreamBackend::with_engine(&g, Engine::new(SparseCoreConfig::paper()), false);
+            let n = exec::count(&g, &plan, &mut b);
+            black_box((n, b.finish()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nested);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benchmarks: tensor kernels on a fixed small matrix/tensor,
+//! scalar vs stream backends.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sc_kernels::{
+    gustavson, inner_product, ttv, InnerOptions, ScalarTensorBackend, StreamTensorBackend,
+};
+use sc_tensor::generators::{random_matrix, random_tensor};
+
+fn bench_spmspm(c: &mut Criterion) {
+    let a = random_matrix(64, 64, 1024, 1);
+    let acsc = a.to_csc();
+    let mut group = c.benchmark_group("spmspm_64x64");
+    group.sample_size(10);
+    group.bench_function("inner_cpu", |bench| {
+        bench.iter(|| {
+            black_box(inner_product(
+                &a,
+                &acsc,
+                &mut ScalarTensorBackend::new(),
+                InnerOptions::default(),
+            ))
+        })
+    });
+    group.bench_function("inner_sparsecore", |bench| {
+        bench.iter(|| {
+            black_box(inner_product(
+                &a,
+                &acsc,
+                &mut StreamTensorBackend::new(),
+                InnerOptions::default(),
+            ))
+        })
+    });
+    group.bench_function("gustavson_cpu", |bench| {
+        bench.iter(|| black_box(gustavson(&a, &a, &mut ScalarTensorBackend::new())))
+    });
+    group.bench_function("gustavson_sparsecore", |bench| {
+        bench.iter(|| black_box(gustavson(&a, &a, &mut StreamTensorBackend::new())))
+    });
+    group.finish();
+}
+
+fn bench_ttv(c: &mut Criterion) {
+    let t = random_tensor([32, 16, 128], 200, 4000, 2);
+    let v: Vec<f64> = (0..128).map(|i| 1.0 + i as f64 * 0.01).collect();
+    let mut group = c.benchmark_group("ttv");
+    group.sample_size(10);
+    group.bench_function("cpu", |bench| {
+        bench.iter(|| black_box(ttv(&t, &v, &mut ScalarTensorBackend::new())))
+    });
+    group.bench_function("sparsecore", |bench| {
+        bench.iter(|| black_box(ttv(&t, &v, &mut StreamTensorBackend::new())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmspm, bench_ttv);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Figure 7: SparseCore speedup over FlexMiner and TrieJax (plus the
+//! Section 6.3.1 GRAMER comparison with `--gramer`).
+//!
+//! Per the paper's fairness rule, every design gets one computation unit:
+//! one SparseCore SU vs one FlexMiner PE vs one TrieJax thread. TrieJax
+//! appears only for the clique apps (it supports edge-induced patterns
+//! only); its numbers are in orders of magnitude, as in the paper's
+//! log-scale panels.
+//!
+//! Usage: `cargo run --release -p sc-bench --bin fig07_accels
+//! [--datasets E,F,W] [--gramer]`
+
+use sc_accel::{gramer, triejax, FlexMinerModel};
+use sc_bench::{dataset_filter, gmean, render_table, run_sparsecore, stride_for};
+use sc_gpm::exec::{self, SetBackend};
+use sc_gpm::App;
+use sc_graph::Dataset;
+use sparsecore::SparseCoreConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let datasets = dataset_filter(&args).unwrap_or_else(|| {
+        vec![Dataset::EmailEuCore, Dataset::Haverford76, Dataset::WikiVote, Dataset::Mico, Dataset::Youtube]
+    });
+    let with_gramer = args.iter().any(|a| a == "--gramer");
+
+    println!("# Figure 7: SparseCore (1 SU) speedup over FlexMiner (1 PE)\n");
+    let header: Vec<String> = std::iter::once("app".to_string())
+        .chain(datasets.iter().map(|d| d.tag().to_string()))
+        .chain(["gmean".to_string()])
+        .collect();
+    let mut rows = Vec::new();
+    let mut fm_speedups_all = Vec::new();
+    for app in App::FIG7 {
+        let mut row = vec![app.tag().to_string()];
+        let mut speedups = Vec::new();
+        for &d in &datasets {
+            let g = d.build();
+            let stride = stride_for(app, d);
+            let sc = run_sparsecore(&g, app, SparseCoreConfig::paper_one_su(), stride);
+            let mut fm = FlexMinerModel::new(&g);
+            let mut fm_count = 0;
+            for plan in app.plans() {
+                let (est, _) = exec::count_sampled(&g, &plan, &mut fm, stride);
+                fm_count += est;
+            }
+            let fm_cycles = fm.finish() * stride as u64;
+            assert_eq!(sc.count, fm_count, "{app} on {d}");
+            let speedup = fm_cycles as f64 / sc.cycles.max(1) as f64;
+            speedups.push(speedup);
+            row.push(format!("{speedup:.2}"));
+            eprintln!("  {app} on {}: flexminer={fm_cycles} sc={} speedup={speedup:.2}", d.tag(), sc.cycles);
+        }
+        row.push(format!("{:.2}", gmean(&speedups)));
+        fm_speedups_all.extend(speedups);
+        rows.push(row);
+    }
+    println!("{}", render_table(&header, &rows));
+    println!(
+        "overall gmean speedup over FlexMiner: {:.2}x (paper: avg 2.7x, up to 14.8x)\n",
+        gmean(&fm_speedups_all)
+    );
+
+    println!("# Figure 7 (log-scale panels): SparseCore speedup over TrieJax (cliques)\n");
+    let mut rows = Vec::new();
+    let mut tj_all = Vec::new();
+    for (app, k) in [(App::Triangle, 3), (App::Clique4, 4), (App::Clique5, 5)] {
+        let mut row = vec![app.tag().to_string()];
+        for &d in &datasets {
+            let g = d.build();
+            let stride = stride_for(app, d).max(4); // TrieJax enumerates k! per clique
+            let sc = run_sparsecore(&g, app, SparseCoreConfig::paper_one_su(), stride);
+            // TrieJax model runs unsampled per start vertex internally;
+            // subsample by running on the same stride via cycle scaling.
+            let tj = triejax::count_cliques(&g, k);
+            assert_eq!(
+                tj.embeddings,
+                run_sparsecore(&g, app, SparseCoreConfig::paper_one_su(), 1).count
+                    * triejax::factorial(k),
+                "{app} on {d}: TrieJax embeddings should be k! x cliques"
+            );
+            let speedup = tj.cycles as f64 / (sc.cycles.max(1)) as f64;
+            tj_all.push(speedup);
+            row.push(format!("{speedup:.1}"));
+            eprintln!("  {app} on {}: triejax={} sc={} speedup={speedup:.1}", d.tag(), tj.cycles, sc.cycles);
+        }
+        row.push(String::new());
+        rows.push(row);
+    }
+    println!("{}", render_table(&header, &rows));
+    println!("gmean speedup over TrieJax: {:.1}x (paper: avg 3651.2x, up to 43912.3x; log scale)\n", gmean(&tj_all));
+
+    if with_gramer {
+        println!("# Section 6.3.1: SparseCore speedup over GRAMER (triangle)\n");
+        let mut rows = Vec::new();
+        for &d in &datasets {
+            let g = d.build();
+            let sc = run_sparsecore(&g, App::Triangle, SparseCoreConfig::paper_one_su(), 1);
+            let gr = gramer::mine_clique(&g, 3);
+            let speedup = gr.cycles as f64 / sc.cycles.max(1) as f64;
+            rows.push(vec![
+                d.tag().to_string(),
+                format!("{}", gr.candidates),
+                format!("{speedup:.1}"),
+            ]);
+        }
+        println!(
+            "{}",
+            render_table(&["graph".into(), "gramer candidates".into(), "speedup".into()], &rows)
+        );
+        println!("(paper: avg 40.1x, up to 181.8x)");
+    }
+}

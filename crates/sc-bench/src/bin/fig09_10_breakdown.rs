@@ -1,0 +1,97 @@
+//! Figures 9 and 10: execution-cycle breakdowns for the CPU baseline and
+//! SparseCore.
+//!
+//! Buckets match the paper's: Cache (memory stall), Mispred. (branch
+//! misprediction penalty), Other computation, Intersection. Expected
+//! shape: mispredict dominates the CPU's intersection-heavy apps and
+//! nearly vanishes on SparseCore, whose cycles shift toward the
+//! Intersection (SU-busy) and Other buckets.
+//!
+//! Usage: `cargo run --release -p sc-bench --bin fig09_10_breakdown
+//! [--datasets C,E,W]`
+
+use sc_bench::{dataset_filter, render_table, stride_for};
+use sc_gpm::exec::{self, ScalarBackend, SetBackend, StreamBackend};
+use sc_gpm::App;
+use sc_graph::Dataset;
+use sparsecore::{Engine, SparseCoreConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let datasets = dataset_filter(&args).unwrap_or_else(|| {
+        vec![
+            Dataset::Gnutella08,
+            Dataset::Citeseer,
+            Dataset::BitcoinAlpha,
+            Dataset::EmailEuCore,
+            Dataset::Haverford76,
+            Dataset::WikiVote,
+        ]
+    });
+    let apps = [
+        App::ThreeChain,
+        App::ThreeMotif,
+        App::TriangleNoNested,
+        App::Triangle,
+        App::Clique4,
+        App::Clique5,
+        App::TailedTriangle,
+    ];
+
+    let header = vec![
+        "app/graph".to_string(),
+        "cache%".to_string(),
+        "mispred%".to_string(),
+        "other%".to_string(),
+        "intersect%".to_string(),
+    ];
+
+    println!("# Figure 9: CPU baseline cycle breakdown\n");
+    let mut rows = Vec::new();
+    for app in apps {
+        for &d in &datasets {
+            let g = d.build();
+            let stride = stride_for(app, d);
+            let mut b = ScalarBackend::new(&g);
+            for plan in app.plans() {
+                exec::count_sampled(&g, &plan, &mut b, stride);
+            }
+            b.finish();
+            let [c, m, o, i] = b.core().breakdown().fractions();
+            rows.push(vec![
+                format!("{app}/{}", d.tag()),
+                format!("{:.1}", c * 100.0),
+                format!("{:.1}", m * 100.0),
+                format!("{:.1}", o * 100.0),
+                format!("{:.1}", i * 100.0),
+            ]);
+        }
+    }
+    println!("{}", render_table(&header, &rows));
+
+    println!("\n# Figure 10: SparseCore cycle breakdown\n");
+    let mut rows = Vec::new();
+    for app in apps {
+        for &d in &datasets {
+            let g = d.build();
+            let stride = stride_for(app, d);
+            let mut b =
+                StreamBackend::with_engine(&g, Engine::new(SparseCoreConfig::paper()), app.uses_nested());
+            for plan in app.plans() {
+                exec::count_sampled(&g, &plan, &mut b, stride);
+            }
+            b.finish();
+            let [c, m, o, i] = b.engine().breakdown().fractions();
+            rows.push(vec![
+                format!("{app}/{}", d.tag()),
+                format!("{:.1}", c * 100.0),
+                format!("{:.1}", m * 100.0),
+                format!("{:.1}", o * 100.0),
+                format!("{:.1}", i * 100.0),
+            ]);
+        }
+    }
+    println!("{}", render_table(&header, &rows));
+    println!("\n(paper: CPU mispredict share is large in the set-operation apps;");
+    println!(" SparseCore shifts cycles into the Intersection/Other buckets)");
+}

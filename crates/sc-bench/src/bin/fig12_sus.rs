@@ -1,0 +1,48 @@
+//! Figure 12: varying the number of Stream Units (1, 2, 4, 8, 16).
+//!
+//! Expected shape (paper): gains up to ~4 SUs, then diminishing returns —
+//! the nested-intersection apps (T, 4C, 5C) scale best because the
+//! translator keeps many intersections in flight.
+//!
+//! Usage: `cargo run --release -p sc-bench --bin fig12_sus
+//! [--datasets B,E,F,W]`
+
+use sc_bench::{dataset_filter, render_table, run_sparsecore, stride_for};
+use sc_gpm::App;
+use sc_graph::Dataset;
+use sparsecore::SparseCoreConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let datasets = dataset_filter(&args).unwrap_or_else(|| {
+        vec![
+            Dataset::BitcoinAlpha,
+            Dataset::EmailEuCore,
+            Dataset::Haverford76,
+            Dataset::WikiVote,
+        ]
+    });
+    let sus = [1usize, 2, 4, 8, 16];
+
+    println!("# Figure 12: speedup vs 1 SU as the number of SUs grows\n");
+    let header: Vec<String> = std::iter::once("app/graph".to_string())
+        .chain(sus.iter().map(|n| format!("{n} SU")))
+        .collect();
+    let mut rows = Vec::new();
+    for app in App::FIG8 {
+        for &d in &datasets {
+            let g = d.build();
+            let stride = stride_for(app, d);
+            let base = run_sparsecore(&g, app, SparseCoreConfig::with_sus(1), stride);
+            let mut row = vec![format!("{app}/{}", d.tag())];
+            for &n in &sus {
+                let m = run_sparsecore(&g, app, SparseCoreConfig::with_sus(n), stride);
+                assert_eq!(m.count, base.count);
+                row.push(format!("{:.2}", base.cycles as f64 / m.cycles.max(1) as f64));
+            }
+            rows.push(row);
+        }
+    }
+    println!("{}", render_table(&header, &rows));
+    println!("\n(paper: improvements up to 4 SUs, then significantly less benefit)");
+}

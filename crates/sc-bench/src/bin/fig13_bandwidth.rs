@@ -1,0 +1,50 @@
+//! Figure 13: varying the aggregate S-Cache + scratchpad bandwidth
+//! (2, 4, 8, 16, 32, 64 elements/cycle).
+//!
+//! Expected shape (paper): gains saturate around 32 elements/cycle; the
+//! nested-intersection apps benefit most because they keep the most
+//! intersections in flight.
+//!
+//! Usage: `cargo run --release -p sc-bench --bin fig13_bandwidth
+//! [--datasets B,E,F,W]`
+
+use sc_bench::{dataset_filter, render_table, run_sparsecore, stride_for};
+use sc_gpm::App;
+use sc_graph::Dataset;
+use sparsecore::SparseCoreConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let datasets = dataset_filter(&args).unwrap_or_else(|| {
+        vec![
+            Dataset::BitcoinAlpha,
+            Dataset::EmailEuCore,
+            Dataset::Haverford76,
+            Dataset::WikiVote,
+        ]
+    });
+    let bws = [2u64, 4, 8, 16, 32, 64];
+
+    println!("# Figure 13: speedup vs 2 elements/cycle as bandwidth grows\n");
+    let header: Vec<String> = std::iter::once("app/graph".to_string())
+        .chain(bws.iter().map(|b| format!("{b}/cyc")))
+        .collect();
+    let mut rows = Vec::new();
+    for app in App::FIG8 {
+        for &d in &datasets {
+            let g = d.build();
+            let stride = stride_for(app, d);
+            let base = run_sparsecore(&g, app, SparseCoreConfig::with_bandwidth(2), stride);
+            let mut row = vec![format!("{app}/{}", d.tag())];
+            for &bw in &bws {
+                let m = run_sparsecore(&g, app, SparseCoreConfig::with_bandwidth(bw), stride);
+                assert_eq!(m.count, base.count);
+                row.push(format!("{:.2}", base.cycles as f64 / m.cycles.max(1) as f64));
+            }
+            rows.push(row);
+        }
+    }
+    println!("{}", render_table(&header, &rows));
+    println!("\n(paper: diminishing returns beyond ~32 elements/cycle;");
+    println!(" nested-instruction apps T/4C/5C benefit most)");
+}

@@ -1,0 +1,62 @@
+//! Figure 14: the distribution of stream lengths.
+//!
+//! Left panel: CDFs across applications on email-eu-core. Right panel:
+//! triangle counting across all ten graphs (lengths above 500 cut, as in
+//! the paper). Expected shape: clique apps see shorter streams (their
+//! operands are prior intersection results); larger-max-degree datasets
+//! have longer tails.
+//!
+//! Usage: `cargo run --release -p sc-bench --bin fig14_lengths`
+
+use sc_bench::{render_table, run_sparsecore_backend, stride_for};
+use sc_gpm::App;
+use sc_graph::Dataset;
+use sparsecore::SparseCoreConfig;
+
+const POINTS: [u32; 9] = [0, 5, 10, 25, 50, 100, 200, 300, 500];
+
+fn cdf_row(label: String, mut backend_stats: sparsecore::LengthHistogram) -> Vec<String> {
+    let mut row = vec![label];
+    for p in POINTS {
+        row.push(format!("{:.2}", backend_stats.cdf_at(p)));
+    }
+    row.push(format!("{:.1}", backend_stats.mean()));
+    row
+}
+
+fn main() {
+    let header: Vec<String> = std::iter::once("series".to_string())
+        .chain(POINTS.iter().map(|p| format!("<={p}")))
+        .chain(["mean".to_string()])
+        .collect();
+
+    println!("# Figure 14 (left): stream-length CDFs by application on email-eu-core\n");
+    let apps = [
+        App::Triangle,
+        App::ThreeMotif,
+        App::ThreeChain,
+        App::Clique4,
+        App::Clique5,
+        App::TailedTriangle,
+    ];
+    let g = Dataset::EmailEuCore.build();
+    let mut rows = Vec::new();
+    for app in apps {
+        let stride = stride_for(app, Dataset::EmailEuCore);
+        let (_, backend) = run_sparsecore_backend(&g, app, SparseCoreConfig::paper(), stride);
+        rows.push(cdf_row(app.tag().to_string(), backend.engine().stats().lengths.clone()));
+    }
+    println!("{}", render_table(&header, &rows));
+
+    println!("\n# Figure 14 (right): triangle-counting stream-length CDFs by dataset\n");
+    let mut rows = Vec::new();
+    for d in Dataset::ALL {
+        let g = d.build();
+        let stride = stride_for(App::Triangle, d);
+        let (_, backend) =
+            run_sparsecore_backend(&g, App::Triangle, SparseCoreConfig::paper(), stride);
+        rows.push(cdf_row(d.tag().to_string(), backend.engine().stats().lengths.clone()));
+    }
+    println!("{}", render_table(&header, &rows));
+    println!("\n(paper: clique apps skew short; high-max-degree graphs have long tails)");
+}

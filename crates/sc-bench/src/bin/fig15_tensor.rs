@@ -1,0 +1,160 @@
+//! Figure 15: tensor-computation speedups over the CPU baseline.
+//!
+//! (a) spmspm `A*A` under the three dataflows on the eleven Table 5
+//! matrices; (b) TTV and TTM on the two Table 5 tensors. One SU per the
+//! paper's tensor evaluation. Expected shape: inner product gains most
+//! (paper avg 6.9x), then TTM 4.49x, Gustavson 2.78x, TTV 2.44x, outer
+//! product 1.88x; TSOPF towers above the other matrices.
+//!
+//! Usage: `cargo run --release -p sc-bench --bin fig15_tensor
+//! [--matrices C,E,F] [--skip-tensors]`
+
+use sc_bench::{gmean, render_table};
+use sc_kernels::{
+    gustavson_sampled, inner_product, outer_product_sampled, ttm_sampled, ttv_sampled,
+    InnerOptions, ScalarTensorBackend, StreamTensorBackend,
+};
+use sc_tensor::{MatrixDataset, TensorDataset};
+use sparsecore::{Engine, SparseCoreConfig};
+
+fn matrix_filter(args: &[String]) -> Vec<MatrixDataset> {
+    if let Some(pos) = args.iter().position(|a| a == "--matrices") {
+        if let Some(list) = args.get(pos + 1) {
+            let wanted: Vec<&str> = list.split(',').collect();
+            return MatrixDataset::ALL
+                .into_iter()
+                .filter(|m| wanted.contains(&m.tag()))
+                .collect();
+        }
+    }
+    MatrixDataset::ALL.to_vec()
+}
+
+/// Inner product visits all m*n pairs; sample rows on the large matrices.
+fn inner_opts(m: MatrixDataset) -> InnerOptions {
+    let stride = match m.spec().dim {
+        d if d > 9000 => 64,
+        d if d > 4000 => 32,
+        d if d > 2000 => 16,
+        d if d > 1500 => 8,
+        _ => 4,
+    };
+    InnerOptions { row_sample: Some(stride) }
+}
+
+/// Sampling stride for the merge dataflows: 1 (exact) except on the
+/// flop-heavy scaled matrices, whose rows/columns are sampled with the
+/// same stride on both backends (unbiased ratios).
+fn merge_stride(m: MatrixDataset) -> usize {
+    match m {
+        MatrixDataset::Tsopf => 16,
+        MatrixDataset::Gridgena | MatrixDataset::Ex19 => 4,
+        _ => 1,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let matrices = matrix_filter(&args);
+    let skip_tensors = args.iter().any(|a| a == "--skip-tensors");
+    let one_su = SparseCoreConfig::paper_one_su;
+
+    println!("# Figure 15(a): spmspm A*A speedup over CPU, per dataflow\n");
+    let header =
+        vec!["matrix".to_string(), "inner".to_string(), "outer".to_string(), "gustavson".to_string()];
+    let mut rows = Vec::new();
+    let (mut sp_in, mut sp_out, mut sp_gus) = (Vec::new(), Vec::new(), Vec::new());
+    for m in matrices {
+        let a = m.build();
+        let acsc = a.to_csc();
+        let opts = inner_opts(m);
+
+        let cpu_in = inner_product(&a, &acsc, &mut ScalarTensorBackend::new(), opts);
+        let sc_in = inner_product(
+            &a,
+            &acsc,
+            &mut StreamTensorBackend::with_engine(Engine::new(one_su())),
+            opts,
+        );
+        let s_in = cpu_in.cycles as f64 / sc_in.cycles.max(1) as f64;
+
+        let stride = merge_stride(m);
+        let cpu_out = outer_product_sampled(&acsc, &a, &mut ScalarTensorBackend::new(), stride);
+        let sc_out = outer_product_sampled(
+            &acsc,
+            &a,
+            &mut StreamTensorBackend::with_engine(Engine::new(one_su())),
+            stride,
+        );
+        let s_out = cpu_out.cycles as f64 / sc_out.cycles.max(1) as f64;
+
+        let cpu_gus = gustavson_sampled(&a, &a, &mut ScalarTensorBackend::new(), stride);
+        let sc_gus = gustavson_sampled(
+            &a,
+            &a,
+            &mut StreamTensorBackend::with_engine(Engine::new(one_su())),
+            stride,
+        );
+        let s_gus = cpu_gus.cycles as f64 / sc_gus.cycles.max(1) as f64;
+
+        sp_in.push(s_in);
+        sp_out.push(s_out);
+        sp_gus.push(s_gus);
+        rows.push(vec![
+            m.tag().to_string(),
+            format!("{s_in:.2}"),
+            format!("{s_out:.2}"),
+            format!("{s_gus:.2}"),
+        ]);
+        eprintln!("  {}: inner {s_in:.2} outer {s_out:.2} gustavson {s_gus:.2}", m.tag());
+    }
+    rows.push(vec![
+        "gmean".to_string(),
+        format!("{:.2}", gmean(&sp_in)),
+        format!("{:.2}", gmean(&sp_out)),
+        format!("{:.2}", gmean(&sp_gus)),
+    ]);
+    println!("{}", render_table(&header, &rows));
+    println!("(paper: avg 6.9x inner, 1.88x outer, 2.78x Gustavson; TSOPF highest)\n");
+
+    if !skip_tensors {
+        println!("# Figure 15(b): TTV and TTM speedup over CPU\n");
+        let mut rows = Vec::new();
+        for t in TensorDataset::ALL {
+            let a = t.build();
+            let d2 = a.dims()[2];
+            // Fiber sampling keeps the dense-operand dots tractable; both
+            // backends use the same stride. Factor rank 8.
+            let stride = 16usize;
+            let v: Vec<f64> = (0..d2).map(|i| 0.5 + (i % 17) as f64 * 0.1).collect();
+            let cpu_ttv = ttv_sampled(&a, &v, &mut ScalarTensorBackend::new(), stride);
+            let sc_ttv = ttv_sampled(
+                &a,
+                &v,
+                &mut StreamTensorBackend::with_engine(Engine::new(one_su())),
+                stride,
+            );
+            let s_ttv = cpu_ttv.cycles as f64 / sc_ttv.cycles.max(1) as f64;
+
+            let b: Vec<Vec<f64>> = (0..8)
+                .map(|k| (0..d2).map(|l| ((k * 7 + l) % 13) as f64 * 0.1 + 0.5).collect())
+                .collect();
+            let cpu_ttm = ttm_sampled(&a, &b, &mut ScalarTensorBackend::new(), stride);
+            let sc_ttm = ttm_sampled(
+                &a,
+                &b,
+                &mut StreamTensorBackend::with_engine(Engine::new(one_su())),
+                stride,
+            );
+            let s_ttm = cpu_ttm.cycles as f64 / sc_ttm.cycles.max(1) as f64;
+
+            rows.push(vec![t.tag().to_string(), format!("{s_ttv:.2}"), format!("{s_ttm:.2}")]);
+            eprintln!("  {}: ttv {s_ttv:.2} ttm {s_ttm:.2}", t.tag());
+        }
+        println!(
+            "{}",
+            render_table(&["tensor".into(), "TTV".into(), "TTM".into()], &rows)
+        );
+        println!("(paper: avg 2.44x TTV, 4.49x TTM)");
+    }
+}

@@ -1,0 +1,239 @@
+//! Shared experiment harness for the figure-regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see DESIGN.md's experiment index). This library
+//! holds the common plumbing: running an application on every backend,
+//! per-(app, dataset) sampling strides that keep the sweeps tractable,
+//! geometric means, and plain-text table rendering for EXPERIMENTS.md.
+
+use sc_gpm::exec::{self, ScalarBackend, SetBackend, StreamBackend};
+use sc_gpm::App;
+use sc_graph::{CsrGraph, Dataset};
+use sparsecore::{Engine, SparseCoreConfig};
+
+/// One (backend, app, dataset) measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Estimated embedding count (exact when `stride == 1`).
+    pub count: u64,
+    /// Simulated cycles, scaled by the sampling stride.
+    pub cycles: u64,
+    /// The outer-loop sampling stride used.
+    pub stride: usize,
+}
+
+/// The sampling stride for an (app, dataset) pair: 1 (exact) for the
+/// small graphs and cheap apps, larger for the combinations whose full
+/// enumeration would take minutes of host time. Strides scale the
+/// reported cycles back up, so speedup *ratios* stay unbiased (both
+/// backends use the same stride).
+pub fn stride_for(app: App, d: Dataset) -> usize {
+    use Dataset::*;
+    let heavy_app = matches!(
+        app,
+        App::Clique4 | App::Clique4NoNested | App::Clique5 | App::Clique5NoNested
+    );
+    let medium_app = matches!(app, App::TailedTriangle | App::ThreeMotif | App::ThreeChain);
+    match d {
+        Citeseer | Gnutella08 => 1,
+        EmailEuCore | BitcoinAlpha => {
+            if heavy_app {
+                4
+            } else {
+                1
+            }
+        }
+        Haverford76 => {
+            if heavy_app {
+                8
+            } else {
+                1
+            }
+        }
+        WikiVote => {
+            if heavy_app {
+                16
+            } else if medium_app {
+                2
+            } else {
+                1
+            }
+        }
+        Mico => {
+            if heavy_app {
+                16
+            } else if medium_app {
+                4
+            } else {
+                2
+            }
+        }
+        Youtube | Patent => {
+            if heavy_app {
+                16
+            } else {
+                4
+            }
+        }
+        LiveJournal => {
+            if heavy_app {
+                32
+            } else if medium_app {
+                8
+            } else {
+                4
+            }
+        }
+    }
+}
+
+/// Run `app` on the scalar CPU baseline with the given stride.
+pub fn run_cpu(g: &CsrGraph, app: App, stride: usize) -> Measurement {
+    let mut backend = ScalarBackend::new(g);
+    let mut count = 0;
+    for plan in app.plans() {
+        let (est, _) = exec::count_sampled(g, &plan, &mut backend, stride);
+        count += est;
+    }
+    let cycles = backend.finish() * stride as u64;
+    Measurement { count, cycles, stride }
+}
+
+/// Run `app` on SparseCore with the given configuration and stride.
+pub fn run_sparsecore(
+    g: &CsrGraph,
+    app: App,
+    cfg: SparseCoreConfig,
+    stride: usize,
+) -> Measurement {
+    let mut backend = StreamBackend::with_engine(g, Engine::new(cfg), app.uses_nested());
+    let mut count = 0;
+    for plan in app.plans() {
+        let (est, _) = exec::count_sampled(g, &plan, &mut backend, stride);
+        count += est;
+    }
+    let cycles = backend.finish() * stride as u64;
+    Measurement { count, cycles, stride }
+}
+
+/// Run `app` on SparseCore and return the backend for stats inspection.
+pub fn run_sparsecore_backend(
+    g: &CsrGraph,
+    app: App,
+    cfg: SparseCoreConfig,
+    stride: usize,
+) -> (Measurement, StreamBackend<'_>) {
+    let mut backend = StreamBackend::with_engine(g, Engine::new(cfg), app.uses_nested());
+    let mut count = 0;
+    for plan in app.plans() {
+        let (est, _) = exec::count_sampled(g, &plan, &mut backend, stride);
+        count += est;
+    }
+    let cycles = backend.finish() * stride as u64;
+    (Measurement { count, cycles, stride }, backend)
+}
+
+/// Geometric mean of a non-empty slice (1.0 for an empty one).
+pub fn gmean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Render a plain-text table: header row then aligned columns.
+pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(header, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a `--datasets C,E,W` style CLI filter against Table 4 tags;
+/// `None` means "no filter".
+pub fn dataset_filter(args: &[String]) -> Option<Vec<Dataset>> {
+    let pos = args.iter().position(|a| a == "--datasets")?;
+    let list = args.get(pos + 1)?;
+    let wanted: Vec<&str> = list.split(',').collect();
+    Some(
+        Dataset::ALL
+            .into_iter()
+            .filter(|d| wanted.contains(&d.tag()))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmean_basics() {
+        assert!((gmean(&[4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(gmean(&[]), 1.0);
+        assert!((gmean(&[8.0]) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_table_aligns() {
+        let t = render_table(
+            &["app".into(), "speedup".into()],
+            &[vec!["T".into(), "13.5".into()], vec!["4C".into(), "7.2".into()]],
+        );
+        assert!(t.contains("app"));
+        assert!(t.lines().count() == 4);
+    }
+
+    #[test]
+    fn strides_are_sane() {
+        for app in App::FIG8 {
+            for d in Dataset::ALL {
+                let s = stride_for(app, d);
+                assert!(s >= 1 && s <= 32);
+            }
+        }
+        // Small graphs with cheap apps are exact.
+        assert_eq!(stride_for(App::Triangle, Dataset::Citeseer), 1);
+    }
+
+    #[test]
+    fn sampled_run_is_consistent() {
+        let g = Dataset::Citeseer.build();
+        let exact = run_cpu(&g, App::Triangle, 1);
+        assert_eq!(exact.count, App::Triangle.run_reference(&g));
+        let sampled = run_cpu(&g, App::Triangle, 4);
+        // The estimate should land within a factor ~2 on this graph.
+        let ratio = sampled.count.max(1) as f64 / exact.count.max(1) as f64;
+        assert!((0.3..3.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn dataset_filter_parses() {
+        let args: Vec<String> =
+            vec!["prog".into(), "--datasets".into(), "E,W".into()];
+        let f = dataset_filter(&args).unwrap();
+        assert_eq!(f.len(), 2);
+        assert!(dataset_filter(&["prog".to_string()]).is_none());
+    }
+}

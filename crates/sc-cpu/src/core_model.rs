@@ -1,0 +1,410 @@
+//! The event-driven out-of-order core timing model.
+//!
+//! The functional workload narrates its execution to the [`Core`] as a
+//! stream of micro-architectural events (compute ops, branches with real
+//! outcomes, loads/stores with real addresses). The core converts those
+//! events into cycles under a zSim-style approximation of an out-of-order
+//! pipeline:
+//!
+//! * independent ops retire at the issue width;
+//! * dependent op chains serialize (one per cycle);
+//! * correctly-predicted branches cost an issue slot, mispredicted ones add
+//!   the full pipeline-refill penalty;
+//! * independent loads overlap with each other up to the load-queue depth
+//!   (memory-level parallelism), paying only the *exposed* latency;
+//! * dependent (`load_use`) loads expose their full beyond-L1 latency.
+
+use crate::breakdown::{Breakdown, Region};
+use crate::predictor::Gshare;
+use sc_mem::{Addr, Cycle, HierarchyConfig, MemoryHierarchy};
+use std::collections::VecDeque;
+
+/// Configuration of the core model (paper Table 2 plus standard OoO
+/// parameters zSim would use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Superscalar issue width (micro-ops per cycle).
+    pub issue_width: u32,
+    /// Reorder-buffer capacity (bounds total in-flight work).
+    pub rob_size: u32,
+    /// Load-queue depth (bounds overlapping loads). Paper Table 2: 32.
+    pub load_queue: u32,
+    /// Pipeline-refill penalty for a mispredicted branch.
+    pub mispredict_penalty: Cycle,
+    /// Branch-predictor global history bits.
+    pub predictor_bits: u32,
+    /// Memory hierarchy parameters.
+    pub mem: HierarchyConfig,
+}
+
+impl CoreConfig {
+    /// The paper's configuration: ROB 128, load queue 32, caches of
+    /// Table 2, 4-wide issue, 14-cycle mispredict penalty.
+    pub fn paper() -> Self {
+        CoreConfig {
+            issue_width: 4,
+            rob_size: 128,
+            load_queue: 32,
+            mispredict_penalty: 14,
+            predictor_bits: 12,
+            mem: HierarchyConfig::paper(),
+        }
+    }
+
+    /// Small configuration for unit tests.
+    pub fn tiny() -> Self {
+        CoreConfig {
+            issue_width: 2,
+            rob_size: 16,
+            load_queue: 4,
+            mispredict_penalty: 8,
+            predictor_bits: 8,
+            mem: HierarchyConfig::tiny(),
+        }
+    }
+}
+
+/// Aggregate statistics exposed by the core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Micro-ops issued.
+    pub uops: u64,
+    /// Conditional branches executed.
+    pub branches: u64,
+    /// Branch mispredictions.
+    pub mispredicts: u64,
+    /// Loads issued.
+    pub loads: u64,
+    /// Stores issued.
+    pub stores: u64,
+}
+
+/// The out-of-order core timing model.
+///
+/// See the crate docs for the modeling philosophy. All methods advance the
+/// core's internal cycle count; [`Core::cycles`] reads it back and
+/// [`Core::breakdown`] splits it into the paper's Figure 9 buckets.
+#[derive(Debug, Clone)]
+pub struct Core {
+    config: CoreConfig,
+    mem: MemoryHierarchy,
+    predictor: Gshare,
+    cycle: Cycle,
+    /// Completion times of outstanding (overlappable) loads.
+    outstanding: VecDeque<Cycle>,
+    region: Region,
+    breakdown: Breakdown,
+    stats: CoreStats,
+    /// Fractional issue-slot accumulator (ops not yet forming a full cycle).
+    slack_uops: u64,
+}
+
+impl Core {
+    /// Create a core with cold caches and an untrained predictor.
+    pub fn new(config: CoreConfig) -> Self {
+        Core {
+            config,
+            mem: MemoryHierarchy::new(config.mem),
+            predictor: Gshare::new(config.predictor_bits),
+            cycle: 0,
+            outstanding: VecDeque::new(),
+            region: Region::Other,
+            breakdown: Breakdown::default(),
+            stats: CoreStats::default(),
+            slack_uops: 0,
+        }
+    }
+
+    /// The configuration this core was built with.
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// Total cycles elapsed.
+    pub fn cycles(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Cycle-accounting buckets.
+    pub fn breakdown(&self) -> &Breakdown {
+        &self.breakdown
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// The memory hierarchy (for inspecting cache statistics).
+    pub fn mem(&self) -> &MemoryHierarchy {
+        &self.mem
+    }
+
+    /// Mutable access to the hierarchy (the SparseCore engine shares it for
+    /// S-Cache refills and value loads).
+    pub fn mem_mut(&mut self) -> &mut MemoryHierarchy {
+        &mut self.mem
+    }
+
+    /// Set the attribution region for subsequent compute cycles; returns
+    /// the previous region so callers can restore it.
+    pub fn set_region(&mut self, region: Region) -> Region {
+        std::mem::replace(&mut self.region, region)
+    }
+
+    /// Current attribution region.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    #[inline]
+    fn advance(&mut self, cycles: Cycle, bucket: impl FnOnce(&mut Breakdown, u64)) {
+        self.cycle += cycles;
+        bucket(&mut self.breakdown, cycles);
+    }
+
+    /// Issue `n` *independent* micro-ops: they retire at the issue width.
+    pub fn ops(&mut self, n: u64) {
+        self.stats.uops += n;
+        let total = self.slack_uops + n;
+        let width = u64::from(self.config.issue_width);
+        let cycles = total / width;
+        self.slack_uops = total % width;
+        if cycles > 0 {
+            let region = self.region;
+            self.advance(cycles, |b, c| b.add_compute(region, c));
+        }
+    }
+
+    /// Issue `n` *serially dependent* micro-ops (a dependence chain): one
+    /// cycle each.
+    pub fn dependent_ops(&mut self, n: u64) {
+        self.stats.uops += n;
+        let region = self.region;
+        self.advance(n, |b, c| b.add_compute(region, c));
+    }
+
+    /// Execute a conditional branch at `pc` whose real outcome was `taken`.
+    /// Charges one issue slot, plus the refill penalty on a mispredict.
+    pub fn branch(&mut self, pc: Addr, taken: bool) {
+        self.stats.branches += 1;
+        self.ops(1);
+        if !self.predictor.predict_and_update(pc, taken) {
+            self.stats.mispredicts += 1;
+            let penalty = self.config.mispredict_penalty;
+            self.advance(penalty, |b, c| b.mispredict += c);
+        }
+    }
+
+    /// Issue a load whose consumer is far away: it overlaps with other
+    /// work and other loads (up to the load-queue depth). Only queue-full
+    /// pressure is exposed as stall.
+    pub fn load(&mut self, addr: Addr) {
+        self.stats.loads += 1;
+        self.ops(1);
+        // Retire completed loads.
+        while let Some(&front) = self.outstanding.front() {
+            if front <= self.cycle {
+                self.outstanding.pop_front();
+            } else {
+                break;
+            }
+        }
+        // Queue full: stall until the oldest completes.
+        if self.outstanding.len() >= self.config.load_queue as usize {
+            let oldest = self.outstanding.pop_front().expect("non-empty queue");
+            if oldest > self.cycle {
+                let stall = oldest - self.cycle;
+                self.advance(stall, |b, c| b.cache += c);
+            }
+        }
+        let result = self.mem.load(addr);
+        self.outstanding.push_back(self.cycle + result.latency);
+    }
+
+    /// Issue a load whose value is needed immediately (pointer chase /
+    /// data-dependent compare). The beyond-L1 latency is exposed as a
+    /// cache stall; an L1 hit is hidden by the pipeline.
+    pub fn load_use(&mut self, addr: Addr) {
+        self.stats.loads += 1;
+        self.ops(1);
+        let result = self.mem.load(addr);
+        let hidden = self.config.mem.l1.latency;
+        if result.latency > hidden {
+            let stall = result.latency - hidden;
+            self.advance(stall, |b, c| b.cache += c);
+        }
+    }
+
+    /// Issue a store (write-allocate; does not stall the core).
+    pub fn store(&mut self, addr: Addr) {
+        self.stats.stores += 1;
+        self.ops(1);
+        self.mem.store(addr);
+    }
+
+    /// Stall the core for `cycles`, attributed to cache (used by the
+    /// SparseCore engine when the core blocks on a stream result).
+    pub fn stall_memory(&mut self, cycles: Cycle) {
+        self.advance(cycles, |b, c| b.cache += c);
+    }
+
+    /// Add cycles spent busy in a Stream Unit set operation (used by the
+    /// SparseCore engine: Figure 10's "Intersection" bucket).
+    pub fn add_intersection_cycles(&mut self, cycles: Cycle) {
+        self.advance(cycles, |b, c| b.intersection += c);
+    }
+
+    /// Advance the core's clock to at least `t` without attributing cycles
+    /// to any bucket beyond cache stall (waiting on an event).
+    pub fn wait_until(&mut self, t: Cycle) {
+        if t > self.cycle {
+            let stall = t - self.cycle;
+            self.advance(stall, |b, c| b.cache += c);
+        }
+    }
+
+    /// Branch-predictor mispredict rate observed so far.
+    pub fn mispredict_rate(&self) -> f64 {
+        self.predictor.mispredict_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_respect_issue_width() {
+        let mut core = Core::new(CoreConfig::tiny()); // width 2
+        core.ops(10);
+        assert_eq!(core.cycles(), 5);
+        assert_eq!(core.breakdown().other_compute, 5);
+    }
+
+    #[test]
+    fn slack_accumulates_partial_cycles() {
+        let mut core = Core::new(CoreConfig::tiny());
+        core.ops(1); // half a cycle of width-2 issue: no full cycle yet
+        assert_eq!(core.cycles(), 0);
+        core.ops(1);
+        assert_eq!(core.cycles(), 1);
+    }
+
+    #[test]
+    fn dependent_ops_serialize() {
+        let mut core = Core::new(CoreConfig::tiny());
+        core.dependent_ops(10);
+        assert_eq!(core.cycles(), 10);
+    }
+
+    #[test]
+    fn mispredict_charges_penalty() {
+        let mut core = Core::new(CoreConfig::tiny());
+        // Alternate outcomes at one PC with a cold predictor: plenty of
+        // mispredicts, each costing 8 cycles in the mispredict bucket.
+        for i in 0..20 {
+            core.branch(0x10, i % 3 == 0);
+        }
+        assert!(core.stats().mispredicts > 0);
+        assert_eq!(
+            core.breakdown().mispredict,
+            core.stats().mispredicts * core.config().mispredict_penalty
+        );
+    }
+
+    #[test]
+    fn well_predicted_branches_cost_issue_only() {
+        let mut core = Core::new(CoreConfig::tiny());
+        for _ in 0..1000 {
+            core.branch(0x20, true);
+        }
+        // After warm-up, mispredicts are rare: cycles ≈ 1000 / width.
+        assert!(core.cycles() < 600, "cycles={}", core.cycles());
+    }
+
+    #[test]
+    fn load_use_exposes_miss_latency() {
+        let mut core = Core::new(CoreConfig::tiny());
+        core.load_use(0x5000); // cold miss: exposes L2+L3+DRAM latency
+        let cold = core.breakdown().cache;
+        assert!(cold >= 50, "cold stall={cold}");
+        core.load_use(0x5000); // L1 hit: hidden
+        assert_eq!(core.breakdown().cache, cold);
+    }
+
+    #[test]
+    fn independent_loads_overlap() {
+        let mut a = Core::new(CoreConfig::tiny());
+        for i in 0..4u64 {
+            a.load(0x10_000 + i * 4096); // distinct cold lines, LQ holds 4
+        }
+        let overlapped = a.cycles();
+        let mut b = Core::new(CoreConfig::tiny());
+        for i in 0..4u64 {
+            b.load_use(0x10_000 + i * 4096);
+        }
+        let serialized = b.cycles();
+        assert!(
+            overlapped * 2 < serialized,
+            "overlapped={overlapped} serialized={serialized}"
+        );
+    }
+
+    #[test]
+    fn load_queue_pressure_stalls() {
+        let mut core = Core::new(CoreConfig::tiny()); // LQ depth 4
+        for i in 0..64u64 {
+            core.load(0x100_000 + i * 4096); // all cold misses
+        }
+        // With only 4 outstanding, the core must have stalled on queue-full.
+        assert!(core.breakdown().cache > 0);
+    }
+
+    #[test]
+    fn region_routes_compute() {
+        let mut core = Core::new(CoreConfig::tiny());
+        core.ops(4);
+        let prev = core.set_region(Region::Intersection);
+        assert_eq!(prev, Region::Other);
+        core.ops(4);
+        core.set_region(prev);
+        assert_eq!(core.breakdown().other_compute, 2);
+        assert_eq!(core.breakdown().intersection, 2);
+    }
+
+    #[test]
+    fn wait_until_is_monotonic() {
+        let mut core = Core::new(CoreConfig::tiny());
+        core.wait_until(100);
+        assert_eq!(core.cycles(), 100);
+        core.wait_until(50); // no-op
+        assert_eq!(core.cycles(), 100);
+    }
+
+    #[test]
+    fn stats_count_events() {
+        let mut core = Core::new(CoreConfig::tiny());
+        core.ops(3);
+        core.branch(0, true);
+        core.load(64);
+        core.load_use(128);
+        core.store(192);
+        let s = core.stats();
+        assert_eq!(s.uops, 3 + 1 + 1 + 1 + 1);
+        assert_eq!(s.branches, 1);
+        assert_eq!(s.loads, 2);
+        assert_eq!(s.stores, 1);
+    }
+
+    #[test]
+    fn breakdown_total_matches_cycles() {
+        let mut core = Core::new(CoreConfig::tiny());
+        for i in 0..100u64 {
+            core.ops(3);
+            core.branch(0x40, i % 7 == 0);
+            core.load_use(i * 64);
+        }
+        assert_eq!(core.breakdown().total(), core.cycles());
+    }
+}

@@ -1,0 +1,123 @@
+//! Inclusion–exclusion pattern counting — the flexibility demonstration.
+//!
+//! The paper's introduction argues that a fixed-function accelerator like
+//! FlexMiner cannot adopt new algorithmic optimizations, citing GraphPi's
+//! inclusion–exclusion principle (IEP) counting (up to 1110x faster for
+//! some patterns), while SparseCore runs it as ordinary software over the
+//! same stream ISA. This module implements the optimization for
+//! three-chain and 3-motif counting:
+//!
+//! * vertex-induced three-chains = open wedges
+//!   `= Σ_v C(deg(v), 2) − 3 · triangles` — so instead of enumerating
+//!   every wedge and subtracting its closing edge (a subtraction per
+//!   wedge!), the program reads the degree array once and runs only the
+//!   triangle count (which `S_NESTINTER` already makes cheap);
+//! * 3-motifs = chains + triangles, obtained from the same two terms.
+//!
+//! Both backends can run it — the point is that no hardware change was
+//! needed to pick up the asymptotically better algorithm.
+
+use crate::exec::{self, ScalarBackend, SetBackend, StreamBackend};
+use crate::pattern::Pattern;
+use crate::plan::{Induced, Plan};
+use sc_graph::CsrGraph;
+use sparsecore::{Engine, SparseCoreConfig};
+
+/// Result of an IEP-optimized counting run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IepRun {
+    /// Three-chain (open wedge) count.
+    pub three_chains: u64,
+    /// Triangle count.
+    pub triangles: u64,
+    /// Simulated cycles.
+    pub cycles: u64,
+}
+
+/// Count three-chains (and triangles) by inclusion–exclusion on the given
+/// backend: one pass over the degree array plus a triangle count.
+pub fn count_with_backend<B: SetBackend>(g: &CsrGraph, backend: &mut B) -> IepRun {
+    // Triangle enumeration (the only enumerated term).
+    let plan = Plan::compile(&Pattern::triangle(), &[0, 1, 2], Induced::Vertex);
+    let triangles = exec::count(g, &plan, backend);
+
+    // Σ_v C(deg(v), 2): a streaming pass over the vertex array.
+    let mut wedges = 0u64;
+    for v in g.vertices() {
+        backend.loop_branch(0x600, true);
+        backend.ops(3); // degree load + multiply + accumulate
+        let d = g.degree(v) as u64;
+        wedges += d * d.saturating_sub(1) / 2;
+    }
+    backend.loop_branch(0x600, false);
+
+    IepRun {
+        three_chains: wedges - 3 * triangles,
+        triangles,
+        cycles: backend.finish(),
+    }
+}
+
+/// IEP counting on the CPU baseline.
+pub fn count_scalar(g: &CsrGraph) -> IepRun {
+    let mut backend = ScalarBackend::new(g);
+    count_with_backend(g, &mut backend)
+}
+
+/// IEP counting on SparseCore.
+pub fn count_stream(g: &CsrGraph, cfg: SparseCoreConfig) -> IepRun {
+    let mut backend = StreamBackend::with_engine(g, Engine::new(cfg), true);
+    count_with_backend(g, &mut backend)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::App;
+    use sc_graph::generators::uniform_graph;
+
+    #[test]
+    fn iep_matches_enumeration() {
+        let g = uniform_graph(60, 400, 13);
+        let iep = count_stream(&g, SparseCoreConfig::paper());
+        assert_eq!(iep.triangles, App::Triangle.run_reference(&g));
+        assert_eq!(iep.three_chains, App::ThreeChain.run_reference(&g));
+        let scalar = count_scalar(&g);
+        assert_eq!(scalar.three_chains, iep.three_chains);
+    }
+
+    #[test]
+    fn iep_is_faster_than_enumerating_chains() {
+        // The software-level optimization beats the enumeration-based TC
+        // on the same hardware — no hardware change involved. The win
+        // appears on skewed graphs, where hub wedges explode (C(d,2) per
+        // hub) but the IEP needs only the (bounded, nested) triangle term.
+        use sc_graph::generators::{powerlaw_graph, PowerLawConfig};
+        let g = powerlaw_graph(PowerLawConfig {
+            num_vertices: 1500,
+            num_edges: 6000,
+            max_degree: 500,
+            seed: 14,
+        });
+        let enumerated = App::ThreeChain.run_stream(&g, SparseCoreConfig::paper());
+        let iep = count_stream(&g, SparseCoreConfig::paper());
+        assert_eq!(
+            iep.three_chains, enumerated.count,
+            "both methods agree on the count"
+        );
+        assert!(
+            iep.cycles < enumerated.cycles,
+            "IEP {} should beat enumeration {}",
+            iep.cycles,
+            enumerated.cycles
+        );
+    }
+
+    #[test]
+    fn motif_decomposition_consistent() {
+        let g = uniform_graph(50, 300, 15);
+        let iep = count_stream(&g, SparseCoreConfig::paper());
+        let tm = App::ThreeMotif.run_reference(&g);
+        assert_eq!(iep.three_chains + iep.triangles, tm);
+    }
+}

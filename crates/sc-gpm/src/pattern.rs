@@ -1,0 +1,386 @@
+//! Pattern graphs: the small graphs GPM searches for.
+
+use std::fmt;
+
+/// A connected pattern graph on at most 8 vertices, stored as a bit
+/// adjacency matrix.
+///
+/// # Example
+///
+/// ```
+/// use sc_gpm::Pattern;
+///
+/// let tri = Pattern::triangle();
+/// assert_eq!(tri.num_vertices(), 3);
+/// assert!(tri.has_edge(0, 1) && tri.has_edge(1, 2) && tri.has_edge(0, 2));
+/// assert_eq!(tri.automorphisms().len(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Pattern {
+    n: usize,
+    /// `adj[v]` is a bitmask of `v`'s neighbors.
+    adj: [u8; 8],
+}
+
+impl Pattern {
+    /// Build from an edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or exceeds 8, on out-of-range endpoints, or on
+    /// self-loops.
+    pub fn new(n: usize, edges: &[(usize, usize)]) -> Self {
+        assert!((1..=8).contains(&n), "patterns are 1..=8 vertices, got {n}");
+        let mut adj = [0u8; 8];
+        for &(u, v) in edges {
+            assert!(u < n && v < n, "edge ({u},{v}) out of range");
+            assert_ne!(u, v, "self-loop ({u},{v})");
+            adj[u] |= 1 << v;
+            adj[v] |= 1 << u;
+        }
+        Pattern { n, adj }
+    }
+
+    /// The triangle (3-clique).
+    pub fn triangle() -> Self {
+        Pattern::clique(3)
+    }
+
+    /// The 3-chain (path on three vertices, center listed first so the
+    /// default matching order starts at the center).
+    pub fn three_chain() -> Self {
+        Pattern::new(3, &[(0, 1), (0, 2)])
+    }
+
+    /// The tailed triangle of paper Figure 2: triangle {0, 1, 2} with a
+    /// tail vertex 3 attached to vertex 1.
+    pub fn tailed_triangle() -> Self {
+        Pattern::new(4, &[(0, 1), (1, 2), (0, 2), (1, 3)])
+    }
+
+    /// The `k`-clique.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or exceeds 8.
+    pub fn clique(k: usize) -> Self {
+        let mut edges = Vec::new();
+        for u in 0..k {
+            for v in (u + 1)..k {
+                edges.push((u, v));
+            }
+        }
+        Pattern::new(k, &edges)
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        (0..self.n).map(|v| self.adj[v].count_ones() as usize).sum::<usize>() / 2
+    }
+
+    /// Is (u, v) an edge?
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u < self.n && v < self.n && (self.adj[u] >> v) & 1 == 1
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].count_ones() as usize
+    }
+
+    /// Neighbors of `v` in ascending order.
+    pub fn neighbors(&self, v: usize) -> Vec<usize> {
+        (0..self.n).filter(|&u| self.has_edge(v, u)).collect()
+    }
+
+    /// Is the pattern connected? (Single vertices count as connected.)
+    pub fn is_connected(&self) -> bool {
+        if self.n == 0 {
+            return false;
+        }
+        let mut seen = 1u8; // vertex 0
+        let mut frontier = vec![0usize];
+        while let Some(v) = frontier.pop() {
+            for u in self.neighbors(v) {
+                if (seen >> u) & 1 == 0 {
+                    seen |= 1 << u;
+                    frontier.push(u);
+                }
+            }
+        }
+        seen.count_ones() as usize == self.n
+    }
+
+    /// All automorphisms, as permutations `perm` with `perm[v]` the image
+    /// of vertex `v`.
+    pub fn automorphisms(&self) -> Vec<Vec<usize>> {
+        let mut result = Vec::new();
+        let mut perm: Vec<usize> = (0..self.n).collect();
+        self.permute_all(&mut perm, 0, &mut result);
+        result
+    }
+
+    fn permute_all(&self, perm: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+        if k == self.n {
+            if self.is_automorphism(perm) {
+                out.push(perm.clone());
+            }
+            return;
+        }
+        for i in k..self.n {
+            perm.swap(k, i);
+            // Degree pruning: an automorphism preserves degree.
+            if self.degree(k) == self.degree(perm[k]) {
+                self.permute_all(perm, k + 1, out);
+            }
+            perm.swap(k, i);
+        }
+    }
+
+    fn is_automorphism(&self, perm: &[usize]) -> bool {
+        for u in 0..self.n {
+            for v in (u + 1)..self.n {
+                if self.has_edge(u, v) != self.has_edge(perm[u], perm[v]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// A canonical label invariant under isomorphism (minimum adjacency
+    /// encoding over all permutations) — used to group labeled FSM
+    /// patterns and to deduplicate motif shapes.
+    pub fn canonical_code(&self) -> u64 {
+        let mut best = u64::MAX;
+        let mut perm: Vec<usize> = (0..self.n).collect();
+        self.canon_rec(&mut perm, 0, &mut best);
+        best
+    }
+
+    fn canon_rec(&self, perm: &mut Vec<usize>, k: usize, best: &mut u64) {
+        if k == self.n {
+            let mut code = 0u64;
+            for u in 0..self.n {
+                for v in (u + 1)..self.n {
+                    code = (code << 1) | u64::from(self.has_edge(perm[u], perm[v]));
+                }
+            }
+            *best = (*best).min(code);
+            return;
+        }
+        for i in k..self.n {
+            perm.swap(k, i);
+            self.canon_rec(perm, k + 1, best);
+            perm.swap(k, i);
+        }
+    }
+
+    /// All connected patterns with exactly `k` vertices, one per
+    /// isomorphism class (the shapes a `k`-motif count enumerates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or exceeds 5 (the motif sizes the paper uses).
+    pub fn connected_of_size(k: usize) -> Vec<Pattern> {
+        assert!((1..=5).contains(&k), "motif sizes 1..=5 supported, got {k}");
+        let pairs: Vec<(usize, usize)> =
+            (0..k).flat_map(|u| ((u + 1)..k).map(move |v| (u, v))).collect();
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for mask in 0u32..(1 << pairs.len()) {
+            let edges: Vec<(usize, usize)> = pairs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (mask >> i) & 1 == 1)
+                .map(|(_, &e)| e)
+                .collect();
+            if edges.len() < k.saturating_sub(1) {
+                continue; // cannot be connected
+            }
+            let p = Pattern::new(k, &edges);
+            if p.is_connected() && seen.insert(p.canonical_code()) {
+                out.push(p);
+            }
+        }
+        out
+    }
+}
+
+/// Error parsing a pattern specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePatternError {
+    /// Explanation of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParsePatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad pattern spec: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParsePatternError {}
+
+impl std::str::FromStr for Pattern {
+    type Err = ParsePatternError;
+
+    /// Parse a pattern specification: comma- or whitespace-separated
+    /// edges written `u-v`, e.g. the tailed triangle is
+    /// `"0-1,1-2,0-2,1-3"`. Vertices are numbered densely from 0.
+    ///
+    /// ```
+    /// use sc_gpm::Pattern;
+    ///
+    /// let p: Pattern = "0-1,1-2,0-2".parse()?;
+    /// assert_eq!(p.canonical_code(), Pattern::triangle().canonical_code());
+    /// # Ok::<(), sc_gpm::pattern::ParsePatternError>(())
+    /// ```
+    fn from_str(spec: &str) -> Result<Self, ParsePatternError> {
+        let mut edges = Vec::new();
+        let mut max_v = 0usize;
+        for tok in spec.split([',', ' ', '\t']).filter(|t| !t.trim().is_empty()) {
+            let (u, v) = tok
+                .trim()
+                .split_once('-')
+                .ok_or_else(|| ParsePatternError { message: format!("edge `{tok}` is not `u-v`") })?;
+            let u: usize = u.trim().parse().map_err(|_| ParsePatternError {
+                message: format!("bad vertex in `{tok}`"),
+            })?;
+            let v: usize = v.trim().parse().map_err(|_| ParsePatternError {
+                message: format!("bad vertex in `{tok}`"),
+            })?;
+            if u == v {
+                return Err(ParsePatternError { message: format!("self-loop `{tok}`") });
+            }
+            max_v = max_v.max(u).max(v);
+            edges.push((u, v));
+        }
+        if edges.is_empty() {
+            return Err(ParsePatternError { message: "no edges".into() });
+        }
+        let n = max_v + 1;
+        if n > 8 {
+            return Err(ParsePatternError { message: format!("{n} vertices exceeds the 8-vertex limit") });
+        }
+        let p = Pattern::new(n, &edges);
+        if !p.is_connected() {
+            return Err(ParsePatternError { message: "pattern must be connected".into() });
+        }
+        Ok(p)
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pattern(n={}, edges=[", self.n)?;
+        let mut first = true;
+        for u in 0..self.n {
+            for v in (u + 1)..self.n {
+                if self.has_edge(u, v) {
+                    if !first {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{u}-{v}")?;
+                    first = false;
+                }
+            }
+        }
+        write!(f, "])")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Pattern::triangle().num_edges(), 3);
+        assert_eq!(Pattern::three_chain().num_edges(), 2);
+        assert_eq!(Pattern::tailed_triangle().num_edges(), 4);
+        assert_eq!(Pattern::clique(5).num_edges(), 10);
+    }
+
+    #[test]
+    fn automorphism_counts() {
+        // Known automorphism group sizes.
+        assert_eq!(Pattern::triangle().automorphisms().len(), 6); // S3
+        assert_eq!(Pattern::clique(4).automorphisms().len(), 24); // S4
+        assert_eq!(Pattern::three_chain().automorphisms().len(), 2); // swap leaves
+        assert_eq!(Pattern::tailed_triangle().automorphisms().len(), 2); // swap 0,2
+    }
+
+    #[test]
+    fn automorphisms_are_valid() {
+        for p in [Pattern::tailed_triangle(), Pattern::three_chain(), Pattern::clique(4)] {
+            for a in p.automorphisms() {
+                for u in 0..p.num_vertices() {
+                    for v in 0..p.num_vertices() {
+                        if u != v {
+                            assert_eq!(p.has_edge(u, v), p.has_edge(a[u], a[v]));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(Pattern::triangle().is_connected());
+        assert!(!Pattern::new(3, &[(0, 1)]).is_connected());
+        assert!(Pattern::new(1, &[]).is_connected());
+    }
+
+    #[test]
+    fn canonical_code_is_isomorphism_invariant() {
+        // The same chain with different vertex numbering.
+        let a = Pattern::new(3, &[(0, 1), (0, 2)]);
+        let b = Pattern::new(3, &[(1, 0), (1, 2)]);
+        let c = Pattern::new(3, &[(2, 0), (2, 1)]);
+        assert_eq!(a.canonical_code(), b.canonical_code());
+        assert_eq!(b.canonical_code(), c.canonical_code());
+        assert_ne!(a.canonical_code(), Pattern::triangle().canonical_code());
+    }
+
+    #[test]
+    fn motif_shape_counts_match_literature() {
+        // Connected graphs on k vertices up to isomorphism:
+        // k=3: 2 (chain, triangle); k=4: 6; k=5: 21.
+        assert_eq!(Pattern::connected_of_size(3).len(), 2);
+        assert_eq!(Pattern::connected_of_size(4).len(), 6);
+        assert_eq!(Pattern::connected_of_size(5).len(), 21);
+    }
+
+    #[test]
+    fn display_lists_edges() {
+        let s = Pattern::triangle().to_string();
+        assert!(s.contains("0-1"));
+        assert!(s.contains("1-2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_rejected() {
+        Pattern::new(2, &[(0, 0)]);
+    }
+
+    #[test]
+    fn parse_specifications() {
+        let tri: Pattern = "0-1,1-2,0-2".parse().unwrap();
+        assert_eq!(tri, Pattern::triangle());
+        let tt: Pattern = "0-1 1-2 0-2 1-3".parse().unwrap();
+        assert_eq!(tt.canonical_code(), Pattern::tailed_triangle().canonical_code());
+        assert!("".parse::<Pattern>().is_err());
+        assert!("0-0".parse::<Pattern>().is_err());
+        assert!("0-1,3-4".parse::<Pattern>().is_err()); // disconnected
+        assert!("0-x".parse::<Pattern>().is_err());
+        assert!("0-9".parse::<Pattern>().is_err()); // too many vertices
+    }
+}

@@ -1,0 +1,341 @@
+//! The GPM compiler: pattern → per-level enumeration plan (Section 5.3).
+//!
+//! Pattern enumeration is a nested loop: level `l` extends the current
+//! partial embedding with a vertex drawn from a *candidate set* built with
+//! set operations over earlier vertices' neighbor lists —
+//!
+//! * intersect `N(v_j)` for every earlier pattern vertex `j` adjacent to
+//!   the level's pattern vertex;
+//! * for vertex-induced patterns, subtract `N(v_j)` for every earlier
+//!   non-adjacent vertex;
+//! * apply the symmetry-breaking upper bounds (bounded intersection);
+//! * exclude earlier matched vertices that the set algebra cannot have
+//!   removed.
+//!
+//! [`Plan::compile`] performs this analysis once per pattern;
+//! [`Plan::emit_program`] prints the stream-ISA loop body the plan
+//! corresponds to (what the paper's compiler would emit).
+
+use crate::pattern::Pattern;
+use crate::symmetry::{restrictions, Restriction};
+use sc_isa::{Bound, Instr, Priority, Program, StreamId};
+
+/// Vertex- vs edge-induced matching semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Induced {
+    /// Embeddings must preserve non-edges too (the paper's TC/TM/TT).
+    Vertex,
+    /// Embeddings only need the pattern's edges (cliques are identical
+    /// under both semantics).
+    Edge,
+}
+
+/// The set operations building one level's candidate set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelPlan {
+    /// Earlier levels whose neighbor lists are intersected.
+    pub connected: Vec<usize>,
+    /// Earlier levels whose neighbor lists are subtracted (vertex-induced).
+    pub disconnected: Vec<usize>,
+    /// Earlier levels whose matched vertex upper-bounds this level
+    /// (symmetry breaking; the runtime bound is the minimum of their
+    /// values).
+    pub bounds: Vec<usize>,
+    /// Like `bounds`, but applied as a *post-filter* on fully-computed
+    /// candidate sets instead of early-terminating the set operation —
+    /// the unoptimized Figure 2(a) scheme, kept for the bounded-
+    /// intersection ablation.
+    pub filters: Vec<usize>,
+    /// Earlier levels whose matched vertex must be explicitly excluded
+    /// from the candidates (not already removed by the set algebra).
+    pub excludes: Vec<usize>,
+}
+
+/// A compiled enumeration plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan {
+    pattern: Pattern,
+    order: Vec<usize>,
+    induced: Induced,
+    levels: Vec<LevelPlan>,
+    restrictions: Vec<Restriction>,
+}
+
+impl Plan {
+    /// Compile `pattern` with the given matching order and semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation, or if a non-initial level's
+    /// pattern vertex has no earlier neighbor (the order must keep the
+    /// matched prefix connected).
+    pub fn compile(pattern: &Pattern, order: &[usize], induced: Induced) -> Plan {
+        Plan::compile_opts(pattern, order, induced, true)
+    }
+
+    /// Compile with symmetry-breaking restrictions applied as
+    /// *post-filters* instead of set-operation bounds — the Figure 2(a)
+    /// variant without intersection early termination (ablation only).
+    pub fn compile_unbounded(pattern: &Pattern, order: &[usize], induced: Induced) -> Plan {
+        Plan::compile_opts(pattern, order, induced, false)
+    }
+
+    fn compile_opts(pattern: &Pattern, order: &[usize], induced: Induced, bounded: bool) -> Plan {
+        let n = pattern.num_vertices();
+        let restr = restrictions(pattern, order);
+        let mut levels = Vec::with_capacity(n);
+        for l in 0..n {
+            let u = order[l];
+            let connected: Vec<usize> =
+                (0..l).filter(|&j| pattern.has_edge(u, order[j])).collect();
+            assert!(
+                l == 0 || !connected.is_empty(),
+                "matching order must keep the prefix connected (level {l})"
+            );
+            let disconnected: Vec<usize> = match induced {
+                Induced::Vertex => (0..l).filter(|&j| !pattern.has_edge(u, order[j])).collect(),
+                Induced::Edge => Vec::new(),
+            };
+            let restricted: Vec<usize> =
+                restr.iter().filter(|r| r.later == l).map(|r| r.earlier).collect();
+            let (bounds, filters) = if bounded {
+                (restricted, Vec::new())
+            } else {
+                (Vec::new(), restricted)
+            };
+            // An earlier vertex v_j can linger in the candidate set only if
+            // j is not intersected in (v_j is never its own neighbor).
+            let excludes: Vec<usize> = (0..l).filter(|j| !connected.contains(j)).collect();
+            levels.push(LevelPlan { connected, disconnected, bounds, filters, excludes });
+        }
+        Plan { pattern: pattern.clone(), order: order.to_vec(), induced, levels, restrictions: restr }
+    }
+
+    /// Compile with a greedy connectivity-first default order.
+    pub fn compile_default(pattern: &Pattern, induced: Induced) -> Plan {
+        let order = default_order(pattern);
+        Plan::compile(pattern, &order, induced)
+    }
+
+    /// The pattern this plan enumerates.
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// The matching order (pattern vertices by level).
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// The matching semantics.
+    pub fn induced(&self) -> Induced {
+        self.induced
+    }
+
+    /// Per-level set operations.
+    pub fn levels(&self) -> &[LevelPlan] {
+        &self.levels
+    }
+
+    /// The symmetry-breaking restrictions in effect.
+    pub fn restrictions(&self) -> &[Restriction] {
+        &self.restrictions
+    }
+
+    /// Can the two innermost levels be fused into `S_NESTINTER`?
+    ///
+    /// Requires (paper Section 4.6): the last level intersects exactly the
+    /// previous level's candidate set with `N(v_{n-2})`, is upper-bounded
+    /// by `v_{n-2}`, performs no subtraction, and needs no explicit
+    /// exclusions beyond what the bound implies.
+    pub fn nested_applicable(&self) -> bool {
+        let n = self.levels.len();
+        if n < 3 {
+            return false;
+        }
+        let last = &self.levels[n - 1];
+        let prev = &self.levels[n - 2];
+        // Last level must intersect everything the previous level did,
+        // plus the previous vertex itself.
+        let mut expect = prev.connected.clone();
+        expect.push(n - 2);
+        let mut got = last.connected.clone();
+        got.sort_unstable();
+        expect.sort_unstable();
+        if got != expect || !last.disconnected.is_empty() || !prev.disconnected.is_empty() {
+            return false;
+        }
+        // Bound must include n-2; additional bounds must already bound the
+        // previous level (then they are implied).
+        if !last.bounds.contains(&(n - 2)) {
+            return false;
+        }
+        last.bounds.iter().all(|&b| b == n - 2 || prev.bounds.contains(&b))
+    }
+
+    /// Emit the stream-ISA loop body for the innermost candidate-set
+    /// computation, with symbolic addresses (documentation of what the
+    /// compiler generates — the executor drives the engine directly).
+    pub fn emit_program(&self) -> Program {
+        let mut p = Program::new();
+        let n = self.levels.len();
+        if n < 2 {
+            return p;
+        }
+        let last = &self.levels[n - 1];
+        let mut next_sid = 0u32;
+        let mut fresh = || {
+            let s = StreamId::new(next_sid);
+            next_sid += 1;
+            s
+        };
+        // Load each operand list (symbolic address = 0x1000 * level).
+        let mut loaded: Vec<(usize, StreamId)> = Vec::new();
+        for &j in last.connected.iter().chain(&last.disconnected) {
+            let sid = fresh();
+            p.push(Instr::SRead {
+                key_addr: 0x1000 * (j as u64 + 1),
+                len: 0,
+                sid,
+                priority: Priority(0),
+            });
+            loaded.push((j, sid));
+        }
+        let bound = if last.bounds.is_empty() { Bound::none() } else { Bound::below(0) };
+        // Fold intersections, then subtractions.
+        let mut acc = loaded[0].1;
+        for &(j, sid) in &loaded[1..] {
+            let out = fresh();
+            if last.connected.contains(&j) {
+                p.push(Instr::SInter { a: acc, b: sid, out, bound });
+            } else {
+                p.push(Instr::SSub { a: acc, b: sid, out, bound });
+            }
+            p.push(Instr::SFree { sid: acc });
+            p.push(Instr::SFree { sid });
+            acc = out;
+        }
+        if loaded.len() == 1 {
+            // Single operand: the candidate set is the loaded list itself.
+        }
+        p.push(Instr::SFree { sid: acc });
+        p
+    }
+}
+
+/// Greedy connectivity-first matching order: highest-degree vertex first,
+/// then repeatedly the vertex with the most already-ordered neighbors
+/// (ties broken by degree, then index).
+pub fn default_order(pattern: &Pattern) -> Vec<usize> {
+    let n = pattern.num_vertices();
+    let mut order = Vec::with_capacity(n);
+    let mut chosen = vec![false; n];
+    let first = (0..n).max_by_key(|&v| (pattern.degree(v), std::cmp::Reverse(v))).expect("n >= 1");
+    order.push(first);
+    chosen[first] = true;
+    while order.len() < n {
+        let next = (0..n)
+            .filter(|&v| !chosen[v])
+            .max_by_key(|&v| {
+                let conn = order.iter().filter(|&&u| pattern.has_edge(u, v)).count();
+                (conn, pattern.degree(v), std::cmp::Reverse(v))
+            })
+            .expect("vertices remain");
+        order.push(next);
+        chosen[next] = true;
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_plan_is_nested_applicable() {
+        let p = Plan::compile(&Pattern::triangle(), &[0, 1, 2], Induced::Vertex);
+        assert!(p.nested_applicable());
+        let l2 = &p.levels()[2];
+        assert_eq!(l2.connected, vec![0, 1]);
+        assert!(l2.disconnected.is_empty());
+        assert!(l2.bounds.contains(&1));
+        assert!(l2.excludes.is_empty());
+    }
+
+    #[test]
+    fn cliques_are_nested_applicable() {
+        for k in 3..=5 {
+            let p = Plan::compile_default(&Pattern::clique(k), Induced::Edge);
+            assert!(p.nested_applicable(), "clique {k}");
+        }
+    }
+
+    #[test]
+    fn three_chain_plan_subtracts() {
+        let p = Plan::compile(&Pattern::three_chain(), &[0, 1, 2], Induced::Vertex);
+        let l2 = &p.levels()[2];
+        assert_eq!(l2.connected, vec![0]);
+        assert_eq!(l2.disconnected, vec![1]);
+        assert_eq!(l2.bounds, vec![1]); // leaf symmetry: v2 < v1
+        assert!(!p.nested_applicable());
+    }
+
+    #[test]
+    fn tailed_triangle_plan_matches_figure2() {
+        let p = Plan::compile(&Pattern::tailed_triangle(), &[0, 1, 2, 3], Induced::Vertex);
+        // Level 2 (v2): intersect N(v0), N(v1), bounded by v0.
+        let l2 = &p.levels()[2];
+        assert_eq!(l2.connected, vec![0, 1]);
+        assert_eq!(l2.bounds, vec![0]);
+        // Level 3 (v3, the tail on v1): intersect N(v1), subtract N(v0)
+        // and N(v2), no bound.
+        let l3 = &p.levels()[3];
+        assert_eq!(l3.connected, vec![1]);
+        assert_eq!(l3.disconnected, vec![0, 2]);
+        assert!(l3.bounds.is_empty());
+        assert_eq!(l3.excludes, vec![0, 2]);
+    }
+
+    #[test]
+    fn edge_induced_has_no_subtractions() {
+        let p = Plan::compile(&Pattern::three_chain(), &[0, 1, 2], Induced::Edge);
+        assert!(p.levels().iter().all(|l| l.disconnected.is_empty()));
+        // But the exclusion of the non-adjacent earlier vertex remains.
+        assert_eq!(p.levels()[2].excludes, vec![1]);
+    }
+
+    #[test]
+    fn default_order_keeps_prefix_connected() {
+        for pat in Pattern::connected_of_size(4) {
+            let order = default_order(&pat);
+            for l in 1..order.len() {
+                assert!(
+                    (0..l).any(|j| pat.has_edge(order[l], order[j])),
+                    "{pat} order {order:?} level {l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_order_starts_at_max_degree() {
+        let order = default_order(&Pattern::tailed_triangle());
+        assert_eq!(order[0], 1); // vertex 1 has degree 3
+    }
+
+    #[test]
+    fn emit_program_validates() {
+        let p = Plan::compile(&Pattern::tailed_triangle(), &[0, 1, 2, 3], Induced::Vertex);
+        let prog = p.emit_program();
+        assert!(prog.validate().is_ok(), "{prog}");
+        assert!(prog.len() > 3);
+        assert!(prog.max_live_streams() <= 16, "fits the stream registers");
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn disconnected_order_rejected() {
+        // Order [leaf, other leaf, center] breaks prefix connectivity.
+        Plan::compile(&Pattern::three_chain(), &[1, 2, 0], Induced::Vertex);
+    }
+}

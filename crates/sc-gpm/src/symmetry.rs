@@ -1,0 +1,133 @@
+//! Symmetry-breaking restriction generation.
+//!
+//! Pattern automorphisms make the naive nested-loop enumeration report the
+//! same embedding multiple times (|Aut(p)| times). Following the
+//! GraphZero / AutoMine approach the paper builds on, we derive a set of
+//! order restrictions `v_a > v_b` (with `a` earlier in the matching order)
+//! from a stabilizer chain over the automorphism group: at each matching
+//! position, every other pattern vertex in the current orbit that is
+//! matched *later* must take a smaller graph-vertex ID. The executor
+//! turns these into bounded intersections (paper Figure 2(b)).
+
+use crate::pattern::Pattern;
+
+/// One restriction: the vertex matched at position `later` must be
+/// strictly smaller than the vertex matched at position `earlier`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Restriction {
+    /// Matching-order position whose vertex is the upper bound.
+    pub earlier: usize,
+    /// Matching-order position that must take the smaller vertex.
+    pub later: usize,
+}
+
+/// Derive restrictions for `pattern` matched in `order` (a permutation of
+/// the pattern's vertices; `order[l]` is the pattern vertex matched at
+/// level `l`).
+///
+/// The stabilizer chain: walk the matching order; at each position, the
+/// orbit of the current pattern vertex under the remaining automorphisms
+/// tells which later positions are symmetric to it — each yields one
+/// restriction — then the group is restricted to the stabilizer of that
+/// vertex.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of the pattern's vertices.
+pub fn restrictions(pattern: &Pattern, order: &[usize]) -> Vec<Restriction> {
+    let n = pattern.num_vertices();
+    assert_eq!(order.len(), n, "order must cover all pattern vertices");
+    {
+        let mut sorted = order.to_vec();
+        sorted.sort_unstable();
+        assert!(sorted.iter().enumerate().all(|(i, &v)| i == v), "order must be a permutation");
+    }
+    let pos_of = |vertex: usize| order.iter().position(|&v| v == vertex).expect("permutation");
+
+    let mut group = pattern.automorphisms();
+    let mut out = Vec::new();
+    for (level, &u) in order.iter().enumerate() {
+        // Orbit of u under the current (stabilizer) group.
+        let mut orbit: Vec<usize> = group.iter().map(|a| a[u]).collect();
+        orbit.sort_unstable();
+        orbit.dedup();
+        for w in orbit {
+            if w != u && pos_of(w) > level {
+                out.push(Restriction { earlier: level, later: pos_of(w) });
+            }
+        }
+        group.retain(|a| a[u] == u);
+    }
+    out
+}
+
+/// The multiplicity correction factor implied by a restriction-free
+/// enumeration: |Aut(p)|. Useful for validating that restricted counts
+/// times this factor equal unrestricted counts.
+pub fn automorphism_count(pattern: &Pattern) -> u64 {
+    pattern.automorphisms().len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_gets_total_order() {
+        // S3 symmetry: v1 < v0 and v2 < v1 (a full chain).
+        let r = restrictions(&Pattern::triangle(), &[0, 1, 2]);
+        assert!(r.contains(&Restriction { earlier: 0, later: 1 }));
+        assert!(r.contains(&Restriction { earlier: 1, later: 2 }));
+    }
+
+    #[test]
+    fn clique4_chain_of_bounds() {
+        let r = restrictions(&Pattern::clique(4), &[0, 1, 2, 3]);
+        // Every adjacent pair in the order is restricted (possibly more).
+        for l in 0..3 {
+            assert!(
+                r.iter().any(|x| x.earlier == l && x.later == l + 1),
+                "missing {l} -> {}",
+                l + 1
+            );
+        }
+    }
+
+    #[test]
+    fn three_chain_restricts_the_leaves() {
+        // Center first: order [0, 1, 2]; swap(1,2) symmetry -> v2 < v1.
+        let r = restrictions(&Pattern::three_chain(), &[0, 1, 2]);
+        assert_eq!(r, vec![Restriction { earlier: 1, later: 2 }]);
+    }
+
+    #[test]
+    fn tailed_triangle_matches_paper() {
+        // Paper Figure 2: restriction v2 < v0 with order [v0, v1, v2, v3].
+        let r = restrictions(&Pattern::tailed_triangle(), &[0, 1, 2, 3]);
+        assert_eq!(r, vec![Restriction { earlier: 0, later: 2 }]);
+    }
+
+    #[test]
+    fn asymmetric_pattern_has_no_restrictions() {
+        // A path of 4 with a pendant making it asymmetric:
+        // 0-1, 1-2, 2-3, 1-4 -> actually still has no symmetry? vertex 0
+        // and 4 are both leaves on vertex 1 — symmetric. Use a truly
+        // asymmetric pattern: 0-1, 1-2, 2-3, 1-3 (triangle 1-2-3 + tail 0
+        // on 1): swapping 2 and 3 is an automorphism, so pick the paw with
+        // distinct degrees: 0-1,1-2,2-3,3-1,2-0? Simplest asymmetric small
+        // graph needs 6 vertices; instead assert the count matches
+        // |Aut| - derived expectations for the chain-of-4.
+        let p = Pattern::new(4, &[(0, 1), (1, 2), (2, 3)]);
+        // Path automorphism: reverse — one nontrivial symmetry.
+        assert_eq!(automorphism_count(&p), 2);
+        let r = restrictions(&p, &[1, 0, 2, 3]);
+        // One restriction from the single nontrivial automorphism.
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn bad_order_rejected() {
+        restrictions(&Pattern::triangle(), &[0, 0, 2]);
+    }
+}

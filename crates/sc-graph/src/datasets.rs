@@ -1,0 +1,282 @@
+//! The paper's Table 4 graph suite, re-created synthetically.
+//!
+//! Each dataset is generated (deterministically) with the vertex count,
+//! edge count and maximum degree reported in Table 4. The four large
+//! graphs — mico, com-youtube, patent, livejournal — are scaled down by
+//! the factors documented per variant so that full experiment sweeps run
+//! in minutes; average degree is preserved (it is the primary driver of
+//! SparseCore's speedup per Section 6.3.2) and maximum degree is scaled
+//! sub-linearly to keep the skew realistic at the smaller size.
+
+use crate::csr::CsrGraph;
+use crate::generators::{powerlaw_graph, PowerLawConfig};
+
+/// One of the paper's ten graphs (Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// citeseer (C): 3.3 K vertices, 4.5 K edges, max degree 99.
+    Citeseer,
+    /// email-eu-core (E): 1.0 K vertices, 16.1 K edges, max degree 345.
+    EmailEuCore,
+    /// soc-sign-bitcoinalpha (B): 3.8 K vertices, 24 K edges, max degree 511.
+    BitcoinAlpha,
+    /// p2p-Gnutella08 (G): 6 K vertices, 21 K edges, max degree 97.
+    Gnutella08,
+    /// socfb-Haverford76 (F): 1.4 K vertices, 60 K edges, max degree 375.
+    Haverford76,
+    /// wiki-vote (W): 7 K vertices, 104 K edges, max degree 1065.
+    WikiVote,
+    /// mico (M): paper 96.6 K / 1.1 M; generated at 1/8 scale.
+    Mico,
+    /// com-youtube (Y): paper 1.1 M / 3.0 M; generated at 1/32 scale.
+    Youtube,
+    /// patent (P): paper 3.8 M / 16.5 M; generated at 1/64 scale.
+    Patent,
+    /// livejournal (L): paper 4.8 M / 42.9 M; generated at 1/64 scale.
+    LiveJournal,
+}
+
+/// Generation parameters and provenance for one dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetSpec {
+    /// Paper's single-letter tag (Table 4).
+    pub tag: &'static str,
+    /// Full name.
+    pub name: &'static str,
+    /// Vertices to generate.
+    pub num_vertices: usize,
+    /// Undirected edges to generate.
+    pub num_edges: usize,
+    /// Target maximum degree.
+    pub max_degree: usize,
+    /// Scale-down factor vs the paper's original (1 = full size).
+    pub scale_down: usize,
+    /// Paper-reported vertex count (for EXPERIMENTS.md reporting).
+    pub paper_vertices: usize,
+    /// Paper-reported edge count.
+    pub paper_edges: usize,
+}
+
+impl Dataset {
+    /// All ten datasets in Table 4 order.
+    pub const ALL: [Dataset; 10] = [
+        Dataset::Citeseer,
+        Dataset::EmailEuCore,
+        Dataset::BitcoinAlpha,
+        Dataset::Gnutella08,
+        Dataset::Haverford76,
+        Dataset::WikiVote,
+        Dataset::Mico,
+        Dataset::Youtube,
+        Dataset::Patent,
+        Dataset::LiveJournal,
+    ];
+
+    /// The six small graphs used in the accelerator comparisons (Fig 7
+    /// uses E, F, W, M, Y; Fig 11/12/13 use subsets of B, E, F, W, M, Y).
+    pub const SMALL: [Dataset; 6] = [
+        Dataset::Citeseer,
+        Dataset::EmailEuCore,
+        Dataset::BitcoinAlpha,
+        Dataset::Gnutella08,
+        Dataset::Haverford76,
+        Dataset::WikiVote,
+    ];
+
+    /// The generation spec for this dataset.
+    pub fn spec(self) -> DatasetSpec {
+        match self {
+            Dataset::Citeseer => DatasetSpec {
+                tag: "C",
+                name: "citeseer",
+                num_vertices: 3300,
+                num_edges: 4500,
+                max_degree: 99,
+                scale_down: 1,
+                paper_vertices: 3300,
+                paper_edges: 4500,
+            },
+            Dataset::EmailEuCore => DatasetSpec {
+                tag: "E",
+                name: "email-eu-core",
+                num_vertices: 1000,
+                num_edges: 16_100,
+                max_degree: 345,
+                scale_down: 1,
+                paper_vertices: 1000,
+                paper_edges: 16_100,
+            },
+            Dataset::BitcoinAlpha => DatasetSpec {
+                tag: "B",
+                name: "soc-sign-bitcoinalpha",
+                num_vertices: 3800,
+                num_edges: 24_000,
+                max_degree: 511,
+                scale_down: 1,
+                paper_vertices: 3800,
+                paper_edges: 24_000,
+            },
+            Dataset::Gnutella08 => DatasetSpec {
+                tag: "G",
+                name: "p2p-Gnutella08",
+                num_vertices: 6000,
+                num_edges: 21_000,
+                max_degree: 97,
+                scale_down: 1,
+                paper_vertices: 6000,
+                paper_edges: 21_000,
+            },
+            Dataset::Haverford76 => DatasetSpec {
+                tag: "F",
+                name: "socfb-Haverford76",
+                num_vertices: 1400,
+                num_edges: 60_000,
+                max_degree: 375,
+                scale_down: 1,
+                paper_vertices: 1400,
+                paper_edges: 60_000,
+            },
+            Dataset::WikiVote => DatasetSpec {
+                tag: "W",
+                name: "wiki-vote",
+                num_vertices: 7000,
+                num_edges: 104_000,
+                max_degree: 1065,
+                scale_down: 1,
+                paper_vertices: 7000,
+                paper_edges: 104_000,
+            },
+            Dataset::Mico => DatasetSpec {
+                tag: "M",
+                name: "mico",
+                num_vertices: 12_075,
+                num_edges: 137_500,
+                max_degree: 480, // 1359 scaled ~ sqrt(8)x down
+                scale_down: 8,
+                paper_vertices: 96_600,
+                paper_edges: 1_100_000,
+            },
+            Dataset::Youtube => DatasetSpec {
+                tag: "Y",
+                name: "com-youtube",
+                num_vertices: 34_375,
+                num_edges: 93_750,
+                max_degree: 5100, // 28754 scaled ~ sqrt(32)x down
+                scale_down: 32,
+                paper_vertices: 1_100_000,
+                paper_edges: 3_000_000,
+            },
+            Dataset::Patent => DatasetSpec {
+                tag: "P",
+                name: "patent",
+                num_vertices: 59_375,
+                num_edges: 257_812,
+                max_degree: 99, // 793 scaled ~ 8x down
+                scale_down: 64,
+                paper_vertices: 3_800_000,
+                paper_edges: 16_500_000,
+            },
+            Dataset::LiveJournal => DatasetSpec {
+                tag: "L",
+                name: "livejournal",
+                num_vertices: 75_000,
+                num_edges: 670_312,
+                max_degree: 2540, // 20333 scaled ~ 8x down
+                scale_down: 64,
+                paper_vertices: 4_800_000,
+                paper_edges: 42_900_000,
+            },
+        }
+    }
+
+    /// The paper's single-letter tag.
+    pub fn tag(self) -> &'static str {
+        self.spec().tag
+    }
+
+    /// Full dataset name.
+    pub fn name(self) -> &'static str {
+        self.spec().name
+    }
+
+    /// Generate the graph (deterministic per dataset).
+    pub fn build(self) -> CsrGraph {
+        let spec = self.spec();
+        // A fixed seed per dataset keeps every experiment reproducible.
+        let seed = 0x5AC0_0000 + self as u64;
+        powerlaw_graph(PowerLawConfig {
+            num_vertices: spec.num_vertices,
+            num_edges: spec.num_edges,
+            max_degree: spec.max_degree,
+            seed,
+        })
+    }
+}
+
+impl std::fmt::Display for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.name(), self.tag())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_specs_have_unique_tags() {
+        let tags: Vec<_> = Dataset::ALL.iter().map(|d| d.tag()).collect();
+        let mut sorted = tags.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), tags.len());
+    }
+
+    #[test]
+    fn small_datasets_match_paper_sizes() {
+        for d in Dataset::SMALL {
+            let spec = d.spec();
+            assert_eq!(spec.scale_down, 1);
+            let g = d.build();
+            assert_eq!(g.num_vertices(), spec.num_vertices);
+            let m = g.num_edges() as f64;
+            let target = spec.num_edges as f64;
+            assert!(
+                (m - target).abs() / target < 0.05,
+                "{d}: edges {m} vs target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn email_eu_core_statistics() {
+        let g = Dataset::EmailEuCore.build();
+        // Paper: avg degree 25.4 (2E/V with E undirected -> 32.2 entries),
+        // generated edges within 5%, so entries/vertex should be ~30.6+.
+        assert!(g.avg_degree() > 25.0, "avg degree entries {}", g.avg_degree());
+        assert!(g.max_degree() >= 170, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    fn scaled_datasets_preserve_avg_degree() {
+        let spec = Dataset::Mico.spec();
+        let paper_avg = spec.paper_edges as f64 / spec.paper_vertices as f64;
+        let scaled_avg = spec.num_edges as f64 / spec.num_vertices as f64;
+        assert!(
+            (paper_avg - scaled_avg).abs() / paper_avg < 0.02,
+            "paper {paper_avg} vs scaled {scaled_avg}"
+        );
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let a = Dataset::Citeseer.build();
+        let b = Dataset::Citeseer.build();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_shows_name_and_tag() {
+        assert_eq!(Dataset::WikiVote.to_string(), "wiki-vote (W)");
+    }
+}

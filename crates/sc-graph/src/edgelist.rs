@@ -1,0 +1,133 @@
+//! Plain-text edge-list parsing and writing.
+//!
+//! Format: one `u v` pair per line, whitespace separated, `#`- or
+//! `%`-comment lines ignored — the common denominator of SNAP and KONECT
+//! downloads, so users can feed the original datasets if they have them.
+
+use crate::csr::{CsrGraph, VertexId};
+use std::error::Error;
+use std::fmt;
+
+/// An edge-list parse error with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeListError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "edge list line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for EdgeListError {}
+
+/// Parse an edge-list text into a graph. Vertex IDs may be sparse; the
+/// graph is sized by the largest ID seen plus one.
+///
+/// # Errors
+///
+/// Returns an [`EdgeListError`] for a malformed line.
+///
+/// # Example
+///
+/// ```
+/// let g = sc_graph::edgelist::parse("# a triangle\n0 1\n1 2\n2 0\n")?;
+/// assert_eq!(g.num_edges(), 3);
+/// # Ok::<(), sc_graph::edgelist::EdgeListError>(())
+/// ```
+pub fn parse(text: &str) -> Result<CsrGraph, EdgeListError> {
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut max_v: VertexId = 0;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let code = raw.trim();
+        if code.is_empty() || code.starts_with('#') || code.starts_with('%') {
+            continue;
+        }
+        let mut it = code.split_whitespace();
+        let u: VertexId = it
+            .next()
+            .ok_or_else(|| EdgeListError { line, message: "missing source".into() })?
+            .parse()
+            .map_err(|_| EdgeListError { line, message: format!("bad vertex in `{code}`") })?;
+        let v: VertexId = it
+            .next()
+            .ok_or_else(|| EdgeListError { line, message: "missing target".into() })?
+            .parse()
+            .map_err(|_| EdgeListError { line, message: format!("bad vertex in `{code}`") })?;
+        max_v = max_v.max(u).max(v);
+        edges.push((u, v));
+    }
+    let n = if edges.is_empty() { 0 } else { max_v as usize + 1 };
+    Ok(CsrGraph::from_edges(n, &edges))
+}
+
+/// Serialize a graph back to edge-list text (each undirected edge once,
+/// smaller endpoint first).
+pub fn to_text(graph: &CsrGraph) -> String {
+    let mut out = String::new();
+    for v in graph.vertices() {
+        for &u in graph.neighbors(v) {
+            if v < u {
+                out.push_str(&format!("{v} {u}\n"));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let g = parse("0 1\n1 2\n").unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let g = parse("# snap header\n% konect header\n\n0 1\n").unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn tabs_and_extra_fields_ok() {
+        // KONECT files sometimes carry weights in a third column.
+        let g = parse("0\t1\t5\n1\t2\t-3\n").unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn bad_line_reports_position() {
+        let e = parse("0 1\nxyz 3\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("xyz"));
+    }
+
+    #[test]
+    fn missing_target_reported() {
+        let e = parse("7\n").unwrap_err();
+        assert!(e.message.contains("missing target"));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = parse("0 1\n0 2\n1 2\n2 3\n").unwrap();
+        let text = to_text(&g);
+        let g2 = parse(&text).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = parse("# nothing\n").unwrap();
+        assert_eq!(g.num_vertices(), 0);
+    }
+}

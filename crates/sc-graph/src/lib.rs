@@ -1,0 +1,44 @@
+//! Graph substrate for the SparseCore reproduction.
+//!
+//! Graph pattern mining in the paper runs over real-world graphs stored in
+//! compressed sparse row (CSR) form: a vertex array pointing into an edge
+//! array of sorted neighbor lists, plus the *CSR offset* array the paper
+//! adds for nested intersection and symmetry breaking (the per-vertex
+//! offset of the smallest neighbor larger than the vertex itself —
+//! Section 3.2).
+//!
+//! This crate provides:
+//!
+//! * [`CsrGraph`] — the CSR representation with the offset array and a
+//!   simulated memory layout (byte addresses for the three arrays, which
+//!   the timing models consume).
+//! * [`generate`](crate::generators) — seeded synthetic generators
+//!   (uniform and power-law/Chung–Lu) able to match a target vertex count,
+//!   edge count and maximum degree.
+//! * [`datasets`] — the ten graphs of the paper's Table 4, re-created
+//!   synthetically at matched (or documented scaled-down) statistics,
+//!   since the original SNAP/KONECT files are not redistributable here.
+//! * [`edgelist`] — a plain-text edge-list parser/writer for custom inputs.
+//!
+//! # Example
+//!
+//! ```
+//! use sc_graph::datasets::Dataset;
+//!
+//! let g = Dataset::EmailEuCore.build();
+//! assert!(g.num_vertices() > 900);
+//! // Neighbor lists are sorted and deduplicated: ready for intersection.
+//! let n0 = g.neighbors(0);
+//! assert!(n0.windows(2).all(|w| w[0] < w[1]));
+//! ```
+
+pub mod csr;
+pub mod datasets;
+pub mod edgelist;
+pub mod generators;
+pub mod stats;
+
+pub use csr::{CsrGraph, GraphLayout, VertexId};
+pub use datasets::Dataset;
+pub use generators::{powerlaw_graph, uniform_graph, PowerLawConfig};
+pub use stats::{degree_stats, global_clustering, DegreeStats};

@@ -1,0 +1,118 @@
+//! Graph statistics used to validate synthetic datasets against their
+//! real-world targets: degree distribution moments, skew, and clustering.
+
+use crate::csr::CsrGraph;
+
+/// Degree-distribution summary of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree (adjacency entries per vertex).
+    pub mean: f64,
+    /// Population variance of the degree.
+    pub variance: f64,
+    /// Degree deciles (11 points: 0%, 10%, ..., 100%).
+    pub deciles: [usize; 11],
+}
+
+impl DegreeStats {
+    /// Coefficient of variation (σ/μ) — the skew proxy the power-law
+    /// generator targets; ~0.5–1 for uniform graphs, >1 for hub-heavy
+    /// graphs.
+    pub fn coefficient_of_variation(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.variance.sqrt() / self.mean
+        }
+    }
+}
+
+/// Compute degree statistics.
+pub fn degree_stats(g: &CsrGraph) -> DegreeStats {
+    let mut degrees: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+    if degrees.is_empty() {
+        return DegreeStats { min: 0, max: 0, mean: 0.0, variance: 0.0, deciles: [0; 11] };
+    }
+    degrees.sort_unstable();
+    let n = degrees.len();
+    let mean = degrees.iter().sum::<usize>() as f64 / n as f64;
+    let variance =
+        degrees.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+    let mut deciles = [0usize; 11];
+    for (i, d) in deciles.iter_mut().enumerate() {
+        let idx = ((n - 1) as f64 * i as f64 / 10.0).round() as usize;
+        *d = degrees[idx];
+    }
+    DegreeStats { min: degrees[0], max: degrees[n - 1], mean, variance, deciles }
+}
+
+/// Global clustering coefficient: `3 * triangles / wedges` (0.0 when the
+/// graph has no wedge).
+pub fn global_clustering(g: &CsrGraph) -> f64 {
+    let triangles = g.count_triangles_reference() as f64;
+    let wedges: f64 = g
+        .vertices()
+        .map(|v| {
+            let d = g.degree(v) as f64;
+            d * (d - 1.0) / 2.0
+        })
+        .sum();
+    if wedges == 0.0 {
+        0.0
+    } else {
+        3.0 * triangles / wedges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{powerlaw_graph, uniform_graph, PowerLawConfig};
+
+    #[test]
+    fn degree_stats_of_known_graph() {
+        // Triangle + pendant: degrees 2, 2, 3, 1.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.deciles[0], 1);
+        assert_eq!(s.deciles[10], 3);
+    }
+
+    #[test]
+    fn powerlaw_is_more_skewed_than_uniform() {
+        let uni = uniform_graph(1000, 5000, 71);
+        let pl = powerlaw_graph(PowerLawConfig {
+            num_vertices: 1000,
+            num_edges: 5000,
+            max_degree: 300,
+            seed: 71,
+        });
+        let cv_uni = degree_stats(&uni).coefficient_of_variation();
+        let cv_pl = degree_stats(&pl).coefficient_of_variation();
+        assert!(cv_pl > 1.5 * cv_uni, "powerlaw {cv_pl:.2} vs uniform {cv_uni:.2}");
+    }
+
+    #[test]
+    fn clustering_extremes() {
+        // A clique clusters perfectly; a star not at all.
+        let k4 = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert!((global_clustering(&k4) - 1.0).abs() < 1e-12);
+        let star = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(global_clustering(&star), 0.0);
+    }
+
+    #[test]
+    fn empty_graph_is_safe() {
+        let g = CsrGraph::from_edges(0, &[]);
+        let s = degree_stats(&g);
+        assert_eq!(s.max, 0);
+        assert_eq!(global_clustering(&g), 0.0);
+    }
+}

@@ -1,0 +1,316 @@
+//! Textual assembler for stream-ISA programs.
+//!
+//! The format is exactly what [`Instr`]'s `Display` produces: one
+//! instruction per line, `#`-comments, operands comma-separated, stream IDs
+//! written `sN`, bounds written as a key or `-1`, addresses in decimal or
+//! `0x` hex. This keeps compiler output human-inspectable and lets tests
+//! round-trip programs through text.
+
+use crate::instr::Instr;
+use crate::operand::{Bound, GfrSet, Priority, StreamId, ValueOp};
+use crate::program::Program;
+use std::error::Error;
+use std::fmt;
+
+/// An assembly parse error with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Explanation of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+fn parse_u64(tok: &str, line: usize) -> Result<u64, ParseError> {
+    let tok = tok.trim();
+    let parsed = if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        tok.parse()
+    };
+    parsed.map_err(|_| err(line, format!("expected integer, found `{tok}`")))
+}
+
+fn parse_u32(tok: &str, line: usize) -> Result<u32, ParseError> {
+    let v = parse_u64(tok, line)?;
+    u32::try_from(v).map_err(|_| err(line, format!("value `{tok}` does not fit in 32 bits")))
+}
+
+fn parse_f64(tok: &str, line: usize) -> Result<f64, ParseError> {
+    tok.trim()
+        .parse()
+        .map_err(|_| err(line, format!("expected float, found `{tok}`")))
+}
+
+fn parse_sid(tok: &str, line: usize) -> Result<StreamId, ParseError> {
+    let tok = tok.trim();
+    let digits = tok
+        .strip_prefix('s')
+        .ok_or_else(|| err(line, format!("expected stream ID like `s3`, found `{tok}`")))?;
+    let raw: u32 = digits
+        .parse()
+        .map_err(|_| err(line, format!("bad stream ID `{tok}`")))?;
+    Ok(StreamId::new(raw))
+}
+
+fn parse_bound(tok: &str, line: usize) -> Result<Bound, ParseError> {
+    let tok = tok.trim();
+    if tok == "-1" {
+        Ok(Bound::none())
+    } else {
+        Ok(Bound::below(parse_u32(tok, line)?))
+    }
+}
+
+fn split_operands(rest: &str) -> Vec<&str> {
+    rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect()
+}
+
+fn expect_arity(ops: &[&str], n: usize, mnemonic: &str, line: usize) -> Result<(), ParseError> {
+    if ops.len() == n {
+        Ok(())
+    } else {
+        Err(err(line, format!("{mnemonic} expects {n} operands, found {}", ops.len())))
+    }
+}
+
+/// Parse one instruction from a line of text (without comments).
+fn parse_line(text: &str, line: usize) -> Result<Instr, ParseError> {
+    let text = text.trim();
+    let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r),
+        None => (text, ""),
+    };
+    let ops = split_operands(rest);
+    match mnemonic {
+        "S_READ" => {
+            expect_arity(&ops, 4, mnemonic, line)?;
+            Ok(Instr::SRead {
+                key_addr: parse_u64(ops[0], line)?,
+                len: parse_u32(ops[1], line)?,
+                sid: parse_sid(ops[2], line)?,
+                priority: Priority(parse_u32(ops[3], line)?),
+            })
+        }
+        "S_VREAD" => {
+            expect_arity(&ops, 5, mnemonic, line)?;
+            Ok(Instr::SVRead {
+                key_addr: parse_u64(ops[0], line)?,
+                len: parse_u32(ops[1], line)?,
+                sid: parse_sid(ops[2], line)?,
+                val_addr: parse_u64(ops[3], line)?,
+                priority: Priority(parse_u32(ops[4], line)?),
+            })
+        }
+        "S_FREE" => {
+            expect_arity(&ops, 1, mnemonic, line)?;
+            Ok(Instr::SFree { sid: parse_sid(ops[0], line)? })
+        }
+        "S_FETCH" => {
+            expect_arity(&ops, 2, mnemonic, line)?;
+            Ok(Instr::SFetch { sid: parse_sid(ops[0], line)?, offset: parse_u32(ops[1], line)? })
+        }
+        "S_INTER" => {
+            expect_arity(&ops, 4, mnemonic, line)?;
+            Ok(Instr::SInter {
+                a: parse_sid(ops[0], line)?,
+                b: parse_sid(ops[1], line)?,
+                out: parse_sid(ops[2], line)?,
+                bound: parse_bound(ops[3], line)?,
+            })
+        }
+        "S_INTER.C" => {
+            expect_arity(&ops, 3, mnemonic, line)?;
+            Ok(Instr::SInterC {
+                a: parse_sid(ops[0], line)?,
+                b: parse_sid(ops[1], line)?,
+                bound: parse_bound(ops[2], line)?,
+            })
+        }
+        "S_SUB" => {
+            expect_arity(&ops, 4, mnemonic, line)?;
+            Ok(Instr::SSub {
+                a: parse_sid(ops[0], line)?,
+                b: parse_sid(ops[1], line)?,
+                out: parse_sid(ops[2], line)?,
+                bound: parse_bound(ops[3], line)?,
+            })
+        }
+        "S_SUB.C" => {
+            expect_arity(&ops, 3, mnemonic, line)?;
+            Ok(Instr::SSubC {
+                a: parse_sid(ops[0], line)?,
+                b: parse_sid(ops[1], line)?,
+                bound: parse_bound(ops[2], line)?,
+            })
+        }
+        "S_MERGE" => {
+            expect_arity(&ops, 3, mnemonic, line)?;
+            Ok(Instr::SMerge {
+                a: parse_sid(ops[0], line)?,
+                b: parse_sid(ops[1], line)?,
+                out: parse_sid(ops[2], line)?,
+            })
+        }
+        "S_MERGE.C" => {
+            expect_arity(&ops, 2, mnemonic, line)?;
+            Ok(Instr::SMergeC { a: parse_sid(ops[0], line)?, b: parse_sid(ops[1], line)? })
+        }
+        "S_VINTER" => {
+            expect_arity(&ops, 3, mnemonic, line)?;
+            let op = ValueOp::from_mnemonic(ops[2])
+                .ok_or_else(|| err(line, format!("unknown value op `{}`", ops[2])))?;
+            Ok(Instr::SVInter { a: parse_sid(ops[0], line)?, b: parse_sid(ops[1], line)?, op })
+        }
+        "S_VMERGE" => {
+            expect_arity(&ops, 5, mnemonic, line)?;
+            Ok(Instr::SVMerge {
+                scale_a: parse_f64(ops[0], line)?,
+                scale_b: parse_f64(ops[1], line)?,
+                a: parse_sid(ops[2], line)?,
+                b: parse_sid(ops[3], line)?,
+                out: parse_sid(ops[4], line)?,
+            })
+        }
+        "S_LD_GFR" => {
+            expect_arity(&ops, 3, mnemonic, line)?;
+            Ok(Instr::SLdGfr {
+                gfr: GfrSet {
+                    gfr0: parse_u64(ops[0], line)?,
+                    gfr1: parse_u64(ops[1], line)?,
+                    gfr2: parse_u64(ops[2], line)?,
+                },
+            })
+        }
+        "S_NESTINTER" => {
+            expect_arity(&ops, 1, mnemonic, line)?;
+            Ok(Instr::SNestInter { sid: parse_sid(ops[0], line)? })
+        }
+        other => Err(err(line, format!("unknown mnemonic `{other}`"))),
+    }
+}
+
+/// Parse a whole program: one instruction per line, blank lines and
+/// `#`-comments ignored.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] naming the first offending line.
+///
+/// # Example
+///
+/// ```
+/// let p = sc_isa::parse_program(
+///     "# triangle inner loop\n\
+///      S_READ 0x1000, 64, s0, 0\n\
+///      S_NESTINTER s0\n\
+///      S_FREE s0\n",
+/// )?;
+/// assert_eq!(p.len(), 3);
+/// # Ok::<(), sc_isa::ParseError>(())
+/// ```
+pub fn parse_program(text: &str) -> Result<Program, ParseError> {
+    let mut program = Program::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let code = raw.split('#').next().unwrap_or("").trim();
+        if code.is_empty() {
+            continue;
+        }
+        program.push(parse_line(code, line)?);
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_every_instruction() {
+        let text = "\
+S_READ 0x1000, 64, s0, 2
+S_VREAD 0x2000, 32, s1, 0x3000, 1
+S_INTER s0, s1, s2, -1
+S_INTER.C s0, s1, 10
+S_SUB s0, s1, s3, 5
+S_SUB.C s0, s1, -1
+S_MERGE s0, s1, s4
+S_MERGE.C s0, s1
+S_VINTER s0, s1, MAC
+S_VMERGE 2, 3, s0, s1, s5
+S_LD_GFR 0x10, 0x20, 0x30
+S_NESTINTER s0
+S_FETCH s2, 7
+S_FREE s0
+";
+        let p = parse_program(text).expect("parse");
+        assert_eq!(p.len(), 14);
+        let text2 = p.to_string();
+        let p2 = parse_program(&text2).expect("reparse");
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let p = parse_program("\n# comment only\nS_FREE s1 # trailing\n\n").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let e = parse_program("S_FREE s0\nS_BOGUS s1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("S_BOGUS"));
+    }
+
+    #[test]
+    fn arity_errors() {
+        let e = parse_program("S_INTER s0, s1, s2\n").unwrap_err();
+        assert!(e.message.contains("expects 4 operands"));
+    }
+
+    #[test]
+    fn bad_stream_id() {
+        let e = parse_program("S_FREE x0\n").unwrap_err();
+        assert!(e.message.contains("stream ID"));
+    }
+
+    #[test]
+    fn bad_value_op() {
+        let e = parse_program("S_VINTER s0, s1, XOR\n").unwrap_err();
+        assert!(e.message.contains("XOR"));
+    }
+
+    #[test]
+    fn hex_and_decimal_addresses() {
+        let p = parse_program("S_READ 4096, 8, s0, 0\nS_READ 0x1000, 8, s1, 0\n").unwrap();
+        match (p.instrs()[0], p.instrs()[1]) {
+            (Instr::SRead { key_addr: a, .. }, Instr::SRead { key_addr: b, .. }) => {
+                assert_eq!(a, b)
+            }
+            _ => panic!("expected two S_READ"),
+        }
+    }
+
+    #[test]
+    fn bound_negative_one_is_none() {
+        let p = parse_program("S_READ 0,1,s0,0\nS_READ 0,1,s1,0\nS_INTER.C s0, s1, -1\n").unwrap();
+        match p.instrs()[2] {
+            Instr::SInterC { bound, .. } => assert_eq!(bound, Bound::none()),
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Fixed-width binary encoding of the stream ISA.
+//!
+//! The paper leaves the machine encoding open (Section 3.3 notes operand
+//! pressure is solvable with shared registers); for a concrete artifact we
+//! define a simple 128-bit format — enough to hold every instruction's
+//! operands directly, which keeps the decoder trivial and the format
+//! self-contained for traces and test vectors:
+//!
+//! ```text
+//! word0[ 7: 0]  opcode
+//! word0[15: 8]  stream id A        word0[23:16]  stream id B
+//! word0[31:24]  stream id OUT      word0[39:32]  value-op / flags
+//! word0[63:40]  stream length (24 bits)
+//! word1[63: 0]  key address  (S_READ/S_VREAD) or packed bound/offset
+//! word2[63: 0]  value address (S_VREAD) or f64 scale A bits
+//! word3[63: 0]  priority / f64 scale B bits / GFR2
+//! ```
+//!
+//! `S_LD_GFR` uses words 1–3 for the three register values. Encoding is
+//! lossless: [`decode`] ∘ [`encode`] is the identity for every valid
+//! instruction (property-tested).
+
+use crate::instr::Instr;
+use crate::operand::{Bound, GfrSet, Priority, StreamId, ValueOp};
+use std::error::Error;
+use std::fmt;
+
+/// A 256-bit encoded instruction (four 64-bit words).
+pub type Encoded = [u64; 4];
+
+/// Decode failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The unrecognized opcode byte.
+    pub opcode: u8,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown opcode {:#04x}", self.opcode)
+    }
+}
+
+impl Error for DecodeError {}
+
+const OP_S_READ: u8 = 0x01;
+const OP_S_VREAD: u8 = 0x02;
+const OP_S_FREE: u8 = 0x03;
+const OP_S_FETCH: u8 = 0x04;
+const OP_S_INTER: u8 = 0x05;
+const OP_S_INTER_C: u8 = 0x06;
+const OP_S_SUB: u8 = 0x07;
+const OP_S_SUB_C: u8 = 0x08;
+const OP_S_MERGE: u8 = 0x09;
+const OP_S_MERGE_C: u8 = 0x0A;
+const OP_S_VINTER: u8 = 0x0B;
+const OP_S_VMERGE: u8 = 0x0C;
+const OP_S_LD_GFR: u8 = 0x0D;
+const OP_S_NESTINTER: u8 = 0x0E;
+
+/// "No bound" sentinel in the packed bound field.
+const BOUND_NONE: u64 = u64::MAX;
+
+fn word0(op: u8, a: u32, b: u32, out: u32, flags: u8, len: u32) -> u64 {
+    u64::from(op)
+        | (u64::from(a as u8) << 8)
+        | (u64::from(b as u8) << 16)
+        | (u64::from(out as u8) << 24)
+        | (u64::from(flags) << 32)
+        | ((u64::from(len) & 0xFF_FFFF) << 40)
+}
+
+fn bound_bits(b: Bound) -> u64 {
+    match b.get() {
+        None => BOUND_NONE,
+        Some(k) => u64::from(k),
+    }
+}
+
+fn bits_bound(w: u64) -> Bound {
+    if w == BOUND_NONE {
+        Bound::none()
+    } else {
+        Bound::below(w as u32)
+    }
+}
+
+fn vop_flag(op: ValueOp) -> u8 {
+    match op {
+        ValueOp::Mac => 0,
+        ValueOp::Max => 1,
+        ValueOp::Min => 2,
+        ValueOp::Add => 3,
+    }
+}
+
+fn flag_vop(f: u8) -> ValueOp {
+    match f & 3 {
+        0 => ValueOp::Mac,
+        1 => ValueOp::Max,
+        2 => ValueOp::Min,
+        _ => ValueOp::Add,
+    }
+}
+
+/// Encode one instruction.
+pub fn encode(i: &Instr) -> Encoded {
+    match *i {
+        Instr::SRead { key_addr, len, sid, priority } => {
+            [word0(OP_S_READ, sid.raw(), 0, 0, 0, len), key_addr, 0, u64::from(priority.0)]
+        }
+        Instr::SVRead { key_addr, len, sid, val_addr, priority } => [
+            word0(OP_S_VREAD, sid.raw(), 0, 0, 0, len),
+            key_addr,
+            val_addr,
+            u64::from(priority.0),
+        ],
+        Instr::SFree { sid } => [word0(OP_S_FREE, sid.raw(), 0, 0, 0, 0), 0, 0, 0],
+        Instr::SFetch { sid, offset } => {
+            [word0(OP_S_FETCH, sid.raw(), 0, 0, 0, 0), u64::from(offset), 0, 0]
+        }
+        Instr::SInter { a, b, out, bound } => {
+            [word0(OP_S_INTER, a.raw(), b.raw(), out.raw(), 0, 0), bound_bits(bound), 0, 0]
+        }
+        Instr::SInterC { a, b, bound } => {
+            [word0(OP_S_INTER_C, a.raw(), b.raw(), 0, 0, 0), bound_bits(bound), 0, 0]
+        }
+        Instr::SSub { a, b, out, bound } => {
+            [word0(OP_S_SUB, a.raw(), b.raw(), out.raw(), 0, 0), bound_bits(bound), 0, 0]
+        }
+        Instr::SSubC { a, b, bound } => {
+            [word0(OP_S_SUB_C, a.raw(), b.raw(), 0, 0, 0), bound_bits(bound), 0, 0]
+        }
+        Instr::SMerge { a, b, out } => {
+            [word0(OP_S_MERGE, a.raw(), b.raw(), out.raw(), 0, 0), 0, 0, 0]
+        }
+        Instr::SMergeC { a, b } => [word0(OP_S_MERGE_C, a.raw(), b.raw(), 0, 0, 0), 0, 0, 0],
+        Instr::SVInter { a, b, op } => {
+            [word0(OP_S_VINTER, a.raw(), b.raw(), 0, vop_flag(op), 0), 0, 0, 0]
+        }
+        Instr::SVMerge { scale_a, scale_b, a, b, out } => [
+            word0(OP_S_VMERGE, a.raw(), b.raw(), out.raw(), 0, 0),
+            0,
+            scale_a.to_bits(),
+            scale_b.to_bits(),
+        ],
+        Instr::SLdGfr { gfr } => {
+            [word0(OP_S_LD_GFR, 0, 0, 0, 0, 0), gfr.gfr0, gfr.gfr1, gfr.gfr2]
+        }
+        Instr::SNestInter { sid } => [word0(OP_S_NESTINTER, sid.raw(), 0, 0, 0, 0), 0, 0, 0],
+    }
+}
+
+/// Decode one instruction.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for an unknown opcode byte.
+pub fn decode(w: &Encoded) -> Result<Instr, DecodeError> {
+    let op = (w[0] & 0xFF) as u8;
+    let a = StreamId::new(((w[0] >> 8) & 0xFF) as u32);
+    let b = StreamId::new(((w[0] >> 16) & 0xFF) as u32);
+    let out = StreamId::new(((w[0] >> 24) & 0xFF) as u32);
+    let flags = ((w[0] >> 32) & 0xFF) as u8;
+    let len = ((w[0] >> 40) & 0xFF_FFFF) as u32;
+    Ok(match op {
+        OP_S_READ => Instr::SRead { key_addr: w[1], len, sid: a, priority: Priority(w[3] as u32) },
+        OP_S_VREAD => Instr::SVRead {
+            key_addr: w[1],
+            len,
+            sid: a,
+            val_addr: w[2],
+            priority: Priority(w[3] as u32),
+        },
+        OP_S_FREE => Instr::SFree { sid: a },
+        OP_S_FETCH => Instr::SFetch { sid: a, offset: w[1] as u32 },
+        OP_S_INTER => Instr::SInter { a, b, out, bound: bits_bound(w[1]) },
+        OP_S_INTER_C => Instr::SInterC { a, b, bound: bits_bound(w[1]) },
+        OP_S_SUB => Instr::SSub { a, b, out, bound: bits_bound(w[1]) },
+        OP_S_SUB_C => Instr::SSubC { a, b, bound: bits_bound(w[1]) },
+        OP_S_MERGE => Instr::SMerge { a, b, out },
+        OP_S_MERGE_C => Instr::SMergeC { a, b },
+        OP_S_VINTER => Instr::SVInter { a, b, op: flag_vop(flags) },
+        OP_S_VMERGE => Instr::SVMerge {
+            scale_a: f64::from_bits(w[2]),
+            scale_b: f64::from_bits(w[3]),
+            a,
+            b,
+            out,
+        },
+        OP_S_LD_GFR => Instr::SLdGfr { gfr: GfrSet { gfr0: w[1], gfr1: w[2], gfr2: w[3] } },
+        OP_S_NESTINTER => Instr::SNestInter { sid: a },
+        other => return Err(DecodeError { opcode: other }),
+    })
+}
+
+/// Encode a whole program into a flat word buffer.
+pub fn encode_program(p: &crate::Program) -> Vec<u64> {
+    let mut out = Vec::with_capacity(p.len() * 4);
+    for i in p.iter() {
+        out.extend_from_slice(&encode(i));
+    }
+    out
+}
+
+/// Decode a flat word buffer back into a program.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on an unknown opcode; trailing words that do
+/// not form a full instruction are rejected as opcode 0xFF.
+pub fn decode_program(words: &[u64]) -> Result<crate::Program, DecodeError> {
+    if !words.len().is_multiple_of(4) {
+        return Err(DecodeError { opcode: 0xFF });
+    }
+    let mut p = crate::Program::new();
+    for chunk in words.chunks_exact(4) {
+        p.push(decode(&[chunk[0], chunk[1], chunk[2], chunk[3]])?);
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(n: u32) -> StreamId {
+        StreamId::new(n)
+    }
+
+    fn all_variants() -> Vec<Instr> {
+        vec![
+            Instr::SRead { key_addr: 0xDEAD_BEEF_00, len: 12345, sid: sid(3), priority: Priority(7) },
+            Instr::SVRead {
+                key_addr: 0x1000,
+                len: 999,
+                sid: sid(15),
+                val_addr: 0x2000,
+                priority: Priority(2),
+            },
+            Instr::SFree { sid: sid(9) },
+            Instr::SFetch { sid: sid(1), offset: 4_000_000 },
+            Instr::SInter { a: sid(0), b: sid(1), out: sid(2), bound: Bound::below(77) },
+            Instr::SInterC { a: sid(4), b: sid(5), bound: Bound::none() },
+            Instr::SSub { a: sid(6), b: sid(7), out: sid(8), bound: Bound::below(0) },
+            Instr::SSubC { a: sid(9), b: sid(10), bound: Bound::none() },
+            Instr::SMerge { a: sid(11), b: sid(12), out: sid(13) },
+            Instr::SMergeC { a: sid(14), b: sid(15) },
+            Instr::SVInter { a: sid(0), b: sid(1), op: ValueOp::Min },
+            Instr::SVMerge { scale_a: -2.5, scale_b: 1e100, a: sid(2), b: sid(3), out: sid(4) },
+            Instr::SLdGfr {
+                gfr: GfrSet { gfr0: 0x1111, gfr1: 0x2222, gfr2: 0x3333 },
+            },
+            Instr::SNestInter { sid: sid(6) },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_variant() {
+        for i in all_variants() {
+            let enc = encode(&i);
+            let dec = decode(&enc).expect("decodes");
+            assert_eq!(i, dec, "{i}");
+        }
+    }
+
+    #[test]
+    fn program_roundtrip() {
+        let p: crate::Program = all_variants().into_iter().collect();
+        let words = encode_program(&p);
+        assert_eq!(words.len(), p.len() * 4);
+        let back = decode_program(&words).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        assert_eq!(decode(&[0x7F, 0, 0, 0]), Err(DecodeError { opcode: 0x7F }));
+        assert!(decode_program(&[1, 2, 3]).is_err()); // ragged
+    }
+
+    #[test]
+    fn bound_sentinel_distinguishes_none_from_zero() {
+        let none = Instr::SInterC { a: sid(0), b: sid(1), bound: Bound::none() };
+        let zero = Instr::SInterC { a: sid(0), b: sid(1), bound: Bound::below(0) };
+        assert_eq!(decode(&encode(&none)).unwrap(), none);
+        assert_eq!(decode(&encode(&zero)).unwrap(), zero);
+        assert_ne!(encode(&none), encode(&zero));
+    }
+
+    #[test]
+    fn negative_and_huge_scales_roundtrip() {
+        for scale in [-0.0, f64::MIN_POSITIVE, -1e308, 42.42] {
+            let i = Instr::SVMerge { scale_a: scale, scale_b: -scale, a: sid(0), b: sid(1), out: sid(2) };
+            assert_eq!(decode(&encode(&i)).unwrap(), i);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Architectural exceptions defined by the stream ISA.
+
+use crate::operand::StreamId;
+use std::error::Error;
+use std::fmt;
+
+/// An exception raised by stream-instruction execution.
+///
+/// The paper specifies three explicit exception conditions:
+/// `S_FREE` of an unmapped stream ID (Section 3.3), value computation on a
+/// stream that is not a (key, value) stream (Section 3.3), and scalar
+/// (non-`S_FETCH`) access to S-Cache-resident data (Section 5.1). This
+/// reproduction also surfaces use-after-free / use-of-undefined stream IDs,
+/// which the hardware catches via the SMT's define bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamException {
+    /// `S_FREE` named a stream ID with no live SMT mapping.
+    FreeUnmapped(StreamId),
+    /// A computation or fetch referenced a stream ID that is not defined
+    /// (never initialized, or already freed).
+    UseUndefined(StreamId),
+    /// `S_VINTER`/`S_VMERGE` input was a key-only stream.
+    NotKeyValueStream(StreamId),
+    /// A scalar load/store touched memory that is live in the S-Cache
+    /// (stream data must be accessed via `S_FETCH`).
+    ScalarTouchesStream(u64),
+    /// An instruction that initializes a stream found all stream registers
+    /// active and virtualization disabled. (In hardware this stalls rather
+    /// than faults; the simulator reports it as an exception when asked to
+    /// run without stalling support.)
+    OutOfStreamRegisters,
+}
+
+impl fmt::Display for StreamException {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamException::FreeUnmapped(sid) => {
+                write!(f, "S_FREE of unmapped stream {sid}")
+            }
+            StreamException::UseUndefined(sid) => {
+                write!(f, "use of undefined stream {sid}")
+            }
+            StreamException::NotKeyValueStream(sid) => {
+                write!(f, "value computation on key-only stream {sid}")
+            }
+            StreamException::ScalarTouchesStream(addr) => {
+                write!(f, "scalar access to stream data at {addr:#x}")
+            }
+            StreamException::OutOfStreamRegisters => {
+                write!(f, "all stream registers active")
+            }
+        }
+    }
+}
+
+impl Error for StreamException {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StreamException::FreeUnmapped(StreamId::new(3));
+        assert!(e.to_string().contains("s3"));
+        let e = StreamException::ScalarTouchesStream(0x1234);
+        assert!(e.to_string().contains("0x1234"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<StreamException>();
+    }
+}

@@ -1,0 +1,234 @@
+//! Operand types for the stream ISA.
+
+use std::fmt;
+
+/// A stream key — a vertex ID or a sparse-tensor coordinate. The paper uses
+/// 4-byte keys (64 keys fill a 256-byte S-Cache slot).
+pub type Key = u32;
+
+/// A stream value — the non-zero payload of a (key, value) stream.
+pub type Value = f64;
+
+/// The special "End Of Stream" key returned by `S_FETCH` past the end
+/// (paper Section 3.3).
+pub const EOS: Key = Key::MAX;
+
+/// A stream identifier as named by software.
+///
+/// Stream IDs are *virtual*: the processor maps them to physical stream
+/// registers through the Stream Mapping Table, and the same ID re-used in a
+/// later loop iteration denotes a fresh stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StreamId(u32);
+
+impl StreamId {
+    /// Create a stream ID.
+    pub const fn new(raw: u32) -> Self {
+        StreamId(raw)
+    }
+
+    /// The raw numeric ID.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for StreamId {
+    fn from(raw: u32) -> Self {
+        StreamId(raw)
+    }
+}
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A stream's scratchpad priority, assigned by the compiler (the last
+/// operand of `S_READ` / `S_VREAD`). Higher values are preferred for
+/// scratchpad residency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Priority(pub u32);
+
+impl From<u32> for Priority {
+    fn from(raw: u32) -> Self {
+        Priority(raw)
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The upper-bound operand (R3) of the bounded set operations.
+///
+/// `S_INTER`/`S_SUB` (and their `.C` variants) terminate early once every
+/// remaining output element would be `>= bound` — the
+/// `BoundedIntersect` optimization of Figure 2(b). The paper encodes
+/// "unbounded" as -1; we use an `Option` newtype with the same meaning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Bound(Option<Key>);
+
+impl Bound {
+    /// No bound: run the operation to completion.
+    pub const fn none() -> Self {
+        Bound(None)
+    }
+
+    /// Terminate once outputs would reach `key` (exclusive upper bound).
+    pub const fn below(key: Key) -> Self {
+        Bound(Some(key))
+    }
+
+    /// The bound as an option.
+    pub const fn get(self) -> Option<Key> {
+        self.0
+    }
+
+    /// Does `key` fall under the bound (i.e. should it still be produced)?
+    #[inline]
+    pub fn admits(self, key: Key) -> bool {
+        match self.0 {
+            None => true,
+            Some(b) => key < b,
+        }
+    }
+}
+
+impl Default for Bound {
+    fn default() -> Self {
+        Bound::none()
+    }
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            None => write!(f, "-1"),
+            Some(k) => write!(f, "{k}"),
+        }
+    }
+}
+
+/// The reduction performed on matched values by `S_VINTER` (the paper's
+/// `IMM` operand): multiply-accumulate by default, plus the other reductions
+/// the paper names.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ValueOp {
+    /// Multiply matching values and accumulate the products (dot product).
+    #[default]
+    Mac,
+    /// Accumulate the maximum of each matching pair.
+    Max,
+    /// Accumulate the minimum of each matching pair.
+    Min,
+    /// Accumulate the sum of each matching pair.
+    Add,
+}
+
+impl ValueOp {
+    /// Apply the pairwise part of the reduction to one matched (a, b) pair.
+    #[inline]
+    pub fn combine(self, a: Value, b: Value) -> Value {
+        match self {
+            ValueOp::Mac => a * b,
+            ValueOp::Max => a.max(b),
+            ValueOp::Min => a.min(b),
+            ValueOp::Add => a + b,
+        }
+    }
+
+    /// The mnemonic used in assembly text.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            ValueOp::Mac => "MAC",
+            ValueOp::Max => "MAX",
+            ValueOp::Min => "MIN",
+            ValueOp::Add => "ADD",
+        }
+    }
+
+    /// Parse a mnemonic.
+    pub fn from_mnemonic(s: &str) -> Option<Self> {
+        match s {
+            "MAC" => Some(ValueOp::Mac),
+            "MAX" => Some(ValueOp::Max),
+            "MIN" => Some(ValueOp::Min),
+            "ADD" => Some(ValueOp::Add),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ValueOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// The three graph-format registers loaded by `S_LD_GFR` (paper
+/// Section 3.2). For CSR: `gfr0` = vertex (index) array address, `gfr1` =
+/// edge array address, `gfr2` = CSR-offset array address (per-vertex offset
+/// of the smallest neighbor larger than the vertex itself — used by nested
+/// intersection and symmetry breaking).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct GfrSet {
+    /// CSR index (vertex array) base address.
+    pub gfr0: u64,
+    /// CSR edge list base address.
+    pub gfr1: u64,
+    /// CSR offset array base address.
+    pub gfr2: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_id_roundtrip() {
+        let s = StreamId::new(7);
+        assert_eq!(s.raw(), 7);
+        assert_eq!(s.to_string(), "s7");
+        assert_eq!(StreamId::from(7u32), s);
+    }
+
+    #[test]
+    fn bound_admits() {
+        assert!(Bound::none().admits(Key::MAX - 1));
+        let b = Bound::below(10);
+        assert!(b.admits(9));
+        assert!(!b.admits(10));
+        assert!(!b.admits(11));
+    }
+
+    #[test]
+    fn bound_display() {
+        assert_eq!(Bound::none().to_string(), "-1");
+        assert_eq!(Bound::below(42).to_string(), "42");
+    }
+
+    #[test]
+    fn value_op_combine() {
+        assert_eq!(ValueOp::Mac.combine(3.0, 4.0), 12.0);
+        assert_eq!(ValueOp::Max.combine(3.0, 4.0), 4.0);
+        assert_eq!(ValueOp::Min.combine(3.0, 4.0), 3.0);
+        assert_eq!(ValueOp::Add.combine(3.0, 4.0), 7.0);
+    }
+
+    #[test]
+    fn value_op_mnemonic_roundtrip() {
+        for op in [ValueOp::Mac, ValueOp::Max, ValueOp::Min, ValueOp::Add] {
+            assert_eq!(ValueOp::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        assert_eq!(ValueOp::from_mnemonic("NOP"), None);
+    }
+
+    #[test]
+    fn eos_is_max_key() {
+        assert_eq!(EOS, u32::MAX);
+    }
+}

@@ -1,0 +1,410 @@
+//! Sparse matrix × sparse matrix multiplication under three dataflows.
+//!
+//! The three loop orders of paper Section 2.1 — inner product (m, n, k),
+//! outer product (k, m, n), Gustavson (m, k, n) — expressed over the
+//! [`TensorBackend`] primitives so the identical algorithm runs on the
+//! CPU baseline and on SparseCore.
+
+use crate::backend::TensorBackend;
+use crate::vstream::VStream;
+use sc_tensor::{CscMatrix, CsrMatrix};
+
+/// Result of one spmspm run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpmspmResult {
+    /// The product matrix.
+    pub c: CsrMatrix,
+    /// Total simulated cycles (scaled up when sampling was used).
+    pub cycles: u64,
+    /// Rows actually simulated (== `a.rows()` unless sampled).
+    pub rows_simulated: usize,
+}
+
+/// Options for the inner-product dataflow.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InnerOptions {
+    /// Simulate only every `k`-th row and scale the cycle count by `k`
+    /// (the inner product visits all `m*n` pairs, which is exactly its
+    /// asymptotic weakness; sampling keeps large-matrix sweeps tractable
+    /// while preserving per-row behaviour). `None` simulates every row.
+    pub row_sample: Option<usize>,
+}
+
+/// Inner-product spmspm: `C[i][j] = dot(A_row_i, B_col_j)`.
+///
+/// `A`'s row stream is loaded once per row and reused across all columns
+/// (high scratchpad priority), reproducing the data-reuse advantage the
+/// paper credits for inner product's large speedup.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn inner_product<B: TensorBackend>(
+    a: &CsrMatrix,
+    b: &CscMatrix,
+    backend: &mut B,
+    opts: InnerOptions,
+) -> SpmspmResult {
+    assert_eq!(a.cols(), b.rows(), "shape mismatch");
+    let stride = opts.row_sample.unwrap_or(1).max(1);
+    let mut triplets: Vec<(u32, u32, f64)> = Vec::new();
+    let mut rows_simulated = 0usize;
+    for i in (0..a.rows()).step_by(stride) {
+        rows_simulated += 1;
+        backend.loop_branch(0x400, true);
+        if a.row_nnz(i) == 0 {
+            continue;
+        }
+        let row = VStream::from_row(a, i);
+        let hrow = backend.load(&row, 4); // reused across all columns
+        for j in 0..b.cols() {
+            backend.loop_branch(0x404, true);
+            if b.col_nnz(j) == 0 {
+                continue;
+            }
+            let col = VStream::from_col(b, j);
+            // Columns are re-streamed for every row of A: scratchpad
+            // priority captures that reuse (the paper's Section 6.9.1
+            // explanation of inner product's large speedups).
+            let hcol = backend.load(&col, 2);
+            let v = backend.dot(&hrow, &hcol);
+            backend.release(hcol);
+            if v != 0.0 {
+                triplets.push((i as u32, j as u32, v));
+                backend.store_result(0xF000_0000 + (i * b.cols() + j) as u64 * 8);
+            }
+        }
+        backend.loop_branch(0x404, false);
+        backend.release(hrow);
+    }
+    backend.loop_branch(0x400, false);
+    let cycles = backend.finish() * stride as u64;
+    SpmspmResult {
+        c: CsrMatrix::from_triplets(a.rows(), b.cols(), &triplets),
+        cycles,
+        rows_simulated,
+    }
+}
+
+/// Outer-product spmspm: `C = Σ_k A_col_k ⊗ B_row_k`, accumulating each
+/// output row by scaled merges.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn outer_product<B: TensorBackend>(
+    a_csc: &CscMatrix,
+    b: &CsrMatrix,
+    backend: &mut B,
+) -> SpmspmResult {
+    assert_eq!(a_csc.cols(), b.rows(), "shape mismatch");
+    let m = a_csc.rows();
+    let mut acc: Vec<VStream> = (0..m).map(|_| VStream::empty()).collect();
+    for k in 0..a_csc.cols() {
+        backend.loop_branch(0x410, true);
+        if a_csc.col_nnz(k) == 0 || b.row_nnz(k) == 0 {
+            continue;
+        }
+        let brow = VStream::from_fiberless(b, k);
+        let hb = backend.load(&brow, 2); // reused across all of A's column
+        let col = VStream::from_col(a_csc, k);
+        for (idx, &i) in col.keys.iter().enumerate() {
+            backend.loop_branch(0x414, true);
+            let a_ik = col.vals[idx];
+            backend.ops(2);
+            let hacc = backend.load(&acc[i as usize], 0);
+            let merged = backend.scaled_merge(1.0, &hacc, a_ik, &hb);
+            backend.release(hacc);
+            acc[i as usize] = merged;
+        }
+        backend.loop_branch(0x414, false);
+        backend.release(hb);
+    }
+    backend.loop_branch(0x410, false);
+    let cycles = backend.finish();
+    SpmspmResult { c: rows_to_matrix(m, b.cols(), &acc), cycles, rows_simulated: m }
+}
+
+/// Gustavson spmspm: `C_row_i = Σ_k a_ik * B_row_k` (paper Figure 4(c)).
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn gustavson<B: TensorBackend>(a: &CsrMatrix, b: &CsrMatrix, backend: &mut B) -> SpmspmResult {
+    assert_eq!(a.cols(), b.rows(), "shape mismatch");
+    let m = a.rows();
+    let mut rows: Vec<VStream> = Vec::with_capacity(m);
+    for i in 0..m {
+        backend.loop_branch(0x420, true);
+        let arow = VStream::from_row(a, i);
+        let mut acc = VStream::empty();
+        for (idx, &k) in arow.keys.iter().enumerate() {
+            backend.loop_branch(0x424, true);
+            let a_ik = arow.vals[idx];
+            backend.ops(2);
+            if b.row_nnz(k as usize) == 0 {
+                continue;
+            }
+            let brow = VStream::from_row(b, k as usize);
+            let hb = backend.load(&brow, 1);
+            let hacc = backend.load(&acc, 3); // the running row is hot
+            acc = backend.scaled_merge(1.0, &hacc, a_ik, &hb);
+            backend.release(hacc);
+            backend.release(hb);
+        }
+        backend.loop_branch(0x424, false);
+        rows.push(acc);
+    }
+    backend.loop_branch(0x420, false);
+    let cycles = backend.finish();
+    SpmspmResult { c: rows_to_matrix(m, b.cols(), &rows), cycles, rows_simulated: m }
+}
+
+/// Gustavson with row sampling: simulate every `stride`-th output row
+/// and scale the cycle count (rows are fully independent, so the
+/// estimate is unbiased; the product contains only the sampled rows).
+pub fn gustavson_sampled<B: TensorBackend>(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    backend: &mut B,
+    stride: usize,
+) -> SpmspmResult {
+    assert_eq!(a.cols(), b.rows(), "shape mismatch");
+    let stride = stride.max(1);
+    let m = a.rows();
+    let mut rows: Vec<(usize, VStream)> = Vec::new();
+    let mut simulated = 0;
+    for i in (0..m).step_by(stride) {
+        simulated += 1;
+        backend.loop_branch(0x420, true);
+        let arow = VStream::from_row(a, i);
+        let mut acc = VStream::empty();
+        for (idx, &k) in arow.keys.iter().enumerate() {
+            backend.loop_branch(0x424, true);
+            let a_ik = arow.vals[idx];
+            backend.ops(2);
+            if b.row_nnz(k as usize) == 0 {
+                continue;
+            }
+            let brow = VStream::from_row(b, k as usize);
+            let hb = backend.load(&brow, 1);
+            let hacc = backend.load(&acc, 3);
+            acc = backend.scaled_merge(1.0, &hacc, a_ik, &hb);
+            backend.release(hacc);
+            backend.release(hb);
+        }
+        backend.loop_branch(0x424, false);
+        rows.push((i, acc));
+    }
+    backend.loop_branch(0x420, false);
+    let cycles = backend.finish() * stride as u64;
+    let mut triplets = Vec::new();
+    for (i, r) in &rows {
+        for (k, v) in r.keys.iter().zip(&r.vals) {
+            triplets.push((*i as u32, *k, *v));
+        }
+    }
+    SpmspmResult {
+        c: CsrMatrix::from_triplets(m, b.cols(), &triplets),
+        cycles,
+        rows_simulated: simulated,
+    }
+}
+
+/// Outer product with column sampling: simulate every `stride`-th rank-1
+/// update and scale the cycle count. The per-column updates are
+/// independent in work (the accumulators grow more slowly than in a full
+/// run, so this slightly *under*-counts merge lengths — acceptable for
+/// the large-matrix sweeps, and both backends see the same bias).
+pub fn outer_product_sampled<B: TensorBackend>(
+    a_csc: &CscMatrix,
+    b: &CsrMatrix,
+    backend: &mut B,
+    stride: usize,
+) -> SpmspmResult {
+    assert_eq!(a_csc.cols(), b.rows(), "shape mismatch");
+    let stride = stride.max(1);
+    let m = a_csc.rows();
+    let mut acc: Vec<VStream> = (0..m).map(|_| VStream::empty()).collect();
+    let mut simulated = 0;
+    for k in (0..a_csc.cols()).step_by(stride) {
+        simulated += 1;
+        backend.loop_branch(0x410, true);
+        if a_csc.col_nnz(k) == 0 || b.row_nnz(k) == 0 {
+            continue;
+        }
+        let brow = VStream::from_row(b, k);
+        let hb = backend.load(&brow, 2);
+        let col = VStream::from_col(a_csc, k);
+        for (idx, &i) in col.keys.iter().enumerate() {
+            backend.loop_branch(0x414, true);
+            let a_ik = col.vals[idx];
+            backend.ops(2);
+            let hacc = backend.load(&acc[i as usize], 0);
+            let merged = backend.scaled_merge(1.0, &hacc, a_ik, &hb);
+            backend.release(hacc);
+            acc[i as usize] = merged;
+        }
+        backend.loop_branch(0x414, false);
+        backend.release(hb);
+    }
+    backend.loop_branch(0x410, false);
+    let cycles = backend.finish() * stride as u64;
+    SpmspmResult { c: rows_to_matrix(m, b.cols(), &acc), cycles, rows_simulated: simulated }
+}
+
+impl VStream {
+    /// Row `k` of a CSR matrix (helper named to avoid clashing with the
+    /// fiber constructor).
+    fn from_fiberless(m: &CsrMatrix, k: usize) -> VStream {
+        VStream::from_row(m, k)
+    }
+}
+
+fn rows_to_matrix(m: usize, n: usize, rows: &[VStream]) -> CsrMatrix {
+    let mut triplets = Vec::new();
+    for (i, r) in rows.iter().enumerate() {
+        for (k, v) in r.keys.iter().zip(&r.vals) {
+            triplets.push((i as u32, *k, *v));
+        }
+    }
+    CsrMatrix::from_triplets(m, n, &triplets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{ScalarTensorBackend, StreamTensorBackend};
+    use sc_tensor::dense::{dense_close, matmul_reference};
+    use sc_tensor::generators::random_matrix;
+
+    fn check_against_reference(c: &CsrMatrix, a: &CsrMatrix, b: &CsrMatrix) {
+        let expected = matmul_reference(a, b);
+        assert!(
+            dense_close(&c.to_dense(), &expected, 1e-9),
+            "product mismatch"
+        );
+    }
+
+    #[test]
+    fn inner_product_correct_both_backends() {
+        let a = random_matrix(12, 10, 40, 1);
+        let b = random_matrix(10, 14, 50, 2);
+        let bcsc = b.to_csc();
+        let r1 = inner_product(&a, &bcsc, &mut ScalarTensorBackend::new(), InnerOptions::default());
+        check_against_reference(&r1.c, &a, &b);
+        let r2 = inner_product(&a, &bcsc, &mut StreamTensorBackend::new(), InnerOptions::default());
+        check_against_reference(&r2.c, &a, &b);
+        assert!(r1.cycles > 0 && r2.cycles > 0);
+    }
+
+    #[test]
+    fn outer_product_correct_both_backends() {
+        let a = random_matrix(9, 11, 35, 3);
+        let b = random_matrix(11, 8, 30, 4);
+        let acsc = a.to_csc();
+        let r1 = outer_product(&acsc, &b, &mut ScalarTensorBackend::new());
+        check_against_reference(&r1.c, &a, &b);
+        let r2 = outer_product(&acsc, &b, &mut StreamTensorBackend::new());
+        check_against_reference(&r2.c, &a, &b);
+    }
+
+    #[test]
+    fn gustavson_correct_both_backends() {
+        let a = random_matrix(10, 12, 45, 5);
+        let b = random_matrix(12, 9, 40, 6);
+        let r1 = gustavson(&a, &b, &mut ScalarTensorBackend::new());
+        check_against_reference(&r1.c, &a, &b);
+        let r2 = gustavson(&a, &b, &mut StreamTensorBackend::new());
+        check_against_reference(&r2.c, &a, &b);
+    }
+
+    #[test]
+    fn three_dataflows_agree() {
+        let a = random_matrix(8, 8, 25, 7);
+        let b = random_matrix(8, 8, 25, 8);
+        let inner =
+            inner_product(&a, &b.to_csc(), &mut ScalarTensorBackend::new(), InnerOptions::default());
+        let outer = outer_product(&a.to_csc(), &b, &mut ScalarTensorBackend::new());
+        let gus = gustavson(&a, &b, &mut ScalarTensorBackend::new());
+        assert!(dense_close(&inner.c.to_dense(), &outer.c.to_dense(), 1e-9));
+        assert!(dense_close(&inner.c.to_dense(), &gus.c.to_dense(), 1e-9));
+    }
+
+    #[test]
+    fn sampling_scales_cycles() {
+        let a = random_matrix(20, 10, 60, 9);
+        let b = random_matrix(10, 10, 40, 10).to_csc();
+        let full = inner_product(&a, &b, &mut ScalarTensorBackend::new(), InnerOptions::default());
+        let sampled = inner_product(
+            &a,
+            &b,
+            &mut ScalarTensorBackend::new(),
+            InnerOptions { row_sample: Some(4) },
+        );
+        assert_eq!(full.rows_simulated, 20);
+        assert_eq!(sampled.rows_simulated, 5);
+        // Scaled estimate should land within 2x of the full run.
+        let ratio = sampled.cycles as f64 / full.cycles as f64;
+        assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn stream_faster_for_inner_product() {
+        // Inner product is the dataflow the paper accelerates most (6.9x):
+        // long rows + reuse.
+        let a = random_matrix(16, 40, 320, 11);
+        let b = random_matrix(40, 16, 320, 12).to_csc();
+        let sc = inner_product(&a, &b, &mut ScalarTensorBackend::new(), InnerOptions::default());
+        let st = inner_product(&a, &b, &mut StreamTensorBackend::new(), InnerOptions::default());
+        assert!(
+            st.cycles < sc.cycles,
+            "stream {} vs scalar {}",
+            st.cycles,
+            sc.cycles
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_checked() {
+        let a = random_matrix(4, 5, 6, 0);
+        let b = random_matrix(4, 4, 6, 0).to_csc();
+        inner_product(&a, &b, &mut ScalarTensorBackend::new(), InnerOptions::default());
+    }
+}
+
+#[cfg(test)]
+mod sampled_tests {
+    use super::*;
+    use crate::backend::ScalarTensorBackend;
+    use sc_tensor::generators::random_matrix;
+
+    #[test]
+    fn sampled_gustavson_rows_match_full_run() {
+        let a = random_matrix(20, 20, 120, 51);
+        let b = random_matrix(20, 20, 120, 52);
+        let full = gustavson(&a, &b, &mut ScalarTensorBackend::new());
+        let sampled = gustavson_sampled(&a, &b, &mut ScalarTensorBackend::new(), 4);
+        assert_eq!(sampled.rows_simulated, 5);
+        // Every sampled row equals the full product's row.
+        for i in (0..20).step_by(4) {
+            assert_eq!(sampled.c.row_indices(i), full.c.row_indices(i), "row {i}");
+        }
+        // Stride 1 is the full run.
+        let s1 = gustavson_sampled(&a, &b, &mut ScalarTensorBackend::new(), 1);
+        assert_eq!(s1.c, full.c);
+        let ratio = sampled.cycles as f64 / full.cycles as f64;
+        assert!((0.4..2.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn sampled_outer_cycle_estimate_reasonable() {
+        let a = random_matrix(24, 24, 150, 53);
+        let acsc = a.to_csc();
+        let full = outer_product(&acsc, &a, &mut ScalarTensorBackend::new());
+        let sampled = outer_product_sampled(&acsc, &a, &mut ScalarTensorBackend::new(), 3);
+        let ratio = sampled.cycles as f64 / full.cycles as f64;
+        assert!((0.2..2.0).contains(&ratio), "ratio {ratio}");
+    }
+}

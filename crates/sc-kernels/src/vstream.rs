@@ -1,0 +1,115 @@
+//! Owned (key, value) streams — the unit of data tensor kernels move.
+
+use sc_tensor::{CscMatrix, CsfTensor, CsrMatrix};
+
+/// An owned (key, value) stream with its simulated memory addresses:
+/// a matrix row/column, a tensor fiber, a dense vector, or a kernel
+/// intermediate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VStream {
+    /// Sorted keys.
+    pub keys: Vec<u32>,
+    /// Values aligned with `keys`.
+    pub vals: Vec<f64>,
+    /// Simulated byte address of `keys[0]`.
+    pub key_addr: u64,
+    /// Simulated byte address of `vals[0]`.
+    pub val_addr: u64,
+}
+
+impl VStream {
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Is the stream empty?
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// An empty stream (the identity of scaled merges).
+    pub fn empty() -> Self {
+        VStream { keys: Vec::new(), vals: Vec::new(), key_addr: 0, val_addr: 0 }
+    }
+
+    /// Row `r` of a CSR matrix.
+    pub fn from_row(m: &CsrMatrix, r: usize) -> Self {
+        VStream {
+            keys: m.row_indices(r).to_vec(),
+            vals: m.row_values(r).to_vec(),
+            key_addr: m.row_index_addr(r),
+            val_addr: m.row_value_addr(r),
+        }
+    }
+
+    /// Column `c` of a CSC matrix.
+    pub fn from_col(m: &CscMatrix, c: usize) -> Self {
+        VStream {
+            keys: m.col_indices(c).to_vec(),
+            vals: m.col_values(c).to_vec(),
+            key_addr: m.col_index_addr(c),
+            val_addr: m.col_value_addr(c),
+        }
+    }
+
+    /// Fiber `n` of a CSF tensor.
+    pub fn from_fiber(t: &CsfTensor, n: usize) -> Self {
+        let f = t.fiber(n);
+        VStream {
+            keys: f.ks.clone(),
+            vals: f.vals.clone(),
+            key_addr: t.fiber_index_addr(n),
+            val_addr: t.fiber_value_addr(n),
+        }
+    }
+
+    /// A dense vector viewed as a (key, value) stream with every key
+    /// present (the TTV/TTM formulation of the paper).
+    pub fn from_dense(vals: &[f64], key_addr: u64, val_addr: u64) -> Self {
+        VStream {
+            keys: (0..vals.len() as u32).collect(),
+            vals: vals.to_vec(),
+            key_addr,
+            val_addr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_tensor::CsrMatrix;
+
+    #[test]
+    fn from_row_copies_content_and_addresses() {
+        let m = CsrMatrix::from_triplets(2, 4, &[(0, 1, 2.0), (0, 3, 4.0), (1, 0, 5.0)]);
+        let s = VStream::from_row(&m, 0);
+        assert_eq!(s.keys, vec![1, 3]);
+        assert_eq!(s.vals, vec![2.0, 4.0]);
+        assert_eq!(s.key_addr, m.row_index_addr(0));
+        let s1 = VStream::from_row(&m, 1);
+        assert_eq!(s1.key_addr, m.row_index_addr(1));
+    }
+
+    #[test]
+    fn from_col_uses_transpose() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 1, 2.0), (1, 1, 3.0)]);
+        let t = m.to_csc();
+        let c1 = VStream::from_col(&t, 1);
+        assert_eq!(c1.keys, vec![0, 1]);
+        assert_eq!(c1.vals, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn dense_has_all_keys() {
+        let s = VStream::from_dense(&[1.0, 2.0, 3.0], 0x100, 0x200);
+        assert_eq!(s.keys, vec![0, 1, 2]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        assert!(VStream::empty().is_empty());
+    }
+}

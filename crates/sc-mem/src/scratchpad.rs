@@ -1,0 +1,244 @@
+//! The stream-reuse scratchpad (paper Section 4.2).
+//!
+//! A scratchpad shared by all Stream Units stores high-priority streams so
+//! that reused streams do not move between the S-Cache and L2 repeatedly.
+//! Stream priority is assigned by the compiler (the last operand of
+//! `S_READ` / `S_VREAD`); the scratchpad admits a stream when it has spare
+//! capacity or when the new stream's priority beats the lowest-priority
+//! resident stream.
+
+use crate::Cycle;
+use std::collections::HashMap;
+
+/// Scratchpad configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScratchpadConfig {
+    /// Capacity in bytes (paper Table 2: 16 KiB).
+    pub size_bytes: u64,
+    /// Access latency in cycles (SRAM, same as L1).
+    pub latency: Cycle,
+}
+
+impl ScratchpadConfig {
+    /// The paper's Table 2 configuration: 16 KiB.
+    pub fn paper() -> Self {
+        ScratchpadConfig { size_bytes: 16 << 10, latency: 4 }
+    }
+}
+
+/// A resident stream entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    bytes: u64,
+    priority: u32,
+    /// Logical admission time used to break priority ties (older wins).
+    admitted: u64,
+}
+
+/// Priority-managed scratchpad for stream keys.
+///
+/// Keys are tracked per *stream* (identified by the stream's start address),
+/// not per line: a stream is either fully resident or absent, which matches
+/// the paper's usage where whole reused edge lists live in the scratchpad.
+///
+/// # Example
+///
+/// ```
+/// use sc_mem::{Scratchpad, ScratchpadConfig};
+///
+/// let mut sp = Scratchpad::new(ScratchpadConfig::paper());
+/// assert!(sp.admit(0x1000, 256, 3));
+/// assert!(sp.contains(0x1000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scratchpad {
+    config: ScratchpadConfig,
+    entries: HashMap<u64, Entry>,
+    used: u64,
+    tick: u64,
+    /// Hits served from the scratchpad.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+}
+
+impl Scratchpad {
+    /// Create an empty scratchpad.
+    pub fn new(config: ScratchpadConfig) -> Self {
+        Scratchpad {
+            config,
+            entries: HashMap::new(),
+            used: 0,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configuration this scratchpad was built with.
+    pub fn config(&self) -> &ScratchpadConfig {
+        &self.config
+    }
+
+    /// Bytes currently allocated.
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// Is the stream starting at `key_addr` resident?
+    pub fn contains(&self, key_addr: u64) -> bool {
+        self.entries.contains_key(&key_addr)
+    }
+
+    /// Look up a stream; updates hit/miss statistics and returns the access
+    /// latency if resident.
+    pub fn lookup(&mut self, key_addr: u64) -> Option<Cycle> {
+        if self.entries.contains_key(&key_addr) {
+            self.hits += 1;
+            Some(self.config.latency)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Try to admit a stream of `bytes` bytes with the given priority.
+    ///
+    /// Returns `true` if the stream is resident afterwards. Lower-priority
+    /// resident streams are evicted to make room, but only if the candidate's
+    /// priority strictly beats theirs; a stream larger than the whole
+    /// scratchpad is never admitted.
+    pub fn admit(&mut self, key_addr: u64, bytes: u64, priority: u32) -> bool {
+        if bytes > self.config.size_bytes {
+            return false;
+        }
+        self.tick += 1;
+        if let Some(e) = self.entries.get_mut(&key_addr) {
+            // Already resident: refresh priority if the new one is higher.
+            e.priority = e.priority.max(priority);
+            return true;
+        }
+        // Evict strictly-lower-priority entries (lowest first) until it fits.
+        while self.used + bytes > self.config.size_bytes {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(_, e)| e.priority < priority)
+                .min_by_key(|(_, e)| (e.priority, std::cmp::Reverse(e.admitted)))
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    let e = self.entries.remove(&k).expect("victim exists");
+                    self.used -= e.bytes;
+                }
+                None => return false,
+            }
+        }
+        self.entries.insert(key_addr, Entry { bytes, priority, admitted: self.tick });
+        self.used += bytes;
+        true
+    }
+
+    /// Explicitly release a stream (e.g. on `S_FREE`). Returns `true` if the
+    /// stream was resident.
+    pub fn release(&mut self, key_addr: u64) -> bool {
+        if let Some(e) = self.entries.remove(&key_addr) {
+            self.used -= e.bytes;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scratchpad {
+        Scratchpad::new(ScratchpadConfig { size_bytes: 1024, latency: 2 })
+    }
+
+    #[test]
+    fn admit_and_lookup() {
+        let mut sp = tiny();
+        assert!(sp.admit(0x100, 512, 1));
+        assert_eq!(sp.lookup(0x100), Some(2));
+        assert_eq!(sp.lookup(0x200), None);
+        assert_eq!(sp.hits, 1);
+        assert_eq!(sp.misses, 1);
+    }
+
+    #[test]
+    fn oversize_stream_rejected() {
+        let mut sp = tiny();
+        assert!(!sp.admit(0x100, 2048, 10));
+        assert_eq!(sp.used_bytes(), 0);
+    }
+
+    #[test]
+    fn higher_priority_evicts_lower() {
+        let mut sp = tiny();
+        assert!(sp.admit(0xA, 600, 1));
+        assert!(sp.admit(0xB, 600, 5)); // must evict 0xA
+        assert!(!sp.contains(0xA));
+        assert!(sp.contains(0xB));
+    }
+
+    #[test]
+    fn equal_priority_does_not_evict() {
+        let mut sp = tiny();
+        assert!(sp.admit(0xA, 600, 3));
+        assert!(!sp.admit(0xB, 600, 3));
+        assert!(sp.contains(0xA));
+    }
+
+    #[test]
+    fn eviction_picks_lowest_priority_first() {
+        let mut sp = tiny();
+        assert!(sp.admit(0xA, 400, 2));
+        assert!(sp.admit(0xB, 400, 4));
+        assert!(sp.admit(0xC, 400, 5)); // evicts 0xA (priority 2), not 0xB
+        assert!(!sp.contains(0xA));
+        assert!(sp.contains(0xB));
+        assert!(sp.contains(0xC));
+    }
+
+    #[test]
+    fn readmit_refreshes_priority() {
+        let mut sp = tiny();
+        assert!(sp.admit(0xA, 400, 1));
+        assert!(sp.admit(0xA, 400, 9));
+        // 0xA now has priority 9 and resists a priority-5 challenger.
+        assert!(sp.admit(0xB, 400, 5));
+        assert!(!sp.admit(0xC, 400, 5)); // would need to evict 0xB (equal) or 0xA (higher)
+        assert!(sp.contains(0xA));
+    }
+
+    #[test]
+    fn release_frees_space() {
+        let mut sp = tiny();
+        assert!(sp.admit(0xA, 1024, 1));
+        assert!(sp.release(0xA));
+        assert!(!sp.release(0xA));
+        assert_eq!(sp.used_bytes(), 0);
+        assert!(sp.admit(0xB, 1024, 1));
+    }
+
+    #[test]
+    fn accounting_is_exact() {
+        let mut sp = tiny();
+        sp.admit(1, 100, 1);
+        sp.admit(2, 200, 1);
+        sp.admit(3, 300, 1);
+        assert_eq!(sp.used_bytes(), 600);
+        sp.release(2);
+        assert_eq!(sp.used_bytes(), 400);
+    }
+}

@@ -1,0 +1,94 @@
+//! Access statistics for caches and the memory hierarchy.
+
+/// Per-cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses that hit.
+    pub hits: u64,
+    /// Demand accesses that missed.
+    pub misses: u64,
+    /// Lines inserted by prefetch/fill (not demand misses).
+    pub fills: u64,
+    /// Lines evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total demand accesses (hits + misses).
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in [0, 1]; returns 0.0 when there were no accesses.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Hierarchy-wide counters: where demand loads were satisfied, and the total
+/// latency charged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// Loads satisfied by L1.
+    pub l1_hits: u64,
+    /// Loads satisfied by L2.
+    pub l2_hits: u64,
+    /// Loads satisfied by L3.
+    pub l3_hits: u64,
+    /// Loads that went to DRAM.
+    pub dram_accesses: u64,
+    /// Sum of per-load latencies in cycles.
+    pub total_latency: u64,
+}
+
+impl HierarchyStats {
+    /// Total demand loads observed.
+    pub fn loads(&self) -> u64 {
+        self.l1_hits + self.l2_hits + self.l3_hits + self.dram_accesses
+    }
+
+    /// Mean load latency in cycles; 0.0 when no loads were issued.
+    pub fn mean_latency(&self) -> f64 {
+        let n = self.loads();
+        if n == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_zero_when_empty() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_computed() {
+        let s = CacheStats { hits: 3, misses: 1, fills: 0, evictions: 0 };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(s.accesses(), 4);
+    }
+
+    #[test]
+    fn mean_latency() {
+        let h = HierarchyStats {
+            l1_hits: 2,
+            l2_hits: 1,
+            l3_hits: 0,
+            dram_accesses: 1,
+            total_latency: 40,
+        };
+        assert_eq!(h.loads(), 4);
+        assert!((h.mean_latency() - 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,138 @@
+//! Dense reference kernels used to verify every sparse kernel exactly.
+
+use crate::csf::CsfTensor;
+use crate::csr_matrix::CsrMatrix;
+
+/// Dense matrix-matrix product of two sparse matrices (reference).
+///
+/// # Panics
+///
+/// Panics on shape mismatch or matrices too large to densify.
+pub fn matmul_reference(a: &CsrMatrix, b: &CsrMatrix) -> Vec<Vec<f64>> {
+    assert_eq!(a.cols(), b.rows(), "shape mismatch {}x{} * {}x{}", a.rows(), a.cols(), b.rows(), b.cols());
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let ad = a.to_dense();
+    let bd = b.to_dense();
+    let mut c = vec![vec![0.0; n]; m];
+    for i in 0..m {
+        for l in 0..k {
+            let av = ad[i][l];
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                c[i][j] += av * bd[l][j];
+            }
+        }
+    }
+    c
+}
+
+/// Dense TTV reference: `Z[i][j] = sum_k A[i][j][k] * v[k]`.
+pub fn ttv_reference(a: &CsfTensor, v: &[f64]) -> Vec<Vec<f64>> {
+    let [d0, d1, _] = a.dims();
+    let mut z = vec![vec![0.0; d1]; d0];
+    for f in a.fibers() {
+        let mut acc = 0.0;
+        for (k, val) in f.ks.iter().zip(&f.vals) {
+            acc += val * v[*k as usize];
+        }
+        z[f.i as usize][f.j as usize] = acc;
+    }
+    z
+}
+
+/// Dense TTM reference: `Z[i][j][k] = sum_l A[i][j][l] * B[k][l]`.
+/// `b` is given row-major, `b[k][l]`.
+pub fn ttm_reference(a: &CsfTensor, b: &[Vec<f64>]) -> Vec<Vec<Vec<f64>>> {
+    let [d0, d1, _] = a.dims();
+    let nk = b.len();
+    let mut z = vec![vec![vec![0.0; nk]; d1]; d0];
+    for f in a.fibers() {
+        for (k_out, b_row) in b.iter().enumerate() {
+            let mut acc = 0.0;
+            for (l, val) in f.ks.iter().zip(&f.vals) {
+                acc += val * b_row[*l as usize];
+            }
+            z[f.i as usize][f.j as usize][k_out] = acc;
+        }
+    }
+    z
+}
+
+/// Compare two dense matrices to a tolerance (helper for kernel tests).
+pub fn dense_close(a: &[Vec<f64>], b: &[Vec<f64>], tol: f64) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(ra, rb)| {
+            ra.len() == rb.len() && ra.iter().zip(rb).all(|(x, y)| (x - y).abs() <= tol)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{random_matrix, random_tensor};
+
+    #[test]
+    fn matmul_identity() {
+        let i2 = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 1.0)]);
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 1, 3.0), (1, 0, 4.0)]);
+        let c = matmul_reference(&a, &i2);
+        assert_eq!(c, a.to_dense());
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        // [[1,2],[0,1]] * [[1,0],[1,1]] = [[3,2],[1,1]]
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 1, 1.0)]);
+        let b = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 0, 1.0), (1, 1, 1.0)]);
+        let c = matmul_reference(&a, &b);
+        assert_eq!(c, vec![vec![3.0, 2.0], vec![1.0, 1.0]]);
+    }
+
+    #[test]
+    fn ttv_reference_small() {
+        let t = CsfTensor::from_entries([1, 2, 3], &[(0, 0, 0, 2.0), (0, 0, 2, 3.0), (0, 1, 1, 4.0)]);
+        let v = [1.0, 10.0, 100.0];
+        let z = ttv_reference(&t, &v);
+        assert_eq!(z[0][0], 2.0 + 300.0);
+        assert_eq!(z[0][1], 40.0);
+    }
+
+    #[test]
+    fn ttm_reference_small() {
+        let t = CsfTensor::from_entries([1, 1, 2], &[(0, 0, 0, 2.0), (0, 0, 1, 3.0)]);
+        let b = vec![vec![1.0, 0.0], vec![0.5, 0.5]];
+        let z = ttm_reference(&t, &b);
+        assert_eq!(z[0][0][0], 2.0);
+        assert_eq!(z[0][0][1], 2.5);
+    }
+
+    #[test]
+    fn dense_close_tolerances() {
+        let a = vec![vec![1.0, 2.0]];
+        let b = vec![vec![1.0 + 1e-12, 2.0]];
+        assert!(dense_close(&a, &b, 1e-9));
+        assert!(!dense_close(&a, &b, 1e-15));
+        assert!(!dense_close(&a, &[vec![1.0]], 1.0));
+    }
+
+    #[test]
+    fn random_inputs_consistent_shapes() {
+        let a = random_matrix(8, 6, 20, 1);
+        let b = random_matrix(6, 7, 18, 2);
+        let c = matmul_reference(&a, &b);
+        assert_eq!((c.len(), c[0].len()), (8, 7));
+        let t = random_tensor([4, 5, 6], 10, 30, 3);
+        let z = ttv_reference(&t, &vec![1.0; 6]);
+        assert_eq!((z.len(), z[0].len()), (4, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn matmul_shape_checked() {
+        let a = random_matrix(2, 3, 2, 0);
+        let b = random_matrix(2, 2, 2, 0);
+        matmul_reference(&a, &b);
+    }
+}

@@ -1,0 +1,42 @@
+//! Sparse tensor substrate for the SparseCore reproduction.
+//!
+//! The paper's tensor evaluation (Section 6.9) runs sparse matrix-sparse
+//! matrix multiplication under three dataflows (inner product, outer
+//! product, Gustavson), plus tensor-times-vector (TTV) and
+//! tensor-times-matrix (TTM), over SuiteSparse matrices and FROSTT
+//! tensors. This crate provides the data structures those kernels need:
+//!
+//! * [`CsrMatrix`] / [`CscMatrix`] — compressed sparse row/column matrices
+//!   with sorted index lists (each row/column is directly usable as a
+//!   (key, value) stream) and a simulated memory layout.
+//! * [`CsfTensor`] — a compressed sparse fiber 3-tensor: sorted (i, j)
+//!   fibers each holding a sorted list of (k, value) pairs.
+//! * [`generators`] — seeded random generators matching a target shape and
+//!   nonzero count.
+//! * [`datasets`] — the 11 matrices and 2 tensors of the paper's Table 5
+//!   (large ones scaled down, preserving nonzeros-per-row — the stream
+//!   length that drives SparseCore's speedup).
+//! * [`dense`] — dense reference implementations used by tests to check
+//!   every sparse kernel's output exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use sc_tensor::CsrMatrix;
+//!
+//! let a = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]);
+//! assert_eq!(a.nnz(), 3);
+//! assert_eq!(a.row_indices(0), &[0, 2]);
+//! assert_eq!(a.row_values(0), &[1.0, 2.0]);
+//! ```
+
+pub mod csf;
+pub mod csr_matrix;
+pub mod datasets;
+pub mod dense;
+pub mod generators;
+
+pub use csf::CsfTensor;
+pub use csr_matrix::{CscMatrix, CsrMatrix, MatrixLayout};
+pub use datasets::{MatrixDataset, TensorDataset};
+pub use generators::{random_matrix, random_tensor};

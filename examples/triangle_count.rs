@@ -1,0 +1,49 @@
+//! Triangle counting end to end: the paper's headline GPM workload.
+//!
+//! Compiles the triangle pattern (with symmetry breaking), runs it on the
+//! CPU baseline and on SparseCore with and without `S_NESTINTER`, and
+//! prints counts, cycles and speedups — a miniature of the paper's
+//! Figure 8 T/TS columns.
+//!
+//! Run with: `cargo run --release --example triangle_count [graph-tag]`
+//! where `graph-tag` is a Table 4 tag (default: E = email-eu-core).
+
+use sc_gpm::App;
+use sc_graph::Dataset;
+use sparsecore::SparseCoreConfig;
+
+fn main() {
+    let tag = std::env::args().nth(1).unwrap_or_else(|| "E".to_string());
+    let dataset = Dataset::ALL
+        .into_iter()
+        .find(|d| d.tag() == tag)
+        .unwrap_or(Dataset::EmailEuCore);
+    let g = dataset.build();
+    println!("graph: {dataset} -> {g}");
+
+    let cpu = App::Triangle.run_scalar(&g);
+    println!("\nCPU baseline      : {:>12} triangles in {:>12} cycles", cpu.count, cpu.cycles);
+
+    let ts = App::TriangleNoNested.run_stream(&g, SparseCoreConfig::paper());
+    println!(
+        "SparseCore (TS)   : {:>12} triangles in {:>12} cycles ({:.2}x vs CPU)",
+        ts.count,
+        ts.cycles,
+        cpu.cycles as f64 / ts.cycles as f64
+    );
+
+    let t = App::Triangle.run_stream(&g, SparseCoreConfig::paper());
+    println!(
+        "SparseCore (T)    : {:>12} triangles in {:>12} cycles ({:.2}x vs CPU, {:.2}x vs TS)",
+        t.count,
+        t.cycles,
+        cpu.cycles as f64 / t.cycles as f64,
+        ts.cycles as f64 / t.cycles as f64
+    );
+
+    assert_eq!(cpu.count, t.count);
+    assert_eq!(cpu.count, ts.count);
+    println!("\nall three implementations agree on the count — the nested");
+    println!("instruction buys its speedup by eliminating the explicit loop's");
+    println!("scalar instructions (paper Section 6.3.2: ~1.65x on average).");
+}

@@ -1,0 +1,123 @@
+//! Cross-crate integration: textual stream-ISA programs assembled,
+//! validated, executed on the engine through the interpreter, and checked
+//! against the pure set-operation semantics.
+
+use sc_isa::{parse_program, Instr, Program};
+use sparsecore::{setops, Engine, Interpreter, MemImage, ScalarResult, SliceNestedSource, SparseCoreConfig};
+
+fn image() -> MemImage {
+    let mut img = MemImage::new();
+    img.add_keys(0x1000, (0..128).map(|x| x * 3).collect());
+    img.add_keys(0x2000, (0..128).map(|x| x * 5).collect());
+    img.add_values(0x3000, (0..128).map(|x| x as f64).collect());
+    img.add_values(0x4000, (0..128).map(|x| (x * 2) as f64).collect());
+    img
+}
+
+#[test]
+fn assembled_intersection_counts_match_setops() {
+    let text = "\
+# multiples of 3 meet multiples of 5
+S_READ 0x1000, 128, s0, 0
+S_READ 0x2000, 128, s1, 0
+S_INTER.C s0, s1, -1
+S_INTER.C s0, s1, 100
+S_SUB.C s0, s1, -1
+S_MERGE.C s0, s1
+S_FREE s0
+S_FREE s1
+";
+    let program = parse_program(text).expect("assembles");
+    assert!(program.validate().is_ok());
+    let mut engine = Engine::new(SparseCoreConfig::paper());
+    let img = image();
+    let results = Interpreter::new(&mut engine, &img).run(&program).expect("runs");
+
+    let a: Vec<u32> = (0..128).map(|x| x * 3).collect();
+    let b: Vec<u32> = (0..128).map(|x| x * 5).collect();
+    use sc_isa::Bound;
+    assert_eq!(
+        results,
+        vec![
+            ScalarResult::Count(setops::intersect_count(&a, &b, Bound::none())),
+            ScalarResult::Count(setops::intersect_count(&a, &b, Bound::below(100))),
+            ScalarResult::Count(setops::subtract_count(&a, &b, Bound::none())),
+            ScalarResult::Count(setops::merge_count(&a, &b)),
+        ]
+    );
+    assert!(engine.finish() > 0);
+}
+
+#[test]
+fn program_text_roundtrips_through_display() {
+    let text = "\
+S_VREAD 0x1000, 128, s0, 0x3000, 1
+S_VREAD 0x2000, 128, s1, 0x4000, 1
+S_VINTER s0, s1, MAC
+S_FREE s0
+S_FREE s1
+";
+    let p1 = parse_program(text).unwrap();
+    let p2 = parse_program(&p1.to_string()).unwrap();
+    assert_eq!(p1, p2);
+
+    let mut engine = Engine::new(SparseCoreConfig::paper());
+    let img = image();
+    let results = Interpreter::new(&mut engine, &img).run(&p2).unwrap();
+    match results[0] {
+        ScalarResult::Reduced(v) => assert!(v > 0.0),
+        ref other => panic!("expected a reduction, got {other:?}"),
+    }
+}
+
+#[test]
+fn nested_program_counts_triangles_of_known_graph() {
+    // K4: every vertex's bounded prefix stream yields its triangles.
+    let lists: Vec<Vec<u32>> = vec![
+        vec![1, 2, 3],
+        vec![0, 2, 3],
+        vec![0, 1, 3],
+        vec![0, 1, 2],
+    ];
+    let mut img = MemImage::new();
+    // Vertex 3's neighbors below 3: [0, 1, 2].
+    img.add_keys(0x7000, vec![0, 1, 2]);
+    img.set_nested_source(SliceNestedSource::new(lists, 0x8000));
+    let program = parse_program(
+        "S_LD_GFR 0x100, 0x8000, 0x200\nS_READ 0x7000, 3, s0, 0\nS_NESTINTER s0\nS_FREE s0\n",
+    )
+    .unwrap();
+    let mut engine = Engine::new(SparseCoreConfig::paper());
+    let results = Interpreter::new(&mut engine, &img).run(&program).unwrap();
+    // Triangles within {0,1,2} ordered: (1,0), (2,0), (2,1) -> counts 0+1+2 = 3.
+    assert_eq!(results, vec![ScalarResult::Count(3)]);
+}
+
+#[test]
+fn validation_catches_compiler_bugs() {
+    // A leaked stream and a use-after-free: both must be caught statically
+    // before any engine time is spent.
+    let leak: Program =
+        vec![Instr::SRead { key_addr: 0x1000, len: 4, sid: 7.into(), priority: 0.into() }]
+            .into_iter()
+            .collect();
+    assert!(leak.validate().is_err());
+
+    let uaf = parse_program("S_READ 0x1000, 4, s0, 0\nS_FREE s0\nS_FETCH s0, 0\n").unwrap();
+    assert!(uaf.validate().is_err());
+}
+
+#[test]
+fn register_pressure_reported_for_compiler_fallback() {
+    // The Section 5.3 fallback decision keys on max live streams <= 16.
+    let mut text = String::new();
+    for i in 0..20 {
+        text.push_str(&format!("S_READ 0x1000, 4, s{i}, 0\n"));
+    }
+    for i in 0..20 {
+        text.push_str(&format!("S_FREE s{i}\n"));
+    }
+    let p = parse_program(&text).unwrap();
+    assert_eq!(p.max_live_streams(), 20);
+    assert!(p.max_live_streams() > 16, "would trigger the scalar fallback");
+}

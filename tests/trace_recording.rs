@@ -1,0 +1,68 @@
+//! The engine's dynamic instruction trace: running a compiled GPM plan
+//! with tracing enabled yields a valid stream-ISA program whose shape
+//! matches the engine's own statistics.
+
+use sc_gpm::exec::{self, SetBackend, StreamBackend};
+use sc_gpm::plan::Induced;
+use sc_gpm::{Pattern, Plan};
+use sc_graph::generators::uniform_graph;
+use sc_isa::Instr;
+use sparsecore::{Engine, SparseCoreConfig};
+
+#[test]
+fn gpm_run_produces_valid_trace() {
+    let g = uniform_graph(40, 250, 61);
+    let plan = Plan::compile(&Pattern::tailed_triangle(), &[0, 1, 2, 3], Induced::Vertex);
+    let mut engine = Engine::new(SparseCoreConfig::paper());
+    engine.record_trace();
+    let mut backend = StreamBackend::with_engine(&g, engine, false);
+    exec::count(&g, &plan, &mut backend);
+    backend.finish();
+    let trace = backend.engine_mut().take_trace();
+
+    assert!(!trace.is_empty());
+    // Define-before-use and free discipline hold over the whole dynamic
+    // trace (the compiler claim of Section 5.3, checked on real output).
+    assert!(trace.validate().is_ok(), "trace invalid: {:?}", trace.validate());
+    // Stream-register pressure never exceeded the hardware's 16.
+    assert!(trace.max_live_streams() <= 16);
+}
+
+#[test]
+fn trace_counts_match_engine_stats() {
+    let g = uniform_graph(30, 160, 62);
+    let plan = Plan::compile(&Pattern::triangle(), &[0, 1, 2], Induced::Vertex);
+    let mut engine = Engine::new(SparseCoreConfig::paper());
+    engine.record_trace();
+    let mut backend = StreamBackend::with_engine(&g, engine, true);
+    exec::count(&g, &plan, &mut backend);
+    backend.finish();
+    let stats_reads = backend.engine().stats().reads;
+    let stats_frees = backend.engine().stats().frees;
+    let stats_nested = backend.engine().stats().nested;
+    let trace = backend.engine_mut().take_trace();
+
+    let reads = trace.iter().filter(|i| matches!(i, Instr::SRead { .. } | Instr::SVRead { .. })).count() as u64;
+    let frees = trace.iter().filter(|i| matches!(i, Instr::SFree { .. })).count() as u64;
+    let nested = trace.iter().filter(|i| matches!(i, Instr::SNestInter { .. })).count() as u64;
+    assert_eq!(reads, stats_reads);
+    assert_eq!(frees, stats_frees);
+    assert_eq!(nested, stats_nested);
+    assert!(nested > 0, "triangle app uses S_NESTINTER");
+}
+
+#[test]
+fn trace_round_trips_through_text_and_binary() {
+    let g = uniform_graph(20, 80, 63);
+    let plan = Plan::compile(&Pattern::triangle(), &[0, 1, 2], Induced::Vertex);
+    let mut engine = Engine::new(SparseCoreConfig::paper());
+    engine.record_trace();
+    let mut backend = StreamBackend::with_engine(&g, engine, false);
+    exec::count(&g, &plan, &mut backend);
+    let trace = backend.engine_mut().take_trace();
+
+    let text = trace.to_string();
+    assert_eq!(sc_isa::parse_program(&text).expect("assembles"), trace);
+    let words = sc_isa::encode_program(&trace);
+    assert_eq!(sc_isa::decode_program(&words).expect("decodes"), trace);
+}
