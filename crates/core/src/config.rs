@@ -67,7 +67,12 @@ impl SparseCoreConfig {
             num_sus: 2,
             su_buffer: 4,
             stream_bandwidth: 8,
-            scache: StreamCacheConfig { slots: 8, slot_keys: 16, key_bytes: 4, elements_per_cycle: 8 },
+            scache: StreamCacheConfig {
+                slots: 8,
+                slot_keys: 16,
+                key_bytes: 4,
+                elements_per_cycle: 8,
+            },
             scratchpad: ScratchpadConfig { size_bytes: 1024, latency: 2 },
             prefetch_depth: 4,
             translation_buffer: 8,

@@ -90,22 +90,22 @@ impl SliceNestedSource {
 
 impl NestedSource for SliceNestedSource {
     fn keys(&self, v: Key) -> &[Key] {
-        &self.lists[v as usize]
+        // A key outside the table (a malformed or adversarial input
+        // stream) resolves to an empty edge list rather than aborting
+        // the simulator.
+        self.lists.get(v as usize).map_or(&[], |l| l.as_slice())
     }
 
     fn key_addr(&self, v: Key) -> u64 {
-        self.base + self.offsets[v as usize] * 4
+        let off = self.offsets.get(v as usize).or(self.offsets.last()).copied().unwrap_or(0);
+        self.base + off * 4
     }
 }
 
 /// Are the keys a dense run of consecutive integers (a dense vector
 /// viewed as a stream)?
 fn is_dense(keys: &[Key]) -> bool {
-    keys.len() > 1
-        && keys
-            .iter()
-            .enumerate()
-            .all(|(i, &k)| k == keys[0].wrapping_add(i as Key))
+    keys.len() > 1 && keys.iter().enumerate().all(|(i, &k)| k == keys[0].wrapping_add(i as Key))
 }
 
 /// SU timing for sparse x dense: one seek + compare per sparse element
@@ -228,6 +228,12 @@ impl Engine {
         self.virtualize = true;
     }
 
+    /// Is stream virtualization on? (Static analysis keys the severity
+    /// of register-pressure findings off this.)
+    pub fn virtualization_enabled(&self) -> bool {
+        self.virtualize
+    }
+
     /// Take a checkpoint of the architectural stream state (SMT, stream
     /// registers, S-Cache bindings, GFRs) — the mechanism Section 5.1
     /// uses to make `S_NESTINTER` precise.
@@ -305,7 +311,11 @@ impl Engine {
     }
 
     /// Make `sid` SMT-resident if it currently lives in the spill region.
-    fn ensure_resident(&mut self, sid: StreamId, protect: &[StreamId]) -> Result<(), StreamException> {
+    fn ensure_resident(
+        &mut self,
+        sid: StreamId,
+        protect: &[StreamId],
+    ) -> Result<(), StreamException> {
         if self.virtualize && self.smt.lookup(sid).is_err() && self.spilled.contains_key(&sid) {
             self.swap_in(sid, protect)?;
         }
@@ -341,6 +351,7 @@ impl Engine {
     /// `S_LD_GFR`: load the graph format registers.
     pub fn s_ld_gfr(&mut self, gfr: GfrSet) {
         self.core.ops(1);
+        self.trace_instr(|| sc_isa::Instr::SLdGfr { gfr });
         self.gfr = gfr;
     }
 
@@ -602,12 +613,8 @@ impl Engine {
         mem_rate: f64,
         value_cycles: Cycle,
     ) -> (Cycle, Cycle) {
-        let (su, &free_at) = self
-            .su_free_at
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &t)| t)
-            .expect("at least one SU");
+        let (su, &free_at) =
+            self.su_free_at.iter().enumerate().min_by_key(|(_, &t)| t).expect("at least one SU");
         let start = self.core.cycles().max(free_at);
         // Operand-arrival bubble: the SU sits idle until the operands'
         // first windows are resident (S-Cache fill from L2, or the
@@ -737,7 +744,12 @@ impl Engine {
     /// # Errors
     ///
     /// [`StreamException::UseUndefined`] on undefined operands.
-    pub fn s_inter_c(&mut self, a: StreamId, b: StreamId, bound: Bound) -> Result<u64, StreamException> {
+    pub fn s_inter_c(
+        &mut self,
+        a: StreamId,
+        b: StreamId,
+        bound: Bound,
+    ) -> Result<u64, StreamException> {
         let (_, produced, _) = self.set_op(SuOp::Intersect, a, b, None, bound)?;
         Ok(produced)
     }
@@ -763,7 +775,12 @@ impl Engine {
     /// # Errors
     ///
     /// [`StreamException::UseUndefined`] on undefined operands.
-    pub fn s_sub_c(&mut self, a: StreamId, b: StreamId, bound: Bound) -> Result<u64, StreamException> {
+    pub fn s_sub_c(
+        &mut self,
+        a: StreamId,
+        b: StreamId,
+        bound: Bound,
+    ) -> Result<u64, StreamException> {
         let (_, produced, _) = self.set_op(SuOp::Subtract, a, b, None, bound)?;
         Ok(produced)
     }
@@ -773,7 +790,12 @@ impl Engine {
     /// # Errors
     ///
     /// [`StreamException`] on undefined operands or register exhaustion.
-    pub fn s_merge(&mut self, a: StreamId, b: StreamId, out: StreamId) -> Result<u32, StreamException> {
+    pub fn s_merge(
+        &mut self,
+        a: StreamId,
+        b: StreamId,
+        out: StreamId,
+    ) -> Result<u32, StreamException> {
         let (_, produced, _) = self.set_op(SuOp::Merge, a, b, Some(out), Bound::none())?;
         Ok(produced as u32)
     }
@@ -805,6 +827,7 @@ impl Engine {
     ) -> Result<Value, StreamException> {
         self.core.ops(1);
         self.stats.value_ops += 1;
+        self.trace_instr(|| sc_isa::Instr::SVInter { a, b, op });
         self.ensure_resident(a, &[a, b])?;
         self.ensure_resident(b, &[a, b])?;
         let a_idx = self.smt.lookup(a)?;
@@ -906,6 +929,7 @@ impl Engine {
     ) -> Result<u32, StreamException> {
         self.core.ops(1);
         self.stats.value_ops += 1;
+        self.trace_instr(|| sc_isa::Instr::SVMerge { scale_a, scale_b, a, b, out });
         self.ensure_resident(a, &[a, b])?;
         self.ensure_resident(b, &[a, b])?;
         let a_idx = self.smt.lookup(a)?;
@@ -1208,9 +1232,9 @@ mod tests {
         // ordered pattern; the GPM layer owns the algorithm — here we
         // check the instruction semantics directly on one stream.
         read(&mut e, 0, &[0, 1, 3]); // N(2) augmented order
-        // For s_i = 0: N(0)={1,2}, bound <0 -> 0 matches.
-        // For s_i = 1: N(1)={0,2} ∩ {0,1,3} bounded <1 -> {0} -> 1.
-        // For s_i = 3: N(3)={2} ∩ ... bounded <3 -> {} ∩... 2 not in stream -> 0.
+                                     // For s_i = 0: N(0)={1,2}, bound <0 -> 0 matches.
+                                     // For s_i = 1: N(1)={0,2} ∩ {0,1,3} bounded <1 -> {0} -> 1.
+                                     // For s_i = 3: N(3)={2} ∩ ... bounded <3 -> {} ∩... 2 not in stream -> 0.
         let total = e.s_nestinter(sid(0), &src).unwrap();
         assert_eq!(total, 1);
     }
@@ -1254,7 +1278,7 @@ mod tests {
         // Two long independent intersections should overlap on 2 SUs:
         // total < 2x single (compare against a 1-SU engine).
         let a: Vec<Key> = (0..2000).map(|x| x * 2).collect();
-        let b: Vec<Key> = (0..2000).map(|x| x * 2 + 0).collect();
+        let b: Vec<Key> = (0..2000).map(|x| x * 2).collect();
 
         let run = |sus: usize| {
             let mut cfg = SparseCoreConfig::tiny();
@@ -1262,7 +1286,13 @@ mod tests {
             cfg.stream_bandwidth = 64; // not bandwidth-bound
             let mut e = Engine::new(cfg);
             for n in 0..4u32 {
-                e.s_read(0x10_0000 + n as u64 * 0x10000, if n % 2 == 0 { &a } else { &b }, sid(n), Priority(0)).unwrap();
+                e.s_read(
+                    0x10_0000 + n as u64 * 0x10000,
+                    if n % 2 == 0 { &a } else { &b },
+                    sid(n),
+                    Priority(0),
+                )
+                .unwrap();
             }
             e.s_inter_c(sid(0), sid(1), Bound::none()).unwrap();
             e.s_inter_c(sid(2), sid(3), Bound::none()).unwrap();

@@ -78,8 +78,8 @@ pub enum ScalarResult {
     Reduced(Value),
 }
 
-/// Interpretation error: either an architectural exception or a memory
-/// image gap.
+/// Interpretation error: an architectural exception, a memory image gap,
+/// or a static rejection by the linter.
 #[derive(Debug, Clone, PartialEq)]
 pub enum InterpError {
     /// The program raised a stream exception at instruction `at`.
@@ -102,6 +102,10 @@ pub enum InterpError {
         /// Instruction index.
         at: usize,
     },
+    /// [`Interpreter::lint_before_run`] was enabled and static analysis
+    /// found error-level diagnostics; nothing was executed. The full
+    /// report is attached.
+    LintRejected(sc_lint::Report),
 }
 
 impl fmt::Display for InterpError {
@@ -116,6 +120,14 @@ impl fmt::Display for InterpError {
             InterpError::MissingNestedSource { at } => {
                 write!(f, "instruction {at}: S_NESTINTER without a nested source")
             }
+            InterpError::LintRejected(report) => {
+                let (errors, _, _) = report.counts();
+                write!(f, "program rejected by static analysis ({errors} error(s)):")?;
+                for d in report.diagnostics() {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -127,12 +139,30 @@ impl Error for InterpError {}
 pub struct Interpreter<'a> {
     engine: &'a mut Engine,
     image: &'a MemImage,
+    lint_before_run: bool,
 }
 
 impl<'a> Interpreter<'a> {
     /// Bind an engine and an image.
     pub fn new(engine: &'a mut Engine, image: &'a MemImage) -> Self {
-        Interpreter { engine, image }
+        Interpreter { engine, image, lint_before_run: false }
+    }
+
+    /// Statically analyze each program with `sc-lint` before executing
+    /// it; error-level findings abort the run with
+    /// [`InterpError::LintRejected`] *before* any instruction executes.
+    /// The lint model is derived from the engine: its configured
+    /// stream-register count and whether virtualization is enabled.
+    pub fn lint_before_run(mut self, on: bool) -> Self {
+        self.lint_before_run = on;
+        self
+    }
+
+    /// The lint configuration matching this interpreter's engine.
+    fn lint_config(&self) -> sc_lint::LintConfig {
+        sc_lint::LintConfig::default()
+            .stream_registers(self.engine.config().num_stream_registers())
+            .virtualization(self.engine.virtualization_enabled())
     }
 
     /// Run the program to completion, returning the scalar results in
@@ -140,8 +170,17 @@ impl<'a> Interpreter<'a> {
     ///
     /// # Errors
     ///
-    /// [`InterpError`] at the first failing instruction.
+    /// [`InterpError`] at the first failing instruction, or
+    /// [`InterpError::LintRejected`] up front when
+    /// [`lint_before_run`](Interpreter::lint_before_run) is enabled and
+    /// the program has error-level lint findings.
     pub fn run(&mut self, program: &Program) -> Result<Vec<ScalarResult>, InterpError> {
+        if self.lint_before_run {
+            let report = sc_lint::lint(program, &self.lint_config());
+            if report.has_errors() {
+                return Err(InterpError::LintRejected(report));
+            }
+        }
         let mut out = Vec::new();
         for (at, instr) in program.iter().enumerate() {
             self.step(at, instr, &mut out)?;
@@ -214,11 +253,8 @@ impl<'a> Interpreter<'a> {
                 self.engine.s_ld_gfr(gfr);
             }
             Instr::SNestInter { sid } => {
-                let source = self
-                    .image
-                    .nested
-                    .as_ref()
-                    .ok_or(InterpError::MissingNestedSource { at })?;
+                let source =
+                    self.image.nested.as_ref().ok_or(InterpError::MissingNestedSource { at })?;
                 let n = self.engine.s_nestinter(sid, source).map_err(exc)?;
                 out.push(ScalarResult::Count(n));
             }
@@ -229,11 +265,34 @@ impl<'a> Interpreter<'a> {
     }
 }
 
+impl Engine {
+    /// Lint `program` against this engine's hardware model, then execute
+    /// it over `image` — the one-call path compilers and tests use.
+    /// Equivalent to `Interpreter::new(self, image).lint_before_run(true)`.
+    ///
+    /// # Errors
+    ///
+    /// [`InterpError::LintRejected`] (with the full report, before any
+    /// instruction executes) if static analysis finds errors, otherwise
+    /// any [`InterpError`] execution raises.
+    pub fn run_program(
+        &mut self,
+        program: &Program,
+        image: &MemImage,
+    ) -> Result<Vec<ScalarResult>, InterpError> {
+        Interpreter::new(self, image).lint_before_run(true).run(program)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::SparseCoreConfig;
     use sc_isa::parse_program;
+
+    /// Tests return `Result` and propagate with `?` so a malformed
+    /// program or fixture surfaces as a typed failure, never an abort.
+    type TestResult = Result<(), Box<dyn Error>>;
 
     fn setup() -> (Engine, MemImage) {
         let mut img = MemImage::new();
@@ -245,7 +304,7 @@ mod tests {
     }
 
     #[test]
-    fn assembled_program_runs() {
+    fn assembled_program_runs() -> TestResult {
         let (mut e, img) = setup();
         let p = parse_program(
             "S_READ 0x1000, 5, s0, 0\n\
@@ -253,14 +312,14 @@ mod tests {
              S_INTER.C s0, s1, -1\n\
              S_FREE s0\n\
              S_FREE s1\n",
-        )
-        .unwrap();
-        let results = Interpreter::new(&mut e, &img).run(&p).unwrap();
+        )?;
+        let results = Interpreter::new(&mut e, &img).run(&p)?;
         assert_eq!(results, vec![ScalarResult::Count(3)]);
+        Ok(())
     }
 
     #[test]
-    fn fetch_loop_with_eos() {
+    fn fetch_loop_with_eos() -> TestResult {
         let (mut e, img) = setup();
         let p = parse_program(
             "S_READ 0x1000, 5, s0, 0\n\
@@ -271,9 +330,8 @@ mod tests {
              S_FETCH s2, 2\n\
              S_FETCH s2, 3\n\
              S_FREE s0\nS_FREE s1\nS_FREE s2\n",
-        )
-        .unwrap();
-        let results = Interpreter::new(&mut e, &img).run(&p).unwrap();
+        )?;
+        let results = Interpreter::new(&mut e, &img).run(&p)?;
         assert_eq!(
             results,
             vec![
@@ -283,54 +341,58 @@ mod tests {
                 ScalarResult::Fetched(sc_isa::EOS),
             ]
         );
+        Ok(())
     }
 
     #[test]
-    fn vinter_through_program() {
+    fn vinter_through_program() -> TestResult {
         let (mut e, img) = setup();
         let p = parse_program(
             "S_VREAD 0x1000, 5, s0, 0x3000, 0\n\
              S_VREAD 0x2000, 5, s1, 0x4000, 0\n\
              S_VINTER s0, s1, MAC\n\
              S_FREE s0\nS_FREE s1\n",
-        )
-        .unwrap();
-        let results = Interpreter::new(&mut e, &img).run(&p).unwrap();
+        )?;
+        let results = Interpreter::new(&mut e, &img).run(&p)?;
         // Matches: key 3 (2.0 * 10.0), key 5 (3.0 * 30.0), key 7 (4.0 * 50.0)
         // a = [1,3,5,7,9] vals [1,2,3,4,5]; b = [3,4,5,6,7] vals [10,20,30,40,50].
         // 3 -> 2*10=20; 5 -> 3*30=90; 7 -> 4*50=200. total 310.
         assert_eq!(results, vec![ScalarResult::Reduced(310.0)]);
+        Ok(())
     }
 
     #[test]
-    fn missing_data_reported() {
+    fn missing_data_reported() -> TestResult {
         let (mut e, img) = setup();
-        let p = parse_program("S_READ 0x9999, 5, s0, 0\n").unwrap();
-        let err = Interpreter::new(&mut e, &img).run(&p).unwrap_err();
+        let p = parse_program("S_READ 0x9999, 5, s0, 0\n")?;
+        let err =
+            Interpreter::new(&mut e, &img).run(&p).expect_err("address 0x9999 is not in the image");
         assert_eq!(err, InterpError::MissingData { at: 0, addr: 0x9999 });
+        Ok(())
     }
 
     #[test]
-    fn exception_reported_with_index() {
+    fn exception_reported_with_index() -> TestResult {
         let (mut e, img) = setup();
-        let p = parse_program("S_FREE s5\n").unwrap();
-        let err = Interpreter::new(&mut e, &img).run(&p).unwrap_err();
+        let p = parse_program("S_FREE s5\n")?;
+        let err = Interpreter::new(&mut e, &img).run(&p).expect_err("s5 was never defined");
         match err {
-            InterpError::Exception { at: 0, cause: StreamException::FreeUnmapped(_) } => {}
-            other => panic!("unexpected {other:?}"),
+            InterpError::Exception { at: 0, cause: StreamException::FreeUnmapped(_) } => Ok(()),
+            other => Err(format!("unexpected {other:?}").into()),
         }
     }
 
     #[test]
-    fn nested_without_source_reported() {
+    fn nested_without_source_reported() -> TestResult {
         let (mut e, img) = setup();
-        let p = parse_program("S_READ 0x1000, 5, s0, 0\nS_NESTINTER s0\n").unwrap();
-        let err = Interpreter::new(&mut e, &img).run(&p).unwrap_err();
+        let p = parse_program("S_READ 0x1000, 5, s0, 0\nS_NESTINTER s0\n")?;
+        let err = Interpreter::new(&mut e, &img).run(&p).expect_err("no nested source set");
         assert_eq!(err, InterpError::MissingNestedSource { at: 1 });
+        Ok(())
     }
 
     #[test]
-    fn nested_with_source() {
+    fn nested_with_source() -> TestResult {
         let (mut e, mut img) = setup();
         let lists = vec![vec![1, 2], vec![0, 2], vec![0, 1], vec![]];
         img.set_nested_source(SliceNestedSource::new(lists, 0x8000));
@@ -340,22 +402,82 @@ mod tests {
              S_READ 0x7000, 3, s0, 0\n\
              S_NESTINTER s0\n\
              S_FREE s0\n",
-        )
-        .unwrap();
-        let results = Interpreter::new(&mut e, &img).run(&p).unwrap();
+        )?;
+        let results = Interpreter::new(&mut e, &img).run(&p)?;
         // Stream [0,1,2] over triangle 0-1-2: s_i=0 -> 0; s_i=1 -> |{0}|=1;
         // s_i=2 -> |{0,1}|=2. Total 3.
         assert_eq!(results, vec![ScalarResult::Count(3)]);
+        Ok(())
     }
 
     #[test]
-    fn full_program_timing_positive() {
+    fn full_program_timing_positive() -> TestResult {
         let (mut e, img) = setup();
         let p = parse_program(
             "S_READ 0x1000, 5, s0, 0\nS_READ 0x2000, 5, s1, 0\nS_MERGE.C s0, s1\nS_FREE s0\nS_FREE s1\n",
-        )
-        .unwrap();
-        Interpreter::new(&mut e, &img).run(&p).unwrap();
+        )?;
+        Interpreter::new(&mut e, &img).run(&p)?;
         assert!(e.finish() > 0);
+        Ok(())
+    }
+
+    #[test]
+    fn lint_before_run_rejects_before_executing() -> TestResult {
+        let (mut e, img) = setup();
+        // Use-after-free: the linter must reject it before a single
+        // instruction (and thus cycle) executes.
+        let p = parse_program("S_READ 0x1000, 5, s0, 0\nS_FREE s0\nS_FETCH s0, 0\n")?;
+        let err = Interpreter::new(&mut e, &img)
+            .lint_before_run(true)
+            .run(&p)
+            .expect_err("lint must reject the use-after-free");
+        match err {
+            InterpError::LintRejected(report) => {
+                assert!(report.has_errors());
+                assert_eq!(e.cycles(), 0, "rejection must precede execution");
+                Ok(())
+            }
+            other => Err(format!("unexpected {other:?}").into()),
+        }
+    }
+
+    #[test]
+    fn lint_before_run_accepts_clean_programs() -> TestResult {
+        let (mut e, img) = setup();
+        let p = parse_program(
+            "S_READ 0x1000, 5, s0, 0\nS_READ 0x2000, 5, s1, 0\nS_INTER.C s0, s1, -1\nS_FREE s0\nS_FREE s1\n",
+        )?;
+        let results = e.run_program(&p, &img)?;
+        assert_eq!(results, vec![ScalarResult::Count(3)]);
+        Ok(())
+    }
+
+    #[test]
+    fn lint_model_tracks_engine_capacity() -> TestResult {
+        // tiny() has 8 stream registers: 9 live streams must be rejected
+        // statically, matching what execution would hit dynamically.
+        let (mut e, mut img) = setup();
+        let mut text = String::new();
+        for n in 0..9 {
+            let addr = 0x1000_0000u64 + n * 0x100;
+            img.add_keys(addr, vec![1, 2, 3]);
+            text.push_str(&format!("S_READ {addr:#x}, 3, s{n}, 0\n"));
+        }
+        text.push_str("S_MERGE.C s0, s1\n");
+        for n in 0..9 {
+            text.push_str(&format!("S_FREE s{n}\n"));
+        }
+        let p = parse_program(&text)?;
+        let err = e.run_program(&p, &img).expect_err("9 streams exceed tiny()'s 8 registers");
+        match err {
+            InterpError::LintRejected(report) => {
+                assert!(report
+                    .diagnostics()
+                    .iter()
+                    .any(|d| d.code == sc_lint::LintCode::RegisterPressure));
+                Ok(())
+            }
+            other => Err(format!("unexpected {other:?}").into()),
+        }
     }
 }

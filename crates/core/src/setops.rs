@@ -271,7 +271,8 @@ mod tests {
     fn vinter_dot_product() {
         // Paper Section 3.3 example: [(1,45),(3,21),(7,13)] x [(2,14),(5,36),(7,2)]
         // matches only key 7 -> 13 * 2 = 26.
-        let (acc, n) = vinter(&[1, 3, 7], &[45.0, 21.0, 13.0], &[2, 5, 7], &[14.0, 36.0, 2.0], ValueOp::Mac);
+        let (acc, n) =
+            vinter(&[1, 3, 7], &[45.0, 21.0, 13.0], &[2, 5, 7], &[14.0, 36.0, 2.0], ValueOp::Mac);
         assert_eq!(acc, 26.0);
         assert_eq!(n, 1);
     }

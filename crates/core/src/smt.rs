@@ -117,9 +117,7 @@ impl Smt {
     }
 
     fn find(&self, sid: StreamId) -> Option<SregIdx> {
-        self.regs
-            .iter()
-            .position(|r| r.as_ref().is_some_and(|reg| reg.vd && reg.sid == sid))
+        self.regs.iter().position(|r| r.as_ref().is_some_and(|reg| reg.vd && reg.sid == sid))
     }
 
     /// Resolve a *defined* stream ID to its register index.

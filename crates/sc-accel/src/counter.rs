@@ -65,22 +65,38 @@ impl<'g> SetBackend for WorkCounter<'g> {
 
     fn intersect(&mut self, a: &CountSet, b: &CountSet, bound: Option<Key>) -> CountSet {
         self.walk_cost(&a.0, &b.0, bound);
-        CountSet(setops::intersect(&a.0, &b.0, bound.map_or(sc_isa::Bound::none(), sc_isa::Bound::below)))
+        CountSet(setops::intersect(
+            &a.0,
+            &b.0,
+            bound.map_or(sc_isa::Bound::none(), sc_isa::Bound::below),
+        ))
     }
 
     fn intersect_count(&mut self, a: &CountSet, b: &CountSet, bound: Option<Key>) -> u64 {
         self.walk_cost(&a.0, &b.0, bound);
-        setops::intersect_count(&a.0, &b.0, bound.map_or(sc_isa::Bound::none(), sc_isa::Bound::below))
+        setops::intersect_count(
+            &a.0,
+            &b.0,
+            bound.map_or(sc_isa::Bound::none(), sc_isa::Bound::below),
+        )
     }
 
     fn subtract(&mut self, a: &CountSet, b: &CountSet, bound: Option<Key>) -> CountSet {
         self.walk_cost(&a.0, &b.0, bound);
-        CountSet(setops::subtract(&a.0, &b.0, bound.map_or(sc_isa::Bound::none(), sc_isa::Bound::below)))
+        CountSet(setops::subtract(
+            &a.0,
+            &b.0,
+            bound.map_or(sc_isa::Bound::none(), sc_isa::Bound::below),
+        ))
     }
 
     fn subtract_count(&mut self, a: &CountSet, b: &CountSet, bound: Option<Key>) -> u64 {
         self.walk_cost(&a.0, &b.0, bound);
-        setops::subtract_count(&a.0, &b.0, bound.map_or(sc_isa::Bound::none(), sc_isa::Bound::below))
+        setops::subtract_count(
+            &a.0,
+            &b.0,
+            bound.map_or(sc_isa::Bound::none(), sc_isa::Bound::below),
+        )
     }
 
     fn len(&self, s: &CountSet) -> u64 {

@@ -215,9 +215,6 @@ mod tests {
         let c2 = exec::count(&g, &plan, &mut sb);
         let sc_cycles = sc_gpm::exec::SetBackend::finish(&mut sb);
         assert_eq!(c1, c2);
-        assert!(
-            sc_cycles < fm_cycles,
-            "SparseCore {sc_cycles} should beat FlexMiner {fm_cycles}"
-        );
+        assert!(sc_cycles < fm_cycles, "SparseCore {sc_cycles} should beat FlexMiner {fm_cycles}");
     }
 }

@@ -84,8 +84,8 @@ pub fn estimate(g: &CsrGraph, app: App, cfg: GpuConfig, symmetry_breaking: bool)
 
     // Roofline: compute side — threads retire steps at cycles_per_step,
     // across cores scaled by the measured warp utilization.
-    let eff_rate = cfg.cores as f64 * cfg.warp_utilization * cfg.clock_ghz * 1e9
-        / cfg.cycles_per_step;
+    let eff_rate =
+        cfg.cores as f64 * cfg.warp_utilization * cfg.clock_ghz * 1e9 / cfg.cycles_per_step;
     let compute_seconds = steps / eff_rate;
     // Memory side: each element access moves a 32-byte transaction (the
     // uncoalesced-sector effect), against the utilized bandwidth.
@@ -93,11 +93,7 @@ pub fn estimate(g: &CsrGraph, app: App, cfg: GpuConfig, symmetry_breaking: bool)
     let memory_seconds = bytes / (cfg.bandwidth_gbs * 1e9 * cfg.bandwidth_utilization);
 
     let seconds = compute_seconds.max(memory_seconds);
-    GpuEstimate {
-        cycles_at_1ghz: (seconds * 1e9) as u64,
-        compute_seconds,
-        memory_seconds,
-    }
+    GpuEstimate { cycles_at_1ghz: (seconds * 1e9) as u64, compute_seconds, memory_seconds }
 }
 
 #[cfg(test)]
@@ -119,20 +115,13 @@ mod tests {
         // The Figure 11 effect at model scale.
         let g = uniform_graph(80, 1000, 5);
         let gpu = estimate(&g, App::Triangle, GpuConfig::k40m(), true);
-        let mut sb = sc_gpm::StreamBackend::with_engine(
-            &g,
-            Engine::new(SparseCoreConfig::paper()),
-            true,
-        );
+        let mut sb =
+            sc_gpm::StreamBackend::with_engine(&g, Engine::new(SparseCoreConfig::paper()), true);
         for plan in App::Triangle.plans() {
             exec::count(&g, &plan, &mut sb);
         }
         let sc = sc_gpm::exec::SetBackend::finish(&mut sb);
-        assert!(
-            gpu.cycles_at_1ghz > sc,
-            "GPU {} should trail SparseCore {sc}",
-            gpu.cycles_at_1ghz
-        );
+        assert!(gpu.cycles_at_1ghz > sc, "GPU {} should trail SparseCore {sc}", gpu.cycles_at_1ghz);
     }
 
     #[test]

@@ -61,9 +61,8 @@ fn extend(g: &CsrGraph, k: usize, members: &mut Vec<u32>, run: &mut GramerRun) {
         // Isomorphism check: compare all pairs against the pattern.
         let pairs = (k * (k - 1) / 2) as u64;
         run.cycles += pairs * 4;
-        let is_clique = (0..members.len()).all(|i| {
-            ((i + 1)..members.len()).all(|j| g.has_edge(members[i], members[j]))
-        });
+        let is_clique = (0..members.len())
+            .all(|i| ((i + 1)..members.len()).all(|j| g.has_edge(members[i], members[j])));
         if is_clique {
             run.matches += 1;
         }
@@ -116,5 +115,4 @@ mod tests {
             run.candidates
         );
     }
-
 }

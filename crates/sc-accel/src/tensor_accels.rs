@@ -241,7 +241,8 @@ mod tests {
     fn extensor_inner_product_correct() {
         let a = random_matrix(10, 8, 30, 31);
         let b = random_matrix(8, 9, 28, 32);
-        let r = inner_product(&a, &b.to_csc(), &mut ExTensorBackend::new(), InnerOptions::default());
+        let r =
+            inner_product(&a, &b.to_csc(), &mut ExTensorBackend::new(), InnerOptions::default());
         assert!(dense_close(&r.c.to_dense(), &matmul_reference(&a, &b), 1e-9));
         assert!(r.cycles > 0);
     }
@@ -269,13 +270,16 @@ mod tests {
         let a = random_matrix(32, 32, 720, 37);
         let b = random_matrix(32, 32, 720, 38);
 
-        let ext = inner_product(&a, &b.to_csc(), &mut ExTensorBackend::new(), InnerOptions::default());
-        let mut sc = StreamTensorBackend::with_engine(Engine::new(SparseCoreConfig::paper_one_su()));
+        let ext =
+            inner_product(&a, &b.to_csc(), &mut ExTensorBackend::new(), InnerOptions::default());
+        let mut sc =
+            StreamTensorBackend::with_engine(Engine::new(SparseCoreConfig::paper_one_su()));
         let scr = inner_product(&a, &b.to_csc(), &mut sc, InnerOptions::default());
         assert!(ext.cycles < scr.cycles, "ExTensor {} vs SparseCore {}", ext.cycles, scr.cycles);
 
         let gam = gustavson(&a, &b, &mut GammaBackend::new());
-        let mut sc = StreamTensorBackend::with_engine(Engine::new(SparseCoreConfig::paper_one_su()));
+        let mut sc =
+            StreamTensorBackend::with_engine(Engine::new(SparseCoreConfig::paper_one_su()));
         let scg = gustavson(&a, &b, &mut sc);
         assert!(gam.cycles < scg.cycles, "Gamma {} vs SparseCore {}", gam.cycles, scg.cycles);
     }

@@ -54,7 +54,12 @@ impl<'g> Model<'g> {
             // The paper gives the PJR cache modest capacity; model 1 MiB
             // of 1 KiB entries as 1024 direct slots over a 64 B-line cache
             // keyed by the pair hash.
-            pjr: Cache::new(CacheConfig { size_bytes: 1 << 20, ways: 8, line_bytes: 1024, latency: 4 }),
+            pjr: Cache::new(CacheConfig {
+                size_bytes: 1 << 20,
+                ways: 8,
+                line_bytes: 1024,
+                latency: 4,
+            }),
             dram: 200,
         }
     }

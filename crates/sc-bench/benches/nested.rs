@@ -2,10 +2,10 @@
 //! read/intersect/free loop it replaces (paper Figure 3(a)).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use sc_graph::generators::uniform_graph;
 use sc_gpm::exec::{self, SetBackend, StreamBackend};
 use sc_gpm::plan::Induced;
 use sc_gpm::{Pattern, Plan};
+use sc_graph::generators::uniform_graph;
 use sparsecore::{Engine, SparseCoreConfig};
 
 fn bench_nested(c: &mut Criterion) {

@@ -10,10 +10,9 @@ fn operands(shape: &str) -> (Vec<u32>, Vec<u32>) {
     match shape {
         "identical" => ((0..2048).collect(), (0..2048).collect()),
         "skewed" => ((0..4096).collect(), (0..64).map(|x| x * 64).collect()),
-        "interleaved" => (
-            (0..2048).map(|x| x * 2).collect(),
-            (0..2048).map(|x| x * 2 + 1).collect(),
-        ),
+        "interleaved" => {
+            ((0..2048).map(|x| x * 2).collect(), (0..2048).map(|x| x * 2 + 1).collect())
+        }
         _ => unreachable!(),
     }
 }
@@ -23,7 +22,8 @@ fn bench_su(c: &mut Criterion) {
     for shape in ["identical", "skewed", "interleaved"] {
         let (a, b) = operands(shape);
         group.bench_function(format!("simulate_{shape}"), |bench| {
-            bench.iter(|| simulate(SuOp::Intersect, black_box(&a), black_box(&b), Bound::none(), 16))
+            bench
+                .iter(|| simulate(SuOp::Intersect, black_box(&a), black_box(&b), Bound::none(), 16))
         });
         group.bench_function(format!("functional_{shape}"), |bench| {
             bench.iter(|| setops::intersect_count(black_box(&a), black_box(&b), Bound::none()))

@@ -107,10 +107,7 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(
-            &["graph".into(), "with".into(), "without".into(), "benefit".into()],
-            &rows
-        )
+        render_table(&["graph".into(), "with".into(), "without".into(), "benefit".into()], &rows)
     );
 
     println!("\n# Ablation 4: IEP three-chain counting vs enumeration (software-only)\n");
@@ -129,10 +126,7 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(
-            &["graph".into(), "enumerate".into(), "IEP".into(), "benefit".into()],
-            &rows
-        )
+        render_table(&["graph".into(), "enumerate".into(), "IEP".into(), "benefit".into()], &rows)
     );
     println!("(the GraphPi-style optimization lands as pure software — the");
     println!(" flexibility FlexMiner's fixed exploration engine cannot offer)");

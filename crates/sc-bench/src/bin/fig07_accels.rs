@@ -20,7 +20,13 @@ use sparsecore::SparseCoreConfig;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let datasets = dataset_filter(&args).unwrap_or_else(|| {
-        vec![Dataset::EmailEuCore, Dataset::Haverford76, Dataset::WikiVote, Dataset::Mico, Dataset::Youtube]
+        vec![
+            Dataset::EmailEuCore,
+            Dataset::Haverford76,
+            Dataset::WikiVote,
+            Dataset::Mico,
+            Dataset::Youtube,
+        ]
     });
     let with_gramer = args.iter().any(|a| a == "--gramer");
 
@@ -49,7 +55,11 @@ fn main() {
             let speedup = fm_cycles as f64 / sc.cycles.max(1) as f64;
             speedups.push(speedup);
             row.push(format!("{speedup:.2}"));
-            eprintln!("  {app} on {}: flexminer={fm_cycles} sc={} speedup={speedup:.2}", d.tag(), sc.cycles);
+            eprintln!(
+                "  {app} on {}: flexminer={fm_cycles} sc={} speedup={speedup:.2}",
+                d.tag(),
+                sc.cycles
+            );
         }
         row.push(format!("{:.2}", gmean(&speedups)));
         fm_speedups_all.extend(speedups);
@@ -82,13 +92,21 @@ fn main() {
             let speedup = tj.cycles as f64 / (sc.cycles.max(1)) as f64;
             tj_all.push(speedup);
             row.push(format!("{speedup:.1}"));
-            eprintln!("  {app} on {}: triejax={} sc={} speedup={speedup:.1}", d.tag(), tj.cycles, sc.cycles);
+            eprintln!(
+                "  {app} on {}: triejax={} sc={} speedup={speedup:.1}",
+                d.tag(),
+                tj.cycles,
+                sc.cycles
+            );
         }
         row.push(String::new());
         rows.push(row);
     }
     println!("{}", render_table(&header, &rows));
-    println!("gmean speedup over TrieJax: {:.1}x (paper: avg 3651.2x, up to 43912.3x; log scale)\n", gmean(&tj_all));
+    println!(
+        "gmean speedup over TrieJax: {:.1}x (paper: avg 3651.2x, up to 43912.3x; log scale)\n",
+        gmean(&tj_all)
+    );
 
     if with_gramer {
         println!("# Section 6.3.1: SparseCore speedup over GRAMER (triangle)\n");

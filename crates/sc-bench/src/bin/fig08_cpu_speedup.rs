@@ -37,10 +37,7 @@ fn main() {
             let stride = stride_for(app, d);
             let cpu = run_cpu(&g, app, stride);
             let sc = run_sparsecore(&g, app, SparseCoreConfig::paper(), stride);
-            assert_eq!(
-                cpu.count, sc.count,
-                "count mismatch for {app} on {d} (stride {stride})"
-            );
+            assert_eq!(cpu.count, sc.count, "count mismatch for {app} on {d} (stride {stride})");
             let speedup = cpu.cycles as f64 / sc.cycles.max(1) as f64;
             speedups.push(speedup);
             row.push(format!("{speedup:.2}"));
@@ -57,7 +54,10 @@ fn main() {
         rows.push(row);
     }
     println!("{}", render_table(&header, &rows));
-    println!("overall gmean speedup: {:.2}x (paper: avg 13.5x, up to 64.4x)\n", gmean(&all_speedups));
+    println!(
+        "overall gmean speedup: {:.2}x (paper: avg 13.5x, up to 64.4x)\n",
+        gmean(&all_speedups)
+    );
 
     if !skip_fsm {
         println!("# FSM on mico (MNI support thresholds)");
@@ -83,7 +83,13 @@ fn main() {
         println!(
             "{}",
             render_table(
-                &["threshold".into(), "frequent".into(), "cpu".into(), "sparsecore".into(), "speedup".into()],
+                &[
+                    "threshold".into(),
+                    "frequent".into(),
+                    "cpu".into(),
+                    "sparsecore".into(),
+                    "speedup".into()
+                ],
                 &rows
             )
         );

@@ -75,8 +75,11 @@ fn main() {
         for &d in &datasets {
             let g = d.build();
             let stride = stride_for(app, d);
-            let mut b =
-                StreamBackend::with_engine(&g, Engine::new(SparseCoreConfig::paper()), app.uses_nested());
+            let mut b = StreamBackend::with_engine(
+                &g,
+                Engine::new(SparseCoreConfig::paper()),
+                app.uses_nested(),
+            );
             for plan in app.plans() {
                 exec::count_sampled(&g, &plan, &mut b, stride);
             }

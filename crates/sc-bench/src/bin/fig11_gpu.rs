@@ -17,12 +17,7 @@ use sparsecore::SparseCoreConfig;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let datasets = dataset_filter(&args).unwrap_or_else(|| {
-        vec![
-            Dataset::BitcoinAlpha,
-            Dataset::EmailEuCore,
-            Dataset::Haverford76,
-            Dataset::WikiVote,
-        ]
+        vec![Dataset::BitcoinAlpha, Dataset::EmailEuCore, Dataset::Haverford76, Dataset::WikiVote]
     });
     let apps = [
         App::Triangle,

@@ -15,12 +15,7 @@ use sparsecore::SparseCoreConfig;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let datasets = dataset_filter(&args).unwrap_or_else(|| {
-        vec![
-            Dataset::BitcoinAlpha,
-            Dataset::EmailEuCore,
-            Dataset::Haverford76,
-            Dataset::WikiVote,
-        ]
+        vec![Dataset::BitcoinAlpha, Dataset::EmailEuCore, Dataset::Haverford76, Dataset::WikiVote]
     });
     let sus = [1usize, 2, 4, 8, 16];
 

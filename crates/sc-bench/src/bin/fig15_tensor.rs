@@ -21,10 +21,7 @@ fn matrix_filter(args: &[String]) -> Vec<MatrixDataset> {
     if let Some(pos) = args.iter().position(|a| a == "--matrices") {
         if let Some(list) = args.get(pos + 1) {
             let wanted: Vec<&str> = list.split(',').collect();
-            return MatrixDataset::ALL
-                .into_iter()
-                .filter(|m| wanted.contains(&m.tag()))
-                .collect();
+            return MatrixDataset::ALL.into_iter().filter(|m| wanted.contains(&m.tag())).collect();
         }
     }
     MatrixDataset::ALL.to_vec()
@@ -60,8 +57,12 @@ fn main() {
     let one_su = SparseCoreConfig::paper_one_su;
 
     println!("# Figure 15(a): spmspm A*A speedup over CPU, per dataflow\n");
-    let header =
-        vec!["matrix".to_string(), "inner".to_string(), "outer".to_string(), "gustavson".to_string()];
+    let header = vec![
+        "matrix".to_string(),
+        "inner".to_string(),
+        "outer".to_string(),
+        "gustavson".to_string(),
+    ];
     let mut rows = Vec::new();
     let (mut sp_in, mut sp_out, mut sp_gus) = (Vec::new(), Vec::new(), Vec::new());
     for m in matrices {
@@ -151,10 +152,7 @@ fn main() {
             rows.push(vec![t.tag().to_string(), format!("{s_ttv:.2}"), format!("{s_ttm:.2}")]);
             eprintln!("  {}: ttv {s_ttv:.2} ttm {s_ttm:.2}", t.tag());
         }
-        println!(
-            "{}",
-            render_table(&["tensor".into(), "TTV".into(), "TTM".into()], &rows)
-        );
+        println!("{}", render_table(&["tensor".into(), "TTV".into(), "TTM".into()], &rows));
         println!("(paper: avg 2.44x TTV, 4.49x TTM)");
     }
 }

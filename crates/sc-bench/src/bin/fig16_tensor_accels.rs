@@ -23,10 +23,7 @@ fn matrix_filter(args: &[String]) -> Vec<MatrixDataset> {
     if let Some(pos) = args.iter().position(|a| a == "--matrices") {
         if let Some(list) = args.get(pos + 1) {
             let wanted: Vec<&str> = list.split(',').collect();
-            return MatrixDataset::ALL
-                .into_iter()
-                .filter(|m| wanted.contains(&m.tag()))
-                .collect();
+            return MatrixDataset::ALL.into_iter().filter(|m| wanted.contains(&m.tag())).collect();
         }
     }
     MatrixDataset::ALL.to_vec()
@@ -104,10 +101,7 @@ fn main() {
         .zip(&sp)
         .map(|(l, xs)| vec![l.to_string(), format!("{:.2}", gmean(xs))])
         .collect();
-    println!(
-        "{}",
-        render_table(&["design".to_string(), "gmean speedup".to_string()], &rows)
-    );
+    println!("{}", render_table(&["design".to_string(), "gmean speedup".to_string()], &rows));
     println!("\n(paper: specialized beats SparseCore per dataflow — 5.2x inner,");
     println!(" 3.1x outer, 2.4x Gustavson — while better algorithms on");
     println!(" SparseCore beat specialized designs running worse ones)");

@@ -29,10 +29,8 @@ pub struct Measurement {
 /// backends use the same stride).
 pub fn stride_for(app: App, d: Dataset) -> usize {
     use Dataset::*;
-    let heavy_app = matches!(
-        app,
-        App::Clique4 | App::Clique4NoNested | App::Clique5 | App::Clique5NoNested
-    );
+    let heavy_app =
+        matches!(app, App::Clique4 | App::Clique4NoNested | App::Clique5 | App::Clique5NoNested);
     let medium_app = matches!(app, App::TailedTriangle | App::ThreeMotif | App::ThreeChain);
     match d {
         Citeseer | Gnutella08 => 1,
@@ -100,12 +98,7 @@ pub fn run_cpu(g: &CsrGraph, app: App, stride: usize) -> Measurement {
 }
 
 /// Run `app` on SparseCore with the given configuration and stride.
-pub fn run_sparsecore(
-    g: &CsrGraph,
-    app: App,
-    cfg: SparseCoreConfig,
-    stride: usize,
-) -> Measurement {
+pub fn run_sparsecore(g: &CsrGraph, app: App, cfg: SparseCoreConfig, stride: usize) -> Measurement {
     let mut backend = StreamBackend::with_engine(g, Engine::new(cfg), app.uses_nested());
     let mut count = 0;
     for plan in app.plans() {
@@ -176,12 +169,7 @@ pub fn dataset_filter(args: &[String]) -> Option<Vec<Dataset>> {
     let pos = args.iter().position(|a| a == "--datasets")?;
     let list = args.get(pos + 1)?;
     let wanted: Vec<&str> = list.split(',').collect();
-    Some(
-        Dataset::ALL
-            .into_iter()
-            .filter(|d| wanted.contains(&d.tag()))
-            .collect(),
-    )
+    Some(Dataset::ALL.into_iter().filter(|d| wanted.contains(&d.tag())).collect())
 }
 
 #[cfg(test)]
@@ -210,7 +198,7 @@ mod tests {
         for app in App::FIG8 {
             for d in Dataset::ALL {
                 let s = stride_for(app, d);
-                assert!(s >= 1 && s <= 32);
+                assert!((1..=32).contains(&s));
             }
         }
         // Small graphs with cheap apps are exact.
@@ -230,8 +218,7 @@ mod tests {
 
     #[test]
     fn dataset_filter_parses() {
-        let args: Vec<String> =
-            vec!["prog".into(), "--datasets".into(), "E,W".into()];
+        let args: Vec<String> = vec!["prog".into(), "--datasets".into(), "E,W".into()];
         let f = dataset_filter(&args).unwrap();
         assert_eq!(f.len(), 2);
         assert!(dataset_filter(&["prog".to_string()]).is_none());

@@ -95,9 +95,7 @@ mod tests {
 
     #[test]
     fn totals_and_fractions() {
-        let mut b = Breakdown::default();
-        b.cache = 25;
-        b.mispredict = 25;
+        let mut b = Breakdown { cache: 25, mispredict: 25, ..Breakdown::default() };
         b.add_compute(Region::Other, 25);
         b.add_compute(Region::Intersection, 25);
         assert_eq!(b.total(), 100);

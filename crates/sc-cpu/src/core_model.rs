@@ -345,10 +345,7 @@ mod tests {
             b.load_use(0x10_000 + i * 4096);
         }
         let serialized = b.cycles();
-        assert!(
-            overlapped * 2 < serialized,
-            "overlapped={overlapped} serialized={serialized}"
-        );
+        assert!(overlapped * 2 < serialized, "overlapped={overlapped} serialized={serialized}");
     }
 
     #[test]

@@ -139,7 +139,11 @@ impl App {
     }
 
     /// Run on SparseCore, returning the backend for statistic inspection.
-    pub fn run_stream_detailed(self, g: &CsrGraph, cfg: SparseCoreConfig) -> (AppRun, StreamBackend<'_>) {
+    pub fn run_stream_detailed(
+        self,
+        g: &CsrGraph,
+        cfg: SparseCoreConfig,
+    ) -> (AppRun, StreamBackend<'_>) {
         let mut backend = StreamBackend::with_engine(g, Engine::new(cfg), self.uses_nested());
         let mut count = 0;
         for plan in self.plans() {
@@ -153,10 +157,7 @@ impl App {
     /// Timing-free brute-force reference count (small graphs only; used
     /// by tests and the benches' self-checks).
     pub fn run_reference(self, g: &CsrGraph) -> u64 {
-        self.plans()
-            .iter()
-            .map(|p| brute_force(p.pattern(), g, p.induced()))
-            .sum()
+        self.plans().iter().map(|p| brute_force(p.pattern(), g, p.induced())).sum()
     }
 }
 
@@ -267,12 +268,7 @@ mod tests {
         for app in [App::Triangle, App::Clique4, App::ThreeChain] {
             let s = app.run_scalar(&g);
             let st = app.run_stream(&g, SparseCoreConfig::paper());
-            assert!(
-                st.cycles < s.cycles,
-                "{app}: stream {} vs scalar {}",
-                st.cycles,
-                s.cycles
-            );
+            assert!(st.cycles < s.cycles, "{app}: stream {} vs scalar {}", st.cycles, s.cycles);
         }
     }
 

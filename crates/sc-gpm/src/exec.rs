@@ -476,12 +476,7 @@ fn build_count<B: SetBackend>(
 }
 
 /// Would `k` appear in level `l`'s candidate set (ignoring the bound)?
-fn candidate_contains<B: SetBackend>(
-    ctx: &mut Ctx<'_, B>,
-    b: &mut B,
-    l: usize,
-    k: Key,
-) -> bool {
+fn candidate_contains<B: SetBackend>(ctx: &mut Ctx<'_, B>, b: &mut B, l: usize, k: Key) -> bool {
     let level = &ctx.plan.levels()[l];
     for &j in &level.connected {
         if !b.list_contains(ctx.assigned[j], k) {
@@ -810,12 +805,7 @@ impl<'g> StreamBackend<'g> {
     /// style variants (with/without `S_NESTINTER`).
     pub fn with_engine(g: &'g CsrGraph, engine: Engine, use_nested: bool) -> Self {
         let n = engine.config().num_stream_registers() as u32;
-        StreamBackend {
-            engine,
-            g,
-            free_ids: (0..n).rev().collect(),
-            use_nested,
-        }
+        StreamBackend { engine, g, free_ids: (0..n).rev().collect(), use_nested }
     }
 
     /// The underlying engine (cycles, breakdown, statistics).
@@ -1001,10 +991,7 @@ mod tests {
 
     fn small_graph() -> CsrGraph {
         // Two triangles sharing an edge, plus a tail: vertices 0-5.
-        CsrGraph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (1, 3), (2, 3), (3, 4), (2, 5), (3, 5)],
-        )
+        CsrGraph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (1, 3), (2, 3), (3, 4), (2, 5), (3, 5)])
     }
 
     fn scalar(g: &CsrGraph) -> ScalarBackend<'_> {
@@ -1121,11 +1108,7 @@ mod ablation_tests {
             let unbounded = Plan::compile_unbounded(&pattern, &order, induced);
             let mut b1 = ScalarBackend::new(&g);
             let mut b2 = ScalarBackend::new(&g);
-            assert_eq!(
-                count(&g, &bounded, &mut b1),
-                count(&g, &unbounded, &mut b2),
-                "{pattern}"
-            );
+            assert_eq!(count(&g, &bounded, &mut b1), count(&g, &unbounded, &mut b2), "{pattern}");
         }
     }
 
@@ -1140,20 +1123,14 @@ mod ablation_tests {
         let unbounded = Plan::compile_unbounded(&pat, &order, Induced::Vertex);
 
         let run = |plan: &Plan| {
-            let mut b = StreamBackend::with_engine(
-                &g,
-                Engine::new(SparseCoreConfig::paper()),
-                false,
-            );
+            let mut b =
+                StreamBackend::with_engine(&g, Engine::new(SparseCoreConfig::paper()), false);
             let n = count(&g, plan, &mut b);
             (n, b.finish())
         };
         let (n1, t_bounded) = run(&bounded);
         let (n2, t_unbounded) = run(&unbounded);
         assert_eq!(n1, n2);
-        assert!(
-            t_bounded < t_unbounded,
-            "bounded {t_bounded} should beat unbounded {t_unbounded}"
-        );
+        assert!(t_bounded < t_unbounded, "bounded {t_bounded} should beat unbounded {t_unbounded}");
     }
 }

@@ -237,11 +237,8 @@ pub fn run_fsm<B: SetBackend>(
                     if q_leaf == v || q_leaf == p_leaf {
                         continue;
                     }
-                    let (lu, lp, lq) = (
-                        labels[u as usize],
-                        labels[p_leaf as usize],
-                        labels[q_leaf as usize],
-                    );
+                    let (lu, lp, lq) =
+                        (labels[u as usize], labels[p_leaf as usize], labels[q_leaf as usize]);
                     // Canonical orientation: smaller (inner, outer) pair first.
                     let ((i1, o1, w1, x1), (i2, o2, w2, x2)) = if (lv, lp) <= (lu, lq) {
                         ((lv, lp, v, p_leaf), (lu, lq, u, q_leaf))

@@ -51,11 +51,7 @@ pub fn count_with_backend<B: SetBackend>(g: &CsrGraph, backend: &mut B) -> IepRu
     }
     backend.loop_branch(0x600, false);
 
-    IepRun {
-        three_chains: wedges - 3 * triangles,
-        triangles,
-        cycles: backend.finish(),
-    }
+    IepRun { three_chains: wedges - 3 * triangles, triangles, cycles: backend.finish() }
 }
 
 /// IEP counting on the CPU baseline.
@@ -101,10 +97,7 @@ mod tests {
         });
         let enumerated = App::ThreeChain.run_stream(&g, SparseCoreConfig::paper());
         let iep = count_stream(&g, SparseCoreConfig::paper());
-        assert_eq!(
-            iep.three_chains, enumerated.count,
-            "both methods agree on the count"
-        );
+        assert_eq!(iep.three_chains, enumerated.count, "both methods agree on the count");
         assert!(
             iep.cycles < enumerated.cycles,
             "IEP {} should beat enumeration {}",

@@ -56,8 +56,7 @@ pub fn count_stream_parallel(
         let handles: Vec<_> = (0..num_cores)
             .map(|c| {
                 scope.spawn(move || {
-                    let mut backend =
-                        StreamBackend::with_engine(g, Engine::new(cfg), use_nested);
+                    let mut backend = StreamBackend::with_engine(g, Engine::new(cfg), use_nested);
                     let n = exec::count_partition(g, plan, &mut backend, c, num_cores);
                     use crate::exec::SetBackend;
                     (n, backend.finish())

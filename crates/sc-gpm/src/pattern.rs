@@ -245,16 +245,17 @@ impl std::str::FromStr for Pattern {
         let mut edges = Vec::new();
         let mut max_v = 0usize;
         for tok in spec.split([',', ' ', '\t']).filter(|t| !t.trim().is_empty()) {
-            let (u, v) = tok
+            let (u, v) = tok.trim().split_once('-').ok_or_else(|| ParsePatternError {
+                message: format!("edge `{tok}` is not `u-v`"),
+            })?;
+            let u: usize = u
                 .trim()
-                .split_once('-')
-                .ok_or_else(|| ParsePatternError { message: format!("edge `{tok}` is not `u-v`") })?;
-            let u: usize = u.trim().parse().map_err(|_| ParsePatternError {
-                message: format!("bad vertex in `{tok}`"),
-            })?;
-            let v: usize = v.trim().parse().map_err(|_| ParsePatternError {
-                message: format!("bad vertex in `{tok}`"),
-            })?;
+                .parse()
+                .map_err(|_| ParsePatternError { message: format!("bad vertex in `{tok}`") })?;
+            let v: usize = v
+                .trim()
+                .parse()
+                .map_err(|_| ParsePatternError { message: format!("bad vertex in `{tok}`") })?;
             if u == v {
                 return Err(ParsePatternError { message: format!("self-loop `{tok}`") });
             }
@@ -266,7 +267,9 @@ impl std::str::FromStr for Pattern {
         }
         let n = max_v + 1;
         if n > 8 {
-            return Err(ParsePatternError { message: format!("{n} vertices exceeds the 8-vertex limit") });
+            return Err(ParsePatternError {
+                message: format!("{n} vertices exceeds the 8-vertex limit"),
+            });
         }
         let p = Pattern::new(n, &edges);
         if !p.is_connected() {

@@ -86,8 +86,7 @@ impl Plan {
         let mut levels = Vec::with_capacity(n);
         for l in 0..n {
             let u = order[l];
-            let connected: Vec<usize> =
-                (0..l).filter(|&j| pattern.has_edge(u, order[j])).collect();
+            let connected: Vec<usize> = (0..l).filter(|&j| pattern.has_edge(u, order[j])).collect();
             assert!(
                 l == 0 || !connected.is_empty(),
                 "matching order must keep the prefix connected (level {l})"
@@ -98,17 +97,20 @@ impl Plan {
             };
             let restricted: Vec<usize> =
                 restr.iter().filter(|r| r.later == l).map(|r| r.earlier).collect();
-            let (bounds, filters) = if bounded {
-                (restricted, Vec::new())
-            } else {
-                (Vec::new(), restricted)
-            };
+            let (bounds, filters) =
+                if bounded { (restricted, Vec::new()) } else { (Vec::new(), restricted) };
             // An earlier vertex v_j can linger in the candidate set only if
             // j is not intersected in (v_j is never its own neighbor).
             let excludes: Vec<usize> = (0..l).filter(|j| !connected.contains(j)).collect();
             levels.push(LevelPlan { connected, disconnected, bounds, filters, excludes });
         }
-        Plan { pattern: pattern.clone(), order: order.to_vec(), induced, levels, restrictions: restr }
+        Plan {
+            pattern: pattern.clone(),
+            order: order.to_vec(),
+            induced,
+            levels,
+            restrictions: restr,
+        }
     }
 
     /// Compile with a greedy connectivity-first default order.
@@ -176,12 +178,18 @@ impl Plan {
     /// Emit the stream-ISA loop body for the innermost candidate-set
     /// computation, with symbolic addresses (documentation of what the
     /// compiler generates — the executor drives the engine directly).
+    ///
+    /// Debug builds statically verify the emitted program with `sc-lint`
+    /// (no error-level findings).
     pub fn emit_program(&self) -> Program {
         let mut p = Program::new();
         let n = self.levels.len();
         if n < 2 {
             return p;
         }
+        // Symbolic neighbor-list length: the real lengths are data-
+        // dependent; 64 keys (one S-Cache slot) stands in for them.
+        const SYM_LEN: u32 = 64;
         let last = &self.levels[n - 1];
         let mut next_sid = 0u32;
         let mut fresh = || {
@@ -195,7 +203,7 @@ impl Plan {
             let sid = fresh();
             p.push(Instr::SRead {
                 key_addr: 0x1000 * (j as u64 + 1),
-                len: 0,
+                len: SYM_LEN,
                 sid,
                 priority: Priority(0),
             });
@@ -215,10 +223,17 @@ impl Plan {
             p.push(Instr::SFree { sid });
             acc = out;
         }
-        if loaded.len() == 1 {
-            // Single operand: the candidate set is the loaded list itself.
-        }
+        // The candidate set is consumed by the enumeration loop: the
+        // emitted body fetches its head (the executor fetches every
+        // element). Without this the final set-op output is dead and
+        // `sc-lint` rightly suggests the `.C` variants.
+        p.push(Instr::SFetch { sid: acc, offset: 0 });
         p.push(Instr::SFree { sid: acc });
+        debug_assert!(
+            sc_lint::lint_default(&p).error_free(),
+            "emit_program produced lint errors:\n{}",
+            sc_lint::lint_default(&p)
+        );
         p
     }
 }
@@ -330,6 +345,25 @@ mod tests {
         assert!(prog.validate().is_ok(), "{prog}");
         assert!(prog.len() > 3);
         assert!(prog.max_live_streams() <= 16, "fits the stream registers");
+    }
+
+    #[test]
+    fn emitted_programs_are_lint_clean() {
+        // Every connected 4-vertex pattern, both semantics: the emitted
+        // loop body must carry no lint findings at all — no leaks, dead
+        // streams, unused reads, kind errors or pressure.
+        for pat in Pattern::connected_of_size(4) {
+            let order = default_order(&pat);
+            for ind in [Induced::Vertex, Induced::Edge] {
+                let plan = Plan::compile(&pat, &order, ind);
+                let prog = plan.emit_program();
+                let report = sc_lint::lint_default(&prog);
+                assert!(
+                    report.is_empty(),
+                    "{pat} ({ind:?}) emitted:\n{prog}\ndiagnostics:\n{report}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -24,11 +24,7 @@ pub struct GraphLayout {
 
 impl Default for GraphLayout {
     fn default() -> Self {
-        GraphLayout {
-            index_base: 0x1000_0000,
-            edge_base: 0x2000_0000,
-            offset_base: 0x6000_0000,
-        }
+        GraphLayout { index_base: 0x1000_0000, edge_base: 0x2000_0000, offset_base: 0x6000_0000 }
     }
 }
 
@@ -147,10 +143,7 @@ impl CsrGraph {
 
     /// Maximum degree over all vertices.
     pub fn max_degree(&self) -> usize {
-        (0..self.num_vertices() as VertexId)
-            .map(|v| self.degree(v))
-            .max()
-            .unwrap_or(0)
+        (0..self.num_vertices() as VertexId).map(|v| self.degree(v)).max().unwrap_or(0)
     }
 
     /// Index (within `v`'s neighbor list) of the first neighbor strictly

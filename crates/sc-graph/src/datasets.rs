@@ -241,10 +241,7 @@ mod tests {
             assert_eq!(g.num_vertices(), spec.num_vertices);
             let m = g.num_edges() as f64;
             let target = spec.num_edges as f64;
-            assert!(
-                (m - target).abs() / target < 0.05,
-                "{d}: edges {m} vs target {target}"
-            );
+            assert!((m - target).abs() / target < 0.05, "{d}: edges {m} vs target {target}");
         }
     }
 

@@ -88,9 +88,8 @@ pub fn powerlaw_graph(config: PowerLawConfig) -> CsrGraph {
     }
     let alpha = 0.5 * (lo + hi);
     let c = head_degree(alpha);
-    let weights: Vec<f64> = (0..n)
-        .map(|i| (c * ((i + 1) as f64).powf(-alpha)).clamp(1.0, dmax))
-        .collect();
+    let weights: Vec<f64> =
+        (0..n).map(|i| (c * ((i + 1) as f64).powf(-alpha)).clamp(1.0, dmax)).collect();
 
     // Cumulative weights for endpoint sampling by binary search.
     let mut cum = Vec::with_capacity(n);
@@ -131,10 +130,8 @@ pub fn powerlaw_graph(config: PowerLawConfig) -> CsrGraph {
         let j = rng.gen_range(0..=i);
         perm.swap(i, j);
     }
-    let relabeled: Vec<(VertexId, VertexId)> = edges
-        .iter()
-        .map(|&(u, v)| (perm[u as usize], perm[v as usize]))
-        .collect();
+    let relabeled: Vec<(VertexId, VertexId)> =
+        edges.iter().map(|&(u, v)| (perm[u as usize], perm[v as usize])).collect();
     CsrGraph::from_edges(n, &relabeled)
 }
 
@@ -170,10 +167,7 @@ mod tests {
         let m = g.num_edges() as f64;
         assert!((m - 10_000.0).abs() / 10_000.0 < 0.05, "edges={m}");
         let dmax = g.max_degree() as f64;
-        assert!(
-            (0.5..=1.6).contains(&(dmax / 300.0)),
-            "max degree {dmax} too far from target 300"
-        );
+        assert!((0.5..=1.6).contains(&(dmax / 300.0)), "max degree {dmax} too far from target 300");
     }
 
     #[test]
@@ -204,10 +198,7 @@ mod tests {
         });
         // The highest-degree vertex should not be vertex 0 after the
         // relabeling shuffle (holds for this seed; guards the shuffle).
-        let argmax = g
-            .vertices()
-            .max_by_key(|&v| g.degree(v))
-            .expect("non-empty");
+        let argmax = g.vertices().max_by_key(|&v| g.degree(v)).expect("non-empty");
         assert_ne!(argmax, 0);
     }
 

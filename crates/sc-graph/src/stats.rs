@@ -40,8 +40,7 @@ pub fn degree_stats(g: &CsrGraph) -> DegreeStats {
     degrees.sort_unstable();
     let n = degrees.len();
     let mean = degrees.iter().sum::<usize>() as f64 / n as f64;
-    let variance =
-        degrees.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+    let variance = degrees.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n as f64;
     let mut deciles = [0usize; 11];
     for (i, d) in deciles.iter_mut().enumerate() {
         let idx = ((n - 1) as f64 * i as f64 / 10.0).round() as usize;

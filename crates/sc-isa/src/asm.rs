@@ -49,9 +49,7 @@ fn parse_u32(tok: &str, line: usize) -> Result<u32, ParseError> {
 }
 
 fn parse_f64(tok: &str, line: usize) -> Result<f64, ParseError> {
-    tok.trim()
-        .parse()
-        .map_err(|_| err(line, format!("expected float, found `{tok}`")))
+    tok.trim().parse().map_err(|_| err(line, format!("expected float, found `{tok}`")))
 }
 
 fn parse_sid(tok: &str, line: usize) -> Result<StreamId, ParseError> {
@@ -59,9 +57,7 @@ fn parse_sid(tok: &str, line: usize) -> Result<StreamId, ParseError> {
     let digits = tok
         .strip_prefix('s')
         .ok_or_else(|| err(line, format!("expected stream ID like `s3`, found `{tok}`")))?;
-    let raw: u32 = digits
-        .parse()
-        .map_err(|_| err(line, format!("bad stream ID `{tok}`")))?;
+    let raw: u32 = digits.parse().map_err(|_| err(line, format!("bad stream ID `{tok}`")))?;
     Ok(StreamId::new(raw))
 }
 

@@ -1,0 +1,208 @@
+//! Def-use dataflow over a straight-line stream program.
+//!
+//! This module is the single source of truth for the ISA's stream
+//! lifetime discipline: define-before-use, free-exactly-once, and the
+//! compiler convention that every stream is freed before the program
+//! ends (paper Section 3.3's SMT define bits, enforced in software).
+//! [`Program::validate`] is a thin wrapper over [`analyze`], and the
+//! `sc-lint` liveness pass consumes the same walk so the runtime, the
+//! validator and the linter can never disagree about liveness.
+
+use crate::instr::Instr;
+use crate::operand::StreamId;
+use crate::program::Program;
+
+/// One liveness-discipline violation found by [`analyze`].
+///
+/// Faults are reported in program order (for a single instruction: uses
+/// before defines), with end-of-program leaks last, ordered by the
+/// leaked stream's definition site. Unlike [`Program::validate`], the
+/// walk does not stop at the first fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Instruction `at` uses stream `sid`, which is not live there.
+    UndefinedUse {
+        /// Instruction index.
+        at: usize,
+        /// The offending stream.
+        sid: StreamId,
+    },
+    /// `S_FREE` at `at` frees stream `sid`, which is not live there
+    /// (never defined, or already freed).
+    FreeUnmapped {
+        /// Instruction index.
+        at: usize,
+        /// The offending stream.
+        sid: StreamId,
+    },
+    /// Instruction `at` defines stream `sid` while a previous definition
+    /// is still live. The ISA allows this (the SMT overwrites the
+    /// mapping in place), but it usually means a missing `S_FREE`.
+    RedefinedLive {
+        /// Instruction index.
+        at: usize,
+        /// The redefined stream.
+        sid: StreamId,
+    },
+    /// Stream `sid`, defined at `defined_at`, is still live when the
+    /// program ends.
+    Leak {
+        /// The leaked stream.
+        sid: StreamId,
+        /// Index of the definition still live at the end.
+        defined_at: usize,
+    },
+}
+
+/// Result of one [`analyze`] walk.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DataflowResult {
+    /// All liveness faults, in the order described on [`Fault`].
+    pub faults: Vec<Fault>,
+    /// Per-instruction live-stream count: the number of live streams
+    /// immediately after instruction `i` takes effect, counted at the
+    /// point of peak occupancy (a defining instruction's own output is
+    /// included; an `S_FREE`'s operand is not yet removed, matching the
+    /// paper's model where the register is occupied until the free
+    /// retires). `faults.is_empty()` need not hold for the counts to be
+    /// meaningful.
+    pub live_at: Vec<usize>,
+}
+
+impl DataflowResult {
+    /// Peak simultaneous live streams anywhere in the program.
+    pub fn max_live(&self) -> usize {
+        self.live_at.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Walk `program` once, collecting every liveness fault and the live
+/// count at each instruction.
+pub fn analyze(program: &Program) -> DataflowResult {
+    // Insertion-ordered live set: (sid, index of the live definition).
+    // Programs are small and stream counts tiny, so linear search beats
+    // hashing and keeps leak reporting deterministic.
+    let mut live: Vec<(StreamId, usize)> = Vec::new();
+    let mut faults = Vec::new();
+    let mut live_at = Vec::with_capacity(program.len());
+
+    for (at, i) in program.iter().enumerate() {
+        match i {
+            Instr::SFree { sid } => {
+                // The stream register is still occupied while the free
+                // executes; count it before removal.
+                live_at.push(live.len());
+                if let Some(pos) = live.iter().position(|(s, _)| s == sid) {
+                    live.remove(pos);
+                } else {
+                    faults.push(Fault::FreeUnmapped { at, sid: *sid });
+                }
+            }
+            _ => {
+                for sid in i.uses_streams() {
+                    if !live.iter().any(|(s, _)| *s == sid) {
+                        faults.push(Fault::UndefinedUse { at, sid });
+                    }
+                }
+                if let Some(sid) = i.defines_stream() {
+                    if let Some(entry) = live.iter_mut().find(|(s, _)| *s == sid) {
+                        faults.push(Fault::RedefinedLive { at, sid });
+                        // The SMT overwrites in place: same register,
+                        // new definition site.
+                        entry.1 = at;
+                    } else {
+                        live.push((sid, at));
+                    }
+                }
+                live_at.push(live.len());
+            }
+        }
+    }
+
+    for (sid, defined_at) in live {
+        faults.push(Fault::Leak { sid, defined_at });
+    }
+
+    DataflowResult { faults, live_at }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operand::{Bound, Priority};
+
+    fn sid(n: u32) -> StreamId {
+        StreamId::new(n)
+    }
+
+    fn read(n: u32) -> Instr {
+        Instr::SRead { key_addr: 0x1000 * n as u64, len: 16, sid: sid(n), priority: Priority(0) }
+    }
+
+    #[test]
+    fn clean_program_has_no_faults() {
+        let p: Program = vec![
+            read(0),
+            read(1),
+            Instr::SInter { a: sid(0), b: sid(1), out: sid(2), bound: Bound::none() },
+            Instr::SFree { sid: sid(0) },
+            Instr::SFree { sid: sid(1) },
+            Instr::SFree { sid: sid(2) },
+        ]
+        .into_iter()
+        .collect();
+        let r = analyze(&p);
+        assert!(r.faults.is_empty());
+        assert_eq!(r.live_at, vec![1, 2, 3, 3, 2, 1]);
+        assert_eq!(r.max_live(), 3);
+    }
+
+    #[test]
+    fn collects_multiple_faults_in_order() {
+        // Use of two undefined streams, then a free of a dead stream.
+        let p: Program = vec![
+            Instr::SInterC { a: sid(0), b: sid(1), bound: Bound::none() },
+            Instr::SFree { sid: sid(9) },
+        ]
+        .into_iter()
+        .collect();
+        let r = analyze(&p);
+        assert_eq!(
+            r.faults,
+            vec![
+                Fault::UndefinedUse { at: 0, sid: sid(0) },
+                Fault::UndefinedUse { at: 0, sid: sid(1) },
+                Fault::FreeUnmapped { at: 1, sid: sid(9) },
+            ]
+        );
+    }
+
+    #[test]
+    fn live_redefinition_is_a_fault_but_not_fatal() {
+        let p: Program = vec![read(0), read(0), Instr::SFree { sid: sid(0) }].into_iter().collect();
+        let r = analyze(&p);
+        assert_eq!(r.faults, vec![Fault::RedefinedLive { at: 1, sid: sid(0) }]);
+        // One register, overwritten in place.
+        assert_eq!(r.max_live(), 1);
+    }
+
+    #[test]
+    fn leaks_report_definition_site_in_order() {
+        let p: Program = vec![read(2), read(5)].into_iter().collect();
+        let r = analyze(&p);
+        assert_eq!(
+            r.faults,
+            vec![
+                Fault::Leak { sid: sid(2), defined_at: 0 },
+                Fault::Leak { sid: sid(5), defined_at: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn free_counts_register_as_still_occupied() {
+        let p: Program = vec![read(0), Instr::SFree { sid: sid(0) }].into_iter().collect();
+        let r = analyze(&p);
+        assert_eq!(r.live_at, vec![1, 1]);
+    }
+}

@@ -109,12 +109,9 @@ pub fn encode(i: &Instr) -> Encoded {
         Instr::SRead { key_addr, len, sid, priority } => {
             [word0(OP_S_READ, sid.raw(), 0, 0, 0, len), key_addr, 0, u64::from(priority.0)]
         }
-        Instr::SVRead { key_addr, len, sid, val_addr, priority } => [
-            word0(OP_S_VREAD, sid.raw(), 0, 0, 0, len),
-            key_addr,
-            val_addr,
-            u64::from(priority.0),
-        ],
+        Instr::SVRead { key_addr, len, sid, val_addr, priority } => {
+            [word0(OP_S_VREAD, sid.raw(), 0, 0, 0, len), key_addr, val_addr, u64::from(priority.0)]
+        }
         Instr::SFree { sid } => [word0(OP_S_FREE, sid.raw(), 0, 0, 0, 0), 0, 0, 0],
         Instr::SFetch { sid, offset } => {
             [word0(OP_S_FETCH, sid.raw(), 0, 0, 0, 0), u64::from(offset), 0, 0]
@@ -144,9 +141,7 @@ pub fn encode(i: &Instr) -> Encoded {
             scale_a.to_bits(),
             scale_b.to_bits(),
         ],
-        Instr::SLdGfr { gfr } => {
-            [word0(OP_S_LD_GFR, 0, 0, 0, 0, 0), gfr.gfr0, gfr.gfr1, gfr.gfr2]
-        }
+        Instr::SLdGfr { gfr } => [word0(OP_S_LD_GFR, 0, 0, 0, 0, 0), gfr.gfr0, gfr.gfr1, gfr.gfr2],
         Instr::SNestInter { sid } => [word0(OP_S_NESTINTER, sid.raw(), 0, 0, 0, 0), 0, 0, 0],
     }
 }
@@ -230,7 +225,12 @@ mod tests {
 
     fn all_variants() -> Vec<Instr> {
         vec![
-            Instr::SRead { key_addr: 0xDEAD_BEEF_00, len: 12345, sid: sid(3), priority: Priority(7) },
+            Instr::SRead {
+                key_addr: 0xDE_ADBE_EF00,
+                len: 12345,
+                sid: sid(3),
+                priority: Priority(7),
+            },
             Instr::SVRead {
                 key_addr: 0x1000,
                 len: 999,
@@ -248,9 +248,7 @@ mod tests {
             Instr::SMergeC { a: sid(14), b: sid(15) },
             Instr::SVInter { a: sid(0), b: sid(1), op: ValueOp::Min },
             Instr::SVMerge { scale_a: -2.5, scale_b: 1e100, a: sid(2), b: sid(3), out: sid(4) },
-            Instr::SLdGfr {
-                gfr: GfrSet { gfr0: 0x1111, gfr1: 0x2222, gfr2: 0x3333 },
-            },
+            Instr::SLdGfr { gfr: GfrSet { gfr0: 0x1111, gfr1: 0x2222, gfr2: 0x3333 } },
             Instr::SNestInter { sid: sid(6) },
         ]
     }
@@ -291,7 +289,13 @@ mod tests {
     #[test]
     fn negative_and_huge_scales_roundtrip() {
         for scale in [-0.0, f64::MIN_POSITIVE, -1e308, 42.42] {
-            let i = Instr::SVMerge { scale_a: scale, scale_b: -scale, a: sid(0), b: sid(1), out: sid(2) };
+            let i = Instr::SVMerge {
+                scale_a: scale,
+                scale_b: -scale,
+                a: sid(0),
+                b: sid(1),
+                out: sid(2),
+            };
             assert_eq!(decode(&encode(&i)).unwrap(), i);
         }
     }

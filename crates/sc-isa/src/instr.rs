@@ -282,10 +282,7 @@ mod tests {
     #[test]
     fn mnemonics_match_paper_table1() {
         let cases: Vec<(Instr, &str)> = vec![
-            (
-                Instr::SRead { key_addr: 0, len: 0, sid: sid(0), priority: Priority(0) },
-                "S_READ",
-            ),
+            (Instr::SRead { key_addr: 0, len: 0, sid: sid(0), priority: Priority(0) }, "S_READ"),
             (
                 Instr::SVRead {
                     key_addr: 0,
@@ -298,10 +295,7 @@ mod tests {
             ),
             (Instr::SFree { sid: sid(0) }, "S_FREE"),
             (Instr::SFetch { sid: sid(0), offset: 0 }, "S_FETCH"),
-            (
-                Instr::SInter { a: sid(0), b: sid(1), out: sid(2), bound: Bound::none() },
-                "S_INTER",
-            ),
+            (Instr::SInter { a: sid(0), b: sid(1), out: sid(2), bound: Bound::none() }, "S_INTER"),
             (Instr::SInterC { a: sid(0), b: sid(1), bound: Bound::none() }, "S_INTER.C"),
             (Instr::SSub { a: sid(0), b: sid(1), out: sid(2), bound: Bound::none() }, "S_SUB"),
             (Instr::SSubC { a: sid(0), b: sid(1), bound: Bound::none() }, "S_SUB.C"),

@@ -42,6 +42,7 @@
 //! ```
 
 pub mod asm;
+pub mod dataflow;
 pub mod encoding;
 pub mod exception;
 pub mod instr;

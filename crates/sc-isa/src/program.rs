@@ -1,8 +1,8 @@
 //! Program representation: an ordered list of stream instructions.
 
+use crate::dataflow;
 use crate::instr::Instr;
 use crate::operand::StreamId;
-use std::collections::HashSet;
 use std::fmt;
 
 /// A straight-line stream-ISA program.
@@ -107,51 +107,34 @@ impl Program {
     /// hardware's 16 (paper Section 5.3 falls back to scalar code when
     /// exceeded).
     pub fn max_live_streams(&self) -> usize {
-        let mut live: HashSet<StreamId> = HashSet::new();
-        let mut max = 0;
-        for i in &self.instrs {
-            if let Some(sid) = i.defines_stream() {
-                live.insert(sid);
-            }
-            max = max.max(live.len());
-            if let Instr::SFree { sid } = i {
-                live.remove(sid);
-            }
-        }
-        max
+        dataflow::analyze(self).max_live()
     }
 
     /// Statically validate define-before-use and free discipline.
+    ///
+    /// This is a thin wrapper over [`dataflow::analyze`], which is the
+    /// single source of truth for liveness rules (and what the
+    /// `sc-lint` liveness pass runs). Redefinition of a live stream is
+    /// allowed here — the SMT overwrites the mapping in place — but the
+    /// linter reports it as a warning.
     ///
     /// # Errors
     ///
     /// Returns the first [`ValidationError`] found, scanning in order:
     /// uses of undefined streams, frees of dead streams, then leaks.
     pub fn validate(&self) -> Result<(), ValidationError> {
-        let mut live: HashSet<StreamId> = HashSet::new();
-        for (at, i) in self.instrs.iter().enumerate() {
-            match i {
-                Instr::SFree { sid } => {
-                    if !live.remove(sid) {
-                        return Err(ValidationError::DoubleFree { at, sid: *sid });
-                    }
+        for fault in dataflow::analyze(self).faults {
+            return Err(match fault {
+                dataflow::Fault::UndefinedUse { at, sid } => {
+                    ValidationError::UndefinedUse { at, sid }
                 }
-                _ => {
-                    for sid in i.uses_streams() {
-                        if !live.contains(&sid) {
-                            return Err(ValidationError::UndefinedUse { at, sid });
-                        }
-                    }
-                    if let Some(sid) = i.defines_stream() {
-                        // Redefinition of a live ID overwrites the prior
-                        // mapping, which is allowed by the ISA.
-                        live.insert(sid);
-                    }
+                dataflow::Fault::FreeUnmapped { at, sid } => {
+                    ValidationError::DoubleFree { at, sid }
                 }
-            }
-        }
-        if let Some(&sid) = live.iter().next() {
-            return Err(ValidationError::Leak { sid });
+                dataflow::Fault::Leak { sid, .. } => ValidationError::Leak { sid },
+                // Allowed by the ISA: not an error at this layer.
+                dataflow::Fault::RedefinedLive { .. } => continue,
+            });
         }
         Ok(())
     }
@@ -231,18 +214,14 @@ mod tests {
         let p: Program = vec![Instr::SInterC { a: sid(0), b: sid(1), bound: Bound::none() }]
             .into_iter()
             .collect();
-        assert_eq!(
-            p.validate(),
-            Err(ValidationError::UndefinedUse { at: 0, sid: sid(0) })
-        );
+        assert_eq!(p.validate(), Err(ValidationError::UndefinedUse { at: 0, sid: sid(0) }));
     }
 
     #[test]
     fn double_free_detected() {
-        let p: Program =
-            vec![read(0), Instr::SFree { sid: sid(0) }, Instr::SFree { sid: sid(0) }]
-                .into_iter()
-                .collect();
+        let p: Program = vec![read(0), Instr::SFree { sid: sid(0) }, Instr::SFree { sid: sid(0) }]
+            .into_iter()
+            .collect();
         assert_eq!(p.validate(), Err(ValidationError::DoubleFree { at: 2, sid: sid(0) }));
     }
 
@@ -256,23 +235,17 @@ mod tests {
     fn redefinition_is_allowed() {
         // Same stream ID in two "iterations" — the ISA maps them to
         // different stream registers.
-        let p: Program = vec![
-            read(0),
-            Instr::SFree { sid: sid(0) },
-            read(0),
-            Instr::SFree { sid: sid(0) },
-        ]
-        .into_iter()
-        .collect();
+        let p: Program =
+            vec![read(0), Instr::SFree { sid: sid(0) }, read(0), Instr::SFree { sid: sid(0) }]
+                .into_iter()
+                .collect();
         assert!(p.validate().is_ok());
         assert_eq!(p.max_live_streams(), 1);
     }
 
     #[test]
     fn live_redefinition_is_allowed_too() {
-        let p: Program = vec![read(0), read(0), Instr::SFree { sid: sid(0) }]
-            .into_iter()
-            .collect();
+        let p: Program = vec![read(0), read(0), Instr::SFree { sid: sid(0) }].into_iter().collect();
         assert!(p.validate().is_ok());
     }
 

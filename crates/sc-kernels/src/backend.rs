@@ -304,6 +304,32 @@ impl StreamTensorBackend {
         &self.engine
     }
 
+    /// Mutable engine access (enable tracing, virtualization, ...).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Stop tracing and return the recorded instruction trace together
+    /// with its `sc-lint` report, checked against this backend's engine
+    /// model (register count, virtualization). Debug builds assert the
+    /// trace is free of error-level findings — the kernels in this crate
+    /// must emit lint-clean instruction streams.
+    ///
+    /// Call after the kernel has released every handle; enable recording
+    /// first with `engine_mut().record_trace()`.
+    pub fn take_lint_checked_trace(&mut self) -> (sc_isa::Program, sc_lint::Report) {
+        let trace = self.engine.take_trace();
+        let config = sc_lint::LintConfig::default()
+            .stream_registers(self.engine.config().num_stream_registers())
+            .virtualization(self.engine.virtualization_enabled());
+        let report = sc_lint::lint(&trace, &config);
+        debug_assert!(
+            report.error_free(),
+            "kernel emitted a trace with lint errors:\n{report}\ntrace:\n{trace}"
+        );
+        (trace, report)
+    }
+
     fn alloc(&mut self) -> StreamId {
         StreamId::new(self.free_ids.pop().expect("stream registers exhausted"))
     }
@@ -334,12 +360,8 @@ impl TensorBackend for StreamTensorBackend {
         let out = self.alloc();
         self.engine.s_vmerge(sa, sb, *a, *b, out).expect("live streams");
         let keys = self.engine.stream_keys(out).expect("output live").to_vec();
-        let vals = self
-            .engine
-            .stream_values(out)
-            .expect("output live")
-            .expect("value stream")
-            .to_vec();
+        let vals =
+            self.engine.stream_values(out).expect("output live").expect("value stream").to_vec();
         // The output's engine-assigned addresses let a later re-load hit
         // the scratchpad/caches at the same location.
         // The merge output is re-homed to a fresh kernel-managed region
@@ -420,8 +442,10 @@ mod tests {
 
     #[test]
     fn scaled_merge_matches_both_backends() {
-        let a = VStream { keys: vec![1, 3], vals: vec![4.0, 21.0], key_addr: 0x100, val_addr: 0x200 };
-        let b = VStream { keys: vec![1, 5], vals: vec![1.0, 36.0], key_addr: 0x300, val_addr: 0x400 };
+        let a =
+            VStream { keys: vec![1, 3], vals: vec![4.0, 21.0], key_addr: 0x100, val_addr: 0x200 };
+        let b =
+            VStream { keys: vec![1, 5], vals: vec![1.0, 36.0], key_addr: 0x300, val_addr: 0x400 };
         let mut sc = ScalarTensorBackend::new();
         let (ha, hb) = (sc.load(&a, 0), sc.load(&b, 0));
         let m1 = sc.scaled_merge(2.0, &ha, 3.0, &hb);
@@ -436,7 +460,8 @@ mod tests {
 
     #[test]
     fn merge_with_empty_is_scaled_copy() {
-        let a = VStream { keys: vec![2, 4], vals: vec![1.0, 2.0], key_addr: 0x100, val_addr: 0x200 };
+        let a =
+            VStream { keys: vec![2, 4], vals: vec![1.0, 2.0], key_addr: 0x100, val_addr: 0x200 };
         let e = VStream::empty();
         let mut sc = ScalarTensorBackend::new();
         let (ha, he) = (sc.load(&a, 0), sc.load(&e, 0));

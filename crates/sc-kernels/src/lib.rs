@@ -29,7 +29,10 @@ pub mod tensor_ops;
 pub mod vstream;
 
 pub use backend::{ScalarTensorBackend, StreamTensorBackend, TensorBackend};
-pub use spmspm::{gustavson, gustavson_sampled, inner_product, outer_product, outer_product_sampled, InnerOptions, SpmspmResult};
+pub use spmspm::{
+    gustavson, gustavson_sampled, inner_product, outer_product, outer_product_sampled,
+    InnerOptions, SpmspmResult,
+};
 pub use spmv::{spmspv, spmv, spmv_reference, SpmvResult};
 pub use tensor_ops::{ttm, ttm_sampled, ttv, ttv_sampled, TtmResult, TtvResult};
 pub use vstream::VStream;

@@ -280,10 +280,7 @@ mod tests {
 
     fn check_against_reference(c: &CsrMatrix, a: &CsrMatrix, b: &CsrMatrix) {
         let expected = matmul_reference(a, b);
-        assert!(
-            dense_close(&c.to_dense(), &expected, 1e-9),
-            "product mismatch"
-        );
+        assert!(dense_close(&c.to_dense(), &expected, 1e-9), "product mismatch");
     }
 
     #[test]
@@ -323,8 +320,12 @@ mod tests {
     fn three_dataflows_agree() {
         let a = random_matrix(8, 8, 25, 7);
         let b = random_matrix(8, 8, 25, 8);
-        let inner =
-            inner_product(&a, &b.to_csc(), &mut ScalarTensorBackend::new(), InnerOptions::default());
+        let inner = inner_product(
+            &a,
+            &b.to_csc(),
+            &mut ScalarTensorBackend::new(),
+            InnerOptions::default(),
+        );
         let outer = outer_product(&a.to_csc(), &b, &mut ScalarTensorBackend::new());
         let gus = gustavson(&a, &b, &mut ScalarTensorBackend::new());
         assert!(dense_close(&inner.c.to_dense(), &outer.c.to_dense(), 1e-9));
@@ -357,12 +358,7 @@ mod tests {
         let b = random_matrix(40, 16, 320, 12).to_csc();
         let sc = inner_product(&a, &b, &mut ScalarTensorBackend::new(), InnerOptions::default());
         let st = inner_product(&a, &b, &mut StreamTensorBackend::new(), InnerOptions::default());
-        assert!(
-            st.cycles < sc.cycles,
-            "stream {} vs scalar {}",
-            st.cycles,
-            sc.cycles
-        );
+        assert!(st.cycles < sc.cycles, "stream {} vs scalar {}", st.cycles, sc.cycles);
     }
 
     #[test]

@@ -94,11 +94,7 @@ pub fn spmspv<B: TensorBackend>(
 pub fn spmv_reference(a: &CsrMatrix, x: &[f64]) -> Vec<f64> {
     (0..a.rows())
         .map(|i| {
-            a.row_indices(i)
-                .iter()
-                .zip(a.row_values(i))
-                .map(|(c, v)| v * x[*c as usize])
-                .sum()
+            a.row_indices(i).iter().zip(a.row_values(i)).map(|(c, v)| v * x[*c as usize]).sum()
         })
         .collect()
 }

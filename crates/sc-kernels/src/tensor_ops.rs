@@ -189,9 +189,7 @@ mod tests {
 
     fn close3(a: &[Vec<Vec<f64>>], b: &[Vec<Vec<f64>>]) -> bool {
         a.iter().zip(b).all(|(x, y)| {
-            x.iter()
-                .zip(y)
-                .all(|(p, q)| p.iter().zip(q).all(|(u, v)| (u - v).abs() < 1e-9))
+            x.iter().zip(y).all(|(p, q)| p.iter().zip(q).all(|(u, v)| (u - v).abs() < 1e-9))
         })
     }
 
@@ -202,10 +200,10 @@ mod tests {
         let expected = ttv_reference(&t, &v);
         let r1 = ttv(&t, &v, &mut ScalarTensorBackend::new());
         let r2 = ttv(&t, &v, &mut StreamTensorBackend::new());
-        for i in 0..6 {
-            for j in 0..5 {
-                assert!((r1.z[i][j] - expected[i][j]).abs() < 1e-9);
-                assert!((r2.z[i][j] - expected[i][j]).abs() < 1e-9);
+        for (row, want) in expected.iter().enumerate() {
+            for (col, e) in want.iter().enumerate() {
+                assert!((r1.z[row][col] - e).abs() < 1e-9);
+                assert!((r2.z[row][col] - e).abs() < 1e-9);
             }
         }
         assert!(r1.cycles > 0 && r2.cycles > 0);
@@ -214,9 +212,8 @@ mod tests {
     #[test]
     fn ttm_matches_reference_both_backends() {
         let t = random_tensor([4, 4, 10], 8, 36, 22);
-        let b: Vec<Vec<f64>> = (0..3)
-            .map(|k| (0..10).map(|l| (k * 10 + l) as f64 * 0.1 + 1.0).collect())
-            .collect();
+        let b: Vec<Vec<f64>> =
+            (0..3).map(|k| (0..10).map(|l| (k * 10 + l) as f64 * 0.1 + 1.0).collect()).collect();
         let expected = ttm_reference(&t, &b);
         let r1 = ttm(&t, &b, &mut ScalarTensorBackend::new());
         let r2 = ttm(&t, &b, &mut StreamTensorBackend::new());

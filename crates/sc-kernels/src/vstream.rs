@@ -67,12 +67,7 @@ impl VStream {
     /// A dense vector viewed as a (key, value) stream with every key
     /// present (the TTV/TTM formulation of the paper).
     pub fn from_dense(vals: &[f64], key_addr: u64, val_addr: u64) -> Self {
-        VStream {
-            keys: (0..vals.len() as u32).collect(),
-            vals: vals.to_vec(),
-            key_addr,
-            val_addr,
-        }
+        VStream { keys: (0..vals.len() as u32).collect(), vals: vals.to_vec(), key_addr, val_addr }
     }
 }
 

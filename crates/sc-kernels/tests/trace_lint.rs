@@ -1,0 +1,69 @@
+//! Every kernel in this crate, run on the stream backend, must emit an
+//! instruction trace that `sc-lint` finds free of error-level
+//! diagnostics: no leaked or double-freed streams, no value ops on
+//! key-only streams, no register-pressure overruns.
+
+use sc_kernels::spmspm::{gustavson, inner_product, InnerOptions};
+use sc_kernels::spmv::{spmspv, spmv};
+use sc_kernels::StreamTensorBackend;
+use sc_lint::LintCode;
+use sc_tensor::generators::random_matrix;
+
+fn traced_backend() -> StreamTensorBackend {
+    let mut be = StreamTensorBackend::new();
+    be.engine_mut().record_trace();
+    be
+}
+
+#[test]
+fn spmv_trace_is_lint_error_free() {
+    let a = random_matrix(15, 12, 60, 41);
+    let x: Vec<f64> = (0..12).map(|i| 0.5 + i as f64 * 0.25).collect();
+    let mut be = traced_backend();
+    spmv(&a, &x, &mut be);
+    let (trace, report) = be.take_lint_checked_trace();
+    assert!(!trace.is_empty(), "tracing was enabled");
+    assert!(report.error_free(), "spmv trace:\n{report}");
+    // Every value op in the trace runs on (key, value) streams.
+    assert!(!report.diagnostics().iter().any(|d| d.code == LintCode::KeyOnlyValueOp));
+}
+
+#[test]
+fn spmspv_trace_is_lint_error_free() {
+    let a = random_matrix(10, 16, 50, 43);
+    let mut be = traced_backend();
+    spmspv(&a, &[0, 4, 8, 15], &[1.0, 2.0, 3.0, 4.0], &mut be);
+    let (trace, report) = be.take_lint_checked_trace();
+    assert!(!trace.is_empty());
+    assert!(report.error_free(), "spmspv trace:\n{report}");
+}
+
+#[test]
+fn spmspm_traces_are_lint_error_free() {
+    let a = random_matrix(8, 8, 20, 7);
+    let b = random_matrix(8, 8, 20, 8);
+    let bcsc = b.to_csc();
+
+    let mut be = traced_backend();
+    inner_product(&a, &bcsc, &mut be, InnerOptions::default());
+    let (_, report) = be.take_lint_checked_trace();
+    assert!(report.error_free(), "inner-product trace:\n{report}");
+
+    let mut be = traced_backend();
+    gustavson(&a, &b, &mut be);
+    let (_, report) = be.take_lint_checked_trace();
+    assert!(report.error_free(), "Gustavson trace:\n{report}");
+}
+
+#[test]
+fn trace_liveness_matches_validate() {
+    // The lint liveness pass and Program::validate wrap the same walk:
+    // a kernel trace that lints error-free must also validate.
+    let a = random_matrix(12, 10, 40, 11);
+    let x: Vec<f64> = (0..10).map(|i| 1.0 + i as f64).collect();
+    let mut be = traced_backend();
+    spmv(&a, &x, &mut be);
+    let (trace, report) = be.take_lint_checked_trace();
+    assert!(report.error_free());
+    assert!(trace.validate().is_ok());
+}

@@ -1,0 +1,114 @@
+//! `sc-lint` CLI: lint `.sasm` stream-assembly files.
+//!
+//! ```text
+//! sc-lint [OPTIONS] FILE...
+//!   --json            machine-readable output (one JSON object per file)
+//!   --deny-warnings   exit non-zero on warnings, not just errors
+//!   --max-streams N   stream-register capacity (default 16)
+//!   --virtualized     model SMT virtualization (pressure becomes a note)
+//!   --no-perf         skip the SC-W2xx performance lints
+//!   --no-leaks        skip SC-E003 (lint program fragments)
+//! ```
+//!
+//! Exit status: 0 clean, 1 diagnostics at or above the gate severity,
+//! 2 usage/IO/parse errors.
+
+use sc_lint::{lint, LintConfig};
+use std::process::ExitCode;
+
+struct Options {
+    json: bool,
+    deny_warnings: bool,
+    config: LintConfig,
+    files: Vec<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: sc-lint [--json] [--deny-warnings] [--max-streams N] [--virtualized] [--no-perf] [--no-leaks] FILE..."
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        deny_warnings: false,
+        config: LintConfig::default(),
+        files: Vec::new(),
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--virtualized" => opts.config.virtualization = true,
+            "--no-perf" => opts.config.perf_lints = false,
+            "--no-leaks" => opts.config.check_leaks = false,
+            "--max-streams" => {
+                let n = args.next().ok_or("--max-streams needs a value")?;
+                opts.config.stream_registers =
+                    n.parse().map_err(|_| format!("invalid --max-streams value: {n}"))?;
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            f if !f.starts_with('-') => opts.files.push(f.to_string()),
+            unknown => return Err(format!("unknown option: {unknown}\n{}", usage())),
+        }
+    }
+    if opts.files.is_empty() {
+        return Err(usage().to_string());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut gate_hit = false;
+    let mut io_failed = false;
+
+    for path in &opts.files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                io_failed = true;
+                continue;
+            }
+        };
+        let program = match sc_isa::parse_program(&text) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{path}: parse error: {e}");
+                io_failed = true;
+                continue;
+            }
+        };
+        let report = lint(&program, &opts.config);
+        let (errors, warnings, _) = report.counts();
+        if errors > 0 || (opts.deny_warnings && warnings > 0) {
+            gate_hit = true;
+        }
+        if opts.json {
+            println!("{}", report.to_json());
+        } else if report.is_empty() {
+            println!("{path}: ok ({} instructions)", program.len());
+        } else {
+            for d in report.diagnostics() {
+                println!("{path}: {d}");
+            }
+            println!("{path}: {errors} error(s), {warnings} warning(s)");
+        }
+    }
+
+    if io_failed {
+        ExitCode::from(2)
+    } else if gate_hit {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,83 @@
+//! Analyzer configuration.
+
+/// Knobs controlling which lints fire and against what hardware model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintConfig {
+    /// Physical stream-register (SMT) capacity the pressure pass checks
+    /// against. The paper's SparseCore has 16 (Section 3.3).
+    pub stream_registers: usize,
+    /// When true, exceeding `stream_registers` is reported as a note
+    /// (the SMT virtualizes extra streams at a cost) instead of an
+    /// error predicting `OutOfStreamRegisters`.
+    pub virtualization: bool,
+    /// Report streams still live at the end of the program (`SC-E003`).
+    /// Disable for program *fragments* that intentionally hand streams
+    /// to a continuation.
+    pub check_leaks: bool,
+    /// Run the performance lints (`SC-W2xx`).
+    pub perf_lints: bool,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig::paper()
+    }
+}
+
+impl LintConfig {
+    /// The paper's hardware: 16 stream registers, no virtualization.
+    pub fn paper() -> Self {
+        LintConfig {
+            stream_registers: 16,
+            virtualization: false,
+            check_leaks: true,
+            perf_lints: true,
+        }
+    }
+
+    /// Set the stream-register capacity.
+    pub fn stream_registers(mut self, n: usize) -> Self {
+        self.stream_registers = n;
+        self
+    }
+
+    /// Enable/disable SMT virtualization in the pressure model.
+    pub fn virtualization(mut self, on: bool) -> Self {
+        self.virtualization = on;
+        self
+    }
+
+    /// Enable/disable the leak check.
+    pub fn check_leaks(mut self, on: bool) -> Self {
+        self.check_leaks = on;
+        self
+    }
+
+    /// Enable/disable the performance lints.
+    pub fn perf_lints(mut self, on: bool) -> Self {
+        self.perf_lints = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = LintConfig::default();
+        assert_eq!(c.stream_registers, 16);
+        assert!(!c.virtualization);
+        assert!(c.check_leaks);
+        assert!(c.perf_lints);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = LintConfig::paper().stream_registers(8).virtualization(true).perf_lints(false);
+        assert_eq!(c.stream_registers, 8);
+        assert!(c.virtualization);
+        assert!(!c.perf_lints);
+    }
+}

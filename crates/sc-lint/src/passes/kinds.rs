@@ -1,0 +1,69 @@
+//! Pass 2 — stream-kind inference.
+//!
+//! Tracks whether each live stream carries keys only or (key, value)
+//! pairs, and reports `S_VINTER`/`S_VMERGE` inputs that are statically
+//! key-only (`SC-E004`) — the conditions that raise
+//! `StreamException::NotKeyValueStream` at runtime (paper Section 3.3).
+//!
+//! Kind lattice: `S_VREAD` and `S_VMERGE` define (key, value) streams;
+//! `S_READ` and the key-set operations (`S_INTER`, `S_SUB`, `S_MERGE`)
+//! define key-only streams. Streams of unknown kind (e.g. used while
+//! undefined — already an `SC-E001`) are skipped rather than
+//! double-reported.
+
+use crate::diag::{Diagnostic, LintCode, Severity};
+use sc_isa::{Instr, Program, StreamId};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    KeyOnly,
+    KeyValue,
+}
+
+pub(crate) fn run(program: &Program, diags: &mut Vec<Diagnostic>) {
+    let mut kinds: HashMap<StreamId, Kind> = HashMap::new();
+
+    let check = |kinds: &HashMap<StreamId, Kind>,
+                 diags: &mut Vec<Diagnostic>,
+                 at: usize,
+                 mnemonic: &str,
+                 sid: StreamId| {
+        if kinds.get(&sid) == Some(&Kind::KeyOnly) {
+            diags.push(Diagnostic {
+                code: LintCode::KeyOnlyValueOp,
+                severity: Severity::Error,
+                at: Some(at),
+                sid: Some(sid),
+                addr: None,
+                message: format!(
+                    "{mnemonic} input {sid} is a key-only stream; value computation requires a (key, value) stream (S_VREAD or S_VMERGE output)"
+                ),
+            });
+        }
+    };
+
+    for (at, i) in program.iter().enumerate() {
+        match *i {
+            Instr::SVInter { a, b, .. } => {
+                check(&kinds, diags, at, i.mnemonic(), a);
+                check(&kinds, diags, at, i.mnemonic(), b);
+            }
+            Instr::SVMerge { a, b, .. } => {
+                check(&kinds, diags, at, i.mnemonic(), a);
+                check(&kinds, diags, at, i.mnemonic(), b);
+            }
+            Instr::SFree { sid } => {
+                kinds.remove(&sid);
+            }
+            _ => {}
+        }
+        if let Some(sid) = i.defines_stream() {
+            let kind = match i {
+                Instr::SVRead { .. } | Instr::SVMerge { .. } => Kind::KeyValue,
+                _ => Kind::KeyOnly,
+            };
+            kinds.insert(sid, kind);
+        }
+    }
+}

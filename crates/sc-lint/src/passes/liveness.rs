@@ -1,0 +1,57 @@
+//! Pass 1 — def-use/liveness.
+//!
+//! A thin mapping from [`sc_isa::dataflow`] faults to diagnostics:
+//! use-after-free / use-of-undefined (`SC-E001`), free of a dead stream
+//! (`SC-E002`), leak at end (`SC-E003`) and redefinition of a live
+//! stream (`SC-W101`). This subsumes `Program::validate`, which wraps
+//! the same walk.
+
+use crate::config::LintConfig;
+use crate::diag::{Diagnostic, LintCode, Severity};
+use sc_isa::dataflow::{DataflowResult, Fault};
+
+pub(crate) fn run(flow: &DataflowResult, config: &LintConfig, diags: &mut Vec<Diagnostic>) {
+    for fault in &flow.faults {
+        diags.push(match *fault {
+            Fault::UndefinedUse { at, sid } => Diagnostic {
+                code: LintCode::UseUndefined,
+                severity: Severity::Error,
+                at: Some(at),
+                sid: Some(sid),
+                addr: None,
+                message: format!("use of stream {sid}, which is not live here"),
+            },
+            Fault::FreeUnmapped { at, sid } => Diagnostic {
+                code: LintCode::FreeUnmapped,
+                severity: Severity::Error,
+                at: Some(at),
+                sid: Some(sid),
+                addr: None,
+                message: format!(
+                    "S_FREE of stream {sid}, which is not live (never defined or already freed)"
+                ),
+            },
+            Fault::RedefinedLive { at, sid } => Diagnostic {
+                code: LintCode::RedefinedLive,
+                severity: Severity::Warning,
+                at: Some(at),
+                sid: Some(sid),
+                addr: None,
+                message: format!("stream {sid} redefined while still live; missing S_FREE?"),
+            },
+            Fault::Leak { sid, defined_at } => {
+                if !config.check_leaks {
+                    continue;
+                }
+                Diagnostic {
+                    code: LintCode::LeakAtEnd,
+                    severity: Severity::Error,
+                    at: Some(defined_at),
+                    sid: Some(sid),
+                    addr: None,
+                    message: format!("stream {sid} defined here is never freed"),
+                }
+            }
+        });
+    }
+}

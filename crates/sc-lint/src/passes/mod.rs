@@ -1,0 +1,13 @@
+//! The analysis passes.
+//!
+//! Each pass is one linear walk over the program (the liveness and
+//! pressure passes share the `sc_isa::dataflow` walk) that appends
+//! [`Diagnostic`](crate::Diagnostic)s to a shared buffer. Passes are
+//! independent: a fault reported by one does not suppress another, so a
+//! single bad instruction can carry several diagnostics.
+
+pub mod alias;
+pub mod kinds;
+pub mod liveness;
+pub mod perf;
+pub mod pressure;

@@ -1,0 +1,44 @@
+//! Pass 3 — stream-register pressure.
+//!
+//! Compares the per-instruction live-stream counts from the dataflow
+//! walk against the configured SMT capacity. Exceeding it predicts
+//! `StreamException::OutOfStreamRegisters` on hardware without SMT
+//! virtualization (`SC-E005` error); with virtualization enabled the
+//! program still runs, so the same finding is downgraded to a note
+//! (extra streams spill, costing cycles — paper Section 3.3).
+//!
+//! One diagnostic is emitted per program (peak and first-exceeding
+//! instruction), not one per hot instruction, to keep reports readable.
+
+use crate::config::LintConfig;
+use crate::diag::{Diagnostic, LintCode, Severity};
+use sc_isa::dataflow::DataflowResult;
+
+pub(crate) fn run(flow: &DataflowResult, config: &LintConfig, diags: &mut Vec<Diagnostic>) {
+    let capacity = config.stream_registers;
+    let peak = flow.max_live();
+    if peak <= capacity {
+        return;
+    }
+    let first_over = flow
+        .live_at
+        .iter()
+        .position(|&n| n > capacity)
+        .expect("peak > capacity implies some instruction exceeds it");
+    let severity = if config.virtualization { Severity::Note } else { Severity::Error };
+    let consequence = if config.virtualization {
+        "SMT virtualization will spill the excess, costing cycles"
+    } else {
+        "this predicts OutOfStreamRegisters without SMT virtualization"
+    };
+    diags.push(Diagnostic {
+        code: LintCode::RegisterPressure,
+        severity,
+        at: Some(first_over),
+        sid: None,
+        addr: None,
+        message: format!(
+            "peak of {peak} simultaneously live streams exceeds the {capacity} stream registers (first exceeded here); {consequence}"
+        ),
+    });
+}

@@ -1,0 +1,194 @@
+//! The lint [`Report`]: an ordered set of diagnostics with human and
+//! machine-readable (JSON) renderings.
+
+use crate::diag::{Diagnostic, Severity};
+use std::fmt;
+
+/// The result of linting one program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    diags: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Build a report, ordering diagnostics by instruction index
+    /// (program-level diagnostics last) and keeping the per-index pass
+    /// order stable.
+    pub fn new(mut diags: Vec<Diagnostic>) -> Self {
+        diags.sort_by_key(|d| d.at.unwrap_or(usize::MAX));
+        Report { diags }
+    }
+
+    /// All diagnostics, ordered.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+
+    /// No diagnostics at all?
+    pub fn is_empty(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Number of diagnostics.
+    pub fn len(&self) -> usize {
+        self.diags.len()
+    }
+
+    /// Does the report contain any error-level diagnostic?
+    pub fn has_errors(&self) -> bool {
+        self.diags.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Free of error-level diagnostics (warnings and notes allowed)?
+    /// This is the gate `lint_before_run` and the emitter debug-asserts
+    /// use.
+    pub fn error_free(&self) -> bool {
+        !self.has_errors()
+    }
+
+    /// `(errors, warnings, notes)` counts.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for d in &self.diags {
+            match d.severity {
+                Severity::Error => c.0 += 1,
+                Severity::Warning => c.1 += 1,
+                Severity::Note => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// Render the report as a JSON object.
+    ///
+    /// Hand-rolled (the environment has no serde): an object with a
+    /// `diagnostics` array plus summary counts. Message strings are
+    /// escaped per RFC 8259.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"diagnostics\":[");
+        for (i, d) in self.diags.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"code\":\"");
+            out.push_str(d.code.as_str());
+            out.push_str("\",\"name\":\"");
+            out.push_str(d.code.name());
+            out.push_str("\",\"severity\":\"");
+            out.push_str(d.severity.as_str());
+            out.push_str("\",\"at\":");
+            match d.at {
+                Some(at) => out.push_str(&at.to_string()),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"sid\":");
+            match d.sid {
+                Some(sid) => out.push_str(&sid.raw().to_string()),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"addr\":");
+            match d.addr {
+                Some(a) => out.push_str(&a.to_string()),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"message\":");
+            push_json_string(&mut out, &d.message);
+            out.push('}');
+        }
+        let (e, w, n) = self.counts();
+        out.push_str(&format!("],\"errors\":{e},\"warnings\":{w},\"notes\":{n}}}"));
+        out
+    }
+}
+
+/// Append `s` to `out` as a JSON string literal.
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.diags {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::LintCode;
+    use sc_isa::StreamId;
+
+    fn diag(code: LintCode, severity: Severity, at: Option<usize>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity,
+            at,
+            sid: Some(StreamId::new(1)),
+            addr: None,
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn orders_by_instruction_index() {
+        let r = Report::new(vec![
+            diag(LintCode::LeakAtEnd, Severity::Error, Some(5)),
+            diag(LintCode::UseUndefined, Severity::Error, Some(1)),
+            diag(LintCode::RegisterPressure, Severity::Note, None),
+        ]);
+        let ats: Vec<_> = r.diagnostics().iter().map(|d| d.at).collect();
+        assert_eq!(ats, vec![Some(1), Some(5), None]);
+    }
+
+    #[test]
+    fn error_free_ignores_warnings_and_notes() {
+        let r = Report::new(vec![
+            diag(LintCode::DeadStream, Severity::Warning, Some(0)),
+            diag(LintCode::RegisterPressure, Severity::Note, None),
+        ]);
+        assert!(r.error_free());
+        assert!(!r.has_errors());
+        assert_eq!(r.counts(), (0, 1, 1));
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let mut d = diag(LintCode::UseUndefined, Severity::Error, Some(2));
+        d.message = "quote \" backslash \\ newline \n done".into();
+        let r = Report::new(vec![d]);
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"code\":\"SC-E001\""));
+        assert!(j.contains("\"severity\":\"error\""));
+        assert!(j.contains("\\\""));
+        assert!(j.contains("\\\\"));
+        assert!(j.contains("\\n"));
+        assert!(j.contains("\"errors\":1"));
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let r = Report::default();
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.to_json(), "{\"diagnostics\":[],\"errors\":0,\"warnings\":0,\"notes\":0}");
+        assert_eq!(r.to_string(), "");
+    }
+}

@@ -1,0 +1,76 @@
+//! Integration tests for the `sc-lint` binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> String {
+    let p: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", "fixtures", name].iter().collect();
+    p.to_str().expect("utf-8 fixture path").to_string()
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sc-lint")).args(args).output().expect("spawn sc-lint")
+}
+
+#[test]
+fn clean_file_exits_zero() {
+    let out = run(&[&fixture("clean.sasm")]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ok"), "stdout: {stdout}");
+}
+
+#[test]
+fn leaky_file_reports_human_diagnostics_and_exits_one() {
+    let out = run(&[&fixture("leaky.sasm")]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("error[SC-E003]"), "stdout: {stdout}");
+    assert!(stdout.contains("warning[SC-W201]"), "stdout: {stdout}");
+    assert!(stdout.contains("error(s)"), "stdout: {stdout}");
+}
+
+#[test]
+fn json_output_is_machine_readable() {
+    let out = run(&["--json", &fixture("leaky.sasm")]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('{'), "stdout: {stdout}");
+    assert!(stdout.contains("\"code\":\"SC-E003\""), "stdout: {stdout}");
+    assert!(stdout.contains("\"name\":\"leak-at-end\""), "stdout: {stdout}");
+    assert!(stdout.contains("\"errors\":1"), "stdout: {stdout}");
+}
+
+#[test]
+fn no_leaks_flag_accepts_fragments_but_deny_warnings_still_gates() {
+    // Without the leak check the file has only the dead-stream warning...
+    let out = run(&["--no-leaks", &fixture("leaky.sasm")]);
+    assert_eq!(out.status.code(), Some(0));
+    // ...which --deny-warnings promotes to a failure.
+    let out = run(&["--no-leaks", "--deny-warnings", &fixture("leaky.sasm")]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn max_streams_tightens_the_pressure_model() {
+    // clean.sasm holds 2 streams live; capacity 1 must flag it.
+    let out = run(&["--max-streams", "1", &fixture("clean.sasm")]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("SC-E005"), "stdout: {stdout}");
+    // With --virtualized the same finding is a note, not an error.
+    let out = run(&["--max-streams", "1", "--virtualized", &fixture("clean.sasm")]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("note[SC-E005]"), "stdout: {stdout}");
+}
+
+#[test]
+fn missing_file_and_bad_flags_exit_two() {
+    let out = run(&[&fixture("no-such-file.sasm")]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -82,10 +82,7 @@ impl Cache {
     /// line size, or a capacity that does not evenly divide into sets.
     pub fn new(config: CacheConfig) -> Self {
         assert!(config.ways > 0, "cache must have at least one way");
-        assert!(
-            config.line_bytes.is_power_of_two(),
-            "line size must be a power of two"
-        );
+        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
         let num_sets = config.num_sets();
         assert!(
             num_sets > 0,
@@ -257,9 +254,9 @@ mod tests {
     fn lru_eviction_order() {
         let mut c = tiny();
         // Set index = (addr/64) % 4. Lines 0, 4, 8 all map to set 0.
-        let a = 0 * 64 * 4; // line 0 -> set 0
-        let b = 1 * 64 * 4 + 0; // line 4 -> set 0
-        let d = 2 * 64 * 4 + 0; // line 8 -> set 0
+        let a = 0; // line 0 -> set 0
+        let b = 64 * 4; // line 4 -> set 0
+        let d = 2 * 64 * 4; // line 8 -> set 0
         c.access(a);
         c.access(b);
         c.access(a); // refresh a; b is now LRU

@@ -147,7 +147,10 @@ impl StreamCacheStorage {
     /// Panics if `slot_keys` is not even (sub-slots must halve the slot) or
     /// zero.
     pub fn new(config: StreamCacheConfig) -> Self {
-        assert!(config.slot_keys > 0 && config.slot_keys.is_multiple_of(2), "slot_keys must be even");
+        assert!(
+            config.slot_keys > 0 && config.slot_keys.is_multiple_of(2),
+            "slot_keys must be even"
+        );
         assert!(config.slots > 0, "need at least one slot");
         StreamCacheStorage {
             config,

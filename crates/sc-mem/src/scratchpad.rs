@@ -65,14 +65,7 @@ pub struct Scratchpad {
 impl Scratchpad {
     /// Create an empty scratchpad.
     pub fn new(config: ScratchpadConfig) -> Self {
-        Scratchpad {
-            config,
-            entries: HashMap::new(),
-            used: 0,
-            tick: 0,
-            hits: 0,
-            misses: 0,
-        }
+        Scratchpad { config, entries: HashMap::new(), used: 0, tick: 0, hits: 0, misses: 0 }
     }
 
     /// The configuration this scratchpad was built with.

@@ -164,13 +164,7 @@ mod tests {
     fn sample() -> CsfTensor {
         CsfTensor::from_entries(
             [2, 3, 4],
-            &[
-                (0, 0, 1, 5.0),
-                (0, 0, 3, 7.0),
-                (0, 2, 0, 1.0),
-                (1, 1, 0, 2.0),
-                (1, 1, 2, 3.0),
-            ],
+            &[(0, 0, 1, 5.0), (0, 0, 3, 7.0), (0, 2, 0, 1.0), (1, 1, 0, 2.0), (1, 1, 2, 3.0)],
         )
     }
 

@@ -340,8 +340,8 @@ mod tests {
     fn tsopf_has_longest_streams() {
         // The paper's key observation: TSOPF's high nnz/row yields the
         // largest speedups. Guard that the generated suite preserves this.
-        let tsopf_row = MatrixDataset::Tsopf.spec().nnz as f64
-            / MatrixDataset::Tsopf.spec().dim as f64;
+        let tsopf_row =
+            MatrixDataset::Tsopf.spec().nnz as f64 / MatrixDataset::Tsopf.spec().dim as f64;
         for m in MatrixDataset::ALL.iter().filter(|&&m| m != MatrixDataset::Tsopf) {
             let row = m.spec().nnz as f64 / m.spec().dim as f64;
             assert!(tsopf_row > 2.0 * row, "{m} row nnz {row:.1} vs TSOPF {tsopf_row:.1}");

@@ -9,7 +9,15 @@ use crate::csr_matrix::CsrMatrix;
 ///
 /// Panics on shape mismatch or matrices too large to densify.
 pub fn matmul_reference(a: &CsrMatrix, b: &CsrMatrix) -> Vec<Vec<f64>> {
-    assert_eq!(a.cols(), b.rows(), "shape mismatch {}x{} * {}x{}", a.rows(), a.cols(), b.rows(), b.cols());
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "shape mismatch {}x{} * {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     let ad = a.to_dense();
     let bd = b.to_dense();
@@ -92,7 +100,8 @@ mod tests {
 
     #[test]
     fn ttv_reference_small() {
-        let t = CsfTensor::from_entries([1, 2, 3], &[(0, 0, 0, 2.0), (0, 0, 2, 3.0), (0, 1, 1, 4.0)]);
+        let t =
+            CsfTensor::from_entries([1, 2, 3], &[(0, 0, 0, 2.0), (0, 0, 2, 3.0), (0, 1, 1, 4.0)]);
         let v = [1.0, 10.0, 100.0];
         let z = ttv_reference(&t, &v);
         assert_eq!(z[0][0], 2.0 + 300.0);
@@ -124,7 +133,7 @@ mod tests {
         let c = matmul_reference(&a, &b);
         assert_eq!((c.len(), c[0].len()), (8, 7));
         let t = random_tensor([4, 5, 6], 10, 30, 3);
-        let z = ttv_reference(&t, &vec![1.0; 6]);
+        let z = ttv_reference(&t, &[1.0; 6]);
         assert_eq!((z.len(), z[0].len()), (4, 5));
     }
 

@@ -19,7 +19,21 @@ S_FREE s1
 ";
     let program = parse_program(text)?;
     program.validate()?;
-    println!("assembled {} instructions; peak live streams = {}", program.len(), program.max_live_streams());
+    println!(
+        "assembled {} instructions; peak live streams = {}",
+        program.len(),
+        program.max_live_streams()
+    );
+
+    // 1b. Static analysis: the linter checks everything `validate` does
+    // plus stream kinds, register pressure, aliasing, and perf hygiene.
+    let report = sc_lint::lint_default(&program);
+    if report.is_empty() {
+        println!("sc-lint: no diagnostics");
+    } else {
+        println!("sc-lint: {report}");
+    }
+    assert!(report.error_free(), "tour program must be statically clean");
 
     // 2. Round-trip through the 256-bit binary encoding.
     let words = sc_isa::encode_program(&program);
@@ -44,14 +58,19 @@ S_FREE s1
         let keys: Vec<u32> = (n..n + 4).collect();
         engine.s_read(0x9_0000 + u64::from(n) * 0x100, &keys, StreamId::new(n), 0.into())?;
     }
-    println!("24 live streams over 16 registers (virtualized): first key of s23 = {}",
-        engine.s_fetch(StreamId::new(23), 0)?);
+    println!(
+        "24 live streams over 16 registers (virtualized): first key of s23 = {}",
+        engine.s_fetch(StreamId::new(23), 0)?
+    );
 
     // 5. Checkpoint / rollback (the Section 5.1 precise-exception path).
     let cp = engine.checkpoint();
     engine.s_free(StreamId::new(0))?;
     engine.rollback(cp);
-    println!("after rollback, s0 is live again: first key = {}", engine.s_fetch(StreamId::new(0), 0)?);
+    println!(
+        "after rollback, s0 is live again: first key = {}",
+        engine.s_fetch(StreamId::new(0), 0)?
+    );
 
     println!("\ntotal simulated cycles: {}", engine.finish());
     Ok(())

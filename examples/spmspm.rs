@@ -10,8 +10,7 @@
 //! (default: C = Circuit204).
 
 use sc_kernels::{
-    gustavson, inner_product, outer_product, InnerOptions, ScalarTensorBackend,
-    StreamTensorBackend,
+    gustavson, inner_product, outer_product, InnerOptions, ScalarTensorBackend, StreamTensorBackend,
 };
 use sc_tensor::MatrixDataset;
 use sparsecore::{Engine, SparseCoreConfig};
@@ -36,7 +35,9 @@ fn main() {
             let s = inner_product(
                 &a,
                 &acsc,
-                &mut StreamTensorBackend::with_engine(Engine::new(SparseCoreConfig::paper_one_su())),
+                &mut StreamTensorBackend::with_engine(
+                    Engine::new(SparseCoreConfig::paper_one_su()),
+                ),
                 opts,
             );
             ("inner", c.cycles, s.cycles, s.c.nnz())
@@ -46,7 +47,9 @@ fn main() {
             let s = outer_product(
                 &acsc,
                 &a,
-                &mut StreamTensorBackend::with_engine(Engine::new(SparseCoreConfig::paper_one_su())),
+                &mut StreamTensorBackend::with_engine(
+                    Engine::new(SparseCoreConfig::paper_one_su()),
+                ),
             );
             ("outer", c.cycles, s.cycles, s.c.nnz())
         },
@@ -55,7 +58,9 @@ fn main() {
             let s = gustavson(
                 &a,
                 &a,
-                &mut StreamTensorBackend::with_engine(Engine::new(SparseCoreConfig::paper_one_su())),
+                &mut StreamTensorBackend::with_engine(
+                    Engine::new(SparseCoreConfig::paper_one_su()),
+                ),
             );
             ("gustavson", c.cycles, s.cycles, s.c.nnz())
         },

@@ -14,10 +14,7 @@ use sparsecore::SparseCoreConfig;
 
 fn main() {
     let tag = std::env::args().nth(1).unwrap_or_else(|| "E".to_string());
-    let dataset = Dataset::ALL
-        .into_iter()
-        .find(|d| d.tag() == tag)
-        .unwrap_or(Dataset::EmailEuCore);
+    let dataset = Dataset::ALL.into_iter().find(|d| d.tag() == tag).unwrap_or(Dataset::EmailEuCore);
     let g = dataset.build();
     println!("graph: {dataset} -> {g}");
 

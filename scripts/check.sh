@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Repository health gate: formatting, lints, and the full test suite.
+# Run from anywhere; operates on the workspace root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "All checks passed."

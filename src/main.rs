@@ -16,8 +16,7 @@ use sc_gpm::plan::Induced;
 use sc_gpm::{App, Pattern, Plan};
 use sc_graph::Dataset;
 use sc_kernels::{
-    gustavson, inner_product, outer_product, InnerOptions, ScalarTensorBackend,
-    StreamTensorBackend,
+    gustavson, inner_product, outer_product, InnerOptions, ScalarTensorBackend, StreamTensorBackend,
 };
 use sc_tensor::MatrixDataset;
 use sparsecore::{Engine, SparseCoreConfig};
@@ -151,16 +150,25 @@ fn cmd_spmspm(args: &[String]) {
             let acsc = a.to_csc();
             (
                 inner_product(&a, &acsc, &mut ScalarTensorBackend::new(), opts).cycles,
-                inner_product(&a, &acsc, &mut StreamTensorBackend::with_engine(Engine::new(one_su)), opts)
-                    .cycles,
+                inner_product(
+                    &a,
+                    &acsc,
+                    &mut StreamTensorBackend::with_engine(Engine::new(one_su)),
+                    opts,
+                )
+                .cycles,
             )
         }
         "outer" => {
             let acsc = a.to_csc();
             (
                 outer_product(&acsc, &a, &mut ScalarTensorBackend::new()).cycles,
-                outer_product(&acsc, &a, &mut StreamTensorBackend::with_engine(Engine::new(one_su)))
-                    .cycles,
+                outer_product(
+                    &acsc,
+                    &a,
+                    &mut StreamTensorBackend::with_engine(Engine::new(one_su)),
+                )
+                .cycles,
             )
         }
         "gustavson" => (

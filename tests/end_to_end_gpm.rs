@@ -20,11 +20,7 @@ fn every_backend_agrees_on_every_app() {
     for app in App::FIG8 {
         let reference = app.run_reference(&g);
         assert_eq!(app.run_scalar(&g).count, reference, "{app} scalar");
-        assert_eq!(
-            app.run_stream(&g, SparseCoreConfig::paper()).count,
-            reference,
-            "{app} stream"
-        );
+        assert_eq!(app.run_stream(&g, SparseCoreConfig::paper()).count, reference, "{app} stream");
         let mut fm = FlexMinerModel::new(&g);
         let mut wc = WorkCounter::new(&g);
         let mut fm_n = 0;
@@ -88,10 +84,7 @@ fn speedup_grows_with_density() {
     };
     let s_sparse = speedup(&sparse);
     let s_dense = speedup(&dense);
-    assert!(
-        s_dense > s_sparse,
-        "dense {s_dense:.2} should beat sparse {s_sparse:.2}"
-    );
+    assert!(s_dense > s_sparse, "dense {s_dense:.2} should beat sparse {s_sparse:.2}");
 }
 
 #[test]
@@ -101,12 +94,7 @@ fn more_sus_never_slow_down_nested_apps() {
         let one = app.run_stream(&g, SparseCoreConfig::with_sus(1));
         let four = app.run_stream(&g, SparseCoreConfig::with_sus(4));
         assert_eq!(one.count, four.count);
-        assert!(
-            four.cycles <= one.cycles,
-            "{app}: 4 SUs {} vs 1 SU {}",
-            four.cycles,
-            one.cycles
-        );
+        assert!(four.cycles <= one.cycles, "{app}: 4 SUs {} vs 1 SU {}", four.cycles, one.cycles);
     }
 }
 
@@ -114,8 +102,11 @@ fn more_sus_never_slow_down_nested_apps() {
 fn stream_registers_all_released_after_full_run() {
     let g = small_powerlaw();
     for app in App::FIG8 {
-        let mut backend =
-            StreamBackend::with_engine(&g, Engine::new(SparseCoreConfig::paper()), app.uses_nested());
+        let mut backend = StreamBackend::with_engine(
+            &g,
+            Engine::new(SparseCoreConfig::paper()),
+            app.uses_nested(),
+        );
         for plan in app.plans() {
             exec::count(&g, &plan, &mut backend);
         }

@@ -65,7 +65,8 @@ fn ttv_and_ttm_match_references() {
             }
         }
     }
-    let b: Vec<Vec<f64>> = (0..4).map(|k| (0..30).map(|l| (k + l) as f64 * 0.1).collect()).collect();
+    let b: Vec<Vec<f64>> =
+        (0..4).map(|k| (0..30).map(|l| (k + l) as f64 * 0.1).collect()).collect();
     let expected = ttm_reference(&t, &b);
     let z = ttm(&t, &b, &mut StreamTensorBackend::new()).z;
     for i in 0..10 {

@@ -97,10 +97,7 @@ fn engine_breakdown_has_intersection_cycles() {
     }
     cpu.finish();
     let [_, mis_cpu, _, _] = cpu.core().breakdown().fractions();
-    assert!(
-        mis_sc < mis_cpu / 2.0,
-        "SparseCore mispredict share {mis_sc:.3} vs CPU {mis_cpu:.3}"
-    );
+    assert!(mis_sc < mis_cpu / 2.0, "SparseCore mispredict share {mis_sc:.3} vs CPU {mis_cpu:.3}");
 }
 
 #[test]

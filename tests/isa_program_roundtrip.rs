@@ -3,7 +3,9 @@
 //! against the pure set-operation semantics.
 
 use sc_isa::{parse_program, Instr, Program};
-use sparsecore::{setops, Engine, Interpreter, MemImage, ScalarResult, SliceNestedSource, SparseCoreConfig};
+use sparsecore::{
+    setops, Engine, Interpreter, MemImage, ScalarResult, SliceNestedSource, SparseCoreConfig,
+};
 
 fn image() -> MemImage {
     let mut img = MemImage::new();
@@ -73,12 +75,7 @@ S_FREE s1
 #[test]
 fn nested_program_counts_triangles_of_known_graph() {
     // K4: every vertex's bounded prefix stream yields its triangles.
-    let lists: Vec<Vec<u32>> = vec![
-        vec![1, 2, 3],
-        vec![0, 2, 3],
-        vec![0, 1, 3],
-        vec![0, 1, 2],
-    ];
+    let lists: Vec<Vec<u32>> = vec![vec![1, 2, 3], vec![0, 2, 3], vec![0, 1, 3], vec![0, 1, 2]];
     let mut img = MemImage::new();
     // Vertex 3's neighbors below 3: [0, 1, 2].
     img.add_keys(0x7000, vec![0, 1, 2]);

@@ -1,0 +1,284 @@
+//! Lint/runtime agreement: `sc-lint`'s static verdict must track what the
+//! engine actually does.
+//!
+//! Two directions are exercised:
+//!
+//! 1. **Soundness of "clean"** — randomly generated well-formed programs
+//!    (built so every use is defined, every stream is freed, and pressure
+//!    stays within capacity) lint error-free *and* run to completion on the
+//!    engine without raising a [`StreamException`].
+//! 2. **Prediction accuracy** — injecting each fault class into a clean
+//!    program makes the linter report the matching `SC-E*` code, and the
+//!    diagnostic's [`predicted_exception`](sc_lint::Diagnostic) names the
+//!    exact exception the engine then raises at runtime.
+
+use proptest::prelude::*;
+use sc_isa::{Bound, Instr, Key, Priority, Program, StreamException, StreamId, ValueOp};
+use sc_lint::{LintCode, LintConfig};
+use sparsecore::{Engine, InterpError, Interpreter, MemImage, SparseCoreConfig};
+
+/// Number of planted key/value arrays the generated programs draw from.
+const POOL: usize = 8;
+
+fn key_addr(slot: usize) -> u64 {
+    0x1000 * (slot as u64 + 1)
+}
+
+fn val_addr(slot: usize) -> u64 {
+    0x100_000 + 0x1000 * (slot as u64 + 1)
+}
+
+fn slot_len(slot: usize) -> u32 {
+    4 + 2 * slot as u32
+}
+
+fn slot_keys(slot: usize) -> Vec<Key> {
+    (0..slot_len(slot)).map(|i| slot as u32 * 3 + i * 7).collect()
+}
+
+/// Memory image covering every pool slot (keys and values).
+fn pool_image() -> MemImage {
+    let mut img = MemImage::new();
+    for slot in 0..POOL {
+        let keys = slot_keys(slot);
+        let vals = keys.iter().map(|&k| f64::from(k) * 0.5 + 1.0).collect();
+        img.add_keys(key_addr(slot), keys);
+        img.add_values(val_addr(slot), vals);
+    }
+    img
+}
+
+/// One randomly drawn action; the builder maps it onto a *valid* choice
+/// given the streams currently live, so the resulting program is
+/// well-formed by construction.
+type Action = (u8, u8, u8);
+
+/// Deterministically expand an action script into a well-formed program:
+/// every use is defined, nothing is double-freed, pressure never exceeds
+/// `capacity`, and every stream is freed before the end.
+fn build_program(actions: &[Action], capacity: usize) -> Program {
+    let mut instrs: Vec<Instr> = Vec::new();
+    // (sid, is_key_value) for every live stream, in definition order.
+    let mut live: Vec<(StreamId, bool)> = Vec::new();
+    let mut free_ids: Vec<u32> = (0..capacity as u32).rev().collect();
+
+    for &(op, x, y) in actions {
+        let n = live.len();
+        match op % 8 {
+            0 if !free_ids.is_empty() => {
+                let slot = x as usize % POOL;
+                let sid = StreamId::new(free_ids.pop().expect("checked"));
+                instrs.push(Instr::SRead {
+                    key_addr: key_addr(slot),
+                    len: slot_len(slot),
+                    sid,
+                    priority: Priority(0),
+                });
+                live.push((sid, false));
+            }
+            1 if !free_ids.is_empty() => {
+                let slot = y as usize % POOL;
+                let sid = StreamId::new(free_ids.pop().expect("checked"));
+                instrs.push(Instr::SVRead {
+                    key_addr: key_addr(slot),
+                    len: slot_len(slot),
+                    sid,
+                    val_addr: val_addr(slot),
+                    priority: Priority(0),
+                });
+                live.push((sid, true));
+            }
+            2 if n > 0 => {
+                let a = live[x as usize % n].0;
+                let b = live[y as usize % n].0;
+                instrs.push(Instr::SInterC { a, b, bound: Bound::none() });
+            }
+            3 if n > 0 => {
+                let a = live[x as usize % n].0;
+                let b = live[y as usize % n].0;
+                instrs.push(Instr::SSubC { a, b, bound: Bound::none() });
+            }
+            4 if n > 0 && !free_ids.is_empty() => {
+                let a = live[x as usize % n].0;
+                let b = live[y as usize % n].0;
+                let out = StreamId::new(free_ids.pop().expect("checked"));
+                instrs.push(Instr::SInter { a, b, out, bound: Bound::none() });
+                live.push((out, false));
+            }
+            5 => {
+                // S_VINTER needs two (key, value) inputs.
+                let kv: Vec<StreamId> = live.iter().filter(|(_, v)| *v).map(|(s, _)| *s).collect();
+                if !kv.is_empty() {
+                    let a = kv[x as usize % kv.len()];
+                    let b = kv[y as usize % kv.len()];
+                    instrs.push(Instr::SVInter { a, b, op: ValueOp::Mac });
+                }
+            }
+            6 if n > 0 => {
+                let sid = live[x as usize % n].0;
+                instrs.push(Instr::SFetch { sid, offset: u32::from(y) });
+            }
+            7 if n > 0 => {
+                let (sid, _) = live.remove(x as usize % n);
+                instrs.push(Instr::SFree { sid });
+                free_ids.push(sid.raw());
+            }
+            _ => {} // action inapplicable in the current state; skip
+        }
+    }
+    for (sid, _) in live {
+        instrs.push(Instr::SFree { sid });
+    }
+    instrs.into_iter().collect()
+}
+
+fn run_on(config: SparseCoreConfig, program: &Program) -> Result<(), InterpError> {
+    let image = pool_image();
+    let mut engine = Engine::new(config);
+    Interpreter::new(&mut engine, &image).run(program).map(|_| ())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Direction 1: well-formed programs are lint-clean, and the linter's
+    /// clean verdict is sound — the engine raises no exception.
+    #[test]
+    fn lint_clean_programs_run_without_exceptions(
+        actions in proptest::collection::vec((0u8..8, any::<u8>(), any::<u8>()), 0..48),
+    ) {
+        let program = build_program(&actions, 16);
+        let report = sc_lint::lint_default(&program);
+        prop_assert!(report.error_free(), "builder emitted lint errors:\n{}", report);
+        let outcome = run_on(SparseCoreConfig::paper(), &program);
+        prop_assert!(
+            outcome.is_ok(),
+            "runtime fault on a lint-clean program: {:?}\nprogram:\n{}",
+            outcome.err(),
+            program
+        );
+    }
+
+    /// Capacity-aware variant: programs built for the tiny 8-register
+    /// machine lint clean under that capacity and run clean on it.
+    #[test]
+    fn lint_tracks_register_capacity(
+        actions in proptest::collection::vec((0u8..8, any::<u8>(), any::<u8>()), 0..32),
+    ) {
+        let program = build_program(&actions, 8);
+        let config = LintConfig::default().stream_registers(8);
+        let report = sc_lint::lint(&program, &config);
+        prop_assert!(report.error_free(), "lint errors at capacity 8:\n{}", report);
+        prop_assert!(run_on(SparseCoreConfig::tiny(), &program).is_ok());
+    }
+}
+
+/// The runtime exception the interpreter raised, if any.
+fn runtime_exception(config: SparseCoreConfig, program: &Program) -> Option<StreamException> {
+    match run_on(config, program) {
+        Err(InterpError::Exception { cause, .. }) => Some(cause),
+        _ => None,
+    }
+}
+
+/// Assert that lint reports `code` on `program` and that one of the
+/// matching diagnostics predicts exactly the exception the engine raises.
+fn assert_agreement(program: &Program, config: &LintConfig, code: LintCode) {
+    let report = sc_lint::lint(program, config);
+    assert!(report.has_errors(), "expected lint errors, got:\n{report}");
+    let predicted: Vec<StreamException> = report
+        .diagnostics()
+        .iter()
+        .filter(|d| d.code == code)
+        .filter_map(|d| d.predicted_exception())
+        .collect();
+    assert!(!predicted.is_empty(), "no {code:?} diagnostic in:\n{report}");
+    let engine_config = if config.stream_registers == 8 {
+        SparseCoreConfig::tiny()
+    } else {
+        SparseCoreConfig::paper()
+    };
+    let raised = runtime_exception(engine_config, program)
+        .expect("program with injected fault must raise at runtime");
+    assert!(predicted.contains(&raised), "engine raised {raised:?}, lint predicted {predicted:?}");
+}
+
+/// A short, clean base program: two key-only reads, a counted intersect,
+/// frees.
+fn clean_base() -> Vec<Instr> {
+    vec![
+        Instr::SRead {
+            key_addr: key_addr(0),
+            len: slot_len(0),
+            sid: StreamId::new(0),
+            priority: Priority(0),
+        },
+        Instr::SRead {
+            key_addr: key_addr(1),
+            len: slot_len(1),
+            sid: StreamId::new(1),
+            priority: Priority(0),
+        },
+        Instr::SInterC { a: StreamId::new(0), b: StreamId::new(1), bound: Bound::none() },
+        Instr::SFree { sid: StreamId::new(0) },
+        Instr::SFree { sid: StreamId::new(1) },
+    ]
+}
+
+#[test]
+fn injected_double_free_agrees() {
+    let mut instrs = clean_base();
+    instrs.push(Instr::SFree { sid: StreamId::new(1) });
+    let program: Program = instrs.into_iter().collect();
+    assert_agreement(&program, &LintConfig::default(), LintCode::FreeUnmapped);
+}
+
+#[test]
+fn injected_undefined_use_agrees() {
+    let mut instrs = clean_base();
+    instrs.insert(0, Instr::SFetch { sid: StreamId::new(5), offset: 0 });
+    let program: Program = instrs.into_iter().collect();
+    assert_agreement(&program, &LintConfig::default(), LintCode::UseUndefined);
+}
+
+#[test]
+fn injected_key_only_value_op_agrees() {
+    // Retype the first read to key-only input of a value op.
+    let mut instrs = clean_base();
+    instrs[2] = Instr::SVInter { a: StreamId::new(0), b: StreamId::new(1), op: ValueOp::Mac };
+    let program: Program = instrs.into_iter().collect();
+    assert_agreement(&program, &LintConfig::default(), LintCode::KeyOnlyValueOp);
+}
+
+#[test]
+fn injected_register_pressure_agrees() {
+    // Nine concurrent reads on the 8-register tiny machine.
+    let mut instrs: Vec<Instr> = (0..9)
+        .map(|i| Instr::SRead {
+            key_addr: key_addr(i % POOL),
+            len: slot_len(i % POOL),
+            sid: StreamId::new(i as u32),
+            priority: Priority(0),
+        })
+        .collect();
+    instrs.extend((0..9).map(|i| Instr::SFree { sid: StreamId::new(i) }));
+    let program: Program = instrs.into_iter().collect();
+    let config = LintConfig::default().stream_registers(8);
+    assert_agreement(&program, &config, LintCode::RegisterPressure);
+}
+
+#[test]
+fn leak_is_static_only() {
+    // A leaked stream is an SC-E003 lint error but not a runtime
+    // exception: the diagnostic predicts no exception and the engine
+    // finishes the program.
+    let mut instrs = clean_base();
+    instrs.pop(); // drop `S_FREE s1`
+    let program: Program = instrs.into_iter().collect();
+    let report = sc_lint::lint_default(&program);
+    let leak: Vec<_> =
+        report.diagnostics().iter().filter(|d| d.code == LintCode::LeakAtEnd).collect();
+    assert_eq!(leak.len(), 1, "expected one leak diagnostic:\n{report}");
+    assert_eq!(leak[0].predicted_exception(), None);
+    assert!(run_on(SparseCoreConfig::paper(), &program).is_ok());
+}

@@ -9,8 +9,7 @@ use sparsecore::su::{simulate, SuOp};
 
 /// Strategy: a sorted, deduplicated key vector.
 fn sorted_keys(max_len: usize) -> impl Strategy<Value = Vec<u32>> {
-    proptest::collection::btree_set(0u32..10_000, 0..max_len)
-        .prop_map(|s| s.into_iter().collect())
+    proptest::collection::btree_set(0u32..10_000, 0..max_len).prop_map(|s| s.into_iter().collect())
 }
 
 proptest! {
@@ -251,8 +250,7 @@ mod encoding_properties {
     }
 
     fn arb_bound() -> impl Strategy<Value = Bound> {
-        proptest::option::of(0u32..100_000)
-            .prop_map(|o| o.map_or(Bound::none(), Bound::below))
+        proptest::option::of(0u32..100_000).prop_map(|o| o.map_or(Bound::none(), Bound::below))
     }
 
     fn arb_instr() -> impl Strategy<Value = Instr> {
@@ -267,8 +265,11 @@ mod encoding_properties {
             ),
             (arb_sid(), arb_sid(), arb_sid(), arb_bound())
                 .prop_map(|(a, b, out, bound)| Instr::SInter { a, b, out, bound }),
-            (arb_sid(), arb_sid(), arb_bound())
-                .prop_map(|(a, b, bound)| Instr::SSubC { a, b, bound }),
+            (arb_sid(), arb_sid(), arb_bound()).prop_map(|(a, b, bound)| Instr::SSubC {
+                a,
+                b,
+                bound
+            }),
             (arb_sid(), arb_sid()).prop_map(|(a, b)| Instr::SMergeC { a, b }),
             (arb_sid(), arb_sid(), 0u8..4).prop_map(|(a, b, op)| Instr::SVInter {
                 a,
@@ -283,8 +284,13 @@ mod encoding_properties {
             (any::<f64>(), any::<f64>(), arb_sid(), arb_sid(), arb_sid()).prop_filter_map(
                 "finite scales",
                 |(sa, sb, a, b, out)| {
-                    (sa.is_finite() && sb.is_finite())
-                        .then_some(Instr::SVMerge { scale_a: sa, scale_b: sb, a, b, out })
+                    (sa.is_finite() && sb.is_finite()).then_some(Instr::SVMerge {
+                        scale_a: sa,
+                        scale_b: sb,
+                        a,
+                        b,
+                        out,
+                    })
                 }
             ),
             (any::<u32>(), any::<u32>(), any::<u32>()).prop_map(|(a, b, c)| Instr::SLdGfr {

@@ -26,6 +26,10 @@ fn gpm_run_produces_valid_trace() {
     assert!(trace.validate().is_ok(), "trace invalid: {:?}", trace.validate());
     // Stream-register pressure never exceeded the hardware's 16.
     assert!(trace.max_live_streams() <= 16);
+    // The full static analyzer agrees: no error-level findings on the
+    // dynamic trace (kinds, pressure and liveness all check out).
+    let report = sc_lint::lint_default(&trace);
+    assert!(report.error_free(), "trace has lint errors:\n{report}");
 }
 
 #[test]
@@ -42,7 +46,9 @@ fn trace_counts_match_engine_stats() {
     let stats_nested = backend.engine().stats().nested;
     let trace = backend.engine_mut().take_trace();
 
-    let reads = trace.iter().filter(|i| matches!(i, Instr::SRead { .. } | Instr::SVRead { .. })).count() as u64;
+    let reads =
+        trace.iter().filter(|i| matches!(i, Instr::SRead { .. } | Instr::SVRead { .. })).count()
+            as u64;
     let frees = trace.iter().filter(|i| matches!(i, Instr::SFree { .. })).count() as u64;
     let nested = trace.iter().filter(|i| matches!(i, Instr::SNestInter { .. })).count() as u64;
     assert_eq!(reads, stats_reads);
