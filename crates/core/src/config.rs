@@ -25,6 +25,20 @@ pub struct SparseCoreConfig {
     pub prefetch_depth: u64,
     /// Nested-intersection translation buffer capacity (micro-op entries).
     pub translation_buffer: usize,
+    /// Run the micro-architectural invariant sanitizer alongside the
+    /// simulation. Defaults to on in debug builds; in release builds it is
+    /// opt-in via the `SC_SANITIZE` environment variable (any value other
+    /// than `0`) or by setting this field directly.
+    pub sanitize: bool,
+}
+
+/// Default sanitizer enablement: always on under `debug_assertions`
+/// (which covers `cargo test` of this workspace), opt-in through
+/// `SC_SANITIZE` in release builds. The environment is read once.
+pub fn default_sanitize() -> bool {
+    static ENV: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    cfg!(debug_assertions)
+        || *ENV.get_or_init(|| std::env::var("SC_SANITIZE").is_ok_and(|v| v != "0"))
 }
 
 impl SparseCoreConfig {
@@ -39,6 +53,7 @@ impl SparseCoreConfig {
             scratchpad: ScratchpadConfig::paper(),
             prefetch_depth: 8,
             translation_buffer: 32,
+            sanitize: default_sanitize(),
         }
     }
 
@@ -76,6 +91,7 @@ impl SparseCoreConfig {
             scratchpad: ScratchpadConfig { size_bytes: 1024, latency: 2 },
             prefetch_depth: 4,
             translation_buffer: 8,
+            sanitize: default_sanitize(),
         }
     }
 
@@ -105,5 +121,14 @@ mod tests {
         assert_eq!(SparseCoreConfig::paper_one_su().num_sus, 1);
         assert_eq!(SparseCoreConfig::with_sus(16).num_sus, 16);
         assert_eq!(SparseCoreConfig::with_bandwidth(64).stream_bandwidth, 64);
+    }
+
+    #[test]
+    fn sanitizer_defaults_on_under_debug_assertions() {
+        // Tests build with debug_assertions, so every constructor enables
+        // the sanitizer without needing SC_SANITIZE.
+        assert!(SparseCoreConfig::paper().sanitize);
+        assert!(SparseCoreConfig::tiny().sanitize);
+        assert!(SparseCoreConfig::paper_one_su().sanitize);
     }
 }

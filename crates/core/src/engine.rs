@@ -20,12 +20,14 @@
 //!   independent intersections across multiple SUs.
 
 use crate::config::SparseCoreConfig;
+use crate::sanitize::{audit_code, Sanitizer};
 use crate::setops;
 use crate::smt::{Smt, SregIdx};
 use crate::stats::EngineStats;
 use crate::su::{simulate, SuOp, SuTiming};
 use sc_cpu::Core;
 use sc_isa::{Bound, GfrSet, Key, Priority, StreamException, StreamId, Value, ValueOp, EOS};
+use sc_lint::{Diagnostic, LintCode};
 use sc_mem::{Scratchpad, StreamCacheStorage};
 use std::collections::VecDeque;
 
@@ -151,6 +153,9 @@ pub struct Engine {
     virtualize: bool,
     /// When tracing, every executed stream instruction is appended here.
     trace: Option<sc_isa::Program>,
+    /// The invariant sanitizer, attached when the configuration enables
+    /// it (see [`crate::sanitize`]).
+    san: Option<Box<Sanitizer>>,
 }
 
 /// A stream swapped out of the SMT to the virtualization memory region.
@@ -175,6 +180,9 @@ pub struct Checkpoint {
     gfr: GfrSet,
     out_alloc: u64,
     spilled: std::collections::HashMap<StreamId, SpilledStream>,
+    /// Length of the recorded trace at checkpoint time (when tracing):
+    /// a rollback squashes the micro-ops recorded past this point.
+    trace_len: Option<usize>,
 }
 
 impl Engine {
@@ -195,6 +203,7 @@ impl Engine {
             spilled: std::collections::HashMap::new(),
             virtualize: false,
             trace: None,
+            san: cfg.sanitize.then(|| Box::new(Sanitizer::new())),
             cfg,
         }
     }
@@ -245,12 +254,15 @@ impl Engine {
             gfr: self.gfr,
             out_alloc: self.out_alloc,
             spilled: self.spilled.clone(),
+            trace_len: self.trace.as_ref().map(sc_isa::Program::len),
         }
     }
 
     /// Roll the architectural stream state back to `cp`. Cycles already
     /// simulated are not un-spent (time is monotonic); only the stream
     /// state is restored, exactly as a hardware rollback would behave.
+    /// Micro-ops recorded in the trace after the checkpoint are squashed
+    /// too — they never architecturally retired.
     pub fn rollback(&mut self, cp: Checkpoint) {
         self.smt = cp.smt;
         self.data = cp.data;
@@ -258,6 +270,31 @@ impl Engine {
         self.gfr = cp.gfr;
         self.out_alloc = cp.out_alloc;
         self.spilled = cp.spilled;
+        let skip_trace = self.san.as_ref().is_some_and(|s| s.skip_trace_restore);
+        if let (Some(t), Some(len)) = (self.trace.as_mut(), cp.trace_len) {
+            if !skip_trace {
+                t.truncate(len);
+            }
+        }
+        // Rollback-drift check (SC-S311): the restored state must match
+        // the checkpoint exactly. The restores above are direct moves, so
+        // the one postcondition that can drift is the trace (it is shared
+        // forward state, not part of the snapshot).
+        if let Some(san) = &mut self.san {
+            if let (Some(t), Some(len)) = (self.trace.as_ref(), cp.trace_len) {
+                if t.len() != len {
+                    san.record(Diagnostic::sanitizer(
+                        LintCode::SanRollbackDrift,
+                        format!(
+                            "rollback left {} squashed micro-op(s) in the recorded \
+                             trace ({} recorded, checkpoint took it at {len})",
+                            t.len() - len.min(t.len()),
+                            t.len()
+                        ),
+                    ));
+                }
+            }
+        }
         // A rollback squashes in-flight micro-ops; charge the pipeline
         // refill like a mispredict.
         let penalty = self.cfg.core.mispredict_penalty;
@@ -302,7 +339,11 @@ impl Engine {
             (reg.key_addr, reg.val_addr, reg.priority, reg.ready_at);
         let payload = self.data[idx].take().expect("active stream has payload");
         // Spill traffic: SMT entry store to the virtualization region.
-        self.core.store(0xB000_0000 + u64::from(victim.raw()) * 64);
+        let spill_addr = 0xB000_0000 + u64::from(victim.raw()) * 64;
+        if let Some(san) = &mut self.san {
+            san.check_write(spill_addr, spill_addr + 64, "stream spill");
+        }
+        self.core.store(spill_addr);
         self.smt.free(victim)?;
         self.scache.release(idx);
         self.spilled
@@ -500,6 +541,24 @@ impl Engine {
             return Ok(()); // freeing a spilled stream releases its region
         }
         let idx = self.smt.free(sid)?;
+        // Double-free check (SC-S301): the SMT mapping was live, so the
+        // register must still hold its functional payload; a missing
+        // payload means some path already tore the stream down.
+        if let Some(san) = &mut self.san {
+            if self.data[idx].is_none() {
+                san.record(
+                    Diagnostic::sanitizer(
+                        LintCode::SanDoubleFree,
+                        format!(
+                            "S_FREE of stream {}: register {idx} was mapped but its \
+                             payload is already gone",
+                            sid.raw()
+                        ),
+                    )
+                    .with_sid(sid),
+                );
+            }
+        }
         self.scache.release(idx);
         self.data[idx] = None;
         Ok(())
@@ -644,6 +703,10 @@ impl Engine {
         self.stats.set_ops += 1;
         self.core.add_intersection_cycles(0); // bucket exists even if zero
         self.last_event = self.last_event.max(done);
+        if let Some(san) = &mut self.san {
+            san.check_su_event(ready, start, done);
+            san.check_clock(self.last_event);
+        }
         (start, done)
     }
 
@@ -702,7 +765,11 @@ impl Engine {
         if let (Some(out_sid), Some(keys)) = (out, result.as_ref()) {
             // Allocate an output region and bind the output slot.
             let out_addr = self.out_alloc;
-            self.out_alloc += ((keys.len() as u64 * 4) | 63) + 1;
+            let out_bytes = ((keys.len() as u64 * 4) | 63) + 1;
+            self.out_alloc += out_bytes;
+            if let Some(san) = &mut self.san {
+                san.check_write(out_addr, out_addr + out_bytes, "output-stream writeback");
+            }
             let idx =
                 self.smt.define(out_sid, out_addr, None, keys.len() as u32, Priority(0), done)?;
             self.scache.bind_output(idx, out_addr);
@@ -974,7 +1041,11 @@ impl Engine {
         // Output: keys into the S-Cache slot, values stored through the
         // hierarchy (one store per produced 64 B value line).
         let out_addr = self.out_alloc;
-        self.out_alloc += ((keys.len() as u64 * 12) | 63) + 1;
+        let out_bytes = ((keys.len() as u64 * 12) | 63) + 1;
+        self.out_alloc += out_bytes;
+        if let Some(san) = &mut self.san {
+            san.check_write(out_addr, out_addr + out_bytes, "value-merge writeback");
+        }
         let produced = keys.len() as u32;
         let val_out = out_addr + ((keys.len() as u64 * 4) | 63) + 1;
         let idx = self.smt.define(out, out_addr, Some(val_out), produced, Priority(0), done)?;
@@ -1126,6 +1197,249 @@ impl Engine {
         let mut b = *self.core.breakdown();
         b.intersection += self.stats.su_busy_cycles;
         b
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant sanitizer (see crate::sanitize and the sc-san crate)
+    // ------------------------------------------------------------------
+
+    /// Is the invariant sanitizer attached to this engine? Controlled by
+    /// [`SparseCoreConfig::sanitize`].
+    pub fn sanitize_enabled(&self) -> bool {
+        self.san.is_some()
+    }
+
+    /// Declare the simulated byte range `[lo, hi)` read-only for this
+    /// engine: any simulated write into it is reported as `SC-S310`
+    /// (Section 5.1 — parallel cores share the graph without coherence).
+    /// No-op when the sanitizer is off.
+    pub fn protect_range(&mut self, lo: u64, hi: u64) {
+        if let Some(san) = &mut self.san {
+            san.protect(lo, hi);
+        }
+    }
+
+    /// Run the cross-state audit and drain every violation recorded so
+    /// far into a report. Empty when the sanitizer is off — and on a
+    /// healthy engine.
+    pub fn sanitizer_report(&mut self) -> sc_lint::Report {
+        self.run_sanitizer_audit();
+        let diags = self.san.as_mut().map(|s| s.take()).unwrap_or_default();
+        sc_lint::Report::new(diags)
+    }
+
+    /// Like [`Engine::sanitizer_report`], but additionally requires the
+    /// stream-register file to be fully drained: any still-mapped or
+    /// still-spilled stream is a leak (`SC-S302`). Call at the end of a
+    /// workload, after its final `S_FREE`s.
+    pub fn sanitizer_final_report(&mut self) -> sc_lint::Report {
+        if let Some(san) = &mut self.san {
+            let live: Vec<StreamId> = self.smt.active_regs().map(|(_, r)| r.sid).collect();
+            let mut spilled: Vec<StreamId> = self.spilled.keys().copied().collect();
+            spilled.sort_by_key(|s| s.raw());
+            for sid in live {
+                san.record(
+                    Diagnostic::sanitizer(
+                        LintCode::SanStreamLeak,
+                        format!("stream {} is still mapped at the end of the run", sid.raw()),
+                    )
+                    .with_sid(sid),
+                );
+            }
+            for sid in spilled {
+                san.record(
+                    Diagnostic::sanitizer(
+                        LintCode::SanStreamLeak,
+                        format!(
+                            "stream {} is still spilled to the virtualization \
+                             region at the end of the run",
+                            sid.raw()
+                        ),
+                    )
+                    .with_sid(sid),
+                );
+            }
+        }
+        self.sanitizer_report()
+    }
+
+    /// Cross-check SMT, payloads, S-Cache bindings, the memory-substrate
+    /// audits and the statistics counters, recording violations into the
+    /// sanitizer.
+    fn run_sanitizer_audit(&mut self) {
+        if self.san.is_none() {
+            return;
+        }
+        let mut diags: Vec<Diagnostic> = Vec::new();
+        // SMT <-> payload <-> S-Cache consistency, register by register.
+        let nregs = self.data.len();
+        let mut active: Vec<Option<(StreamId, u32)>> = vec![None; nregs];
+        for (idx, reg) in self.smt.active_regs() {
+            active[idx] = Some((reg.sid, reg.len));
+        }
+        for (idx, entry) in active.iter().enumerate() {
+            match *entry {
+                Some((sid, len)) => {
+                    match self.data[idx].as_ref() {
+                        None => diags.push(
+                            Diagnostic::sanitizer(
+                                LintCode::SanUseAfterFree,
+                                format!(
+                                    "stream {} is SMT-active but register {idx} \
+                                     holds no payload",
+                                    sid.raw()
+                                ),
+                            )
+                            .with_sid(sid),
+                        ),
+                        Some(p) if p.keys.len() as u32 != len => diags.push(
+                            Diagnostic::sanitizer(
+                                LintCode::SanUseAfterFree,
+                                format!(
+                                    "stream {}: payload holds {} keys but the SMT \
+                                     entry says {len}",
+                                    sid.raw(),
+                                    p.keys.len()
+                                ),
+                            )
+                            .with_sid(sid),
+                        ),
+                        Some(_) => {}
+                    }
+                    if !self.scache.is_bound(idx) {
+                        diags.push(
+                            Diagnostic::sanitizer(
+                                LintCode::SanScacheSmtDesync,
+                                format!(
+                                    "stream {} is SMT-active but S-Cache slot \
+                                     {idx} is unbound",
+                                    sid.raw()
+                                ),
+                            )
+                            .with_sid(sid),
+                        );
+                    }
+                }
+                None => {
+                    if self.data[idx].is_some() {
+                        diags.push(Diagnostic::sanitizer(
+                            LintCode::SanUseAfterFree,
+                            format!("register {idx} holds a payload but no SMT entry maps it"),
+                        ));
+                    }
+                    if self.scache.is_bound(idx) {
+                        diags.push(Diagnostic::sanitizer(
+                            LintCode::SanScacheSmtDesync,
+                            format!("S-Cache slot {idx} is bound but no SMT entry maps it"),
+                        ));
+                    }
+                }
+            }
+        }
+        // Memory-substrate self-audits, mapped onto their SC-S3xx codes.
+        for v in self.scache.audit() {
+            diags.push(Diagnostic::sanitizer(audit_code(v.kind), v.message));
+        }
+        for v in self.scratchpad.audit() {
+            diags.push(Diagnostic::sanitizer(audit_code(v.kind), v.message));
+        }
+        for v in self.core.mem().audit() {
+            diags.push(Diagnostic::sanitizer(audit_code(v.kind), v.message));
+        }
+        // Statistics conservation (SC-S313): every S_READ/S_VREAD does
+        // exactly one scratchpad lookup, and the engine's counters must
+        // agree with the scratchpad's own.
+        let checks = [
+            ("scratchpad hits", self.scratchpad.hits, self.stats.scratchpad_hits),
+            ("scratchpad misses", self.scratchpad.misses, self.stats.scratchpad_misses),
+            ("stream reads", self.scratchpad.hits + self.scratchpad.misses, self.stats.reads),
+        ];
+        for (what, model, stat) in checks {
+            if model != stat {
+                diags.push(Diagnostic::sanitizer(
+                    LintCode::SanStatsConservation,
+                    format!("{what}: model observed {model} but engine stats say {stat}"),
+                ));
+            }
+        }
+        let san = self.san.as_mut().expect("checked");
+        for d in diags {
+            san.record(d);
+        }
+    }
+
+    /// Mutation hook: drop a mapped stream's payload while leaving its
+    /// SMT entry live — the model-level use-after-free/double-free bug
+    /// class behind `SC-S301`/`SC-S303`. Test-only.
+    #[doc(hidden)]
+    pub fn sabotage_drop_payload(&mut self, sid: StreamId) {
+        if let Ok(idx) = self.smt.lookup(sid) {
+            self.data[idx] = None;
+        }
+    }
+
+    /// Mutation hook: rewind the engine's latest-event clock to zero and
+    /// re-observe it, reproducing a non-monotone completion-time bug
+    /// (`SC-S305`). Test-only.
+    #[doc(hidden)]
+    pub fn sabotage_rewind_clock(&mut self) {
+        self.last_event = 0;
+        if let Some(san) = &mut self.san {
+            san.check_clock(self.last_event);
+        }
+    }
+
+    /// Mutation hook: passthrough to
+    /// [`StreamCacheStorage::sabotage_retain_pending`] on slot 0 — the
+    /// missed-writeback bug class behind `SC-S308`. Test-only.
+    #[doc(hidden)]
+    pub fn scache_sabotage_retain_pending(&mut self) {
+        self.scache.sabotage_retain_pending(0);
+    }
+
+    /// Mutation hook: passthrough to
+    /// [`Scratchpad::sabotage_leak_bytes`] — the accounting-drift bug
+    /// class behind `SC-S312`. Test-only.
+    #[doc(hidden)]
+    pub fn scratchpad_sabotage_leak_bytes(&mut self, n: u64) {
+        self.scratchpad.sabotage_leak_bytes(n);
+    }
+
+    /// Mutation hook: bind the last S-Cache slot with no SMT entry
+    /// backing it — the binding-leak bug class behind `SC-S309`.
+    /// Test-only.
+    #[doc(hidden)]
+    pub fn sabotage_bind_ghost_slot(&mut self) {
+        let idx = self.cfg.num_stream_registers() - 1;
+        self.scache.bind(idx, 0xDEAD_0000, 16);
+    }
+
+    /// Mutation hook: point the output-stream bump allocator at an
+    /// arbitrary address — the misdirected-writeback bug class behind
+    /// `SC-S310` when the target lies in a protected range. Test-only.
+    #[doc(hidden)]
+    pub fn sabotage_redirect_out_alloc(&mut self, addr: u64) {
+        self.out_alloc = addr;
+    }
+
+    /// Mutation hook: make the next rollback skip its trace restore,
+    /// reproducing the squashed-micro-ops-left-in-trace drift behind
+    /// `SC-S311`. Test-only.
+    #[doc(hidden)]
+    pub fn sabotage_skip_trace_restore(&mut self) {
+        if let Some(san) = &mut self.san {
+            san.skip_trace_restore = true;
+        }
+    }
+
+    /// Mutation hook: feed one synthetic SU completion event through the
+    /// causality checker (`SC-S304`) as if `schedule_su` had produced it.
+    /// Test-only.
+    #[doc(hidden)]
+    pub fn san_observe_su_event(&mut self, ready: Cycle, start: Cycle, done: Cycle) {
+        if let Some(san) = &mut self.san {
+            san.check_su_event(ready, start, done);
+        }
     }
 }
 
@@ -1433,6 +1747,27 @@ mod extension_tests {
         assert!(e.stream_keys(sid(2)).is_err());
         assert!(e.cycles() >= t_before);
         e.s_free(sid(0)).unwrap();
+    }
+
+    #[test]
+    fn rollback_squashes_trace_entries() {
+        // Regression: the checkpoint used to omit the trace buffer, so a
+        // rollback left squashed micro-ops in the recorded program. The
+        // trace must end exactly where the checkpoint took it, and the
+        // sanitizer must agree the rollback restored state faithfully.
+        let mut e = Engine::new(SparseCoreConfig::tiny());
+        e.record_trace();
+        e.s_read(0x10_0000, &[1, 2, 3], sid(0), Priority(0)).unwrap();
+        let cp = e.checkpoint();
+        e.s_read(0x20_0000, &[2, 3], sid(1), Priority(0)).unwrap();
+        e.s_inter(sid(0), sid(1), sid(2), Bound::none()).unwrap();
+        e.rollback(cp);
+        assert!(e.sanitizer_report().is_empty(), "rollback must not drift");
+        e.s_free(sid(0)).unwrap();
+        let trace = e.take_trace();
+        // Exactly: the S_READ before the checkpoint + the S_FREE after
+        // the rollback. The squashed S_READ/S_INTER are gone.
+        assert_eq!(trace.len(), 2);
     }
 
     #[test]

@@ -48,14 +48,16 @@
 pub mod config;
 pub mod engine;
 pub mod interp;
+pub mod sanitize;
 pub mod setops;
 pub mod smt;
 pub mod stats;
 pub mod su;
 
-pub use config::SparseCoreConfig;
-pub use engine::{Engine, NestedSource, SliceNestedSource};
+pub use config::{default_sanitize, SparseCoreConfig};
+pub use engine::{Checkpoint, Engine, NestedSource, SliceNestedSource};
 pub use interp::{InterpError, Interpreter, MemImage, ScalarResult};
+pub use sanitize::audit_code;
 pub use stats::{EngineStats, LengthHistogram};
 
 /// Cycle type, shared with the substrate crates.

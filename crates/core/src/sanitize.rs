@@ -1,0 +1,181 @@
+//! Micro-architectural invariant sanitizer (the `SC-S3xx` block).
+//!
+//! The simulator's timing and functional models carry invariants that no
+//! workload-level test checks directly: stream registers must be
+//! allocated and freed in a strict discipline, completion times must
+//! respect causality, cache counters must conserve, and a rollback must
+//! restore exactly the state the checkpoint captured. This module is the
+//! engine-side half of the sanitizer: a small recorder the [`Engine`]
+//! consults at its seams (`s_free`, SU scheduling, simulated stores,
+//! rollback), plus the audit that cross-checks SMT / payload / S-Cache /
+//! scratchpad / cache-hierarchy state on demand.
+//!
+//! Violations are reported as [`sc_lint::Diagnostic`]s with `SC-S3xx`
+//! codes, so the existing report/JSON/SARIF/exit-code machinery of
+//! `sc-lint` applies unchanged. The `sc-san` crate holds the registry of
+//! all invariants and the mutation-fixture suite proving each checker
+//! actually fires.
+//!
+//! Enablement: [`crate::SparseCoreConfig::sanitize`] — on by default in
+//! debug builds, opt-in via `SC_SANITIZE` in release builds.
+//!
+//! [`Engine`]: crate::Engine
+
+use sc_lint::{Diagnostic, LintCode};
+use sc_mem::AuditKind;
+
+/// Map a memory-substrate audit class onto its `SC-S3xx` lint code.
+pub fn audit_code(kind: AuditKind) -> LintCode {
+    match kind {
+        AuditKind::CounterConservation => LintCode::SanCacheCounters,
+        AuditKind::LruOrder => LintCode::SanLruOrder,
+        AuditKind::SlotState => LintCode::SanScacheSlotState,
+        AuditKind::ScratchpadBounds => LintCode::SanScratchpadBounds,
+    }
+}
+
+/// A half-open simulated address range `[lo, hi)` the workload declared
+/// read-only (Section 5.1: parallel cores share the graph without
+/// coherence, so any simulated write into it is a cross-core hazard).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ReadOnlyRange {
+    lo: u64,
+    hi: u64,
+}
+
+/// The engine-attached sanitizer state: accumulated violations, the
+/// monotone clock watermark, and the registered read-only ranges.
+#[derive(Debug, Default)]
+pub(crate) struct Sanitizer {
+    violations: Vec<Diagnostic>,
+    /// Highest completion time ever observed; the engine clock may never
+    /// fall below it.
+    clock_watermark: u64,
+    read_only: Vec<ReadOnlyRange>,
+    /// Mutation hook: make `rollback` skip the trace restore so the
+    /// rollback-drift checker has something to catch.
+    pub(crate) skip_trace_restore: bool,
+}
+
+impl Sanitizer {
+    pub(crate) fn new() -> Self {
+        Sanitizer::default()
+    }
+
+    /// Record a violation directly.
+    pub(crate) fn record(&mut self, diag: Diagnostic) {
+        self.violations.push(diag);
+    }
+
+    /// Drain everything recorded so far.
+    pub(crate) fn take(&mut self) -> Vec<Diagnostic> {
+        std::mem::take(&mut self.violations)
+    }
+
+    /// Causality check on one SU event (`SC-S304`): an operation cannot
+    /// complete before it starts, nor before its operands are ready.
+    pub(crate) fn check_su_event(&mut self, ready: u64, start: u64, done: u64) {
+        if done < start {
+            self.record(Diagnostic::sanitizer(
+                LintCode::SanCausality,
+                format!("SU op completes at {done}, before its start at {start}"),
+            ));
+        }
+        if done < ready {
+            self.record(Diagnostic::sanitizer(
+                LintCode::SanCausality,
+                format!("SU op completes at {done}, before its operands are ready at {ready}"),
+            ));
+        }
+    }
+
+    /// Clock-monotonicity check (`SC-S305`): the engine's latest-event
+    /// clock may only move forward.
+    pub(crate) fn check_clock(&mut self, last_event: u64) {
+        if last_event < self.clock_watermark {
+            self.record(Diagnostic::sanitizer(
+                LintCode::SanClockRegression,
+                format!(
+                    "engine clock moved backwards: {last_event} after observing {}",
+                    self.clock_watermark
+                ),
+            ));
+        }
+        self.clock_watermark = self.clock_watermark.max(last_event);
+    }
+
+    /// Register `[lo, hi)` as read-only for this engine.
+    pub(crate) fn protect(&mut self, lo: u64, hi: u64) {
+        self.read_only.push(ReadOnlyRange { lo, hi });
+    }
+
+    /// Read-only-write check (`SC-S310`) for a simulated store or an
+    /// output-region allocation `[lo, hi)`. `what` names the writer.
+    pub(crate) fn check_write(&mut self, lo: u64, hi: u64, what: &str) {
+        for r in &self.read_only {
+            if lo < r.hi && r.lo < hi {
+                self.violations.push(
+                    Diagnostic::sanitizer(
+                        LintCode::SanReadOnlyWrite,
+                        format!(
+                            "{what} writes {lo:#x}..{hi:#x} inside read-only range \
+                             {:#x}..{:#x} (cross-core hazard: the graph is shared \
+                             without coherence)",
+                            r.lo, r.hi
+                        ),
+                    )
+                    .with_addr(lo),
+                );
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audit_kinds_map_to_distinct_codes() {
+        let kinds = [
+            AuditKind::CounterConservation,
+            AuditKind::LruOrder,
+            AuditKind::SlotState,
+            AuditKind::ScratchpadBounds,
+        ];
+        let codes: Vec<_> = kinds.iter().map(|&k| audit_code(k)).collect();
+        for (i, a) in codes.iter().enumerate() {
+            for b in &codes[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn causality_and_clock_checks() {
+        let mut s = Sanitizer::new();
+        s.check_su_event(10, 10, 20);
+        s.check_clock(20);
+        assert!(s.take().is_empty());
+        s.check_su_event(30, 25, 28); // done < ready
+        s.check_clock(15); // clock went backwards
+        let v = s.take();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].code, LintCode::SanCausality);
+        assert_eq!(v[1].code, LintCode::SanClockRegression);
+    }
+
+    #[test]
+    fn read_only_ranges_catch_overlap_only() {
+        let mut s = Sanitizer::new();
+        s.protect(0x1000, 0x2000);
+        s.check_write(0x2000, 0x2040, "store"); // adjacent, not inside
+        assert!(s.take().is_empty());
+        s.check_write(0x1ff0, 0x2010, "store");
+        let v = s.take();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].code, LintCode::SanReadOnlyWrite);
+        assert_eq!(v[0].addr, Some(0x1ff0));
+    }
+}

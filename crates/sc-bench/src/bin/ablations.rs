@@ -14,7 +14,7 @@
 //! Usage: `cargo run --release -p sc-bench --bin ablations
 //! [--datasets B,E,F,W]`
 
-use sc_bench::{dataset_filter, render_table, run_sparsecore, stride_for};
+use sc_bench::{dataset_filter, init_sanitize, render_table, run_sparsecore, stride_for};
 use sc_gpm::exec::{self, SetBackend, StreamBackend};
 use sc_gpm::plan::Induced;
 use sc_gpm::{iep, App, Pattern, Plan};
@@ -23,6 +23,7 @@ use sparsecore::{Engine, SparseCoreConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    init_sanitize(&args);
     let datasets = dataset_filter(&args).unwrap_or_else(|| {
         vec![Dataset::BitcoinAlpha, Dataset::EmailEuCore, Dataset::Haverford76, Dataset::WikiVote]
     });

@@ -4,14 +4,16 @@
 //! generated (possibly scaled-down) statistics, so EXPERIMENTS.md can
 //! record provenance per dataset.
 //!
-//! Usage: `cargo run --release -p sc-bench --bin datasets_report`
+//! Usage: `cargo run --release -p sc-bench --bin datasets_report [--sanitize]`
 
-use sc_bench::render_table;
+use sc_bench::{init_sanitize, render_table};
 use sc_gpm::App;
 use sc_graph::Dataset;
 use sc_tensor::{MatrixDataset, TensorDataset};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    init_sanitize(&args);
     println!("# Table 3: GPM applications\n");
     let rows: Vec<Vec<String>> = App::FIG8
         .iter()

@@ -11,7 +11,7 @@
 //! [--datasets E,F,W] [--gramer]`
 
 use sc_accel::{gramer, triejax, FlexMinerModel};
-use sc_bench::{dataset_filter, gmean, render_table, run_sparsecore, stride_for};
+use sc_bench::{dataset_filter, gmean, init_sanitize, render_table, run_sparsecore, stride_for};
 use sc_gpm::exec::{self, SetBackend};
 use sc_gpm::App;
 use sc_graph::Dataset;
@@ -19,6 +19,7 @@ use sparsecore::SparseCoreConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    init_sanitize(&args);
     let datasets = dataset_filter(&args).unwrap_or_else(|| {
         vec![
             Dataset::EmailEuCore,

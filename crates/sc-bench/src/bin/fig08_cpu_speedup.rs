@@ -9,7 +9,9 @@
 //! Usage: `cargo run --release -p sc-bench --bin fig08_cpu_speedup
 //! [--datasets C,E,W] [--skip-fsm]`
 
-use sc_bench::{dataset_filter, gmean, render_table, run_cpu, run_sparsecore, stride_for};
+use sc_bench::{
+    dataset_filter, gmean, init_sanitize, render_table, run_cpu, run_sparsecore, stride_for,
+};
 use sc_gpm::exec::SetBackend;
 use sc_gpm::fsm::{assign_labels, run_fsm};
 use sc_gpm::{App, ScalarBackend, StreamBackend};
@@ -18,6 +20,7 @@ use sparsecore::{Engine, SparseCoreConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    init_sanitize(&args);
     let datasets = dataset_filter(&args).unwrap_or_else(|| Dataset::ALL.to_vec());
     let skip_fsm = args.iter().any(|a| a == "--skip-fsm");
 

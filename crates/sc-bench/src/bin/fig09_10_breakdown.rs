@@ -10,7 +10,7 @@
 //! Usage: `cargo run --release -p sc-bench --bin fig09_10_breakdown
 //! [--datasets C,E,W]`
 
-use sc_bench::{dataset_filter, render_table, stride_for};
+use sc_bench::{dataset_filter, init_sanitize, render_table, stride_for};
 use sc_gpm::exec::{self, ScalarBackend, SetBackend, StreamBackend};
 use sc_gpm::App;
 use sc_graph::Dataset;
@@ -18,6 +18,7 @@ use sparsecore::{Engine, SparseCoreConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    init_sanitize(&args);
     let datasets = dataset_filter(&args).unwrap_or_else(|| {
         vec![
             Dataset::Gnutella08,

@@ -8,13 +8,14 @@
 //! Usage: `cargo run --release -p sc-bench --bin fig13_bandwidth
 //! [--datasets B,E,F,W]`
 
-use sc_bench::{dataset_filter, render_table, run_sparsecore, stride_for};
+use sc_bench::{dataset_filter, init_sanitize, render_table, run_sparsecore, stride_for};
 use sc_gpm::App;
 use sc_graph::Dataset;
 use sparsecore::SparseCoreConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    init_sanitize(&args);
     let datasets = dataset_filter(&args).unwrap_or_else(|| {
         vec![Dataset::BitcoinAlpha, Dataset::EmailEuCore, Dataset::Haverford76, Dataset::WikiVote]
     });

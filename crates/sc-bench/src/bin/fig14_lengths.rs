@@ -6,9 +6,9 @@
 //! operands are prior intersection results); larger-max-degree datasets
 //! have longer tails.
 //!
-//! Usage: `cargo run --release -p sc-bench --bin fig14_lengths`
+//! Usage: `cargo run --release -p sc-bench --bin fig14_lengths [--sanitize]`
 
-use sc_bench::{render_table, run_sparsecore_backend, stride_for};
+use sc_bench::{init_sanitize, render_table, run_sparsecore_backend, stride_for};
 use sc_gpm::App;
 use sc_graph::Dataset;
 use sparsecore::SparseCoreConfig;
@@ -25,6 +25,8 @@ fn cdf_row(label: String, mut backend_stats: sparsecore::LengthHistogram) -> Vec
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    init_sanitize(&args);
     let header: Vec<String> = std::iter::once("series".to_string())
         .chain(POINTS.iter().map(|p| format!("<={p}")))
         .chain(["mean".to_string()])

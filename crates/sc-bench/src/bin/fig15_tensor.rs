@@ -9,7 +9,7 @@
 //! Usage: `cargo run --release -p sc-bench --bin fig15_tensor
 //! [--matrices C,E,F] [--skip-tensors]`
 
-use sc_bench::{gmean, render_table};
+use sc_bench::{gmean, init_sanitize, render_table};
 use sc_kernels::{
     gustavson_sampled, inner_product, outer_product_sampled, ttm_sampled, ttv_sampled,
     InnerOptions, ScalarTensorBackend, StreamTensorBackend,
@@ -52,6 +52,7 @@ fn merge_stride(m: MatrixDataset) -> usize {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    init_sanitize(&args);
     let matrices = matrix_filter(&args);
     let skip_tensors = args.iter().any(|a| a == "--skip-tensors");
     let one_su = SparseCoreConfig::paper_one_su;

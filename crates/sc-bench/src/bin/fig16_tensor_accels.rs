@@ -12,7 +12,7 @@
 //! [--matrices C,E,F]`
 
 use sc_accel::{ExTensorBackend, GammaBackend, OuterSpaceBackend};
-use sc_bench::{gmean, render_table};
+use sc_bench::{gmean, init_sanitize, render_table};
 use sc_kernels::{
     gustavson_sampled, inner_product, outer_product_sampled, InnerOptions, StreamTensorBackend,
 };
@@ -31,6 +31,7 @@ fn matrix_filter(args: &[String]) -> Vec<MatrixDataset> {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    init_sanitize(&args);
     let matrices = matrix_filter(&args);
     let one_su = SparseCoreConfig::paper_one_su;
 

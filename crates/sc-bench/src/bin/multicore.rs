@@ -8,7 +8,7 @@
 //! Usage: `cargo run --release -p sc-bench --bin multicore
 //! [--datasets B,E,W]`
 
-use sc_bench::{dataset_filter, render_table};
+use sc_bench::{dataset_filter, init_sanitize, render_table};
 use sc_gpm::parallel::count_stream_parallel;
 use sc_gpm::plan::Induced;
 use sc_gpm::{Pattern, Plan};
@@ -17,6 +17,7 @@ use sparsecore::SparseCoreConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    init_sanitize(&args);
     let datasets = dataset_filter(&args).unwrap_or_else(|| {
         vec![Dataset::BitcoinAlpha, Dataset::EmailEuCore, Dataset::WikiVote, Dataset::Mico]
     });

@@ -163,6 +163,17 @@ pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
     out
 }
 
+/// Enable the invariant sanitizer when `--sanitize` is on the command
+/// line. Sets `SC_SANITIZE=1` — read once by `sparsecore`'s config
+/// constructors — so this must run before the first
+/// `SparseCoreConfig` is built; call it first in every bench `main`.
+pub fn init_sanitize(args: &[String]) {
+    if args.iter().any(|a| a == "--sanitize") {
+        std::env::set_var("SC_SANITIZE", "1");
+        println!("# sanitizer: ON (--sanitize -> SC_SANITIZE=1)\n");
+    }
+}
+
 /// Parse a `--datasets C,E,W` style CLI filter against Table 4 tags;
 /// `None` means "no filter".
 pub fn dataset_filter(args: &[String]) -> Option<Vec<Dataset>> {

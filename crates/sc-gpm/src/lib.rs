@@ -47,5 +47,8 @@ pub mod symmetry;
 
 pub use apps::App;
 pub use exec::{ScalarBackend, SetBackend, StreamBackend};
+pub use parallel::{
+    count_stream_parallel, count_stream_parallel_sanitized, protect_graph, MultiCoreRun,
+};
 pub use pattern::Pattern;
 pub use plan::Plan;

@@ -39,6 +39,18 @@ impl MultiCoreRun {
     }
 }
 
+/// Declare the graph's three CSR arrays read-only on `engine` (paper
+/// Section 5.1: parallel cores share the graph without coherence, so a
+/// simulated write into it would be a cross-core hazard — `SC-S310`).
+/// No-op when the engine's sanitizer is off.
+pub fn protect_graph(engine: &mut Engine, g: &CsrGraph) {
+    let l = g.layout();
+    let nv = g.num_vertices() as u64;
+    engine.protect_range(l.index_base, l.index_base + nv * 8);
+    engine.protect_range(l.edge_base, l.edge_base + g.num_edge_entries() as u64 * 4);
+    engine.protect_range(l.offset_base, l.offset_base + (nv + 1) * 4);
+}
+
 /// Run `plan` across `num_cores` SparseCore cores.
 ///
 /// # Panics
@@ -51,21 +63,49 @@ pub fn count_stream_parallel(
     use_nested: bool,
     num_cores: usize,
 ) -> MultiCoreRun {
+    count_stream_parallel_sanitized(g, plan, cfg, use_nested, num_cores).0
+}
+
+/// Like [`count_stream_parallel`], but also collects each core engine's
+/// sanitizer findings (with the graph's address ranges protected) into a
+/// single merged report. The report is empty when the configuration has
+/// `sanitize` off — and on a healthy run.
+///
+/// # Panics
+///
+/// Panics if `num_cores` is zero.
+pub fn count_stream_parallel_sanitized(
+    g: &CsrGraph,
+    plan: &Plan,
+    cfg: SparseCoreConfig,
+    use_nested: bool,
+    num_cores: usize,
+) -> (MultiCoreRun, sc_lint::Report) {
     assert!(num_cores > 0, "need at least one core");
-    let results: Vec<(u64, u64)> = std::thread::scope(|scope| {
+    let results: Vec<(u64, u64, Vec<sc_lint::Diagnostic>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..num_cores)
             .map(|c| {
                 scope.spawn(move || {
-                    let mut backend = StreamBackend::with_engine(g, Engine::new(cfg), use_nested);
+                    let mut engine = Engine::new(cfg);
+                    protect_graph(&mut engine, g);
+                    let mut backend = StreamBackend::with_engine(g, engine, use_nested);
                     let n = exec::count_partition(g, plan, &mut backend, c, num_cores);
                     use crate::exec::SetBackend;
-                    (n, backend.finish())
+                    let cycles = backend.finish();
+                    let diags = backend.engine_mut().sanitizer_final_report();
+                    (n, cycles, diags.diagnostics().to_vec())
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("core thread")).collect()
     });
-    fold(results)
+    let mut diags = Vec::new();
+    let mut counts = Vec::with_capacity(results.len());
+    for (n, t, d) in results {
+        counts.push((n, t));
+        diags.extend(d);
+    }
+    (fold(counts), sc_lint::Report::new(diags))
 }
 
 /// Run `plan` across `num_cores` baseline CPU cores.
@@ -141,6 +181,40 @@ mod tests {
         let a = count_scalar_parallel(&g, &plan(), 4);
         let b = count_stream_parallel(&g, &plan(), SparseCoreConfig::paper(), false, 4);
         assert_eq!(a.count, b.count);
+    }
+
+    #[test]
+    fn sanitized_parallel_run_is_clean() {
+        let g = uniform_graph(80, 600, 31);
+        let (run, report) =
+            count_stream_parallel_sanitized(&g, &plan(), SparseCoreConfig::paper(), true, 3);
+        assert_eq!(run.count, App::Triangle.run_reference(&g));
+        assert!(report.is_empty(), "unexpected sanitizer findings:\n{report}");
+    }
+
+    #[test]
+    fn sanitizer_flags_write_into_protected_graph_range() {
+        // A core whose output allocator is redirected into the graph's
+        // edge array must trip SC-S310: the graph is shared read-only
+        // across cores (Section 5.1).
+        let g = uniform_graph(40, 300, 35);
+        let mut engine = sparsecore::Engine::new(SparseCoreConfig::paper());
+        protect_graph(&mut engine, &g);
+        // Simulate the hazard directly: an output stream allocated over
+        // the edge array.
+        let l = *g.layout();
+        use sc_isa::{Bound, Priority, StreamId};
+        engine.s_read(0x9000_0000, &[1, 2, 3], StreamId::new(0), Priority(0)).unwrap();
+        engine.s_read(0x9100_0000, &[2, 3, 4], StreamId::new(1), Priority(0)).unwrap();
+        engine.sabotage_redirect_out_alloc(l.edge_base);
+        engine
+            .s_inter(StreamId::new(0), StreamId::new(1), StreamId::new(2), Bound::none())
+            .unwrap();
+        let report = engine.sanitizer_report();
+        assert!(
+            report.diagnostics().iter().any(|d| d.code == sc_lint::LintCode::SanReadOnlyWrite),
+            "expected SC-S310, got:\n{report}"
+        );
     }
 
     #[test]

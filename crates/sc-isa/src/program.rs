@@ -97,6 +97,13 @@ impl Program {
         self.instrs.is_empty()
     }
 
+    /// Discard instructions past `len`, keeping the first `len`. Used by
+    /// the engine to squash speculatively-recorded trace entries on a
+    /// checkpoint rollback. A `len` at or past the end is a no-op.
+    pub fn truncate(&mut self, len: usize) {
+        self.instrs.truncate(len);
+    }
+
     /// Iterate over instructions.
     pub fn iter(&self) -> std::slice::Iter<'_, Instr> {
         self.instrs.iter()

@@ -3,6 +3,7 @@
 //! ```text
 //! sc-lint [OPTIONS] FILE...
 //!   --json            machine-readable output (one JSON object per file)
+//!   --sarif           SARIF 2.1.0 output (one log per file)
 //!   --deny-warnings   exit non-zero on warnings, not just errors
 //!   --max-streams N   stream-register capacity (default 16)
 //!   --virtualized     model SMT virtualization (pressure becomes a note)
@@ -18,18 +19,20 @@ use std::process::ExitCode;
 
 struct Options {
     json: bool,
+    sarif: bool,
     deny_warnings: bool,
     config: LintConfig,
     files: Vec<String>,
 }
 
 fn usage() -> &'static str {
-    "usage: sc-lint [--json] [--deny-warnings] [--max-streams N] [--virtualized] [--no-perf] [--no-leaks] FILE..."
+    "usage: sc-lint [--json|--sarif] [--deny-warnings] [--max-streams N] [--virtualized] [--no-perf] [--no-leaks] FILE..."
 }
 
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
     let mut opts = Options {
         json: false,
+        sarif: false,
         deny_warnings: false,
         config: LintConfig::default(),
         files: Vec::new(),
@@ -38,6 +41,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => opts.json = true,
+            "--sarif" => opts.sarif = true,
             "--deny-warnings" => opts.deny_warnings = true,
             "--virtualized" => opts.config.virtualization = true,
             "--no-perf" => opts.config.perf_lints = false,
@@ -54,6 +58,9 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
     }
     if opts.files.is_empty() {
         return Err(usage().to_string());
+    }
+    if opts.json && opts.sarif {
+        return Err(format!("--json and --sarif are mutually exclusive\n{}", usage()));
     }
     Ok(opts)
 }
@@ -94,6 +101,8 @@ fn main() -> ExitCode {
         }
         if opts.json {
             println!("{}", report.to_json());
+        } else if opts.sarif {
+            println!("{}", report.to_sarif(path));
         } else if report.is_empty() {
             println!("{path}: ok ({} instructions)", program.len());
         } else {

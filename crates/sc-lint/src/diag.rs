@@ -42,9 +42,11 @@ impl fmt::Display for Severity {
 ///
 /// `SC-E0xx` codes model the paper's architectural exception conditions
 /// (Sections 3.3 and 5.1) plus the compiler's leak discipline; `SC-W1xx`
-/// are correctness-adjacent warnings; `SC-W2xx` are performance lints.
-/// The numeric code is stable across releases; the kebab-case name is
-/// for humans.
+/// are correctness-adjacent warnings; `SC-W2xx` are performance lints;
+/// `SC-S3xx` are *sanitizer* findings — micro-architectural invariant
+/// violations reported by the model self-checks in `sc-san` (they flag
+/// bugs in the simulator, not in the linted program). The numeric code
+/// is stable across releases; the kebab-case name is for humans.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LintCode {
     /// `SC-E001` — an instruction uses a stream that is not live.
@@ -75,6 +77,50 @@ pub enum LintCode {
     /// bounded consumers; propagating the bound would cut work
     /// (Figure 2(b)'s BoundedIntersect).
     MissingBound,
+    /// `SC-S301` — the model freed a stream whose payload was already
+    /// gone (double release of a stream register).
+    SanDoubleFree,
+    /// `SC-S302` — a stream register is still active when the sanitizer
+    /// runs its end-of-workload audit (resource leak in the model).
+    SanStreamLeak,
+    /// `SC-S303` — SMT/payload desynchronization: an active register
+    /// without a functional payload (use-after-free hazard), an orphaned
+    /// payload after free, or a payload whose length disagrees with the
+    /// register.
+    SanUseAfterFree,
+    /// `SC-S304` — causality violation: an SU operation completed before
+    /// its operands' ready cycle (or before it started).
+    SanCausality,
+    /// `SC-S305` — the engine's event clock moved backwards.
+    SanClockRegression,
+    /// `SC-S306` — cache counter non-conservation: `hits + misses` no
+    /// longer equals the demand accesses observed, or evictions exceed
+    /// insertions.
+    SanCacheCounters,
+    /// `SC-S307` — LRU structure violation: a set holds more lines than
+    /// ways, duplicate tags, or a recency timestamp from the future.
+    SanLruOrder,
+    /// `SC-S308` — S-Cache slot state-machine illegality: an unbound slot
+    /// retaining state, a missed line-group writeback, or a misaligned /
+    /// out-of-range window.
+    SanScacheSlotState,
+    /// `SC-S309` — S-Cache/SMT desynchronization: a slot bound without an
+    /// active stream register, or an active register without its slot.
+    SanScacheSmtDesync,
+    /// `SC-S310` — a simulated write landed in a protected read-only
+    /// range (the graph data of a parallel run — a cross-core hazard
+    /// under the paper's Section 5.1 no-coherence assumption).
+    SanReadOnlyWrite,
+    /// `SC-S311` — checkpoint/rollback round trip failed to restore the
+    /// architectural stream state exactly.
+    SanRollbackDrift,
+    /// `SC-S312` — scratchpad accounting drift: used bytes disagree with
+    /// the sum of resident entries or exceed capacity.
+    SanScratchpadBounds,
+    /// `SC-S313` — engine statistics non-conservation: independently
+    /// maintained counters (e.g. scratchpad hit/miss vs. engine stats)
+    /// disagree.
+    SanStatsConservation,
 }
 
 impl LintCode {
@@ -92,6 +138,19 @@ impl LintCode {
             LintCode::DeadStream => "SC-W201",
             LintCode::UnusedRead => "SC-W202",
             LintCode::MissingBound => "SC-W203",
+            LintCode::SanDoubleFree => "SC-S301",
+            LintCode::SanStreamLeak => "SC-S302",
+            LintCode::SanUseAfterFree => "SC-S303",
+            LintCode::SanCausality => "SC-S304",
+            LintCode::SanClockRegression => "SC-S305",
+            LintCode::SanCacheCounters => "SC-S306",
+            LintCode::SanLruOrder => "SC-S307",
+            LintCode::SanScacheSlotState => "SC-S308",
+            LintCode::SanScacheSmtDesync => "SC-S309",
+            LintCode::SanReadOnlyWrite => "SC-S310",
+            LintCode::SanRollbackDrift => "SC-S311",
+            LintCode::SanScratchpadBounds => "SC-S312",
+            LintCode::SanStatsConservation => "SC-S313",
         }
     }
 
@@ -109,6 +168,19 @@ impl LintCode {
             LintCode::DeadStream => "dead-stream",
             LintCode::UnusedRead => "unused-read",
             LintCode::MissingBound => "missing-bound",
+            LintCode::SanDoubleFree => "san-double-free",
+            LintCode::SanStreamLeak => "san-stream-leak",
+            LintCode::SanUseAfterFree => "san-use-after-free",
+            LintCode::SanCausality => "san-causality",
+            LintCode::SanClockRegression => "san-clock-regression",
+            LintCode::SanCacheCounters => "san-cache-counters",
+            LintCode::SanLruOrder => "san-lru-order",
+            LintCode::SanScacheSlotState => "san-scache-slot-state",
+            LintCode::SanScacheSmtDesync => "san-scache-smt-desync",
+            LintCode::SanReadOnlyWrite => "san-readonly-write",
+            LintCode::SanRollbackDrift => "san-rollback-drift",
+            LintCode::SanScratchpadBounds => "san-scratchpad-bounds",
+            LintCode::SanStatsConservation => "san-stats-conservation",
         }
     }
 }
@@ -138,6 +210,32 @@ pub struct Diagnostic {
 }
 
 impl Diagnostic {
+    /// Build an error-severity sanitizer finding (`SC-S3xx`). Sanitizer
+    /// findings anchor to model events, not instruction indices, so `at`
+    /// is `None`; `sid`/`addr` are attached by the caller when known.
+    pub fn sanitizer(code: LintCode, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            at: None,
+            sid: None,
+            addr: None,
+            message: message.into(),
+        }
+    }
+
+    /// Attach a stream ID to the finding.
+    pub fn with_sid(mut self, sid: StreamId) -> Self {
+        self.sid = Some(sid);
+        self
+    }
+
+    /// Attach a memory address to the finding.
+    pub fn with_addr(mut self, addr: u64) -> Self {
+        self.addr = Some(addr);
+        self
+    }
+
     /// The runtime [`StreamException`] this diagnostic statically
     /// predicts, if it models one. Correctness lints that don't surface
     /// as architectural exceptions (leaks, perf lints) return `None`.

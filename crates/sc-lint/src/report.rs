@@ -99,6 +99,59 @@ impl Report {
         out.push_str(&format!("],\"errors\":{e},\"warnings\":{w},\"notes\":{n}}}"));
         out
     }
+
+    /// Render the report as a SARIF 2.1.0 log (one run), so findings
+    /// surface as editor/CI annotations. `artifact` is the URI of the
+    /// analyzed file; each diagnostic's instruction index maps to a
+    /// 1-based line region (`.sasm` sources are one instruction per
+    /// line).
+    pub fn to_sarif(&self, artifact: &str) -> String {
+        let mut out = String::from(
+            "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+             \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
+             \"name\":\"sc-lint\",\"informationUri\":\
+             \"https://github.com/sparsecore/sparsecore-repro\",\"rules\":[",
+        );
+        // One reportingDescriptor per distinct code, in first-seen order.
+        let mut rules: Vec<crate::diag::LintCode> = Vec::new();
+        for d in &self.diags {
+            if !rules.contains(&d.code) {
+                rules.push(d.code);
+            }
+        }
+        for (i, code) in rules.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"id\":\"{}\",\"name\":\"{}\"}}", code.as_str(), code.name()));
+        }
+        out.push_str("]}},\"results\":[");
+        for (i, d) in self.diags.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let level = match d.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+                Severity::Note => "note",
+            };
+            out.push_str(&format!(
+                "{{\"ruleId\":\"{}\",\"ruleIndex\":{},\"level\":\"{level}\",\"message\":{{\"text\":",
+                d.code.as_str(),
+                rules.iter().position(|c| c == &d.code).expect("rule registered"),
+            ));
+            push_json_string(&mut out, &d.message);
+            out.push_str("},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":");
+            push_json_string(&mut out, artifact);
+            out.push('}');
+            if let Some(at) = d.at {
+                out.push_str(&format!(",\"region\":{{\"startLine\":{}}}", at + 1));
+            }
+            out.push_str("}}]}");
+        }
+        out.push_str("]}]}");
+        out
+    }
 }
 
 /// Append `s` to `out` as a JSON string literal.
@@ -181,6 +234,35 @@ mod tests {
         assert!(j.contains("\\\\"));
         assert!(j.contains("\\n"));
         assert!(j.contains("\"errors\":1"));
+    }
+
+    #[test]
+    fn sarif_is_well_formed() {
+        let r = Report::new(vec![
+            diag(LintCode::UseUndefined, Severity::Error, Some(2)),
+            diag(LintCode::UseUndefined, Severity::Error, Some(4)),
+            diag(LintCode::DeadStream, Severity::Warning, Some(0)),
+        ]);
+        let s = r.to_sarif("prog.sasm");
+        assert!(s.contains("\"version\":\"2.1.0\""));
+        assert!(s.contains("\"name\":\"sc-lint\""));
+        // Rules are deduplicated: SC-E001 appears once in the rules array.
+        assert_eq!(s.matches("{\"id\":\"SC-E001\"").count(), 1);
+        assert_eq!(s.matches("\"ruleId\":\"SC-E001\"").count(), 2);
+        assert!(s.contains("\"level\":\"warning\""));
+        assert!(s.contains("\"uri\":\"prog.sasm\""));
+        // Instruction 2 anchors to line 3.
+        assert!(s.contains("\"startLine\":3"));
+        // Balanced braces/brackets (crude structural check).
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn sarif_empty_report() {
+        let s = Report::default().to_sarif("x.sasm");
+        assert!(s.contains("\"results\":[]"));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
     }
 
     #[test]

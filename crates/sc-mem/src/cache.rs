@@ -5,6 +5,7 @@
 //! exactly the modeling level of zSim-style simulators, which the paper
 //! used for its evaluation.
 
+use crate::audit::{AuditKind, AuditViolation};
 use crate::stats::CacheStats;
 use crate::Addr;
 
@@ -69,6 +70,9 @@ pub struct Cache {
     /// Logical clock used for LRU ordering. Monotonic per access.
     tick: u64,
     stats: CacheStats,
+    /// Demand accesses observed, counted independently of the hit/miss
+    /// stats so the sanitizer can check `hits + misses == accesses`.
+    demand_accesses: u64,
     set_shift: u32,
     num_sets: u64,
 }
@@ -96,6 +100,7 @@ impl Cache {
             sets: vec![Set::default(); num_sets as usize],
             tick: 0,
             stats: CacheStats::default(),
+            demand_accesses: 0,
             set_shift: config.line_bytes.trailing_zeros(),
             num_sets,
         }
@@ -114,6 +119,7 @@ impl Cache {
     /// Reset the accumulated statistics (contents are preserved).
     pub fn reset_stats(&mut self) {
         self.stats = CacheStats::default();
+        self.demand_accesses = 0;
     }
 
     #[inline]
@@ -135,6 +141,7 @@ impl Cache {
     pub fn access(&mut self, addr: Addr) -> bool {
         let line = self.line_of(addr);
         let idx = self.set_index(line);
+        self.demand_accesses += 1;
         self.tick += 1;
         let tick = self.tick;
         let ways = self.config.ways as usize;
@@ -221,6 +228,73 @@ impl Cache {
     /// Number of lines currently resident across all sets.
     pub fn resident_lines(&self) -> usize {
         self.sets.iter().map(|s| s.lines.len()).sum()
+    }
+
+    /// Sanitizer self-audit: counter conservation and the LRU stack
+    /// structure. Returns an empty vector on a healthy cache.
+    pub fn audit(&self) -> Vec<AuditViolation> {
+        let mut v = Vec::new();
+        let s = &self.stats;
+        if s.hits + s.misses != self.demand_accesses {
+            v.push(AuditViolation::new(
+                AuditKind::CounterConservation,
+                format!(
+                    "hits ({}) + misses ({}) != demand accesses ({})",
+                    s.hits, s.misses, self.demand_accesses
+                ),
+            ));
+        }
+        if s.evictions > s.misses + s.fills {
+            v.push(AuditViolation::new(
+                AuditKind::CounterConservation,
+                format!(
+                    "evictions ({}) exceed insertions (misses {} + fills {})",
+                    s.evictions, s.misses, s.fills
+                ),
+            ));
+        }
+        let ways = self.config.ways as usize;
+        for (idx, set) in self.sets.iter().enumerate() {
+            if set.lines.len() > ways {
+                v.push(AuditViolation::new(
+                    AuditKind::LruOrder,
+                    format!("set {idx} holds {} lines but has {ways} ways", set.lines.len()),
+                ));
+            }
+            for (i, (tag, t)) in set.lines.iter().enumerate() {
+                if *t > self.tick {
+                    v.push(AuditViolation::new(
+                        AuditKind::LruOrder,
+                        format!("set {idx} line {tag:#x} has timestamp {t} > clock {}", self.tick),
+                    ));
+                }
+                if set.lines.iter().skip(i + 1).any(|(other, _)| other == tag) {
+                    v.push(AuditViolation::new(
+                        AuditKind::LruOrder,
+                        format!("set {idx} holds duplicate tag {tag:#x}"),
+                    ));
+                }
+            }
+        }
+        v
+    }
+
+    /// Mutation hook for the sanitizer fixture suite: a cache that counts
+    /// a hit it never served (counter non-conservation). Test-only.
+    #[doc(hidden)]
+    pub fn sabotage_double_count_hit(&mut self) {
+        self.stats.hits += 1;
+    }
+
+    /// Mutation hook for the sanitizer fixture suite: duplicate the first
+    /// resident line inside its set, breaking the LRU stack property.
+    /// Test-only.
+    #[doc(hidden)]
+    pub fn sabotage_duplicate_line(&mut self) {
+        if let Some(set) = self.sets.iter_mut().find(|s| !s.lines.is_empty()) {
+            let dup = set.lines[0];
+            set.lines.push(dup);
+        }
     }
 }
 
@@ -321,6 +395,42 @@ mod tests {
         assert_eq!(l2.config().num_sets(), 512);
         let l3 = Cache::new(CacheConfig::l3());
         assert_eq!(l3.config().num_sets(), 12288);
+    }
+
+    #[test]
+    fn audit_clean_after_heavy_use() {
+        let mut c = tiny();
+        for i in 0..200u64 {
+            c.access((i * 37) % 4096 * 64);
+            if i % 3 == 0 {
+                c.fill(i * 64);
+            }
+            if i % 7 == 0 {
+                c.invalidate(i * 64);
+            }
+        }
+        assert!(c.audit().is_empty(), "{:?}", c.audit());
+        c.reset_stats();
+        assert!(c.audit().is_empty());
+    }
+
+    #[test]
+    fn audit_catches_double_counted_hit() {
+        let mut c = tiny();
+        c.access(0);
+        c.access(0);
+        c.sabotage_double_count_hit();
+        let v = c.audit();
+        assert!(v.iter().any(|x| x.kind == AuditKind::CounterConservation), "{v:?}");
+    }
+
+    #[test]
+    fn audit_catches_duplicate_line() {
+        let mut c = tiny();
+        c.access(0);
+        c.sabotage_duplicate_line();
+        let v = c.audit();
+        assert!(v.iter().any(|x| x.kind == AuditKind::LruOrder), "{v:?}");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! data. Special entry points support the S-Cache, whose fills bypass L1
 //! (Section 4.3: "the data will not pollute L1"; key fetches come from L2).
 
+use crate::audit::AuditViolation;
 use crate::cache::{Cache, CacheConfig};
 use crate::stats::HierarchyStats;
 use crate::{Addr, Cycle};
@@ -183,6 +184,26 @@ impl MemoryHierarchy {
         self.load(addr)
     }
 
+    /// Sanitizer self-audit: runs every per-level cache audit and tags
+    /// each violation with the level it came from.
+    pub fn audit(&self) -> Vec<AuditViolation> {
+        let mut v = Vec::new();
+        for (name, cache) in [("L1", &self.l1), ("L2", &self.l2), ("L3", &self.l3)] {
+            for mut viol in cache.audit() {
+                viol.message = format!("{name}: {}", viol.message);
+                v.push(viol);
+            }
+        }
+        v
+    }
+
+    /// Mutation-hook access to the L1 cache for the sanitizer fixture
+    /// suite. Test-only.
+    #[doc(hidden)]
+    pub fn sabotage_l1(&mut self) -> &mut Cache {
+        &mut self.l1
+    }
+
     fn record(&mut self, result: AccessResult) {
         match result.level {
             HitLevel::L1 => self.stats.l1_hits += 1,
@@ -266,6 +287,28 @@ mod tests {
         m.reset();
         assert_eq!(m.load(0).level, HitLevel::Dram);
         assert_eq!(m.stats().loads(), 1);
+    }
+
+    #[test]
+    fn audit_clean_after_mixed_traffic() {
+        let mut m = MemoryHierarchy::new(HierarchyConfig::tiny());
+        for i in 0..200u64 {
+            m.load(i * 64);
+            m.load((i % 7) * 64);
+        }
+        m.load_bypassing_l1(0x9000);
+        m.writeback_to_l2(0xA000);
+        assert!(m.audit().is_empty());
+    }
+
+    #[test]
+    fn audit_propagates_level_violations() {
+        let mut m = MemoryHierarchy::new(HierarchyConfig::tiny());
+        m.load(0);
+        m.sabotage_l1().sabotage_double_count_hit();
+        let v = m.audit();
+        assert!(!v.is_empty());
+        assert!(v[0].message.starts_with("L1: "), "got {:?}", v[0]);
     }
 
     #[test]

@@ -30,12 +30,14 @@
 //! assert!(first.latency > second.latency);
 //! ```
 
+pub mod audit;
 pub mod cache;
 pub mod hierarchy;
 pub mod scache;
 pub mod scratchpad;
 pub mod stats;
 
+pub use audit::{AuditKind, AuditViolation};
 pub use cache::{Cache, CacheConfig};
 pub use hierarchy::{AccessResult, HierarchyConfig, HitLevel, MemoryHierarchy};
 pub use scache::{SlotId, StreamCacheConfig, StreamCacheStorage, SubSlot};

@@ -14,6 +14,7 @@
 //! [`MemoryHierarchy::load_bypassing_l1`](crate::MemoryHierarchy::load_bypassing_l1)
 //! by the engine that drives this storage (the `sparsecore` crate).
 
+use crate::audit::{AuditKind, AuditViolation};
 use crate::Addr;
 
 /// Identifies one S-Cache slot (one per stream register).
@@ -338,6 +339,103 @@ impl StreamCacheStorage {
             s.start = false;
         }
     }
+
+    /// Sanitizer self-audit of the slot state machines (Section 4.3
+    /// legality) and the traffic counters. Returns an empty vector on a
+    /// healthy S-Cache.
+    ///
+    /// Invariants checked per slot: an unbound slot retains no state; a
+    /// bound slot never buffers a full line group without writing it back
+    /// (`pending_out < keys_per_line`); produced-key accounting never runs
+    /// behind the pending buffer; the sliding window stays sub-slot
+    /// aligned and inside the stream. Globally, the keys-written counter
+    /// must cover every line-group writeback.
+    pub fn audit(&self) -> Vec<AuditViolation> {
+        let mut v = Vec::new();
+        let half = self.config.subslot_keys();
+        let keys_per_line = (64 / self.config.key_bytes) as usize;
+        for (i, s) in self.slots.iter().enumerate() {
+            if !s.bound {
+                if s.lo_valid || s.hi_valid || s.pending_out > 0 || s.produced > 0 {
+                    v.push(AuditViolation::new(
+                        AuditKind::SlotState,
+                        format!(
+                            "unbound slot {i} retains state (lo={} hi={} pending={} produced={})",
+                            s.lo_valid, s.hi_valid, s.pending_out, s.produced
+                        ),
+                    ));
+                }
+                continue;
+            }
+            if s.pending_out >= keys_per_line {
+                v.push(AuditViolation::new(
+                    AuditKind::SlotState,
+                    format!(
+                        "slot {i} buffers {} output keys without a writeback \
+                         (line group is {keys_per_line})",
+                        s.pending_out
+                    ),
+                ));
+            }
+            if s.pending_out > s.produced {
+                v.push(AuditViolation::new(
+                    AuditKind::SlotState,
+                    format!(
+                        "slot {i} pending_out ({}) exceeds produced ({})",
+                        s.pending_out, s.produced
+                    ),
+                ));
+            }
+            if half > 0 && !s.window_start.is_multiple_of(half) {
+                v.push(AuditViolation::new(
+                    AuditKind::SlotState,
+                    format!("slot {i} window_start {} is not sub-slot aligned", s.window_start),
+                ));
+            }
+            if s.window_start > s.len {
+                v.push(AuditViolation::new(
+                    AuditKind::SlotState,
+                    format!(
+                        "slot {i} window_start {} is past the stream end ({})",
+                        s.window_start, s.len
+                    ),
+                ));
+            }
+        }
+        if self.stats.keys_written < self.stats.writebacks * keys_per_line as u64 {
+            v.push(AuditViolation::new(
+                AuditKind::SlotState,
+                format!(
+                    "{} writebacks require at least {} keys written, saw {}",
+                    self.stats.writebacks,
+                    self.stats.writebacks * keys_per_line as u64,
+                    self.stats.keys_written
+                ),
+            ));
+        }
+        v
+    }
+
+    /// Mutation hook for the sanitizer fixture suite: an output slot that
+    /// "forgets" to release its buffered line group — the bug class where
+    /// a model accumulates a full line without writing it back. Test-only.
+    #[doc(hidden)]
+    pub fn sabotage_retain_pending(&mut self, slot: SlotId) {
+        let keys_per_line = (64 / self.config.key_bytes) as usize;
+        self.slots[slot].bound = true;
+        self.slots[slot].pending_out = keys_per_line + 1;
+        self.slots[slot].produced = self.slots[slot].produced.max(keys_per_line + 1);
+        self.slots[slot].len = self.slots[slot].len.max(keys_per_line + 1);
+    }
+
+    /// Mutation hook for the sanitizer fixture suite: a release path that
+    /// clears the bound bit but leaves sub-slot validity behind (refill
+    /// state surviving into the next binding). Test-only.
+    #[doc(hidden)]
+    pub fn sabotage_ghost_validity(&mut self, slot: SlotId) {
+        self.slots[slot].bound = false;
+        self.slots[slot].lo_valid = true;
+    }
 }
 
 #[cfg(test)]
@@ -346,6 +444,49 @@ mod tests {
 
     fn sc() -> StreamCacheStorage {
         StreamCacheStorage::new(StreamCacheConfig::paper())
+    }
+
+    #[test]
+    fn audit_clean_through_bind_refill_release() {
+        let mut s = sc();
+        s.bind(2, 0x1000, 200);
+        s.refill_window(2, 0);
+        s.refill_window(2, 70);
+        s.note_keys_read(64);
+        assert!(s.audit().is_empty());
+        s.bind_output(5, 0x3000);
+        for _ in 0..40 {
+            let _ = s.push_output_key(5);
+        }
+        s.seal_output(5);
+        assert!(s.audit().is_empty());
+        s.release(2);
+        s.release(5);
+        assert!(s.audit().is_empty(), "released slots retain no state");
+    }
+
+    #[test]
+    fn audit_catches_retained_pending_output() {
+        let mut s = sc();
+        s.sabotage_retain_pending(7);
+        let v = s.audit();
+        assert!(
+            v.iter().any(|v| v.kind == AuditKind::SlotState && v.message.contains("writeback")),
+            "expected missed-writeback violation, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn audit_catches_ghost_validity_on_unbound_slot() {
+        let mut s = sc();
+        s.bind(4, 0x2000, 100);
+        s.refill_window(4, 0);
+        s.sabotage_ghost_validity(4);
+        let v = s.audit();
+        assert!(
+            v.iter().any(|v| v.kind == AuditKind::SlotState && v.message.contains("unbound")),
+            "expected unbound-retains-state violation, got {v:?}"
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! capacity or when the new stream's priority beats the lowest-priority
 //! resident stream.
 
+use crate::audit::{AuditKind, AuditViolation};
 use crate::Cycle;
 use std::collections::HashMap;
 
@@ -148,6 +149,47 @@ impl Scratchpad {
         self.entries.clear();
         self.used = 0;
     }
+
+    /// Sanitizer self-audit of the allocation accounting. The byte
+    /// counter must equal the sum of resident entry sizes, stay within
+    /// the configured capacity, and no resident entry may be larger than
+    /// the scratchpad itself.
+    pub fn audit(&self) -> Vec<AuditViolation> {
+        let mut v = Vec::new();
+        let sum: u64 = self.entries.values().map(|e| e.bytes).sum();
+        if self.used != sum {
+            v.push(AuditViolation::new(
+                AuditKind::ScratchpadBounds,
+                format!("used counter {} != sum of resident entries {}", self.used, sum),
+            ));
+        }
+        if self.used > self.config.size_bytes {
+            v.push(AuditViolation::new(
+                AuditKind::ScratchpadBounds,
+                format!("used {} exceeds capacity {}", self.used, self.config.size_bytes),
+            ));
+        }
+        for (addr, e) in &self.entries {
+            if e.bytes > self.config.size_bytes {
+                v.push(AuditViolation::new(
+                    AuditKind::ScratchpadBounds,
+                    format!(
+                        "entry {addr:#x} ({} bytes) is larger than the scratchpad ({})",
+                        e.bytes, self.config.size_bytes
+                    ),
+                ));
+            }
+        }
+        v
+    }
+
+    /// Mutation hook for the sanitizer fixture suite: leak `n` bytes of
+    /// accounting — the bug class where an eviction path forgets to
+    /// return a victim's bytes to the free pool. Test-only.
+    #[doc(hidden)]
+    pub fn sabotage_leak_bytes(&mut self, n: u64) {
+        self.used += n;
+    }
 }
 
 #[cfg(test)]
@@ -222,6 +264,28 @@ mod tests {
         assert!(!sp.release(0xA));
         assert_eq!(sp.used_bytes(), 0);
         assert!(sp.admit(0xB, 1024, 1));
+    }
+
+    #[test]
+    fn audit_clean_through_admit_evict_release() {
+        let mut sp = tiny();
+        sp.admit(0xA, 400, 2);
+        sp.admit(0xB, 400, 4);
+        sp.admit(0xC, 400, 5);
+        sp.release(0xB);
+        assert!(sp.audit().is_empty());
+    }
+
+    #[test]
+    fn audit_catches_leaked_bytes() {
+        let mut sp = tiny();
+        sp.admit(0xA, 400, 2);
+        sp.sabotage_leak_bytes(100);
+        let v = sp.audit();
+        assert!(
+            v.iter().any(|v| v.kind == AuditKind::ScratchpadBounds && v.message.contains("!= sum")),
+            "expected accounting-drift violation, got {v:?}"
+        );
     }
 
     #[test]

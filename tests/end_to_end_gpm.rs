@@ -98,6 +98,44 @@ fn more_sus_never_slow_down_nested_apps() {
     }
 }
 
+/// Golden stats-conservation run: execute an app with the sanitizer on,
+/// protecting the graph's address ranges, and require (a) zero findings
+/// end-to-end and (b) the engine's own counters to balance.
+fn assert_sanitized_run_clean(g: &CsrGraph, app: App) {
+    let mut engine = Engine::new(SparseCoreConfig::paper());
+    assert!(engine.sanitize_enabled(), "tests build with debug_assertions");
+    sc_gpm::protect_graph(&mut engine, g);
+    let mut backend = StreamBackend::with_engine(g, engine, app.uses_nested());
+    let reference = app.run_reference(g);
+    let mut n = 0;
+    for plan in app.plans() {
+        n += exec::count(g, &plan, &mut backend);
+    }
+    assert_eq!(n, reference, "{app} count");
+    backend.finish();
+    // The *final* audit also enforces the stream-free discipline: the
+    // executor must have released every stream it defined (SC-S302).
+    let report = sc_san::sanitize_engine_final(backend.engine_mut());
+    assert!(report.is_empty(), "{app}: sanitizer findings:\n{report}");
+    // Golden conservation: every stream read balances against exactly
+    // one scratchpad lookup, and frees cover at least the reads (output
+    // streams add extra frees).
+    let stats = backend.engine().stats();
+    assert_eq!(stats.reads, stats.scratchpad_hits + stats.scratchpad_misses, "{app} lookups");
+    assert!(stats.frees >= stats.reads, "{app} read/free balance");
+    assert!(stats.set_ops > 0, "{app} ran set operations");
+}
+
+#[test]
+fn sanitized_powerlaw_run_conserves_stats() {
+    assert_sanitized_run_clean(&small_powerlaw(), App::Triangle);
+}
+
+#[test]
+fn sanitized_citeseer_run_conserves_stats() {
+    assert_sanitized_run_clean(&Dataset::Citeseer.build(), App::Clique4);
+}
+
 #[test]
 fn stream_registers_all_released_after_full_run() {
     let g = small_powerlaw();

@@ -96,6 +96,25 @@ fn dataset_matrix_products_self_consistent() {
 }
 
 #[test]
+fn sanitized_gustavson_run_conserves_stats() {
+    // Golden stats-conservation pin on a tensor workload: a full
+    // Gustavson SpGEMM with the sanitizer on must finish with zero
+    // findings and balanced engine counters.
+    let a = random_matrix(20, 20, 120, 101);
+    let b = random_matrix(20, 20, 120, 102);
+    let mut backend =
+        StreamTensorBackend::with_engine(Engine::new(SparseCoreConfig::paper_one_su()));
+    assert!(backend.engine().sanitize_enabled(), "tests build with debug_assertions");
+    let run = gustavson(&a, &b, &mut backend);
+    assert!(dense_close(&run.c.to_dense(), &matmul_reference(&a, &b), 1e-9));
+    let report = sc_san::sanitize_engine(backend.engine_mut());
+    assert!(report.is_empty(), "sanitizer findings:\n{report}");
+    let stats = backend.engine().stats();
+    assert_eq!(stats.reads, stats.scratchpad_hits + stats.scratchpad_misses);
+    assert!(stats.value_ops > 0, "Gustavson runs value merges");
+}
+
+#[test]
 fn longer_rows_bigger_inner_speedup() {
     // Paper Section 6.9.1: TSOPF's long rows drive the largest speedup.
     let speedup = |rows: usize, nnz: usize| {
