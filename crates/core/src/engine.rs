@@ -29,6 +29,7 @@ use sc_cpu::Core;
 use sc_isa::{Bound, GfrSet, Key, Priority, StreamException, StreamId, Value, ValueOp, EOS};
 use sc_lint::{Diagnostic, LintCode};
 use sc_mem::{Scratchpad, StreamCacheStorage};
+use sc_probe::{AttrBin, Probe, Track};
 use std::collections::VecDeque;
 
 /// Cycle alias.
@@ -156,6 +157,9 @@ pub struct Engine {
     /// The invariant sanitizer, attached when the configuration enables
     /// it (see [`crate::sanitize`]).
     san: Option<Box<Sanitizer>>,
+    /// Observability handle (sc-probe): metrics counters, trace spans and
+    /// the cycle-attribution profile. `Probe::off()` unless attached.
+    probe: Probe,
 }
 
 /// A stream swapped out of the SMT to the virtualization memory region.
@@ -204,8 +208,71 @@ impl Engine {
             virtualize: false,
             trace: None,
             san: cfg.sanitize.then(|| Box::new(Sanitizer::new())),
+            probe: Probe::off(),
             cfg,
         }
+    }
+
+    /// Attach an observability probe. The handle is cloned into every
+    /// sub-model (core, memory hierarchy, S-Cache, scratchpad, sanitizer)
+    /// so that all of them write into one shared registry / tracer.
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.core.set_probe(probe.clone());
+        self.scache.set_probe(probe.clone());
+        self.scratchpad.set_probe(probe.clone());
+        if let Some(san) = &mut self.san {
+            san.set_probe(probe.clone());
+        }
+        self.probe = probe;
+    }
+
+    /// The attached probe (an always-valid handle; `Probe::off()` when
+    /// none was attached).
+    pub fn probe(&self) -> &Probe {
+        &self.probe
+    }
+
+    /// The cycle-attribution profile (paper Figures 9/10): every modeled
+    /// core cycle binned into SU-compare / S-Cache-refill / memory-stall /
+    /// translator / scalar-overlap. `attribution().total()` equals
+    /// [`sc_cpu::Core::cycles`] by construction; call after
+    /// [`Engine::finish`] for it to also equal [`Engine::cycles`].
+    pub fn attribution(&self) -> &sc_probe::Attribution {
+        self.core.attribution()
+    }
+
+    /// Fold the current model state into the probe's metrics registry as
+    /// gauges: cycle counts, breakdown buckets, attribution bins, cache /
+    /// scratchpad state. Live counters (the `engine.*` namespace) are
+    /// maintained incrementally and are not touched here. No-op when the
+    /// probe is disabled.
+    pub fn probe_snapshot(&self) {
+        if !self.probe.enabled() {
+            return;
+        }
+        let attr = *self.core.attribution();
+        let b = self.breakdown();
+        let core_cycles = self.core.cycles();
+        let total = self.cycles();
+        let sp_used = self.scratchpad.used_bytes();
+        let (sp_hits, sp_misses) = (self.scratchpad.hits, self.scratchpad.misses);
+        let mem = self.core.mem();
+        self.probe.with_registry(|reg| {
+            reg.gauge("core.cycles", core_cycles as f64);
+            reg.gauge("engine.total_cycles", total as f64);
+            reg.gauge("breakdown.cache", b.cache as f64);
+            reg.gauge("breakdown.mispredict", b.mispredict as f64);
+            reg.gauge("breakdown.other_compute", b.other_compute as f64);
+            reg.gauge("breakdown.intersection", b.intersection as f64);
+            for bin in AttrBin::ALL {
+                reg.gauge(&format!("attr.{}", bin.name()), attr.get(bin) as f64);
+            }
+            reg.gauge("attr.total", attr.total() as f64);
+            reg.gauge("scratchpad.used_bytes", sp_used as f64);
+            reg.gauge("scratchpad.hits", sp_hits as f64);
+            reg.gauge("scratchpad.misses", sp_misses as f64);
+            mem.snapshot_metrics(reg, "mem");
+        });
     }
 
     /// Start recording every executed stream instruction as an
@@ -453,16 +520,24 @@ impl Engine {
         // Decode/dispatch plus the operand-setup moves visible in the
         // paper's Figure 4(b) listings (start address, length, ID,
         // priority, value address move into GPRs before the instruction).
+        let t0 = self.core.cycles();
         self.core.ops(1 + if val_addr.is_some() { 5 } else { 4 });
         self.stats.reads += 1;
         self.stats.lengths.record(keys.len() as u32);
+        if self.probe.enabled() {
+            self.probe.set_now(t0);
+            self.probe.count("engine.reads", 1);
+            self.probe.observe("engine.stream_len", keys.len() as u64);
+        }
 
         // Scratchpad reuse check (Section 4.2).
         let (source, ready_at, lines_fetched) = if self.scratchpad.lookup(key_addr).is_some() {
             self.stats.scratchpad_hits += 1;
+            self.probe.count("engine.scratchpad_hits", 1);
             (StreamSource::Scratchpad, self.core.cycles() + self.cfg.scratchpad.latency, 0)
         } else {
             self.stats.scratchpad_misses += 1;
+            self.probe.count("engine.scratchpad_misses", 1);
             if priority.0 > 0 {
                 self.scratchpad.admit(key_addr, keys.len() as u64 * 4, priority.0);
             }
@@ -525,6 +600,16 @@ impl Engine {
             source,
             lines_fetched,
         });
+        if self.probe.tracing() {
+            let name = if val_addr.is_some() { "S_VREAD" } else { "S_READ" };
+            self.probe.span(
+                Track::Engine,
+                name,
+                t0,
+                self.core.cycles(),
+                &[("sid", u64::from(sid.raw())), ("len", keys.len() as u64)],
+            );
+        }
         Ok(())
     }
 
@@ -536,6 +621,13 @@ impl Engine {
     pub fn s_free(&mut self, sid: StreamId) -> Result<(), StreamException> {
         self.core.ops(1);
         self.stats.frees += 1;
+        if self.probe.enabled() {
+            self.probe.set_now(self.core.cycles());
+            self.probe.count("engine.frees", 1);
+            if self.probe.tracing() {
+                self.probe.instant(Track::Engine, "S_FREE", &[("sid", u64::from(sid.raw()))]);
+            }
+        }
         self.trace_instr(|| sc_isa::Instr::SFree { sid });
         if self.virtualize && self.spilled.remove(&sid).is_some() {
             return Ok(()); // freeing a spilled stream releases its region
@@ -574,16 +666,37 @@ impl Engine {
     pub fn s_fetch(&mut self, sid: StreamId, offset: u32) -> Result<Key, StreamException> {
         self.core.ops(1);
         self.stats.fetches += 1;
+        if self.probe.enabled() {
+            self.probe.set_now(self.core.cycles());
+            self.probe.count("engine.fetches", 1);
+            if self.probe.tracing() {
+                self.probe.instant(
+                    Track::Engine,
+                    "S_FETCH",
+                    &[("sid", u64::from(sid.raw())), ("offset", u64::from(offset))],
+                );
+            }
+        }
         self.trace_instr(|| sc_isa::Instr::SFetch { sid, offset });
         self.ensure_resident(sid, &[sid])?;
         let idx = self.smt.lookup(sid)?;
         let ready = self.smt.get(sid)?.ready_at;
+        // A fetch that blocks on an output stream is waiting for the
+        // producing SU's comparisons; blocking on a memory-sourced stream
+        // is an S-Cache refill wait.
+        let wait_bin = if self.data[idx].as_ref().is_some_and(|p| p.source == StreamSource::Output)
+        {
+            AttrBin::SuCompare
+        } else {
+            AttrBin::ScacheRefill
+        };
+        let prev = self.core.set_stall_ctx(wait_bin);
         self.core.wait_until(ready);
         let key = {
             let payload = self.data[idx].as_ref().expect("mapped stream has payload");
             payload.keys.get(offset as usize).copied()
         };
-        match key {
+        let out = match key {
             Some(k) => {
                 // Residency: a fetch outside the current S-Cache window
                 // refills from L2.
@@ -593,12 +706,15 @@ impl Engine {
                     extra = extra.max(self.core.mem_mut().load_bypassing_l1(*a).latency);
                 }
                 if extra > 0 {
+                    self.core.set_stall_ctx(AttrBin::ScacheRefill);
                     self.core.stall_memory(extra);
                 }
                 Ok(k)
             }
             None => Ok(EOS),
-        }
+        };
+        self.core.set_stall_ctx(prev);
+        out
     }
 
     /// Snapshot of a stream's keys (test/debug convenience — timing-free).
@@ -701,6 +817,20 @@ impl Engine {
         self.stats.su_busy_cycles += busy;
         self.stats.elements_streamed += timing.consumed_total();
         self.stats.set_ops += 1;
+        if self.probe.enabled() {
+            self.probe.count("engine.set_ops", 1);
+            self.probe.count("engine.su_busy_cycles", busy);
+            self.probe.count("engine.elements_streamed", timing.consumed_total());
+            if self.probe.tracing() {
+                self.probe.span(
+                    Track::Su(su),
+                    "su_op",
+                    start,
+                    done,
+                    &[("bubble", bubble), ("busy", busy), ("produced", timing.produced)],
+                );
+            }
+        }
         self.core.add_intersection_cycles(0); // bucket exists even if zero
         self.last_event = self.last_event.max(done);
         if let Some(san) = &mut self.san {
@@ -727,6 +857,8 @@ impl Engine {
         out: Option<StreamId>,
         bound: Bound,
     ) -> Result<(Option<Vec<Key>>, u64, Cycle), StreamException> {
+        let t0 = self.core.cycles();
+        self.probe.set_now(t0);
         self.core.ops(4); // dispatch + operand moves (ids, bound, dest)
         self.trace_instr(|| match (op, out) {
             (SuOp::Intersect, Some(out)) => sc_isa::Instr::SInter { a, b, out, bound },
@@ -780,12 +912,30 @@ impl Engine {
             }
             self.scache.seal_output(idx);
             self.stats.lengths.record(keys.len() as u32);
+            self.probe.observe("engine.stream_len", keys.len() as u64);
             self.data[idx] = Some(StreamPayload {
                 keys: result.expect("result computed"),
                 vals: None,
                 source: StreamSource::Output,
                 lines_fetched: 0,
             });
+        }
+        if self.probe.tracing() {
+            let name = match (op, out.is_some()) {
+                (SuOp::Intersect, true) => "S_INTER",
+                (SuOp::Intersect, false) => "S_INTER.C",
+                (SuOp::Subtract, true) => "S_SUB",
+                (SuOp::Subtract, false) => "S_SUB.C",
+                (SuOp::Merge, true) => "S_MERGE",
+                (SuOp::Merge, false) => "S_MERGE.C",
+            };
+            self.probe.span(
+                Track::Engine,
+                name,
+                t0,
+                self.core.cycles(),
+                &[("produced", produced), ("done", done)],
+            );
         }
         Ok((None, produced, done))
     }
@@ -892,8 +1042,11 @@ impl Engine {
         b: StreamId,
         op: ValueOp,
     ) -> Result<Value, StreamException> {
+        let t0 = self.core.cycles();
+        self.probe.set_now(t0);
         self.core.ops(1);
         self.stats.value_ops += 1;
+        self.probe.count("engine.value_ops", 1);
         self.trace_instr(|| sc_isa::Instr::SVInter { a, b, op });
         self.ensure_resident(a, &[a, b])?;
         self.ensure_resident(b, &[a, b])?;
@@ -975,6 +1128,18 @@ impl Engine {
         let value_cycles = matches.max(lat_sum.div_ceil(lq));
         let (_start, done) = self.schedule_su(ready, &timing, mem_rate, value_cycles);
         self.last_event = self.last_event.max(done);
+        if self.probe.enabled() {
+            self.probe.count("engine.value_loads", pairs.len() as u64 * 2);
+            if self.probe.tracing() {
+                self.probe.span(
+                    Track::Engine,
+                    "S_VINTER",
+                    t0,
+                    self.core.cycles(),
+                    &[("matches", matches), ("done", done)],
+                );
+            }
+        }
         Ok(acc)
     }
 
@@ -994,8 +1159,11 @@ impl Engine {
         b: StreamId,
         out: StreamId,
     ) -> Result<u32, StreamException> {
+        let t0 = self.core.cycles();
+        self.probe.set_now(t0);
         self.core.ops(1);
         self.stats.value_ops += 1;
+        self.probe.count("engine.value_ops", 1);
         self.trace_instr(|| sc_isa::Instr::SVMerge { scale_a, scale_b, a, b, out });
         self.ensure_resident(a, &[a, b])?;
         self.ensure_resident(b, &[a, b])?;
@@ -1034,6 +1202,7 @@ impl Engine {
             lat_sum += self.core.mem_mut().load(b_val_addr + i * 8).latency;
         }
         self.stats.value_loads += len_a + len_b;
+        self.probe.count("engine.value_loads", len_a + len_b);
         let lq = u64::from(self.cfg.core.load_queue).max(1);
         let value_cycles = timing.produced.max(lat_sum.div_ceil(lq));
         let (_start, done) = self.schedule_su(ready, &timing, mem_rate, value_cycles);
@@ -1062,6 +1231,7 @@ impl Engine {
             self.core.mem_mut().store(val_out + l * 64);
         }
         self.stats.lengths.record(produced);
+        self.probe.observe("engine.stream_len", u64::from(produced));
         self.data[idx] = Some(StreamPayload {
             keys,
             vals: Some(vals),
@@ -1069,6 +1239,15 @@ impl Engine {
             lines_fetched: 0,
         });
         self.last_event = self.last_event.max(done);
+        if self.probe.tracing() {
+            self.probe.span(
+                Track::Engine,
+                "S_VMERGE",
+                t0,
+                self.core.cycles(),
+                &[("produced", u64::from(produced)), ("done", done)],
+            );
+        }
         Ok(produced)
     }
 
@@ -1086,8 +1265,11 @@ impl Engine {
         sid: StreamId,
         source: &S,
     ) -> Result<u64, StreamException> {
+        let t0 = self.core.cycles();
+        self.probe.set_now(t0);
         self.core.ops(1); // the S_NESTINTER instruction itself
         self.stats.nested += 1;
+        self.probe.count("engine.nested", 1);
         self.trace_instr(|| sc_isa::Instr::SNestInter { sid });
         self.ensure_resident(sid, &[sid])?;
         let s_idx = self.smt.lookup(sid)?;
@@ -1103,6 +1285,10 @@ impl Engine {
         let max_inflight = (self.cfg.translation_buffer / 4).max(1);
         let mut inflight: VecDeque<Cycle> = VecDeque::with_capacity(max_inflight);
 
+        // Everything the core itself stalls on inside this loop — the
+        // stream-info loads and the translation-buffer back-pressure — is
+        // translator work (paper Section 4.6), not a generic memory stall.
+        let prev = self.core.set_stall_ctx(AttrBin::Translator);
         for &s_i in &s_keys {
             // Translator loads the stream info (vertex array + CSR offset)
             // through the load queue.
@@ -1138,6 +1324,17 @@ impl Engine {
             let (_start, done) = self.schedule_su(s_ready, &timing, mem_rate, 0);
             inflight.push_back(done);
             self.core.ops(1); // the accumulate micro-op
+            self.probe.observe("engine.stream_len", nkeys.len() as u64);
+        }
+        self.core.set_stall_ctx(prev);
+        if self.probe.tracing() {
+            self.probe.span(
+                Track::Engine,
+                "S_NESTINTER",
+                t0,
+                self.core.cycles(),
+                &[("steps", s_keys.len() as u64), ("total", total)],
+            );
         }
         Ok(total)
     }
@@ -1178,8 +1375,18 @@ impl Engine {
     /// Drain all outstanding stream work and return the total cycle count
     /// (the maximum of the core clock and the last SU/SVPU completion).
     pub fn finish(&mut self) -> Cycle {
+        let t0 = self.core.cycles();
+        // Draining means waiting for the last SU completion: the core is
+        // blocked on outstanding comparisons, not on memory.
+        let prev = self.core.set_stall_ctx(AttrBin::SuCompare);
         self.core.wait_until(self.last_event);
-        self.core.cycles()
+        self.core.set_stall_ctx(prev);
+        let t1 = self.core.cycles();
+        if self.probe.tracing() && t1 > t0 {
+            self.probe.span(Track::Engine, "drain", t0, t1, &[]);
+        }
+        self.probe.set_now(t1);
+        t1
     }
 
     /// Total cycles so far without draining (monotonic, may lag
@@ -1796,6 +2003,100 @@ mod extension_tests {
         for n in [0u32, 1, 2, 3, 4] {
             e.s_free(sid(n)).unwrap();
         }
+    }
+
+    #[test]
+    fn probe_attribution_conserves_engine_cycles() {
+        // Every modeled cycle must land in exactly one attribution bin:
+        // after finish(), the bins sum to the engine's total cycle count.
+        let mut e = Engine::new(SparseCoreConfig::tiny());
+        let a: Vec<Key> = (0..300).collect();
+        let b: Vec<Key> = (100..400).collect();
+        e.s_read(0x10_0000, &a, sid(0), Priority(2)).unwrap();
+        e.s_read(0x20_0000, &b, sid(1), Priority(0)).unwrap();
+        e.s_inter(sid(0), sid(1), sid(2), Bound::none()).unwrap();
+        e.s_fetch(sid(2), 0).unwrap();
+        let lists = vec![vec![1, 2], vec![0, 2], vec![0, 1]];
+        let src = SliceNestedSource::new(lists, 0x40_0000);
+        e.s_read(0x30_0000, &[0, 1, 2], sid(3), Priority(0)).unwrap();
+        e.s_nestinter(sid(3), &src).unwrap();
+        let total = e.finish();
+        assert_eq!(e.attribution().total(), total, "attribution bins must sum to total cycles");
+        assert_eq!(total, e.cycles());
+        // The workload exercised SUs and memory, so those bins are live.
+        assert!(e.attribution().get(sc_probe::AttrBin::ScalarOverlap) > 0);
+    }
+
+    #[test]
+    fn probe_counters_match_engine_stats() {
+        // The probe's live `engine.*` counters are a second, independent
+        // accounting of the EngineStats fields; they must agree exactly.
+        let mut e = Engine::new(SparseCoreConfig::tiny());
+        e.set_probe(Probe::new(sc_probe::ProbeLevel::Metrics));
+        let a: Vec<Key> = (0..200).collect();
+        e.s_read(0x10_0000, &a, sid(0), Priority(5)).unwrap();
+        e.s_read(0x20_0000, &a[50..150], sid(1), Priority(0)).unwrap();
+        e.s_inter(sid(0), sid(1), sid(2), Bound::none()).unwrap();
+        e.s_vread(0x30_0000, &[1, 3, 7], 0x9000, &[1.0, 2.0, 3.0], sid(3), Priority(0)).unwrap();
+        e.s_vread(0x31_0000, &[3, 7, 9], 0xA000, &[4.0, 5.0, 6.0], sid(4), Priority(0)).unwrap();
+        e.s_vinter(sid(3), sid(4), ValueOp::Mac).unwrap();
+        e.s_fetch(sid(2), 0).unwrap();
+        e.s_free(sid(0)).unwrap();
+        e.finish();
+        let p = e.probe().clone();
+        let s = e.stats();
+        assert_eq!(p.counter("engine.reads"), s.reads);
+        assert_eq!(p.counter("engine.frees"), s.frees);
+        assert_eq!(p.counter("engine.set_ops"), s.set_ops);
+        assert_eq!(p.counter("engine.fetches"), s.fetches);
+        assert_eq!(p.counter("engine.value_ops"), s.value_ops);
+        assert_eq!(p.counter("engine.value_loads"), s.value_loads);
+        assert_eq!(p.counter("engine.su_busy_cycles"), s.su_busy_cycles);
+        assert_eq!(p.counter("engine.elements_streamed"), s.elements_streamed);
+        assert_eq!(p.counter("engine.scratchpad_hits"), s.scratchpad_hits);
+        assert_eq!(p.counter("engine.scratchpad_misses"), s.scratchpad_misses);
+    }
+
+    #[test]
+    fn probe_trace_validates_and_snapshot_exports() {
+        let mut e = Engine::new(SparseCoreConfig::tiny());
+        e.set_probe(Probe::new(sc_probe::ProbeLevel::Trace));
+        let a: Vec<Key> = (0..100).collect();
+        e.s_read(0x10_0000, &a, sid(0), Priority(0)).unwrap();
+        e.s_read(0x20_0000, &a, sid(1), Priority(0)).unwrap();
+        e.s_inter(sid(0), sid(1), sid(2), Bound::none()).unwrap();
+        e.s_free(sid(0)).unwrap();
+        e.finish();
+        e.probe_snapshot();
+        let trace = e.probe().trace_json(0);
+        sc_probe::check::validate_trace(&trace).expect("engine trace must validate");
+        let names = sc_probe::check::trace_event_names(&trace).unwrap();
+        for expected in ["S_READ", "S_INTER", "S_FREE", "su_op", "slot_bind"] {
+            assert!(names.iter().any(|n| n == expected), "missing event {expected}: {names:?}");
+        }
+        let metrics = e.probe().metrics_json();
+        sc_probe::check::validate_metrics(&metrics).expect("metrics must validate");
+        let attr_total =
+            sc_probe::check::metrics_value(&metrics, "attr.total").expect("attr.total present");
+        assert_eq!(attr_total as u64, e.attribution().total());
+    }
+
+    #[test]
+    fn sanitizer_violations_surface_as_probe_events() {
+        let mut cfg = SparseCoreConfig::tiny();
+        cfg.sanitize = true;
+        let mut e = Engine::new(cfg);
+        e.set_probe(Probe::new(sc_probe::ProbeLevel::Trace));
+        e.s_read(0x10_0000, &[1, 2, 3], sid(0), Priority(0)).unwrap();
+        e.sabotage_drop_payload(sid(0));
+        let report = e.sanitizer_report();
+        assert!(!report.is_empty());
+        assert!(e.probe().counter("sanitizer.violations") > 0);
+        let names = sc_probe::check::trace_event_names(&e.probe().trace_json(0)).unwrap();
+        assert!(
+            names.iter().any(|n| n.starts_with("SC-S3")),
+            "expected an SC-S3xx instant, got {names:?}"
+        );
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 use sc_lint::{Diagnostic, LintCode};
 use sc_mem::AuditKind;
+use sc_probe::{Probe, Track};
 
 /// Map a memory-substrate audit class onto its `SC-S3xx` lint code.
 pub fn audit_code(kind: AuditKind) -> LintCode {
@@ -55,6 +56,10 @@ pub(crate) struct Sanitizer {
     /// Mutation hook: make `rollback` skip the trace restore so the
     /// rollback-drift checker has something to catch.
     pub(crate) skip_trace_restore: bool,
+    /// Observability handle: every recorded violation is mirrored as a
+    /// counter and (when tracing) a `Track::Sanitizer` instant event
+    /// named by its `SC-S3xx` code.
+    probe: Probe,
 }
 
 impl Sanitizer {
@@ -62,8 +67,20 @@ impl Sanitizer {
         Sanitizer::default()
     }
 
-    /// Record a violation directly.
+    /// Attach a probe handle for violation counters / trace instants.
+    pub(crate) fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
+    }
+
+    /// Record a violation directly. This is the single choke point for
+    /// every `SC-S3xx` finding, so the probe mirroring lives here.
     pub(crate) fn record(&mut self, diag: Diagnostic) {
+        if self.probe.enabled() {
+            self.probe.count("sanitizer.violations", 1);
+            if self.probe.tracing() {
+                self.probe.instant(Track::Sanitizer, diag.code.as_str(), &[]);
+            }
+        }
         self.violations.push(diag);
     }
 
@@ -114,7 +131,7 @@ impl Sanitizer {
     pub(crate) fn check_write(&mut self, lo: u64, hi: u64, what: &str) {
         for r in &self.read_only {
             if lo < r.hi && r.lo < hi {
-                self.violations.push(
+                self.record(
                     Diagnostic::sanitizer(
                         LintCode::SanReadOnlyWrite,
                         format!(

@@ -1,13 +1,22 @@
 //! Engine-level statistics: instruction counts, SU utilization, and the
 //! stream-length distribution of paper Figure 14.
 
+use std::cell::{Cell, RefCell};
+
 /// Histogram of stream lengths observed by the engine (each `S_READ` /
 /// `S_VREAD` operand and each produced output stream contributes one
 /// sample).
+///
+/// The read paths (`cdf_at`, `cdf_series`, `quantile`) take `&self`: the
+/// lazy sort they rely on lives behind interior mutability, so snapshot
+/// and reporting code can query a histogram it only has shared access to
+/// (e.g. through [`crate::Engine::stats`]). The type is `Send` but not
+/// `Sync` — each engine, and therefore each histogram, belongs to one
+/// simulation thread.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct LengthHistogram {
-    samples: Vec<u32>,
-    sorted: bool,
+    samples: RefCell<Vec<u32>>,
+    sorted: Cell<bool>,
 }
 
 impl LengthHistogram {
@@ -18,53 +27,56 @@ impl LengthHistogram {
 
     /// Record one stream length.
     pub fn record(&mut self, len: u32) {
-        self.samples.push(len);
-        self.sorted = false;
+        self.samples.get_mut().push(len);
+        self.sorted.set(false);
     }
 
     /// Number of samples.
     pub fn count(&self) -> usize {
-        self.samples.len()
+        self.samples.borrow().len()
     }
 
     /// Mean length; 0.0 when empty.
     pub fn mean(&self) -> f64 {
-        if self.samples.is_empty() {
+        let samples = self.samples.borrow();
+        if samples.is_empty() {
             0.0
         } else {
-            self.samples.iter().map(|&l| l as f64).sum::<f64>() / self.samples.len() as f64
+            samples.iter().map(|&l| l as f64).sum::<f64>() / samples.len() as f64
         }
     }
 
-    fn ensure_sorted(&mut self) {
-        if !self.sorted {
-            self.samples.sort_unstable();
-            self.sorted = true;
+    fn ensure_sorted(&self) {
+        if !self.sorted.get() {
+            self.samples.borrow_mut().sort_unstable();
+            self.sorted.set(true);
         }
     }
 
     /// Cumulative distribution: fraction of samples with length <= `len`.
-    pub fn cdf_at(&mut self, len: u32) -> f64 {
-        if self.samples.is_empty() {
+    pub fn cdf_at(&self, len: u32) -> f64 {
+        self.ensure_sorted();
+        let samples = self.samples.borrow();
+        if samples.is_empty() {
             return 0.0;
         }
-        self.ensure_sorted();
-        self.samples.partition_point(|&l| l <= len) as f64 / self.samples.len() as f64
+        samples.partition_point(|&l| l <= len) as f64 / samples.len() as f64
     }
 
     /// The CDF sampled at the given points (the Figure 14 series).
-    pub fn cdf_series(&mut self, points: &[u32]) -> Vec<(u32, f64)> {
+    pub fn cdf_series(&self, points: &[u32]) -> Vec<(u32, f64)> {
         points.iter().map(|&p| (p, self.cdf_at(p))).collect()
     }
 
     /// The `q`-quantile of the lengths (q in [0, 1]); `None` when empty.
-    pub fn quantile(&mut self, q: f64) -> Option<u32> {
-        if self.samples.is_empty() {
+    pub fn quantile(&self, q: f64) -> Option<u32> {
+        self.ensure_sorted();
+        let samples = self.samples.borrow();
+        if samples.is_empty() {
             return None;
         }
-        self.ensure_sorted();
-        let idx = ((self.samples.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-        Some(self.samples[idx])
+        let idx = ((samples.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(samples[idx])
     }
 }
 

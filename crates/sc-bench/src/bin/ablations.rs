@@ -14,7 +14,7 @@
 //! Usage: `cargo run --release -p sc-bench --bin ablations
 //! [--datasets B,E,F,W]`
 
-use sc_bench::{dataset_filter, init_sanitize, render_table, run_sparsecore, stride_for};
+use sc_bench::{render_table, run_sparsecore_probed, stride_for, BenchCli};
 use sc_gpm::exec::{self, SetBackend, StreamBackend};
 use sc_gpm::plan::Induced;
 use sc_gpm::{iep, App, Pattern, Plan};
@@ -22,11 +22,14 @@ use sc_graph::Dataset;
 use sparsecore::{Engine, SparseCoreConfig};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    init_sanitize(&args);
-    let datasets = dataset_filter(&args).unwrap_or_else(|| {
-        vec![Dataset::BitcoinAlpha, Dataset::EmailEuCore, Dataset::Haverford76, Dataset::WikiVote]
-    });
+    let cli = BenchCli::parse();
+    let datasets = cli.datasets(&[
+        Dataset::BitcoinAlpha,
+        Dataset::EmailEuCore,
+        Dataset::Haverford76,
+        Dataset::WikiVote,
+    ]);
+    let probe = cli.probe();
 
     println!("# Ablation 1: bounded intersection (Figure 2(b)) vs post-filtering (2(a))\n");
     let mut rows = Vec::new();
@@ -69,8 +72,8 @@ fn main() {
         for &d in &datasets {
             let g = d.build();
             let stride = stride_for(without, d);
-            let a = run_sparsecore(&g, with, SparseCoreConfig::paper(), stride);
-            let b = run_sparsecore(&g, without, SparseCoreConfig::paper(), stride);
+            let a = run_sparsecore_probed(&g, with, SparseCoreConfig::paper(), stride, &probe);
+            let b = run_sparsecore_probed(&g, without, SparseCoreConfig::paper(), stride, &probe);
             assert_eq!(a.count, b.count);
             rows.push(vec![
                 format!("{with}/{}", d.tag()),
@@ -94,10 +97,11 @@ fn main() {
     for &d in &datasets {
         let g = d.build();
         let stride = stride_for(App::Triangle, d);
-        let with = run_sparsecore(&g, App::Triangle, SparseCoreConfig::paper(), stride);
+        let with =
+            run_sparsecore_probed(&g, App::Triangle, SparseCoreConfig::paper(), stride, &probe);
         let mut no_sp = SparseCoreConfig::paper();
         no_sp.scratchpad.size_bytes = 0;
-        let without = run_sparsecore(&g, App::Triangle, no_sp, stride);
+        let without = run_sparsecore_probed(&g, App::Triangle, no_sp, stride, &probe);
         assert_eq!(with.count, without.count);
         rows.push(vec![
             d.tag().to_string(),
@@ -131,4 +135,5 @@ fn main() {
     );
     println!("(the GraphPi-style optimization lands as pure software — the");
     println!(" flexibility FlexMiner's fixed exploration engine cannot offer)");
+    cli.write_probe_outputs();
 }

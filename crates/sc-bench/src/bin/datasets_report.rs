@@ -6,14 +6,13 @@
 //!
 //! Usage: `cargo run --release -p sc-bench --bin datasets_report [--sanitize]`
 
-use sc_bench::{init_sanitize, render_table};
+use sc_bench::{render_table, BenchCli};
 use sc_gpm::App;
 use sc_graph::Dataset;
 use sc_tensor::{MatrixDataset, TensorDataset};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    init_sanitize(&args);
+    let cli = BenchCli::parse();
     println!("# Table 3: GPM applications\n");
     let rows: Vec<Vec<String>> = App::FIG8
         .iter()
@@ -132,4 +131,5 @@ fn main() {
             &rows
         )
     );
+    cli.write_probe_outputs();
 }

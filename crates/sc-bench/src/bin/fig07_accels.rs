@@ -11,25 +11,23 @@
 //! [--datasets E,F,W] [--gramer]`
 
 use sc_accel::{gramer, triejax, FlexMinerModel};
-use sc_bench::{dataset_filter, gmean, init_sanitize, render_table, run_sparsecore, stride_for};
+use sc_bench::{gmean, render_table, run_sparsecore_probed, stride_for, BenchCli};
 use sc_gpm::exec::{self, SetBackend};
 use sc_gpm::App;
 use sc_graph::Dataset;
 use sparsecore::SparseCoreConfig;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    init_sanitize(&args);
-    let datasets = dataset_filter(&args).unwrap_or_else(|| {
-        vec![
-            Dataset::EmailEuCore,
-            Dataset::Haverford76,
-            Dataset::WikiVote,
-            Dataset::Mico,
-            Dataset::Youtube,
-        ]
-    });
-    let with_gramer = args.iter().any(|a| a == "--gramer");
+    let cli = BenchCli::parse();
+    let datasets = cli.datasets(&[
+        Dataset::EmailEuCore,
+        Dataset::Haverford76,
+        Dataset::WikiVote,
+        Dataset::Mico,
+        Dataset::Youtube,
+    ]);
+    let with_gramer = cli.flag("--gramer");
+    let probe = cli.probe();
 
     println!("# Figure 7: SparseCore (1 SU) speedup over FlexMiner (1 PE)\n");
     let header: Vec<String> = std::iter::once("app".to_string())
@@ -44,7 +42,8 @@ fn main() {
         for &d in &datasets {
             let g = d.build();
             let stride = stride_for(app, d);
-            let sc = run_sparsecore(&g, app, SparseCoreConfig::paper_one_su(), stride);
+            let sc =
+                run_sparsecore_probed(&g, app, SparseCoreConfig::paper_one_su(), stride, &probe);
             let mut fm = FlexMinerModel::new(&g);
             let mut fm_count = 0;
             for plan in app.plans() {
@@ -80,13 +79,14 @@ fn main() {
         for &d in &datasets {
             let g = d.build();
             let stride = stride_for(app, d).max(4); // TrieJax enumerates k! per clique
-            let sc = run_sparsecore(&g, app, SparseCoreConfig::paper_one_su(), stride);
+            let sc =
+                run_sparsecore_probed(&g, app, SparseCoreConfig::paper_one_su(), stride, &probe);
             // TrieJax model runs unsampled per start vertex internally;
             // subsample by running on the same stride via cycle scaling.
             let tj = triejax::count_cliques(&g, k);
             assert_eq!(
                 tj.embeddings,
-                run_sparsecore(&g, app, SparseCoreConfig::paper_one_su(), 1).count
+                run_sparsecore_probed(&g, app, SparseCoreConfig::paper_one_su(), 1, &probe).count
                     * triejax::factorial(k),
                 "{app} on {d}: TrieJax embeddings should be k! x cliques"
             );
@@ -114,7 +114,13 @@ fn main() {
         let mut rows = Vec::new();
         for &d in &datasets {
             let g = d.build();
-            let sc = run_sparsecore(&g, App::Triangle, SparseCoreConfig::paper_one_su(), 1);
+            let sc = run_sparsecore_probed(
+                &g,
+                App::Triangle,
+                SparseCoreConfig::paper_one_su(),
+                1,
+                &probe,
+            );
             let gr = gramer::mine_clique(&g, 3);
             let speedup = gr.cycles as f64 / sc.cycles.max(1) as f64;
             rows.push(vec![
@@ -129,4 +135,5 @@ fn main() {
         );
         println!("(paper: avg 40.1x, up to 181.8x)");
     }
+    cli.write_probe_outputs();
 }

@@ -7,11 +7,9 @@
 //! graphs, smaller for FSM.
 //!
 //! Usage: `cargo run --release -p sc-bench --bin fig08_cpu_speedup
-//! [--datasets C,E,W] [--skip-fsm]`
+//! [--datasets C,E,W] [--skip-fsm] [--trace t.json] [--metrics m.json]`
 
-use sc_bench::{
-    dataset_filter, gmean, init_sanitize, render_table, run_cpu, run_sparsecore, stride_for,
-};
+use sc_bench::{gmean, render_table, run_cpu, run_sparsecore_probed, stride_for, BenchCli};
 use sc_gpm::exec::SetBackend;
 use sc_gpm::fsm::{assign_labels, run_fsm};
 use sc_gpm::{App, ScalarBackend, StreamBackend};
@@ -19,10 +17,10 @@ use sc_graph::Dataset;
 use sparsecore::{Engine, SparseCoreConfig};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    init_sanitize(&args);
-    let datasets = dataset_filter(&args).unwrap_or_else(|| Dataset::ALL.to_vec());
-    let skip_fsm = args.iter().any(|a| a == "--skip-fsm");
+    let cli = BenchCli::parse();
+    let datasets = cli.datasets(&Dataset::ALL);
+    let skip_fsm = cli.flag("--skip-fsm");
+    let probe = cli.probe();
 
     println!("# Figure 8: SparseCore (4 SUs) speedup over CPU baseline\n");
     let header: Vec<String> = std::iter::once("app".to_string())
@@ -39,7 +37,7 @@ fn main() {
             let g = d.build();
             let stride = stride_for(app, d);
             let cpu = run_cpu(&g, app, stride);
-            let sc = run_sparsecore(&g, app, SparseCoreConfig::paper(), stride);
+            let sc = run_sparsecore_probed(&g, app, SparseCoreConfig::paper(), stride, &probe);
             assert_eq!(cpu.count, sc.count, "count mismatch for {app} on {d} (stride {stride})");
             let speedup = cpu.cycles as f64 / sc.cycles.max(1) as f64;
             speedups.push(speedup);
@@ -70,8 +68,9 @@ fn main() {
         for threshold in [1000u64, 2000] {
             let mut cpu_b = ScalarBackend::new(&g);
             let cpu = run_fsm(&g, &labels, threshold, &mut cpu_b);
-            let mut sc_b =
-                StreamBackend::with_engine(&g, Engine::new(SparseCoreConfig::paper()), true);
+            let mut engine = Engine::new(SparseCoreConfig::paper());
+            engine.set_probe(probe.clone());
+            let mut sc_b = StreamBackend::with_engine(&g, engine, true);
             let sc = run_fsm(&g, &labels, threshold, &mut sc_b);
             assert_eq!(cpu.frequent, sc.frequent, "FSM result mismatch");
             let _ = (cpu_b.finish(), sc_b.finish());
@@ -98,4 +97,5 @@ fn main() {
         );
         println!("(paper: FSM gains are the smallest — support computation dominates)");
     }
+    cli.write_probe_outputs();
 }

@@ -1,34 +1,39 @@
 //! Figures 9 and 10: execution-cycle breakdowns for the CPU baseline and
 //! SparseCore.
 //!
-//! Buckets match the paper's: Cache (memory stall), Mispred. (branch
-//! misprediction penalty), Other computation, Intersection. Expected
-//! shape: mispredict dominates the CPU's intersection-heavy apps and
-//! nearly vanishes on SparseCore, whose cycles shift toward the
-//! Intersection (SU-busy) and Other buckets.
+//! Figure 9 uses the scalar core's model buckets (Cache, Mispred.,
+//! Other, Intersection). Figure 10 reports from `sc-probe`'s live
+//! cycle-attribution profiler: every cycle the stream engine's clock
+//! advances is binned at the `Core::advance` choke point into
+//! {SU compare, S-Cache refill, memory stall, translator, scalar
+//! overlap}, so the bins sum to the total modeled cycles *by
+//! construction* — asserted per run below, and covered by
+//! `sparsecore`'s `probe_attribution_conserves_engine_cycles` test.
+//!
+//! Expected shape (paper): mispredict dominates the CPU's
+//! intersection-heavy apps and nearly vanishes on SparseCore, whose
+//! cycles shift toward SU compare and scalar-overlap work.
 //!
 //! Usage: `cargo run --release -p sc-bench --bin fig09_10_breakdown
-//! [--datasets C,E,W]`
+//! [--datasets C,E,W] [--trace t.json] [--metrics m.json]`
 
-use sc_bench::{dataset_filter, init_sanitize, render_table, stride_for};
+use sc_bench::{render_table, stride_for, BenchCli};
 use sc_gpm::exec::{self, ScalarBackend, SetBackend, StreamBackend};
 use sc_gpm::App;
 use sc_graph::Dataset;
+use sc_probe::AttrBin;
 use sparsecore::{Engine, SparseCoreConfig};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    init_sanitize(&args);
-    let datasets = dataset_filter(&args).unwrap_or_else(|| {
-        vec![
-            Dataset::Gnutella08,
-            Dataset::Citeseer,
-            Dataset::BitcoinAlpha,
-            Dataset::EmailEuCore,
-            Dataset::Haverford76,
-            Dataset::WikiVote,
-        ]
-    });
+    let cli = BenchCli::parse();
+    let datasets = cli.datasets(&[
+        Dataset::Gnutella08,
+        Dataset::Citeseer,
+        Dataset::BitcoinAlpha,
+        Dataset::EmailEuCore,
+        Dataset::Haverford76,
+        Dataset::WikiVote,
+    ]);
     let apps = [
         App::ThreeChain,
         App::ThreeMotif,
@@ -39,6 +44,7 @@ fn main() {
         App::TailedTriangle,
     ];
 
+    println!("# Figure 9: CPU baseline cycle breakdown\n");
     let header = vec![
         "app/graph".to_string(),
         "cache%".to_string(),
@@ -46,8 +52,6 @@ fn main() {
         "other%".to_string(),
         "intersect%".to_string(),
     ];
-
-    println!("# Figure 9: CPU baseline cycle breakdown\n");
     let mut rows = Vec::new();
     for app in apps {
         for &d in &datasets {
@@ -70,32 +74,41 @@ fn main() {
     }
     println!("{}", render_table(&header, &rows));
 
-    println!("\n# Figure 10: SparseCore cycle breakdown\n");
+    println!("\n# Figure 10: SparseCore cycle attribution (sc-probe, five bins)\n");
+    let header: Vec<String> = std::iter::once("app/graph".to_string())
+        .chain(AttrBin::ALL.iter().map(|bin| format!("{}%", bin.name())))
+        .chain(["cycles".to_string()])
+        .collect();
     let mut rows = Vec::new();
     for app in apps {
         for &d in &datasets {
             let g = d.build();
             let stride = stride_for(app, d);
-            let mut b = StreamBackend::with_engine(
-                &g,
-                Engine::new(SparseCoreConfig::paper()),
-                app.uses_nested(),
-            );
+            let mut engine = Engine::new(SparseCoreConfig::paper());
+            engine.set_probe(cli.probe());
+            let mut b = StreamBackend::with_engine(&g, engine, app.uses_nested());
             for plan in app.plans() {
                 exec::count_sampled(&g, &plan, &mut b, stride);
             }
-            b.finish();
-            let [c, m, o, i] = b.engine().breakdown().fractions();
-            rows.push(vec![
-                format!("{app}/{}", d.tag()),
-                format!("{:.1}", c * 100.0),
-                format!("{:.1}", m * 100.0),
-                format!("{:.1}", o * 100.0),
-                format!("{:.1}", i * 100.0),
-            ]);
+            let cycles = b.finish();
+            let attr = *b.engine().attribution();
+            assert_eq!(
+                attr.total(),
+                cycles,
+                "attribution must conserve modeled cycles ({app}/{})",
+                d.tag()
+            );
+            b.engine().probe_snapshot();
+            let fr = attr.fractions();
+            let mut row = vec![format!("{app}/{}", d.tag())];
+            row.extend(fr.iter().map(|f| format!("{:.1}", f * 100.0)));
+            row.push(cycles.to_string());
+            rows.push(row);
         }
     }
     println!("{}", render_table(&header, &rows));
     println!("\n(paper: CPU mispredict share is large in the set-operation apps;");
-    println!(" SparseCore shifts cycles into the Intersection/Other buckets)");
+    println!(" SparseCore shifts cycles into the SU-compare/scalar-overlap bins.");
+    println!(" Each row's five bins sum to its total modeled cycles — asserted.)");
+    cli.write_probe_outputs();
 }

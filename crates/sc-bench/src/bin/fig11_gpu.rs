@@ -9,17 +9,20 @@
 //! [--datasets B,E,F,W]`
 
 use sc_accel::gpu::{estimate, GpuConfig};
-use sc_bench::{dataset_filter, init_sanitize, render_table, run_sparsecore, stride_for};
+use sc_bench::{render_table, run_sparsecore_probed, stride_for, BenchCli};
 use sc_gpm::App;
 use sc_graph::Dataset;
 use sparsecore::SparseCoreConfig;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    init_sanitize(&args);
-    let datasets = dataset_filter(&args).unwrap_or_else(|| {
-        vec![Dataset::BitcoinAlpha, Dataset::EmailEuCore, Dataset::Haverford76, Dataset::WikiVote]
-    });
+    let cli = BenchCli::parse();
+    let datasets = cli.datasets(&[
+        Dataset::BitcoinAlpha,
+        Dataset::EmailEuCore,
+        Dataset::Haverford76,
+        Dataset::WikiVote,
+    ]);
+    let probe = cli.probe();
     let apps = [
         App::Triangle,
         App::Clique4,
@@ -43,7 +46,7 @@ fn main() {
         for &d in &datasets {
             let g = d.build();
             let stride = stride_for(app, d);
-            let sc = run_sparsecore(&g, app, SparseCoreConfig::paper(), stride);
+            let sc = run_sparsecore_probed(&g, app, SparseCoreConfig::paper(), stride, &probe);
             let gpu_with = estimate(&g, app, GpuConfig::k40m(), true);
             let gpu_without = estimate(&g, app, GpuConfig::k40m(), false);
             rows.push(vec![
@@ -59,4 +62,5 @@ fn main() {
     println!("{}", render_table(&header, &rows));
     println!("\n(paper: SparseCore outperforms both GPU variants significantly;");
     println!(" symmetry breaking helps the GPU too)");
+    cli.write_probe_outputs();
 }

@@ -7,17 +7,20 @@
 //! Usage: `cargo run --release -p sc-bench --bin fig12_sus
 //! [--datasets B,E,F,W]`
 
-use sc_bench::{dataset_filter, init_sanitize, render_table, run_sparsecore, stride_for};
+use sc_bench::{render_table, run_sparsecore_probed, stride_for, BenchCli};
 use sc_gpm::App;
 use sc_graph::Dataset;
 use sparsecore::SparseCoreConfig;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    init_sanitize(&args);
-    let datasets = dataset_filter(&args).unwrap_or_else(|| {
-        vec![Dataset::BitcoinAlpha, Dataset::EmailEuCore, Dataset::Haverford76, Dataset::WikiVote]
-    });
+    let cli = BenchCli::parse();
+    let datasets = cli.datasets(&[
+        Dataset::BitcoinAlpha,
+        Dataset::EmailEuCore,
+        Dataset::Haverford76,
+        Dataset::WikiVote,
+    ]);
+    let probe = cli.probe();
     let sus = [1usize, 2, 4, 8, 16];
 
     println!("# Figure 12: speedup vs 1 SU as the number of SUs grows\n");
@@ -29,10 +32,12 @@ fn main() {
         for &d in &datasets {
             let g = d.build();
             let stride = stride_for(app, d);
-            let base = run_sparsecore(&g, app, SparseCoreConfig::with_sus(1), stride);
+            let base =
+                run_sparsecore_probed(&g, app, SparseCoreConfig::with_sus(1), stride, &probe);
             let mut row = vec![format!("{app}/{}", d.tag())];
             for &n in &sus {
-                let m = run_sparsecore(&g, app, SparseCoreConfig::with_sus(n), stride);
+                let m =
+                    run_sparsecore_probed(&g, app, SparseCoreConfig::with_sus(n), stride, &probe);
                 assert_eq!(m.count, base.count);
                 row.push(format!("{:.2}", base.cycles as f64 / m.cycles.max(1) as f64));
             }
@@ -41,4 +46,5 @@ fn main() {
     }
     println!("{}", render_table(&header, &rows));
     println!("\n(paper: improvements up to 4 SUs, then significantly less benefit)");
+    cli.write_probe_outputs();
 }

@@ -8,17 +8,20 @@
 //! Usage: `cargo run --release -p sc-bench --bin fig13_bandwidth
 //! [--datasets B,E,F,W]`
 
-use sc_bench::{dataset_filter, init_sanitize, render_table, run_sparsecore, stride_for};
+use sc_bench::{render_table, run_sparsecore_probed, stride_for, BenchCli};
 use sc_gpm::App;
 use sc_graph::Dataset;
 use sparsecore::SparseCoreConfig;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    init_sanitize(&args);
-    let datasets = dataset_filter(&args).unwrap_or_else(|| {
-        vec![Dataset::BitcoinAlpha, Dataset::EmailEuCore, Dataset::Haverford76, Dataset::WikiVote]
-    });
+    let cli = BenchCli::parse();
+    let datasets = cli.datasets(&[
+        Dataset::BitcoinAlpha,
+        Dataset::EmailEuCore,
+        Dataset::Haverford76,
+        Dataset::WikiVote,
+    ]);
+    let probe = cli.probe();
     let bws = [2u64, 4, 8, 16, 32, 64];
 
     println!("# Figure 13: speedup vs 2 elements/cycle as bandwidth grows\n");
@@ -30,10 +33,17 @@ fn main() {
         for &d in &datasets {
             let g = d.build();
             let stride = stride_for(app, d);
-            let base = run_sparsecore(&g, app, SparseCoreConfig::with_bandwidth(2), stride);
+            let base =
+                run_sparsecore_probed(&g, app, SparseCoreConfig::with_bandwidth(2), stride, &probe);
             let mut row = vec![format!("{app}/{}", d.tag())];
             for &bw in &bws {
-                let m = run_sparsecore(&g, app, SparseCoreConfig::with_bandwidth(bw), stride);
+                let m = run_sparsecore_probed(
+                    &g,
+                    app,
+                    SparseCoreConfig::with_bandwidth(bw),
+                    stride,
+                    &probe,
+                );
                 assert_eq!(m.count, base.count);
                 row.push(format!("{:.2}", base.cycles as f64 / m.cycles.max(1) as f64));
             }
@@ -43,4 +53,5 @@ fn main() {
     println!("{}", render_table(&header, &rows));
     println!("\n(paper: diminishing returns beyond ~32 elements/cycle;");
     println!(" nested-instruction apps T/4C/5C benefit most)");
+    cli.write_probe_outputs();
 }

@@ -6,16 +6,17 @@
 //! operands are prior intersection results); larger-max-degree datasets
 //! have longer tails.
 //!
-//! Usage: `cargo run --release -p sc-bench --bin fig14_lengths [--sanitize]`
+//! Usage: `cargo run --release -p sc-bench --bin fig14_lengths
+//! [--sanitize] [--trace t.json] [--metrics m.json]`
 
-use sc_bench::{init_sanitize, render_table, run_sparsecore_backend, stride_for};
+use sc_bench::{render_table, run_sparsecore_backend, stride_for, BenchCli};
 use sc_gpm::App;
 use sc_graph::Dataset;
 use sparsecore::SparseCoreConfig;
 
 const POINTS: [u32; 9] = [0, 5, 10, 25, 50, 100, 200, 300, 500];
 
-fn cdf_row(label: String, mut backend_stats: sparsecore::LengthHistogram) -> Vec<String> {
+fn cdf_row(label: String, backend_stats: &sparsecore::LengthHistogram) -> Vec<String> {
     let mut row = vec![label];
     for p in POINTS {
         row.push(format!("{:.2}", backend_stats.cdf_at(p)));
@@ -25,8 +26,7 @@ fn cdf_row(label: String, mut backend_stats: sparsecore::LengthHistogram) -> Vec
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    init_sanitize(&args);
+    let cli = BenchCli::parse();
     let header: Vec<String> = std::iter::once("series".to_string())
         .chain(POINTS.iter().map(|p| format!("<={p}")))
         .chain(["mean".to_string()])
@@ -45,8 +45,9 @@ fn main() {
     let mut rows = Vec::new();
     for app in apps {
         let stride = stride_for(app, Dataset::EmailEuCore);
-        let (_, backend) = run_sparsecore_backend(&g, app, SparseCoreConfig::paper(), stride);
-        rows.push(cdf_row(app.tag().to_string(), backend.engine().stats().lengths.clone()));
+        let (_, backend) =
+            run_sparsecore_backend(&g, app, SparseCoreConfig::paper(), stride, &cli.probe());
+        rows.push(cdf_row(app.tag().to_string(), &backend.engine().stats().lengths));
     }
     println!("{}", render_table(&header, &rows));
 
@@ -55,10 +56,16 @@ fn main() {
     for d in Dataset::ALL {
         let g = d.build();
         let stride = stride_for(App::Triangle, d);
-        let (_, backend) =
-            run_sparsecore_backend(&g, App::Triangle, SparseCoreConfig::paper(), stride);
-        rows.push(cdf_row(d.tag().to_string(), backend.engine().stats().lengths.clone()));
+        let (_, backend) = run_sparsecore_backend(
+            &g,
+            App::Triangle,
+            SparseCoreConfig::paper(),
+            stride,
+            &cli.probe(),
+        );
+        rows.push(cdf_row(d.tag().to_string(), &backend.engine().stats().lengths));
     }
     println!("{}", render_table(&header, &rows));
     println!("\n(paper: clique apps skew short; high-max-degree graphs have long tails)");
+    cli.write_probe_outputs();
 }

@@ -9,7 +9,7 @@
 //! Usage: `cargo run --release -p sc-bench --bin fig15_tensor
 //! [--matrices C,E,F] [--skip-tensors]`
 
-use sc_bench::{gmean, init_sanitize, render_table};
+use sc_bench::{gmean, render_table, BenchCli};
 use sc_kernels::{
     gustavson_sampled, inner_product, outer_product_sampled, ttm_sampled, ttv_sampled,
     InnerOptions, ScalarTensorBackend, StreamTensorBackend,
@@ -51,11 +51,15 @@ fn merge_stride(m: MatrixDataset) -> usize {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    init_sanitize(&args);
-    let matrices = matrix_filter(&args);
-    let skip_tensors = args.iter().any(|a| a == "--skip-tensors");
-    let one_su = SparseCoreConfig::paper_one_su;
+    let cli = BenchCli::parse();
+    let matrices = matrix_filter(cli.args());
+    let skip_tensors = cli.flag("--skip-tensors");
+    let probe = cli.probe();
+    let mk_engine = || {
+        let mut e = Engine::new(SparseCoreConfig::paper_one_su());
+        e.set_probe(probe.clone());
+        e
+    };
 
     println!("# Figure 15(a): spmspm A*A speedup over CPU, per dataflow\n");
     let header = vec![
@@ -72,12 +76,8 @@ fn main() {
         let opts = inner_opts(m);
 
         let cpu_in = inner_product(&a, &acsc, &mut ScalarTensorBackend::new(), opts);
-        let sc_in = inner_product(
-            &a,
-            &acsc,
-            &mut StreamTensorBackend::with_engine(Engine::new(one_su())),
-            opts,
-        );
+        let sc_in =
+            inner_product(&a, &acsc, &mut StreamTensorBackend::with_engine(mk_engine()), opts);
         let s_in = cpu_in.cycles as f64 / sc_in.cycles.max(1) as f64;
 
         let stride = merge_stride(m);
@@ -85,18 +85,14 @@ fn main() {
         let sc_out = outer_product_sampled(
             &acsc,
             &a,
-            &mut StreamTensorBackend::with_engine(Engine::new(one_su())),
+            &mut StreamTensorBackend::with_engine(mk_engine()),
             stride,
         );
         let s_out = cpu_out.cycles as f64 / sc_out.cycles.max(1) as f64;
 
         let cpu_gus = gustavson_sampled(&a, &a, &mut ScalarTensorBackend::new(), stride);
-        let sc_gus = gustavson_sampled(
-            &a,
-            &a,
-            &mut StreamTensorBackend::with_engine(Engine::new(one_su())),
-            stride,
-        );
+        let sc_gus =
+            gustavson_sampled(&a, &a, &mut StreamTensorBackend::with_engine(mk_engine()), stride);
         let s_gus = cpu_gus.cycles as f64 / sc_gus.cycles.max(1) as f64;
 
         sp_in.push(s_in);
@@ -130,24 +126,16 @@ fn main() {
             let stride = 16usize;
             let v: Vec<f64> = (0..d2).map(|i| 0.5 + (i % 17) as f64 * 0.1).collect();
             let cpu_ttv = ttv_sampled(&a, &v, &mut ScalarTensorBackend::new(), stride);
-            let sc_ttv = ttv_sampled(
-                &a,
-                &v,
-                &mut StreamTensorBackend::with_engine(Engine::new(one_su())),
-                stride,
-            );
+            let sc_ttv =
+                ttv_sampled(&a, &v, &mut StreamTensorBackend::with_engine(mk_engine()), stride);
             let s_ttv = cpu_ttv.cycles as f64 / sc_ttv.cycles.max(1) as f64;
 
             let b: Vec<Vec<f64>> = (0..8)
                 .map(|k| (0..d2).map(|l| ((k * 7 + l) % 13) as f64 * 0.1 + 0.5).collect())
                 .collect();
             let cpu_ttm = ttm_sampled(&a, &b, &mut ScalarTensorBackend::new(), stride);
-            let sc_ttm = ttm_sampled(
-                &a,
-                &b,
-                &mut StreamTensorBackend::with_engine(Engine::new(one_su())),
-                stride,
-            );
+            let sc_ttm =
+                ttm_sampled(&a, &b, &mut StreamTensorBackend::with_engine(mk_engine()), stride);
             let s_ttm = cpu_ttm.cycles as f64 / sc_ttm.cycles.max(1) as f64;
 
             rows.push(vec![t.tag().to_string(), format!("{s_ttv:.2}"), format!("{s_ttm:.2}")]);
@@ -156,4 +144,5 @@ fn main() {
         println!("{}", render_table(&["tensor".into(), "TTV".into(), "TTM".into()], &rows));
         println!("(paper: avg 2.44x TTV, 4.49x TTM)");
     }
+    cli.write_probe_outputs();
 }

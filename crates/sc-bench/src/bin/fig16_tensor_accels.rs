@@ -12,7 +12,7 @@
 //! [--matrices C,E,F]`
 
 use sc_accel::{ExTensorBackend, GammaBackend, OuterSpaceBackend};
-use sc_bench::{gmean, init_sanitize, render_table};
+use sc_bench::{gmean, render_table, BenchCli};
 use sc_kernels::{
     gustavson_sampled, inner_product, outer_product_sampled, InnerOptions, StreamTensorBackend,
 };
@@ -30,10 +30,14 @@ fn matrix_filter(args: &[String]) -> Vec<MatrixDataset> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    init_sanitize(&args);
-    let matrices = matrix_filter(&args);
-    let one_su = SparseCoreConfig::paper_one_su;
+    let cli = BenchCli::parse();
+    let matrices = matrix_filter(cli.args());
+    let probe = cli.probe();
+    let mk_engine = || {
+        let mut e = Engine::new(SparseCoreConfig::paper_one_su());
+        e.set_probe(probe.clone());
+        e
+    };
 
     let mut sp = vec![Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new()];
     for m in &matrices {
@@ -49,13 +53,9 @@ fn main() {
             }),
         };
         // Baseline: SparseCore inner product.
-        let sc_inner = inner_product(
-            &a,
-            &acsc,
-            &mut StreamTensorBackend::with_engine(Engine::new(one_su())),
-            opts,
-        )
-        .cycles;
+        let sc_inner =
+            inner_product(&a, &acsc, &mut StreamTensorBackend::with_engine(mk_engine()), opts)
+                .cycles;
         let stride = match *m {
             MatrixDataset::Tsopf => 16,
             MatrixDataset::Gridgena | MatrixDataset::Ex19 => 4,
@@ -65,18 +65,14 @@ fn main() {
         let sc_outer = outer_product_sampled(
             &acsc,
             &a,
-            &mut StreamTensorBackend::with_engine(Engine::new(one_su())),
+            &mut StreamTensorBackend::with_engine(mk_engine()),
             stride,
         )
         .cycles;
         let osp = outer_product_sampled(&acsc, &a, &mut OuterSpaceBackend::new(), stride).cycles;
-        let sc_gus = gustavson_sampled(
-            &a,
-            &a,
-            &mut StreamTensorBackend::with_engine(Engine::new(one_su())),
-            stride,
-        )
-        .cycles;
+        let sc_gus =
+            gustavson_sampled(&a, &a, &mut StreamTensorBackend::with_engine(mk_engine()), stride)
+                .cycles;
         let gam = gustavson_sampled(&a, &a, &mut GammaBackend::new(), stride).cycles;
 
         let base = sc_inner.max(1) as f64;
@@ -106,4 +102,5 @@ fn main() {
     println!("\n(paper: specialized beats SparseCore per dataflow — 5.2x inner,");
     println!(" 3.1x outer, 2.4x Gustavson — while better algorithms on");
     println!(" SparseCore beat specialized designs running worse ones)");
+    cli.write_probe_outputs();
 }

@@ -6,21 +6,24 @@
 //! imbalance.
 //!
 //! Usage: `cargo run --release -p sc-bench --bin multicore
-//! [--datasets B,E,W]`
+//! [--datasets B,E,W] [--trace t.json] [--metrics m.json]`
 
-use sc_bench::{dataset_filter, init_sanitize, render_table};
-use sc_gpm::parallel::count_stream_parallel;
+use sc_bench::{render_table, BenchCli};
+use sc_gpm::parallel::count_stream_parallel_probed;
 use sc_gpm::plan::Induced;
 use sc_gpm::{Pattern, Plan};
 use sc_graph::Dataset;
 use sparsecore::SparseCoreConfig;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    init_sanitize(&args);
-    let datasets = dataset_filter(&args).unwrap_or_else(|| {
-        vec![Dataset::BitcoinAlpha, Dataset::EmailEuCore, Dataset::WikiVote, Dataset::Mico]
-    });
+    let cli = BenchCli::parse();
+    let datasets = cli.datasets(&[
+        Dataset::BitcoinAlpha,
+        Dataset::EmailEuCore,
+        Dataset::WikiVote,
+        Dataset::Mico,
+    ]);
+    let probe = cli.probe();
     let plan = Plan::compile(&Pattern::triangle(), &[0, 1, 2], Induced::Vertex);
     let cores = [1usize, 2, 4, 6];
 
@@ -32,11 +35,25 @@ fn main() {
     let mut rows = Vec::new();
     for &d in &datasets {
         let g = d.build();
-        let base = count_stream_parallel(&g, &plan, SparseCoreConfig::paper(), true, 1);
+        let (base, _) = count_stream_parallel_probed(
+            &g,
+            &plan,
+            SparseCoreConfig::paper(),
+            true,
+            1,
+            probe.clone(),
+        );
         let mut row = vec![d.tag().to_string()];
         let mut last_imbalance = 1.0;
         for &c in &cores {
-            let run = count_stream_parallel(&g, &plan, SparseCoreConfig::paper(), true, c);
+            let (run, _) = count_stream_parallel_probed(
+                &g,
+                &plan,
+                SparseCoreConfig::paper(),
+                true,
+                c,
+                probe.clone(),
+            );
             assert_eq!(run.count, base.count);
             row.push(format!("{:.2}", base.cycles as f64 / run.cycles.max(1) as f64));
             last_imbalance = run.imbalance();
@@ -47,4 +64,5 @@ fn main() {
     println!("{}", render_table(&header, &rows));
     println!("\n(interleaved partitioning bounds hub-induced imbalance;");
     println!(" graph data is read-only so private S-Caches need no coherence)");
+    cli.write_probe_outputs();
 }

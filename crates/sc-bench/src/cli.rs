@@ -1,0 +1,172 @@
+//! Shared command-line plumbing for the figure binaries.
+//!
+//! Every binary in `src/bin/` accepts the same cross-cutting flags, so
+//! they are parsed here once instead of twelve times:
+//!
+//! - `--sanitize` — enable the runtime invariant sanitizer (SC-S3xx).
+//! - `--datasets C,E,W` — filter the Table 4 graphs by tag.
+//! - `--probe-level off|metrics|trace` — observability recording level.
+//! - `--metrics <path>` — write a JSON metrics snapshot on exit
+//!   (implies at least `--probe-level metrics`).
+//! - `--trace <path>` — write a Chrome `trace_event` JSON file on exit,
+//!   loadable in Perfetto (implies `--probe-level trace`).
+//!
+//! Binary-specific flags (`--skip-fsm`, `--gramer`, `--matrices`, ...)
+//! stay in their binaries and read through [`BenchCli::flag`] /
+//! [`BenchCli::value`].
+
+use std::path::PathBuf;
+
+use sc_graph::Dataset;
+use sc_probe::{Probe, ProbeLevel};
+
+/// Parsed cross-cutting flags plus the probe they configure. Construct
+/// one at the top of every bench `main` (it also runs
+/// [`crate::init_sanitize`], which must precede the first
+/// `SparseCoreConfig`), and call [`BenchCli::write_probe_outputs`] at
+/// the end.
+#[derive(Debug)]
+pub struct BenchCli {
+    args: Vec<String>,
+    probe: Probe,
+    trace: Option<PathBuf>,
+    metrics: Option<PathBuf>,
+}
+
+impl BenchCli {
+    /// Parse the process's command line.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().collect())
+    }
+
+    /// Parse an explicit argument vector (tests use this).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown `--probe-level` name.
+    pub fn from_args(args: Vec<String>) -> Self {
+        crate::init_sanitize(&args);
+        let trace = value_of(&args, "--trace").map(PathBuf::from);
+        let metrics = value_of(&args, "--metrics").map(PathBuf::from);
+        let mut level = match value_of(&args, "--probe-level") {
+            Some(s) => ProbeLevel::parse(&s).unwrap_or_else(|e| panic!("{e}")),
+            None => ProbeLevel::Off,
+        };
+        // Asking for an output file is asking for the data behind it.
+        if trace.is_some() {
+            level = level.max(ProbeLevel::Trace);
+        }
+        if metrics.is_some() {
+            level = level.max(ProbeLevel::Metrics);
+        }
+        let probe = Probe::new(level);
+        if probe.enabled() {
+            println!("# probe: level {}\n", probe.level().name());
+        }
+        Self { args, probe, trace, metrics }
+    }
+
+    /// The raw argument vector (for binary-specific parsing).
+    pub fn args(&self) -> &[String] {
+        &self.args
+    }
+
+    /// Is a bare flag like `--skip-fsm` present?
+    pub fn flag(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
+    }
+
+    /// The value following a `--name value` pair, if present.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        let pos = self.args.iter().position(|a| a == name)?;
+        self.args.get(pos + 1).map(String::as_str)
+    }
+
+    /// The `--datasets` filter, or `default` when absent.
+    pub fn datasets(&self, default: &[Dataset]) -> Vec<Dataset> {
+        crate::dataset_filter(&self.args).unwrap_or_else(|| default.to_vec())
+    }
+
+    /// A handle on the shared probe (cloning is an `Arc` bump; all
+    /// clones feed the same registry and trace buffer).
+    pub fn probe(&self) -> Probe {
+        self.probe.clone()
+    }
+
+    /// Write the `--trace` / `--metrics` output files, if requested.
+    /// Call this once, after the last simulation finishes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an output file cannot be written — a bench run whose
+    /// requested artifacts silently vanish is worse than a crash.
+    pub fn write_probe_outputs(&self) {
+        if let Some(path) = &self.metrics {
+            std::fs::write(path, self.probe.metrics_json())
+                .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+            println!("# probe: metrics snapshot -> {}", path.display());
+        }
+        if let Some(path) = &self.trace {
+            std::fs::write(path, self.probe.trace_json(0))
+                .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+            println!(
+                "# probe: trace ({} events) -> {} (load in Perfetto / chrome://tracing)",
+                self.probe.trace_len(),
+                path.display()
+            );
+        }
+    }
+}
+
+fn value_of(args: &[String], name: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == name)?;
+    args.get(pos + 1).cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(extra: &[&str]) -> BenchCli {
+        let mut args = vec!["prog".to_string()];
+        args.extend(extra.iter().map(|s| s.to_string()));
+        BenchCli::from_args(args)
+    }
+
+    #[test]
+    fn defaults_are_off() {
+        let c = cli(&[]);
+        assert!(!c.probe().enabled());
+        assert!(!c.flag("--skip-fsm"));
+        assert_eq!(c.datasets(&[Dataset::Citeseer]), vec![Dataset::Citeseer]);
+    }
+
+    #[test]
+    fn probe_level_parses() {
+        assert_eq!(cli(&["--probe-level", "metrics"]).probe().level(), ProbeLevel::Metrics);
+        assert_eq!(cli(&["--probe-level", "trace"]).probe().level(), ProbeLevel::Trace);
+    }
+
+    #[test]
+    fn output_paths_imply_levels() {
+        assert_eq!(cli(&["--metrics", "/tmp/m.json"]).probe().level(), ProbeLevel::Metrics);
+        assert_eq!(cli(&["--trace", "/tmp/t.json"]).probe().level(), ProbeLevel::Trace);
+        // An explicit level is never lowered by an output path.
+        let c = cli(&["--metrics", "/tmp/m.json", "--probe-level", "trace"]);
+        assert_eq!(c.probe().level(), ProbeLevel::Trace);
+    }
+
+    #[test]
+    fn flags_and_values_read_through() {
+        let c = cli(&["--skip-fsm", "--matrices", "a,b"]);
+        assert!(c.flag("--skip-fsm"));
+        assert_eq!(c.value("--matrices"), Some("a,b"));
+        assert_eq!(c.value("--missing"), None);
+    }
+
+    #[test]
+    fn dataset_filter_still_applies() {
+        let c = cli(&["--datasets", "E,W"]);
+        assert_eq!(c.datasets(&Dataset::ALL).len(), 2);
+    }
+}

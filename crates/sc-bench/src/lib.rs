@@ -9,7 +9,11 @@
 use sc_gpm::exec::{self, ScalarBackend, SetBackend, StreamBackend};
 use sc_gpm::App;
 use sc_graph::{CsrGraph, Dataset};
+use sc_probe::Probe;
 use sparsecore::{Engine, SparseCoreConfig};
+
+pub mod cli;
+pub use cli::BenchCli;
 
 /// One (backend, app, dataset) measurement.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -99,30 +103,54 @@ pub fn run_cpu(g: &CsrGraph, app: App, stride: usize) -> Measurement {
 
 /// Run `app` on SparseCore with the given configuration and stride.
 pub fn run_sparsecore(g: &CsrGraph, app: App, cfg: SparseCoreConfig, stride: usize) -> Measurement {
-    let mut backend = StreamBackend::with_engine(g, Engine::new(cfg), app.uses_nested());
-    let mut count = 0;
-    for plan in app.plans() {
-        let (est, _) = exec::count_sampled(g, &plan, &mut backend, stride);
-        count += est;
-    }
-    let cycles = backend.finish() * stride as u64;
-    Measurement { count, cycles, stride }
+    run_sparsecore_probed(g, app, cfg, stride, &Probe::off())
 }
 
-/// Run `app` on SparseCore and return the backend for stats inspection.
-pub fn run_sparsecore_backend(
+/// Like [`run_sparsecore`], with an observability probe attached to the
+/// engine. After the run finishes, the engine's gauges (cycle
+/// attribution, breakdown, memory-system state) are snapshotted into
+/// the probe's registry; counters and trace events accumulate across
+/// calls sharing one probe, while gauges reflect the latest run.
+pub fn run_sparsecore_probed(
     g: &CsrGraph,
     app: App,
     cfg: SparseCoreConfig,
     stride: usize,
-) -> (Measurement, StreamBackend<'_>) {
-    let mut backend = StreamBackend::with_engine(g, Engine::new(cfg), app.uses_nested());
+    probe: &Probe,
+) -> Measurement {
+    let mut engine = Engine::new(cfg);
+    engine.set_probe(probe.clone());
+    let mut backend = StreamBackend::with_engine(g, engine, app.uses_nested());
     let mut count = 0;
     for plan in app.plans() {
         let (est, _) = exec::count_sampled(g, &plan, &mut backend, stride);
         count += est;
     }
     let cycles = backend.finish() * stride as u64;
+    backend.engine().probe_snapshot();
+    Measurement { count, cycles, stride }
+}
+
+/// Run `app` on SparseCore and return the backend for stats inspection.
+/// The probe is attached to the engine (pass [`Probe::off`] when the
+/// run is not being observed).
+pub fn run_sparsecore_backend<'g>(
+    g: &'g CsrGraph,
+    app: App,
+    cfg: SparseCoreConfig,
+    stride: usize,
+    probe: &Probe,
+) -> (Measurement, StreamBackend<'g>) {
+    let mut engine = Engine::new(cfg);
+    engine.set_probe(probe.clone());
+    let mut backend = StreamBackend::with_engine(g, engine, app.uses_nested());
+    let mut count = 0;
+    for plan in app.plans() {
+        let (est, _) = exec::count_sampled(g, &plan, &mut backend, stride);
+        count += est;
+    }
+    let cycles = backend.finish() * stride as u64;
+    backend.engine().probe_snapshot();
     (Measurement { count, cycles, stride }, backend)
 }
 

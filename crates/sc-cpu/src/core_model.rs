@@ -17,6 +17,7 @@
 use crate::breakdown::{Breakdown, Region};
 use crate::predictor::Gshare;
 use sc_mem::{Addr, Cycle, HierarchyConfig, MemoryHierarchy};
+use sc_probe::{AttrBin, Attribution, Probe};
 use std::collections::VecDeque;
 
 /// Configuration of the core model (paper Table 2 plus standard OoO
@@ -97,6 +98,30 @@ pub struct Core {
     stats: CoreStats,
     /// Fractional issue-slot accumulator (ops not yet forming a full cycle).
     slack_uops: u64,
+    /// Cause-binned cycle attribution. Maintained unconditionally: every
+    /// clock advance flows through [`Core::advance`], so
+    /// `attr.total() == cycle` by construction (the conservation property
+    /// the probe layer's Figure 9/10 reporting relies on).
+    attr: Attribution,
+    /// The bin blocking stalls are charged to. The driving engine
+    /// switches this around waits whose cause it knows (SU completion,
+    /// S-Cache refill, translator); plain memory pressure is the default.
+    stall_ctx: AttrBin,
+}
+
+/// Why the core clock advanced. Each advance lands in exactly one legacy
+/// [`Breakdown`] bucket and one [`AttrBin`].
+#[derive(Debug, Clone, Copy)]
+enum AdvanceKind {
+    /// Retiring micro-ops at the issue width (attributed to `region`).
+    Compute(Region),
+    /// Pipeline refill after a branch mispredict.
+    Mispredict,
+    /// A blocking stall: charged to [`Breakdown::cache`] and to the
+    /// current stall context bin.
+    Stall,
+    /// Stream-Unit busy time folded into the core clock.
+    Intersection,
 }
 
 impl Core {
@@ -112,7 +137,16 @@ impl Core {
             breakdown: Breakdown::default(),
             stats: CoreStats::default(),
             slack_uops: 0,
+            attr: Attribution::new(),
+            stall_ctx: AttrBin::MemStall,
         }
+    }
+
+    /// Attach a probe handle (forwarded to the memory hierarchy; the
+    /// core's own attribution is always on and read back via
+    /// [`Core::attribution`]).
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.mem.set_probe(probe);
     }
 
     /// The configuration this core was built with.
@@ -157,10 +191,38 @@ impl Core {
         self.region
     }
 
+    /// Cause-binned cycle attribution (`total()` equals [`Core::cycles`]).
+    pub fn attribution(&self) -> &Attribution {
+        &self.attr
+    }
+
+    /// Set the bin that blocking stalls are charged to; returns the
+    /// previous context so callers can restore it around a scoped wait.
+    pub fn set_stall_ctx(&mut self, bin: AttrBin) -> AttrBin {
+        std::mem::replace(&mut self.stall_ctx, bin)
+    }
+
     #[inline]
-    fn advance(&mut self, cycles: Cycle, bucket: impl FnOnce(&mut Breakdown, u64)) {
+    fn advance(&mut self, cycles: Cycle, kind: AdvanceKind) {
         self.cycle += cycles;
-        bucket(&mut self.breakdown, cycles);
+        match kind {
+            AdvanceKind::Compute(region) => {
+                self.breakdown.add_compute(region, cycles);
+                self.attr.add(AttrBin::ScalarOverlap, cycles);
+            }
+            AdvanceKind::Mispredict => {
+                self.breakdown.mispredict += cycles;
+                self.attr.add(AttrBin::ScalarOverlap, cycles);
+            }
+            AdvanceKind::Stall => {
+                self.breakdown.cache += cycles;
+                self.attr.add(self.stall_ctx, cycles);
+            }
+            AdvanceKind::Intersection => {
+                self.breakdown.intersection += cycles;
+                self.attr.add(AttrBin::SuCompare, cycles);
+            }
+        }
     }
 
     /// Issue `n` *independent* micro-ops: they retire at the issue width.
@@ -171,8 +233,7 @@ impl Core {
         let cycles = total / width;
         self.slack_uops = total % width;
         if cycles > 0 {
-            let region = self.region;
-            self.advance(cycles, |b, c| b.add_compute(region, c));
+            self.advance(cycles, AdvanceKind::Compute(self.region));
         }
     }
 
@@ -180,8 +241,7 @@ impl Core {
     /// cycle each.
     pub fn dependent_ops(&mut self, n: u64) {
         self.stats.uops += n;
-        let region = self.region;
-        self.advance(n, |b, c| b.add_compute(region, c));
+        self.advance(n, AdvanceKind::Compute(self.region));
     }
 
     /// Execute a conditional branch at `pc` whose real outcome was `taken`.
@@ -192,7 +252,7 @@ impl Core {
         if !self.predictor.predict_and_update(pc, taken) {
             self.stats.mispredicts += 1;
             let penalty = self.config.mispredict_penalty;
-            self.advance(penalty, |b, c| b.mispredict += c);
+            self.advance(penalty, AdvanceKind::Mispredict);
         }
     }
 
@@ -215,7 +275,7 @@ impl Core {
             let oldest = self.outstanding.pop_front().expect("non-empty queue");
             if oldest > self.cycle {
                 let stall = oldest - self.cycle;
-                self.advance(stall, |b, c| b.cache += c);
+                self.advance(stall, AdvanceKind::Stall);
             }
         }
         let result = self.mem.load(addr);
@@ -232,7 +292,7 @@ impl Core {
         let hidden = self.config.mem.l1.latency;
         if result.latency > hidden {
             let stall = result.latency - hidden;
-            self.advance(stall, |b, c| b.cache += c);
+            self.advance(stall, AdvanceKind::Stall);
         }
     }
 
@@ -246,13 +306,13 @@ impl Core {
     /// Stall the core for `cycles`, attributed to cache (used by the
     /// SparseCore engine when the core blocks on a stream result).
     pub fn stall_memory(&mut self, cycles: Cycle) {
-        self.advance(cycles, |b, c| b.cache += c);
+        self.advance(cycles, AdvanceKind::Stall);
     }
 
     /// Add cycles spent busy in a Stream Unit set operation (used by the
     /// SparseCore engine: Figure 10's "Intersection" bucket).
     pub fn add_intersection_cycles(&mut self, cycles: Cycle) {
-        self.advance(cycles, |b, c| b.intersection += c);
+        self.advance(cycles, AdvanceKind::Intersection);
     }
 
     /// Advance the core's clock to at least `t` without attributing cycles
@@ -260,7 +320,7 @@ impl Core {
     pub fn wait_until(&mut self, t: Cycle) {
         if t > self.cycle {
             let stall = t - self.cycle;
-            self.advance(stall, |b, c| b.cache += c);
+            self.advance(stall, AdvanceKind::Stall);
         }
     }
 
@@ -403,5 +463,38 @@ mod tests {
             core.load_use(i * 64);
         }
         assert_eq!(core.breakdown().total(), core.cycles());
+    }
+
+    #[test]
+    fn attribution_conserves_cycles() {
+        let mut core = Core::new(CoreConfig::tiny());
+        for i in 0..100u64 {
+            core.ops(3);
+            core.branch(0x40, i % 7 == 0);
+            core.load_use(i * 64);
+            core.stall_memory(2);
+        }
+        core.add_intersection_cycles(11);
+        core.wait_until(core.cycles() + 40);
+        assert_eq!(core.attribution().total(), core.cycles());
+        // Attribution and the legacy breakdown cover the same clock.
+        assert_eq!(core.attribution().total(), core.breakdown().total());
+    }
+
+    #[test]
+    fn stall_ctx_routes_waits() {
+        let mut core = Core::new(CoreConfig::tiny());
+        let prev = core.set_stall_ctx(AttrBin::ScacheRefill);
+        assert_eq!(prev, AttrBin::MemStall);
+        core.stall_memory(30);
+        core.set_stall_ctx(AttrBin::Translator);
+        core.wait_until(core.cycles() + 12);
+        core.set_stall_ctx(prev);
+        core.stall_memory(5);
+        assert_eq!(core.attribution().get(AttrBin::ScacheRefill), 30);
+        assert_eq!(core.attribution().get(AttrBin::Translator), 12);
+        assert_eq!(core.attribution().get(AttrBin::MemStall), 5);
+        // The legacy breakdown still sees all three as cache stall.
+        assert_eq!(core.breakdown().cache, 47);
     }
 }

@@ -835,6 +835,7 @@ impl<'g> SetBackend for StreamBackend<'g> {
     fn edge_list(&mut self, v: Key) -> StreamSet {
         let sid = self.alloc_sid();
         let keys = self.g.neighbors(v);
+        self.engine.probe().count("gpm.edge_lists", 1);
         self.engine
             .s_read(self.g.edge_list_addr(v), keys, sid, Self::priority_for(keys.len()))
             .expect("register allocated");
@@ -957,6 +958,7 @@ impl<'g> SetBackend for StreamBackend<'g> {
         if !self.use_nested {
             return None;
         }
+        self.engine.probe().count("gpm.nested_calls", 1);
         let source = GraphSource(self.g);
         Some(self.engine.s_nestinter(s.sid, &source).expect("live stream"))
     }

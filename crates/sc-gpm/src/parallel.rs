@@ -81,17 +81,52 @@ pub fn count_stream_parallel_sanitized(
     use_nested: bool,
     num_cores: usize,
 ) -> (MultiCoreRun, sc_lint::Report) {
+    count_stream_parallel_probed(g, plan, cfg, use_nested, num_cores, sc_probe::Probe::off())
+}
+
+/// Like [`count_stream_parallel_sanitized`], but with an observability
+/// probe attached: every core engine shares the one handle, so counters,
+/// trace events and attribution from all cores land in a single registry
+/// and tracer (the probe is internally synchronized). Each core also
+/// contributes a `Track::Gpm` instant carrying its partition's count and
+/// cycles, and `gpm.core_cycles` observations feed the load-imbalance
+/// histogram.
+///
+/// # Panics
+///
+/// Panics if `num_cores` is zero.
+pub fn count_stream_parallel_probed(
+    g: &CsrGraph,
+    plan: &Plan,
+    cfg: SparseCoreConfig,
+    use_nested: bool,
+    num_cores: usize,
+    probe: sc_probe::Probe,
+) -> (MultiCoreRun, sc_lint::Report) {
     assert!(num_cores > 0, "need at least one core");
     let results: Vec<(u64, u64, Vec<sc_lint::Diagnostic>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..num_cores)
             .map(|c| {
+                let probe = probe.clone();
                 scope.spawn(move || {
                     let mut engine = Engine::new(cfg);
+                    engine.set_probe(probe.clone());
                     protect_graph(&mut engine, g);
                     let mut backend = StreamBackend::with_engine(g, engine, use_nested);
                     let n = exec::count_partition(g, plan, &mut backend, c, num_cores);
                     use crate::exec::SetBackend;
                     let cycles = backend.finish();
+                    if probe.enabled() {
+                        probe.observe("gpm.core_cycles", cycles);
+                        if probe.tracing() {
+                            probe.instant_at(
+                                sc_probe::Track::Gpm,
+                                "core_done",
+                                cycles,
+                                &[("core", c as u64), ("count", n), ("cycles", cycles)],
+                            );
+                        }
+                    }
                     let diags = backend.engine_mut().sanitizer_final_report();
                     (n, cycles, diags.diagnostics().to_vec())
                 })

@@ -346,6 +346,7 @@ impl TensorBackend for StreamTensorBackend {
 
     fn load(&mut self, s: &VStream, priority: u32) -> StreamId {
         let sid = self.alloc();
+        self.engine.probe().count("kernel.loads", 1);
         self.engine
             .s_vread(s.key_addr, &s.keys, s.val_addr, &s.vals, sid, Priority(priority))
             .expect("register allocated");
@@ -353,10 +354,12 @@ impl TensorBackend for StreamTensorBackend {
     }
 
     fn dot(&mut self, a: &StreamId, b: &StreamId) -> f64 {
+        self.engine.probe().count("kernel.dots", 1);
         self.engine.s_vinter(*a, *b, ValueOp::Mac).expect("live streams")
     }
 
     fn scaled_merge(&mut self, sa: f64, a: &StreamId, sb: f64, b: &StreamId) -> VStream {
+        self.engine.probe().count("kernel.merges", 1);
         let out = self.alloc();
         self.engine.s_vmerge(sa, sb, *a, *b, out).expect("live streams");
         let keys = self.engine.stream_keys(out).expect("output live").to_vec();

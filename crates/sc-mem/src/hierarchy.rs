@@ -10,6 +10,7 @@ use crate::audit::AuditViolation;
 use crate::cache::{Cache, CacheConfig};
 use crate::stats::HierarchyStats;
 use crate::{Addr, Cycle};
+use sc_probe::{Probe, Track};
 
 /// Which level satisfied a load.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -87,6 +88,7 @@ pub struct MemoryHierarchy {
     l2: Cache,
     l3: Cache,
     stats: HierarchyStats,
+    probe: Probe,
 }
 
 impl MemoryHierarchy {
@@ -98,7 +100,31 @@ impl MemoryHierarchy {
             l2: Cache::new(config.l2),
             l3: Cache::new(config.l3),
             stats: HierarchyStats::default(),
+            probe: Probe::off(),
         }
+    }
+
+    /// Attach a probe handle; DRAM round-trips become trace instants
+    /// (per-level counts are folded into the metrics registry at snapshot
+    /// time by the owning core/engine, not per access).
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
+    }
+
+    /// Fold the hierarchy's counters into `reg` as gauges under `prefix`
+    /// (e.g. `mem` → `mem.l1.hits`). Called by snapshot hooks.
+    pub fn snapshot_metrics(&self, reg: &mut sc_probe::metrics::Registry, prefix: &str) {
+        let (l1, l2, l3) = self.level_stats();
+        for (name, s) in [("l1", l1), ("l2", l2), ("l3", l3)] {
+            reg.gauge(&format!("{prefix}.{name}.hits"), s.hits as f64);
+            reg.gauge(&format!("{prefix}.{name}.misses"), s.misses as f64);
+            reg.gauge(&format!("{prefix}.{name}.fills"), s.fills as f64);
+            reg.gauge(&format!("{prefix}.{name}.evictions"), s.evictions as f64);
+        }
+        reg.gauge(&format!("{prefix}.dram.accesses"), self.stats.dram_accesses as f64);
+        reg.gauge(&format!("{prefix}.loads"), self.stats.loads() as f64);
+        reg.gauge(&format!("{prefix}.total_latency"), self.stats.total_latency as f64);
+        reg.gauge(&format!("{prefix}.mean_latency"), self.stats.mean_latency());
     }
 
     /// The configuration this hierarchy was built with.
@@ -124,9 +150,12 @@ impl MemoryHierarchy {
         self.l3.reset_stats();
     }
 
-    /// Drop all cached contents and statistics.
+    /// Drop all cached contents and statistics (the attached probe, if
+    /// any, survives).
     pub fn reset(&mut self) {
+        let probe = self.probe.clone();
         *self = MemoryHierarchy::new(self.config);
+        self.probe = probe;
     }
 
     /// A demand load through the full hierarchy (the normal CPU load path).
@@ -209,7 +238,12 @@ impl MemoryHierarchy {
             HitLevel::L1 => self.stats.l1_hits += 1,
             HitLevel::L2 => self.stats.l2_hits += 1,
             HitLevel::L3 => self.stats.l3_hits += 1,
-            HitLevel::Dram => self.stats.dram_accesses += 1,
+            HitLevel::Dram => {
+                self.stats.dram_accesses += 1;
+                if self.probe.tracing() {
+                    self.probe.instant(Track::Mem, "dram_access", &[("latency", result.latency)]);
+                }
+            }
         }
         self.stats.total_latency += result.latency;
     }

@@ -16,6 +16,7 @@
 
 use crate::audit::{AuditKind, AuditViolation};
 use crate::Addr;
+use sc_probe::{Probe, Track};
 
 /// Identifies one S-Cache slot (one per stream register).
 pub type SlotId = usize;
@@ -138,6 +139,7 @@ pub struct StreamCacheStorage {
     config: StreamCacheConfig,
     slots: Vec<Slot>,
     stats: StreamCacheStats,
+    probe: Probe,
 }
 
 impl StreamCacheStorage {
@@ -157,7 +159,15 @@ impl StreamCacheStorage {
             config,
             slots: vec![Slot::empty(); config.slots],
             stats: StreamCacheStats::default(),
+            probe: Probe::off(),
         }
+    }
+
+    /// Attach a probe handle; slot lifecycle and refill events are
+    /// reported through it (timestamped with the probe's own clock,
+    /// which the driving engine keeps current).
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
     }
 
     /// The configuration this S-Cache was built with.
@@ -179,6 +189,13 @@ impl StreamCacheStorage {
         s.bound = true;
         s.base = base;
         s.len = len;
+        if self.probe.tracing() {
+            self.probe.instant(
+                Track::Scache,
+                "slot_bind",
+                &[("slot", slot as u64), ("len", len as u64)],
+            );
+        }
     }
 
     /// Bind `slot` as an *output* stream slot (produced by `S_INTER` /
@@ -190,6 +207,9 @@ impl StreamCacheStorage {
         s.bound = true;
         s.base = base;
         s.start = true; // slot initially holds the stream from key 0
+        if self.probe.tracing() {
+            self.probe.instant(Track::Scache, "slot_bind_output", &[("slot", slot as u64)]);
+        }
     }
 
     /// Release a slot (on `S_FREE` retirement). Returns the number of
@@ -197,6 +217,13 @@ impl StreamCacheStorage {
     pub fn release(&mut self, slot: SlotId) -> usize {
         let pending = self.slots[slot].pending_out;
         self.slots[slot] = Slot::empty();
+        if self.probe.tracing() {
+            self.probe.instant(
+                Track::Scache,
+                "slot_release",
+                &[("slot", slot as u64), ("pending", pending as u64)],
+            );
+        }
         pending
     }
 
@@ -278,6 +305,21 @@ impl StreamCacheStorage {
         }
         s.window_start = new_start;
         s.start = new_start == 0;
+        if !fetch.is_empty() && self.probe.enabled() {
+            self.probe.count("scache.window_refills", 1);
+            self.probe.count("scache.refill_lines", fetch.len() as u64);
+            if self.probe.tracing() {
+                self.probe.instant(
+                    Track::Scache,
+                    "window_refill",
+                    &[
+                        ("slot", slot as u64),
+                        ("key", key_idx as u64),
+                        ("lines", fetch.len() as u64),
+                    ],
+                );
+            }
+        }
         fetch
     }
 
@@ -308,7 +350,11 @@ impl StreamCacheStorage {
             s.pending_out = 0;
             self.stats.writebacks += 1;
             let line_idx = (s.produced - 1) / keys_per_line;
-            Some(s.base + (line_idx * keys_per_line) as u64 * key_bytes)
+            let addr = s.base + (line_idx * keys_per_line) as u64 * key_bytes;
+            if self.probe.tracing() {
+                self.probe.instant(Track::Scache, "output_writeback", &[("slot", slot as u64)]);
+            }
+            Some(addr)
         } else {
             None
         }

@@ -9,6 +9,7 @@
 
 use crate::audit::{AuditKind, AuditViolation};
 use crate::Cycle;
+use sc_probe::{Probe, Track};
 use std::collections::HashMap;
 
 /// Scratchpad configuration.
@@ -61,12 +62,27 @@ pub struct Scratchpad {
     pub hits: u64,
     /// Lookups that missed.
     pub misses: u64,
+    probe: Probe,
 }
 
 impl Scratchpad {
     /// Create an empty scratchpad.
     pub fn new(config: ScratchpadConfig) -> Self {
-        Scratchpad { config, entries: HashMap::new(), used: 0, tick: 0, hits: 0, misses: 0 }
+        Scratchpad {
+            config,
+            entries: HashMap::new(),
+            used: 0,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            probe: Probe::off(),
+        }
+    }
+
+    /// Attach a probe handle; admissions and evictions are reported
+    /// through it.
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
     }
 
     /// The configuration this scratchpad was built with.
@@ -124,12 +140,35 @@ impl Scratchpad {
                 Some(k) => {
                     let e = self.entries.remove(&k).expect("victim exists");
                     self.used -= e.bytes;
+                    if self.probe.enabled() {
+                        self.probe.count("scratchpad.evictions", 1);
+                        if self.probe.tracing() {
+                            self.probe.instant(
+                                Track::Scratchpad,
+                                "evict",
+                                &[("bytes", e.bytes), ("priority", u64::from(e.priority))],
+                            );
+                        }
+                    }
                 }
-                None => return false,
+                None => {
+                    self.probe.count("scratchpad.rejects", 1);
+                    return false;
+                }
             }
         }
         self.entries.insert(key_addr, Entry { bytes, priority, admitted: self.tick });
         self.used += bytes;
+        if self.probe.enabled() {
+            self.probe.count("scratchpad.admits", 1);
+            if self.probe.tracing() {
+                self.probe.instant(
+                    Track::Scratchpad,
+                    "admit",
+                    &[("bytes", bytes), ("priority", u64::from(priority))],
+                );
+            }
+        }
         true
     }
 

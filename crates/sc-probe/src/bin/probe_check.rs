@@ -1,0 +1,99 @@
+//! `probe-check` — validate probe output files from the command line.
+//!
+//! ```text
+//! probe-check --trace out.trace.json --metrics out.metrics.json
+//! probe-check --metrics out.metrics.json --expect engine.reads
+//! ```
+//!
+//! Exits non-zero (printing the first violation) if any file fails its
+//! structural validator; CI's probe-smoke job gates on this.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut traces: Vec<String> = Vec::new();
+    let mut metrics: Vec<String> = Vec::new();
+    let mut expects: Vec<String> = Vec::new();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace" => match args.next() {
+                Some(p) => traces.push(p),
+                None => return usage("--trace needs a path"),
+            },
+            "--metrics" => match args.next() {
+                Some(p) => metrics.push(p),
+                None => return usage("--metrics needs a path"),
+            },
+            "--expect" => match args.next() {
+                Some(p) => expects.push(p),
+                None => return usage("--expect needs a dotted metric path"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    if traces.is_empty() && metrics.is_empty() {
+        return usage("nothing to check");
+    }
+
+    let mut ok = true;
+    for path in &traces {
+        match std::fs::read_to_string(path) {
+            Ok(doc) => match sc_probe::check::validate_trace(&doc) {
+                Ok(summary) => println!("ok: {path}: {summary}"),
+                Err(e) => {
+                    eprintln!("FAIL: {path}: {e}");
+                    ok = false;
+                }
+            },
+            Err(e) => {
+                eprintln!("FAIL: {path}: {e}");
+                ok = false;
+            }
+        }
+    }
+    for path in &metrics {
+        match std::fs::read_to_string(path) {
+            Ok(doc) => match sc_probe::check::validate_metrics(&doc) {
+                Ok(n) => {
+                    println!("ok: {path}: {n} metrics");
+                    for e in &expects {
+                        match sc_probe::check::metrics_value(&doc, e) {
+                            Some(v) => println!("ok: {path}: {e} = {v}"),
+                            None => {
+                                eprintln!("FAIL: {path}: expected metric '{e}' missing");
+                                ok = false;
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("FAIL: {path}: {e}");
+                    ok = false;
+                }
+            },
+            Err(e) => {
+                eprintln!("FAIL: {path}: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: probe-check [--trace FILE]... [--metrics FILE]... [--expect DOTTED.PATH]...");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

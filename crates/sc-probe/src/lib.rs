@@ -1,0 +1,421 @@
+//! # sc-probe — observability for the SparseCore reproduction
+//!
+//! A zero-cost-when-disabled structured event/metrics layer threaded
+//! through the simulator. Three faces:
+//!
+//! * a **metrics registry** ([`metrics::Registry`]) — hierarchical named
+//!   counters/gauges/histograms, snapshotable to JSON mid-run;
+//! * an **event tracer** ([`trace::Tracer`]) — sim-cycle-timestamped
+//!   spans and instants exported as Chrome `trace_event` JSON for
+//!   Perfetto;
+//! * a **cycle-attribution profiler** ([`attr::Attribution`]) — every
+//!   modeled cycle binned into one of five causes, reproducing the
+//!   paper's Figure 9/10 from live probe data.
+//!
+//! The shared entry point is the cheap, cloneable [`Probe`] handle. A
+//! disabled probe (`Probe::off()`, the default everywhere) holds no
+//! buffer and every call is a single predictable branch; compiling the
+//! crate with `--no-default-features` (dropping the `probe` feature)
+//! removes even that branch by turning the whole API into no-ops.
+
+pub mod attr;
+pub mod check;
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use attr::{AttrBin, Attribution};
+pub use trace::Track;
+
+#[cfg(feature = "probe")]
+use std::sync::{Arc, Mutex};
+
+/// How much the probe records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum ProbeLevel {
+    /// Record nothing; every probe call is a near-free branch.
+    #[default]
+    Off,
+    /// Maintain the metrics registry (counters/gauges/histograms) only.
+    Metrics,
+    /// Metrics plus the event tracer (spans and instants).
+    Trace,
+}
+
+impl ProbeLevel {
+    /// Parse a CLI-facing level name.
+    ///
+    /// # Errors
+    ///
+    /// Lists the accepted names when `s` matches none of them.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "off" => Ok(ProbeLevel::Off),
+            "metrics" => Ok(ProbeLevel::Metrics),
+            "trace" => Ok(ProbeLevel::Trace),
+            other => Err(format!("unknown probe level '{other}' (expected off|metrics|trace)")),
+        }
+    }
+
+    /// The CLI-facing name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProbeLevel::Off => "off",
+            ProbeLevel::Metrics => "metrics",
+            ProbeLevel::Trace => "trace",
+        }
+    }
+}
+
+#[cfg(feature = "probe")]
+#[derive(Debug, Default)]
+struct ProbeInner {
+    now: u64,
+    registry: metrics::Registry,
+    tracer: trace::Tracer,
+}
+
+/// The shared probe handle. Cloning is cheap (an `Arc` bump); all clones
+/// feed one registry and one trace buffer. The level is copied inline so
+/// [`Probe::enabled`] / [`Probe::tracing`] never touch the lock.
+///
+/// The handle is `Send + Sync` (the buffer sits behind a `Mutex`), so
+/// multicore sweeps can either share one probe or give each simulated
+/// core its own and merge afterwards ([`trace::merge_trace_json`],
+/// [`metrics::Registry::merge`]).
+#[cfg(feature = "probe")]
+#[derive(Debug, Clone, Default)]
+pub struct Probe {
+    level: ProbeLevel,
+    inner: Option<Arc<Mutex<ProbeInner>>>,
+}
+
+#[cfg(feature = "probe")]
+impl Probe {
+    /// The disabled probe: no buffer, every call a single branch.
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// A live probe recording at `level` ([`ProbeLevel::Off`] yields a
+    /// disabled probe, same as [`Probe::off`]).
+    pub fn new(level: ProbeLevel) -> Self {
+        match level {
+            ProbeLevel::Off => Self::off(),
+            _ => Self { level, inner: Some(Arc::new(Mutex::new(ProbeInner::default()))) },
+        }
+    }
+
+    /// Is the probe recording anything (metrics or trace)?
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Is the probe recording trace events?
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.level >= ProbeLevel::Trace && self.inner.is_some()
+    }
+
+    /// The recording level.
+    pub fn level(&self) -> ProbeLevel {
+        self.level
+    }
+
+    /// Advance the probe's notion of the current sim cycle. Instruments
+    /// call this at instruction boundaries so deep components (caches,
+    /// the scratchpad) can timestamp instants without a clock reference.
+    /// The clock never moves backwards.
+    #[inline]
+    pub fn set_now(&self, cycle: u64) {
+        if self.inner.is_some() {
+            self.set_now_slow(cycle);
+        }
+    }
+
+    #[cold]
+    fn set_now_slow(&self, cycle: u64) {
+        if let Some(inner) = &self.inner {
+            let mut g = inner.lock().unwrap();
+            g.now = g.now.max(cycle);
+        }
+    }
+
+    /// The probe's current sim cycle (0 when disabled).
+    pub fn now(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.lock().unwrap().now)
+    }
+
+    /// Add `delta` to the counter `name`.
+    #[inline]
+    pub fn count(&self, name: &str, delta: u64) {
+        if self.inner.is_some() {
+            self.count_slow(name, delta);
+        }
+    }
+
+    #[cold]
+    fn count_slow(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            inner.lock().unwrap().registry.count(name, delta);
+        }
+    }
+
+    /// Set the gauge `name` to `value`.
+    #[inline]
+    pub fn gauge(&self, name: &str, value: f64) {
+        if self.inner.is_some() {
+            self.gauge_slow(name, value);
+        }
+    }
+
+    #[cold]
+    fn gauge_slow(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.lock().unwrap().registry.gauge(name, value);
+        }
+    }
+
+    /// Record `value` into the histogram `name`.
+    #[inline]
+    pub fn observe(&self, name: &str, value: u64) {
+        if self.inner.is_some() {
+            self.observe_slow(name, value);
+        }
+    }
+
+    #[cold]
+    fn observe_slow(&self, name: &str, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.lock().unwrap().registry.observe(name, value);
+        }
+    }
+
+    /// Record a complete span `[start, end]` (no-op below trace level).
+    #[inline]
+    pub fn span(
+        &self,
+        track: Track,
+        name: &str,
+        start: u64,
+        end: u64,
+        args: &[(&'static str, u64)],
+    ) {
+        if self.tracing() {
+            self.span_slow(track, name, start, end, args);
+        }
+    }
+
+    #[cold]
+    fn span_slow(
+        &self,
+        track: Track,
+        name: &str,
+        start: u64,
+        end: u64,
+        args: &[(&'static str, u64)],
+    ) {
+        if let Some(inner) = &self.inner {
+            let mut g = inner.lock().unwrap();
+            g.now = g.now.max(end);
+            g.tracer.span(track, name, start, end, args);
+        }
+    }
+
+    /// Record an instant at `ts` (no-op below trace level).
+    #[inline]
+    pub fn instant_at(&self, track: Track, name: &str, ts: u64, args: &[(&'static str, u64)]) {
+        if self.tracing() {
+            self.instant_at_slow(track, name, ts, args);
+        }
+    }
+
+    #[cold]
+    fn instant_at_slow(&self, track: Track, name: &str, ts: u64, args: &[(&'static str, u64)]) {
+        if let Some(inner) = &self.inner {
+            inner.lock().unwrap().tracer.instant(track, name, ts, args);
+        }
+    }
+
+    /// Record an instant at the probe's current cycle (no-op below trace
+    /// level). For components without a clock of their own.
+    #[inline]
+    pub fn instant(&self, track: Track, name: &str, args: &[(&'static str, u64)]) {
+        if self.tracing() {
+            self.instant_now_slow(track, name, args);
+        }
+    }
+
+    #[cold]
+    fn instant_now_slow(&self, track: Track, name: &str, args: &[(&'static str, u64)]) {
+        if let Some(inner) = &self.inner {
+            let mut g = inner.lock().unwrap();
+            let ts = g.now;
+            g.tracer.instant(track, name, ts, args);
+        }
+    }
+
+    /// Run `f` against the registry (no-op when disabled). Used by
+    /// snapshot hooks that fold component stats into gauges in bulk
+    /// without taking the lock per metric.
+    pub fn with_registry(&self, f: impl FnOnce(&mut metrics::Registry)) {
+        if let Some(inner) = &self.inner {
+            f(&mut inner.lock().unwrap().registry);
+        }
+    }
+
+    /// Read a counter back (0 when disabled) — test/report support.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.lock().unwrap().registry.counter(name))
+    }
+
+    /// Snapshot the metrics registry as nested JSON (`"{}"` when
+    /// disabled). Safe to call mid-run; the run continues recording.
+    pub fn metrics_json(&self) -> String {
+        match &self.inner {
+            Some(inner) => {
+                let mut g = inner.lock().unwrap();
+                let dropped = g.tracer.dropped();
+                if dropped > 0 {
+                    g.registry.gauge("probe.dropped_events", dropped as f64);
+                }
+                g.registry.to_json()
+            }
+            None => "{}".into(),
+        }
+    }
+
+    /// Export the trace buffer as Chrome `trace_event` JSON, labelling
+    /// the process `pid` (an empty but valid document when disabled).
+    pub fn trace_json(&self, pid: u64) -> String {
+        match &self.inner {
+            Some(inner) => inner.lock().unwrap().tracer.to_json(pid),
+            None => trace::Tracer::new().to_json(pid),
+        }
+    }
+
+    /// Number of buffered trace events (test support).
+    pub fn trace_len(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| i.lock().unwrap().tracer.len())
+    }
+}
+
+/// The compiled-out probe: same API, every method a no-op, so
+/// instrumented crates build unchanged with `--no-default-features`.
+#[cfg(not(feature = "probe"))]
+#[derive(Debug, Clone, Default)]
+pub struct Probe;
+
+#[cfg(not(feature = "probe"))]
+impl Probe {
+    pub fn off() -> Self {
+        Self
+    }
+    pub fn new(_level: ProbeLevel) -> Self {
+        Self
+    }
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        false
+    }
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        false
+    }
+    pub fn level(&self) -> ProbeLevel {
+        ProbeLevel::Off
+    }
+    #[inline]
+    pub fn set_now(&self, _cycle: u64) {}
+    pub fn now(&self) -> u64 {
+        0
+    }
+    #[inline]
+    pub fn count(&self, _name: &str, _delta: u64) {}
+    #[inline]
+    pub fn gauge(&self, _name: &str, _value: f64) {}
+    #[inline]
+    pub fn observe(&self, _name: &str, _value: u64) {}
+    #[inline]
+    pub fn span(
+        &self,
+        _track: Track,
+        _name: &str,
+        _start: u64,
+        _end: u64,
+        _args: &[(&'static str, u64)],
+    ) {
+    }
+    #[inline]
+    pub fn instant_at(&self, _track: Track, _name: &str, _ts: u64, _args: &[(&'static str, u64)]) {}
+    #[inline]
+    pub fn instant(&self, _track: Track, _name: &str, _args: &[(&'static str, u64)]) {}
+    pub fn with_registry(&self, _f: impl FnOnce(&mut metrics::Registry)) {}
+    pub fn counter(&self, _name: &str) -> u64 {
+        0
+    }
+    pub fn metrics_json(&self) -> String {
+        "{}".into()
+    }
+    pub fn trace_json(&self, pid: u64) -> String {
+        trace::Tracer::new().to_json(pid)
+    }
+    pub fn trace_len(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(all(test, feature = "probe"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_probe_records_nothing() {
+        let p = Probe::off();
+        assert!(!p.enabled() && !p.tracing());
+        p.count("x", 1);
+        p.span(Track::Engine, "s", 0, 5, &[]);
+        assert_eq!(p.counter("x"), 0);
+        assert_eq!(p.metrics_json(), "{}");
+        // Disabled trace export is still a valid document.
+        assert!(json::parse(&p.trace_json(0)).is_ok());
+    }
+
+    #[test]
+    fn metrics_level_skips_trace() {
+        let p = Probe::new(ProbeLevel::Metrics);
+        assert!(p.enabled() && !p.tracing());
+        p.count("x", 2);
+        p.span(Track::Engine, "s", 0, 5, &[]);
+        assert_eq!(p.counter("x"), 2);
+        assert_eq!(p.trace_len(), 0);
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let p = Probe::new(ProbeLevel::Trace);
+        let q = p.clone();
+        p.count("shared", 1);
+        q.count("shared", 1);
+        q.span(Track::Scache, "fill", 3, 7, &[]);
+        assert_eq!(p.counter("shared"), 2);
+        assert_eq!(p.trace_len(), 1);
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let p = Probe::new(ProbeLevel::Trace);
+        p.set_now(100);
+        p.set_now(40);
+        assert_eq!(p.now(), 100);
+        p.span(Track::Engine, "s", 90, 250, &[]);
+        assert_eq!(p.now(), 250);
+    }
+
+    #[test]
+    fn handle_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Probe>();
+    }
+}

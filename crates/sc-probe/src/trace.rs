@@ -1,0 +1,371 @@
+//! The event tracer: timestamped (sim-cycle) spans and instants exported
+//! as Chrome `trace_event` JSON, so any run opens directly in Perfetto or
+//! `chrome://tracing`.
+//!
+//! Only complete (`"ph":"X"`) and instant (`"ph":"i"`) events are
+//! emitted — never unbalanced `B`/`E` pairs — plus `"M"` metadata rows
+//! naming each process/track. Events are sorted by timestamp at export,
+//! so `ts` is monotonically non-decreasing in the emitted file. One
+//! simulated cycle maps to one microsecond of trace time.
+
+use crate::json;
+
+/// Where an event belongs on the timeline. Each track renders as one
+/// named thread row in Perfetto.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Track {
+    /// Stream-instruction retirement (the engine's architectural view).
+    Engine,
+    /// One Stream Unit's busy windows (`Su(k)` is SU number `k`).
+    Su(usize),
+    /// S-Cache slot fills / evictions / window refills.
+    Scache,
+    /// Scratchpad admissions and evictions.
+    Scratchpad,
+    /// Conventional hierarchy events (DRAM accesses).
+    Mem,
+    /// Invariant-sanitizer findings (SC-S3xx) as instants.
+    Sanitizer,
+    /// GPM plan execution phases.
+    Gpm,
+    /// Tensor-kernel driver phases.
+    Kernel,
+}
+
+impl Track {
+    /// Stable thread id for the track. SU tracks occupy 1..=15.
+    pub fn tid(self) -> u64 {
+        match self {
+            Track::Engine => 0,
+            Track::Su(k) => 1 + (k as u64).min(14),
+            Track::Scache => 16,
+            Track::Scratchpad => 17,
+            Track::Mem => 18,
+            Track::Sanitizer => 19,
+            Track::Gpm => 20,
+            Track::Kernel => 21,
+        }
+    }
+
+    /// Human name shown by the trace viewer.
+    pub fn name(self) -> String {
+        match self {
+            Track::Engine => "engine".into(),
+            Track::Su(k) => format!("su{k}"),
+            Track::Scache => "s-cache".into(),
+            Track::Scratchpad => "scratchpad".into(),
+            Track::Mem => "memory".into(),
+            Track::Sanitizer => "sanitizer".into(),
+            Track::Gpm => "gpm".into(),
+            Track::Kernel => "kernel".into(),
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone)]
+struct Event {
+    name: String,
+    track: Track,
+    /// Start cycle.
+    ts: u64,
+    /// Duration in cycles for complete events; `None` for instants.
+    dur: Option<u64>,
+    args: Vec<(&'static str, u64)>,
+}
+
+/// The event buffer. Bounded: past [`Tracer::CAP`] events, new events are
+/// dropped and counted, so a runaway sweep cannot exhaust host memory —
+/// the drop count is reported in the export and the metrics snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    events: Vec<Event>,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// Maximum buffered events before dropping (~220 MB of JSON).
+    pub const CAP: usize = 2_000_000;
+
+    /// An empty tracer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Is the buffer empty?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events dropped after the buffer filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn push(&mut self, ev: Event) {
+        if self.events.len() >= Self::CAP {
+            self.dropped += 1;
+        } else {
+            self.events.push(ev);
+        }
+    }
+
+    /// Record a complete span `[start, end]` on `track`. Spans with
+    /// `end < start` are clamped to zero duration rather than dropped.
+    pub fn span(
+        &mut self,
+        track: Track,
+        name: &str,
+        start: u64,
+        end: u64,
+        args: &[(&'static str, u64)],
+    ) {
+        self.push(Event {
+            name: name.to_string(),
+            track,
+            ts: start,
+            dur: Some(end.saturating_sub(start)),
+            args: args.to_vec(),
+        });
+    }
+
+    /// Record an instant event at `ts` on `track`.
+    pub fn instant(&mut self, track: Track, name: &str, ts: u64, args: &[(&'static str, u64)]) {
+        self.push(Event { name: name.to_string(), track, ts, dur: None, args: args.to_vec() })
+    }
+
+    /// Export as Chrome `trace_event` JSON: `{"traceEvents": [...]}` with
+    /// metadata rows first, then all events sorted by `ts`.
+    pub fn to_json(&self, pid: u64) -> String {
+        let mut order: Vec<usize> = (0..self.events.len()).collect();
+        order.sort_by_key(|&i| (self.events[i].ts, self.events[i].track.tid()));
+
+        // Track-name metadata for every track that appears.
+        let mut tracks: Vec<Track> = self.events.iter().map(|e| e.track).collect();
+        tracks.sort_by_key(|t| t.tid());
+        tracks.dedup_by_key(|t| t.tid());
+
+        let mut out = String::with_capacity(64 + self.events.len() * 96);
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        let mut meta = |out: &mut String, name: &str, tid: Option<u64>, value: &str| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"name\":");
+            json::write_str(out, name);
+            out.push_str(",\"ph\":\"M\",\"pid\":");
+            out.push_str(&pid.to_string());
+            if let Some(tid) = tid {
+                out.push_str(",\"tid\":");
+                out.push_str(&tid.to_string());
+            }
+            out.push_str(",\"args\":{\"name\":");
+            json::write_str(out, value);
+            out.push_str("}}");
+        };
+        meta(&mut out, "process_name", None, &format!("sparsecore[{pid}]"));
+        for t in &tracks {
+            meta(&mut out, "thread_name", Some(t.tid()), &t.name());
+        }
+        for i in order {
+            let e = &self.events[i];
+            out.push(',');
+            out.push_str("{\"name\":");
+            json::write_str(&mut out, &e.name);
+            match e.dur {
+                Some(d) => {
+                    out.push_str(",\"ph\":\"X\",\"dur\":");
+                    out.push_str(&d.to_string());
+                }
+                None => out.push_str(",\"ph\":\"i\",\"s\":\"t\""),
+            }
+            out.push_str(",\"ts\":");
+            out.push_str(&e.ts.to_string());
+            out.push_str(",\"pid\":");
+            out.push_str(&pid.to_string());
+            out.push_str(",\"tid\":");
+            out.push_str(&e.track.tid().to_string());
+            if !e.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (j, (k, v)) in e.args.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    json::write_str(&mut out, k);
+                    out.push(':');
+                    out.push_str(&v.to_string());
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str(
+            "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock\":\"sim-cycles\",\"dropped\":",
+        );
+        out.push_str(&self.dropped.to_string());
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Merge several exported trace JSON documents (e.g. one per simulated
+/// core, each with a distinct `pid`) into one document.
+///
+/// # Errors
+///
+/// Returns the parse error of the first malformed part.
+pub fn merge_trace_json(parts: &[String]) -> Result<String, String> {
+    let mut merged: Vec<(u64, String)> = Vec::new();
+    let mut dropped = 0u64;
+    for part in parts {
+        let doc = json::parse(part)?;
+        let events =
+            doc.get("traceEvents").and_then(|v| v.as_arr()).ok_or("missing traceEvents")?;
+        for ev in events {
+            let ts = ev.get("ts").and_then(|v| v.as_f64()).unwrap_or(0.0) as u64;
+            merged.push((ts, render(ev)));
+        }
+        if let Some(d) = doc.get("otherData").and_then(|o| o.get("dropped")) {
+            dropped += d.as_f64().unwrap_or(0.0) as u64;
+        }
+    }
+    // Metadata events carry ts 0 by omission, so sorting keeps them first.
+    merged.sort_by_key(|(ts, _)| *ts);
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, (_, ev)) in merged.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(ev);
+    }
+    out.push_str(
+        "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock\":\"sim-cycles\",\"dropped\":",
+    );
+    out.push_str(&dropped.to_string());
+    out.push_str("}}");
+    Ok(out)
+}
+
+/// Re-render a parsed JSON value compactly (object key order is
+/// alphabetical after the round-trip, which the trace format permits).
+fn render(v: &json::Value) -> String {
+    match v {
+        json::Value::Null => "null".into(),
+        json::Value::Bool(b) => b.to_string(),
+        json::Value::Num(n) => {
+            let mut s = String::new();
+            json::write_f64(&mut s, *n);
+            s
+        }
+        json::Value::Str(s) => {
+            let mut out = String::new();
+            json::write_str(&mut out, s);
+            out
+        }
+        json::Value::Arr(items) => {
+            let mut out = String::from("[");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&render(item));
+            }
+            out.push(']');
+            out
+        }
+        json::Value::Obj(map) => {
+            let mut out = String::from("{");
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::write_str(&mut out, k);
+                out.push(':');
+                out.push_str(&render(item));
+            }
+            out.push('}');
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_is_valid_and_sorted() {
+        let mut t = Tracer::new();
+        t.span(Track::Su(1), "S_INTER", 50, 90, &[("produced", 3)]);
+        t.instant(Track::Sanitizer, "SC-S301", 70, &[]);
+        t.span(Track::Engine, "S_READ", 10, 20, &[]);
+        let doc = json::parse(&t.to_json(0)).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // 3 metadata-named tracks + process_name + 3 events.
+        assert_eq!(events.len(), 7);
+        let mut last_ts = 0.0;
+        for e in events {
+            let ph = e.get("ph").unwrap().as_str().unwrap();
+            if ph == "M" {
+                continue;
+            }
+            let ts = e.get("ts").unwrap().as_f64().unwrap();
+            assert!(ts >= last_ts, "ts must be monotonic");
+            last_ts = ts;
+        }
+        // The span carries its args.
+        let span =
+            events.iter().find(|e| e.get("name").unwrap().as_str() == Some("S_INTER")).unwrap();
+        assert_eq!(span.get("dur").unwrap().as_f64(), Some(40.0));
+        assert_eq!(span.get("args").unwrap().get("produced").unwrap().as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn negative_duration_clamps() {
+        let mut t = Tracer::new();
+        t.span(Track::Engine, "weird", 100, 40, &[]);
+        let doc = json::parse(&t.to_json(0)).unwrap();
+        let ev = doc.get("traceEvents").unwrap().as_arr().unwrap().last().unwrap().clone();
+        assert_eq!(ev.get("dur").unwrap().as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn track_tids_are_distinct() {
+        let tracks = [
+            Track::Engine,
+            Track::Su(0),
+            Track::Su(3),
+            Track::Scache,
+            Track::Scratchpad,
+            Track::Mem,
+            Track::Sanitizer,
+            Track::Gpm,
+            Track::Kernel,
+        ];
+        let mut tids: Vec<u64> = tracks.iter().map(|t| t.tid()).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), tracks.len());
+    }
+
+    #[test]
+    fn merge_combines_parts() {
+        let mut a = Tracer::new();
+        a.span(Track::Engine, "x", 5, 9, &[]);
+        let mut b = Tracer::new();
+        b.instant(Track::Gpm, "y", 3, &[]);
+        let merged = merge_trace_json(&[a.to_json(0), b.to_json(1)]).unwrap();
+        let doc = json::parse(&merged).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let pids: Vec<f64> =
+            events.iter().filter_map(|e| e.get("pid").and_then(|p| p.as_f64())).collect();
+        assert!(pids.contains(&0.0) && pids.contains(&1.0));
+    }
+}

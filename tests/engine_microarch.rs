@@ -144,7 +144,7 @@ fn stream_length_histogram_populated_by_runs() {
     let plan = Plan::compile(&Pattern::triangle(), &[0, 1, 2], Induced::Vertex);
     exec::count(&g, &plan, &mut backend);
     backend.finish();
-    let mut lengths = backend.engine().stats().lengths.clone();
+    let lengths = backend.engine().stats().lengths.clone();
     assert!(lengths.count() > 100);
     assert!(lengths.mean() > 0.0);
     assert!(lengths.cdf_at(u32::MAX - 1) >= 0.999);
