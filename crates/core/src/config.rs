@@ -99,6 +99,79 @@ impl SparseCoreConfig {
     pub fn num_stream_registers(&self) -> usize {
         self.scache.slots
     }
+
+    /// A stable 64-bit digest of every model-affecting parameter, used by
+    /// the run-record registry (`sc-report`) to decide whether two bench
+    /// runs are comparable. Two properties matter:
+    ///
+    /// * **Field-order independence** — each `(path, value)` pair is
+    ///   hashed on its own and the pair hashes are combined with a
+    ///   commutative wrapping add, so reordering struct fields (or the
+    ///   enumeration below) cannot change the digest. Only renaming a
+    ///   field path, changing a value, or adding/removing a parameter
+    ///   does — exactly the changes that make runs incomparable.
+    /// * **`sanitize` is excluded** — the invariant sanitizer observes
+    ///   the model without changing its results, so records taken with
+    ///   and without `SC_SANITIZE` stay mutually comparable.
+    pub fn digest(&self) -> u64 {
+        self.digest_fields()
+            .iter()
+            .fold(0u64, |acc, (path, v)| acc.wrapping_add(field_hash(path, *v)))
+    }
+
+    /// The `(path, value)` pairs [`Self::digest`] hashes. Kept separate so
+    /// the order-independence test can recombine them in shuffled order.
+    /// The cache level is part of each path, so L1 and L2 swapping
+    /// geometries changes the digest even though the multiset of values
+    /// would be identical.
+    fn digest_fields(&self) -> Vec<(&'static str, u64)> {
+        let (l1, l2, l3) = (&self.core.mem.l1, &self.core.mem.l2, &self.core.mem.l3);
+        vec![
+            ("core.issue_width", self.core.issue_width as u64),
+            ("core.rob_size", self.core.rob_size as u64),
+            ("core.load_queue", self.core.load_queue as u64),
+            ("core.mispredict_penalty", self.core.mispredict_penalty),
+            ("core.predictor_bits", self.core.predictor_bits as u64),
+            ("core.mem.dram_latency", self.core.mem.dram_latency),
+            ("core.mem.l1.size_bytes", l1.size_bytes),
+            ("core.mem.l1.ways", l1.ways as u64),
+            ("core.mem.l1.line_bytes", l1.line_bytes),
+            ("core.mem.l1.latency", l1.latency),
+            ("core.mem.l2.size_bytes", l2.size_bytes),
+            ("core.mem.l2.ways", l2.ways as u64),
+            ("core.mem.l2.line_bytes", l2.line_bytes),
+            ("core.mem.l2.latency", l2.latency),
+            ("core.mem.l3.size_bytes", l3.size_bytes),
+            ("core.mem.l3.ways", l3.ways as u64),
+            ("core.mem.l3.line_bytes", l3.line_bytes),
+            ("core.mem.l3.latency", l3.latency),
+            ("num_sus", self.num_sus as u64),
+            ("su_buffer", self.su_buffer as u64),
+            ("stream_bandwidth", self.stream_bandwidth),
+            ("scache.slots", self.scache.slots as u64),
+            ("scache.slot_keys", self.scache.slot_keys as u64),
+            ("scache.key_bytes", self.scache.key_bytes),
+            ("scache.elements_per_cycle", self.scache.elements_per_cycle),
+            ("scratchpad.size_bytes", self.scratchpad.size_bytes),
+            ("scratchpad.latency", self.scratchpad.latency),
+            ("prefetch_depth", self.prefetch_depth),
+            ("translation_buffer", self.translation_buffer as u64),
+        ]
+    }
+}
+
+/// FNV-1a over the field path and the value's little-endian bytes. Each
+/// pair hashes independently of every other, which is what lets the
+/// combination step be commutative.
+fn field_hash(path: &str, value: u64) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in path.as_bytes().iter().chain(&value.to_le_bytes()) {
+        h ^= *b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
 }
 
 #[cfg(test)]
@@ -121,6 +194,67 @@ mod tests {
         assert_eq!(SparseCoreConfig::paper_one_su().num_sus, 1);
         assert_eq!(SparseCoreConfig::with_sus(16).num_sus, 16);
         assert_eq!(SparseCoreConfig::with_bandwidth(64).stream_bandwidth, 64);
+    }
+
+    #[test]
+    fn digest_is_field_order_independent() {
+        let c = SparseCoreConfig::paper();
+        let fields = c.digest_fields();
+        // Recombine the pair hashes in reversed and in interleaved order;
+        // the commutative combination must land on the same digest.
+        let reversed =
+            fields.iter().rev().fold(0u64, |acc, (p, v)| acc.wrapping_add(field_hash(p, *v)));
+        assert_eq!(reversed, c.digest());
+        let mut shuffled: Vec<_> =
+            fields.iter().step_by(2).chain(fields.iter().skip(1).step_by(2)).collect();
+        shuffled.reverse();
+        let interleaved =
+            shuffled.iter().fold(0u64, |acc, (p, v)| acc.wrapping_add(field_hash(p, *v)));
+        assert_eq!(interleaved, c.digest());
+    }
+
+    #[test]
+    fn digest_ignores_sanitize_but_not_model_fields() {
+        let mut a = SparseCoreConfig::paper();
+        let mut b = SparseCoreConfig::paper();
+        a.sanitize = false;
+        b.sanitize = true;
+        // Sanitizer on/off observes the model without changing results, so
+        // records from both stay comparable. Default construction paths
+        // (paper() under any SC_SANITIZE setting) agree too.
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(SparseCoreConfig::paper().digest(), SparseCoreConfig::with_sus(4).digest());
+
+        // Any model-affecting field must move the digest.
+        assert_ne!(SparseCoreConfig::paper().digest(), SparseCoreConfig::tiny().digest());
+        assert_ne!(SparseCoreConfig::paper().digest(), SparseCoreConfig::paper_one_su().digest());
+        assert_ne!(
+            SparseCoreConfig::paper().digest(),
+            SparseCoreConfig::with_bandwidth(64).digest()
+        );
+        let mut no_sp = SparseCoreConfig::paper();
+        no_sp.scratchpad.size_bytes = 0;
+        assert_ne!(SparseCoreConfig::paper().digest(), no_sp.digest());
+    }
+
+    #[test]
+    fn digest_distinguishes_same_value_in_different_fields() {
+        // Swapping two equal-typed fields' values must change the digest,
+        // because the path is hashed with the value.
+        let mut a = SparseCoreConfig::paper();
+        a.prefetch_depth = 8;
+        a.translation_buffer = 32;
+        let mut b = a;
+        b.prefetch_depth = 32;
+        b.translation_buffer = 8;
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn digest_is_reproducible_across_calls() {
+        let c = SparseCoreConfig::paper();
+        assert_eq!(c.digest(), c.digest());
+        assert_eq!(c.digest(), SparseCoreConfig::paper().digest());
     }
 
     #[test]

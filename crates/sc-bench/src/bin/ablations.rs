@@ -38,15 +38,16 @@ fn main() {
         let order = [0usize, 1, 2, 3];
         let pat = Pattern::tailed_triangle();
         let stride = stride_for(App::TailedTriangle, d);
+        let cfg = SparseCoreConfig::paper();
         let run = |plan: &Plan| {
-            let mut b =
-                StreamBackend::with_engine(&g, Engine::new(SparseCoreConfig::paper()), false);
+            let mut b = StreamBackend::with_engine(&g, Engine::new(cfg), false);
             let (n, _) = exec::count_sampled(&g, plan, &mut b, stride);
             (n, b.finish() * stride as u64)
         };
         let (n1, bounded) = run(&Plan::compile(&pat, &order, Induced::Vertex));
         let (n2, unbounded) = run(&Plan::compile_unbounded(&pat, &order, Induced::Vertex));
         assert_eq!(n1, n2);
+        cli.record(&format!("bounded/{}", d.tag()), Some(&cfg), n1, bounded, Some(unbounded));
         rows.push(vec![
             d.tag().to_string(),
             format!("{bounded}"),
@@ -72,9 +73,17 @@ fn main() {
         for &d in &datasets {
             let g = d.build();
             let stride = stride_for(without, d);
-            let a = run_sparsecore_probed(&g, with, SparseCoreConfig::paper(), stride, &probe);
-            let b = run_sparsecore_probed(&g, without, SparseCoreConfig::paper(), stride, &probe);
+            let cfg = SparseCoreConfig::paper();
+            let a = run_sparsecore_probed(&g, with, cfg, stride, &probe);
+            let b = run_sparsecore_probed(&g, without, cfg, stride, &probe);
             assert_eq!(a.count, b.count);
+            cli.record(
+                &format!("nested/{with}/{}", d.tag()),
+                Some(&cfg),
+                a.count,
+                a.cycles,
+                Some(b.cycles),
+            );
             rows.push(vec![
                 format!("{with}/{}", d.tag()),
                 format!("{}", a.cycles),
@@ -97,12 +106,19 @@ fn main() {
     for &d in &datasets {
         let g = d.build();
         let stride = stride_for(App::Triangle, d);
-        let with =
-            run_sparsecore_probed(&g, App::Triangle, SparseCoreConfig::paper(), stride, &probe);
+        let cfg = SparseCoreConfig::paper();
+        let with = run_sparsecore_probed(&g, App::Triangle, cfg, stride, &probe);
         let mut no_sp = SparseCoreConfig::paper();
         no_sp.scratchpad.size_bytes = 0;
         let without = run_sparsecore_probed(&g, App::Triangle, no_sp, stride, &probe);
         assert_eq!(with.count, without.count);
+        cli.record(
+            &format!("scratchpad/{}", d.tag()),
+            Some(&cfg),
+            with.count,
+            with.cycles,
+            Some(without.cycles),
+        );
         rows.push(vec![
             d.tag().to_string(),
             format!("{}", with.cycles),
@@ -119,9 +135,17 @@ fn main() {
     let mut rows = Vec::new();
     for &d in &datasets {
         let g = d.build();
-        let enumerated = App::ThreeChain.run_stream(&g, SparseCoreConfig::paper());
-        let via_iep = iep::count_stream(&g, SparseCoreConfig::paper());
+        let cfg = SparseCoreConfig::paper();
+        let enumerated = App::ThreeChain.run_stream(&g, cfg);
+        let via_iep = iep::count_stream(&g, cfg);
         assert_eq!(enumerated.count, via_iep.three_chains);
+        cli.record(
+            &format!("iep/{}", d.tag()),
+            Some(&cfg),
+            via_iep.three_chains,
+            via_iep.cycles,
+            Some(enumerated.cycles),
+        );
         rows.push(vec![
             d.tag().to_string(),
             format!("{}", enumerated.cycles),

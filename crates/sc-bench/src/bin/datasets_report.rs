@@ -35,6 +35,9 @@ fn main() {
     for d in Dataset::ALL {
         let spec = d.spec();
         let g = d.build();
+        // Edge count as the functional checksum: the generators are
+        // deterministic, so any change means the workloads changed.
+        cli.record(&format!("table4/{}", spec.tag), None, g.num_edges() as u64, 0, None);
         rows.push(vec![
             spec.tag.to_string(),
             spec.name.to_string(),
@@ -70,6 +73,7 @@ fn main() {
     for m in MatrixDataset::ALL {
         let spec = m.spec();
         let built = m.build();
+        cli.record(&format!("table5m/{}", spec.tag), None, built.nnz() as u64, 0, None);
         rows.push(vec![
             spec.tag.to_string(),
             spec.name.to_string(),
@@ -104,6 +108,7 @@ fn main() {
     for t in TensorDataset::ALL {
         let spec = t.spec();
         let built = t.build();
+        cli.record(&format!("table5t/{}", spec.tag), None, built.nnz() as u64, 0, None);
         rows.push(vec![
             spec.tag.to_string(),
             spec.name.to_string(),

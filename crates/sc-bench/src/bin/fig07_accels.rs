@@ -42,8 +42,8 @@ fn main() {
         for &d in &datasets {
             let g = d.build();
             let stride = stride_for(app, d);
-            let sc =
-                run_sparsecore_probed(&g, app, SparseCoreConfig::paper_one_su(), stride, &probe);
+            let cfg = SparseCoreConfig::paper_one_su();
+            let sc = run_sparsecore_probed(&g, app, cfg, stride, &probe);
             let mut fm = FlexMinerModel::new(&g);
             let mut fm_count = 0;
             for plan in app.plans() {
@@ -52,6 +52,13 @@ fn main() {
             }
             let fm_cycles = fm.finish() * stride as u64;
             assert_eq!(sc.count, fm_count, "{app} on {d}");
+            cli.record(
+                &format!("fm/{app}/{}", d.tag()),
+                Some(&cfg),
+                sc.count,
+                sc.cycles,
+                Some(fm_cycles),
+            );
             let speedup = fm_cycles as f64 / sc.cycles.max(1) as f64;
             speedups.push(speedup);
             row.push(format!("{speedup:.2}"));
@@ -79,16 +86,22 @@ fn main() {
         for &d in &datasets {
             let g = d.build();
             let stride = stride_for(app, d).max(4); // TrieJax enumerates k! per clique
-            let sc =
-                run_sparsecore_probed(&g, app, SparseCoreConfig::paper_one_su(), stride, &probe);
+            let cfg = SparseCoreConfig::paper_one_su();
+            let sc = run_sparsecore_probed(&g, app, cfg, stride, &probe);
             // TrieJax model runs unsampled per start vertex internally;
             // subsample by running on the same stride via cycle scaling.
             let tj = triejax::count_cliques(&g, k);
             assert_eq!(
                 tj.embeddings,
-                run_sparsecore_probed(&g, app, SparseCoreConfig::paper_one_su(), 1, &probe).count
-                    * triejax::factorial(k),
+                run_sparsecore_probed(&g, app, cfg, 1, &probe).count * triejax::factorial(k),
                 "{app} on {d}: TrieJax embeddings should be k! x cliques"
+            );
+            cli.record(
+                &format!("tj/{app}/{}", d.tag()),
+                Some(&cfg),
+                sc.count,
+                sc.cycles,
+                Some(tj.cycles),
             );
             let speedup = tj.cycles as f64 / (sc.cycles.max(1)) as f64;
             tj_all.push(speedup);
@@ -114,14 +127,16 @@ fn main() {
         let mut rows = Vec::new();
         for &d in &datasets {
             let g = d.build();
-            let sc = run_sparsecore_probed(
-                &g,
-                App::Triangle,
-                SparseCoreConfig::paper_one_su(),
-                1,
-                &probe,
-            );
+            let cfg = SparseCoreConfig::paper_one_su();
+            let sc = run_sparsecore_probed(&g, App::Triangle, cfg, 1, &probe);
             let gr = gramer::mine_clique(&g, 3);
+            cli.record(
+                &format!("gramer/T/{}", d.tag()),
+                Some(&cfg),
+                sc.count,
+                sc.cycles,
+                Some(gr.cycles),
+            );
             let speedup = gr.cycles as f64 / sc.cycles.max(1) as f64;
             rows.push(vec![
                 d.tag().to_string(),

@@ -37,8 +37,16 @@ fn main() {
             let g = d.build();
             let stride = stride_for(app, d);
             let cpu = run_cpu(&g, app, stride);
-            let sc = run_sparsecore_probed(&g, app, SparseCoreConfig::paper(), stride, &probe);
+            let cfg = SparseCoreConfig::paper();
+            let sc = run_sparsecore_probed(&g, app, cfg, stride, &probe);
             assert_eq!(cpu.count, sc.count, "count mismatch for {app} on {d} (stride {stride})");
+            cli.record(
+                &format!("{app}/{}", d.tag()),
+                Some(&cfg),
+                sc.count,
+                sc.cycles,
+                Some(cpu.cycles),
+            );
             let speedup = cpu.cycles as f64 / sc.cycles.max(1) as f64;
             speedups.push(speedup);
             row.push(format!("{speedup:.2}"));
@@ -68,12 +76,21 @@ fn main() {
         for threshold in [1000u64, 2000] {
             let mut cpu_b = ScalarBackend::new(&g);
             let cpu = run_fsm(&g, &labels, threshold, &mut cpu_b);
-            let mut engine = Engine::new(SparseCoreConfig::paper());
+            let cfg = SparseCoreConfig::paper();
+            let mut engine = Engine::new(cfg);
             engine.set_probe(probe.clone());
             let mut sc_b = StreamBackend::with_engine(&g, engine, true);
             let sc = run_fsm(&g, &labels, threshold, &mut sc_b);
             assert_eq!(cpu.frequent, sc.frequent, "FSM result mismatch");
             let _ = (cpu_b.finish(), sc_b.finish());
+            sc_b.engine().probe_snapshot();
+            cli.record(
+                &format!("fsm/mico/{threshold}"),
+                Some(&cfg),
+                sc.frequent.len() as u64,
+                sc.cycles,
+                Some(cpu.cycles),
+            );
             rows.push(vec![
                 format!("{threshold}"),
                 format!("{}", cpu.frequent.len()),

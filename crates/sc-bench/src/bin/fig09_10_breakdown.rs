@@ -84,11 +84,14 @@ fn main() {
         for &d in &datasets {
             let g = d.build();
             let stride = stride_for(app, d);
-            let mut engine = Engine::new(SparseCoreConfig::paper());
+            let cfg = SparseCoreConfig::paper();
+            let mut engine = Engine::new(cfg);
             engine.set_probe(cli.probe());
             let mut b = StreamBackend::with_engine(&g, engine, app.uses_nested());
+            let mut count = 0;
             for plan in app.plans() {
-                exec::count_sampled(&g, &plan, &mut b, stride);
+                let (est, _) = exec::count_sampled(&g, &plan, &mut b, stride);
+                count += est;
             }
             let cycles = b.finish();
             let attr = *b.engine().attribution();
@@ -99,6 +102,7 @@ fn main() {
                 d.tag()
             );
             b.engine().probe_snapshot();
+            cli.record(&format!("{app}/{}", d.tag()), Some(&cfg), count, cycles, None);
             let fr = attr.fractions();
             let mut row = vec![format!("{app}/{}", d.tag())];
             row.extend(fr.iter().map(|f| format!("{:.1}", f * 100.0)));

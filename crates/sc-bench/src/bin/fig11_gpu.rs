@@ -46,9 +46,17 @@ fn main() {
         for &d in &datasets {
             let g = d.build();
             let stride = stride_for(app, d);
-            let sc = run_sparsecore_probed(&g, app, SparseCoreConfig::paper(), stride, &probe);
+            let cfg = SparseCoreConfig::paper();
+            let sc = run_sparsecore_probed(&g, app, cfg, stride, &probe);
             let gpu_with = estimate(&g, app, GpuConfig::k40m(), true);
             let gpu_without = estimate(&g, app, GpuConfig::k40m(), false);
+            cli.record(
+                &format!("{app}/{}", d.tag()),
+                Some(&cfg),
+                sc.count,
+                sc.cycles,
+                Some(gpu_with.cycles_at_1ghz),
+            );
             rows.push(vec![
                 format!("{app}/{}", d.tag()),
                 format!("{}", sc.cycles),

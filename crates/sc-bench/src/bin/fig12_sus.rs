@@ -36,9 +36,16 @@ fn main() {
                 run_sparsecore_probed(&g, app, SparseCoreConfig::with_sus(1), stride, &probe);
             let mut row = vec![format!("{app}/{}", d.tag())];
             for &n in &sus {
-                let m =
-                    run_sparsecore_probed(&g, app, SparseCoreConfig::with_sus(n), stride, &probe);
+                let cfg = SparseCoreConfig::with_sus(n);
+                let m = run_sparsecore_probed(&g, app, cfg, stride, &probe);
                 assert_eq!(m.count, base.count);
+                cli.record(
+                    &format!("{app}/{}/su{n}", d.tag()),
+                    Some(&cfg),
+                    m.count,
+                    m.cycles,
+                    Some(base.cycles),
+                );
                 row.push(format!("{:.2}", base.cycles as f64 / m.cycles.max(1) as f64));
             }
             rows.push(row);

@@ -37,14 +37,16 @@ fn main() {
                 run_sparsecore_probed(&g, app, SparseCoreConfig::with_bandwidth(2), stride, &probe);
             let mut row = vec![format!("{app}/{}", d.tag())];
             for &bw in &bws {
-                let m = run_sparsecore_probed(
-                    &g,
-                    app,
-                    SparseCoreConfig::with_bandwidth(bw),
-                    stride,
-                    &probe,
-                );
+                let cfg = SparseCoreConfig::with_bandwidth(bw);
+                let m = run_sparsecore_probed(&g, app, cfg, stride, &probe);
                 assert_eq!(m.count, base.count);
+                cli.record(
+                    &format!("{app}/{}/bw{bw}", d.tag()),
+                    Some(&cfg),
+                    m.count,
+                    m.cycles,
+                    Some(base.cycles),
+                );
                 row.push(format!("{:.2}", base.cycles as f64 / m.cycles.max(1) as f64));
             }
             rows.push(row);

@@ -45,8 +45,9 @@ fn main() {
     let mut rows = Vec::new();
     for app in apps {
         let stride = stride_for(app, Dataset::EmailEuCore);
-        let (_, backend) =
-            run_sparsecore_backend(&g, app, SparseCoreConfig::paper(), stride, &cli.probe());
+        let cfg = SparseCoreConfig::paper();
+        let (m, backend) = run_sparsecore_backend(&g, app, cfg, stride, &cli.probe());
+        cli.record(&format!("cdf/{}", app.tag()), Some(&cfg), m.count, m.cycles, None);
         rows.push(cdf_row(app.tag().to_string(), &backend.engine().stats().lengths));
     }
     println!("{}", render_table(&header, &rows));
@@ -56,13 +57,9 @@ fn main() {
     for d in Dataset::ALL {
         let g = d.build();
         let stride = stride_for(App::Triangle, d);
-        let (_, backend) = run_sparsecore_backend(
-            &g,
-            App::Triangle,
-            SparseCoreConfig::paper(),
-            stride,
-            &cli.probe(),
-        );
+        let cfg = SparseCoreConfig::paper();
+        let (m, backend) = run_sparsecore_backend(&g, App::Triangle, cfg, stride, &cli.probe());
+        cli.record(&format!("tc/{}", d.tag()), Some(&cfg), m.count, m.cycles, None);
         rows.push(cdf_row(d.tag().to_string(), &backend.engine().stats().lengths));
     }
     println!("{}", render_table(&header, &rows));

@@ -55,8 +55,9 @@ fn main() {
     let matrices = matrix_filter(cli.args());
     let skip_tensors = cli.flag("--skip-tensors");
     let probe = cli.probe();
+    let cfg = SparseCoreConfig::paper_one_su();
     let mk_engine = || {
-        let mut e = Engine::new(SparseCoreConfig::paper_one_su());
+        let mut e = Engine::new(cfg);
         e.set_probe(probe.clone());
         e
     };
@@ -94,6 +95,31 @@ fn main() {
         let sc_gus =
             gustavson_sampled(&a, &a, &mut StreamTensorBackend::with_engine(mk_engine()), stride);
         let s_gus = cpu_gus.cycles as f64 / sc_gus.cycles.max(1) as f64;
+
+        // Product nnz is the functional checksum: both sides must build
+        // the same C, and the regression gate exact-compares it.
+        let tag = m.tag();
+        cli.record(
+            &format!("inner/{tag}"),
+            Some(&cfg),
+            sc_in.c.nnz() as u64,
+            sc_in.cycles,
+            Some(cpu_in.cycles),
+        );
+        cli.record(
+            &format!("outer/{tag}"),
+            Some(&cfg),
+            sc_out.c.nnz() as u64,
+            sc_out.cycles,
+            Some(cpu_out.cycles),
+        );
+        cli.record(
+            &format!("gustavson/{tag}"),
+            Some(&cfg),
+            sc_gus.c.nnz() as u64,
+            sc_gus.cycles,
+            Some(cpu_gus.cycles),
+        );
 
         sp_in.push(s_in);
         sp_out.push(s_out);
@@ -137,6 +163,28 @@ fn main() {
             let sc_ttm =
                 ttm_sampled(&a, &b, &mut StreamTensorBackend::with_engine(mk_engine()), stride);
             let s_ttm = cpu_ttm.cycles as f64 / sc_ttm.cycles.max(1) as f64;
+
+            // Dense outputs: hash the f64 bit patterns (exact arithmetic
+            // reproducibility, not approximate closeness).
+            let ttv_sum =
+                sc_report::fnv1a(sc_ttv.z.iter().flatten().flat_map(|x| x.to_bits().to_le_bytes()));
+            let ttm_sum = sc_report::fnv1a(
+                sc_ttm.z.iter().flatten().flatten().flat_map(|x| x.to_bits().to_le_bytes()),
+            );
+            cli.record(
+                &format!("ttv/{}", t.tag()),
+                Some(&cfg),
+                ttv_sum,
+                sc_ttv.cycles,
+                Some(cpu_ttv.cycles),
+            );
+            cli.record(
+                &format!("ttm/{}", t.tag()),
+                Some(&cfg),
+                ttm_sum,
+                sc_ttm.cycles,
+                Some(cpu_ttm.cycles),
+            );
 
             rows.push(vec![t.tag().to_string(), format!("{s_ttv:.2}"), format!("{s_ttm:.2}")]);
             eprintln!("  {}: ttv {s_ttv:.2} ttm {s_ttm:.2}", t.tag());

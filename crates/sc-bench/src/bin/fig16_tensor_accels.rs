@@ -33,8 +33,9 @@ fn main() {
     let cli = BenchCli::parse();
     let matrices = matrix_filter(cli.args());
     let probe = cli.probe();
+    let cfg = SparseCoreConfig::paper_one_su();
     let mk_engine = || {
-        let mut e = Engine::new(SparseCoreConfig::paper_one_su());
+        let mut e = Engine::new(cfg);
         e.set_probe(probe.clone());
         e
     };
@@ -53,27 +54,52 @@ fn main() {
             }),
         };
         // Baseline: SparseCore inner product.
-        let sc_inner =
-            inner_product(&a, &acsc, &mut StreamTensorBackend::with_engine(mk_engine()), opts)
-                .cycles;
+        let sc_inner_run =
+            inner_product(&a, &acsc, &mut StreamTensorBackend::with_engine(mk_engine()), opts);
+        let sc_inner = sc_inner_run.cycles;
         let stride = match *m {
             MatrixDataset::Tsopf => 16,
             MatrixDataset::Gridgena | MatrixDataset::Ex19 => 4,
             _ => 1,
         };
         let ext = inner_product(&a, &acsc, &mut ExTensorBackend::new(), opts).cycles;
-        let sc_outer = outer_product_sampled(
+        let sc_outer_run = outer_product_sampled(
             &acsc,
             &a,
             &mut StreamTensorBackend::with_engine(mk_engine()),
             stride,
-        )
-        .cycles;
+        );
+        let sc_outer = sc_outer_run.cycles;
         let osp = outer_product_sampled(&acsc, &a, &mut OuterSpaceBackend::new(), stride).cycles;
-        let sc_gus =
-            gustavson_sampled(&a, &a, &mut StreamTensorBackend::with_engine(mk_engine()), stride)
-                .cycles;
+        let sc_gus_run =
+            gustavson_sampled(&a, &a, &mut StreamTensorBackend::with_engine(mk_engine()), stride);
+        let sc_gus = sc_gus_run.cycles;
         let gam = gustavson_sampled(&a, &a, &mut GammaBackend::new(), stride).cycles;
+
+        // SparseCore-side runs become records; the inner-product run is
+        // everyone's comparison point, matching the figure's baseline.
+        let tag = m.tag();
+        cli.record(
+            &format!("inner/{tag}"),
+            Some(&cfg),
+            sc_inner_run.c.nnz() as u64,
+            sc_inner,
+            None,
+        );
+        cli.record(
+            &format!("outer/{tag}"),
+            Some(&cfg),
+            sc_outer_run.c.nnz() as u64,
+            sc_outer,
+            Some(sc_inner),
+        );
+        cli.record(
+            &format!("gustavson/{tag}"),
+            Some(&cfg),
+            sc_gus_run.c.nnz() as u64,
+            sc_gus,
+            Some(sc_inner),
+        );
 
         let base = sc_inner.max(1) as f64;
         for (i, c) in [ext, sc_outer, osp, sc_gus, gam].into_iter().enumerate() {

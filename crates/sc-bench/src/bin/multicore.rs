@@ -35,26 +35,20 @@ fn main() {
     let mut rows = Vec::new();
     for &d in &datasets {
         let g = d.build();
-        let (base, _) = count_stream_parallel_probed(
-            &g,
-            &plan,
-            SparseCoreConfig::paper(),
-            true,
-            1,
-            probe.clone(),
-        );
+        let cfg = SparseCoreConfig::paper();
+        let (base, _) = count_stream_parallel_probed(&g, &plan, cfg, true, 1, probe.clone());
         let mut row = vec![d.tag().to_string()];
         let mut last_imbalance = 1.0;
         for &c in &cores {
-            let (run, _) = count_stream_parallel_probed(
-                &g,
-                &plan,
-                SparseCoreConfig::paper(),
-                true,
-                c,
-                probe.clone(),
-            );
+            let (run, _) = count_stream_parallel_probed(&g, &plan, cfg, true, c, probe.clone());
             assert_eq!(run.count, base.count);
+            cli.record(
+                &format!("tc/{}/c{c}", d.tag()),
+                Some(&cfg),
+                run.count,
+                run.cycles,
+                Some(base.cycles),
+            );
             row.push(format!("{:.2}", base.cycles as f64 / run.cycles.max(1) as f64));
             last_imbalance = run.imbalance();
         }

@@ -10,15 +10,22 @@
 //!   (implies at least `--probe-level metrics`).
 //! - `--trace <path>` — write a Chrome `trace_event` JSON file on exit,
 //!   loadable in Perfetto (implies `--probe-level trace`).
+//! - `--record <path>` — append one canonical `sc-report` run record per
+//!   workload to the given registry file (implies at least
+//!   `--probe-level metrics`, so the cycle-attribution gauges exist).
 //!
 //! Binary-specific flags (`--skip-fsm`, `--gramer`, `--matrices`, ...)
 //! stay in their binaries and read through [`BenchCli::flag`] /
 //! [`BenchCli::value`].
 
+use std::cell::{Cell, RefCell};
 use std::path::PathBuf;
+use std::time::Instant;
 
 use sc_graph::Dataset;
 use sc_probe::{Probe, ProbeLevel};
+use sc_report::{RunRecord, ATTR_BINS};
+use sparsecore::SparseCoreConfig;
 
 /// Parsed cross-cutting flags plus the probe they configure. Construct
 /// one at the top of every bench `main` (it also runs
@@ -28,9 +35,17 @@ use sc_probe::{Probe, ProbeLevel};
 #[derive(Debug)]
 pub struct BenchCli {
     args: Vec<String>,
+    bench: String,
     probe: Probe,
     trace: Option<PathBuf>,
     metrics: Option<PathBuf>,
+    record: Option<PathBuf>,
+    records: RefCell<Vec<RunRecord>>,
+    /// Start of the current workload's wall-clock window: construction
+    /// time, then each `record()` call re-arms it, so a record's
+    /// `wall_ms` covers everything since the previous record (graph
+    /// build + baseline + SparseCore run for that workload).
+    last_mark: Cell<Instant>,
 }
 
 impl BenchCli {
@@ -48,6 +63,7 @@ impl BenchCli {
         crate::init_sanitize(&args);
         let trace = value_of(&args, "--trace").map(PathBuf::from);
         let metrics = value_of(&args, "--metrics").map(PathBuf::from);
+        let record = value_of(&args, "--record").map(PathBuf::from);
         let mut level = match value_of(&args, "--probe-level") {
             Some(s) => ProbeLevel::parse(&s).unwrap_or_else(|e| panic!("{e}")),
             None => ProbeLevel::Off,
@@ -56,14 +72,31 @@ impl BenchCli {
         if trace.is_some() {
             level = level.max(ProbeLevel::Trace);
         }
-        if metrics.is_some() {
+        if metrics.is_some() || record.is_some() {
             level = level.max(ProbeLevel::Metrics);
         }
         let probe = Probe::new(level);
         if probe.enabled() {
             println!("# probe: level {}\n", probe.level().name());
         }
-        Self { args, probe, trace, metrics }
+        let bench = args
+            .first()
+            .map(|a| {
+                PathBuf::from(a)
+                    .file_stem()
+                    .map_or_else(|| a.clone(), |s| s.to_string_lossy().into_owned())
+            })
+            .unwrap_or_else(|| "unknown".into());
+        Self {
+            args,
+            bench,
+            probe,
+            trace,
+            metrics,
+            record,
+            records: RefCell::new(Vec::new()),
+            last_mark: Cell::new(Instant::now()),
+        }
     }
 
     /// The raw argument vector (for binary-specific parsing).
@@ -93,14 +126,92 @@ impl BenchCli {
         self.probe.clone()
     }
 
-    /// Write the `--trace` / `--metrics` output files, if requested.
-    /// Call this once, after the last simulation finishes.
+    /// Is `--record` active? Benches can skip redundant work (e.g.
+    /// recomputing checksums) when nothing will be recorded.
+    pub fn recording(&self) -> bool {
+        self.record.is_some()
+    }
+
+    /// Queue one run record for this bench's current workload. No-op
+    /// without `--record`. `cfg` is the simulated configuration (`None`
+    /// for records that never ran the stream engine, e.g. dataset
+    /// reports — their digest is 0). `baseline_cycles` is the comparison
+    /// point when the workload measures a speedup.
+    ///
+    /// The record's cycle-attribution bins are read from the probe's
+    /// `attr.*` gauges, which [`Engine::probe_snapshot`] overwrites per
+    /// run — so call this immediately after the workload's SparseCore
+    /// run, before the next one starts.
+    ///
+    /// [`Engine::probe_snapshot`]: sparsecore::Engine::probe_snapshot
+    pub fn record(
+        &self,
+        workload: &str,
+        cfg: Option<&SparseCoreConfig>,
+        checksum: u64,
+        cycles: u64,
+        baseline_cycles: Option<u64>,
+    ) {
+        let now = Instant::now();
+        let wall_ms = now.duration_since(self.last_mark.replace(now)).as_secs_f64() * 1e3;
+        if self.record.is_none() {
+            return;
+        }
+        let metrics = sc_probe::json::parse(&self.probe.metrics_json())
+            .expect("probe metrics snapshot is valid JSON");
+        let mut attr = [0u64; 5];
+        for (slot, name) in attr.iter_mut().zip(ATTR_BINS) {
+            *slot = metrics
+                .get("attr")
+                .and_then(|a| a.get(name))
+                .and_then(sc_probe::json::Value::as_f64)
+                .unwrap_or(0.0) as u64;
+        }
+        self.records.borrow_mut().push(RunRecord {
+            bench: self.bench.clone(),
+            workload: workload.to_string(),
+            git_sha: sc_report::current_git_sha(),
+            config_digest: cfg.map_or(0, SparseCoreConfig::digest),
+            checksum,
+            cycles,
+            baseline_cycles,
+            wall_ms,
+            attr,
+            metrics,
+        });
+    }
+
+    /// Records queued so far (tests inspect these without touching disk).
+    pub fn pending_records(&self) -> Vec<RunRecord> {
+        self.records.borrow().clone()
+    }
+
+    /// Write the `--trace` / `--metrics` output files and flush queued
+    /// run records to the `--record` registry file, if requested. Call
+    /// this once, after the last simulation finishes.
     ///
     /// # Panics
     ///
     /// Panics when an output file cannot be written — a bench run whose
-    /// requested artifacts silently vanish is worse than a crash.
+    /// requested artifacts silently vanish is worse than a crash. Also
+    /// panics when `--record` was given but the bench never called
+    /// [`BenchCli::record`]: an empty registry append is the silent
+    /// no-op the regression gate exists to catch.
     pub fn write_probe_outputs(&self) {
+        if let Some(path) = &self.record {
+            let records = self.records.borrow();
+            assert!(
+                !records.is_empty(),
+                "--record given but no workload produced a record (bench bug?)"
+            );
+            let total = sc_report::append_records(path, &records)
+                .unwrap_or_else(|e| panic!("appending records: {e}"));
+            println!(
+                "# record: {} run records -> {} ({total} total)",
+                records.len(),
+                path.display()
+            );
+        }
         if let Some(path) = &self.metrics {
             std::fs::write(path, self.probe.metrics_json())
                 .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
@@ -168,5 +279,47 @@ mod tests {
     fn dataset_filter_still_applies() {
         let c = cli(&["--datasets", "E,W"]);
         assert_eq!(c.datasets(&Dataset::ALL).len(), 2);
+    }
+
+    #[test]
+    fn record_implies_metrics_level_and_queues_records() {
+        let c = cli(&["--record", "/tmp/reg.json"]);
+        assert!(c.recording());
+        assert_eq!(c.probe().level(), ProbeLevel::Metrics);
+
+        let cfg = SparseCoreConfig::paper();
+        c.record("TC/C", Some(&cfg), 1458, 125_000, Some(1_690_000));
+        c.record("cdf/T", None, 7, 10, None);
+        let records = c.pending_records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].bench, "prog");
+        assert_eq!(records[0].config_digest, cfg.digest());
+        assert!(records[0].wall_ms >= 0.0);
+        assert_eq!(records[1].config_digest, 0);
+        // Records round-trip through the registry schema.
+        for r in &records {
+            r.round_trip().unwrap();
+        }
+    }
+
+    #[test]
+    fn record_is_a_noop_without_the_flag() {
+        let c = cli(&[]);
+        assert!(!c.recording());
+        c.record("TC/C", None, 1, 2, None);
+        assert!(c.pending_records().is_empty());
+    }
+
+    #[test]
+    fn record_reads_attr_gauges_from_the_probe() {
+        let c = cli(&["--record", "/tmp/reg.json"]);
+        let probe = c.probe();
+        probe.gauge("attr.su_compare", 40.0);
+        probe.gauge("attr.scalar_overlap", 60.0);
+        probe.gauge("attr.total", 100.0);
+        c.record("w", None, 0, 100, None);
+        let r = &c.pending_records()[0];
+        assert_eq!(r.attr, [40, 0, 0, 0, 60]);
+        assert!(r.metrics.get("attr").is_some());
     }
 }

@@ -6,7 +6,9 @@
 //! ```
 //!
 //! Exits non-zero (printing the first violation) if any file fails its
-//! structural validator; CI's probe-smoke job gates on this.
+//! structural validator; CI's probe-smoke job gates on this. A metrics
+//! snapshot with zero leaf metrics is a failure: a probe that recorded
+//! nothing means the run was not observed at all.
 
 use std::process::ExitCode;
 
@@ -36,50 +38,18 @@ fn main() -> ExitCode {
     if traces.is_empty() && metrics.is_empty() {
         return usage("nothing to check");
     }
+    if metrics.is_empty() && !expects.is_empty() {
+        return usage("--expect needs at least one --metrics file to check against");
+    }
 
-    let mut ok = true;
-    for path in &traces {
-        match std::fs::read_to_string(path) {
-            Ok(doc) => match sc_probe::check::validate_trace(&doc) {
-                Ok(summary) => println!("ok: {path}: {summary}"),
-                Err(e) => {
-                    eprintln!("FAIL: {path}: {e}");
-                    ok = false;
-                }
-            },
-            Err(e) => {
-                eprintln!("FAIL: {path}: {e}");
-                ok = false;
-            }
-        }
+    let report = sc_probe::check::check_probe_files(&traces, &metrics, &expects);
+    for line in &report.passed {
+        println!("{line}");
     }
-    for path in &metrics {
-        match std::fs::read_to_string(path) {
-            Ok(doc) => match sc_probe::check::validate_metrics(&doc) {
-                Ok(n) => {
-                    println!("ok: {path}: {n} metrics");
-                    for e in &expects {
-                        match sc_probe::check::metrics_value(&doc, e) {
-                            Some(v) => println!("ok: {path}: {e} = {v}"),
-                            None => {
-                                eprintln!("FAIL: {path}: expected metric '{e}' missing");
-                                ok = false;
-                            }
-                        }
-                    }
-                }
-                Err(e) => {
-                    eprintln!("FAIL: {path}: {e}");
-                    ok = false;
-                }
-            },
-            Err(e) => {
-                eprintln!("FAIL: {path}: {e}");
-                ok = false;
-            }
-        }
+    for line in &report.failures {
+        eprintln!("{line}");
     }
-    if ok {
+    if report.ok() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -170,6 +170,76 @@ pub fn metrics_value(doc: &str, path: &str) -> Option<f64> {
     cur.as_f64()
 }
 
+/// Outcome of checking a batch of probe output files (`probe-check`'s
+/// engine, kept in the library so tests can drive it without spawning
+/// the binary).
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    /// One `ok: ...` line per passed check.
+    pub passed: Vec<String>,
+    /// One `FAIL: ...` line per violation.
+    pub failures: Vec<String>,
+}
+
+impl CheckReport {
+    /// Did every check pass?
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Validate trace and metrics files, and require every `expects` dotted
+/// path to resolve to a numeric leaf in every metrics file.
+///
+/// A metrics snapshot with **zero** leaf metrics is a hard failure: it
+/// is structurally valid JSON (`{}`), but a probe that recorded nothing
+/// means the run was not actually observed (probe level off, or the
+/// instrumentation fell out) — exactly the silent failure mode a CI
+/// gate exists to catch.
+pub fn check_probe_files(traces: &[String], metrics: &[String], expects: &[String]) -> CheckReport {
+    let mut report = CheckReport::default();
+    for path in traces {
+        match std::fs::read_to_string(path) {
+            Ok(doc) => match validate_trace(&doc) {
+                Ok(summary) => report.passed.push(format!("ok: {path}: {summary}")),
+                Err(e) => report.failures.push(format!("FAIL: {path}: {e}")),
+            },
+            Err(e) => report.failures.push(format!("FAIL: {path}: {e}")),
+        }
+    }
+    for path in metrics {
+        let doc = match std::fs::read_to_string(path) {
+            Ok(doc) => doc,
+            Err(e) => {
+                report.failures.push(format!("FAIL: {path}: {e}"));
+                continue;
+            }
+        };
+        match validate_metrics(&doc) {
+            Ok(0) => {
+                report.failures.push(format!(
+                    "FAIL: {path}: empty metrics snapshot (0 leaf metrics) — was the probe enabled?"
+                ));
+                continue;
+            }
+            Ok(n) => report.passed.push(format!("ok: {path}: {n} metrics")),
+            Err(e) => {
+                report.failures.push(format!("FAIL: {path}: {e}"));
+                continue;
+            }
+        }
+        for e in expects {
+            match metrics_value(&doc, e) {
+                Some(v) => report.passed.push(format!("ok: {path}: {e} = {v}")),
+                None => {
+                    report.failures.push(format!("FAIL: {path}: expected metric '{e}' missing"))
+                }
+            }
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,6 +285,37 @@ mod tests {
     fn event_names_are_sorted_unique() {
         let names = trace_event_names(&sample_trace()).unwrap();
         assert_eq!(names, vec!["S_INTER", "S_READ", "slot_fill"]);
+    }
+
+    #[test]
+    fn empty_metrics_snapshot_is_a_hard_error() {
+        let dir = std::env::temp_dir();
+        let empty = dir.join("sc_probe_check_empty_metrics.json");
+        let live = dir.join("sc_probe_check_live_metrics.json");
+        std::fs::write(&empty, "{}").unwrap();
+        let mut r = crate::metrics::Registry::new();
+        r.count("engine.reads", 3);
+        std::fs::write(&live, r.to_json()).unwrap();
+        let empty = empty.to_string_lossy().into_owned();
+        let live = live.to_string_lossy().into_owned();
+
+        // `{}` used to validate (it is a well-formed object); now it fails.
+        let report = check_probe_files(&[], std::slice::from_ref(&empty), &[]);
+        assert!(!report.ok());
+        assert!(report.failures[0].contains("empty metrics snapshot"), "{:?}", report.failures);
+
+        // A populated snapshot still passes, and expectations resolve.
+        let report = check_probe_files(&[], std::slice::from_ref(&live), &["engine.reads".into()]);
+        assert!(report.ok(), "{:?}", report.failures);
+
+        // A missing expected path is a failure even when the file is valid.
+        let report = check_probe_files(&[], &[live], &["engine.nope".into()]);
+        assert!(!report.ok());
+        assert!(report.failures[0].contains("engine.nope"));
+
+        // An unreadable file is a failure, not a skip.
+        let report = check_probe_files(&[], &["/nonexistent/metrics.json".into()], &[]);
+        assert!(!report.ok());
     }
 
     #[test]

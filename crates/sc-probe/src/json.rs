@@ -95,6 +95,48 @@ impl Value {
     pub fn get(&self, key: &str) -> Option<&Value> {
         self.as_obj().and_then(|m| m.get(key))
     }
+
+    /// Serialize back to compact JSON. Object keys come out in `BTreeMap`
+    /// order, so `parse(doc).to_json()` is a canonical form: two
+    /// documents with the same content but different key order or
+    /// whitespace serialize identically (the run-record round-trip test
+    /// relies on this).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => write_f64(out, *n),
+            Value::Str(s) => write_str(out, s),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
 }
 
 /// Parse a complete JSON document.
@@ -328,6 +370,18 @@ mod tests {
         assert!(parse("[1,]").is_err());
         assert!(parse("{} trailing").is_err());
         assert!(parse(r#"{"a" 1}"#).is_err());
+    }
+
+    #[test]
+    fn to_json_is_canonical() {
+        let a = r#"{"b": 2, "a": [1, null, "x"], "c": {"z": true}}"#;
+        let b = "{\"c\":{\"z\":true},\n \"a\":[1,null,\"x\"],\"b\":2}";
+        let ca = parse(a).unwrap().to_json();
+        let cb = parse(b).unwrap().to_json();
+        assert_eq!(ca, cb);
+        assert_eq!(ca, r#"{"a":[1,null,"x"],"b":2,"c":{"z":true}}"#);
+        // Round trip is a fixed point.
+        assert_eq!(parse(&ca).unwrap().to_json(), ca);
     }
 
     #[test]

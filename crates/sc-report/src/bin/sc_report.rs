@@ -1,0 +1,213 @@
+//! `sc-report` — inspect, compare, and gate on run-record registries.
+//!
+//! ```text
+//! sc-report verify <path>...                         validate record files
+//! sc-report compare --baseline <path> --candidate <path>
+//!                   [--wall-tol <frac>] [--strict-wall]
+//! sc-report scoreboard --registry <path>... --reference <file>
+//!                      [--markdown <file>] [--gate]
+//! sc-report trend --registry <path>... [--out <file>]
+//! ```
+//!
+//! Paths may be single record files or registry directories (every
+//! `*.json` directly inside). Exit status: 0 = PASS, 1 = verdict FAIL /
+//! gate violation, 2 = usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sc_report::{compare, load_paths, scoreboard, trend, CompareOptions, Reference, RunRecord};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage("missing subcommand");
+    };
+    let result = match cmd.as_str() {
+        "verify" => cmd_verify(rest),
+        "compare" => cmd_compare(rest),
+        "scoreboard" => cmd_scoreboard(rest),
+        "trend" => cmd_trend(rest),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => return usage(&format!("unknown subcommand '{other}'")),
+    };
+    match result {
+        Ok(pass) => {
+            if pass {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => usage(&e),
+    }
+}
+
+const USAGE: &str = "\
+usage: sc-report <verify|compare|scoreboard|trend> [options]
+
+  verify <path>...
+      Parse every record file reachable from each path and re-serialize
+      each record, requiring an exact round trip (the golden-schema check).
+
+  compare --baseline <path> --candidate <path> [--wall-tol <frac>] [--strict-wall]
+      Regression verdict: exact on modeled cycles / checksums / cycle
+      attribution, median-of-N within a tolerance band on wall-clock
+      (default --wall-tol 0.5 = +50%). Exits 1 on FAIL.
+
+  scoreboard --registry <path>... --reference <file> [--markdown <file>] [--gate]
+      Paper-fidelity scoreboard vs results/paper_reference.json. With
+      --gate, exits 1 when any figure drifts beyond its budget.
+
+  trend --registry <path>... [--out <file>]
+      Cross-commit trajectory; --out writes the BENCH_sc.json document.
+
+Paths may be record files or registry directories (results/runs, results/golden).
+";
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("sc-report: {msg}");
+    eprint!("{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Parsed `--flag [value]` occurrences, in argv order.
+type ParsedFlags = Vec<(String, String)>;
+
+/// Split flag-style args: returns (registry paths, flag values) where
+/// `flags` maps each recognized `--flag` to whether it takes a value.
+fn parse_flags(
+    args: &[String],
+    flags: &[(&str, bool)],
+) -> Result<(Vec<PathBuf>, ParsedFlags), String> {
+    let mut positional = Vec::new();
+    let mut parsed = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some((name, takes_value)) = flags.iter().find(|(n, _)| n == a) {
+            let value = if *takes_value {
+                it.next().ok_or(format!("{name} needs a value"))?.clone()
+            } else {
+                String::new()
+            };
+            parsed.push((name.to_string(), value));
+        } else if a.starts_with("--") {
+            return Err(format!("unknown flag '{a}'"));
+        } else {
+            positional.push(PathBuf::from(a));
+        }
+    }
+    Ok((positional, parsed))
+}
+
+fn flag_value<'a>(parsed: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    parsed.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+}
+
+fn flag_values<'a>(parsed: &'a [(String, String)], name: &str) -> Vec<&'a str> {
+    parsed.iter().filter(|(n, _)| n == name).map(|(_, v)| v.as_str()).collect()
+}
+
+fn cmd_verify(args: &[String]) -> Result<bool, String> {
+    let (paths, _) = parse_flags(args, &[])?;
+    if paths.is_empty() {
+        return Err("verify needs at least one record file or registry directory".into());
+    }
+    let records = load_paths(&paths)?;
+    let mut bad = 0usize;
+    for r in &records {
+        if let Err(e) = r.round_trip() {
+            eprintln!("FAIL: {}: {e}", r.key());
+            bad += 1;
+        }
+    }
+    println!(
+        "verify: {} records across {} paths, {} round-trip failures",
+        records.len(),
+        paths.len(),
+        bad
+    );
+    Ok(bad == 0)
+}
+
+fn registry_records(parsed: &[(String, String)], flag: &str) -> Result<Vec<RunRecord>, String> {
+    let paths: Vec<PathBuf> = flag_values(parsed, flag).iter().map(PathBuf::from).collect();
+    if paths.is_empty() {
+        return Err(format!("missing {flag} <path>"));
+    }
+    load_paths(&paths)
+}
+
+fn cmd_compare(args: &[String]) -> Result<bool, String> {
+    let (positional, parsed) = parse_flags(
+        args,
+        &[
+            ("--baseline", true),
+            ("--candidate", true),
+            ("--wall-tol", true),
+            ("--strict-wall", false),
+        ],
+    )?;
+    if !positional.is_empty() {
+        return Err(format!("unexpected argument '{}'", positional[0].display()));
+    }
+    let baseline = registry_records(&parsed, "--baseline")?;
+    let candidate = registry_records(&parsed, "--candidate")?;
+    let mut opts = CompareOptions::default();
+    if let Some(tol) = flag_value(&parsed, "--wall-tol") {
+        opts.wall_tolerance = tol.parse::<f64>().map_err(|e| format!("--wall-tol '{tol}': {e}"))?;
+        if opts.wall_tolerance < 0.0 {
+            return Err("--wall-tol must be >= 0".into());
+        }
+    }
+    opts.strict_wall = flag_value(&parsed, "--strict-wall").is_some();
+    let verdict = compare(&baseline, &candidate, opts);
+    print!("{}", verdict.render());
+    Ok(verdict.pass())
+}
+
+fn cmd_scoreboard(args: &[String]) -> Result<bool, String> {
+    let (positional, parsed) = parse_flags(
+        args,
+        &[("--registry", true), ("--reference", true), ("--markdown", true), ("--gate", false)],
+    )?;
+    if !positional.is_empty() {
+        return Err(format!("unexpected argument '{}'", positional[0].display()));
+    }
+    let records = registry_records(&parsed, "--registry")?;
+    let ref_path = flag_value(&parsed, "--reference").ok_or("missing --reference <file>")?;
+    let doc = std::fs::read_to_string(ref_path).map_err(|e| format!("{ref_path}: {e}"))?;
+    let reference = Reference::parse(&doc).map_err(|e| format!("{ref_path}: {e}"))?;
+    let scores = scoreboard(&records, &reference);
+    print!("{}", scoreboard::render_text(&scores));
+    if let Some(md_path) = flag_value(&parsed, "--markdown") {
+        std::fs::write(md_path, scoreboard::render_markdown(&scores))
+            .map_err(|e| format!("{md_path}: {e}"))?;
+    }
+    let gate = flag_value(&parsed, "--gate").is_some();
+    let over_budget = scores.iter().filter(|s| !s.within_budget()).count();
+    if gate && over_budget > 0 {
+        eprintln!("scoreboard gate: {over_budget} figure(s) outside budget");
+        return Ok(false);
+    }
+    Ok(true)
+}
+
+fn cmd_trend(args: &[String]) -> Result<bool, String> {
+    let (positional, parsed) = parse_flags(args, &[("--registry", true), ("--out", true)])?;
+    if !positional.is_empty() {
+        return Err(format!("unexpected argument '{}'", positional[0].display()));
+    }
+    let records = registry_records(&parsed, "--registry")?;
+    let points = trend::trend(&records);
+    print!("{}", trend::render_text(&points));
+    if let Some(out) = flag_value(&parsed, "--out") {
+        std::fs::write(out, trend::render_bench_json(&points))
+            .map_err(|e| format!("{out}: {e}"))?;
+        println!("wrote {out} ({} trajectory points)", points.len());
+    }
+    Ok(true)
+}

@@ -1,0 +1,412 @@
+//! The canonical per-workload run record and its JSON (de)serialization.
+//!
+//! Every bench binary emits one [`RunRecord`] per workload when invoked
+//! with `--record`; `sc-report` aggregates them into scoreboards, trend
+//! reports and regression verdicts. The record deliberately separates
+//! three kinds of measurement:
+//!
+//! * **exact** fields — functional checksum, modeled cycles, and the
+//!   5-bin cycle attribution. The simulator is deterministic, so these
+//!   must reproduce bit-for-bit across runs of the same code + config;
+//! * **noisy** fields — host wall-clock, compared with a tolerance band;
+//! * **identity** fields — bench, workload, git SHA, schema version and
+//!   the [`SparseCoreConfig` digest] that decides comparability.
+//!
+//! [`SparseCoreConfig` digest]: https://docs.rs/sparsecore (config.rs `digest()`)
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use sc_probe::json::{self, Value};
+
+/// Version of the record schema. Bump when a field is added, removed or
+/// reinterpreted; readers reject records from other major versions.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Names of the five cycle-attribution bins, in storage order (mirrors
+/// `sc_probe::AttrBin::ALL` without needing the enum itself).
+pub const ATTR_BINS: [&str; 5] =
+    ["su_compare", "scache_refill", "mem_stall", "translator", "scalar_overlap"];
+
+/// One workload's worth of bench output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Emitting binary (e.g. `fig08_cpu_speedup`).
+    pub bench: String,
+    /// Workload id within the bench (e.g. `TC/C`, `inner/T`, `fsm/mico/1000`).
+    pub workload: String,
+    /// Git commit the binary was built from (`unknown` outside a checkout).
+    pub git_sha: String,
+    /// `SparseCoreConfig::digest()` of the simulated configuration, or 0
+    /// for records that did not run the stream engine (dataset reports).
+    pub config_digest: u64,
+    /// Functional checksum — embedding count, product nnz, or a content
+    /// hash. Exact-compared by the regression gate.
+    pub checksum: u64,
+    /// Modeled cycles (stride-scaled where the bench samples). Exact.
+    pub cycles: u64,
+    /// The comparison point's modeled cycles (CPU baseline, accelerator,
+    /// or sweep base), when the bench computes a speedup. `speedup()` is
+    /// `baseline_cycles / cycles`.
+    pub baseline_cycles: Option<u64>,
+    /// Host wall-clock spent producing this record, in milliseconds.
+    /// Noisy; compared via median-of-N with a tolerance band.
+    pub wall_ms: f64,
+    /// The 5-bin cycle-attribution profile, in [`ATTR_BINS`] order. All
+    /// zeros when the workload did not run through the attribution hook.
+    pub attr: [u64; 5],
+    /// The sc-probe metrics snapshot at record time (counters accumulate
+    /// across a bench's workloads; gauges reflect the latest run).
+    pub metrics: Value,
+}
+
+impl RunRecord {
+    /// The measured speedup, when the bench recorded a baseline.
+    pub fn speedup(&self) -> Option<f64> {
+        self.baseline_cycles.map(|b| b as f64 / self.cycles.max(1) as f64)
+    }
+
+    /// The registry key records are matched on across runs: same bench,
+    /// same workload, same config digest. The git SHA is deliberately
+    /// *not* part of the key — comparing across commits is the point.
+    pub fn key(&self) -> String {
+        format!("{}::{}::{}", self.bench, self.workload, hex(self.config_digest))
+    }
+
+    /// Serialize as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let mut first = true;
+        let mut field = |out: &mut String, name: &str| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            json::write_str(out, name);
+            out.push(':');
+        };
+        field(&mut out, "schema");
+        let _ = write!(out, "{SCHEMA_VERSION}");
+        field(&mut out, "bench");
+        json::write_str(&mut out, &self.bench);
+        field(&mut out, "workload");
+        json::write_str(&mut out, &self.workload);
+        field(&mut out, "git_sha");
+        json::write_str(&mut out, &self.git_sha);
+        field(&mut out, "config_digest");
+        json::write_str(&mut out, &hex(self.config_digest));
+        field(&mut out, "checksum");
+        json::write_str(&mut out, &hex(self.checksum));
+        field(&mut out, "cycles");
+        let _ = write!(out, "{}", self.cycles);
+        field(&mut out, "baseline_cycles");
+        match self.baseline_cycles {
+            Some(b) => {
+                let _ = write!(out, "{b}");
+            }
+            None => out.push_str("null"),
+        }
+        field(&mut out, "wall_ms");
+        json::write_f64(&mut out, self.wall_ms);
+        field(&mut out, "attr");
+        out.push('{');
+        for (i, name) in ATTR_BINS.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str(&mut out, name);
+            let _ = write!(out, ":{}", self.attr[i]);
+        }
+        out.push('}');
+        field(&mut out, "metrics");
+        out.push_str(&self.metrics.to_json());
+        out.push('}');
+        out
+    }
+
+    /// Parse a record from a JSON [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Describes the first missing or ill-typed field, including schema
+    /// version mismatches.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let obj = v.as_obj().ok_or("record is not a JSON object")?;
+        let schema = num(v, "schema")? as u64;
+        if schema != SCHEMA_VERSION {
+            return Err(format!("record schema {schema} != supported {SCHEMA_VERSION}"));
+        }
+        let attr_v = v.get("attr").ok_or("record missing 'attr'")?;
+        let mut attr = [0u64; 5];
+        for (i, name) in ATTR_BINS.iter().enumerate() {
+            attr[i] = attr_v
+                .get(name)
+                .and_then(Value::as_f64)
+                .ok_or(format!("attr missing numeric '{name}'"))? as u64;
+        }
+        let baseline_cycles = match obj.get("baseline_cycles") {
+            None | Some(Value::Null) => None,
+            Some(Value::Num(n)) => Some(*n as u64),
+            Some(other) => return Err(format!("baseline_cycles is not numeric: {other:?}")),
+        };
+        Ok(RunRecord {
+            bench: string(v, "bench")?,
+            workload: string(v, "workload")?,
+            git_sha: string(v, "git_sha")?,
+            config_digest: hex_field(v, "config_digest")?,
+            checksum: hex_field(v, "checksum")?,
+            cycles: num(v, "cycles")? as u64,
+            baseline_cycles,
+            wall_ms: num(v, "wall_ms")?,
+            attr,
+            metrics: v.get("metrics").cloned().ok_or("record missing 'metrics'")?,
+        })
+    }
+
+    /// Serialize, reparse, and require equality — the golden-schema
+    /// check `sc-report verify` applies to every record it loads.
+    ///
+    /// # Errors
+    ///
+    /// Whatever stage of the round trip broke.
+    pub fn round_trip(&self) -> Result<(), String> {
+        let doc = self.to_json();
+        let v = json::parse(&doc).map_err(|e| format!("re-parse failed: {e}"))?;
+        let back = RunRecord::from_value(&v)?;
+        if back != *self {
+            return Err("round-tripped record differs from the original".into());
+        }
+        Ok(())
+    }
+}
+
+/// `0x`-prefixed, zero-padded hex for full-range `u64` values. JSON
+/// numbers travel as `f64`, which silently truncates above 2^53 — hashes
+/// use the full range, so they are stored as strings.
+pub fn hex(v: u64) -> String {
+    format!("{v:#018x}")
+}
+
+fn string(v: &Value, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or(format!("record missing string '{key}'"))
+}
+
+fn num(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key).and_then(Value::as_f64).ok_or(format!("record missing numeric '{key}'"))
+}
+
+fn hex_field(v: &Value, key: &str) -> Result<u64, String> {
+    let s = string(v, key)?;
+    let hex = s.strip_prefix("0x").ok_or(format!("'{key}' is not 0x-prefixed hex: {s}"))?;
+    u64::from_str_radix(hex, 16).map_err(|e| format!("'{key}' is not valid hex ({s}): {e}"))
+}
+
+/// Parse a record file: `{"schema": 1, "records": [...]}`.
+///
+/// # Errors
+///
+/// Malformed JSON, schema mismatch, or any invalid record (with its
+/// index in the file).
+pub fn parse_record_file(doc: &str) -> Result<Vec<RunRecord>, String> {
+    let v = json::parse(doc)?;
+    let schema = v.get("schema").and_then(Value::as_f64).ok_or("record file missing 'schema'")?;
+    if schema as u64 != SCHEMA_VERSION {
+        return Err(format!("record file schema {schema} != supported {SCHEMA_VERSION}"));
+    }
+    let records =
+        v.get("records").and_then(Value::as_arr).ok_or("record file missing 'records' array")?;
+    records
+        .iter()
+        .enumerate()
+        .map(|(i, r)| RunRecord::from_value(r).map_err(|e| format!("record {i}: {e}")))
+        .collect()
+}
+
+/// Serialize records as a complete record-file document.
+pub fn render_record_file(records: &[RunRecord]) -> String {
+    let mut out = format!("{{\"schema\":{SCHEMA_VERSION},\"records\":[\n");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&r.to_json());
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Append records to a registry file, creating it if absent. Existing
+/// records are preserved (read–modify–write keeps the file one valid
+/// JSON document, unlike line-append formats).
+///
+/// # Errors
+///
+/// I/O failures, or an existing file that does not parse as a record
+/// file (appending to a corrupt registry would hide the corruption).
+pub fn append_records(path: &Path, new: &[RunRecord]) -> Result<usize, String> {
+    let mut all = match std::fs::read_to_string(path) {
+        Ok(doc) => parse_record_file(&doc).map_err(|e| format!("{}: {e}", path.display()))?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(format!("{}: {e}", path.display())),
+    };
+    all.extend(new.iter().cloned());
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
+        }
+    }
+    std::fs::write(path, render_record_file(&all))
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(all.len())
+}
+
+/// The current git commit (short SHA), resolved once per process.
+/// `SC_GIT_SHA` overrides (CI sets it to the exact commit under test);
+/// outside a checkout this degrades to `"unknown"`.
+pub fn current_git_sha() -> String {
+    static SHA: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    SHA.get_or_init(|| {
+        if let Ok(sha) = std::env::var("SC_GIT_SHA") {
+            if !sha.is_empty() {
+                return sha;
+            }
+        }
+        std::process::Command::new("git")
+            .args(["rev-parse", "--short=12", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".into())
+    })
+    .clone()
+}
+
+/// FNV-1a over arbitrary bytes — the shared checksum primitive for
+/// results that are not already a count (e.g. dense tensor outputs).
+pub fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Collect every `BTreeMap` grouping of records by [`RunRecord::key`],
+/// preserving insertion order of values within each key.
+pub fn group_by_key(records: &[RunRecord]) -> BTreeMap<String, Vec<&RunRecord>> {
+    let mut map: BTreeMap<String, Vec<&RunRecord>> = BTreeMap::new();
+    for r in records {
+        map.entry(r.key()).or_default().push(r);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample(workload: &str) -> RunRecord {
+        RunRecord {
+            bench: "fig08_cpu_speedup".into(),
+            workload: workload.into(),
+            git_sha: "abc123def456".into(),
+            config_digest: 0xdead_beef_cafe_f00d,
+            checksum: 1458,
+            cycles: 125_000,
+            baseline_cycles: Some(1_690_000),
+            wall_ms: 12.75,
+            attr: [10_000, 20_000, 30_000, 5_000, 60_000],
+            metrics: json::parse(r#"{"engine":{"reads":42},"attr":{"total":125000}}"#).unwrap(),
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        sample("TC/C").round_trip().unwrap();
+        let mut no_baseline = sample("cdf/T/C");
+        no_baseline.baseline_cycles = None;
+        no_baseline.round_trip().unwrap();
+    }
+
+    #[test]
+    fn hex_preserves_full_u64_range() {
+        let mut r = sample("x");
+        r.checksum = u64::MAX;
+        r.config_digest = (1u64 << 53) + 1; // beyond exact f64 integers
+        r.round_trip().unwrap();
+    }
+
+    #[test]
+    fn speedup_and_key() {
+        let r = sample("TC/C");
+        assert!((r.speedup().unwrap() - 13.52).abs() < 0.01);
+        assert!(r.key().starts_with("fig08_cpu_speedup::TC/C::0x"));
+        // Same bench/workload/config on a different commit → same key.
+        let mut other = sample("TC/C");
+        other.git_sha = "fff".into();
+        assert_eq!(r.key(), other.key());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_records() {
+        let v = json::parse(&sample("TC/C").to_json()).unwrap();
+        RunRecord::from_value(&v).unwrap();
+        // Wrong schema version.
+        let doc = sample("TC/C").to_json().replacen("\"schema\":1", "\"schema\":99", 1);
+        let err = RunRecord::from_value(&json::parse(&doc).unwrap()).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+        // Checksum must be hex, not a bare number.
+        let doc = sample("TC/C").to_json().replacen(
+            "\"checksum\":\"0x00000000000005b2\"",
+            "\"checksum\":1458",
+            1,
+        );
+        let err = RunRecord::from_value(&json::parse(&doc).unwrap()).unwrap_err();
+        assert!(err.contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn record_file_append_and_reload() {
+        let path = std::env::temp_dir().join("sc_report_registry_test.json");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(append_records(&path, &[sample("TC/C"), sample("TC/E")]).unwrap(), 2);
+        assert_eq!(append_records(&path, &[sample("TM/C")]).unwrap(), 3);
+        let loaded = parse_record_file(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(loaded.len(), 3);
+        assert_eq!(loaded[2].workload, "TM/C");
+        assert_eq!(loaded[0], sample("TC/C"));
+        // Appending to a corrupt file is refused.
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(append_records(&path, &[sample("x")]).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn grouping_uses_key_not_sha() {
+        let mut a = sample("TC/C");
+        let mut b = sample("TC/C");
+        a.git_sha = "one".into();
+        b.git_sha = "two".into();
+        let records = vec![a, b, sample("TM/C")];
+        let groups = group_by_key(&records);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups.values().map(Vec::len).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn fnv1a_is_stable() {
+        assert_eq!(fnv1a([]), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(*b"abc"), fnv1a(*b"acb"));
+        let xs = [1.5f64, -2.25, 0.0];
+        let h = fnv1a(xs.iter().flat_map(|x| x.to_bits().to_le_bytes()));
+        assert_eq!(h, fnv1a(xs.iter().flat_map(|x| x.to_bits().to_le_bytes())));
+    }
+}

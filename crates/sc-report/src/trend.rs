@@ -1,0 +1,165 @@
+//! The cross-commit trend report: one trajectory point per git SHA,
+//! emitted as `BENCH_sc.json` for CI to archive and diff.
+
+use std::collections::BTreeMap;
+
+use sc_probe::json;
+
+use crate::record::RunRecord;
+
+/// One commit's aggregate point on the trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendPoint {
+    /// The commit the records were produced at.
+    pub git_sha: String,
+    /// Records contributing to this point.
+    pub records: usize,
+    /// Sum of modeled cycles over all records (exact; any change between
+    /// commits means the model changed).
+    pub total_cycles: u64,
+    /// Geomean speedup over the records that carry a baseline.
+    pub gmean_speedup: Option<f64>,
+    /// Sum of wall-clock milliseconds (noisy; for orientation only).
+    pub total_wall_ms: f64,
+    /// Per-bench record counts, for spotting coverage drift at a glance.
+    pub per_bench: BTreeMap<String, usize>,
+}
+
+/// Fold records into one [`TrendPoint`] per git SHA, in first-appearance
+/// order (registry files are appended chronologically, so first
+/// appearance tracks history without needing timestamps in the record).
+pub fn trend(records: &[RunRecord]) -> Vec<TrendPoint> {
+    let mut order: Vec<String> = Vec::new();
+    let mut by_sha: BTreeMap<String, Vec<&RunRecord>> = BTreeMap::new();
+    for r in records {
+        if !by_sha.contains_key(&r.git_sha) {
+            order.push(r.git_sha.clone());
+        }
+        by_sha.entry(r.git_sha.clone()).or_default().push(r);
+    }
+    order
+        .into_iter()
+        .map(|sha| {
+            let group = &by_sha[&sha];
+            let speedups: Vec<f64> =
+                group.iter().filter_map(|r| r.speedup()).filter(|s| *s > 0.0).collect();
+            let gmean_speedup = (!speedups.is_empty()).then(|| {
+                (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp()
+            });
+            let mut per_bench: BTreeMap<String, usize> = BTreeMap::new();
+            for r in group {
+                *per_bench.entry(r.bench.clone()).or_default() += 1;
+            }
+            TrendPoint {
+                git_sha: sha,
+                records: group.len(),
+                total_cycles: group.iter().map(|r| r.cycles).sum(),
+                gmean_speedup,
+                total_wall_ms: group.iter().map(|r| r.wall_ms).sum(),
+                per_bench,
+            }
+        })
+        .collect()
+}
+
+/// Serialize trend points as the `BENCH_sc.json` document:
+/// `{"schema": 1, "points": [...]}`.
+pub fn render_bench_json(points: &[TrendPoint]) -> String {
+    let mut out = String::from("{\"schema\":1,\"points\":[\n");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str("{\"git_sha\":");
+        json::write_str(&mut out, &p.git_sha);
+        out.push_str(&format!(",\"records\":{},\"total_cycles\":{}", p.records, p.total_cycles));
+        out.push_str(",\"gmean_speedup\":");
+        match p.gmean_speedup {
+            Some(g) => json::write_f64(&mut out, (g * 10_000.0).round() / 10_000.0),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"total_wall_ms\":");
+        json::write_f64(&mut out, (p.total_wall_ms * 1_000.0).round() / 1_000.0);
+        out.push_str(",\"per_bench\":{");
+        for (i, (bench, n)) in p.per_bench.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str(&mut out, bench);
+            out.push_str(&format!(":{n}"));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Render the trend as an aligned plain-text table for the terminal.
+pub fn render_text(points: &[TrendPoint]) -> String {
+    let mut out = format!(
+        "{:<14} {:>8} {:>16} {:>10} {:>12}\n",
+        "git_sha", "records", "total_cycles", "gmean", "wall_ms"
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{:<14} {:>8} {:>16} {:>10} {:>12.1}\n",
+            p.git_sha,
+            p.records,
+            p.total_cycles,
+            p.gmean_speedup.map_or("-".into(), |g| format!("{g:.2}x")),
+            p.total_wall_ms,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(sha: &str, bench: &str, cycles: u64, baseline: Option<u64>) -> RunRecord {
+        RunRecord {
+            bench: bench.into(),
+            workload: "w".into(),
+            git_sha: sha.into(),
+            config_digest: 1,
+            checksum: 2,
+            cycles,
+            baseline_cycles: baseline,
+            wall_ms: 3.0,
+            attr: [0; 5],
+            metrics: json::parse("{}").unwrap(),
+        }
+    }
+
+    #[test]
+    fn points_follow_first_appearance_order() {
+        let records = vec![
+            rec("bbb", "fig08", 100, Some(400)),
+            rec("aaa", "fig08", 100, Some(900)),
+            rec("bbb", "fig15", 50, None),
+        ];
+        let points = trend(&records);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].git_sha, "bbb");
+        assert_eq!(points[0].records, 2);
+        assert_eq!(points[0].total_cycles, 150);
+        assert!((points[0].gmean_speedup.unwrap() - 4.0).abs() < 1e-9);
+        assert_eq!(points[0].per_bench["fig15"], 1);
+        assert_eq!(points[1].git_sha, "aaa");
+        assert!((points[1].gmean_speedup.unwrap() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bench_json_parses_and_carries_points() {
+        let points = trend(&[rec("abc", "fig08", 100, Some(250))]);
+        let doc = render_bench_json(&points);
+        let v = json::parse(&doc).unwrap();
+        assert_eq!(v.get("schema").unwrap().as_f64(), Some(1.0));
+        let pts = v.get("points").unwrap().as_arr().unwrap();
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].get("git_sha").unwrap().as_str(), Some("abc"));
+        assert_eq!(pts[0].get("gmean_speedup").unwrap().as_f64(), Some(2.5));
+        assert!(render_text(&points).contains("abc"));
+    }
+}

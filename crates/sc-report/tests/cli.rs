@@ -1,0 +1,203 @@
+//! End-to-end tests of the `sc-report` binary: registry round trips,
+//! the regression verdict's exit codes, mutation detection, scoreboard
+//! gating, and the trend report.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use sc_report::{render_record_file, RunRecord};
+
+fn sc_report(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sc-report")).args(args).output().expect("spawn sc-report")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn sample(workload: &str, cycles: u64, checksum: u64) -> RunRecord {
+    RunRecord {
+        bench: "fig08_cpu_speedup".into(),
+        workload: workload.into(),
+        git_sha: "cafe12345678".into(),
+        config_digest: 0xce83,
+        checksum,
+        cycles,
+        baseline_cycles: Some(cycles * 12),
+        wall_ms: 10.0,
+        attr: [cycles / 5; 5],
+        metrics: sc_probe::json::parse(r#"{"attr":{"total":1}}"#).unwrap(),
+    }
+}
+
+fn write_registry(dir: &Path, name: &str, records: &[RunRecord]) -> PathBuf {
+    let path = dir.join(name);
+    std::fs::write(&path, render_record_file(records)).unwrap();
+    path
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sc_report_cli_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn verify_passes_on_valid_registry_and_rejects_corruption() {
+    let dir = temp_dir("verify");
+    let reg = write_registry(&dir, "runs.json", &[sample("TC/C", 1000, 42)]);
+    let out = sc_report(&["verify", reg.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout(&out).contains("0 round-trip failures"));
+
+    std::fs::write(dir.join("bad.json"), "{\"schema\":1,\"records\":[{}]}").unwrap();
+    let out = sc_report(&["verify", dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "parse errors are usage-level failures");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compare_passes_identical_and_fails_each_mutation() {
+    let dir = temp_dir("compare");
+    let base = write_registry(&dir, "base.json", &[sample("TC/C", 1000, 42)]);
+    let same = write_registry(&dir, "same.json", &[sample("TC/C", 1000, 42)]);
+    let out = sc_report(&[
+        "compare",
+        "--baseline",
+        base.to_str().unwrap(),
+        "--candidate",
+        same.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    assert!(stdout(&out).contains("PASS"));
+
+    // Each exact metric flips the verdict on its own.
+    let mut cycles = sample("TC/C", 1001, 42);
+    cycles.attr = sample("TC/C", 1000, 42).attr; // isolate the cycles change
+    let mutations: [(&str, RunRecord); 3] = [
+        ("cycles", cycles),
+        ("checksum", sample("TC/C", 1000, 43)),
+        ("attr", {
+            let mut r = sample("TC/C", 1000, 42);
+            r.attr[0] += 1;
+            r
+        }),
+    ];
+    for (what, record) in mutations {
+        let cand = write_registry(&dir, &format!("mut_{what}.json"), &[record]);
+        let out = sc_report(&[
+            "compare",
+            "--baseline",
+            base.to_str().unwrap(),
+            "--candidate",
+            cand.to_str().unwrap(),
+        ]);
+        assert_eq!(out.status.code(), Some(1), "{what} mutation must FAIL:\n{}", stdout(&out));
+        assert!(stdout(&out).contains("FAIL"), "{what}: {}", stdout(&out));
+    }
+
+    // Wall-clock noise alone stays a PASS (warning only).
+    let mut slow = sample("TC/C", 1000, 42);
+    slow.wall_ms = 100.0;
+    let cand = write_registry(&dir, "slow.json", &[slow.clone()]);
+    let out = sc_report(&[
+        "compare",
+        "--baseline",
+        base.to_str().unwrap(),
+        "--candidate",
+        cand.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    assert!(stdout(&out).contains("wall-clock"));
+    // ... unless --strict-wall escalates it.
+    let out = sc_report(&[
+        "compare",
+        "--baseline",
+        base.to_str().unwrap(),
+        "--candidate",
+        cand.to_str().unwrap(),
+        "--strict-wall",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn scoreboard_reports_drift_and_gates() {
+    let dir = temp_dir("scoreboard");
+    // speedup 12x measured vs 10x reference = +20% drift.
+    let reg = write_registry(&dir, "runs.json", &[sample("TC/C", 1000, 42)]);
+    let reference = dir.join("reference.json");
+    let write_ref = |budget: f64| {
+        std::fs::write(
+            &reference,
+            format!(
+                r#"{{"figures":{{"fig08":{{"title":"t","bench":"fig08_cpu_speedup","metric":"speedup","reference_gmean":10.0,"budget_pct":{budget},"source":"paper"}}}}}}"#
+            ),
+        )
+        .unwrap();
+    };
+    write_ref(50.0);
+    let md = dir.join("scoreboard.md");
+    let out = sc_report(&[
+        "scoreboard",
+        "--registry",
+        reg.to_str().unwrap(),
+        "--reference",
+        reference.to_str().unwrap(),
+        "--markdown",
+        md.to_str().unwrap(),
+        "--gate",
+    ]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    let text = stdout(&out);
+    assert!(text.contains("+20.0"), "{text}");
+    assert!(text.contains("overall fidelity geomean drift"), "{text}");
+    let md_text = std::fs::read_to_string(&md).unwrap();
+    assert!(md_text.contains("| fig08 |"), "{md_text}");
+
+    // Tighten the budget below the measured drift: the gate fails.
+    write_ref(10.0);
+    let out = sc_report(&[
+        "scoreboard",
+        "--registry",
+        reg.to_str().unwrap(),
+        "--reference",
+        reference.to_str().unwrap(),
+        "--gate",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trend_writes_bench_json() {
+    let dir = temp_dir("trend");
+    let mut newer = sample("TC/C", 900, 42);
+    newer.git_sha = "beef00000000".into();
+    let reg = write_registry(&dir, "runs.json", &[sample("TC/C", 1000, 42), newer]);
+    let out_path = dir.join("BENCH_sc.json");
+    let out = sc_report(&[
+        "trend",
+        "--registry",
+        reg.to_str().unwrap(),
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    let doc = std::fs::read_to_string(&out_path).unwrap();
+    let v = sc_probe::json::parse(&doc).unwrap();
+    let points = v.get("points").unwrap().as_arr().unwrap();
+    assert_eq!(points.len(), 2);
+    assert_eq!(points[0].get("git_sha").unwrap().as_str(), Some("cafe12345678"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    assert_eq!(sc_report(&[]).status.code(), Some(2));
+    assert_eq!(sc_report(&["frobnicate"]).status.code(), Some(2));
+    assert_eq!(sc_report(&["compare", "--baseline", "/nonexistent"]).status.code(), Some(2));
+    assert!(sc_report(&["--help"]).status.success());
+}

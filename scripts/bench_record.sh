@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Run the fixed golden workload matrix with --record, appending one
+# RunRecord per workload to <outdir>/<bench>.json. This is THE
+# definition of the regression matrix: scripts/check.sh, the CI
+# bench-regress job, and intentional baseline refreshes
+# (`bash scripts/bench_record.sh results/golden`) must all agree on it,
+# or `sc-report compare` reports coverage findings.
+#
+# Usage: bench_record.sh <outdir> [repeats]
+#   repeats > 1 appends that many records per workload, giving
+#   `sc-report compare` a median-of-N wall-clock and a determinism
+#   check on the exact metrics.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:?usage: bench_record.sh <outdir> [repeats]}"
+REPEATS="${2:-1}"
+BIN=target/release
+mkdir -p "$OUT"
+
+for i in $(seq "$REPEATS"); do
+  echo "==> record pass $i/$REPEATS -> $OUT"
+  # Small fixed dataset slices keep the whole matrix near 10 s while
+  # still exercising every modeled subsystem (GPM accel baselines, CPU
+  # speedups, the three spmspm dataflows, TTV/TTM, the four ablations,
+  # multi-core partitioning, and the dataset generators). FSM is skipped:
+  # it alone costs ~2 minutes on mico.
+  "$BIN/fig07_accels" --datasets E --record "$OUT/fig07_accels.json" >/dev/null
+  "$BIN/fig08_cpu_speedup" --datasets C,E --skip-fsm \
+    --record "$OUT/fig08_cpu_speedup.json" >/dev/null
+  "$BIN/fig15_tensor" --matrices C,E --record "$OUT/fig15_tensor.json" >/dev/null
+  "$BIN/fig16_tensor_accels" --matrices C,E \
+    --record "$OUT/fig16_tensor_accels.json" >/dev/null
+  "$BIN/ablations" --datasets E --record "$OUT/ablations.json" >/dev/null
+  "$BIN/multicore" --datasets E --record "$OUT/multicore.json" >/dev/null
+  "$BIN/datasets_report" --record "$OUT/datasets_report.json" >/dev/null
+done
+
+"$BIN/sc-report" verify "$OUT"

@@ -17,4 +17,18 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> sc-report verify results/golden"
+cargo build --release -q -p sc-bench -p sc-report
+target/release/sc-report verify results/golden
+
+echo "==> regenerate the golden matrix and gate on regressions"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+bash scripts/bench_record.sh "$tmp" 1
+target/release/sc-report compare --baseline results/golden --candidate "$tmp"
+
+echo "==> paper-fidelity scoreboard gate"
+target/release/sc-report scoreboard --registry results/golden \
+  --reference results/paper_reference.json --gate
+
 echo "All checks passed."
