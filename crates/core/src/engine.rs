@@ -193,10 +193,14 @@ impl Engine {
     /// A fresh engine with cold caches.
     pub fn new(cfg: SparseCoreConfig) -> Self {
         let nregs = cfg.num_stream_registers();
+        // The S-Cache is refilled from L2, so its line traffic must use
+        // the hierarchy's configured line size, not an assumed 64 bytes.
+        let mut scache = StreamCacheStorage::new(cfg.scache);
+        scache.set_line_bytes(cfg.core.mem.l2.line_bytes);
         Engine {
             core: Core::new(cfg.core),
             smt: Smt::new(nregs),
-            scache: StreamCacheStorage::new(cfg.scache),
+            scache,
             scratchpad: Scratchpad::new(cfg.scratchpad),
             su_free_at: vec![0; cfg.num_sus],
             data: (0..nregs).map(|_| None).collect(),
@@ -761,11 +765,12 @@ impl Engine {
         }
         let already = payload.lines_fetched;
         let key_addr = self.smt.reg(idx).key_addr;
-        let lines_needed = consumed.div_ceil(16); // 16 keys per 64B line
+        let line_bytes = self.cfg.core.mem.l2.line_bytes;
+        let lines_needed = consumed.div_ceil(self.keys_per_line());
         let mut total = 0u64;
         let mut n = 0u64;
         for l in already..lines_needed {
-            let r = self.core.mem_mut().load_bypassing_l1(key_addr + l * 64);
+            let r = self.core.mem_mut().load_bypassing_l1(key_addr + l * line_bytes);
             total += r.latency;
             n += 1;
         }
@@ -840,11 +845,18 @@ impl Engine {
         (start, done)
     }
 
+    /// Stream keys carried by one memory line, from the hierarchy's
+    /// configured L2 line size (the level that feeds the S-Cache). 16 for
+    /// the paper's 64-byte lines and 4-byte keys.
+    fn keys_per_line(&self) -> u64 {
+        (self.cfg.core.mem.l2.line_bytes / self.cfg.scache.key_bytes).max(1)
+    }
+
     /// Memory-side supply rate (elements/cycle) for one stream given its
-    /// mean line latency: `prefetch_depth` line fills in flight, 16 keys
-    /// per line.
+    /// mean line latency: `prefetch_depth` line fills in flight, a line's
+    /// worth of keys per fill.
     fn mem_rate(&self, mean_line_latency: f64) -> f64 {
-        16.0 * self.cfg.prefetch_depth as f64 / mean_line_latency.max(1.0)
+        self.keys_per_line() as f64 * self.cfg.prefetch_depth as f64 / mean_line_latency.max(1.0)
     }
 
     /// Common path of the six key-stream set operations. Returns the
@@ -1310,10 +1322,11 @@ impl Engine {
 
             // Charge the dependent stream's consumed lines (only the
             // bounded prefix is fetched, thanks to the CSR offset).
-            let lines = timing.consumed_b.div_ceil(16);
+            let line_bytes = self.cfg.core.mem.l2.line_bytes;
+            let lines = timing.consumed_b.div_ceil(self.keys_per_line());
             let mut lat_sum = 0u64;
             for l in 0..lines {
-                lat_sum += self.core.mem_mut().load_bypassing_l1(naddr + l * 64).latency;
+                lat_sum += self.core.mem_mut().load_bypassing_l1(naddr + l * line_bytes).latency;
             }
             let lat_n = if lines == 0 {
                 self.cfg.core.mem.l2.latency as f64

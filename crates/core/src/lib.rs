@@ -49,6 +49,7 @@ pub mod config;
 pub mod engine;
 pub mod interp;
 pub mod sanitize;
+pub mod sched;
 pub mod setops;
 pub mod smt;
 pub mod stats;
@@ -58,6 +59,9 @@ pub use config::{default_sanitize, SparseCoreConfig};
 pub use engine::{Checkpoint, Engine, NestedSource, SliceNestedSource};
 pub use interp::{InterpError, Interpreter, MemImage, ScalarResult};
 pub use sanitize::audit_code;
+pub use sched::{
+    chunks, self_schedule, Chunk, ChunkRecord, ChunkSchedule, MultiCoreRun, SchedMode,
+};
 pub use stats::{EngineStats, LengthHistogram};
 
 /// Cycle type, shared with the substrate crates.

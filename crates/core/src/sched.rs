@@ -1,0 +1,314 @@
+//! Deterministic self-scheduling chunk scheduler for multicore simulation.
+//!
+//! The paper's multicore evaluation (Table 2: six cores, Section 5.1:
+//! read-only operand sharing) needs a work distribution policy. A static
+//! interleaved partition is deterministic but cannot adapt to skew; real
+//! self-scheduling (cores grabbing chunks off a shared counter) adapts,
+//! but a naive simulation of it — host threads racing on an atomic —
+//! would make per-core completion times depend on host scheduling, which
+//! the `sc-report` exact-compare gates cannot tolerate.
+//!
+//! This module simulates self-scheduling *deterministically*: work is cut
+//! into fixed-size chunks, every core carries a simulated clock, and the
+//! next chunk always goes to the core whose clock is lowest (ties break
+//! to the lowest core id). That is exactly the order a zero-overhead
+//! hardware work queue would produce — a core claims the next chunk at
+//! the moment it finishes its current one — and it depends only on
+//! simulated time, never on host-thread interleaving. Repeated runs are
+//! cycle-exact.
+//!
+//! The driver is generic over what a "chunk" of work is: GPM hands it
+//! start-vertex ranges (`sc-gpm::sched`), the tensor kernels hand it
+//! output-row and fiber ranges (`sc-kernels::parallel`).
+
+/// Multicore scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedMode {
+    /// Static interleaved partition: core `c` of `n` takes the residue
+    /// class `{c, c+n, c+2n, ...}`, fixed up front.
+    Static,
+    /// Deterministic dynamic self-scheduling: the core with the lowest
+    /// simulated clock claims the next chunk.
+    Dynamic,
+}
+
+impl SchedMode {
+    /// Parse a CLI name (`static` / `dynamic`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the valid modes on anything else.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "static" => Ok(SchedMode::Static),
+            "dynamic" => Ok(SchedMode::Dynamic),
+            other => Err(format!("unknown scheduler mode '{other}' (expected static|dynamic)")),
+        }
+    }
+
+    /// The CLI / record-workload name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedMode::Static => "static",
+            SchedMode::Dynamic => "dynamic",
+        }
+    }
+}
+
+impl std::fmt::Display for SchedMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One contiguous chunk `[start, end)` of an iteration space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    /// Position in the chunk sequence (claim order is by this index).
+    pub index: usize,
+    /// First item (inclusive).
+    pub start: usize,
+    /// One past the last item.
+    pub end: usize,
+}
+
+impl Chunk {
+    /// Number of items in the chunk.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Is the chunk empty?
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Cut `total` items into chunks of `chunk_size` (the last may be short).
+///
+/// # Panics
+///
+/// Panics if `chunk_size` is zero.
+pub fn chunks(total: usize, chunk_size: usize) -> Vec<Chunk> {
+    assert!(chunk_size > 0, "chunk size must be positive");
+    (0..total.div_ceil(chunk_size))
+        .map(|i| Chunk { index: i, start: i * chunk_size, end: ((i + 1) * chunk_size).min(total) })
+        .collect()
+}
+
+/// One chunk's execution record: who ran it and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkRecord {
+    /// The chunk that was claimed.
+    pub chunk: Chunk,
+    /// The claiming core.
+    pub core: usize,
+    /// The core's simulated clock when it claimed the chunk.
+    pub claimed_at: u64,
+    /// The core's simulated clock when the chunk completed (its engine
+    /// drained).
+    pub done_at: u64,
+}
+
+impl ChunkRecord {
+    /// Cycles the chunk occupied its core.
+    pub fn cycles(&self) -> u64 {
+        self.done_at - self.claimed_at
+    }
+}
+
+/// Outcome of a self-scheduled run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkSchedule {
+    /// Final simulated clock of every core.
+    pub per_core: Vec<u64>,
+    /// Per-chunk execution records, in claim order.
+    pub records: Vec<ChunkRecord>,
+}
+
+impl ChunkSchedule {
+    /// Completion time: the slowest core's clock.
+    pub fn makespan(&self) -> u64 {
+        self.per_core.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Load imbalance: slowest / mean per-core clock (1.0 = perfect).
+    pub fn imbalance(&self) -> f64 {
+        imbalance(&self.per_core)
+    }
+}
+
+/// Slowest / mean of a per-core cycle vector (1.0 when empty or all-zero).
+pub fn imbalance(per_core: &[u64]) -> f64 {
+    if per_core.is_empty() {
+        return 1.0;
+    }
+    let mean = per_core.iter().sum::<u64>() as f64 / per_core.len() as f64;
+    if mean == 0.0 {
+        1.0
+    } else {
+        per_core.iter().copied().max().unwrap_or(0) as f64 / mean
+    }
+}
+
+/// Result of a multi-core run (any workload: GPM counts, tensor rows).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiCoreRun {
+    /// Total work units across all partitions (embeddings for GPM,
+    /// product nonzeros / fibers for the tensor paths) — exact.
+    pub count: u64,
+    /// Completion time: the slowest core's cycles.
+    pub cycles: u64,
+    /// Per-core cycle counts (for load-imbalance inspection).
+    pub per_core: Vec<u64>,
+}
+
+impl MultiCoreRun {
+    /// Load imbalance: slowest / mean per-core cycles (1.0 = perfect).
+    pub fn imbalance(&self) -> f64 {
+        imbalance(&self.per_core)
+    }
+}
+
+/// Run `work` over every chunk with deterministic self-scheduling.
+///
+/// `run(core, chunk)` must execute the chunk on that core's simulation
+/// state and return the core's new *absolute* simulated clock (its
+/// engine's drained cycle count). Chunks are claimed in index order; each
+/// goes to the core with the lowest clock, ties broken toward the lowest
+/// core id. The host loop is serial, so the claim sequence — and with it
+/// every per-core result — is a pure function of the simulated timing.
+///
+/// # Panics
+///
+/// Panics if `num_cores` is zero or `run` returns a clock lower than the
+/// core's current one (simulated time must be monotonic per core).
+pub fn self_schedule(
+    num_cores: usize,
+    chunks: &[Chunk],
+    mut run: impl FnMut(usize, Chunk) -> u64,
+) -> ChunkSchedule {
+    assert!(num_cores > 0, "need at least one core");
+    let mut per_core = vec![0u64; num_cores];
+    let mut records = Vec::with_capacity(chunks.len());
+    for &chunk in chunks {
+        let core = (0..num_cores).min_by_key(|&c| (per_core[c], c)).expect("num_cores > 0");
+        let claimed_at = per_core[core];
+        let done_at = run(core, chunk);
+        assert!(
+            done_at >= claimed_at,
+            "core {core} clock moved backwards ({claimed_at} -> {done_at})"
+        );
+        per_core[core] = done_at;
+        records.push(ChunkRecord { chunk, core, claimed_at, done_at });
+    }
+    ChunkSchedule { per_core, records }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_the_space_exactly_once() {
+        let cs = chunks(100, 32);
+        assert_eq!(cs.len(), 4);
+        assert_eq!(cs[0], Chunk { index: 0, start: 0, end: 32 });
+        assert_eq!(cs[3], Chunk { index: 3, start: 96, end: 100 });
+        assert_eq!(cs.iter().map(Chunk::len).sum::<usize>(), 100);
+        assert!(chunks(0, 8).is_empty());
+        // Chunk size beyond the total gives one chunk.
+        assert_eq!(chunks(5, 64), vec![Chunk { index: 0, start: 0, end: 5 }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn zero_chunk_size_rejected() {
+        chunks(10, 0);
+    }
+
+    #[test]
+    fn lowest_clock_claims_next_with_low_id_tiebreak() {
+        // Chunk costs: 10, 1, 1, 1. Core 0 takes chunk 0 (tie at clock 0
+        // breaks low), then cores 1 and 0-vs-1 alternate on the cheap rest.
+        let cost = [10u64, 1, 1, 1];
+        let mut clocks = [0u64; 2];
+        let sched = self_schedule(2, &chunks(4, 1), |core, chunk| {
+            clocks[core] += cost[chunk.index];
+            clocks[core]
+        });
+        let assigned: Vec<usize> = sched.records.iter().map(|r| r.core).collect();
+        // Chunk 0 -> core 0 (10 cycles). Chunks 1..3 all land on core 1
+        // (1, 2, 3 cycles — still below core 0's 10).
+        assert_eq!(assigned, vec![0, 1, 1, 1]);
+        assert_eq!(sched.per_core, vec![10, 3]);
+        assert_eq!(sched.makespan(), 10);
+    }
+
+    #[test]
+    fn self_schedule_is_deterministic() {
+        let cost = |c: Chunk| 3 + (c.index as u64 * 7) % 5;
+        let run = || {
+            let mut clocks = [0u64; 3];
+            self_schedule(3, &chunks(40, 4), |core, chunk| {
+                clocks[core] += cost(chunk);
+                clocks[core]
+            })
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn dynamic_beats_static_on_a_skewed_cost_sequence() {
+        // Head-heavy costs (one hot chunk): static round-robin piles the
+        // hot chunk onto a core that also gets its full share of the rest,
+        // self-scheduling steers later chunks away from it.
+        let cost = |i: usize| if i == 0 { 100 } else { 5 };
+        let n = 4;
+        let cs = chunks(32, 1);
+        // Static round-robin by chunk index.
+        let mut static_clocks = vec![0u64; n];
+        for c in &cs {
+            static_clocks[c.index % n] += cost(c.index);
+        }
+        let mut dyn_clocks = vec![0u64; n];
+        let sched = self_schedule(n, &cs, |core, chunk| {
+            dyn_clocks[core] += cost(chunk.index);
+            dyn_clocks[core]
+        });
+        assert!(sched.makespan() < static_clocks.iter().copied().max().unwrap());
+        assert!(sched.imbalance() < imbalance(&static_clocks));
+    }
+
+    #[test]
+    fn imbalance_degenerates_to_one() {
+        assert_eq!(imbalance(&[]), 1.0);
+        assert_eq!(imbalance(&[0, 0]), 1.0);
+        assert_eq!(imbalance(&[5, 5, 5]), 1.0);
+        assert!((imbalance(&[30, 10, 20]) - 1.5).abs() < 1e-12);
+        let run = MultiCoreRun { count: 1, cycles: 30, per_core: vec![30, 10, 20] };
+        assert!((run.imbalance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn records_carry_claim_windows() {
+        let mut clocks = [0u64; 2];
+        let sched = self_schedule(2, &chunks(4, 2), |core, _| {
+            clocks[core] += 4;
+            clocks[core]
+        });
+        for r in &sched.records {
+            assert_eq!(r.cycles(), 4);
+            assert_eq!(r.done_at, r.claimed_at + 4);
+        }
+        assert_eq!(sched.records.len(), 2);
+    }
+
+    #[test]
+    fn sched_mode_parses() {
+        assert_eq!(SchedMode::parse("static"), Ok(SchedMode::Static));
+        assert_eq!(SchedMode::parse("dynamic"), Ok(SchedMode::Dynamic));
+        assert!(SchedMode::parse("greedy").is_err());
+        assert_eq!(SchedMode::Dynamic.to_string(), "dynamic");
+    }
+}

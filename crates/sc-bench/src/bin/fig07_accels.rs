@@ -18,7 +18,7 @@ use sc_graph::Dataset;
 use sparsecore::SparseCoreConfig;
 
 fn main() {
-    let cli = BenchCli::parse();
+    let cli = BenchCli::parse_with(&[("--gramer", false)]);
     let datasets = cli.datasets(&[
         Dataset::EmailEuCore,
         Dataset::Haverford76,

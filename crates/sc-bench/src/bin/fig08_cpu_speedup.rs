@@ -17,7 +17,7 @@ use sc_graph::Dataset;
 use sparsecore::{Engine, SparseCoreConfig};
 
 fn main() {
-    let cli = BenchCli::parse();
+    let cli = BenchCli::parse_with(&[("--skip-fsm", false)]);
     let datasets = cli.datasets(&Dataset::ALL);
     let skip_fsm = cli.flag("--skip-fsm");
     let probe = cli.probe();

@@ -8,7 +8,9 @@
 //! [--datasets B,E,F,W]`
 
 use sc_bench::{render_table, run_sparsecore_probed, stride_for, BenchCli};
-use sc_gpm::App;
+use sc_gpm::plan::Induced;
+use sc_gpm::sched::{count_stream_dynamic, DEFAULT_CHUNK};
+use sc_gpm::{App, Pattern, Plan};
 use sc_graph::Dataset;
 use sparsecore::SparseCoreConfig;
 
@@ -53,5 +55,32 @@ fn main() {
     }
     println!("{}", render_table(&header, &rows));
     println!("\n(paper: improvements up to 4 SUs, then significantly less benefit)");
+
+    // SU scaling composes with multicore: rerun triangle counting on six
+    // dynamically-scheduled cores at 1 and 4 SUs. Not part of the golden
+    // record matrix — the multicore bin owns those records.
+    println!("\n# SUs x six dynamically-scheduled cores (triangle counting)\n");
+    let plan = Plan::compile(&Pattern::triangle(), &[0, 1, 2], Induced::Vertex);
+    let mut rows = Vec::new();
+    for &d in &datasets {
+        let g = d.build();
+        let base =
+            count_stream_dynamic(&g, &plan, SparseCoreConfig::with_sus(1), true, 6, DEFAULT_CHUNK);
+        let wide =
+            count_stream_dynamic(&g, &plan, SparseCoreConfig::with_sus(4), true, 6, DEFAULT_CHUNK);
+        assert_eq!(base.count, wide.count);
+        rows.push(vec![
+            d.tag().to_string(),
+            format!("{:.2}", base.cycles as f64 / wide.cycles.max(1) as f64),
+            format!("{:.2}", wide.imbalance()),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["graph".to_string(), "4SU/1SU speedup".to_string(), "imbalance".to_string()],
+            &rows
+        )
+    );
     cli.write_probe_outputs();
 }

@@ -17,14 +17,14 @@ use sc_kernels::{
 use sc_tensor::{MatrixDataset, TensorDataset};
 use sparsecore::{Engine, SparseCoreConfig};
 
-fn matrix_filter(args: &[String]) -> Vec<MatrixDataset> {
-    if let Some(pos) = args.iter().position(|a| a == "--matrices") {
-        if let Some(list) = args.get(pos + 1) {
+fn matrix_filter(cli: &BenchCli) -> Vec<MatrixDataset> {
+    match cli.value("--matrices") {
+        Some(list) => {
             let wanted: Vec<&str> = list.split(',').collect();
-            return MatrixDataset::ALL.into_iter().filter(|m| wanted.contains(&m.tag())).collect();
+            MatrixDataset::ALL.into_iter().filter(|m| wanted.contains(&m.tag())).collect()
         }
+        None => MatrixDataset::ALL.to_vec(),
     }
-    MatrixDataset::ALL.to_vec()
 }
 
 /// Inner product visits all m*n pairs; sample rows on the large matrices.
@@ -51,8 +51,8 @@ fn merge_stride(m: MatrixDataset) -> usize {
 }
 
 fn main() {
-    let cli = BenchCli::parse();
-    let matrices = matrix_filter(cli.args());
+    let cli = BenchCli::parse_with(&[("--matrices", true), ("--skip-tensors", false)]);
+    let matrices = matrix_filter(&cli);
     let skip_tensors = cli.flag("--skip-tensors");
     let probe = cli.probe();
     let cfg = SparseCoreConfig::paper_one_su();

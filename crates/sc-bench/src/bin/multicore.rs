@@ -1,62 +1,183 @@
 //! Multi-core scaling (Table 2 lists six cores).
 //!
-//! Triangle counting partitioned across 1–6 SparseCore cores (interleaved
-//! start-vertex partitions, private engines, read-only graph sharing per
-//! paper Section 5.1). Reports completion time (slowest core) and load
-//! imbalance.
+//! Triangle counting partitioned across 1–6 SparseCore cores (private
+//! engines, read-only graph sharing per paper Section 5.1) under both
+//! partitioning strategies: static interleaving and the deterministic
+//! dynamic chunk scheduler. Reports completion time (slowest core) and
+//! load imbalance. With `--tensor`, also runs the multicore tensor path
+//! (row-sharded Gustavson spmspm and fiber-sharded TTV).
 //!
 //! Usage: `cargo run --release -p sc-bench --bin multicore
-//! [--datasets B,E,W] [--trace t.json] [--metrics m.json]`
+//! [--datasets B,E,W] [--sched static|dynamic|both] [--chunk N]
+//! [--tensor] [--trace t.json] [--metrics m.json]`
 
 use sc_bench::{render_table, BenchCli};
 use sc_gpm::parallel::count_stream_parallel_probed;
 use sc_gpm::plan::Induced;
+use sc_gpm::sched::{count_stream_dynamic_probed, DEFAULT_CHUNK};
 use sc_gpm::{Pattern, Plan};
 use sc_graph::Dataset;
-use sparsecore::SparseCoreConfig;
+use sc_kernels::{gustavson_multicore, ttv_multicore};
+use sc_tensor::{MatrixDataset, TensorDataset};
+use sparsecore::{SchedMode, SparseCoreConfig};
+
+const CORES: [usize; 4] = [1, 2, 4, 6];
+
+fn parse_modes(cli: &BenchCli) -> Vec<SchedMode> {
+    match cli.value("--sched") {
+        None | Some("both") => vec![SchedMode::Static, SchedMode::Dynamic],
+        Some(s) => match SchedMode::parse(s) {
+            Ok(m) => vec![m],
+            Err(e) => {
+                eprintln!("{e} (expected static, dynamic, or both)");
+                std::process::exit(2);
+            }
+        },
+    }
+}
 
 fn main() {
-    let cli = BenchCli::parse();
+    let cli = BenchCli::parse_with(&[("--sched", true), ("--chunk", true), ("--tensor", false)]);
     let datasets = cli.datasets(&[
         Dataset::BitcoinAlpha,
         Dataset::EmailEuCore,
         Dataset::WikiVote,
         Dataset::Mico,
     ]);
+    let modes = parse_modes(&cli);
+    let chunk: usize = match cli.value("--chunk") {
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("--chunk expects a positive integer, got '{s}'");
+            std::process::exit(2);
+        }),
+        None => DEFAULT_CHUNK,
+    };
     let probe = cli.probe();
     let plan = Plan::compile(&Pattern::triangle(), &[0, 1, 2], Induced::Vertex);
-    let cores = [1usize, 2, 4, 6];
 
-    println!("# Multi-core triangle counting: speedup vs 1 core\n");
-    let header: Vec<String> = std::iter::once("graph".to_string())
-        .chain(cores.iter().map(|c| format!("{c} cores")))
+    println!("# Multi-core triangle counting: speedup vs 1 core (chunk={chunk})\n");
+    let header: Vec<String> = ["graph".to_string(), "sched".to_string()]
+        .into_iter()
+        .chain(CORES.iter().map(|c| format!("{c} cores")))
         .chain(["imbalance@6".to_string()])
         .collect();
     let mut rows = Vec::new();
     for &d in &datasets {
         let g = d.build();
         let cfg = SparseCoreConfig::paper();
+        // Everyone's baseline: the 1-core static run.
         let (base, _) = count_stream_parallel_probed(&g, &plan, cfg, true, 1, probe.clone());
-        let mut row = vec![d.tag().to_string()];
-        let mut last_imbalance = 1.0;
-        for &c in &cores {
-            let (run, _) = count_stream_parallel_probed(&g, &plan, cfg, true, c, probe.clone());
-            assert_eq!(run.count, base.count);
-            cli.record(
-                &format!("tc/{}/c{c}", d.tag()),
-                Some(&cfg),
-                run.count,
-                run.cycles,
-                Some(base.cycles),
-            );
-            row.push(format!("{:.2}", base.cycles as f64 / run.cycles.max(1) as f64));
-            last_imbalance = run.imbalance();
+        for &mode in &modes {
+            let mut row = vec![d.tag().to_string(), mode.name().to_string()];
+            let mut last_imbalance = 1.0;
+            for &c in &CORES {
+                let (run, report) = match mode {
+                    SchedMode::Static => {
+                        count_stream_parallel_probed(&g, &plan, cfg, true, c, probe.clone())
+                    }
+                    SchedMode::Dynamic => {
+                        count_stream_dynamic_probed(&g, &plan, cfg, true, c, chunk, probe.clone())
+                    }
+                };
+                assert_eq!(run.count, base.count, "partitioning changed the count");
+                if !report.is_empty() {
+                    eprintln!("  sanitizer findings ({} / {c} cores):\n{report}", d.tag());
+                }
+                cli.record(
+                    &format!("tc/{}/c{c}/{}", d.tag(), mode.name()),
+                    Some(&cfg),
+                    run.count,
+                    run.cycles,
+                    Some(base.cycles),
+                );
+                row.push(format!("{:.2}", base.cycles as f64 / run.cycles.max(1) as f64));
+                last_imbalance = run.imbalance();
+            }
+            row.push(format!("{last_imbalance:.2}"));
+            rows.push(row);
         }
-        row.push(format!("{last_imbalance:.2}"));
-        rows.push(row);
     }
     println!("{}", render_table(&header, &rows));
-    println!("\n(interleaved partitioning bounds hub-induced imbalance;");
-    println!(" graph data is read-only so private S-Caches need no coherence)");
+    println!("\n(static interleaving bounds hub-induced imbalance; the dynamic");
+    println!(" chunk scheduler assigns work by simulated clock, so hub-heavy");
+    println!(" chunks stop stalling the whole partition. Graph data is");
+    println!(" read-only so private S-Caches need no coherence.)");
+
+    if cli.flag("--tensor") {
+        tensor_section(&cli, &modes, chunk);
+    }
     cli.write_probe_outputs();
+}
+
+/// Multicore tensor path: row-sharded Gustavson spmspm `A*A` and
+/// fiber-sharded TTV, both byte-exact against the serial kernels.
+fn tensor_section(cli: &BenchCli, modes: &[SchedMode], chunk: usize) {
+    let cfg = SparseCoreConfig::paper_one_su();
+    println!("\n# Multi-core tensor kernels: speedup vs 1 core (chunk={chunk})\n");
+    let header: Vec<String> = ["kernel".to_string(), "sched".to_string()]
+        .into_iter()
+        .chain(CORES.iter().map(|c| format!("{c} cores")))
+        .chain(["imbalance@6".to_string()])
+        .collect();
+    let mut rows = Vec::new();
+
+    for m in [MatrixDataset::Circuit204, MatrixDataset::EmailEuCore] {
+        let a = m.build();
+        let (_, base, _) = gustavson_multicore(&a, &a, cfg, 1, SchedMode::Static, chunk);
+        for &mode in modes {
+            let mut row = vec![format!("spmspm/{}", m.tag()), mode.name().to_string()];
+            let mut last_imbalance = 1.0;
+            for &c in &CORES {
+                let (r, run, report) = gustavson_multicore(&a, &a, cfg, c, mode, chunk);
+                if !report.is_empty() {
+                    eprintln!("  sanitizer findings (spmspm {} / {c} cores):\n{report}", m.tag());
+                }
+                cli.record(
+                    &format!("spmspm/{}/c{c}/{}", m.tag(), mode.name()),
+                    Some(&cfg),
+                    r.c.nnz() as u64,
+                    run.cycles,
+                    Some(base.cycles),
+                );
+                row.push(format!("{:.2}", base.cycles as f64 / run.cycles.max(1) as f64));
+                last_imbalance = run.imbalance();
+            }
+            row.push(format!("{last_imbalance:.2}"));
+            rows.push(row);
+        }
+    }
+
+    for t in [TensorDataset::ChicagoCrime] {
+        let a = t.build();
+        let d2 = a.dims()[2];
+        let v: Vec<f64> = (0..d2).map(|i| 0.5 + (i % 17) as f64 * 0.1).collect();
+        let (_, base, _) = ttv_multicore(&a, &v, cfg, 1, SchedMode::Static, chunk);
+        for &mode in modes {
+            let mut row = vec![format!("ttv/{}", t.tag()), mode.name().to_string()];
+            let mut last_imbalance = 1.0;
+            for &c in &CORES {
+                let (r, run, report) = ttv_multicore(&a, &v, cfg, c, mode, chunk);
+                if !report.is_empty() {
+                    eprintln!("  sanitizer findings (ttv {} / {c} cores):\n{report}", t.tag());
+                }
+                let sum =
+                    sc_report::fnv1a(r.z.iter().flatten().flat_map(|x| x.to_bits().to_le_bytes()));
+                cli.record(
+                    &format!("ttv/{}/c{c}/{}", t.tag(), mode.name()),
+                    Some(&cfg),
+                    sum,
+                    run.cycles,
+                    Some(base.cycles),
+                );
+                row.push(format!("{:.2}", base.cycles as f64 / run.cycles.max(1) as f64));
+                last_imbalance = run.imbalance();
+            }
+            row.push(format!("{last_imbalance:.2}"));
+            rows.push(row);
+        }
+    }
+
+    println!("{}", render_table(&header, &rows));
+    println!("\n(rows/fibers shard whole output cells, so the multicore tensor");
+    println!(" results are byte-identical to the serial kernels)");
 }

@@ -48,18 +48,67 @@ pub struct BenchCli {
     last_mark: Cell<Instant>,
 }
 
+/// The cross-cutting flags every bench accepts: `(name, takes_value)`.
+const COMMON_SPECS: &[(&str, bool)] = &[
+    ("--sanitize", false),
+    ("--datasets", true),
+    ("--probe-level", true),
+    ("--metrics", true),
+    ("--trace", true),
+    ("--record", true),
+];
+
 impl BenchCli {
-    /// Parse the process's command line.
+    /// Parse the process's command line, accepting only the
+    /// cross-cutting flags. Unknown flags are a hard error (exit 2).
     pub fn parse() -> Self {
-        Self::from_args(std::env::args().collect())
+        Self::parse_with(&[])
+    }
+
+    /// Parse the process's command line, accepting the cross-cutting
+    /// flags plus the binary's own `specs` (`(name, takes_value)`
+    /// pairs). Unknown flags are a hard error (exit 2).
+    pub fn parse_with(specs: &[(&str, bool)]) -> Self {
+        Self::try_from_args_with(std::env::args().collect(), specs).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
     }
 
     /// Parse an explicit argument vector (tests use this).
     ///
     /// # Panics
     ///
-    /// Panics on an unknown `--probe-level` name.
+    /// Panics on an unknown flag, a missing value, or an unknown
+    /// `--probe-level` name.
     pub fn from_args(args: Vec<String>) -> Self {
+        Self::from_args_with(args, &[])
+    }
+
+    /// Like [`BenchCli::from_args`], with binary-specific flag specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown flag, a missing value, or an unknown
+    /// `--probe-level` name.
+    pub fn from_args_with(args: Vec<String>, specs: &[(&str, bool)]) -> Self {
+        Self::try_from_args_with(args, specs).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The fallible core of all the constructors: normalize
+    /// `--flag=value` into `--flag value`, reject unknown flags and
+    /// stray positionals, then wire up the probe.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending argument.
+    pub fn try_from_args_with(args: Vec<String>, specs: &[(&str, bool)]) -> Result<Self, String> {
+        let args = normalize(args);
+        validate(&args, specs)?;
+        Ok(Self::from_validated(args))
+    }
+
+    fn from_validated(args: Vec<String>) -> Self {
         crate::init_sanitize(&args);
         let trace = value_of(&args, "--trace").map(PathBuf::from);
         let metrics = value_of(&args, "--metrics").map(PathBuf::from);
@@ -234,14 +283,64 @@ fn value_of(args: &[String], name: &str) -> Option<String> {
     args.get(pos + 1).cloned()
 }
 
+/// Split every `--flag=value` argument into the `--flag value` pair, so
+/// the rest of the crate only ever sees the two-token form.
+fn normalize(args: Vec<String>) -> Vec<String> {
+    let mut out = Vec::with_capacity(args.len());
+    for a in args {
+        match a.strip_prefix("--").and_then(|rest| rest.split_once('=')) {
+            Some((name, value)) => {
+                out.push(format!("--{name}"));
+                out.push(value.to_string());
+            }
+            None => out.push(a),
+        }
+    }
+    out
+}
+
+/// Reject unknown flags and stray positional arguments. `args` is the
+/// normalized vector including `argv[0]`.
+fn validate(args: &[String], specs: &[(&str, bool)]) -> Result<(), String> {
+    let lookup = |name: &str| {
+        COMMON_SPECS
+            .iter()
+            .chain(specs)
+            .find(|(n, _)| *n == name)
+            .map(|&(_, takes_value)| takes_value)
+    };
+    let mut i = 1;
+    while i < args.len() {
+        let a = &args[i];
+        if !a.starts_with("--") {
+            return Err(format!("unexpected argument '{a}' (flags start with --)"));
+        }
+        match lookup(a) {
+            None => return Err(format!("unknown flag '{a}'")),
+            Some(true) => {
+                if i + 1 >= args.len() || args[i + 1].starts_with("--") {
+                    return Err(format!("flag '{a}' requires a value"));
+                }
+                i += 2;
+            }
+            Some(false) => i += 1,
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn cli(extra: &[&str]) -> BenchCli {
+        cli_with(extra, &[])
+    }
+
+    fn cli_with(extra: &[&str], specs: &[(&str, bool)]) -> BenchCli {
         let mut args = vec!["prog".to_string()];
         args.extend(extra.iter().map(|s| s.to_string()));
-        BenchCli::from_args(args)
+        BenchCli::from_args_with(args, specs)
     }
 
     #[test]
@@ -267,12 +366,45 @@ mod tests {
         assert_eq!(c.probe().level(), ProbeLevel::Trace);
     }
 
+    const BIN_SPECS: &[(&str, bool)] = &[("--skip-fsm", false), ("--matrices", true)];
+
     #[test]
     fn flags_and_values_read_through() {
-        let c = cli(&["--skip-fsm", "--matrices", "a,b"]);
+        let c = cli_with(&["--skip-fsm", "--matrices", "a,b"], BIN_SPECS);
         assert!(c.flag("--skip-fsm"));
         assert_eq!(c.value("--matrices"), Some("a,b"));
         assert_eq!(c.value("--missing"), None);
+    }
+
+    #[test]
+    fn equals_form_is_accepted_everywhere() {
+        let c = cli_with(&["--matrices=a,b", "--probe-level=metrics"], BIN_SPECS);
+        assert_eq!(c.value("--matrices"), Some("a,b"));
+        assert_eq!(c.probe().level(), ProbeLevel::Metrics);
+        let c = cli(&["--datasets=E,W"]);
+        assert_eq!(c.datasets(&Dataset::ALL).len(), 2);
+    }
+
+    #[test]
+    fn unknown_flag_is_a_hard_error() {
+        let err =
+            BenchCli::try_from_args_with(vec!["prog".into(), "--no-such-flag".into()], BIN_SPECS)
+                .unwrap_err();
+        assert!(err.contains("--no-such-flag"), "{err}");
+        // A flag the binary didn't declare is unknown to it.
+        let err = BenchCli::try_from_args_with(vec!["prog".into(), "--skip-fsm".into()], &[])
+            .unwrap_err();
+        assert!(err.contains("--skip-fsm"), "{err}");
+    }
+
+    #[test]
+    fn missing_value_and_stray_positional_rejected() {
+        let err = BenchCli::try_from_args_with(vec!["prog".into(), "--datasets".into()], &[])
+            .unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+        let err =
+            BenchCli::try_from_args_with(vec!["prog".into(), "oops".into()], &[]).unwrap_err();
+        assert!(err.contains("oops"), "{err}");
     }
 
     #[test]

@@ -117,13 +117,31 @@ struct Ctx<'a, B: SetBackend> {
     lists: Vec<Option<B::Set>>,
 }
 
-/// Count the embeddings of `plan.pattern()` in `g` using `backend`.
+/// The shared outer-loop driver: enumerate from every start vertex the
+/// iterator yields, charging the backend for the loop control either way.
 ///
-/// Symmetry breaking makes each embedding counted exactly once.
-pub fn count<B: SetBackend>(g: &CsrGraph, plan: &Plan, backend: &mut B) -> u64 {
+/// Single-level plans still walk the loop — one taken branch and the
+/// count-increment op per start vertex, plus the final not-taken exit —
+/// so per-core cycles stay meaningful for a multicore partition instead
+/// of silently reporting zero.
+fn count_over<B: SetBackend>(
+    g: &CsrGraph,
+    plan: &Plan,
+    backend: &mut B,
+    vertices: impl Iterator<Item = Key>,
+) -> u64 {
     let n = plan.levels().len();
     if n == 1 {
-        return g.num_vertices() as u64;
+        // Every start vertex is itself an embedding; the walk is loop
+        // control plus a count increment, and it must be charged.
+        let mut total = 0;
+        for _v0 in vertices {
+            backend.loop_branch(0x10, true);
+            backend.ops(1);
+            total += 1;
+        }
+        backend.loop_branch(0x10, false);
+        return total;
     }
     let use_nested = plan.nested_applicable() && backend.supports_nested();
     let needed = lists_needed(plan, use_nested);
@@ -136,7 +154,7 @@ pub fn count<B: SetBackend>(g: &CsrGraph, plan: &Plan, backend: &mut B) -> u64 {
         lists: (0..n).map(|_| None).collect(),
     };
     let mut total = 0;
-    for v0 in g.vertices() {
+    for v0 in vertices {
         ctx.assigned[0] = v0;
         backend.loop_branch(0x10, true);
         if ctx.needed[0] {
@@ -149,6 +167,13 @@ pub fn count<B: SetBackend>(g: &CsrGraph, plan: &Plan, backend: &mut B) -> u64 {
     }
     backend.loop_branch(0x10, false);
     total
+}
+
+/// Count the embeddings of `plan.pattern()` in `g` using `backend`.
+///
+/// Symmetry breaking makes each embedding counted exactly once.
+pub fn count<B: SetBackend>(g: &CsrGraph, plan: &Plan, backend: &mut B) -> u64 {
+    count_over(g, plan, backend, g.vertices())
 }
 
 /// Like [`count`], but only simulates every `stride`-th start vertex and
@@ -166,33 +191,7 @@ pub fn count_sampled<B: SetBackend>(
     stride: usize,
 ) -> (u64, u64) {
     let stride = stride.max(1);
-    let n = plan.levels().len();
-    if n == 1 {
-        return (g.num_vertices() as u64, g.num_vertices() as u64);
-    }
-    let use_nested = plan.nested_applicable() && backend.supports_nested();
-    let needed = lists_needed(plan, use_nested);
-    let mut ctx = Ctx::<B> {
-        g,
-        plan,
-        needed,
-        use_nested,
-        assigned: vec![0; n],
-        lists: (0..n).map(|_| None).collect(),
-    };
-    let mut sampled = 0;
-    for v0 in g.vertices().step_by(stride) {
-        ctx.assigned[0] = v0;
-        backend.loop_branch(0x10, true);
-        if ctx.needed[0] {
-            ctx.lists[0] = Some(backend.edge_list(v0));
-        }
-        sampled += level_count(&mut ctx, backend, 1);
-        if let Some(s) = ctx.lists[0].take() {
-            backend.release(s);
-        }
-    }
-    backend.loop_branch(0x10, false);
+    let sampled = count_over(g, plan, backend, g.vertices().step_by(stride));
     (sampled * stride as u64, sampled)
 }
 
@@ -207,34 +206,19 @@ pub fn count_partition<B: SetBackend>(
     stride: usize,
 ) -> u64 {
     let stride = stride.max(1);
-    let n = plan.levels().len();
-    if n == 1 {
-        return g.vertices().skip(start).step_by(stride).count() as u64;
-    }
-    let use_nested = plan.nested_applicable() && backend.supports_nested();
-    let needed = lists_needed(plan, use_nested);
-    let mut ctx = Ctx::<B> {
-        g,
-        plan,
-        needed,
-        use_nested,
-        assigned: vec![0; n],
-        lists: (0..n).map(|_| None).collect(),
-    };
-    let mut total = 0;
-    for v0 in g.vertices().skip(start).step_by(stride) {
-        ctx.assigned[0] = v0;
-        backend.loop_branch(0x10, true);
-        if ctx.needed[0] {
-            ctx.lists[0] = Some(backend.edge_list(v0));
-        }
-        total += level_count(&mut ctx, backend, 1);
-        if let Some(s) = ctx.lists[0].take() {
-            backend.release(s);
-        }
-    }
-    backend.loop_branch(0x10, false);
-    total
+    count_over(g, plan, backend, g.vertices().skip(start).step_by(stride))
+}
+
+/// Count over the contiguous vertex range `[lo, hi)` — one chunk of a
+/// self-scheduled multicore run. Returns the range's exact count.
+pub fn count_range<B: SetBackend>(
+    g: &CsrGraph,
+    plan: &Plan,
+    backend: &mut B,
+    lo: usize,
+    hi: usize,
+) -> u64 {
+    count_over(g, plan, backend, g.vertices().skip(lo).take(hi.saturating_sub(lo)))
 }
 
 fn level_count<B: SetBackend>(ctx: &mut Ctx<'_, B>, b: &mut B, l: usize) -> u64 {
@@ -1028,6 +1012,43 @@ mod tests {
         assert_eq!(count(&g, &plan, &mut scalar(&g)), 5);
         assert_eq!(count(&g, &plan, &mut stream(&g, true)), 5);
         assert_eq!(count(&g, &plan, &mut stream(&g, false)), 5);
+    }
+
+    #[test]
+    fn single_level_plan_charges_the_walk() {
+        // Regression: the old `n == 1` early return counted vertices
+        // without touching the backend, so 1-level plans reported 0
+        // per-core cycles and a degenerate imbalance().
+        let g = small_graph();
+        let plan = Plan::compile(&Pattern::clique(1), &[0], Induced::Vertex);
+        let mut b = scalar(&g);
+        assert_eq!(count(&g, &plan, &mut b), 6);
+        assert!(b.finish() > 0, "1-level walk must charge cycles");
+        let mut parts = 0;
+        for c in 0..3 {
+            let mut b = scalar(&g);
+            parts += count_partition(&g, &plan, &mut b, c, 3);
+            assert!(b.finish() > 0, "core {c} must report nonzero cycles");
+        }
+        assert_eq!(parts, 6);
+        let mut sb = stream(&g, false);
+        assert_eq!(count(&g, &plan, &mut sb), 6);
+        assert!(sb.finish() > 0, "stream backend charges the walk too");
+        // Sampling now reports the sampled portion, scaled.
+        let mut b = scalar(&g);
+        assert_eq!(count_sampled(&g, &plan, &mut b, 2), (6, 3));
+    }
+
+    #[test]
+    fn range_counts_compose_to_the_full_count() {
+        let g = small_graph();
+        let plan = Plan::compile(&Pattern::triangle(), &[0, 1, 2], Induced::Vertex);
+        let full = count(&g, &plan, &mut scalar(&g));
+        let split: u64 = [(0, 2), (2, 5), (5, 6), (6, 6)]
+            .iter()
+            .map(|&(lo, hi)| count_range(&g, &plan, &mut scalar(&g), lo, hi))
+            .sum();
+        assert_eq!(split, full);
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod iep;
 pub mod parallel;
 pub mod pattern;
 pub mod plan;
+pub mod sched;
 pub mod symmetry;
 
 pub use apps::App;
@@ -52,3 +53,4 @@ pub use parallel::{
 };
 pub use pattern::Pattern;
 pub use plan::Plan;
+pub use sched::{count_scalar_dynamic, count_stream_dynamic, count_stream_dynamic_sanitized};

@@ -13,31 +13,10 @@ use crate::plan::Plan;
 use sc_graph::CsrGraph;
 use sparsecore::{Engine, SparseCoreConfig};
 
-/// Result of a multi-core run.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct MultiCoreRun {
-    /// Total embeddings across all partitions (exact).
-    pub count: u64,
-    /// Completion time: the slowest core's cycles.
-    pub cycles: u64,
-    /// Per-core cycle counts (for load-imbalance inspection).
-    pub per_core: Vec<u64>,
-}
-
-impl MultiCoreRun {
-    /// Load imbalance: slowest / mean per-core cycles (1.0 = perfect).
-    pub fn imbalance(&self) -> f64 {
-        if self.per_core.is_empty() {
-            return 1.0;
-        }
-        let mean = self.per_core.iter().sum::<u64>() as f64 / self.per_core.len() as f64;
-        if mean == 0.0 {
-            1.0
-        } else {
-            self.cycles as f64 / mean
-        }
-    }
-}
+// The result type moved to the shared scheduler module in `sparsecore`
+// (the tensor multicore path uses it too); re-exported here so existing
+// `sc_gpm::parallel::MultiCoreRun` paths keep working.
+pub use sparsecore::MultiCoreRun;
 
 /// Declare the graph's three CSR arrays read-only on `engine` (paper
 /// Section 5.1: parallel cores share the graph without coherence, so a

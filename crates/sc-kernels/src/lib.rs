@@ -23,12 +23,14 @@
 //! the test suite.
 
 pub mod backend;
+pub mod parallel;
 pub mod spmspm;
 pub mod spmv;
 pub mod tensor_ops;
 pub mod vstream;
 
 pub use backend::{ScalarTensorBackend, StreamTensorBackend, TensorBackend};
+pub use parallel::{gustavson_multicore, protect_matrix, protect_tensor, ttv_multicore};
 pub use spmspm::{
     gustavson, gustavson_sampled, inner_product, outer_product, outer_product_sampled,
     InnerOptions, SpmspmResult,

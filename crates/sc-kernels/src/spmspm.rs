@@ -135,29 +135,43 @@ pub fn gustavson<B: TensorBackend>(a: &CsrMatrix, b: &CsrMatrix, backend: &mut B
     let m = a.rows();
     let mut rows: Vec<VStream> = Vec::with_capacity(m);
     for i in 0..m {
-        backend.loop_branch(0x420, true);
-        let arow = VStream::from_row(a, i);
-        let mut acc = VStream::empty();
-        for (idx, &k) in arow.keys.iter().enumerate() {
-            backend.loop_branch(0x424, true);
-            let a_ik = arow.vals[idx];
-            backend.ops(2);
-            if b.row_nnz(k as usize) == 0 {
-                continue;
-            }
-            let brow = VStream::from_row(b, k as usize);
-            let hb = backend.load(&brow, 1);
-            let hacc = backend.load(&acc, 3); // the running row is hot
-            acc = backend.scaled_merge(1.0, &hacc, a_ik, &hb);
-            backend.release(hacc);
-            backend.release(hb);
-        }
-        backend.loop_branch(0x424, false);
-        rows.push(acc);
+        rows.push(gustavson_row(a, b, backend, i));
     }
     backend.loop_branch(0x420, false);
     let cycles = backend.finish();
     SpmspmResult { c: rows_to_matrix(m, b.cols(), &rows), cycles, rows_simulated: m }
+}
+
+/// One Gustavson output row — the `0x420`/`0x424` loop body. Shared by
+/// the serial, sampled, and multicore drivers so every path charges the
+/// per-row work identically; a row depends only on `A`'s row `i` and the
+/// rows of `B` it touches, which is what lets the multicore driver shard
+/// the output rows freely.
+pub(crate) fn gustavson_row<B: TensorBackend>(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    backend: &mut B,
+    i: usize,
+) -> VStream {
+    backend.loop_branch(0x420, true);
+    let arow = VStream::from_row(a, i);
+    let mut acc = VStream::empty();
+    for (idx, &k) in arow.keys.iter().enumerate() {
+        backend.loop_branch(0x424, true);
+        let a_ik = arow.vals[idx];
+        backend.ops(2);
+        if b.row_nnz(k as usize) == 0 {
+            continue;
+        }
+        let brow = VStream::from_row(b, k as usize);
+        let hb = backend.load(&brow, 1);
+        let hacc = backend.load(&acc, 3); // the running row is hot
+        acc = backend.scaled_merge(1.0, &hacc, a_ik, &hb);
+        backend.release(hacc);
+        backend.release(hb);
+    }
+    backend.loop_branch(0x424, false);
+    acc
 }
 
 /// Gustavson with row sampling: simulate every `stride`-th output row
@@ -176,25 +190,7 @@ pub fn gustavson_sampled<B: TensorBackend>(
     let mut simulated = 0;
     for i in (0..m).step_by(stride) {
         simulated += 1;
-        backend.loop_branch(0x420, true);
-        let arow = VStream::from_row(a, i);
-        let mut acc = VStream::empty();
-        for (idx, &k) in arow.keys.iter().enumerate() {
-            backend.loop_branch(0x424, true);
-            let a_ik = arow.vals[idx];
-            backend.ops(2);
-            if b.row_nnz(k as usize) == 0 {
-                continue;
-            }
-            let brow = VStream::from_row(b, k as usize);
-            let hb = backend.load(&brow, 1);
-            let hacc = backend.load(&acc, 3);
-            acc = backend.scaled_merge(1.0, &hacc, a_ik, &hb);
-            backend.release(hacc);
-            backend.release(hb);
-        }
-        backend.loop_branch(0x424, false);
-        rows.push((i, acc));
+        rows.push((i, gustavson_row(a, b, backend, i)));
     }
     backend.loop_branch(0x420, false);
     let cycles = backend.finish() * stride as u64;
@@ -261,7 +257,7 @@ impl VStream {
     }
 }
 
-fn rows_to_matrix(m: usize, n: usize, rows: &[VStream]) -> CsrMatrix {
+pub(crate) fn rows_to_matrix(m: usize, n: usize, rows: &[VStream]) -> CsrMatrix {
     let mut triplets = Vec::new();
     for (i, r) in rows.iter().enumerate() {
         for (k, v) in r.keys.iter().zip(&r.vals) {

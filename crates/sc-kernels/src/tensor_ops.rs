@@ -30,8 +30,29 @@ pub struct TtmResult {
 }
 
 /// Simulated addresses for the dense TTV/TTM operands.
-const DENSE_KEY_BASE: u64 = 0xA000_0000;
-const DENSE_VAL_BASE: u64 = 0xA800_0000;
+pub(crate) const DENSE_KEY_BASE: u64 = 0xA000_0000;
+pub(crate) const DENSE_VAL_BASE: u64 = 0xA800_0000;
+
+/// One TTV fiber — the `0x500` loop body: dot fiber `n` with the loaded
+/// dense vector and store the output cell. Shared by the serial,
+/// sampled, and multicore drivers; a fiber touches exactly one `(i, j)`
+/// output cell, which is what lets the multicore driver shard fibers.
+pub(crate) fn ttv_fiber<B: TensorBackend>(
+    a: &CsfTensor,
+    n: usize,
+    hv: &B::Handle,
+    d1: usize,
+    backend: &mut B,
+) -> (usize, usize, f64) {
+    backend.loop_branch(0x500, true);
+    let f = a.fiber(n);
+    let fs = VStream::from_fiber(a, n);
+    let hf = backend.load(&fs, 0);
+    let acc = backend.gather_dot(&hf, hv);
+    backend.release(hf);
+    backend.store_result(0xF800_0000 + (f.i as u64 * d1 as u64 + f.j as u64) * 8);
+    (f.i as usize, f.j as usize, acc)
+}
 
 /// Tensor-times-vector: `Z_ij = Σ_k A_ijk * v_k`.
 ///
@@ -46,14 +67,8 @@ pub fn ttv<B: TensorBackend>(a: &CsfTensor, v: &[f64], backend: &mut B) -> TtvRe
     // The dense vector is the hot stream: loaded once, maximum priority.
     let hv = backend.load(&dense, 8);
     for n in 0..a.num_fibers() {
-        backend.loop_branch(0x500, true);
-        let f = a.fiber(n);
-        let fs = VStream::from_fiber(a, n);
-        let hf = backend.load(&fs, 0);
-        let acc = backend.gather_dot(&hf, &hv);
-        backend.release(hf);
-        z[f.i as usize][f.j as usize] = acc;
-        backend.store_result(0xF800_0000 + (f.i as u64 * d1 as u64 + f.j as u64) * 8);
+        let (i, j, acc) = ttv_fiber(a, n, &hv, d1, backend);
+        z[i][j] = acc;
     }
     backend.loop_branch(0x500, false);
     backend.release(hv);
@@ -124,13 +139,8 @@ pub fn ttv_sampled<B: TensorBackend>(
     let dense = VStream::from_dense(v, DENSE_KEY_BASE, DENSE_VAL_BASE);
     let hv = backend.load(&dense, 8);
     for n in (0..a.num_fibers()).step_by(stride) {
-        backend.loop_branch(0x500, true);
-        let f = a.fiber(n);
-        let fs = VStream::from_fiber(a, n);
-        let hf = backend.load(&fs, 0);
-        z[f.i as usize][f.j as usize] = backend.gather_dot(&hf, &hv);
-        backend.release(hf);
-        backend.store_result(0xF800_0000 + (f.i as u64 * d1 as u64 + f.j as u64) * 8);
+        let (i, j, acc) = ttv_fiber(a, n, &hv, d1, backend);
+        z[i][j] = acc;
     }
     backend.loop_branch(0x500, false);
     backend.release(hv);

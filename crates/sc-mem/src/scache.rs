@@ -137,6 +137,12 @@ pub struct StreamCacheStats {
 #[derive(Debug, Clone)]
 pub struct StreamCacheStorage {
     config: StreamCacheConfig,
+    /// Memory line size in bytes: refills are fetched and output keys are
+    /// written back in units of this. Mirrors the hierarchy's configured
+    /// `line_bytes` (the engine wires it up); kept off
+    /// [`StreamCacheConfig`] so the S-Cache geometry digest is unaffected
+    /// — the line size is already hashed through the cache levels.
+    line_bytes: u64,
     slots: Vec<Slot>,
     stats: StreamCacheStats,
     probe: Probe,
@@ -157,10 +163,36 @@ impl StreamCacheStorage {
         assert!(config.slots > 0, "need at least one slot");
         StreamCacheStorage {
             config,
+            line_bytes: 64,
             slots: vec![Slot::empty(); config.slots],
             stats: StreamCacheStats::default(),
             probe: Probe::off(),
         }
+    }
+
+    /// Set the memory line size refills and writebacks are charged in.
+    /// Defaults to 64 bytes; the engine overrides it with the hierarchy's
+    /// configured `line_bytes` so the S-Cache's line traffic agrees with
+    /// the cache model it sits on.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `line_bytes` is a power of two holding at least one
+    /// key.
+    pub fn set_line_bytes(&mut self, line_bytes: u64) {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(line_bytes >= self.config.key_bytes, "a line must hold at least one key");
+        self.line_bytes = line_bytes;
+    }
+
+    /// The memory line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Keys per memory line (writeback / line-group granularity).
+    fn keys_per_line(&self) -> usize {
+        (self.line_bytes / self.config.key_bytes) as usize
     }
 
     /// Attach a probe handle; slot lifecycle and refill events are
@@ -258,7 +290,7 @@ impl StreamCacheStorage {
     pub fn refill_window(&mut self, slot: SlotId, key_idx: usize) -> Vec<Addr> {
         let half = self.config.subslot_keys();
         let key_bytes = self.config.key_bytes;
-        let line = 64u64;
+        let line = self.line_bytes;
         let s = &mut self.slots[slot];
         assert!(s.bound, "refill on unbound slot {slot}");
         if key_idx >= s.len {
@@ -329,13 +361,13 @@ impl StreamCacheStorage {
     }
 
     /// Append one produced key to an output slot. Returns the line address
-    /// to write back to L2 when a full 64-byte line of keys has accumulated,
+    /// to write back to L2 when a full memory line of keys has accumulated,
     /// or `None` otherwise. When more than `slot_keys` accumulate, the
     /// oldest keys are conceptually displaced (the slot keeps the most
     /// recently produced 64 keys and clears the start bit — paper
     /// Section 4.3).
     pub fn push_output_key(&mut self, slot: SlotId) -> Option<Addr> {
-        let keys_per_line = (64 / self.config.key_bytes) as usize;
+        let keys_per_line = self.keys_per_line();
         let slot_keys = self.config.slot_keys;
         let key_bytes = self.config.key_bytes;
         let s = &mut self.slots[slot];
@@ -399,7 +431,7 @@ impl StreamCacheStorage {
     pub fn audit(&self) -> Vec<AuditViolation> {
         let mut v = Vec::new();
         let half = self.config.subslot_keys();
-        let keys_per_line = (64 / self.config.key_bytes) as usize;
+        let keys_per_line = self.keys_per_line();
         for (i, s) in self.slots.iter().enumerate() {
             if !s.bound {
                 if s.lo_valid || s.hi_valid || s.pending_out > 0 || s.produced > 0 {
@@ -467,7 +499,7 @@ impl StreamCacheStorage {
     /// a model accumulates a full line without writing it back. Test-only.
     #[doc(hidden)]
     pub fn sabotage_retain_pending(&mut self, slot: SlotId) {
-        let keys_per_line = (64 / self.config.key_bytes) as usize;
+        let keys_per_line = self.keys_per_line();
         self.slots[slot].bound = true;
         self.slots[slot].pending_out = keys_per_line + 1;
         self.slots[slot].produced = self.slots[slot].produced.max(keys_per_line + 1);
@@ -651,6 +683,55 @@ mod tests {
         }
         assert_eq!(s.release(0), 2);
         assert!(!s.is_bound(0));
+    }
+
+    #[test]
+    fn line_size_follows_the_hierarchy_config() {
+        // 128-byte lines: a 64-key x 4 B window is 256 B = 2 lines (not
+        // the 4 a hard-coded 64 B line would charge), and writebacks fire
+        // every 32 keys.
+        let mut s = sc();
+        s.set_line_bytes(128);
+        assert_eq!(s.line_bytes(), 128);
+        s.bind(3, 0x1000, 200);
+        let fetch = s.refill_window(3, 0);
+        assert_eq!(fetch.len(), 2);
+        assert_eq!(fetch, vec![0x1000, 0x1080]);
+        assert!(s.key_resident(3, 63));
+
+        s.bind_output(2, 0x2000);
+        let mut writebacks = Vec::new();
+        for _ in 0..70 {
+            if let Some(a) = s.push_output_key(2) {
+                writebacks.push(a);
+            }
+        }
+        // 32 keys per 128 B line -> writebacks after keys 32 and 64.
+        assert_eq!(writebacks, vec![0x2000, 0x2080]);
+        assert!(s.audit().is_empty());
+    }
+
+    #[test]
+    fn audit_line_group_tracks_configured_line_size() {
+        // With 128 B lines a slot may legally buffer up to 31 keys; the
+        // 64 B threshold (16) must not fire.
+        let mut s = sc();
+        s.set_line_bytes(128);
+        s.bind_output(0, 0);
+        for _ in 0..20 {
+            let wb = s.push_output_key(0);
+            assert!(wb.is_none(), "no writeback below a full 128 B line");
+        }
+        assert!(s.audit().is_empty());
+        // The sabotage hook trips the violation relative to the new size.
+        s.sabotage_retain_pending(1);
+        assert!(s.audit().iter().any(|v| v.message.contains("32")));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_line_rejected() {
+        sc().set_line_bytes(96);
     }
 
     #[test]

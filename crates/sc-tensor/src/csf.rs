@@ -127,6 +127,11 @@ impl CsfTensor {
         }
     }
 
+    /// The simulated memory layout (index/value base addresses).
+    pub fn layout(&self) -> &MatrixLayout {
+        &self.layout
+    }
+
     /// Override the simulated memory layout.
     pub fn set_layout(&mut self, layout: MatrixLayout) {
         self.layout = layout;

@@ -32,7 +32,11 @@ for i in $(seq "$REPEATS"); do
   "$BIN/fig16_tensor_accels" --matrices C,E \
     --record "$OUT/fig16_tensor_accels.json" >/dev/null
   "$BIN/ablations" --datasets E --record "$OUT/ablations.json" >/dev/null
-  "$BIN/multicore" --datasets E --record "$OUT/multicore.json" >/dev/null
+  # Both scheduler modes plus the sharded tensor kernels, with the
+  # invariant sanitizer on: the dynamic scheduler is deterministic by
+  # construction, so its records exact-compare like everything else.
+  "$BIN/multicore" --datasets E --sched both --chunk 8 --tensor --sanitize \
+    --record "$OUT/multicore.json" >/dev/null
   "$BIN/datasets_report" --record "$OUT/datasets_report.json" >/dev/null
 done
 

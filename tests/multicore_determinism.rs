@@ -1,0 +1,93 @@
+//! Cross-crate integration: the deterministic dynamic chunk scheduler.
+//!
+//! The scheduler assigns the next chunk to the core with the lowest
+//! *simulated* clock, so a run's partitioning depends only on the timing
+//! model — never on host threads. These tests pin the two properties the
+//! regression gates rely on: repeated runs are byte-identical, and the
+//! multicore tensor kernels reproduce the serial kernels exactly.
+
+use sc_gpm::plan::Induced;
+use sc_gpm::sched::{count_stream_dynamic, DEFAULT_CHUNK};
+use sc_gpm::{Pattern, Plan};
+use sc_graph::generators::{powerlaw_graph, PowerLawConfig};
+use sc_graph::CsrGraph;
+use sc_kernels::{gustavson, gustavson_multicore, ttv, ttv_multicore, StreamTensorBackend};
+use sc_tensor::generators::{random_matrix, random_tensor};
+use sparsecore::{Engine, SchedMode, SparseCoreConfig};
+
+fn hubby_graph() -> CsrGraph {
+    powerlaw_graph(PowerLawConfig { num_vertices: 600, num_edges: 3600, max_degree: 150, seed: 9 })
+}
+
+fn triangle_plan() -> Plan {
+    Plan::compile(&Pattern::triangle(), &[0, 1, 2], Induced::Vertex)
+}
+
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn repeated_dynamic_runs_are_byte_identical() {
+    let g = hubby_graph();
+    let plan = triangle_plan();
+    for cores in [1usize, 2, 3, 6] {
+        let first =
+            count_stream_dynamic(&g, &plan, SparseCoreConfig::paper(), true, cores, DEFAULT_CHUNK);
+        for _ in 0..2 {
+            let again = count_stream_dynamic(
+                &g,
+                &plan,
+                SparseCoreConfig::paper(),
+                true,
+                cores,
+                DEFAULT_CHUNK,
+            );
+            assert_eq!(again, first, "run differs at {cores} cores");
+        }
+    }
+}
+
+#[test]
+fn dynamic_count_matches_the_single_core_reference() {
+    let g = hubby_graph();
+    let plan = triangle_plan();
+    let reference =
+        count_stream_dynamic(&g, &plan, SparseCoreConfig::paper(), true, 1, DEFAULT_CHUNK);
+    for cores in [2usize, 3, 6] {
+        let run =
+            count_stream_dynamic(&g, &plan, SparseCoreConfig::paper(), true, cores, DEFAULT_CHUNK);
+        assert_eq!(run.count, reference.count, "count drifted at {cores} cores");
+    }
+}
+
+#[test]
+fn multicore_tensor_kernels_match_serial_checksums() {
+    let cfg = SparseCoreConfig::paper_one_su();
+    let a = random_matrix(120, 120, 900, 77);
+    let serial = gustavson(&a, &a, &mut StreamTensorBackend::with_engine(Engine::new(cfg)));
+
+    let t = random_tensor([10, 8, 40], 36, 320, 78);
+    let v: Vec<f64> = (0..40).map(|i| 0.25 + (i % 7) as f64 * 0.5).collect();
+    let serial_ttv = ttv(&t, &v, &mut StreamTensorBackend::with_engine(Engine::new(cfg)));
+    let serial_sum = fnv1a(serial_ttv.z.iter().flatten().flat_map(|x| x.to_bits().to_le_bytes()));
+
+    for mode in [SchedMode::Static, SchedMode::Dynamic] {
+        for cores in [1usize, 2, 3, 6] {
+            let (r, run, report) = gustavson_multicore(&a, &a, cfg, cores, mode, 4);
+            assert!(report.is_empty(), "sanitizer findings:\n{report}");
+            assert_eq!(r.c, serial.c, "spmspm output differs ({mode}, {cores} cores)");
+            assert_eq!(run.count, serial.c.nnz() as u64);
+
+            let (rt, _, report) = ttv_multicore(&t, &v, cfg, cores, mode, 4);
+            assert!(report.is_empty(), "sanitizer findings:\n{report}");
+            let sum = fnv1a(rt.z.iter().flatten().flat_map(|x| x.to_bits().to_le_bytes()));
+            assert_eq!(sum, serial_sum, "ttv checksum differs ({mode}, {cores} cores)");
+        }
+    }
+}
