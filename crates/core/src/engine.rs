@@ -422,6 +422,22 @@ impl Engine {
         Ok(())
     }
 
+    /// SMT lookup at an ISA *use* site. On a miss, cross-checks the
+    /// sanitizer's freed history: using a previously-freed stream is the
+    /// `SC-S303` use-after-free hazard, while a never-defined ID stays a
+    /// plain architectural exception with no sanitizer finding.
+    fn lookup_use(&mut self, sid: StreamId) -> Result<usize, StreamException> {
+        match self.smt.lookup(sid) {
+            Ok(idx) => Ok(idx),
+            Err(e) => {
+                if let Some(san) = &mut self.san {
+                    san.check_use_unmapped(sid);
+                }
+                Err(e)
+            }
+        }
+    }
+
     /// Make `sid` SMT-resident if it currently lives in the spill region.
     fn ensure_resident(
         &mut self,
@@ -583,6 +599,9 @@ impl Engine {
             }
             Err(e) => return Err(e),
         };
+        if let Some(san) = &mut self.san {
+            san.note_define(sid);
+        }
         self.scache.bind(idx, key_addr, keys.len());
 
         let (ready_at, lines_fetched) = if source == StreamSource::Memory {
@@ -634,9 +653,26 @@ impl Engine {
         }
         self.trace_instr(|| sc_isa::Instr::SFree { sid });
         if self.virtualize && self.spilled.remove(&sid).is_some() {
+            if let Some(san) = &mut self.san {
+                san.note_free(sid);
+            }
             return Ok(()); // freeing a spilled stream releases its region
         }
-        let idx = self.smt.free(sid)?;
+        let idx = match self.smt.free(sid) {
+            Ok(idx) => idx,
+            Err(e) => {
+                // No live mapping: a re-free of an already-freed stream
+                // is the SC-S301 hazard; a free of a never-defined ID is
+                // only the architectural exception.
+                if let Some(san) = &mut self.san {
+                    san.check_free_unmapped(sid);
+                }
+                return Err(e);
+            }
+        };
+        if let Some(san) = &mut self.san {
+            san.note_free(sid);
+        }
         // Double-free check (SC-S301): the SMT mapping was live, so the
         // register must still hold its functional payload; a missing
         // payload means some path already tore the stream down.
@@ -683,7 +719,7 @@ impl Engine {
         }
         self.trace_instr(|| sc_isa::Instr::SFetch { sid, offset });
         self.ensure_resident(sid, &[sid])?;
-        let idx = self.smt.lookup(sid)?;
+        let idx = self.lookup_use(sid)?;
         let ready = self.smt.get(sid)?.ready_at;
         // A fetch that blocks on an output stream is waiting for the
         // producing SU's comparisons; blocking on a memory-sourced stream
@@ -882,8 +918,8 @@ impl Engine {
         });
         self.ensure_resident(a, &[a, b])?;
         self.ensure_resident(b, &[a, b])?;
-        let a_idx = self.smt.lookup(a)?;
-        let b_idx = self.smt.lookup(b)?;
+        let a_idx = self.lookup_use(a)?;
+        let b_idx = self.lookup_use(b)?;
         let ready = self.smt.get(a)?.ready_at.max(self.smt.get(b)?.ready_at);
 
         // Functional + datapath-cycle replay (immutable phase).
@@ -916,6 +952,9 @@ impl Engine {
             }
             let idx =
                 self.smt.define(out_sid, out_addr, None, keys.len() as u32, Priority(0), done)?;
+            if let Some(san) = &mut self.san {
+                san.note_define(out_sid);
+            }
             self.scache.bind_output(idx, out_addr);
             for _ in 0..keys.len() {
                 if let Some(line) = self.scache.push_output_key(idx) {
@@ -1062,8 +1101,8 @@ impl Engine {
         self.trace_instr(|| sc_isa::Instr::SVInter { a, b, op });
         self.ensure_resident(a, &[a, b])?;
         self.ensure_resident(b, &[a, b])?;
-        let a_idx = self.smt.lookup(a)?;
-        let b_idx = self.smt.lookup(b)?;
+        let a_idx = self.lookup_use(a)?;
+        let b_idx = self.lookup_use(b)?;
         let a_reg = self.smt.get(a)?;
         let b_reg = self.smt.get(b)?;
         let ready = a_reg.ready_at.max(b_reg.ready_at);
@@ -1179,8 +1218,8 @@ impl Engine {
         self.trace_instr(|| sc_isa::Instr::SVMerge { scale_a, scale_b, a, b, out });
         self.ensure_resident(a, &[a, b])?;
         self.ensure_resident(b, &[a, b])?;
-        let a_idx = self.smt.lookup(a)?;
-        let b_idx = self.smt.lookup(b)?;
+        let a_idx = self.lookup_use(a)?;
+        let b_idx = self.lookup_use(b)?;
         let a_reg = self.smt.get(a)?;
         let b_reg = self.smt.get(b)?;
         let ready = a_reg.ready_at.max(b_reg.ready_at);
@@ -1230,6 +1269,9 @@ impl Engine {
         let produced = keys.len() as u32;
         let val_out = out_addr + ((keys.len() as u64 * 4) | 63) + 1;
         let idx = self.smt.define(out, out_addr, Some(val_out), produced, Priority(0), done)?;
+        if let Some(san) = &mut self.san {
+            san.note_define(out);
+        }
         self.scache.bind_output(idx, out_addr);
         for _ in 0..keys.len() {
             if let Some(line) = self.scache.push_output_key(idx) {
@@ -1284,7 +1326,7 @@ impl Engine {
         self.probe.count("engine.nested", 1);
         self.trace_instr(|| sc_isa::Instr::SNestInter { sid });
         self.ensure_resident(sid, &[sid])?;
-        let s_idx = self.smt.lookup(sid)?;
+        let s_idx = self.lookup_use(sid)?;
         let s_ready = self.smt.get(sid)?.ready_at;
         let s_keys: Vec<Key> = self.data[s_idx].as_ref().expect("payload").keys.clone();
         // The whole input stream is consumed repeatedly; charge its lines

@@ -21,9 +21,11 @@
 //!
 //! [`Engine`]: crate::Engine
 
+use sc_isa::StreamId;
 use sc_lint::{Diagnostic, LintCode};
 use sc_mem::AuditKind;
 use sc_probe::{Probe, Track};
+use std::collections::BTreeSet;
 
 /// Map a memory-substrate audit class onto its `SC-S3xx` lint code.
 pub fn audit_code(kind: AuditKind) -> LintCode {
@@ -53,6 +55,12 @@ pub(crate) struct Sanitizer {
     /// fall below it.
     clock_watermark: u64,
     read_only: Vec<ReadOnlyRange>,
+    /// Stream IDs whose most recent mapping was released by `s_free` and
+    /// not re-defined since. Lets the engine's error seams distinguish
+    /// the `SC-S301`/`SC-S303` freed-stream hazards from plain
+    /// use-of-never-defined (which stays an architectural exception with
+    /// no sanitizer finding).
+    freed: BTreeSet<StreamId>,
     /// Mutation hook: make `rollback` skip the trace restore so the
     /// rollback-drift checker has something to catch.
     pub(crate) skip_trace_restore: bool,
@@ -119,6 +127,47 @@ impl Sanitizer {
             ));
         }
         self.clock_watermark = self.clock_watermark.max(last_event);
+    }
+
+    /// A stream was (re)defined: it is no longer in freed history.
+    pub(crate) fn note_define(&mut self, sid: StreamId) {
+        self.freed.remove(&sid);
+    }
+
+    /// A stream was released by `s_free`.
+    pub(crate) fn note_free(&mut self, sid: StreamId) {
+        self.freed.insert(sid);
+    }
+
+    /// `s_free` found no mapping for `sid`. If the stream was freed
+    /// earlier this is the `SC-S301` double-free hazard; a free of a
+    /// never-defined ID is only the architectural `FreeUnmapped`
+    /// exception, not a sanitizer finding.
+    pub(crate) fn check_free_unmapped(&mut self, sid: StreamId) {
+        if self.freed.contains(&sid) {
+            self.record(
+                Diagnostic::sanitizer(
+                    LintCode::SanDoubleFree,
+                    format!("S_FREE of stream {sid}, which was already freed (double release)"),
+                )
+                .with_sid(sid),
+            );
+        }
+    }
+
+    /// A use site found no mapping for `sid`. A previously-freed stream
+    /// makes this the `SC-S303` use-after-free hazard; a never-defined
+    /// ID stays a plain architectural exception.
+    pub(crate) fn check_use_unmapped(&mut self, sid: StreamId) {
+        if self.freed.contains(&sid) {
+            self.record(
+                Diagnostic::sanitizer(
+                    LintCode::SanUseAfterFree,
+                    format!("stream {sid} used after its S_FREE"),
+                )
+                .with_sid(sid),
+            );
+        }
     }
 
     /// Register `[lo, hi)` as read-only for this engine.

@@ -7,7 +7,7 @@
 //! graphs, smaller for FSM.
 //!
 //! Usage: `cargo run --release -p sc-bench --bin fig08_cpu_speedup
-//! [--datasets C,E,W] [--skip-fsm] [--trace t.json] [--metrics m.json]`
+//! [--datasets C,E,W] [--skip-fsm] [--verify] [--trace t.json] [--metrics m.json]`
 
 use sc_bench::{gmean, render_table, run_cpu, run_sparsecore_probed, stride_for, BenchCli};
 use sc_gpm::exec::SetBackend;
@@ -18,6 +18,7 @@ use sparsecore::{Engine, SparseCoreConfig};
 
 fn main() {
     let cli = BenchCli::parse_with(&[("--skip-fsm", false)]);
+    sc_bench::verify_gpm_apps(&cli, &App::FIG8);
     let datasets = cli.datasets(&Dataset::ALL);
     let skip_fsm = cli.flag("--skip-fsm");
     let probe = cli.probe();

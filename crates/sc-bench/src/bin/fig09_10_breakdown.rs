@@ -15,7 +15,7 @@
 //! cycles shift toward SU compare and scalar-overlap work.
 //!
 //! Usage: `cargo run --release -p sc-bench --bin fig09_10_breakdown
-//! [--datasets C,E,W] [--trace t.json] [--metrics m.json]`
+//! [--datasets C,E,W] [--verify] [--trace t.json] [--metrics m.json]`
 
 use sc_bench::{render_table, stride_for, BenchCli};
 use sc_gpm::exec::{self, ScalarBackend, SetBackend, StreamBackend};
@@ -26,6 +26,7 @@ use sparsecore::{Engine, SparseCoreConfig};
 
 fn main() {
     let cli = BenchCli::parse();
+    sc_bench::verify_gpm_apps(&cli, &App::FIG8);
     let datasets = cli.datasets(&[
         Dataset::Gnutella08,
         Dataset::Citeseer,

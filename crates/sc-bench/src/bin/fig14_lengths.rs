@@ -7,7 +7,7 @@
 //! have longer tails.
 //!
 //! Usage: `cargo run --release -p sc-bench --bin fig14_lengths
-//! [--sanitize] [--trace t.json] [--metrics m.json]`
+//! [--sanitize] [--verify] [--trace t.json] [--metrics m.json]`
 
 use sc_bench::{render_table, run_sparsecore_backend, stride_for, BenchCli};
 use sc_gpm::App;
@@ -27,6 +27,7 @@ fn cdf_row(label: String, backend_stats: &sparsecore::LengthHistogram) -> Vec<St
 
 fn main() {
     let cli = BenchCli::parse();
+    sc_bench::verify_gpm_apps(&cli, &App::FIG8);
     let header: Vec<String> = std::iter::once("series".to_string())
         .chain(POINTS.iter().map(|p| format!("<={p}")))
         .chain(["mean".to_string()])

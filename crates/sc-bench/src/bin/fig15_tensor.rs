@@ -52,6 +52,7 @@ fn merge_stride(m: MatrixDataset) -> usize {
 
 fn main() {
     let cli = BenchCli::parse_with(&[("--matrices", true), ("--skip-tensors", false)]);
+    sc_bench::verify_tensor_kernels(&cli);
     let matrices = matrix_filter(&cli);
     let skip_tensors = cli.flag("--skip-tensors");
     let probe = cli.probe();

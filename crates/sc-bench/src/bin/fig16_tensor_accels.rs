@@ -31,6 +31,7 @@ fn matrix_filter(cli: &BenchCli) -> Vec<MatrixDataset> {
 
 fn main() {
     let cli = BenchCli::parse_with(&[("--matrices", true)]);
+    sc_bench::verify_tensor_kernels(&cli);
     let matrices = matrix_filter(&cli);
     let probe = cli.probe();
     let cfg = SparseCoreConfig::paper_one_su();

@@ -54,6 +54,10 @@ fn main() {
     };
     let probe = cli.probe();
     let plan = Plan::compile(&Pattern::triangle(), &[0, 1, 2], Induced::Vertex);
+    if cli.verifying() {
+        let vcfg = sc_verify::VerifyConfig::for_config(&SparseCoreConfig::paper());
+        cli.verify_program("tc/plan", &plan.emit_program(), &vcfg);
+    }
 
     println!("# Multi-core triangle counting: speedup vs 1 core (chunk={chunk})\n");
     let header: Vec<String> = ["graph".to_string(), "sched".to_string()]
@@ -65,6 +69,18 @@ fn main() {
     for &d in &datasets {
         let g = d.build();
         let cfg = SparseCoreConfig::paper();
+        if cli.verifying() {
+            // Prove the partition plans disjoint before the cores run them.
+            let n = g.num_vertices();
+            for &c in &CORES {
+                cli.verify_shard_plan(&format!("tc/{}/c{c}/static-shards", d.tag()), c, n);
+            }
+            cli.verify_chunk_plan(
+                &format!("tc/{}/dynamic-chunks", d.tag()),
+                &sparsecore::chunks(n, chunk),
+                n,
+            );
+        }
         // Everyone's baseline: the 1-core static run.
         let (base, _) = count_stream_parallel_probed(&g, &plan, cfg, true, 1, probe.clone());
         for &mode in &modes {
@@ -113,6 +129,7 @@ fn main() {
 /// fiber-sharded TTV, both byte-exact against the serial kernels.
 fn tensor_section(cli: &BenchCli, modes: &[SchedMode], chunk: usize) {
     let cfg = SparseCoreConfig::paper_one_su();
+    sc_bench::verify_tensor_kernels(cli);
     println!("\n# Multi-core tensor kernels: speedup vs 1 core (chunk={chunk})\n");
     let header: Vec<String> = ["kernel".to_string(), "sched".to_string()]
         .into_iter()
@@ -123,6 +140,16 @@ fn tensor_section(cli: &BenchCli, modes: &[SchedMode], chunk: usize) {
 
     for m in [MatrixDataset::Circuit204, MatrixDataset::EmailEuCore] {
         let a = m.build();
+        if cli.verifying() {
+            for &c in &CORES {
+                cli.verify_shard_plan(&format!("spmspm/{}/c{c}/row-shards", m.tag()), c, a.rows());
+            }
+            cli.verify_chunk_plan(
+                &format!("spmspm/{}/dynamic-chunks", m.tag()),
+                &sparsecore::chunks(a.rows(), chunk),
+                a.rows(),
+            );
+        }
         let (_, base, _) = gustavson_multicore(&a, &a, cfg, 1, SchedMode::Static, chunk);
         for &mode in modes {
             let mut row = vec![format!("spmspm/{}", m.tag()), mode.name().to_string()];
@@ -149,6 +176,17 @@ fn tensor_section(cli: &BenchCli, modes: &[SchedMode], chunk: usize) {
 
     for t in [TensorDataset::ChicagoCrime] {
         let a = t.build();
+        if cli.verifying() {
+            let nf = a.num_fibers();
+            for &c in &CORES {
+                cli.verify_shard_plan(&format!("ttv/{}/c{c}/fiber-shards", t.tag()), c, nf);
+            }
+            cli.verify_chunk_plan(
+                &format!("ttv/{}/dynamic-chunks", t.tag()),
+                &sparsecore::chunks(nf, chunk),
+                nf,
+            );
+        }
         let d2 = a.dims()[2];
         let v: Vec<f64> = (0..d2).map(|i| 0.5 + (i % 17) as f64 * 0.1).collect();
         let (_, base, _) = ttv_multicore(&a, &v, cfg, 1, SchedMode::Static, chunk);

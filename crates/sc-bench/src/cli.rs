@@ -13,6 +13,10 @@
 //! - `--record <path>` — append one canonical `sc-report` run record per
 //!   workload to the given registry file (implies at least
 //!   `--probe-level metrics`, so the cycle-attribution gauges exist).
+//! - `--verify` — statically verify every stream program and partition
+//!   plan the bench emits with `sc-verify` before/alongside execution;
+//!   any `REJECTED` verdict makes the process exit 1 after the outputs
+//!   are written.
 //!
 //! Binary-specific flags (`--skip-fsm`, `--gramer`, `--matrices`, ...)
 //! stay in their binaries and read through [`BenchCli::flag`] /
@@ -40,6 +44,12 @@ pub struct BenchCli {
     trace: Option<PathBuf>,
     metrics: Option<PathBuf>,
     record: Option<PathBuf>,
+    verify: bool,
+    /// `(checked, rejected)` static-verification obligation counters;
+    /// [`BenchCli::write_probe_outputs`] turns a non-zero rejection
+    /// count into exit status 1.
+    verify_checked: Cell<usize>,
+    verify_rejected: Cell<usize>,
     records: RefCell<Vec<RunRecord>>,
     /// Start of the current workload's wall-clock window: construction
     /// time, then each `record()` call re-arms it, so a record's
@@ -56,6 +66,7 @@ const COMMON_SPECS: &[(&str, bool)] = &[
     ("--metrics", true),
     ("--trace", true),
     ("--record", true),
+    ("--verify", false),
 ];
 
 impl BenchCli {
@@ -136,6 +147,10 @@ impl BenchCli {
                     .map_or_else(|| a.clone(), |s| s.to_string_lossy().into_owned())
             })
             .unwrap_or_else(|| "unknown".into());
+        let verify = args.iter().any(|a| a == "--verify");
+        if verify {
+            println!("# verify: ON (static verification via sc-verify)\n");
+        }
         Self {
             args,
             bench,
@@ -143,6 +158,9 @@ impl BenchCli {
             trace,
             metrics,
             record,
+            verify,
+            verify_checked: Cell::new(0),
+            verify_rejected: Cell::new(0),
             records: RefCell::new(Vec::new()),
             last_mark: Cell::new(Instant::now()),
         }
@@ -179,6 +197,96 @@ impl BenchCli {
     /// recomputing checksums) when nothing will be recorded.
     pub fn recording(&self) -> bool {
         self.record.is_some()
+    }
+
+    /// Is `--verify` active? Benches can skip building verification
+    /// workloads (traced kernels, emitted plan programs) when nothing
+    /// will be checked.
+    pub fn verifying(&self) -> bool {
+        self.verify
+    }
+
+    /// `(checked, rejected)` obligation counts so far (tests inspect
+    /// these; [`BenchCli::write_probe_outputs`] turns rejections into
+    /// exit status 1).
+    pub fn verify_counts(&self) -> (usize, usize) {
+        (self.verify_checked.get(), self.verify_rejected.get())
+    }
+
+    /// Statically verify one stream program under `--verify` (no-op
+    /// without the flag). Prints the verdict; a `REJECTED` program also
+    /// prints its findings and is counted toward the exit-1 total.
+    pub fn verify_program(
+        &self,
+        label: &str,
+        program: &sc_isa::Program,
+        config: &sc_verify::VerifyConfig,
+    ) {
+        if !self.verify {
+            return;
+        }
+        let verdict = sc_verify::verify_program(program, config);
+        self.note_verdict(
+            label,
+            verdict.verified(),
+            &format!(
+                "pressure {}/{}, scratch {} B",
+                verdict.max_pressure, config.stream_registers, verdict.scratch_peak
+            ),
+            verdict.report.diagnostics(),
+        );
+    }
+
+    /// Statically verify a chunk partition plan's write-set disjointness
+    /// and coverage under `--verify` (no-op without the flag).
+    pub fn verify_chunk_plan(&self, label: &str, chunks: &[sparsecore::Chunk], total: usize) {
+        if !self.verify {
+            return;
+        }
+        let verdict = sc_verify::verify_chunk_plan(chunks, total);
+        self.note_verdict(
+            label,
+            verdict.verified(),
+            &format!("proof: {}", verdict.proof.name()),
+            &verdict.findings,
+        );
+    }
+
+    /// Statically verify that statically-interleaved per-core shards
+    /// (`core, core + cores, core + 2*cores, ...` over `0..total`) have
+    /// pairwise-disjoint write sets, under `--verify`.
+    pub fn verify_shard_plan(&self, label: &str, cores: usize, total: usize) {
+        if !self.verify {
+            return;
+        }
+        let sets: Vec<sc_verify::Stride> =
+            (0..cores).map(|c| sc_verify::interleave_write_set(0, c, cores, total, 1)).collect();
+        let verdict = sc_verify::verify_core_write_sets(&sets);
+        self.note_verdict(
+            label,
+            verdict.verified(),
+            &format!("proof: {}", verdict.proof.name()),
+            &verdict.findings,
+        );
+    }
+
+    fn note_verdict(
+        &self,
+        label: &str,
+        verified: bool,
+        detail: &str,
+        findings: &[sc_lint::Diagnostic],
+    ) {
+        self.verify_checked.set(self.verify_checked.get() + 1);
+        if verified {
+            println!("# verify: {label}: VERIFIED ({detail})");
+        } else {
+            self.verify_rejected.set(self.verify_rejected.get() + 1);
+            println!("# verify: {label}: REJECTED ({detail})");
+            for d in findings {
+                println!("#   {d}");
+            }
+        }
     }
 
     /// Queue one run record for this bench's current workload. No-op
@@ -245,7 +353,10 @@ impl BenchCli {
     /// requested artifacts silently vanish is worse than a crash. Also
     /// panics when `--record` was given but the bench never called
     /// [`BenchCli::record`]: an empty registry append is the silent
-    /// no-op the regression gate exists to catch.
+    /// no-op the regression gate exists to catch. The same applies to
+    /// `--verify` with zero checked obligations. When any obligation was
+    /// `REJECTED`, the process exits with status 1 after all outputs are
+    /// written, so CI fails loudly without losing the artifacts.
     pub fn write_probe_outputs(&self) {
         if let Some(path) = &self.record {
             let records = self.records.borrow();
@@ -274,6 +385,15 @@ impl BenchCli {
                 self.probe.trace_len(),
                 path.display()
             );
+        }
+        if self.verify {
+            let (checked, rejected) = self.verify_counts();
+            assert!(checked > 0, "--verify given but the bench checked no obligation (bench bug?)");
+            println!("# verify: {checked} obligations checked, {rejected} rejected");
+            if rejected > 0 {
+                eprintln!("error: {rejected} static-verification obligations REJECTED");
+                std::process::exit(1);
+            }
         }
     }
 }
@@ -440,6 +560,41 @@ mod tests {
         assert!(!c.recording());
         c.record("TC/C", None, 1, 2, None);
         assert!(c.pending_records().is_empty());
+    }
+
+    #[test]
+    fn verify_is_a_noop_without_the_flag() {
+        let c = cli(&[]);
+        assert!(!c.verifying());
+        let p: sc_isa::Program =
+            [sc_isa::Instr::SFree { sid: sc_isa::StreamId::new(0) }].into_iter().collect();
+        c.verify_program("bad", &p, &sc_verify::VerifyConfig::paper());
+        c.verify_chunk_plan("plan", &[], 10); // would be rejected when on
+        assert_eq!(c.verify_counts(), (0, 0));
+    }
+
+    #[test]
+    fn verify_counts_verdicts_and_rejections() {
+        use sc_isa::{Instr, Priority, StreamId};
+        let c = cli(&["--verify"]);
+        assert!(c.verifying());
+        let clean: sc_isa::Program = [
+            Instr::SRead { key_addr: 0x1000, len: 8, sid: StreamId::new(0), priority: Priority(0) },
+            Instr::SFree { sid: StreamId::new(0) },
+        ]
+        .into_iter()
+        .collect();
+        c.verify_program("clean", &clean, &sc_verify::VerifyConfig::paper());
+        assert_eq!(c.verify_counts(), (1, 0));
+        // A use of a never-defined stream is rejected.
+        let bad: sc_isa::Program =
+            [Instr::SFetch { sid: StreamId::new(3), offset: 0 }].into_iter().collect();
+        c.verify_program("bad", &bad, &sc_verify::VerifyConfig::paper());
+        assert_eq!(c.verify_counts(), (2, 1));
+        // Disjoint interleaved shards and a covering chunk plan verify.
+        c.verify_shard_plan("shards", 4, 103);
+        c.verify_chunk_plan("chunks", &sparsecore::chunks(103, 16), 103);
+        assert_eq!(c.verify_counts(), (4, 1));
     }
 
     #[test]

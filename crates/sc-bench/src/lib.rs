@@ -154,6 +154,59 @@ pub fn run_sparsecore_backend<'g>(
     (Measurement { count, cycles, stride }, backend)
 }
 
+/// Statically verify the stream programs the given GPM apps' compiled
+/// plans emit (no-op without `--verify`). The programs are the symbolic
+/// inner-loop bodies of [`sc_gpm::Plan::emit_program`]; verifying them
+/// proves the free discipline, register pressure, and writeback bounds
+/// of the loop the stream executor drives, before any graph is built.
+pub fn verify_gpm_apps(cli: &BenchCli, apps: &[App]) {
+    if !cli.verifying() {
+        return;
+    }
+    let vcfg = sc_verify::VerifyConfig::for_config(&SparseCoreConfig::paper());
+    for &app in apps {
+        for (i, plan) in app.plans().iter().enumerate() {
+            cli.verify_program(&format!("{app}/plan{i}"), &plan.emit_program(), &vcfg);
+        }
+    }
+}
+
+/// Statically verify the instruction traces of the tensor kernels on
+/// small fixtures (no-op without `--verify`). The tensor kernels drive
+/// the engine directly rather than emitting a program up front, so the
+/// verifiable artifact is a recorded trace: run each kernel on a tiny
+/// input with tracing on, then prove the trace's sanitizer invariants.
+pub fn verify_tensor_kernels(cli: &BenchCli) {
+    if !cli.verifying() {
+        return;
+    }
+    use sc_kernels::{gustavson, ttv, StreamTensorBackend};
+    use sc_tensor::{CsfTensor, CsrMatrix};
+
+    let a = CsrMatrix::from_triplets(
+        3,
+        3,
+        &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+    );
+    let b = CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.0), (1, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)]);
+    let mut backend = StreamTensorBackend::new();
+    backend.engine_mut().record_trace();
+    let _ = gustavson(&a, &b, &mut backend);
+    let vcfg = sc_verify::VerifyConfig::for_config(backend.engine().config());
+    let (trace, _) = backend.take_lint_checked_trace();
+    cli.verify_program("gustavson/3x3", &trace, &vcfg);
+
+    let t = CsfTensor::from_entries(
+        [2, 2, 3],
+        &[(0, 0, 0, 1.0), (0, 1, 2, 2.0), (1, 0, 1, 3.0), (1, 1, 0, 4.0)],
+    );
+    let mut backend = StreamTensorBackend::new();
+    backend.engine_mut().record_trace();
+    let _ = ttv(&t, &[1.0, 2.0, 3.0], &mut backend);
+    let (trace, _) = backend.take_lint_checked_trace();
+    cli.verify_program("ttv/2x2x3", &trace, &vcfg);
+}
+
 /// Geometric mean of a non-empty slice (1.0 for an empty one).
 pub fn gmean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -253,6 +306,22 @@ mod tests {
         // The estimate should land within a factor ~2 on this graph.
         let ratio = sampled.count.max(1) as f64 / exact.count.max(1) as f64;
         assert!((0.3..3.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn every_fig8_plan_program_verifies_clean() {
+        let cli = BenchCli::from_args(vec!["prog".into(), "--verify".into()]);
+        verify_gpm_apps(&cli, &App::FIG8);
+        let (checked, rejected) = cli.verify_counts();
+        assert!(checked >= App::FIG8.len(), "checked {checked}");
+        assert_eq!(rejected, 0, "a shipped plan program was rejected");
+    }
+
+    #[test]
+    fn tensor_kernel_traces_verify_clean() {
+        let cli = BenchCli::from_args(vec!["prog".into(), "--verify".into()]);
+        verify_tensor_kernels(&cli);
+        assert_eq!(cli.verify_counts(), (2, 0));
     }
 
     #[test]

@@ -19,7 +19,9 @@ use crate::exec::{self, ScalarBackend, SetBackend, StreamBackend};
 use crate::parallel::protect_graph;
 use crate::plan::Plan;
 use sc_graph::CsrGraph;
-use sparsecore::{chunks, self_schedule, ChunkSchedule, Engine, MultiCoreRun, SparseCoreConfig};
+use sparsecore::{
+    chunks, self_schedule, Chunk, ChunkSchedule, Engine, MultiCoreRun, SparseCoreConfig,
+};
 
 /// Default chunk size (start vertices per claim). Chunk claims are
 /// modeled as free (a zero-overhead hardware work queue), so the only
@@ -92,6 +94,8 @@ pub fn count_stream_dynamic_probed(
     probe: sc_probe::Probe,
 ) -> (MultiCoreRun, sc_lint::Report) {
     assert!(num_cores > 0, "need at least one core");
+    let cs = chunks(g.num_vertices(), chunk_size);
+    gate_chunk_plan(&cs, g.num_vertices());
     let mut backends: Vec<StreamBackend<'_>> = (0..num_cores)
         .map(|_| {
             let mut engine = Engine::new(cfg);
@@ -101,7 +105,7 @@ pub fn count_stream_dynamic_probed(
         })
         .collect();
     let mut counts = vec![0u64; num_cores];
-    let sched = run_chunks(g.num_vertices(), chunk_size, num_cores, &probe, |core, lo, hi| {
+    let sched = run_chunks(&cs, num_cores, &probe, |core, lo, hi| {
         counts[core] += exec::count_range(g, plan, &mut backends[core], lo, hi);
         backends[core].finish()
     });
@@ -143,33 +147,90 @@ pub fn count_scalar_dynamic(
     chunk_size: usize,
 ) -> MultiCoreRun {
     assert!(num_cores > 0, "need at least one core");
+    let cs = chunks(g.num_vertices(), chunk_size);
+    gate_chunk_plan(&cs, g.num_vertices());
     let mut backends: Vec<ScalarBackend<'_>> =
         (0..num_cores).map(|_| ScalarBackend::new(g)).collect();
     let mut counts = vec![0u64; num_cores];
-    let sched = run_chunks(
-        g.num_vertices(),
-        chunk_size,
-        num_cores,
-        &sc_probe::Probe::off(),
-        |core, lo, hi| {
-            counts[core] += exec::count_range(g, plan, &mut backends[core], lo, hi);
-            backends[core].finish()
-        },
-    );
+    let sched = run_chunks(&cs, num_cores, &sc_probe::Probe::off(), |core, lo, hi| {
+        counts[core] += exec::count_range(g, plan, &mut backends[core], lo, hi);
+        backends[core].finish()
+    });
     MultiCoreRun { count: counts.iter().sum(), cycles: sched.makespan(), per_core: sched.per_core }
 }
 
-/// The shared driver: cut the vertex space, self-schedule, and emit the
+/// Run `plan` under an explicit, caller-supplied chunk plan instead of
+/// the uniform cut [`sparsecore::chunks`] produces. The plan is verified
+/// *before* any engine runs: if `sc-verify`'s disjointness proof rejects
+/// it (overlapping or out-of-range chunks), no work executes and the
+/// returned report carries the proof's findings — the static counterpart
+/// of the runtime `SC-S310` overlap detection, promoted to a hard gate.
+///
+/// # Panics
+///
+/// Panics if `num_cores` is zero.
+pub fn count_stream_chunk_plan(
+    g: &CsrGraph,
+    plan: &Plan,
+    cfg: SparseCoreConfig,
+    use_nested: bool,
+    num_cores: usize,
+    cs: &[Chunk],
+) -> (MultiCoreRun, sc_lint::Report) {
+    assert!(num_cores > 0, "need at least one core");
+    let verdict = sc_verify::verify_chunk_plan(cs, g.num_vertices());
+    if !verdict.verified() {
+        let run = MultiCoreRun { count: 0, cycles: 0, per_core: vec![0; num_cores] };
+        return (run, sc_lint::Report::new(verdict.findings));
+    }
+    let mut backends: Vec<StreamBackend<'_>> = (0..num_cores)
+        .map(|_| {
+            let mut engine = Engine::new(cfg);
+            protect_graph(&mut engine, g);
+            StreamBackend::with_engine(g, engine, use_nested)
+        })
+        .collect();
+    let mut counts = vec![0u64; num_cores];
+    let sched = run_chunks(cs, num_cores, &sc_probe::Probe::off(), |core, lo, hi| {
+        counts[core] += exec::count_range(g, plan, &mut backends[core], lo, hi);
+        backends[core].finish()
+    });
+    let mut diags = Vec::new();
+    for b in backends.iter_mut() {
+        diags.extend(b.engine_mut().sanitizer_final_report().diagnostics().to_vec());
+    }
+    let run = MultiCoreRun {
+        count: counts.iter().sum(),
+        cycles: sched.makespan(),
+        per_core: sched.per_core,
+    };
+    (run, sc_lint::Report::new(diags))
+}
+
+/// Debug-build gate on the internally-generated chunk plans: the
+/// verifier's structural proof must hold for every plan the drivers
+/// hand to the cores. [`sparsecore::chunks`] always satisfies it; this
+/// catches regressions in the cut logic itself.
+fn gate_chunk_plan(cs: &[Chunk], total: usize) {
+    if cfg!(debug_assertions) {
+        let verdict = sc_verify::verify_chunk_plan(cs, total);
+        assert!(
+            verdict.verified(),
+            "chunk plan failed the static disjointness proof: {:?}",
+            verdict.findings
+        );
+    }
+}
+
+/// The shared driver: self-schedule a verified chunk plan and emit the
 /// per-chunk probe metrics from the claim records.
 fn run_chunks(
-    num_vertices: usize,
-    chunk_size: usize,
+    cs: &[Chunk],
     num_cores: usize,
     probe: &sc_probe::Probe,
     mut run: impl FnMut(usize, usize, usize) -> u64,
 ) -> ChunkSchedule {
-    let cs = chunks(num_vertices, chunk_size);
-    let sched = self_schedule(num_cores, &cs, |core, chunk| run(core, chunk.start, chunk.end));
+    let sched = self_schedule(num_cores, cs, |core, chunk| run(core, chunk.start, chunk.end));
     if probe.enabled() {
         for r in &sched.records {
             probe.count("gpm.chunks", 1);
@@ -264,6 +325,98 @@ mod tests {
             dy.imbalance(),
             st.imbalance()
         );
+    }
+
+    #[test]
+    fn single_vertex_graph_schedules_on_any_core_count() {
+        // One vertex, no edges: exactly one chunk, zero matches, and
+        // every idle core reports a zero clock.
+        let g = uniform_graph(1, 0, 40);
+        for cores in [1, 2, 4] {
+            let run = count_stream_dynamic(&g, &plan(), SparseCoreConfig::paper(), true, cores, 8);
+            assert_eq!(run.count, 0);
+            assert_eq!(run.per_core.len(), cores);
+        }
+    }
+
+    #[test]
+    fn chunk_size_larger_than_work_list_degenerates_to_one_chunk() {
+        let g = uniform_graph(30, 200, 41);
+        let expected = App::Triangle.run_reference(&g);
+        // chunk 64 > 30 vertices: a single chunk on core 0, others idle.
+        let run = count_stream_dynamic(&g, &plan(), SparseCoreConfig::paper(), true, 3, 64);
+        assert_eq!(run.count, expected);
+        assert_eq!(run.per_core.iter().filter(|&&c| c > 0).count(), 1);
+    }
+
+    #[test]
+    fn uneven_tail_chunk_still_covers_every_vertex() {
+        // 50 vertices in chunks of 16: tail chunk has 2 vertices.
+        let g = uniform_graph(50, 400, 42);
+        let expected = App::Triangle.run_reference(&g);
+        let run = count_stream_dynamic(&g, &plan(), SparseCoreConfig::paper(), true, 3, 16);
+        assert_eq!(run.count, expected);
+    }
+
+    #[test]
+    fn static_and_dynamic_shard_write_sets_partition_identically() {
+        // The plan verifier's view of both schedulers: static interleave
+        // shards (residue classes) and the dynamic chunk cut must be
+        // per-mode disjoint AND cover exactly the same index multiset —
+        // every vertex exactly once, in either mode.
+        let n = 103; // prime: exercises uneven residue classes and tails
+        for cores in [1, 2, 3, 6] {
+            let shards: Vec<sc_verify::Stride> =
+                (0..cores).map(|c| sc_verify::interleave_write_set(0, c, cores, n, 1)).collect();
+            let sv = sc_verify::verify_core_write_sets(&shards);
+            assert!(sv.verified(), "static shards overlap: {:?}", sv.findings);
+
+            let cs = sparsecore::chunks(n, 8);
+            let cv = sc_verify::verify_chunk_plan(&cs, n);
+            assert!(cv.verified(), "dynamic chunks overlap: {:?}", cv.findings);
+
+            let mut static_items: Vec<u64> = shards
+                .iter()
+                .flat_map(|s| (0..s.count).map(move |k| s.base + k * s.stride))
+                .collect();
+            static_items.sort_unstable();
+            let dynamic_items: Vec<u64> =
+                cs.iter().flat_map(|c| (c.start as u64)..(c.end as u64)).collect();
+            let expected: Vec<u64> = (0..n as u64).collect();
+            assert_eq!(static_items, expected, "{cores} cores");
+            assert_eq!(dynamic_items, expected);
+        }
+    }
+
+    #[test]
+    fn custom_chunk_plan_runs_when_verified() {
+        let g = uniform_graph(60, 500, 43);
+        let expected = App::Triangle.run_reference(&g);
+        // A deliberately uneven but disjoint plan.
+        let cs = vec![
+            sparsecore::Chunk { index: 0, start: 0, end: 40 },
+            sparsecore::Chunk { index: 1, start: 40, end: 41 },
+            sparsecore::Chunk { index: 2, start: 41, end: 60 },
+        ];
+        let (run, report) =
+            count_stream_chunk_plan(&g, &plan(), SparseCoreConfig::paper(), true, 2, &cs);
+        assert_eq!(run.count, expected);
+        assert!(report.is_empty(), "unexpected findings:\n{report}");
+    }
+
+    #[test]
+    fn overlapping_chunk_plan_is_refused_before_execution() {
+        let g = uniform_graph(60, 500, 43);
+        let cs = vec![
+            sparsecore::Chunk { index: 0, start: 0, end: 40 },
+            sparsecore::Chunk { index: 1, start: 30, end: 60 }, // overlaps!
+        ];
+        let (run, report) =
+            count_stream_chunk_plan(&g, &plan(), SparseCoreConfig::paper(), true, 2, &cs);
+        assert_eq!(run.count, 0, "rejected plan must not execute");
+        assert_eq!(run.cycles, 0);
+        assert!(report.has_errors());
+        assert!(report.diagnostics().iter().any(|d| d.code == sc_lint::LintCode::SanReadOnlyWrite));
     }
 
     #[test]

@@ -43,6 +43,39 @@ pub fn protect_tensor(engine: &mut Engine, t: &CsfTensor) {
     engine.protect_range(l.value_base, l.value_base + nnz * 8);
 }
 
+/// Debug-build gate: before a parallel driver hands `total` work items
+/// (output rows, fibers) to the cores, statically prove the shard plan
+/// writes disjoint index sets. Static interleaving gets the verifier's
+/// residue-class proof; dynamic mode proves the chunk cut structurally.
+/// Both always hold for the plans this module generates — the gate
+/// exists to catch regressions in the sharding logic itself.
+fn gate_shard_plan(mode: SchedMode, num_cores: usize, total: usize, chunk_size: usize) {
+    if !cfg!(debug_assertions) {
+        return;
+    }
+    match mode {
+        SchedMode::Static => {
+            let sets: Vec<sc_verify::Stride> = (0..num_cores)
+                .map(|c| sc_verify::interleave_write_set(0, c, num_cores, total, 1))
+                .collect();
+            let v = sc_verify::verify_core_write_sets(&sets);
+            assert!(
+                v.verified(),
+                "static shard plan failed the residue-disjointness proof: {:?}",
+                v.findings
+            );
+        }
+        SchedMode::Dynamic => {
+            let v = sc_verify::verify_chunk_plan(&chunks(total, chunk_size), total);
+            assert!(
+                v.verified(),
+                "dynamic chunk plan failed the disjointness proof: {:?}",
+                v.findings
+            );
+        }
+    }
+}
+
 /// Gustavson spmspm across `num_cores` SparseCore cores, output rows
 /// sharded by `mode`. The product is exactly the serial [`gustavson`]
 /// product (`SpmspmResult::cycles` is the slowest core's clock);
@@ -67,6 +100,7 @@ pub fn gustavson_multicore(
     assert_eq!(a.cols(), b.rows(), "shape mismatch");
     assert!(num_cores > 0, "need at least one core");
     let m = a.rows();
+    gate_shard_plan(mode, num_cores, m, chunk_size);
     let mut backends: Vec<StreamTensorBackend> = (0..num_cores)
         .map(|_| {
             let mut engine = Engine::new(cfg);
@@ -136,6 +170,7 @@ pub fn ttv_multicore(
     let handles: Vec<<StreamTensorBackend as TensorBackend>::Handle> =
         backends.iter_mut().map(|be| be.load(&dense, 8)).collect();
     let nf = a.num_fibers();
+    gate_shard_plan(mode, num_cores, nf, chunk_size);
     match mode {
         SchedMode::Static => {
             for (c, be) in backends.iter_mut().enumerate() {

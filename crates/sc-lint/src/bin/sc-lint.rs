@@ -23,10 +23,18 @@ struct Options {
     deny_warnings: bool,
     config: LintConfig,
     files: Vec<String>,
+    /// `--help` was asked for: print usage to stdout and exit 0 (a help
+    /// request is not a usage *error*).
+    help: bool,
 }
 
 fn usage() -> &'static str {
-    "usage: sc-lint [--json|--sarif] [--deny-warnings] [--max-streams N] [--virtualized] [--no-perf] [--no-leaks] FILE..."
+    "usage: sc-lint [--json|--sarif] [--deny-warnings] [--max-streams N] [--virtualized] [--no-perf] [--no-leaks] FILE...\n\
+     \n\
+     exit status:\n\
+     \x20 0  clean (no diagnostics at or above the gate severity)\n\
+     \x20 1  diagnostics found (errors, or warnings with --deny-warnings)\n\
+     \x20 2  usage, IO, or parse error"
 }
 
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
@@ -36,6 +44,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
         deny_warnings: false,
         config: LintConfig::default(),
         files: Vec::new(),
+        help: false,
     };
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
@@ -51,7 +60,10 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
                 opts.config.stream_registers =
                     n.parse().map_err(|_| format!("invalid --max-streams value: {n}"))?;
             }
-            "--help" | "-h" => return Err(usage().to_string()),
+            "--help" | "-h" => {
+                opts.help = true;
+                return Ok(opts);
+            }
             f if !f.starts_with('-') => opts.files.push(f.to_string()),
             unknown => return Err(format!("unknown option: {unknown}\n{}", usage())),
         }
@@ -73,6 +85,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if opts.help {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
 
     let mut gate_hit = false;
     let mut io_failed = false;

@@ -106,10 +106,21 @@ impl Report {
     /// 1-based line region (`.sasm` sources are one instruction per
     /// line).
     pub fn to_sarif(&self, artifact: &str) -> String {
+        self.to_sarif_with_driver(artifact, "sc-lint")
+    }
+
+    /// [`Report::to_sarif`] with an explicit tool-driver name, so other
+    /// tools built on this diagnostics layer (`sc-verify`) emit SARIF
+    /// attributed to themselves rather than to `sc-lint`.
+    pub fn to_sarif_with_driver(&self, artifact: &str, driver: &str) -> String {
         let mut out = String::from(
             "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
              \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
-             \"name\":\"sc-lint\",\"informationUri\":\
+             \"name\":",
+        );
+        push_json_string(&mut out, driver);
+        out.push_str(
+            ",\"informationUri\":\
              \"https://github.com/sparsecore/sparsecore-repro\",\"rules\":[",
         );
         // One reportingDescriptor per distinct code, in first-seen order.
@@ -256,6 +267,76 @@ mod tests {
         // Balanced braces/brackets (crude structural check).
         assert_eq!(s.matches('{').count(), s.matches('}').count());
         assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    /// Message strings a tool must never be able to use to break out of
+    /// the JSON encoding: every quoting/escape character, raw control
+    /// characters, and non-ASCII text.
+    fn hostile_messages() -> Vec<String> {
+        vec![
+            "quote \" backslash \\ slash / done".into(),
+            "newline \n return \r tab \t".into(),
+            "nul \u{0} bell \u{7} escape \u{1b} unit-sep \u{1f}".into(),
+            "already-escaped \\n and \\u0041 stay literal".into(),
+            "unicode: ключи ∩ 键 🔑".into(),
+            "trailing backslash \\".into(),
+            "\"}],\"errors\":0} // injection attempt".into(),
+        ]
+    }
+
+    #[test]
+    fn json_round_trips_hostile_messages() {
+        let diags: Vec<Diagnostic> = hostile_messages()
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let mut d = diag(LintCode::UseUndefined, Severity::Error, Some(i));
+                d.message = m;
+                d
+            })
+            .collect();
+        let originals: Vec<String> = diags.iter().map(|d| d.message.clone()).collect();
+        let r = Report::new(diags);
+        let parsed = sc_probe::json::parse(&r.to_json()).expect("report JSON parses");
+        let arr = parsed.get("diagnostics").and_then(|v| v.as_arr()).expect("array");
+        assert_eq!(arr.len(), originals.len());
+        for (entry, original) in arr.iter().zip(&originals) {
+            let msg = entry.get("message").and_then(|v| v.as_str()).expect("message string");
+            assert_eq!(msg, original, "message must survive encode/decode byte-for-byte");
+        }
+        assert_eq!(parsed.get("errors").and_then(|v| v.as_f64()), Some(originals.len() as f64));
+    }
+
+    #[test]
+    fn sarif_round_trips_hostile_messages_and_artifacts() {
+        let mut d = diag(LintCode::UseUndefined, Severity::Error, Some(0));
+        d.message = hostile_messages().join(" | ");
+        let original = d.message.clone();
+        let r = Report::new(vec![d]);
+        let artifact = "dir with \"quotes\"\\and\nnewlines.sasm";
+        let s = r.to_sarif_with_driver(artifact, "sc-verify");
+        let parsed = sc_probe::json::parse(&s).expect("SARIF parses as JSON");
+        let run = &parsed.get("runs").and_then(|v| v.as_arr()).expect("runs")[0];
+        assert_eq!(
+            run.get("tool")
+                .and_then(|t| t.get("driver"))
+                .and_then(|d| d.get("name"))
+                .and_then(|n| n.as_str()),
+            Some("sc-verify")
+        );
+        let result = &run.get("results").and_then(|v| v.as_arr()).expect("results")[0];
+        assert_eq!(
+            result.get("message").and_then(|m| m.get("text")).and_then(|t| t.as_str()),
+            Some(original.as_str())
+        );
+        let loc = &result.get("locations").and_then(|v| v.as_arr()).expect("locations")[0];
+        assert_eq!(
+            loc.get("physicalLocation")
+                .and_then(|p| p.get("artifactLocation"))
+                .and_then(|a| a.get("uri"))
+                .and_then(|u| u.as_str()),
+            Some(artifact)
+        );
     }
 
     #[test]

@@ -74,3 +74,14 @@ fn missing_file_and_bad_flags_exit_two() {
     let out = run(&[]);
     assert_eq!(out.status.code(), Some(2));
 }
+
+#[test]
+fn help_prints_usage_and_exit_codes_on_stdout_and_exits_zero() {
+    // A help request is not a usage error: stdout + exit 0.
+    let out = run(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("usage: sc-lint"), "stdout: {stdout}");
+    assert!(stdout.contains("exit status"), "help documents the exit codes");
+    assert!(stdout.contains("2  usage"), "stdout: {stdout}");
+}

@@ -1,0 +1,169 @@
+//! `sc-verify` CLI: prove sanitizer invariants of `.sasm` stream
+//! programs ahead of execution.
+//!
+//! ```text
+//! sc-verify [OPTIONS] FILE...
+//!   --json            machine-readable output (one JSON object per file)
+//!   --sarif           SARIF 2.1.0 output (one log per file)
+//!   --proofs          list the discharged proof obligations per file
+//!   --protect LO:HI   declare [LO, HI) read-only (repeatable; hex or dec)
+//!   --out-base ADDR   output-allocator base (default 0xC0000000)
+//!   --max-streams N   stream-register capacity (default 16)
+//!   --virtualized     model SMT virtualization (pressure becomes a note)
+//! ```
+//!
+//! Exit status: 0 every file VERIFIED, 1 at least one file REJECTED,
+//! 2 usage/IO/parse errors (BenchCli's exit-2 convention).
+
+use sc_verify::{verify_program, VerifyConfig};
+use std::process::ExitCode;
+
+struct Options {
+    json: bool,
+    sarif: bool,
+    proofs: bool,
+    config: VerifyConfig,
+    files: Vec<String>,
+    help: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: sc-verify [--json|--sarif] [--proofs] [--protect LO:HI]... [--out-base ADDR] [--max-streams N] [--virtualized] FILE...\n\
+     \n\
+     exit status:\n\
+     \x20 0  every file VERIFIED (all proof obligations discharged)\n\
+     \x20 1  at least one file REJECTED (findings at error severity)\n\
+     \x20 2  usage, IO, or parse error"
+}
+
+/// Parse `0x`-prefixed hex or decimal.
+fn parse_addr(s: &str) -> Result<u64, String> {
+    let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.map_err(|_| format!("invalid address: {s}"))
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        sarif: false,
+        proofs: false,
+        config: VerifyConfig::paper(),
+        files: Vec::new(),
+        help: false,
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--sarif" => opts.sarif = true,
+            "--proofs" => opts.proofs = true,
+            "--virtualized" => opts.config.virtualization = true,
+            "--protect" => {
+                let v = args.next().ok_or("--protect needs LO:HI")?;
+                let (lo, hi) = v
+                    .split_once(':')
+                    .ok_or_else(|| format!("--protect expects LO:HI, got: {v}"))?;
+                let (lo, hi) = (parse_addr(lo)?, parse_addr(hi)?);
+                if lo >= hi {
+                    return Err(format!("--protect range is empty: {v}"));
+                }
+                opts.config.protected.push(sc_verify::Interval::new(lo, hi));
+            }
+            "--out-base" => {
+                let v = args.next().ok_or("--out-base needs a value")?;
+                opts.config.out_alloc_base = parse_addr(&v)?;
+            }
+            "--max-streams" => {
+                let n = args.next().ok_or("--max-streams needs a value")?;
+                opts.config.stream_registers =
+                    n.parse().map_err(|_| format!("invalid --max-streams value: {n}"))?;
+            }
+            "--help" | "-h" => {
+                opts.help = true;
+                return Ok(opts);
+            }
+            f if !f.starts_with('-') => opts.files.push(f.to_string()),
+            unknown => return Err(format!("unknown option: {unknown}\n{}", usage())),
+        }
+    }
+    if opts.files.is_empty() {
+        return Err(usage().to_string());
+    }
+    if opts.json && opts.sarif {
+        return Err(format!("--json and --sarif are mutually exclusive\n{}", usage()));
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.help {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+
+    let mut rejected = false;
+    let mut io_failed = false;
+
+    for path in &opts.files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                io_failed = true;
+                continue;
+            }
+        };
+        let program = match sc_isa::parse_program(&text) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{path}: parse error: {e}");
+                io_failed = true;
+                continue;
+            }
+        };
+        let verdict = verify_program(&program, &opts.config);
+        if !verdict.verified() {
+            rejected = true;
+        }
+        if opts.json {
+            println!("{}", verdict.report.to_json());
+        } else if opts.sarif {
+            println!("{}", verdict.report.to_sarif_with_driver(path, "sc-verify"));
+        } else {
+            println!(
+                "{path}: {} ({} instructions, peak pressure {}, scratchpad <= {} B)",
+                verdict.status(),
+                program.len(),
+                verdict.max_pressure,
+                verdict.scratch_peak,
+            );
+            for d in verdict.report.diagnostics() {
+                println!("{path}: {d}");
+            }
+            if opts.proofs {
+                for p in &verdict.proofs {
+                    let codes: Vec<&str> = p.subsumes.iter().map(|c| c.as_str()).collect();
+                    println!("{path}: proven: {} [{}]", p.obligation, codes.join(", "));
+                }
+            }
+        }
+    }
+
+    if io_failed {
+        ExitCode::from(2)
+    } else if rejected {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

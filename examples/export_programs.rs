@@ -1,0 +1,51 @@
+//! Export the stream programs the GPM plan compiler emits for every
+//! Figure 8 application into `programs/*.sasm`, refusing to ship
+//! anything `sc-verify` rejects.
+//!
+//! Run with `cargo run --example export_programs` after changing the
+//! plan compiler. `tests/shipped_programs.rs` pins the shipped files
+//! against regeneration, and CI's verify-gate re-verifies them with the
+//! `sc-verify` CLI (SARIF artifact included), so a stale or rejected
+//! program fails loudly rather than silently drifting.
+
+use sc_gpm::App;
+use sc_verify::{verify_program, VerifyConfig};
+use std::fmt::Write as _;
+use std::path::Path;
+
+fn main() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("programs");
+    std::fs::create_dir_all(&dir).expect("create programs/");
+    let vcfg = VerifyConfig::paper();
+    for app in App::FIG8 {
+        for (i, plan) in app.plans().iter().enumerate() {
+            let program = plan.emit_program();
+            let verdict = verify_program(&program, &vcfg);
+            assert!(
+                verdict.verified(),
+                "refusing to export a REJECTED program for {app} plan {i}:\n{}",
+                verdict.report
+            );
+            let name = format!("{}_plan{i}.sasm", app.tag().to_lowercase());
+            let mut text = String::new();
+            writeln!(text, "# {app} plan {i}: symbolic inner-loop body (Plan::emit_program)")
+                .expect("write to String");
+            writeln!(
+                text,
+                "# sc-verify: {} (paper config: pressure {}/{})",
+                verdict.status(),
+                verdict.max_pressure,
+                vcfg.stream_registers
+            )
+            .expect("write to String");
+            write!(text, "{program}").expect("write to String");
+            let path = dir.join(&name);
+            std::fs::write(&path, &text).unwrap_or_else(|e| panic!("writing {name}: {e}"));
+            println!(
+                "wrote programs/{name} ({} instructions, {})",
+                program.len(),
+                verdict.status()
+            );
+        }
+    }
+}

@@ -17,6 +17,10 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> sc-verify programs/*.sasm (shipped corpus verifies clean)"
+cargo build --release -q -p sc-verify
+target/release/sc-verify programs/*.sasm
+
 echo "==> sc-report verify results/golden"
 cargo build --release -q -p sc-bench -p sc-report
 target/release/sc-report verify results/golden

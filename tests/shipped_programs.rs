@@ -1,0 +1,52 @@
+//! The shipped `programs/*.sasm` files stay in sync with the plan
+//! compiler and verify clean.
+//!
+//! `examples/export_programs.rs` regenerates the files; this test pins
+//! them: every Figure 8 app/plan pair has exactly one shipped file
+//! whose instructions match a fresh `Plan::emit_program`, every shipped
+//! file belongs to some pair (no orphans), and each one both parses and
+//! earns a `VERIFIED` verdict under the paper configuration. CI's
+//! verify-gate runs the `sc-verify` CLI over the same files.
+
+use sc_gpm::App;
+use sc_verify::{verify_program, VerifyConfig};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn programs_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("programs")
+}
+
+#[test]
+fn shipped_programs_match_regeneration_and_verify_clean() {
+    let dir = programs_dir();
+    let vcfg = VerifyConfig::paper();
+    let mut expected = BTreeSet::new();
+    for app in App::FIG8 {
+        for (i, plan) in app.plans().iter().enumerate() {
+            let name = format!("{}_plan{i}.sasm", app.tag().to_lowercase());
+            let path = dir.join(&name);
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                panic!("missing {name} ({e}); run `cargo run --example export_programs`")
+            });
+            let shipped = sc_isa::parse_program(&text)
+                .unwrap_or_else(|e| panic!("{name} does not parse: {e}"));
+            assert_eq!(
+                shipped,
+                plan.emit_program(),
+                "{name} is stale; run `cargo run --example export_programs`"
+            );
+            let verdict = verify_program(&shipped, &vcfg);
+            assert!(verdict.verified(), "{name} REJECTED:\n{}", verdict.report);
+            expected.insert(name);
+        }
+    }
+    // No orphans: every shipped file corresponds to a live app/plan.
+    for entry in std::fs::read_dir(&dir).expect("programs/ exists") {
+        let name = entry.expect("read programs/").file_name().into_string().expect("utf-8 name");
+        assert!(
+            expected.contains(&name),
+            "programs/{name} matches no Figure 8 plan; delete it or extend the exporter"
+        );
+    }
+}
