@@ -187,6 +187,10 @@ pub struct Checkpoint {
     /// Length of the recorded trace at checkpoint time (when tracing):
     /// a rollback squashes the micro-ops recorded past this point.
     trace_len: Option<usize>,
+    /// The sanitizer's freed-stream history (when sanitizing): it
+    /// shadows SMT state, so restoring one without the other would make
+    /// the freed set disagree with architectural state after a rollback.
+    san_freed: Option<std::collections::BTreeSet<StreamId>>,
 }
 
 impl Engine {
@@ -326,6 +330,7 @@ impl Engine {
             out_alloc: self.out_alloc,
             spilled: self.spilled.clone(),
             trace_len: self.trace.as_ref().map(sc_isa::Program::len),
+            san_freed: self.san.as_ref().map(|s| s.snapshot_freed()),
         }
     }
 
@@ -341,6 +346,9 @@ impl Engine {
         self.gfr = cp.gfr;
         self.out_alloc = cp.out_alloc;
         self.spilled = cp.spilled;
+        if let (Some(san), Some(freed)) = (self.san.as_mut(), cp.san_freed) {
+            san.restore_freed(freed);
+        }
         let skip_trace = self.san.as_ref().is_some_and(|s| s.skip_trace_restore);
         if let (Some(t), Some(len)) = (self.trace.as_mut(), cp.trace_len) {
             if !skip_trace {
@@ -2030,6 +2038,41 @@ mod extension_tests {
         // Exactly: the S_READ before the checkpoint + the S_FREE after
         // the rollback. The squashed S_READ/S_INTER are gone.
         assert_eq!(trace.len(), 2);
+    }
+
+    #[test]
+    fn rollback_restores_sanitizer_freed_history() {
+        // Regression: the freed-stream history shadows SMT state but was
+        // not part of the checkpoint, so a rollback left the two
+        // disagreeing. A stream defined+freed only on the squashed path
+        // must not report SC-S303 when the (architecturally
+        // never-defined) id is used afterwards.
+        let mut e = Engine::new(SparseCoreConfig::tiny());
+        e.s_read(0x10_0000, &[1, 2], sid(0), Priority(0)).unwrap();
+        let cp = e.checkpoint();
+        e.s_read(0x20_0000, &[2, 3], sid(1), Priority(0)).unwrap();
+        e.s_free(sid(1)).unwrap();
+        e.rollback(cp);
+        assert!(e.s_inter(sid(0), sid(1), sid(2), Bound::none()).is_err());
+        let report = e.sanitizer_report();
+        assert!(report.is_empty(), "spurious finding after rollback: {:?}", report.diagnostics());
+
+        // The converse: a stream freed before the checkpoint and
+        // redefined only on the squashed path is still freed after the
+        // rollback, so re-freeing it must report the SC-S301 hazard.
+        let mut e = Engine::new(SparseCoreConfig::tiny());
+        e.s_read(0x10_0000, &[1, 2], sid(0), Priority(0)).unwrap();
+        e.s_free(sid(0)).unwrap();
+        let cp = e.checkpoint();
+        e.s_read(0x20_0000, &[2, 3], sid(0), Priority(0)).unwrap();
+        e.rollback(cp);
+        assert!(e.s_free(sid(0)).is_err());
+        let report = e.sanitizer_report();
+        assert!(
+            report.diagnostics().iter().any(|d| d.code == sc_lint::LintCode::SanDoubleFree),
+            "missed SC-S301 after rollback: {:?}",
+            report.diagnostics()
+        );
     }
 
     #[test]

@@ -134,6 +134,20 @@ impl Sanitizer {
         self.freed.remove(&sid);
     }
 
+    /// Snapshot the freed-stream history for an engine checkpoint. The
+    /// freed set shadows architectural SMT state, so a rollback that
+    /// restores the SMT must restore this too — otherwise a free or
+    /// define on the squashed path leaves the set disagreeing with the
+    /// restored mappings (spurious `SC-S301`/`SC-S303`, or missed ones).
+    pub(crate) fn snapshot_freed(&self) -> BTreeSet<StreamId> {
+        self.freed.clone()
+    }
+
+    /// Restore the freed-stream history captured by [`Self::snapshot_freed`].
+    pub(crate) fn restore_freed(&mut self, freed: BTreeSet<StreamId>) {
+        self.freed = freed;
+    }
+
     /// A stream was released by `s_free`.
     pub(crate) fn note_free(&mut self, sid: StreamId) {
         self.freed.insert(sid);

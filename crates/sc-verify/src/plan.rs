@@ -94,20 +94,31 @@ pub fn verify_chunk_plan(chunks: &[Chunk], total: usize) -> PlanVerdict {
     }
     let sorted = chunks.windows(2).all(|w| w[0].start <= w[1].start);
     let proof = if sorted {
-        // Sorted: adjacent-pair check suffices (a non-adjacent overlap
-        // would imply an adjacent one). Zero-length tails sort anywhere
-        // and overlap nothing.
-        for w in chunks.windows(2) {
-            let (a, b) = (&w[0], &w[1]);
-            if a.end > b.start && a.start < a.end && b.start < b.end {
-                findings.push(Diagnostic::sanitizer(
-                    LintCode::SanReadOnlyWrite,
-                    format!(
-                        "chunks {} [{}, {}) and {} [{}, {}) overlap \
-                         (runtime counterpart: SC-S310)",
-                        a.index, a.start, a.end, b.index, b.start, b.end
-                    ),
-                ));
+        // Sorted: a running max over non-empty chunk ends decides
+        // overlap. An adjacent-pair comparison is NOT enough — a
+        // zero-length chunk sorting between two overlapping neighbours
+        // (or a short chunk nested inside a longer earlier one) breaks
+        // the adjacency argument, so every non-empty chunk must start at
+        // or past the furthest end seen so far.
+        let mut furthest: Option<&Chunk> = None;
+        for b in chunks {
+            if b.start >= b.end {
+                continue; // zero-length: writes nothing, overlaps nothing
+            }
+            if let Some(a) = furthest {
+                if b.start < a.end {
+                    findings.push(Diagnostic::sanitizer(
+                        LintCode::SanReadOnlyWrite,
+                        format!(
+                            "chunks {} [{}, {}) and {} [{}, {}) overlap \
+                             (runtime counterpart: SC-S310)",
+                            a.index, a.start, a.end, b.index, b.start, b.end
+                        ),
+                    ));
+                }
+            }
+            if furthest.is_none_or(|a| b.end > a.end) {
+                furthest = Some(b);
             }
         }
         PlanProof::Structural
@@ -249,6 +260,55 @@ mod tests {
             vec![Chunk { index: 0, start: 0, end: 16 }, Chunk { index: 1, start: 16, end: 16 }];
         let v = verify_chunk_plan(&cs, 16);
         assert!(v.verified());
+        assert_eq!(v.proof, PlanProof::Structural);
+    }
+
+    #[test]
+    fn zero_length_chunk_between_overlapping_chunks_is_refuted() {
+        // Regression: a zero-length chunk sorting between two overlapping
+        // neighbours used to defeat the adjacent-pair check, and the
+        // overlap offset the coverage gap so the sum-check passed too —
+        // the plan verified despite items 60..70 being double-assigned
+        // and 100..110 covered by nobody.
+        let cs = vec![
+            Chunk { index: 0, start: 0, end: 100 },
+            Chunk { index: 1, start: 50, end: 50 },
+            Chunk { index: 2, start: 60, end: 70 },
+        ];
+        let v = verify_chunk_plan(&cs, 110);
+        assert!(!v.verified(), "{:?}", v.findings);
+        assert_eq!(v.proof, PlanProof::Refuted);
+        assert!(v.findings.iter().any(|d| d.code == LintCode::SanReadOnlyWrite));
+    }
+
+    #[test]
+    fn nested_chunk_past_adjacent_neighbour_is_refuted() {
+        // Sorted by start, each adjacent pair looks fine against its
+        // immediate neighbour's end, but chunk 2 sits inside chunk 0:
+        // the running-max proof must still refute it.
+        let cs = vec![
+            Chunk { index: 0, start: 0, end: 100 },
+            Chunk { index: 1, start: 40, end: 50 },
+            Chunk { index: 2, start: 70, end: 80 },
+        ];
+        let v = verify_chunk_plan(&cs, 100);
+        assert!(!v.verified());
+        assert_eq!(v.proof, PlanProof::Refuted);
+    }
+
+    #[test]
+    fn zero_length_chunks_interleaved_with_disjoint_plan_verify() {
+        // Zero-length chunks anywhere in an otherwise disjoint, covering,
+        // sorted plan must not trip the structural proof.
+        let cs = vec![
+            Chunk { index: 0, start: 0, end: 0 },
+            Chunk { index: 1, start: 0, end: 8 },
+            Chunk { index: 2, start: 5, end: 5 },
+            Chunk { index: 3, start: 8, end: 16 },
+            Chunk { index: 4, start: 16, end: 16 },
+        ];
+        let v = verify_chunk_plan(&cs, 16);
+        assert!(v.verified(), "{:?}", v.findings);
         assert_eq!(v.proof, PlanProof::Structural);
     }
 
