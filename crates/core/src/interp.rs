@@ -158,11 +158,21 @@ impl<'a> Interpreter<'a> {
         self
     }
 
-    /// The lint configuration matching this interpreter's engine.
+    /// The lint configuration matching this interpreter's engine: its
+    /// stream-register count, virtualization mode, and perf thresholds
+    /// derived from the same memory hierarchy the engine simulates.
     fn lint_config(&self) -> sc_lint::LintConfig {
+        let cfg = self.engine.config();
+        let mem = &cfg.core.mem;
+        let setup = mem.l2.latency + mem.l3.latency + mem.dram_latency;
         sc_lint::LintConfig::default()
-            .stream_registers(self.engine.config().num_stream_registers())
+            .stream_registers(cfg.num_stream_registers())
             .virtualization(self.engine.virtualization_enabled())
+            .perf_thresholds(sc_lint::PerfThresholds::derive(
+                mem.l2.line_bytes,
+                cfg.scache.key_bytes,
+                setup,
+            ))
     }
 
     /// Run the program to completion, returning the scalar results in

@@ -78,6 +78,16 @@ impl LengthHistogram {
         let idx = ((samples.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
         Some(samples[idx])
     }
+
+    /// Shortest observed length; `None` when empty.
+    pub fn min(&self) -> Option<u32> {
+        self.samples.borrow().iter().copied().min()
+    }
+
+    /// Longest observed length; `None` when empty.
+    pub fn max(&self) -> Option<u32> {
+        self.samples.borrow().iter().copied().max()
+    }
 }
 
 /// Counters the engine maintains while executing stream instructions.
@@ -149,6 +159,18 @@ mod tests {
         assert_eq!(h.quantile(0.5), Some(50));
         assert_eq!(h.quantile(1.0), Some(100));
         assert_eq!(LengthHistogram::new().quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_extrema() {
+        let mut h = LengthHistogram::new();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        for l in [7u32, 3, 42, 3] {
+            h.record(l);
+        }
+        assert_eq!(h.min(), Some(3));
+        assert_eq!(h.max(), Some(42));
     }
 
     #[test]

@@ -20,6 +20,7 @@ use sparsecore::SparseCoreConfig;
 fn main() {
     let cli = BenchCli::parse_with(&[("--gramer", false)]);
     sc_bench::verify_gpm_apps(&cli, &App::FIG8);
+    sc_bench::cost_gpm_apps(&cli, &App::FIG8);
     let datasets = cli.datasets(&[
         Dataset::EmailEuCore,
         Dataset::Haverford76,

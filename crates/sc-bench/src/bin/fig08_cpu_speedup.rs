@@ -19,6 +19,7 @@ use sparsecore::{Engine, SparseCoreConfig};
 fn main() {
     let cli = BenchCli::parse_with(&[("--skip-fsm", false)]);
     sc_bench::verify_gpm_apps(&cli, &App::FIG8);
+    sc_bench::cost_gpm_apps(&cli, &App::FIG8);
     let datasets = cli.datasets(&Dataset::ALL);
     let skip_fsm = cli.flag("--skip-fsm");
     let probe = cli.probe();

@@ -27,6 +27,7 @@ use sparsecore::{Engine, SparseCoreConfig};
 fn main() {
     let cli = BenchCli::parse();
     sc_bench::verify_gpm_apps(&cli, &App::FIG8);
+    sc_bench::cost_gpm_apps(&cli, &App::FIG8);
     let datasets = cli.datasets(&[
         Dataset::Gnutella08,
         Dataset::Citeseer,

@@ -16,6 +16,7 @@ use sparsecore::SparseCoreConfig;
 fn main() {
     let cli = BenchCli::parse();
     sc_bench::verify_gpm_apps(&cli, &App::FIG8);
+    sc_bench::cost_gpm_apps(&cli, &App::FIG8);
     let datasets = cli.datasets(&[
         Dataset::BitcoinAlpha,
         Dataset::EmailEuCore,

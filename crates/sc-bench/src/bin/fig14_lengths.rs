@@ -7,7 +7,12 @@
 //! have longer tails.
 //!
 //! Usage: `cargo run --release -p sc-bench --bin fig14_lengths
-//! [--sanitize] [--verify] [--trace t.json] [--metrics m.json]`
+//! [--sanitize] [--verify] [--cost] [--trace t.json] [--metrics m.json]`
+//!
+//! Under `--cost`, a traced triangle-counting run on email-eu-core is
+//! additionally checked against the static length hull: every stream
+//! length the engine observed must fall inside the interval `sc-cost`'s
+//! abstract length domain derives for the traced instructions.
 
 use sc_bench::{render_table, run_sparsecore_backend, stride_for, BenchCli};
 use sc_gpm::App;
@@ -28,6 +33,13 @@ fn cdf_row(label: String, backend_stats: &sparsecore::LengthHistogram) -> Vec<St
 fn main() {
     let cli = BenchCli::parse();
     sc_bench::verify_gpm_apps(&cli, &App::FIG8);
+    sc_bench::cost_gpm_apps(&cli, &App::FIG8);
+    sc_bench::cost_check_lengths(
+        &cli,
+        &Dataset::EmailEuCore.build(),
+        App::Triangle,
+        SparseCoreConfig::paper(),
+    );
     let header: Vec<String> = std::iter::once("series".to_string())
         .chain(POINTS.iter().map(|p| format!("<={p}")))
         .chain(["mean".to_string()])

@@ -6,13 +6,19 @@
 //! (paper avg 6.9x), then TTM 4.49x, Gustavson 2.78x, TTV 2.44x, outer
 //! product 1.88x; TSOPF towers above the other matrices.
 //!
+//! A third panel (not in the paper) reports the cost-model-driven
+//! adaptive dataflow chooser: spmspm with the dataflow picked per row
+//! block from `sc-cost`'s static estimates, plus a measured oracle on a
+//! skewed synthetic workload bounding the chooser's regret.
+//!
 //! Usage: `cargo run --release -p sc-bench --bin fig15_tensor
 //! [--matrices C,E,F] [--skip-tensors]`
 
 use sc_bench::{gmean, render_table, BenchCli};
 use sc_kernels::{
-    gustavson_sampled, inner_product, outer_product_sampled, ttm_sampled, ttv_sampled,
-    InnerOptions, ScalarTensorBackend, StreamTensorBackend,
+    adaptive, adaptive_oracle, gustavson, gustavson_sampled, inner_product, outer_product,
+    outer_product_sampled, ttm_sampled, ttv_sampled, AdaptiveOptions, InnerOptions,
+    ScalarTensorBackend, StreamTensorBackend,
 };
 use sc_tensor::{MatrixDataset, TensorDataset};
 use sparsecore::{Engine, SparseCoreConfig};
@@ -53,6 +59,7 @@ fn merge_stride(m: MatrixDataset) -> usize {
 fn main() {
     let cli = BenchCli::parse_with(&[("--matrices", true), ("--skip-tensors", false)]);
     sc_bench::verify_tensor_kernels(&cli);
+    sc_bench::cost_tensor_kernels(&cli);
     let matrices = matrix_filter(&cli);
     let skip_tensors = cli.flag("--skip-tensors");
     let probe = cli.probe();
@@ -72,7 +79,7 @@ fn main() {
     ];
     let mut rows = Vec::new();
     let (mut sp_in, mut sp_out, mut sp_gus) = (Vec::new(), Vec::new(), Vec::new());
-    for m in matrices {
+    for &m in &matrices {
         let a = m.build();
         let acsc = a.to_csc();
         let opts = inner_opts(m);
@@ -141,6 +148,99 @@ fn main() {
     ]);
     println!("{}", render_table(&header, &rows));
     println!("(paper: avg 6.9x inner, 1.88x outer, 2.78x Gustavson; TSOPF highest)\n");
+
+    println!("# Figure 15(c): adaptive per-block dataflow chooser\n");
+    let header = vec![
+        "matrix".to_string(),
+        "speedup".to_string(),
+        "blocks inner/outer/gustavson".to_string(),
+    ];
+    let mut rows = Vec::new();
+    for &m in &matrices {
+        let a = m.build();
+        // Block sampling at the inner-product stride keeps the chooser's
+        // worst case (all blocks pick inner) as cheap as panel (a).
+        let opts = AdaptiveOptions { block_rows: 8, block_sample: inner_opts(m).row_sample };
+        let cpu = adaptive(&a, &a, &mut ScalarTensorBackend::new(), &cfg, opts);
+        let sc = adaptive(&a, &a, &mut StreamTensorBackend::with_engine(mk_engine()), &cfg, opts);
+        let s = cpu.result.cycles as f64 / sc.result.cycles.max(1) as f64;
+        cli.record(
+            &format!("adaptive/{}", m.tag()),
+            Some(&cfg),
+            sc.result.c.nnz() as u64,
+            sc.result.cycles,
+            Some(cpu.result.cycles),
+        );
+        let [ci, co, cg] = sc.chosen_counts();
+        rows.push(vec![m.tag().to_string(), format!("{s:.2}"), format!("{ci}/{co}/{cg}")]);
+        eprintln!("  {}: adaptive {s:.2} (blocks {ci}/{co}/{cg})", m.tag());
+    }
+
+    // Skewed synthetic: half dense rows (inner wins), half single-nonzero
+    // rows (Gustavson wins). The per-block chooser must beat every fixed
+    // dataflow here, and the measured oracle bounds its regret.
+    let (sa, sb) = sc_bench::skewed_spmspm(32, 32);
+    let sbcsc = sb.to_csc();
+    let sacsc = sa.to_csc();
+    let fixed = [
+        inner_product(
+            &sa,
+            &sbcsc,
+            &mut StreamTensorBackend::with_engine(mk_engine()),
+            InnerOptions::default(),
+        )
+        .cycles,
+        outer_product(&sacsc, &sb, &mut StreamTensorBackend::with_engine(mk_engine())).cycles,
+        gustavson(&sa, &sb, &mut StreamTensorBackend::with_engine(mk_engine())).cycles,
+    ];
+    let opts = AdaptiveOptions { block_rows: 16, block_sample: None };
+    let ad = adaptive(&sa, &sb, &mut StreamTensorBackend::with_engine(mk_engine()), &cfg, opts);
+    let or = adaptive_oracle(
+        &sa,
+        &sb,
+        &mut StreamTensorBackend::with_engine(mk_engine()),
+        || StreamTensorBackend::with_engine(Engine::new(cfg)),
+        opts,
+    );
+    let (worst, best) = (*fixed.iter().max().unwrap(), *fixed.iter().min().unwrap());
+    assert!(
+        ad.result.cycles <= worst && ad.result.cycles < best,
+        "adaptive chooser regressed on skew32: adaptive {} vs fixed {fixed:?}",
+        ad.result.cycles
+    );
+    assert!(
+        or.result.cycles <= ad.result.cycles,
+        "oracle {} above adaptive {} on skew32",
+        or.result.cycles,
+        ad.result.cycles
+    );
+    cli.record(
+        "adaptive/skew32",
+        Some(&cfg),
+        ad.result.c.nnz() as u64,
+        ad.result.cycles,
+        Some(best),
+    );
+    cli.record(
+        "oracle/skew32",
+        Some(&cfg),
+        or.result.c.nnz() as u64,
+        or.result.cycles,
+        Some(ad.result.cycles),
+    );
+    rows.push(vec![
+        "skew32 (vs best fixed)".to_string(),
+        format!("{:.2}", best as f64 / ad.result.cycles.max(1) as f64),
+        {
+            let [ci, co, cg] = ad.chosen_counts();
+            format!("{ci}/{co}/{cg}")
+        },
+    ]);
+    println!("{}", render_table(&header, &rows));
+    println!(
+        "(skew32: fixed inner/outer/gustavson = {}/{}/{} cycles; adaptive = {}; oracle = {})\n",
+        fixed[0], fixed[1], fixed[2], ad.result.cycles, or.result.cycles
+    );
 
     if !skip_tensors {
         println!("# Figure 15(b): TTV and TTM speedup over CPU\n");

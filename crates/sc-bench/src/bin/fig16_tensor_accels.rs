@@ -14,7 +14,8 @@
 use sc_accel::{ExTensorBackend, GammaBackend, OuterSpaceBackend};
 use sc_bench::{gmean, render_table, BenchCli};
 use sc_kernels::{
-    gustavson_sampled, inner_product, outer_product_sampled, InnerOptions, StreamTensorBackend,
+    adaptive, gustavson_sampled, inner_product, outer_product_sampled, AdaptiveOptions,
+    InnerOptions, StreamTensorBackend,
 };
 use sc_tensor::MatrixDataset;
 use sparsecore::{Engine, SparseCoreConfig};
@@ -32,6 +33,7 @@ fn matrix_filter(cli: &BenchCli) -> Vec<MatrixDataset> {
 fn main() {
     let cli = BenchCli::parse_with(&[("--matrices", true)]);
     sc_bench::verify_tensor_kernels(&cli);
+    sc_bench::cost_tensor_kernels(&cli);
     let matrices = matrix_filter(&cli);
     let probe = cli.probe();
     let cfg = SparseCoreConfig::paper_one_su();
@@ -41,7 +43,7 @@ fn main() {
         e
     };
 
-    let mut sp = vec![Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    let mut sp = vec![Vec::new(); 6];
     for m in &matrices {
         let a = m.build();
         let acsc = a.to_csc();
@@ -76,6 +78,12 @@ fn main() {
             gustavson_sampled(&a, &a, &mut StreamTensorBackend::with_engine(mk_engine()), stride);
         let sc_gus = sc_gus_run.cycles;
         let gam = gustavson_sampled(&a, &a, &mut GammaBackend::new(), stride).cycles;
+        // Flexibility taken one step further: SparseCore picking its own
+        // dataflow per row block from the static cost model.
+        let adapt_opts = AdaptiveOptions { block_rows: 8, block_sample: opts.row_sample };
+        let sc_adapt_run =
+            adaptive(&a, &a, &mut StreamTensorBackend::with_engine(mk_engine()), &cfg, adapt_opts);
+        let sc_adapt = sc_adapt_run.result.cycles;
 
         // SparseCore-side runs become records; the inner-product run is
         // everyone's comparison point, matching the figure's baseline.
@@ -101,13 +109,20 @@ fn main() {
             sc_gus,
             Some(sc_inner),
         );
+        cli.record(
+            &format!("adaptive/{tag}"),
+            Some(&cfg),
+            sc_adapt_run.result.c.nnz() as u64,
+            sc_adapt,
+            Some(sc_inner),
+        );
 
         let base = sc_inner.max(1) as f64;
-        for (i, c) in [ext, sc_outer, osp, sc_gus, gam].into_iter().enumerate() {
+        for (i, c) in [ext, sc_outer, osp, sc_gus, gam, sc_adapt].into_iter().enumerate() {
             sp[i].push(base / c.max(1) as f64);
         }
         eprintln!(
-            "  {}: sc-inner={sc_inner} extensor={ext} sc-outer={sc_outer} outerspace={osp} sc-gus={sc_gus} gamma={gam}",
+            "  {}: sc-inner={sc_inner} extensor={ext} sc-outer={sc_outer} outerspace={osp} sc-gus={sc_gus} gamma={gam} sc-adaptive={sc_adapt}",
             m.tag()
         );
     }
@@ -119,6 +134,7 @@ fn main() {
         "OuterSPACE (outer)",
         "SparseCore gustavson",
         "Gamma (gustavson)",
+        "SparseCore adaptive",
     ];
     let rows: Vec<Vec<String>> = labels
         .iter()

@@ -58,6 +58,7 @@ fn main() {
         let vcfg = sc_verify::VerifyConfig::for_config(&SparseCoreConfig::paper());
         cli.verify_program("tc/plan", &plan.emit_program(), &vcfg);
     }
+    cli.cost_program("tc/plan", &plan.emit_program(), &SparseCoreConfig::paper());
 
     println!("# Multi-core triangle counting: speedup vs 1 core (chunk={chunk})\n");
     let header: Vec<String> = ["graph".to_string(), "sched".to_string()]
@@ -130,6 +131,7 @@ fn main() {
 fn tensor_section(cli: &BenchCli, modes: &[SchedMode], chunk: usize) {
     let cfg = SparseCoreConfig::paper_one_su();
     sc_bench::verify_tensor_kernels(cli);
+    sc_bench::cost_tensor_kernels(cli);
     println!("\n# Multi-core tensor kernels: speedup vs 1 core (chunk={chunk})\n");
     let header: Vec<String> = ["kernel".to_string(), "sched".to_string()]
         .into_iter()

@@ -17,6 +17,13 @@
 //!   plan the bench emits with `sc-verify` before/alongside execution;
 //!   any `REJECTED` verdict makes the process exit 1 after the outputs
 //!   are written.
+//! - `--cost` — statically bound every stream program the bench emits
+//!   with `sc-cost`, replay it on a synthesized image, and assert the
+//!   simulated cycles land inside the static `[lower, upper]` bounds;
+//!   any violation makes the process exit 1 after the outputs are
+//!   written. The worst observed tightness ratio (`upper / simulated`)
+//!   is published as the `cost.tightness` probe gauge so `--record`
+//!   carries it into the sc-report registry.
 //!
 //! Binary-specific flags (`--skip-fsm`, `--gramer`, `--matrices`, ...)
 //! stay in their binaries and read through [`BenchCli::flag`] /
@@ -45,11 +52,17 @@ pub struct BenchCli {
     metrics: Option<PathBuf>,
     record: Option<PathBuf>,
     verify: bool,
+    cost: bool,
     /// `(checked, rejected)` static-verification obligation counters;
     /// [`BenchCli::write_probe_outputs`] turns a non-zero rejection
     /// count into exit status 1.
     verify_checked: Cell<usize>,
     verify_rejected: Cell<usize>,
+    /// `(checked, violated)` cost-soundness counters plus the worst
+    /// tightness ratio observed, mirroring the verify counters.
+    cost_checked: Cell<usize>,
+    cost_violated: Cell<usize>,
+    cost_worst_tightness: Cell<f64>,
     records: RefCell<Vec<RunRecord>>,
     /// Start of the current workload's wall-clock window: construction
     /// time, then each `record()` call re-arms it, so a record's
@@ -67,6 +80,7 @@ const COMMON_SPECS: &[(&str, bool)] = &[
     ("--trace", true),
     ("--record", true),
     ("--verify", false),
+    ("--cost", false),
 ];
 
 impl BenchCli {
@@ -151,6 +165,10 @@ impl BenchCli {
         if verify {
             println!("# verify: ON (static verification via sc-verify)\n");
         }
+        let cost = args.iter().any(|a| a == "--cost");
+        if cost {
+            println!("# cost: ON (static cycle bounds + replay soundness gate via sc-cost)\n");
+        }
         Self {
             args,
             bench,
@@ -159,8 +177,12 @@ impl BenchCli {
             metrics,
             record,
             verify,
+            cost,
             verify_checked: Cell::new(0),
             verify_rejected: Cell::new(0),
+            cost_checked: Cell::new(0),
+            cost_violated: Cell::new(0),
+            cost_worst_tightness: Cell::new(1.0),
             records: RefCell::new(Vec::new()),
             last_mark: Cell::new(Instant::now()),
         }
@@ -211,6 +233,82 @@ impl BenchCli {
     /// exit status 1).
     pub fn verify_counts(&self) -> (usize, usize) {
         (self.verify_checked.get(), self.verify_rejected.get())
+    }
+
+    /// Is `--cost` active? Benches can skip building cost workloads
+    /// (emitted plan programs, traced kernels) when nothing will be
+    /// bounded.
+    pub fn costing(&self) -> bool {
+        self.cost
+    }
+
+    /// `(checked, violated)` cost-soundness counts so far.
+    pub fn cost_counts(&self) -> (usize, usize) {
+        (self.cost_checked.get(), self.cost_violated.get())
+    }
+
+    /// Statically bound one stream program with `sc-cost` and check the
+    /// replay soundness gate, under `--cost` (no-op without the flag).
+    /// Prints the bounds, the simulated witness cycles, and the
+    /// tightness ratio; a violation (simulated cycles outside the
+    /// static bounds) or a replay fault is counted toward the exit-1
+    /// total. The worst tightness ratio so far is published as the
+    /// `cost.tightness` gauge (with `cost.checked` / `cost.violations`)
+    /// so `--record` snapshots carry it to sc-report.
+    pub fn cost_program(&self, label: &str, program: &sc_isa::Program, config: &SparseCoreConfig) {
+        if !self.cost {
+            return;
+        }
+        self.cost_checked.set(self.cost_checked.get() + 1);
+        match sc_cost::check_program(program, config) {
+            Ok(out) => {
+                let tightness = match out.tightness {
+                    Some(t) => {
+                        self.cost_worst_tightness.set(self.cost_worst_tightness.get().max(t));
+                        format!("{t:.2}x")
+                    }
+                    None => "unbounded".to_string(),
+                };
+                if out.sound() {
+                    println!(
+                        "# cost: {label}: SOUND (cycles {} contains simulated {}, tightness {tightness})",
+                        out.report.cycles, out.simulated
+                    );
+                } else {
+                    self.cost_violated.set(self.cost_violated.get() + 1);
+                    println!(
+                        "# cost: {label}: VIOLATION (simulated {} outside static {})",
+                        out.simulated, out.report.cycles
+                    );
+                }
+            }
+            Err(e) => {
+                self.cost_violated.set(self.cost_violated.get() + 1);
+                println!("# cost: {label}: VIOLATION ({e})");
+            }
+        }
+        self.probe.gauge("cost.tightness", self.cost_worst_tightness.get());
+        self.probe.gauge("cost.checked", self.cost_checked.get() as f64);
+        self.probe.gauge("cost.violations", self.cost_violated.get() as f64);
+    }
+
+    /// Count one externally-evaluated cost obligation (e.g. the
+    /// observed-length-in-static-hull check fig14 runs on a traced
+    /// execution), under `--cost` (no-op without the flag). `ok = false`
+    /// counts toward the exit-1 total.
+    pub fn cost_check(&self, label: &str, ok: bool, detail: &str) {
+        if !self.cost {
+            return;
+        }
+        self.cost_checked.set(self.cost_checked.get() + 1);
+        if ok {
+            println!("# cost: {label}: SOUND ({detail})");
+        } else {
+            self.cost_violated.set(self.cost_violated.get() + 1);
+            println!("# cost: {label}: VIOLATION ({detail})");
+        }
+        self.probe.gauge("cost.checked", self.cost_checked.get() as f64);
+        self.probe.gauge("cost.violations", self.cost_violated.get() as f64);
     }
 
     /// Statically verify one stream program under `--verify` (no-op
@@ -392,6 +490,18 @@ impl BenchCli {
             println!("# verify: {checked} obligations checked, {rejected} rejected");
             if rejected > 0 {
                 eprintln!("error: {rejected} static-verification obligations REJECTED");
+                std::process::exit(1);
+            }
+        }
+        if self.cost {
+            let (checked, violated) = self.cost_counts();
+            assert!(checked > 0, "--cost given but the bench bounded no program (bench bug?)");
+            println!(
+                "# cost: {checked} programs bounded, {violated} violations, worst tightness {:.2}x",
+                self.cost_worst_tightness.get()
+            );
+            if violated > 0 {
+                eprintln!("error: {violated} cost-soundness checks VIOLATED");
                 std::process::exit(1);
             }
         }

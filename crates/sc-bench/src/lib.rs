@@ -207,6 +207,116 @@ pub fn verify_tensor_kernels(cli: &BenchCli) {
     cli.verify_program("ttv/2x2x3", &trace, &vcfg);
 }
 
+/// Statically bound the stream programs the given GPM apps' compiled
+/// plans emit and run each through the `sc-cost` replay soundness gate
+/// (no-op without `--cost`). Same workload set as [`verify_gpm_apps`]:
+/// the symbolic inner-loop bodies of [`sc_gpm::Plan::emit_program`].
+pub fn cost_gpm_apps(cli: &BenchCli, apps: &[App]) {
+    if !cli.costing() {
+        return;
+    }
+    let cfg = SparseCoreConfig::paper();
+    for &app in apps {
+        for (i, plan) in app.plans().iter().enumerate() {
+            cli.cost_program(&format!("{app}/plan{i}"), &plan.emit_program(), &cfg);
+        }
+    }
+}
+
+/// Statically bound the instruction traces of the tensor kernels on
+/// small fixtures and run each through the replay soundness gate
+/// (no-op without `--cost`). Same traced workloads as
+/// [`verify_tensor_kernels`].
+pub fn cost_tensor_kernels(cli: &BenchCli) {
+    if !cli.costing() {
+        return;
+    }
+    use sc_kernels::{gustavson, ttv, StreamTensorBackend};
+    use sc_tensor::{CsfTensor, CsrMatrix};
+
+    let a = CsrMatrix::from_triplets(
+        3,
+        3,
+        &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+    );
+    let b = CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.0), (1, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)]);
+    let mut backend = StreamTensorBackend::new();
+    backend.engine_mut().record_trace();
+    let _ = gustavson(&a, &b, &mut backend);
+    let cfg = *backend.engine().config();
+    let (trace, _) = backend.take_lint_checked_trace();
+    cli.cost_program("gustavson/3x3", &trace, &cfg);
+
+    let t = CsfTensor::from_entries(
+        [2, 2, 3],
+        &[(0, 0, 0, 1.0), (0, 1, 2, 2.0), (1, 0, 1, 3.0), (1, 1, 0, 4.0)],
+    );
+    let mut backend = StreamTensorBackend::new();
+    backend.engine_mut().record_trace();
+    let _ = ttv(&t, &[1.0, 2.0, 3.0], &mut backend);
+    let cfg = *backend.engine().config();
+    let (trace, _) = backend.take_lint_checked_trace();
+    cli.cost_program("ttv/2x2x3", &trace, &cfg);
+}
+
+/// Under `--cost`, re-run `app` on `g` with instruction tracing,
+/// statically analyze the traced program with `sc-cost`, and assert
+/// every stream length the engine observed falls inside the static
+/// length hull (no-op without the flag). This is Figure 14's soundness
+/// tie-in: the measured CDF's support must be contained in the interval
+/// the abstract length domain derives for the very instructions that
+/// produced it. Counted as one `--cost` obligation.
+pub fn cost_check_lengths(cli: &BenchCli, g: &CsrGraph, app: App, cfg: SparseCoreConfig) {
+    if !cli.costing() {
+        return;
+    }
+    let mut engine = Engine::new(cfg);
+    engine.record_trace();
+    let mut backend = StreamBackend::with_engine(g, engine, app.uses_nested());
+    for plan in app.plans() {
+        let _ = exec::count_sampled(g, &plan, &mut backend, 1);
+    }
+    backend.finish();
+    let observed = (backend.engine().stats().lengths.min(), backend.engine().stats().lengths.max());
+    let trace = backend.engine_mut().take_trace();
+    let hull = sc_cost::analyze_cost(&trace, &cfg).length_hull;
+    let label = format!("{app}/lengths");
+    match observed {
+        (Some(min), Some(max)) => {
+            let inside = |l: u32| hull.contains(&sc_verify::Interval::exact(u64::from(l)));
+            cli.cost_check(
+                &label,
+                inside(min) && inside(max),
+                &format!("observed lengths [{min}, {max}] within static hull {hull}"),
+            );
+        }
+        _ => cli.cost_check(&label, false, "traced run observed no stream lengths"),
+    }
+}
+
+/// Deterministic skewed spmspm workload for the adaptive-dataflow
+/// series: the top half of `A`'s rows are dense (inner-friendly — long
+/// rows amortize the per-column stream setups across the block), the
+/// bottom half have a single nonzero each (Gustavson-friendly — only
+/// the one named `B` row is ever touched). Blocks aligned to the halves
+/// give a per-block chooser something a single global dataflow cannot
+/// match.
+pub fn skewed_spmspm(m: usize, n: usize) -> (sc_tensor::CsrMatrix, sc_tensor::CsrMatrix) {
+    let mut t = Vec::new();
+    let half = m / 2;
+    for i in 0..half {
+        for j in (0..n).step_by(2) {
+            t.push((i as u32, j as u32, 1.0 + (i + j) as f64 * 0.01));
+        }
+    }
+    for i in half..m {
+        t.push((i as u32, ((i * 7) % n) as u32, 2.0));
+    }
+    let a = sc_tensor::CsrMatrix::from_triplets(m, n, &t);
+    let b = sc_tensor::generators::random_matrix(n, n, n * n / 4, 99);
+    (a, b)
+}
+
 /// Geometric mean of a non-empty slice (1.0 for an empty one).
 pub fn gmean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -322,6 +432,30 @@ mod tests {
         let cli = BenchCli::from_args(vec!["prog".into(), "--verify".into()]);
         verify_tensor_kernels(&cli);
         assert_eq!(cli.verify_counts(), (2, 0));
+    }
+
+    #[test]
+    fn every_fig8_plan_program_is_cost_sound() {
+        let cli = BenchCli::from_args(vec!["prog".into(), "--cost".into()]);
+        cost_gpm_apps(&cli, &App::FIG8);
+        let (checked, violated) = cli.cost_counts();
+        assert!(checked >= App::FIG8.len(), "checked {checked}");
+        assert_eq!(violated, 0, "a shipped plan program violated its static cost bounds");
+    }
+
+    #[test]
+    fn tensor_kernel_traces_are_cost_sound() {
+        let cli = BenchCli::from_args(vec!["prog".into(), "--cost".into()]);
+        cost_tensor_kernels(&cli);
+        assert_eq!(cli.cost_counts(), (2, 0));
+    }
+
+    #[test]
+    fn traced_lengths_stay_inside_the_static_hull() {
+        let cli = BenchCli::from_args(vec!["prog".into(), "--cost".into()]);
+        let g = Dataset::Citeseer.build();
+        cost_check_lengths(&cli, &g, App::Triangle, SparseCoreConfig::paper());
+        assert_eq!(cli.cost_counts(), (1, 0), "observed length outside the static hull");
     }
 
     #[test]

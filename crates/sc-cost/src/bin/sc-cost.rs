@@ -1,0 +1,190 @@
+//! `sc-cost` CLI: derive sound cycle/footprint/traffic bounds for
+//! `.sasm` stream programs ahead of execution.
+//!
+//! ```text
+//! sc-cost [OPTIONS] FILE...
+//!   --json             machine-readable output (one JSON object per file)
+//!   --sarif            SARIF 2.1.0 output (one log per file)
+//!   --proofs           list the discharged cost obligations per file
+//!   --regions          print per-region bounds
+//!   --sus N            analyze for an N-SU config (default: paper, 4)
+//!   --tiny             analyze for the tiny test config
+//!   --require-bounded  treat a missing finite upper bound as a failure
+//! ```
+//!
+//! Exit status: 0 every file analyzed (and BOUNDED if required), 1 at
+//! least one file failed the bound requirement, 2 usage/IO/parse errors
+//! (BenchCli's exit-2 convention).
+
+use sc_cost::cost_program;
+use sparsecore::SparseCoreConfig;
+use std::process::ExitCode;
+
+struct Options {
+    json: bool,
+    sarif: bool,
+    proofs: bool,
+    regions: bool,
+    require_bounded: bool,
+    config: SparseCoreConfig,
+    files: Vec<String>,
+    help: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: sc-cost [--json|--sarif] [--proofs] [--regions] [--sus N] [--tiny] [--require-bounded] FILE...\n\
+     \n\
+     exit status:\n\
+     \x20 0  every file analyzed (all BOUNDED when --require-bounded)\n\
+     \x20 1  at least one file has no finite upper bound (--require-bounded)\n\
+     \x20 2  usage, IO, or parse error"
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        sarif: false,
+        proofs: false,
+        regions: false,
+        require_bounded: false,
+        config: SparseCoreConfig::paper(),
+        files: Vec::new(),
+        help: false,
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--sarif" => opts.sarif = true,
+            "--proofs" => opts.proofs = true,
+            "--regions" => opts.regions = true,
+            "--require-bounded" => opts.require_bounded = true,
+            "--tiny" => opts.config = SparseCoreConfig::tiny(),
+            "--sus" => {
+                let n = args.next().ok_or("--sus needs a value")?;
+                let n: usize = n.parse().map_err(|_| format!("invalid --sus value: {n}"))?;
+                if n == 0 {
+                    return Err("--sus must be positive".into());
+                }
+                opts.config = SparseCoreConfig::with_sus(n);
+            }
+            "--help" | "-h" => {
+                opts.help = true;
+                return Ok(opts);
+            }
+            f if !f.starts_with('-') => opts.files.push(f.to_string()),
+            unknown => return Err(format!("unknown option: {unknown}\n{}", usage())),
+        }
+    }
+    if opts.files.is_empty() {
+        return Err(usage().to_string());
+    }
+    if opts.json && opts.sarif {
+        return Err(format!("--json and --sarif are mutually exclusive\n{}", usage()));
+    }
+    Ok(opts)
+}
+
+fn fmt_upper(u: Option<u64>) -> String {
+    match u {
+        Some(u) => u.to_string(),
+        None => "unbounded".into(),
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.help {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+
+    let mut failed = false;
+    let mut io_failed = false;
+
+    for path in &opts.files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                io_failed = true;
+                continue;
+            }
+        };
+        let program = match sc_isa::parse_program(&text) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{path}: parse error: {e}");
+                io_failed = true;
+                continue;
+            }
+        };
+        let verdict = cost_program(&program, &opts.config);
+        if opts.require_bounded && !verdict.bounded() {
+            failed = true;
+        }
+        if opts.json {
+            let c = &verdict.cost;
+            println!(
+                "{{\"file\": \"{path}\", \"status\": \"{}\", \"config_digest\": {}, \
+                 \"cycles_lower\": {}, \"cycles_upper\": {}, \"traffic_lower\": {}, \
+                 \"traffic_upper\": {}, \"footprint_bytes\": {}, \"max_pressure\": {}, \
+                 \"regions\": {}, \"diagnostics\": {}}}",
+                verdict.status(),
+                c.params.config_digest,
+                c.cycles.lower,
+                c.cycles.upper.map_or("null".into(), |u| u.to_string()),
+                c.traffic_bytes.lower,
+                c.traffic_bytes.upper.map_or("null".into(), |u| u.to_string()),
+                c.footprint_bytes,
+                c.max_pressure,
+                c.regions.len(),
+                verdict.report.len(),
+            );
+        } else if opts.sarif {
+            println!("{}", verdict.report.to_sarif_with_driver(path, "sc-cost"));
+        } else {
+            let c = &verdict.cost;
+            println!(
+                "{path}: {} ({} instructions, cycles {}, traffic [{}, {}] B, footprint {} B)",
+                verdict.status(),
+                program.len(),
+                c.cycles,
+                c.traffic_bytes.lower,
+                fmt_upper(c.traffic_bytes.upper),
+                c.footprint_bytes,
+            );
+            if opts.regions {
+                for r in &c.regions {
+                    println!(
+                        "{path}: region [{}..{}]: cycles {}, peak pressure {}",
+                        r.first, r.last, r.cycles, r.peak_pressure
+                    );
+                }
+            }
+            for d in verdict.report.diagnostics() {
+                println!("{path}: {d}");
+            }
+            if opts.proofs {
+                for p in &verdict.proofs {
+                    let codes: Vec<&str> = p.subsumes.iter().map(|c| c.as_str()).collect();
+                    println!("{path}: established: {} [{}]", p.obligation, codes.join(", "));
+                }
+            }
+        }
+    }
+
+    if io_failed {
+        ExitCode::from(2)
+    } else if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

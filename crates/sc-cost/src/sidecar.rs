@@ -1,0 +1,95 @@
+//! The committed cost-bounds sidecar: `results/cost_bounds.json`.
+//!
+//! One JSON document pinning the static `[lower, upper]` cycle and
+//! traffic bounds, the S-Cache footprint, and the stream-length hull of
+//! every shipped `programs/*.sasm` file under the paper configuration.
+//! `examples/export_cost_bounds.rs` regenerates it and
+//! `tests/cost_bounds.rs` compares the committed file byte-for-byte
+//! against regeneration, so any analyzer or plan-compiler change that
+//! moves a bound shows up as a reviewable diff instead of silent drift.
+//!
+//! Rendering lives here (rather than in the example) so the exporter
+//! and the staleness test cannot disagree about the format.
+
+use crate::analyze_cost;
+use crate::params::CostParams;
+use sc_isa::Program;
+use sparsecore::SparseCoreConfig;
+use std::fmt::Write as _;
+
+/// Schema version of the sidecar document.
+pub const SIDECAR_SCHEMA: u32 = 1;
+
+/// Render the sidecar document for `entries` (file name, program)
+/// analyzed under `config`. Entries are emitted in the given order;
+/// callers should pass a deterministic ordering (the exporter uses the
+/// Figure 8 app/plan enumeration, matching `programs/`).
+pub fn render_sidecar(entries: &[(String, Program)], config: &SparseCoreConfig) -> String {
+    let params = CostParams::for_config(config);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{{\"schema\":{SIDECAR_SCHEMA},\"config_digest\":\"{:#018x}\",\"programs\":[",
+        params.config_digest
+    )
+    .expect("write to String");
+    for (i, (name, program)) in entries.iter().enumerate() {
+        let c = analyze_cost(program, config);
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        writeln!(
+            out,
+            "{{\"file\":\"{name}\",\"instructions\":{},\"cycles_lower\":{},\
+             \"cycles_upper\":{},\"traffic_lower\":{},\"traffic_upper\":{},\
+             \"footprint_bytes\":{},\"max_pressure\":{},\
+             \"length_lo\":{},\"length_hi\":{}}}{sep}",
+            program.len(),
+            c.cycles.lower,
+            c.cycles.upper.map_or("null".into(), |u| u.to_string()),
+            c.traffic_bytes.lower,
+            c.traffic_bytes.upper.map_or("null".into(), |u| u.to_string()),
+            c.footprint_bytes,
+            c.max_pressure,
+            c.length_hull.lo,
+            c.length_hull.hi,
+        )
+        .expect("write to String");
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_isa::{Instr, Priority, StreamId};
+
+    fn prog() -> Program {
+        let mut p = Program::new();
+        p.push(Instr::SRead {
+            key_addr: 0x1000,
+            len: 8,
+            sid: StreamId::new(0),
+            priority: Priority(1),
+        });
+        p.push(Instr::SFree { sid: StreamId::new(0) });
+        p
+    }
+
+    #[test]
+    fn sidecar_is_deterministic_and_self_describing() {
+        let cfg = SparseCoreConfig::paper();
+        let entries = vec![("a.sasm".to_string(), prog()), ("b.sasm".to_string(), prog())];
+        let doc = render_sidecar(&entries, &cfg);
+        assert_eq!(doc, render_sidecar(&entries, &cfg));
+        assert!(doc.starts_with("{\"schema\":1,"));
+        assert!(doc.contains("\"file\":\"a.sasm\""));
+        assert!(doc.contains("\"file\":\"b.sasm\""));
+        // Valid JSON shape: balanced and newline-terminated.
+        assert!(doc.ends_with("]}\n"));
+        // The digest pins the config the bounds were derived under.
+        let digest = format!("{:#018x}", CostParams::for_config(&cfg).config_digest);
+        assert!(doc.contains(&digest));
+        // A different config yields a different document.
+        assert_ne!(doc, render_sidecar(&entries, &SparseCoreConfig::tiny()));
+    }
+}

@@ -22,6 +22,7 @@
 //! are exact and are checked against `sc-tensor`'s dense references in
 //! the test suite.
 
+pub mod adaptive;
 pub mod backend;
 pub mod parallel;
 pub mod spmspm;
@@ -29,6 +30,10 @@ pub mod spmv;
 pub mod tensor_ops;
 pub mod vstream;
 
+pub use adaptive::{
+    adaptive, adaptive_oracle, estimate_block, AdaptiveOptions, AdaptiveResult, BlockChoice,
+    Dataflow,
+};
 pub use backend::{ScalarTensorBackend, StreamTensorBackend, TensorBackend};
 pub use parallel::{gustavson_multicore, protect_matrix, protect_tensor, ttv_multicore};
 pub use spmspm::{

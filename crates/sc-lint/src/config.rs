@@ -1,5 +1,39 @@
 //! Analyzer configuration.
 
+/// Hardware-derived thresholds for the performance lints. There are no
+/// free-standing magic numbers: both values derive from the memory
+/// hierarchy (`derive`), and `sc-cost` derives the *same* values from
+/// the same `SparseCoreConfig` fields, so the lint and cost analyses
+/// agree on one parameterization (checked by sc-cost's agreement test).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PerfThresholds {
+    /// Shortest stream that amortizes one refill line of setup
+    /// (`line_bytes / key_bytes`): anything shorter pays the full
+    /// warmup walk for a partial line (`SC-W204`).
+    pub min_amortized_len: u32,
+    /// Setup cycles such a stream fails to amortize (the worst
+    /// `l2 + l3 + dram` warmup walk); quoted in the diagnostic.
+    pub setup_cycles: u64,
+}
+
+impl PerfThresholds {
+    /// Derive from raw hardware numbers (sc-lint deliberately does not
+    /// depend on the simulator crate; callers pass the line geometry
+    /// and setup latency of the config they simulate with).
+    pub fn derive(line_bytes: u64, key_bytes: u64, setup_latency: u64) -> Self {
+        PerfThresholds {
+            min_amortized_len: (line_bytes / key_bytes.max(1)).max(1) as u32,
+            setup_cycles: setup_latency,
+        }
+    }
+
+    /// The paper's hardware: 64-byte lines, 4-byte keys, and a
+    /// 12 + 38 + 200 cycle worst-case warmup walk.
+    pub fn paper() -> Self {
+        PerfThresholds::derive(64, 4, 250)
+    }
+}
+
 /// Knobs controlling which lints fire and against what hardware model.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LintConfig {
@@ -16,6 +50,8 @@ pub struct LintConfig {
     pub check_leaks: bool,
     /// Run the performance lints (`SC-W2xx`).
     pub perf_lints: bool,
+    /// Hardware-derived thresholds the perf pass fires against.
+    pub perf: PerfThresholds,
 }
 
 impl Default for LintConfig {
@@ -32,6 +68,7 @@ impl LintConfig {
             virtualization: false,
             check_leaks: true,
             perf_lints: true,
+            perf: PerfThresholds::paper(),
         }
     }
 
@@ -58,6 +95,12 @@ impl LintConfig {
         self.perf_lints = on;
         self
     }
+
+    /// Set the hardware-derived perf thresholds.
+    pub fn perf_thresholds(mut self, t: PerfThresholds) -> Self {
+        self.perf = t;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -79,5 +122,17 @@ mod tests {
         assert_eq!(c.stream_registers, 8);
         assert!(c.virtualization);
         assert!(!c.perf_lints);
+    }
+
+    #[test]
+    fn thresholds_derive_from_hardware() {
+        let t = PerfThresholds::paper();
+        assert_eq!(t.min_amortized_len, 16, "64 B lines / 4 B keys");
+        assert_eq!(t.setup_cycles, 250, "l2 + l3 + dram");
+        let tiny = PerfThresholds::derive(64, 4, 64);
+        assert_eq!(tiny.min_amortized_len, 16);
+        assert_eq!(tiny.setup_cycles, 64);
+        let c = LintConfig::paper().perf_thresholds(PerfThresholds::derive(128, 4, 300));
+        assert_eq!(c.perf.min_amortized_len, 32);
     }
 }

@@ -77,6 +77,16 @@ pub enum LintCode {
     /// bounded consumers; propagating the bound would cut work
     /// (Figure 2(b)'s BoundedIntersect).
     MissingBound,
+    /// `SC-W204` — a stream is statically too short to amortize its
+    /// setup line fetch (length upper bound below one refill line).
+    ShortStream,
+    /// `SC-W205` — the static S-Cache footprint (peak live streams ×
+    /// slot bytes) exceeds the configured capacity.
+    FootprintExceeded,
+    /// `SC-W206` — the static cycle-bound gap exceeds the
+    /// config-derived divergence limit, or no finite upper bound
+    /// exists at all (statically unanalyzable indirection).
+    BoundGap,
     /// `SC-S301` — the model freed a stream whose payload was already
     /// gone (double release of a stream register).
     SanDoubleFree,
@@ -138,6 +148,9 @@ impl LintCode {
             LintCode::DeadStream => "SC-W201",
             LintCode::UnusedRead => "SC-W202",
             LintCode::MissingBound => "SC-W203",
+            LintCode::ShortStream => "SC-W204",
+            LintCode::FootprintExceeded => "SC-W205",
+            LintCode::BoundGap => "SC-W206",
             LintCode::SanDoubleFree => "SC-S301",
             LintCode::SanStreamLeak => "SC-S302",
             LintCode::SanUseAfterFree => "SC-S303",
@@ -168,6 +181,9 @@ impl LintCode {
             LintCode::DeadStream => "dead-stream",
             LintCode::UnusedRead => "unused-read",
             LintCode::MissingBound => "missing-bound",
+            LintCode::ShortStream => "short-stream",
+            LintCode::FootprintExceeded => "footprint-exceeded",
+            LintCode::BoundGap => "bound-gap",
             LintCode::SanDoubleFree => "san-double-free",
             LintCode::SanStreamLeak => "san-stream-leak",
             LintCode::SanUseAfterFree => "san-use-after-free",

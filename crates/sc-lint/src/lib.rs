@@ -23,7 +23,8 @@
 //!    the static shadow of `ScalarTouchesStream`) and `SC-W102`
 //!    zero-length streams.
 //! 5. **perf** — `SC-W201` dead-stream, `SC-W202` unused-read,
-//!    `SC-W203` missing-bound.
+//!    `SC-W203` missing-bound, `SC-W204` short-stream (threshold
+//!    derived from the hardware config, not a magic number).
 //!
 //! # Example
 //!
@@ -45,7 +46,7 @@ pub mod diag;
 pub mod passes;
 pub mod report;
 
-pub use config::LintConfig;
+pub use config::{LintConfig, PerfThresholds};
 pub use diag::{Diagnostic, LintCode, Severity};
 pub use report::Report;
 
@@ -60,7 +61,7 @@ pub fn lint(program: &Program, config: &LintConfig) -> Report {
     passes::pressure::run(&flow, config, &mut diags);
     passes::alias::run(program, &mut diags);
     if config.perf_lints {
-        passes::perf::run(program, &mut diags);
+        passes::perf::run(program, config, &mut diags);
     }
     Report::new(diags)
 }
@@ -350,6 +351,44 @@ mod tests {
         .collect();
         let r2 = lint_default(&p2);
         assert!(!r2.diagnostics().iter().any(|d| d.code == LintCode::MissingBound));
+    }
+
+    #[test]
+    fn short_stream_threshold_tracks_hardware() {
+        // 4 keys < the paper's 16-key refill line: SC-W204 fires, and
+        // the message quotes the derived setup latency.
+        let mut short = read(0);
+        if let Instr::SRead { ref mut len, .. } = short {
+            *len = 4;
+        }
+        let p: Program =
+            vec![short, Instr::SFetch { sid: sid(0), offset: 0 }, free(0)].into_iter().collect();
+        let report = lint_default(&p);
+        let d = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == LintCode::ShortStream)
+            .expect("short-stream diagnostic");
+        assert_eq!(d.at, Some(0));
+        assert!(d.message.contains("250"), "message: {}", d.message);
+
+        // A wider line raises the threshold; a 4-byte line lowers it so
+        // the same 4-key read is fine.
+        let wide =
+            LintConfig::default().perf_thresholds(config::PerfThresholds::derive(256, 4, 300));
+        assert!(lint(&p, &wide)
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == LintCode::ShortStream && d.message.contains("64 keys")));
+        let narrow =
+            LintConfig::default().perf_thresholds(config::PerfThresholds::derive(16, 4, 300));
+        assert!(!lint(&p, &narrow).diagnostics().iter().any(|d| d.code == LintCode::ShortStream));
+
+        // Length exactly at the threshold amortizes: the default 16-key
+        // read helper stays clean.
+        let p16: Program =
+            vec![read(1), Instr::SFetch { sid: sid(1), offset: 0 }, free(1)].into_iter().collect();
+        assert!(!lint_default(&p16).diagnostics().iter().any(|d| d.code == LintCode::ShortStream));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Pass 5 — performance lints.
 //!
-//! Three wasted-work patterns the paper's compiler avoids by hand:
+//! Four wasted-work patterns the paper's compiler avoids by hand:
 //!
 //! * `SC-W201` dead-stream — a set-operation output that is never read
 //!   before being freed. The `.C` (count-only) variants exist exactly
@@ -12,7 +12,13 @@
 //!   output feeds only bounded consumers; hoisting the tightest
 //!   consumer bound into the producer is Figure 2(b)'s BoundedIntersect
 //!   optimization.
+//! * `SC-W204` short-stream — a stream statically too short to amortize
+//!   its setup line fetch. The threshold is not a magic number: it is
+//!   [`PerfThresholds`](crate::config::PerfThresholds), derived from
+//!   the line geometry and warmup latency of the hardware config, the
+//!   same derivation `sc-cost` uses.
 
+use crate::config::LintConfig;
 use crate::diag::{Diagnostic, LintCode, Severity};
 use sc_isa::{Instr, Program, StreamId};
 
@@ -95,8 +101,33 @@ fn finalize(d: &Live, diags: &mut Vec<Diagnostic>) {
     }
 }
 
-pub(crate) fn run(program: &Program, diags: &mut Vec<Diagnostic>) {
+pub(crate) fn run(program: &Program, config: &LintConfig, diags: &mut Vec<Diagnostic>) {
     let mut live: Vec<Live> = Vec::new();
+
+    // SC-W204: statically short reads. Zero-length reads are excluded —
+    // they are the kinds pass's concern (SC-W102), not a perf smell.
+    let t = config.perf;
+    for (at, i) in program.iter().enumerate() {
+        let (len, sid) = match *i {
+            Instr::SRead { len, sid, .. } => (len, sid),
+            Instr::SVRead { len, sid, .. } => (len, sid),
+            _ => continue,
+        };
+        if len > 0 && len < t.min_amortized_len {
+            diags.push(Diagnostic {
+                code: LintCode::ShortStream,
+                severity: Severity::Warning,
+                at: Some(at),
+                sid: Some(sid),
+                addr: None,
+                message: format!(
+                    "stream of {len} keys cannot amortize its setup: one refill line \
+                     supplies {} keys for up to {} setup cycles",
+                    t.min_amortized_len, t.setup_cycles
+                ),
+            });
+        }
+    }
 
     for (at, i) in program.iter().enumerate() {
         // Record uses against their live definitions.

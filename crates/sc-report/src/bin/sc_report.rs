@@ -6,6 +6,7 @@
 //!                   [--wall-tol <frac>] [--strict-wall]
 //! sc-report scoreboard --registry <path>... --reference <file>
 //!                      [--markdown <file>] [--gate]
+//! sc-report tightness --registry <path>... [--max <ratio>] [--require]
 //! sc-report trend --registry <path>... [--out <file>]
 //! ```
 //!
@@ -27,6 +28,7 @@ fn main() -> ExitCode {
         "verify" => cmd_verify(rest),
         "compare" => cmd_compare(rest),
         "scoreboard" => cmd_scoreboard(rest),
+        "tightness" => cmd_tightness(rest),
         "trend" => cmd_trend(rest),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
@@ -47,7 +49,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "\
-usage: sc-report <verify|compare|scoreboard|trend> [options]
+usage: sc-report <verify|compare|scoreboard|tightness|trend> [options]
 
   verify <path>...
       Parse every record file reachable from each path and re-serialize
@@ -61,6 +63,12 @@ usage: sc-report <verify|compare|scoreboard|trend> [options]
   scoreboard --registry <path>... --reference <file> [--markdown <file>] [--gate]
       Paper-fidelity scoreboard vs results/paper_reference.json. With
       --gate, exits 1 when any figure drifts beyond its budget.
+
+  tightness --registry <path>... [--max <ratio>] [--require]
+      Cost-gate verdict over records from benches run with --cost: any
+      recorded bound violation fails, and a worst upper/simulated
+      tightness ratio above the budget fails (default --max 16.0).
+      --require also fails when no record carries cost gauges.
 
   trend --registry <path>... [--out <file>]
       Cross-commit trajectory; --out writes the BENCH_sc.json document.
@@ -194,6 +202,29 @@ fn cmd_scoreboard(args: &[String]) -> Result<bool, String> {
         return Ok(false);
     }
     Ok(true)
+}
+
+fn cmd_tightness(args: &[String]) -> Result<bool, String> {
+    let (positional, parsed) =
+        parse_flags(args, &[("--registry", true), ("--max", true), ("--require", false)])?;
+    if !positional.is_empty() {
+        return Err(format!("unexpected argument '{}'", positional[0].display()));
+    }
+    let records = registry_records(&parsed, "--registry")?;
+    let mut max_ratio = 16.0;
+    if let Some(m) = flag_value(&parsed, "--max") {
+        max_ratio = m.parse::<f64>().map_err(|e| format!("--max '{m}': {e}"))?;
+        if !max_ratio.is_finite() || max_ratio < 1.0 {
+            return Err("--max must be >= 1.0 (tightness is upper/simulated)".into());
+        }
+    }
+    let rows = sc_report::tightness::summarize(&records);
+    print!("{}", sc_report::tightness::render_text(&rows, max_ratio));
+    if flag_value(&parsed, "--require").is_some() && rows.is_empty() {
+        eprintln!("tightness: --require set but no record carries cost gauges (benches run without --cost?)");
+        return Ok(false);
+    }
+    Ok(sc_report::tightness::pass(&rows, max_ratio))
 }
 
 fn cmd_trend(args: &[String]) -> Result<bool, String> {

@@ -23,6 +23,7 @@ pub mod record;
 pub mod registry;
 pub mod regress;
 pub mod scoreboard;
+pub mod tightness;
 pub mod trend;
 
 pub use record::{
@@ -32,4 +33,5 @@ pub use record::{
 pub use registry::{load_path, load_paths};
 pub use regress::{compare, CompareOptions, Finding, Severity, Verdict};
 pub use scoreboard::{overall_drift_pct, scoreboard, FigureScore, Metric, Reference};
+pub use tightness::{summarize as tightness_summarize, TightnessRow};
 pub use trend::{render_bench_json, trend, TrendPoint};

@@ -1,0 +1,159 @@
+//! `sc-report tightness` — gate on the static-bound tightness ratio.
+//!
+//! Benches run with `--cost` replay every stream program against
+//! `sc-cost`'s static `[lower, upper]` cycle bounds and publish three
+//! probe gauges into their records: `cost.checked` (obligations
+//! evaluated), `cost.violations` (simulated cycles outside the bounds —
+//! a soundness failure), and `cost.tightness` (the worst
+//! `upper / simulated` ratio seen). This module aggregates those gauges
+//! per bench and gates on two budgets:
+//!
+//! * **soundness** — any recorded violation fails, unconditionally;
+//! * **tightness** — a worst ratio above the budget fails: the bounds
+//!   are still sound but have become too loose to be useful, which is a
+//!   quality regression the soundness gate alone cannot see.
+//!
+//! Records without a `cost` metrics group (benches run without
+//! `--cost`) are skipped, not failed; the `--require` flag turns an
+//! empty aggregation into a failure so CI notices a silently dropped
+//! `--cost` flag.
+
+use crate::record::RunRecord;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregated cost-gate gauges for one bench.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TightnessRow {
+    /// Emitting binary (`RunRecord::bench`).
+    pub bench: String,
+    /// Records carrying a `cost` metrics group.
+    pub records: usize,
+    /// Max `cost.checked` across the bench's records (gauges reflect
+    /// the bench's final counter state, so max = the complete run).
+    pub checked: u64,
+    /// Max `cost.violations` across the bench's records.
+    pub violations: u64,
+    /// Worst `cost.tightness` across the bench's records.
+    pub worst: f64,
+}
+
+/// Aggregate the `cost.*` gauges per bench. Records without a `cost`
+/// metrics group are ignored.
+pub fn summarize(records: &[RunRecord]) -> Vec<TightnessRow> {
+    let mut by_bench: BTreeMap<&str, TightnessRow> = BTreeMap::new();
+    for r in records {
+        let Some(cost) = r.metrics.get("cost") else { continue };
+        let gauge = |k: &str| cost.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let row = by_bench.entry(&r.bench).or_insert_with(|| TightnessRow {
+            bench: r.bench.clone(),
+            records: 0,
+            checked: 0,
+            violations: 0,
+            worst: 0.0,
+        });
+        row.records += 1;
+        row.checked = row.checked.max(gauge("checked") as u64);
+        row.violations = row.violations.max(gauge("violations") as u64);
+        row.worst = row.worst.max(gauge("tightness"));
+    }
+    by_bench.into_values().collect()
+}
+
+/// Does every bench pass the soundness and tightness budgets?
+pub fn pass(rows: &[TightnessRow], max_ratio: f64) -> bool {
+    rows.iter().all(|r| r.violations == 0 && r.worst <= max_ratio)
+}
+
+/// Plain-text table plus a verdict line.
+pub fn render_text(rows: &[TightnessRow], max_ratio: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<24} {:>8} {:>8} {:>11} {:>10}",
+        "bench", "records", "checked", "violations", "tightness"
+    );
+    for r in rows {
+        let mark = if r.violations > 0 {
+            "  UNSOUND"
+        } else if r.worst > max_ratio {
+            "  OVER-BUDGET"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "{:<24} {:>8} {:>8} {:>11} {:>9.2}x{mark}",
+            r.bench, r.records, r.checked, r.violations, r.worst
+        );
+    }
+    let _ = writeln!(
+        out,
+        "tightness: {} bench(es) with cost gauges, budget {max_ratio:.2}x: {}",
+        rows.len(),
+        if pass(rows, max_ratio) { "PASS" } else { "FAIL" }
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sc_probe::json;
+
+    fn rec(bench: &str, cost: Option<(f64, f64, f64)>) -> RunRecord {
+        let metrics = match cost {
+            Some((checked, violations, tightness)) => json::parse(&format!(
+                "{{\"cost\":{{\"checked\":{checked},\"violations\":{violations},\"tightness\":{tightness}}}}}"
+            ))
+            .unwrap(),
+            None => json::parse("{}").unwrap(),
+        };
+        RunRecord {
+            bench: bench.into(),
+            workload: "w".into(),
+            git_sha: "test".into(),
+            config_digest: 0,
+            checksum: 0,
+            cycles: 1,
+            baseline_cycles: None,
+            wall_ms: 0.0,
+            attr: [0; 5],
+            metrics,
+        }
+    }
+
+    #[test]
+    fn summarize_groups_by_bench_and_takes_worst() {
+        let records = vec![
+            rec("fig07", Some((10.0, 0.0, 3.5))),
+            rec("fig07", Some((10.0, 0.0, 6.4))),
+            rec("fig15", Some((2.0, 0.0, 4.9))),
+            rec("datasets_report", None),
+        ];
+        let rows = summarize(&records);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].bench, "fig07");
+        assert_eq!(rows[0].records, 2);
+        assert_eq!(rows[0].checked, 10);
+        assert!((rows[0].worst - 6.4).abs() < 1e-9);
+        assert!(pass(&rows, 16.0));
+        assert!(!pass(&rows, 5.0), "fig07's 6.4x must exceed a 5.0x budget");
+    }
+
+    #[test]
+    fn violations_fail_regardless_of_ratio() {
+        let rows = summarize(&[rec("fig08", Some((5.0, 1.0, 1.1)))]);
+        assert!(!pass(&rows, 16.0));
+        assert!(render_text(&rows, 16.0).contains("UNSOUND"));
+        assert!(render_text(&rows, 16.0).contains("FAIL"));
+    }
+
+    #[test]
+    fn over_budget_is_flagged_in_the_rendering() {
+        let rows = summarize(&[rec("fig13", Some((5.0, 0.0, 40.0)))]);
+        let text = render_text(&rows, 16.0);
+        assert!(text.contains("OVER-BUDGET"));
+        assert!(text.contains("FAIL"));
+    }
+}

@@ -151,9 +151,21 @@ pub struct Analysis {
     pub writes: Interval,
 }
 
-/// Full key space: nothing known about a stream's key values.
+/// Full key space: nothing known about a stream's key values. Valid
+/// keys stay below the `EOS` sentinel (`Key::MAX`), so the half-open
+/// top is `[0, Key::MAX)`.
 fn key_top() -> Interval {
     Interval::new(0, u64::from(Key::MAX))
+}
+
+/// Full length space: nothing known about a stream's element count.
+/// Unlike keys, a *length* of `u32::MAX` is representable (`len: u32`
+/// has no sentinel), so the half-open top must extend one past it —
+/// `[0, Key::MAX)` would silently exclude the maximum legal length and
+/// un-widen the domain (the interval-widening off-by-one the fig14
+/// cross-check uncovered).
+pub(crate) fn len_top() -> Interval {
+    Interval::new(0, u64::from(Key::MAX) + 1)
 }
 
 /// Clamp a key range below an `S_INTER`/`S_SUB` bound.
@@ -497,7 +509,7 @@ pub fn analyze(program: &Program, config: &VerifyConfig) -> Analysis {
 fn range_of(streams: &BTreeMap<u32, AbsStream>, sid: StreamId) -> (Interval, Interval) {
     match streams.get(&sid.raw()) {
         Some(s) if s.state == SmtState::Live => (s.len, s.keys),
-        _ => (Interval::new(0, u64::from(Key::MAX)), key_top()),
+        _ => (len_top(), key_top()),
     }
 }
 

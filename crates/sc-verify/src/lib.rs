@@ -312,4 +312,19 @@ mod tests {
         assert!(!v.verified());
         assert!(v.report.diagnostics().iter().any(|d| d.code == LintCode::KeyOnlyValueOp));
     }
+
+    #[test]
+    fn length_top_admits_the_maximum_representable_length() {
+        // Regression for the interval-widening off-by-one: the length
+        // domain's top used `[0, Key::MAX)`, which excludes the maximal
+        // legal `len: u32` value. A widened (unknown) length must
+        // contain every exact length a read can carry.
+        let top = absint::len_top();
+        assert!(top.contains(&Interval::exact(u64::from(u32::MAX))));
+        // The key top keeps excluding the EOS sentinel.
+        let p: Program =
+            vec![read(0, u32::MAX), Instr::SFree { sid: sid(0) }].into_iter().collect();
+        let v = verify_program(&p, &VerifyConfig::paper());
+        assert!(v.verified(), "maximal-length stream verifies:\n{}", v.report);
+    }
 }

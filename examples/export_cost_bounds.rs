@@ -1,0 +1,36 @@
+//! Export the static cost bounds of every shipped Figure 8 stream
+//! program into `results/cost_bounds.json`.
+//!
+//! Run with `cargo run --example export_cost_bounds` after changing the
+//! plan compiler or the cost analyzer. `tests/cost_bounds.rs` pins the
+//! committed sidecar against regeneration, so a bound that moves shows
+//! up as a reviewable diff in the sidecar rather than silent drift.
+//! Programs whose bounds are exported must also be BOUNDED: a shipped
+//! plan with no finite cycle upper bound is a regression, not a golden
+//! value.
+
+use sc_gpm::App;
+use sparsecore::SparseCoreConfig;
+use std::path::Path;
+
+fn main() {
+    let cfg = SparseCoreConfig::paper();
+    let mut entries = Vec::new();
+    for app in App::FIG8 {
+        for (i, plan) in app.plans().iter().enumerate() {
+            let name = format!("{}_plan{i}.sasm", app.tag().to_lowercase());
+            let program = plan.emit_program();
+            let verdict = sc_cost::cost_program(&program, &cfg);
+            assert!(
+                verdict.bounded(),
+                "refusing to export an UNBOUNDED sidecar entry for {name}:\n{}",
+                verdict.report
+            );
+            entries.push((name, program));
+        }
+    }
+    let doc = sc_cost::render_sidecar(&entries, &cfg);
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("results/cost_bounds.json");
+    std::fs::write(&path, &doc).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("wrote results/cost_bounds.json ({} programs)", entries.len());
+}

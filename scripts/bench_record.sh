@@ -25,19 +25,26 @@ for i in $(seq "$REPEATS"); do
   # speedups, the three spmspm dataflows, TTV/TTM, the four ablations,
   # multi-core partitioning, and the dataset generators). FSM is skipped:
   # it alone costs ~2 minutes on mico.
-  "$BIN/fig07_accels" --datasets E --record "$OUT/fig07_accels.json" >/dev/null
-  "$BIN/fig08_cpu_speedup" --datasets C,E --skip-fsm \
+  # --cost on every engine-driven bench: each records the soundness
+  # replay gate's gauges (cost.checked / cost.violations /
+  # cost.tightness), which `sc-report tightness` gates on below.
+  "$BIN/fig07_accels" --datasets E --cost --record "$OUT/fig07_accels.json" >/dev/null
+  "$BIN/fig08_cpu_speedup" --datasets C,E --skip-fsm --cost \
     --record "$OUT/fig08_cpu_speedup.json" >/dev/null
-  "$BIN/fig15_tensor" --matrices C,E --record "$OUT/fig15_tensor.json" >/dev/null
-  "$BIN/fig16_tensor_accels" --matrices C,E \
+  "$BIN/fig15_tensor" --matrices C,E --cost --record "$OUT/fig15_tensor.json" >/dev/null
+  "$BIN/fig16_tensor_accels" --matrices C,E --cost \
     --record "$OUT/fig16_tensor_accels.json" >/dev/null
-  "$BIN/ablations" --datasets E --record "$OUT/ablations.json" >/dev/null
+  "$BIN/ablations" --datasets E --cost --record "$OUT/ablations.json" >/dev/null
   # Both scheduler modes plus the sharded tensor kernels, with the
   # invariant sanitizer on: the dynamic scheduler is deterministic by
   # construction, so its records exact-compare like everything else.
-  "$BIN/multicore" --datasets E --sched both --chunk 8 --tensor --sanitize \
+  "$BIN/multicore" --datasets E --sched both --chunk 8 --tensor --sanitize --cost \
     --record "$OUT/multicore.json" >/dev/null
   "$BIN/datasets_report" --record "$OUT/datasets_report.json" >/dev/null
 done
 
 "$BIN/sc-report" verify "$OUT"
+# Cost gate: no workload's simulated cycles escaped its static bounds,
+# and the worst upper/simulated ratio stays within budget. --require
+# catches a silently dropped --cost flag above.
+"$BIN/sc-report" tightness --registry "$OUT" --require

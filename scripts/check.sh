@@ -21,6 +21,13 @@ echo "==> sc-verify programs/*.sasm (shipped corpus verifies clean)"
 cargo build --release -q -p sc-verify
 target/release/sc-verify programs/*.sasm
 
+echo "==> sc-cost programs/*.sasm (shipped corpus has finite cycle bounds)"
+cargo build --release -q -p sc-cost
+target/release/sc-cost --require-bounded programs/*.sasm
+
+echo "==> cost-bounds sidecar is fresh (results/cost_bounds.json)"
+cargo test -q --test cost_bounds
+
 echo "==> sc-report verify results/golden"
 cargo build --release -q -p sc-bench -p sc-report
 target/release/sc-report verify results/golden
@@ -28,8 +35,13 @@ target/release/sc-report verify results/golden
 echo "==> regenerate the golden matrix and gate on regressions"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
+# bench_record.sh runs the matrix with --cost and ends with the
+# soundness/tightness gate over the freshly recorded registry.
 bash scripts/bench_record.sh "$tmp" 1
 target/release/sc-report compare --baseline results/golden --candidate "$tmp"
+
+echo "==> cost gate on the committed goldens"
+target/release/sc-report tightness --registry results/golden --require
 
 echo "==> paper-fidelity scoreboard gate"
 target/release/sc-report scoreboard --registry results/golden \

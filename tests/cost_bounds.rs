@@ -1,0 +1,52 @@
+//! The committed `results/cost_bounds.json` sidecar stays in sync with
+//! the plan compiler and the cost analyzer.
+//!
+//! `examples/export_cost_bounds.rs` regenerates the file; this test
+//! re-renders the same document from fresh `Plan::emit_program` output
+//! and compares byte-for-byte, so any change that moves a static bound
+//! must also commit the new sidecar (a reviewable diff of exactly which
+//! bounds moved and by how much).
+
+use sc_gpm::App;
+use sparsecore::SparseCoreConfig;
+use std::path::Path;
+
+fn regenerate() -> String {
+    let cfg = SparseCoreConfig::paper();
+    let mut entries = Vec::new();
+    for app in App::FIG8 {
+        for (i, plan) in app.plans().iter().enumerate() {
+            let name = format!("{}_plan{i}.sasm", app.tag().to_lowercase());
+            entries.push((name, plan.emit_program()));
+        }
+    }
+    sc_cost::render_sidecar(&entries, &cfg)
+}
+
+#[test]
+fn cost_bounds_sidecar_is_fresh() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("results/cost_bounds.json");
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing results/cost_bounds.json ({e}); run `cargo run --example export_cost_bounds`"
+        )
+    });
+    assert_eq!(
+        committed,
+        regenerate(),
+        "results/cost_bounds.json is stale; run `cargo run --example export_cost_bounds`"
+    );
+}
+
+#[test]
+fn committed_bounds_cover_every_shipped_program() {
+    let doc = regenerate();
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("programs");
+    for entry in std::fs::read_dir(&dir).expect("programs/ exists") {
+        let name = entry.expect("read programs/").file_name().into_string().expect("utf-8 name");
+        assert!(
+            doc.contains(&format!("\"file\":\"{name}\"")),
+            "programs/{name} has no sidecar entry; extend the exporter"
+        );
+    }
+}

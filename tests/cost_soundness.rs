@@ -1,0 +1,418 @@
+//! Soundness of the static cost analyzer (`sc-cost`): for randomly
+//! generated well-formed programs, the cycles the real engine simulates
+//! always land inside the static `[lower, upper]` bounds — across 1-,
+//! 2-, and 6-SU configurations — and the bounds are monotone under
+//! program slicing (removing instructions never raises the lower
+//! bound).
+//!
+//! The mutation fixtures close the loop from the other side: each
+//! deliberately broken cost rule ([`CostMutation`]) must be *caught* by
+//! the replay gate — a mutated bound that still contained every
+//! simulated value would mean the gate can't detect an unsound
+//! analyzer.
+
+use proptest::prelude::*;
+use sc_cost::{analyze_cost, analyze_cost_with, CostMutation};
+use sc_isa::{Bound, Instr, Key, Priority, Program, StreamId, ValueOp};
+use sparsecore::{Engine, Interpreter, MemImage, SparseCoreConfig};
+
+/// Planted key/value arrays the programs draw from. Slots 6 and 7 hold
+/// *consecutive* keys so `S_VINTER` exercises the engine's dense-seek
+/// path (whose 16x dense-consumption charge the upper bound must cover).
+const POOL: usize = 8;
+
+fn key_addr(slot: usize) -> u64 {
+    0x1000 * (slot as u64 + 1)
+}
+
+fn val_addr(slot: usize) -> u64 {
+    0x100_000 + 0x1000 * (slot as u64 + 1)
+}
+
+fn slot_len(slot: usize) -> u32 {
+    if slot >= 6 {
+        40
+    } else {
+        4 + 17 * slot as u32
+    }
+}
+
+fn slot_keys(slot: usize) -> Vec<Key> {
+    if slot >= 6 {
+        // Dense: consecutive keys overlapping the sparse slots' range.
+        (0..slot_len(slot)).map(|i| (slot as u32 - 6) * 20 + i).collect()
+    } else {
+        (0..slot_len(slot)).map(|i| slot as u32 * 3 + i * 5).collect()
+    }
+}
+
+fn pool_image() -> MemImage {
+    let mut img = MemImage::new();
+    for slot in 0..POOL {
+        let keys = slot_keys(slot);
+        let vals = keys.iter().map(|&k| f64::from(k) * 0.25 + 1.0).collect();
+        img.add_keys(key_addr(slot), keys);
+        img.add_values(val_addr(slot), vals);
+    }
+    img
+}
+
+fn sread(slot: usize, sid: u32) -> Instr {
+    Instr::SRead {
+        key_addr: key_addr(slot),
+        len: slot_len(slot),
+        sid: StreamId::new(sid),
+        priority: Priority(0),
+    }
+}
+
+fn svread(slot: usize, sid: u32) -> Instr {
+    Instr::SVRead {
+        key_addr: key_addr(slot),
+        len: slot_len(slot),
+        sid: StreamId::new(sid),
+        val_addr: val_addr(slot),
+        priority: Priority(0),
+    }
+}
+
+/// Expand an action script into a well-formed program covering every
+/// computation shape the cost model prices: key set-ops (bounded and
+/// unbounded, materializing and count-only), value intersection
+/// (including the dense-seek path via slots 6/7), value merge, and
+/// element fetches. Every use is defined, nothing is double-freed, and
+/// everything is freed at the end.
+fn build_program(actions: &[(u8, u8, u8)], capacity: usize) -> Program {
+    let mut instrs: Vec<Instr> = Vec::new();
+    // (sid, is_key_value)
+    let mut live: Vec<(StreamId, bool)> = Vec::new();
+    let mut free_ids: Vec<u32> = (0..capacity as u32).rev().collect();
+    for &(op, x, y) in actions {
+        let n = live.len();
+        let kv: Vec<StreamId> = live.iter().filter(|(_, kv)| *kv).map(|(s, _)| *s).collect();
+        match op % 10 {
+            0 if !free_ids.is_empty() => {
+                let slot = x as usize % POOL;
+                let sid = free_ids.pop().expect("checked");
+                instrs.push(sread(slot, sid));
+                live.push((StreamId::new(sid), false));
+            }
+            1 if !free_ids.is_empty() => {
+                let slot = y as usize % POOL;
+                let sid = free_ids.pop().expect("checked");
+                instrs.push(svread(slot, sid));
+                live.push((StreamId::new(sid), true));
+            }
+            2 if n > 0 => {
+                let a = live[x as usize % n].0;
+                let b = live[y as usize % n].0;
+                let bound = if y % 3 == 0 { Bound::below(u32::from(x) * 2) } else { Bound::none() };
+                instrs.push(Instr::SInterC { a, b, bound });
+            }
+            3 if n > 0 && !free_ids.is_empty() => {
+                let a = live[x as usize % n].0;
+                let b = live[y as usize % n].0;
+                let out = StreamId::new(free_ids.pop().expect("checked"));
+                instrs.push(Instr::SInter { a, b, out, bound: Bound::none() });
+                live.push((out, false));
+            }
+            4 if n > 0 && !free_ids.is_empty() => {
+                let a = live[x as usize % n].0;
+                let b = live[y as usize % n].0;
+                let out = StreamId::new(free_ids.pop().expect("checked"));
+                let bound = if x % 2 == 0 { Bound::below(60) } else { Bound::none() };
+                instrs.push(Instr::SSub { a, b, out, bound });
+                live.push((out, false));
+            }
+            5 if n > 0 && !free_ids.is_empty() => {
+                let a = live[x as usize % n].0;
+                let b = live[y as usize % n].0;
+                let out = StreamId::new(free_ids.pop().expect("checked"));
+                instrs.push(Instr::SMerge { a, b, out });
+                live.push((out, false));
+            }
+            6 if kv.len() >= 2 => {
+                let a = kv[x as usize % kv.len()];
+                let b = kv[y as usize % kv.len()];
+                instrs.push(Instr::SVInter { a, b, op: ValueOp::Mac });
+            }
+            7 if kv.len() >= 2 && !free_ids.is_empty() => {
+                let a = kv[x as usize % kv.len()];
+                let b = kv[y as usize % kv.len()];
+                let out = StreamId::new(free_ids.pop().expect("checked"));
+                instrs.push(Instr::SVMerge { scale_a: 1.0, scale_b: 0.5, a, b, out });
+                live.push((out, true));
+            }
+            8 if n > 0 => {
+                let sid = live[x as usize % n].0;
+                instrs.push(Instr::SFetch { sid, offset: u32::from(y) % 8 });
+            }
+            9 if n > 0 => {
+                let (sid, _) = live.remove(x as usize % n);
+                instrs.push(Instr::SFree { sid });
+                free_ids.push(sid.raw());
+            }
+            _ => {}
+        }
+    }
+    for (sid, _) in live {
+        instrs.push(Instr::SFree { sid });
+    }
+    instrs.into_iter().collect()
+}
+
+/// Simulate `program` on a fresh engine and return the final cycle
+/// count. `Interpreter::run` does not drain in-flight SU work, so the
+/// gate must call `finish()` itself — exactly what the bench gate does.
+fn simulate(program: &Program, config: &SparseCoreConfig) -> u64 {
+    let mut engine = Engine::new(*config);
+    let image = pool_image();
+    Interpreter::new(&mut engine, &image)
+        .run(program)
+        .unwrap_or_else(|e| panic!("generated program faulted: {e:?}"));
+    engine.finish()
+}
+
+fn assert_sound(program: &Program, config: &SparseCoreConfig, label: &str) {
+    let cost = analyze_cost(program, config);
+    let cycles = simulate(program, config);
+    assert!(
+        cost.cycles.contains(cycles),
+        "{label}: simulated {cycles} outside static {} ({} instrs)\n{program}",
+        cost.cycles,
+        program.len(),
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Simulated cycles always land inside the static bounds, for the
+    /// paper config and its 1-, 2-, and 6-SU variants.
+    #[test]
+    fn simulated_cycles_inside_static_bounds(
+        actions in proptest::collection::vec((0u8..10, any::<u8>(), any::<u8>()), 0..40),
+    ) {
+        let program = build_program(&actions, 16);
+        for sus in [1usize, 2, 6] {
+            let config = SparseCoreConfig::with_sus(sus);
+            let cost = analyze_cost(&program, &config);
+            let cycles = simulate(&program, &config);
+            prop_assert!(
+                cost.cycles.contains(cycles),
+                "{sus}-SU: simulated {cycles} outside static {}\n{program}",
+                cost.cycles,
+            );
+        }
+    }
+
+    /// Slicing monotonicity: removing any single instruction never
+    /// raises the lower bound (dually, upper bounds never shrink below
+    /// the sliced program's upper when the slice stays bounded).
+    #[test]
+    fn slicing_never_raises_the_lower_bound(
+        actions in proptest::collection::vec((0u8..10, any::<u8>(), any::<u8>()), 1..30),
+        skip_seed in any::<u16>(),
+    ) {
+        let mut program = build_program(&actions, 16);
+        if program.is_empty() {
+            program = vec![sread(0, 0), Instr::SFree { sid: StreamId::new(0) }]
+                .into_iter()
+                .collect();
+        }
+        let config = SparseCoreConfig::paper();
+        let base = analyze_cost(&program, &config);
+        let skip = skip_seed as usize % program.len();
+        let sliced: Program = program
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != skip)
+            .map(|(_, ins)| *ins)
+            .collect();
+        let cut = analyze_cost(&sliced, &config);
+        prop_assert!(
+            cut.cycles.lower <= base.cycles.lower,
+            "removing instr {skip} raised lower {} -> {}",
+            base.cycles.lower,
+            cut.cycles.lower,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic soundness smoke: the canonical shapes, all configs.
+// ---------------------------------------------------------------------
+
+#[test]
+fn canonical_shapes_are_sound_across_configs() {
+    let shapes: Vec<(&str, Program)> = vec![
+        (
+            "triangle",
+            vec![
+                sread(3, 0),
+                sread(4, 1),
+                Instr::SInter {
+                    a: StreamId::new(0),
+                    b: StreamId::new(1),
+                    out: StreamId::new(2),
+                    bound: Bound::none(),
+                },
+                Instr::SFetch { sid: StreamId::new(2), offset: 0 },
+                Instr::SFree { sid: StreamId::new(0) },
+                Instr::SFree { sid: StreamId::new(1) },
+                Instr::SFree { sid: StreamId::new(2) },
+            ]
+            .into_iter()
+            .collect(),
+        ),
+        (
+            "dense-seek-vinter",
+            vec![
+                svread(6, 0),
+                svread(2, 1),
+                Instr::SVInter { a: StreamId::new(1), b: StreamId::new(0), op: ValueOp::Mac },
+                Instr::SFree { sid: StreamId::new(0) },
+                Instr::SFree { sid: StreamId::new(1) },
+            ]
+            .into_iter()
+            .collect(),
+        ),
+        (
+            "value-merge",
+            vec![
+                svread(1, 0),
+                svread(5, 1),
+                Instr::SVMerge {
+                    scale_a: 2.0,
+                    scale_b: 1.0,
+                    a: StreamId::new(0),
+                    b: StreamId::new(1),
+                    out: StreamId::new(2),
+                },
+                Instr::SFree { sid: StreamId::new(0) },
+                Instr::SFree { sid: StreamId::new(1) },
+                Instr::SFree { sid: StreamId::new(2) },
+            ]
+            .into_iter()
+            .collect(),
+        ),
+        (
+            "bounded-subtract",
+            vec![
+                sread(5, 0),
+                sread(2, 1),
+                Instr::SSub {
+                    a: StreamId::new(0),
+                    b: StreamId::new(1),
+                    out: StreamId::new(2),
+                    bound: Bound::below(30),
+                },
+                Instr::SMergeC { a: StreamId::new(1), b: StreamId::new(2) },
+                Instr::SFree { sid: StreamId::new(0) },
+                Instr::SFree { sid: StreamId::new(1) },
+                Instr::SFree { sid: StreamId::new(2) },
+            ]
+            .into_iter()
+            .collect(),
+        ),
+    ];
+    for (name, program) in &shapes {
+        for sus in [1usize, 2, 4, 6] {
+            assert_sound(program, &SparseCoreConfig::with_sus(sus), name);
+        }
+        assert_sound(program, &SparseCoreConfig::paper_one_su(), name);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mutation fixtures: a broken cost rule is caught by the replay gate.
+// ---------------------------------------------------------------------
+
+/// Dropping the SU warmup/bubble charge must push the upper bound below
+/// what the engine actually simulates (the warmup is real).
+#[test]
+fn mutation_dropped_warmup_is_caught() {
+    let program: Program = vec![
+        sread(0, 0),
+        sread(1, 1),
+        Instr::SInter {
+            a: StreamId::new(0),
+            b: StreamId::new(1),
+            out: StreamId::new(2),
+            bound: Bound::none(),
+        },
+        Instr::SFetch { sid: StreamId::new(2), offset: 0 },
+        Instr::SFree { sid: StreamId::new(0) },
+        Instr::SFree { sid: StreamId::new(1) },
+        Instr::SFree { sid: StreamId::new(2) },
+    ]
+    .into_iter()
+    .collect();
+    let config = SparseCoreConfig::paper();
+    let sound = analyze_cost(&program, &config);
+    let broken = analyze_cost_with(&program, &config, Some(CostMutation::DropWarmupCharge));
+    let cycles = simulate(&program, &config);
+    assert!(sound.cycles.contains(cycles), "sound bounds hold");
+    assert!(
+        !broken.cycles.contains(cycles),
+        "gate failed to catch the dropped warmup charge: simulated {cycles} in {}",
+        broken.cycles,
+    );
+}
+
+/// Halving the comparator upper bound must be caught on a
+/// compare-dominated workload (interleaved disjoint keys intersect at
+/// one element per cycle on the tiny config, whose supply rate is fast
+/// enough that the comparator is the bottleneck).
+#[test]
+fn mutation_halved_compare_is_caught() {
+    let len = 2048u32;
+    let mut img = MemImage::new();
+    img.add_keys(0x1000, (0..len).map(|i| 2 * i).collect());
+    img.add_keys(0x8000, (0..len).map(|i| 2 * i + 1).collect());
+    let program: Program = vec![
+        Instr::SRead { key_addr: 0x1000, len, sid: StreamId::new(0), priority: Priority(0) },
+        Instr::SRead { key_addr: 0x8000, len, sid: StreamId::new(1), priority: Priority(0) },
+        Instr::SInterC { a: StreamId::new(0), b: StreamId::new(1), bound: Bound::none() },
+        Instr::SFree { sid: StreamId::new(0) },
+        Instr::SFree { sid: StreamId::new(1) },
+    ]
+    .into_iter()
+    .collect();
+    let config = SparseCoreConfig::tiny();
+    let mut engine = Engine::new(config);
+    Interpreter::new(&mut engine, &img).run(&program).expect("clean run");
+    let cycles = engine.finish();
+    let sound = analyze_cost(&program, &config);
+    let broken = analyze_cost_with(&program, &config, Some(CostMutation::HalveCompare));
+    assert!(sound.cycles.contains(cycles), "sound bounds hold: {cycles} in {}", sound.cycles);
+    assert!(
+        !broken.cycles.contains(cycles),
+        "gate failed to catch the halved comparator bound: simulated {cycles} in {}",
+        broken.cycles,
+    );
+}
+
+/// Inflating the lower bound must be caught on a cheap, read-only
+/// program the engine finishes in a handful of cycles.
+#[test]
+fn mutation_inflated_lower_is_caught() {
+    let mut instrs: Vec<Instr> = Vec::new();
+    for n in 0..12u32 {
+        instrs.push(sread(n as usize % POOL, n));
+    }
+    for n in 0..12u32 {
+        instrs.push(Instr::SFree { sid: StreamId::new(n) });
+    }
+    let program: Program = instrs.into_iter().collect();
+    let config = SparseCoreConfig::paper();
+    let sound = analyze_cost(&program, &config);
+    let broken = analyze_cost_with(&program, &config, Some(CostMutation::InflateLower));
+    let cycles = simulate(&program, &config);
+    assert!(sound.cycles.contains(cycles), "sound bounds hold: {cycles} in {}", sound.cycles);
+    assert!(
+        !broken.cycles.contains(cycles),
+        "gate failed to catch the inflated lower bound: simulated {cycles} >= {}",
+        broken.cycles.lower,
+    );
+}
