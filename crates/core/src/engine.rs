@@ -231,6 +231,9 @@ impl Engine {
         if let Some(san) = &mut self.san {
             san.set_probe(probe.clone());
         }
+        if probe.spans_on() {
+            self.core.enable_span_log(sc_probe::spans::DEFAULT_RING);
+        }
         self.probe = probe;
     }
 
@@ -247,6 +250,23 @@ impl Engine {
     /// [`Engine::finish`] for it to also equal [`Engine::cycles`].
     pub fn attribution(&self) -> &sc_probe::Attribution {
         self.core.attribution()
+    }
+
+    /// Snapshot the core's span log (`None` unless the attached probe had
+    /// spans enabled when it was set). The caller labels the core id via
+    /// [`sc_probe::Probe::submit_spans`] or pads idle time first
+    /// ([`sc_probe::SpanSnapshot::pad_idle`]) in multicore runs.
+    pub fn span_snapshot(&self) -> Option<sc_probe::SpanSnapshot> {
+        self.core.span_snapshot()
+    }
+
+    /// Submit this engine's span log to the attached probe, labelled
+    /// `core`. Serial drivers call this once per workload after
+    /// [`Engine::finish`]; no-op when spans are off.
+    pub fn submit_spans(&self, core: usize) {
+        if let Some(snap) = self.core.span_snapshot() {
+            self.probe.submit_spans(core, snap);
+        }
     }
 
     /// Fold the current model state into the probe's metrics registry as
@@ -755,6 +775,9 @@ impl Engine {
                 }
                 if extra > 0 {
                     self.core.set_stall_ctx(AttrBin::ScacheRefill);
+                    // Distinguish the window fill from first-touch stream
+                    // setup in the span log.
+                    self.core.set_stall_site(sc_probe::Site::ScacheFill);
                     self.core.stall_memory(extra);
                 }
                 Ok(k)
@@ -1442,6 +1465,7 @@ impl Engine {
         // Draining means waiting for the last SU completion: the core is
         // blocked on outstanding comparisons, not on memory.
         let prev = self.core.set_stall_ctx(AttrBin::SuCompare);
+        self.core.set_stall_site(sc_probe::Site::Drain);
         self.core.wait_until(self.last_event);
         self.core.set_stall_ctx(prev);
         let t1 = self.core.cycles();

@@ -86,6 +86,7 @@ fn main() {
             assert_eq!(cpu.frequent, sc.frequent, "FSM result mismatch");
             let _ = (cpu_b.finish(), sc_b.finish());
             sc_b.engine().probe_snapshot();
+            sc_b.engine().submit_spans(0);
             cli.record(
                 &format!("fsm/mico/{threshold}"),
                 Some(&cfg),

@@ -38,6 +38,7 @@ fn main() {
             let stride = stride_for(app, d);
             let base =
                 run_sparsecore_probed(&g, app, SparseCoreConfig::with_sus(1), stride, &probe);
+            cli.discard_spans(); // baseline run, not a recorded workload
             let mut row = vec![format!("{app}/{}", d.tag())];
             for &n in &sus {
                 let cfg = SparseCoreConfig::with_sus(n);

@@ -37,6 +37,7 @@ fn main() {
             let stride = stride_for(app, d);
             let base =
                 run_sparsecore_probed(&g, app, SparseCoreConfig::with_bandwidth(2), stride, &probe);
+            cli.discard_spans(); // baseline run, not a recorded workload
             let mut row = vec![format!("{app}/{}", d.tag())];
             for &bw in &bws {
                 let cfg = SparseCoreConfig::with_bandwidth(bw);

@@ -17,7 +17,7 @@ use sc_gpm::plan::Induced;
 use sc_gpm::sched::{count_stream_dynamic_probed, DEFAULT_CHUNK};
 use sc_gpm::{Pattern, Plan};
 use sc_graph::Dataset;
-use sc_kernels::{gustavson_multicore, ttv_multicore};
+use sc_kernels::{gustavson_multicore, gustavson_multicore_probed, ttv_multicore_probed};
 use sc_tensor::{MatrixDataset, TensorDataset};
 use sparsecore::{SchedMode, SparseCoreConfig};
 
@@ -82,8 +82,10 @@ fn main() {
                 n,
             );
         }
-        // Everyone's baseline: the 1-core static run.
+        // Everyone's baseline: the 1-core static run. Its spans are
+        // discarded — the first recorded workload must not inherit them.
         let (base, _) = count_stream_parallel_probed(&g, &plan, cfg, true, 1, probe.clone());
+        cli.discard_spans();
         for &mode in &modes {
             let mut row = vec![d.tag().to_string(), mode.name().to_string()];
             let mut last_imbalance = 1.0;
@@ -157,7 +159,8 @@ fn tensor_section(cli: &BenchCli, modes: &[SchedMode], chunk: usize) {
             let mut row = vec![format!("spmspm/{}", m.tag()), mode.name().to_string()];
             let mut last_imbalance = 1.0;
             for &c in &CORES {
-                let (r, run, report) = gustavson_multicore(&a, &a, cfg, c, mode, chunk);
+                let (r, run, report) =
+                    gustavson_multicore_probed(&a, &a, cfg, c, mode, chunk, cli.probe());
                 if !report.is_empty() {
                     eprintln!("  sanitizer findings (spmspm {} / {c} cores):\n{report}", m.tag());
                 }
@@ -191,12 +194,14 @@ fn tensor_section(cli: &BenchCli, modes: &[SchedMode], chunk: usize) {
         }
         let d2 = a.dims()[2];
         let v: Vec<f64> = (0..d2).map(|i| 0.5 + (i % 17) as f64 * 0.1).collect();
-        let (_, base, _) = ttv_multicore(&a, &v, cfg, 1, SchedMode::Static, chunk);
+        let (_, base, _) =
+            ttv_multicore_probed(&a, &v, cfg, 1, SchedMode::Static, chunk, sc_probe::Probe::off());
         for &mode in modes {
             let mut row = vec![format!("ttv/{}", t.tag()), mode.name().to_string()];
             let mut last_imbalance = 1.0;
             for &c in &CORES {
-                let (r, run, report) = ttv_multicore(&a, &v, cfg, c, mode, chunk);
+                let (r, run, report) =
+                    ttv_multicore_probed(&a, &v, cfg, c, mode, chunk, cli.probe());
                 if !report.is_empty() {
                     eprintln!("  sanitizer findings (ttv {} / {c} cores):\n{report}", t.tag());
                 }

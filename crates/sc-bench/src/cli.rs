@@ -24,6 +24,14 @@
 //!   written. The worst observed tightness ratio (`upper / simulated`)
 //!   is published as the `cost.tightness` probe gauge so `--record`
 //!   carries it into the sc-report registry.
+//! - `--spans <path>` — keep per-core simulated-clock span logs
+//!   (`sc_probe::SpanLog`) in every engine and write them per workload
+//!   as a JSON document on exit (implies at least `--probe-level
+//!   metrics`). The document feeds `sc-report html`'s timeline.
+//! - `--explain <path>` — extract the simulated critical path of every
+//!   workload from its span logs (`sc_explain::extract`, which re-proves
+//!   the conservation invariant: path length == final simulated clock)
+//!   and write a text report; implies spans.
 //!
 //! Binary-specific flags (`--skip-fsm`, `--gramer`, `--matrices`, ...)
 //! stay in their binaries and read through [`BenchCli::flag`] /
@@ -51,6 +59,8 @@ pub struct BenchCli {
     trace: Option<PathBuf>,
     metrics: Option<PathBuf>,
     record: Option<PathBuf>,
+    spans: Option<PathBuf>,
+    explain: Option<PathBuf>,
     verify: bool,
     cost: bool,
     /// `(checked, rejected)` static-verification obligation counters;
@@ -64,6 +74,9 @@ pub struct BenchCli {
     cost_violated: Cell<usize>,
     cost_worst_tightness: Cell<f64>,
     records: RefCell<Vec<RunRecord>>,
+    /// Per-workload span snapshots drained from the probe at each
+    /// [`BenchCli::record`] call, in workload order.
+    span_docs: RefCell<Vec<(String, Vec<sc_probe::SpanSnapshot>)>>,
     /// Start of the current workload's wall-clock window: construction
     /// time, then each `record()` call re-arms it, so a record's
     /// `wall_ms` covers everything since the previous record (graph
@@ -81,6 +94,8 @@ const COMMON_SPECS: &[(&str, bool)] = &[
     ("--record", true),
     ("--verify", false),
     ("--cost", false),
+    ("--spans", true),
+    ("--explain", true),
 ];
 
 impl BenchCli {
@@ -138,6 +153,8 @@ impl BenchCli {
         let trace = value_of(&args, "--trace").map(PathBuf::from);
         let metrics = value_of(&args, "--metrics").map(PathBuf::from);
         let record = value_of(&args, "--record").map(PathBuf::from);
+        let spans = value_of(&args, "--spans").map(PathBuf::from);
+        let explain = value_of(&args, "--explain").map(PathBuf::from);
         let mut level = match value_of(&args, "--probe-level") {
             Some(s) => ProbeLevel::parse(&s).unwrap_or_else(|e| panic!("{e}")),
             None => ProbeLevel::Off,
@@ -146,10 +163,14 @@ impl BenchCli {
         if trace.is_some() {
             level = level.max(ProbeLevel::Trace);
         }
-        if metrics.is_some() || record.is_some() {
+        if metrics.is_some() || record.is_some() || spans.is_some() || explain.is_some() {
             level = level.max(ProbeLevel::Metrics);
         }
         let probe = Probe::new(level);
+        if spans.is_some() || explain.is_some() {
+            probe.enable_spans();
+            println!("# spans: ON (per-core simulated-clock span logs)\n");
+        }
         if probe.enabled() {
             println!("# probe: level {}\n", probe.level().name());
         }
@@ -176,6 +197,8 @@ impl BenchCli {
             trace,
             metrics,
             record,
+            spans,
+            explain,
             verify,
             cost,
             verify_checked: Cell::new(0),
@@ -184,6 +207,7 @@ impl BenchCli {
             cost_violated: Cell::new(0),
             cost_worst_tightness: Cell::new(1.0),
             records: RefCell::new(Vec::new()),
+            span_docs: RefCell::new(Vec::new()),
             last_mark: Cell::new(Instant::now()),
         }
     }
@@ -219,6 +243,11 @@ impl BenchCli {
     /// recomputing checksums) when nothing will be recorded.
     pub fn recording(&self) -> bool {
         self.record.is_some()
+    }
+
+    /// Is span logging active (`--spans` or `--explain`)?
+    pub fn spans_on(&self) -> bool {
+        self.spans.is_some() || self.explain.is_some()
     }
 
     /// Is `--verify` active? Benches can skip building verification
@@ -409,6 +438,16 @@ impl BenchCli {
     ) {
         let now = Instant::now();
         let wall_ms = now.duration_since(self.last_mark.replace(now)).as_secs_f64() * 1e3;
+        // Drain span snapshots per workload even without --record, so
+        // `--spans`/`--explain` work standalone. Draining here (at the
+        // same call sites `--record` already requires) keeps each
+        // workload's snapshots attributed to the right label.
+        if self.spans_on() {
+            let snaps = self.probe.take_spans();
+            if !snaps.is_empty() {
+                self.span_docs.borrow_mut().push((workload.to_string(), snaps));
+            }
+        }
         if self.record.is_none() {
             return;
         }
@@ -439,6 +478,22 @@ impl BenchCli {
     /// Records queued so far (tests inspect these without touching disk).
     pub fn pending_records(&self) -> Vec<RunRecord> {
         self.records.borrow().clone()
+    }
+
+    /// Span documents drained so far: `(workload, per-core snapshots)`
+    /// in workload order (tests inspect these without touching disk).
+    pub fn pending_spans(&self) -> Vec<(String, Vec<sc_probe::SpanSnapshot>)> {
+        self.span_docs.borrow().clone()
+    }
+
+    /// Drop any span snapshots submitted since the last drain. Benches
+    /// call this after un-recorded warmup or baseline runs, so those
+    /// runs' spans don't leak into the next recorded workload's
+    /// document.
+    pub fn discard_spans(&self) {
+        if self.spans_on() {
+            let _ = self.probe.take_spans();
+        }
     }
 
     /// Write the `--trace` / `--metrics` output files and flush queued
@@ -483,6 +538,50 @@ impl BenchCli {
                 self.probe.trace_len(),
                 path.display()
             );
+        }
+        if self.spans_on() {
+            let docs = self.span_docs.borrow();
+            assert!(
+                !docs.is_empty(),
+                "--spans/--explain given but no workload produced span snapshots (bench bug?)"
+            );
+            if let Some(path) = &self.spans {
+                let mut out = String::from("[");
+                for (i, (workload, snaps)) in docs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"workload\":");
+                    sc_probe::json::write_str(&mut out, workload);
+                    out.push_str(",\"spans\":");
+                    out.push_str(&sc_probe::spans::snapshots_to_json(snaps));
+                    out.push('}');
+                }
+                out.push_str("]\n");
+                std::fs::write(path, out)
+                    .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+                println!("# spans: {} workload span documents -> {}", docs.len(), path.display());
+            }
+            if let Some(path) = &self.explain {
+                let mut out = String::new();
+                for (workload, snaps) in docs.iter() {
+                    // `extract` re-proves conservation (critical-path
+                    // length == final simulated clock); a failure here is
+                    // a model bug and must not be written away quietly.
+                    let ex = sc_explain::extract(snaps)
+                        .unwrap_or_else(|e| panic!("explain {workload}: {e}"));
+                    out.push_str(&format!("== {workload} ==\n"));
+                    out.push_str(&ex.render_text());
+                    out.push('\n');
+                    println!(
+                        "# explain: {workload}: {} cycles on core {}",
+                        ex.makespan, ex.critical_core
+                    );
+                }
+                std::fs::write(path, out)
+                    .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+                println!("# explain: critical-path report -> {}", path.display());
+            }
         }
         if self.verify {
             let (checked, rejected) = self.verify_counts();
@@ -705,6 +804,45 @@ mod tests {
         c.verify_shard_plan("shards", 4, 103);
         c.verify_chunk_plan("chunks", &sparsecore::chunks(103, 16), 103);
         assert_eq!(c.verify_counts(), (4, 1));
+    }
+
+    #[test]
+    fn spans_flag_enables_span_logging_and_drains_per_workload() {
+        let c = cli(&["--spans", "/tmp/s.json"]);
+        assert!(c.spans_on());
+        // Spans imply the metrics level and flip the probe's span switch.
+        assert_eq!(c.probe().level(), ProbeLevel::Metrics);
+        assert!(c.probe().spans_on());
+
+        // Simulate an engine submitting one snapshot per workload.
+        let mut log = sc_probe::SpanLog::new(8);
+        log.record(7, sc_probe::Site::Scalar, sc_probe::AttrBin::ScalarOverlap);
+        c.probe().submit_spans(0, log.snapshot(0));
+        c.record("w1", None, 0, 7, None);
+        let docs = c.pending_spans();
+        assert_eq!(docs.len(), 1);
+        assert_eq!(docs[0].0, "w1");
+        assert_eq!(docs[0].1[0].total, 7);
+        // The drain is destructive: a second record without new
+        // submissions adds no document.
+        c.record("w2", None, 0, 0, None);
+        assert_eq!(c.pending_spans().len(), 1);
+    }
+
+    #[test]
+    fn explain_implies_spans() {
+        let c = cli(&["--explain", "/tmp/e.txt"]);
+        assert!(c.spans_on());
+        assert!(c.probe().spans_on());
+    }
+
+    #[test]
+    fn spans_are_off_by_default() {
+        let c = cli(&["--record", "/tmp/reg.json"]);
+        assert!(!c.spans_on());
+        assert!(!c.probe().spans_on());
+        c.record("w", None, 0, 0, None);
+        assert!(c.pending_spans().is_empty());
     }
 
     #[test]

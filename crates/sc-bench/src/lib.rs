@@ -128,6 +128,7 @@ pub fn run_sparsecore_probed(
     }
     let cycles = backend.finish() * stride as u64;
     backend.engine().probe_snapshot();
+    backend.engine().submit_spans(0);
     Measurement { count, cycles, stride }
 }
 
@@ -151,6 +152,7 @@ pub fn run_sparsecore_backend<'g>(
     }
     let cycles = backend.finish() * stride as u64;
     backend.engine().probe_snapshot();
+    backend.engine().submit_spans(0);
     (Measurement { count, cycles, stride }, backend)
 }
 

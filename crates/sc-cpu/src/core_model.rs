@@ -17,7 +17,7 @@
 use crate::breakdown::{Breakdown, Region};
 use crate::predictor::Gshare;
 use sc_mem::{Addr, Cycle, HierarchyConfig, MemoryHierarchy};
-use sc_probe::{AttrBin, Attribution, Probe};
+use sc_probe::{AttrBin, Attribution, Probe, Site, SpanLog, SpanSnapshot};
 use std::collections::VecDeque;
 
 /// Configuration of the core model (paper Table 2 plus standard OoO
@@ -107,6 +107,14 @@ pub struct Core {
     /// switches this around waits whose cause it knows (SU completion,
     /// S-Cache refill, translator); plain memory pressure is the default.
     stall_ctx: AttrBin,
+    /// The dependency-edge site blocking stalls are logged under.
+    /// Follows [`Core::set_stall_ctx`] (each bin has a canonical site)
+    /// unless the engine refines it via [`Core::set_stall_site`].
+    stall_site: Site,
+    /// Simulated-clock span log, allocated only when the driving probe
+    /// requested spans ([`Core::enable_span_log`]). `None` costs one
+    /// null-pointer branch per clock advance.
+    span_log: Option<Box<SpanLog>>,
 }
 
 /// Why the core clock advanced. Each advance lands in exactly one legacy
@@ -139,6 +147,20 @@ impl Core {
             slack_uops: 0,
             attr: Attribution::new(),
             stall_ctx: AttrBin::MemStall,
+            stall_site: Site::MemReady,
+            span_log: None,
+        }
+    }
+
+    /// The canonical wait site for a stall bin, used when the engine sets
+    /// only the bin (see [`Core::set_stall_ctx`]).
+    fn default_site(bin: AttrBin) -> Site {
+        match bin {
+            AttrBin::SuCompare => Site::SuRetire,
+            AttrBin::ScacheRefill => Site::StreamSetup,
+            AttrBin::MemStall => Site::MemReady,
+            AttrBin::Translator => Site::Translator,
+            AttrBin::ScalarOverlap => Site::Scalar,
         }
     }
 
@@ -198,30 +220,70 @@ impl Core {
 
     /// Set the bin that blocking stalls are charged to; returns the
     /// previous context so callers can restore it around a scoped wait.
+    /// The stall *site* follows to the bin's canonical site; use
+    /// [`Core::set_stall_site`] afterwards to refine it.
     pub fn set_stall_ctx(&mut self, bin: AttrBin) -> AttrBin {
+        self.stall_site = Self::default_site(bin);
         std::mem::replace(&mut self.stall_ctx, bin)
+    }
+
+    /// Refine the dependency-edge site for subsequent blocking stalls
+    /// (the bin stays as set by [`Core::set_stall_ctx`]); returns the
+    /// previous site.
+    pub fn set_stall_site(&mut self, site: Site) -> Site {
+        std::mem::replace(&mut self.stall_site, site)
+    }
+
+    /// Start keeping a span log with a `cap`-segment ring. If cycles have
+    /// already elapsed they are backfilled from the attribution bins (at
+    /// each bin's canonical site) so the log stays conserving:
+    /// `span cursor == cycles()` from here on.
+    pub fn enable_span_log(&mut self, cap: usize) {
+        if self.span_log.is_some() {
+            return;
+        }
+        let mut log = Box::new(SpanLog::new(cap));
+        for bin in AttrBin::ALL {
+            log.record(self.attr.get(bin), Self::default_site(bin), bin);
+        }
+        self.span_log = Some(log);
+    }
+
+    /// The span log, when enabled.
+    pub fn span_log(&self) -> Option<&SpanLog> {
+        self.span_log.as_deref()
+    }
+
+    /// Snapshot the span log (`None` when spans were never enabled). The
+    /// caller labels the core id when submitting to the probe.
+    pub fn span_snapshot(&self) -> Option<SpanSnapshot> {
+        self.span_log.as_ref().map(|log| log.snapshot(0))
     }
 
     #[inline]
     fn advance(&mut self, cycles: Cycle, kind: AdvanceKind) {
         self.cycle += cycles;
-        match kind {
+        let (site, bin) = match kind {
             AdvanceKind::Compute(region) => {
                 self.breakdown.add_compute(region, cycles);
-                self.attr.add(AttrBin::ScalarOverlap, cycles);
+                (Site::Scalar, AttrBin::ScalarOverlap)
             }
             AdvanceKind::Mispredict => {
                 self.breakdown.mispredict += cycles;
-                self.attr.add(AttrBin::ScalarOverlap, cycles);
+                (Site::Scalar, AttrBin::ScalarOverlap)
             }
             AdvanceKind::Stall => {
                 self.breakdown.cache += cycles;
-                self.attr.add(self.stall_ctx, cycles);
+                (self.stall_site, self.stall_ctx)
             }
             AdvanceKind::Intersection => {
                 self.breakdown.intersection += cycles;
-                self.attr.add(AttrBin::SuCompare, cycles);
+                (Site::SuBusy, AttrBin::SuCompare)
             }
+        };
+        self.attr.add(bin, cycles);
+        if let Some(log) = &mut self.span_log {
+            log.record(cycles, site, bin);
         }
     }
 
@@ -479,6 +541,31 @@ mod tests {
         assert_eq!(core.attribution().total(), core.cycles());
         // Attribution and the legacy breakdown cover the same clock.
         assert_eq!(core.attribution().total(), core.breakdown().total());
+    }
+
+    #[test]
+    fn span_log_conserves_and_backfills() {
+        let mut core = Core::new(CoreConfig::tiny());
+        core.ops(10);
+        core.stall_memory(7);
+        // Enabled mid-run: elapsed cycles are backfilled so the cursor
+        // matches the clock from here on.
+        core.enable_span_log(64);
+        assert_eq!(core.span_log().unwrap().cursor(), core.cycles());
+        core.set_stall_ctx(AttrBin::ScacheRefill);
+        core.set_stall_site(Site::ScacheFill);
+        core.stall_memory(9);
+        core.add_intersection_cycles(4);
+        let snap = core.span_snapshot().unwrap();
+        assert_eq!(snap.total, core.cycles());
+        assert_eq!(snap.grid_total(), core.cycles());
+        assert_eq!(snap.per_bin()[AttrBin::ScacheRefill.index()], 9);
+        assert_eq!(snap.totals[Site::ScacheFill as usize][AttrBin::ScacheRefill.index()], 9);
+        assert_eq!(snap.totals[Site::SuBusy as usize][AttrBin::SuCompare.index()], 4);
+        // Bins and the span grid agree exactly.
+        for bin in AttrBin::ALL {
+            assert_eq!(snap.per_bin()[bin.index()], core.attribution().get(bin), "{}", bin.name());
+        }
     }
 
     #[test]

@@ -83,7 +83,8 @@ pub fn count_stream_parallel_probed(
     probe: sc_probe::Probe,
 ) -> (MultiCoreRun, sc_lint::Report) {
     assert!(num_cores > 0, "need at least one core");
-    let results: Vec<(u64, u64, Vec<sc_lint::Diagnostic>)> = std::thread::scope(|scope| {
+    type CoreResult = (u64, u64, Vec<sc_lint::Diagnostic>, Option<sc_probe::SpanSnapshot>);
+    let results: Vec<CoreResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..num_cores)
             .map(|c| {
                 let probe = probe.clone();
@@ -106,8 +107,9 @@ pub fn count_stream_parallel_probed(
                             );
                         }
                     }
+                    let spans = backend.engine().span_snapshot();
                     let diags = backend.engine_mut().sanitizer_final_report();
-                    (n, cycles, diags.diagnostics().to_vec())
+                    (n, cycles, diags.diagnostics().to_vec(), spans)
                 })
             })
             .collect();
@@ -115,11 +117,23 @@ pub fn count_stream_parallel_probed(
     });
     let mut diags = Vec::new();
     let mut counts = Vec::with_capacity(results.len());
-    for (n, t, d) in results {
+    let mut spans = Vec::with_capacity(results.len());
+    for (n, t, d, s) in results {
         counts.push((n, t));
         diags.extend(d);
+        spans.push(s);
     }
-    (fold(counts), sc_lint::Report::new(diags))
+    let run = fold(counts);
+    // Submit per-core span logs in core order, padded to the makespan
+    // (threads finish in host order, but submission order here is the
+    // deterministic core order the dashboard and diff rely on).
+    for (c, snap) in spans.into_iter().enumerate() {
+        if let Some(mut snap) = snap {
+            snap.pad_idle(run.cycles);
+            probe.submit_spans(c, snap);
+        }
+    }
+    (run, sc_lint::Report::new(diags))
 }
 
 /// Run `plan` across `num_cores` baseline CPU cores.

@@ -112,6 +112,16 @@ pub fn count_stream_dynamic_probed(
     let mut diags = Vec::new();
     for (c, b) in backends.iter_mut().enumerate() {
         let cycles = sched.per_core[c];
+        // The single-core conservation law (attribution bins sum to the
+        // core's clock by construction at `Core::advance`) must survive
+        // dynamic scheduling: each core's bins sum to *that core's*
+        // final simulated clock, which is exactly what the scheduler
+        // recorded as its per-core completion time.
+        assert_eq!(
+            b.engine().attribution().total(),
+            cycles,
+            "core {c}: attribution bins must sum to the core's simulated clock"
+        );
         if probe.enabled() {
             probe.observe("gpm.core_cycles", cycles);
             if probe.tracing() {
@@ -121,6 +131,13 @@ pub fn count_stream_dynamic_probed(
                     cycles,
                     &[("core", c as u64), ("count", counts[c]), ("cycles", cycles)],
                 );
+            }
+            // Per-core span logs, padded with the end-of-run chunk-claim
+            // idle so the dashboard timeline lines every core up against
+            // the makespan (the slowest core carries the critical path).
+            if let Some(mut snap) = b.engine().span_snapshot() {
+                snap.pad_idle(sched.makespan());
+                probe.submit_spans(c, snap);
             }
         }
         diags.extend(b.engine_mut().sanitizer_final_report().diagnostics().to_vec());
@@ -236,6 +253,16 @@ fn run_chunks(
             probe.count("gpm.chunks", 1);
             probe.observe("gpm.chunk_cycles", r.cycles());
             if probe.tracing() {
+                // The row-block tier of the span hierarchy: one complete
+                // span per claimed chunk, stamped with the claiming
+                // core's simulated clock.
+                probe.span(
+                    sc_probe::Track::Gpm,
+                    "chunk",
+                    r.claimed_at,
+                    r.done_at,
+                    &[("core", r.core as u64), ("chunk", r.chunk.index as u64)],
+                );
                 probe.instant_at(
                     sc_probe::Track::Gpm,
                     "chunk_done",

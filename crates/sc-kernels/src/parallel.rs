@@ -97,6 +97,26 @@ pub fn gustavson_multicore(
     mode: SchedMode,
     chunk_size: usize,
 ) -> (SpmspmResult, MultiCoreRun, sc_lint::Report) {
+    gustavson_multicore_probed(a, b, cfg, num_cores, mode, chunk_size, sc_probe::Probe::off())
+}
+
+/// Like [`gustavson_multicore`], with an observability probe shared by
+/// every core engine; per-core span logs are submitted in core order,
+/// padded to the makespan ([`sc_probe::SpanSnapshot::pad_idle`]).
+///
+/// # Panics
+///
+/// Panics on shape mismatch, zero `num_cores`, or (in dynamic mode) zero
+/// `chunk_size`.
+pub fn gustavson_multicore_probed(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    cfg: SparseCoreConfig,
+    num_cores: usize,
+    mode: SchedMode,
+    chunk_size: usize,
+    probe: sc_probe::Probe,
+) -> (SpmspmResult, MultiCoreRun, sc_lint::Report) {
     assert_eq!(a.cols(), b.rows(), "shape mismatch");
     assert!(num_cores > 0, "need at least one core");
     let m = a.rows();
@@ -104,6 +124,7 @@ pub fn gustavson_multicore(
     let mut backends: Vec<StreamTensorBackend> = (0..num_cores)
         .map(|_| {
             let mut engine = Engine::new(cfg);
+            engine.set_probe(probe.clone());
             protect_matrix(&mut engine, a);
             protect_matrix(&mut engine, b);
             StreamTensorBackend::with_engine(engine)
@@ -131,6 +152,7 @@ pub fn gustavson_multicore(
     let (per_core, report) = drain(&mut backends, 0x420);
     let c = rows_to_matrix(m, b.cols(), &rows);
     let run = fold(c.nnz() as u64, per_core);
+    submit_core_spans(&backends, &probe, run.cycles);
     (SpmspmResult { c, cycles: run.cycles, rows_simulated: m }, run, report)
 }
 
@@ -155,6 +177,26 @@ pub fn ttv_multicore(
     mode: SchedMode,
     chunk_size: usize,
 ) -> (TtvResult, MultiCoreRun, sc_lint::Report) {
+    ttv_multicore_probed(a, v, cfg, num_cores, mode, chunk_size, sc_probe::Probe::off())
+}
+
+/// Like [`ttv_multicore`], with an observability probe shared by every
+/// core engine; per-core span logs are submitted in core order, padded
+/// to the makespan.
+///
+/// # Panics
+///
+/// Panics on shape mismatch, zero `num_cores`, or (in dynamic mode) zero
+/// `chunk_size`.
+pub fn ttv_multicore_probed(
+    a: &CsfTensor,
+    v: &[f64],
+    cfg: SparseCoreConfig,
+    num_cores: usize,
+    mode: SchedMode,
+    chunk_size: usize,
+    probe: sc_probe::Probe,
+) -> (TtvResult, MultiCoreRun, sc_lint::Report) {
     assert_eq!(v.len(), a.dims()[2], "vector length must match mode 2");
     assert!(num_cores > 0, "need at least one core");
     let [d0, d1, _] = a.dims();
@@ -163,6 +205,7 @@ pub fn ttv_multicore(
     let mut backends: Vec<StreamTensorBackend> = (0..num_cores)
         .map(|_| {
             let mut engine = Engine::new(cfg);
+            engine.set_probe(probe.clone());
             protect_tensor(&mut engine, a);
             StreamTensorBackend::with_engine(engine)
         })
@@ -196,7 +239,20 @@ pub fn ttv_multicore(
     }
     let (per_core, report) = drain(&mut backends, 0x500);
     let run = fold(nf as u64, per_core);
+    submit_core_spans(&backends, &probe, run.cycles);
     (TtvResult { z, cycles: run.cycles }, run, report)
+}
+
+/// Submit every backend engine's span log to the probe in core order,
+/// padded with the end-of-run idle up to the makespan. No-op when spans
+/// are off.
+fn submit_core_spans(backends: &[StreamTensorBackend], probe: &sc_probe::Probe, makespan: u64) {
+    for (c, be) in backends.iter().enumerate() {
+        if let Some(mut snap) = be.engine().span_snapshot() {
+            snap.pad_idle(makespan);
+            probe.submit_spans(c, snap);
+        }
+    }
 }
 
 /// Per-core epilogue: the loop-exit branch, a final drain, and the

@@ -51,7 +51,8 @@ impl AttrBin {
         }
     }
 
-    fn index(self) -> usize {
+    /// Position in [`AttrBin::ALL`] (array index for per-bin grids).
+    pub fn index(self) -> usize {
         match self {
             AttrBin::SuCompare => 0,
             AttrBin::ScacheRefill => 1,
@@ -59,6 +60,11 @@ impl AttrBin {
             AttrBin::Translator => 3,
             AttrBin::ScalarOverlap => 4,
         }
+    }
+
+    /// Parse a [`AttrBin::name`] back (span-log JSON round trip).
+    pub fn parse(s: &str) -> Option<AttrBin> {
+        AttrBin::ALL.into_iter().find(|b| b.name() == s)
     }
 }
 

@@ -3,7 +3,13 @@
 //! ```text
 //! probe-check --trace out.trace.json --metrics out.metrics.json
 //! probe-check --metrics out.metrics.json --expect engine.reads
+//! probe-check --metrics out.metrics.json --expect gpm.chunks=12
 //! ```
+//!
+//! `--expect PATH` requires the dotted path to resolve to a numeric
+//! leaf; `--expect PATH=VALUE` additionally requires it to equal VALUE.
+//! Unsatisfied expectations are reported in one line naming every
+//! missing/mismatched metric.
 //!
 //! Exits non-zero (printing the first violation) if any file fails its
 //! structural validator; CI's probe-smoke job gates on this. A metrics
@@ -60,7 +66,9 @@ fn usage(err: &str) -> ExitCode {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: probe-check [--trace FILE]... [--metrics FILE]... [--expect DOTTED.PATH]...");
+    eprintln!(
+        "usage: probe-check [--trace FILE]... [--metrics FILE]... [--expect DOTTED.PATH[=VALUE]]..."
+    );
     if err.is_empty() {
         ExitCode::SUCCESS
     } else {

@@ -188,8 +188,15 @@ impl CheckReport {
     }
 }
 
-/// Validate trace and metrics files, and require every `expects` dotted
-/// path to resolve to a numeric leaf in every metrics file.
+/// Validate trace and metrics files, and require every `expects` entry
+/// to be satisfied by every metrics file. An entry is either a dotted
+/// path (`attr.total` — must resolve to a numeric leaf) or
+/// `path=value` (`gpm.chunks=12` — must resolve *and* equal `value`).
+///
+/// Unsatisfied expectations for one file are reported as a **single
+/// failure line naming every missing and mismatched metric**, so a CI
+/// log shows exactly which instrumentation fell out rather than a bare
+/// count.
 ///
 /// A metrics snapshot with **zero** leaf metrics is a hard failure: it
 /// is structurally valid JSON (`{}`), but a probe that recorded nothing
@@ -228,13 +235,36 @@ pub fn check_probe_files(traces: &[String], metrics: &[String], expects: &[Strin
                 continue;
             }
         }
+        let mut missing: Vec<String> = Vec::new();
+        let mut mismatched: Vec<String> = Vec::new();
         for e in expects {
-            match metrics_value(&doc, e) {
-                Some(v) => report.passed.push(format!("ok: {path}: {e} = {v}")),
-                None => {
-                    report.failures.push(format!("FAIL: {path}: expected metric '{e}' missing"))
-                }
+            let (key, want) = match e.split_once('=') {
+                Some((k, v)) => (k, Some(v)),
+                None => (e.as_str(), None),
+            };
+            match (metrics_value(&doc, key), want) {
+                (None, _) => missing.push(key.to_string()),
+                (Some(got), Some(want)) => match want.parse::<f64>() {
+                    Ok(w) if got == w => report.passed.push(format!("ok: {path}: {key} = {got}")),
+                    Ok(w) => mismatched.push(format!("{key} (got {got}, want {w})")),
+                    Err(_) => mismatched.push(format!("{key} (unparseable expectation '{want}')")),
+                },
+                (Some(got), None) => report.passed.push(format!("ok: {path}: {key} = {got}")),
             }
+        }
+        if !missing.is_empty() || !mismatched.is_empty() {
+            let mut parts = Vec::new();
+            if !missing.is_empty() {
+                parts.push(format!("missing [{}]", missing.join(", ")));
+            }
+            if !mismatched.is_empty() {
+                parts.push(format!("mismatched [{}]", mismatched.join(", ")));
+            }
+            report.failures.push(format!(
+                "FAIL: {path}: {} expected metric(s) unsatisfied: {}",
+                missing.len() + mismatched.len(),
+                parts.join("; ")
+            ));
         }
     }
     report
@@ -316,6 +346,42 @@ mod tests {
         // An unreadable file is a failure, not a skip.
         let report = check_probe_files(&[], &["/nonexistent/metrics.json".into()], &[]);
         assert!(!report.ok());
+    }
+
+    #[test]
+    fn expect_failure_names_every_missing_and_mismatched_metric() {
+        let dir = std::env::temp_dir();
+        let file = dir.join("sc_probe_check_expect_names.json");
+        let mut r = crate::metrics::Registry::new();
+        r.count("engine.reads", 3);
+        r.gauge("attr.total", 100.0);
+        std::fs::write(&file, r.to_json()).unwrap();
+        let path = file.to_string_lossy().into_owned();
+
+        let expects = vec![
+            "engine.reads".into(),   // present: ok
+            "engine.writes".into(),  // missing
+            "attr.nope".into(),      // missing
+            "attr.total=100".into(), // present, matches
+            "engine.reads=4".into(), // present, wrong value
+        ];
+        let report = check_probe_files(&[], std::slice::from_ref(&path), &expects);
+        assert!(!report.ok());
+        assert_eq!(report.failures.len(), 1, "one consolidated line: {:?}", report.failures);
+        // Pin the exact message shape: every offender named, with counts.
+        assert_eq!(
+            report.failures[0],
+            format!(
+                "FAIL: {path}: 3 expected metric(s) unsatisfied: \
+                 missing [engine.writes, attr.nope]; mismatched [engine.reads (got 3, want 4)]"
+            )
+        );
+        // The satisfied expectations still pass individually.
+        assert!(
+            report.passed.iter().any(|p| p.contains("attr.total = 100")),
+            "{:?}",
+            report.passed
+        );
     }
 
     #[test]

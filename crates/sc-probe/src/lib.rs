@@ -22,9 +22,11 @@ pub mod attr;
 pub mod check;
 pub mod json;
 pub mod metrics;
+pub mod spans;
 pub mod trace;
 
 pub use attr::{AttrBin, Attribution};
+pub use spans::{Site, SpanLog, SpanSnapshot};
 pub use trace::Track;
 
 #[cfg(feature = "probe")]
@@ -73,6 +75,8 @@ struct ProbeInner {
     now: u64,
     registry: metrics::Registry,
     tracer: trace::Tracer,
+    spans: bool,
+    span_buf: Vec<SpanSnapshot>,
 }
 
 /// The shared probe handle. Cloning is cheap (an `Arc` bump); all clones
@@ -299,6 +303,40 @@ impl Probe {
     pub fn trace_len(&self) -> usize {
         self.inner.as_ref().map_or(0, |i| i.lock().unwrap().tracer.len())
     }
+
+    /// Ask instrumented engines to keep per-core [`SpanLog`]s and submit
+    /// snapshots here. No-op on a disabled probe, so probe level 0 never
+    /// allocates a log.
+    pub fn enable_spans(&self) {
+        if let Some(inner) = &self.inner {
+            inner.lock().unwrap().spans = true;
+        }
+    }
+
+    /// Has span recording been requested (and is the probe live)?
+    #[inline]
+    pub fn spans_on(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.lock().unwrap().spans)
+    }
+
+    /// Submit one core's span snapshot, labelling it `core`. Drivers call
+    /// this once per simulated core per workload; [`Probe::take_spans`]
+    /// drains in submission order.
+    pub fn submit_spans(&self, core: usize, mut snap: SpanSnapshot) {
+        if let Some(inner) = &self.inner {
+            snap.core = core;
+            inner.lock().unwrap().span_buf.push(snap);
+        }
+    }
+
+    /// Drain the submitted span snapshots (empty when disabled). The
+    /// bench CLI calls this per workload so snapshots never cross
+    /// workload boundaries.
+    pub fn take_spans(&self) -> Vec<SpanSnapshot> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |i| std::mem::take(&mut i.lock().unwrap().span_buf))
+    }
 }
 
 /// The compiled-out probe: same API, every method a no-op, so
@@ -364,6 +402,15 @@ impl Probe {
     pub fn trace_len(&self) -> usize {
         0
     }
+    pub fn enable_spans(&self) {}
+    #[inline]
+    pub fn spans_on(&self) -> bool {
+        false
+    }
+    pub fn submit_spans(&self, _core: usize, _snap: SpanSnapshot) {}
+    pub fn take_spans(&self) -> Vec<SpanSnapshot> {
+        Vec::new()
+    }
 }
 
 #[cfg(all(test, feature = "probe"))]
@@ -411,6 +458,27 @@ mod tests {
         assert_eq!(p.now(), 100);
         p.span(Track::Engine, "s", 90, 250, &[]);
         assert_eq!(p.now(), 250);
+    }
+
+    #[test]
+    fn spans_are_opt_in_and_drain_once() {
+        let p = Probe::new(ProbeLevel::Metrics);
+        assert!(!p.spans_on());
+        p.enable_spans();
+        assert!(p.spans_on());
+        let mut log = SpanLog::new(4);
+        log.record(3, Site::Scalar, AttrBin::ScalarOverlap);
+        p.submit_spans(1, log.snapshot(0));
+        let drained = p.take_spans();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].core, 1, "submit relabels the core");
+        assert!(p.take_spans().is_empty(), "drain is destructive");
+        // Disabled probes never buffer.
+        let off = Probe::off();
+        off.enable_spans();
+        assert!(!off.spans_on());
+        off.submit_spans(0, log.snapshot(0));
+        assert!(off.take_spans().is_empty());
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //!                      [--markdown <file>] [--gate]
 //! sc-report tightness --registry <path>... [--max <ratio>] [--require]
 //! sc-report trend --registry <path>... [--out <file>]
+//! sc-report explain --baseline <path> --candidate <path> [--top <n>]
+//! sc-report html --registry <path>... [--spans <file>] [--reference <file>]
+//!                [--bench-json <file>] --out <file>
 //! ```
 //!
 //! Paths may be single record files or registry directories (every
@@ -30,6 +33,8 @@ fn main() -> ExitCode {
         "scoreboard" => cmd_scoreboard(rest),
         "tightness" => cmd_tightness(rest),
         "trend" => cmd_trend(rest),
+        "explain" => cmd_explain(rest),
+        "html" => cmd_html(rest),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -72,6 +77,18 @@ usage: sc-report <verify|compare|scoreboard|tightness|trend> [options]
 
   trend --registry <path>... [--out <file>]
       Cross-commit trajectory; --out writes the BENCH_sc.json document.
+
+  explain --baseline <path> --candidate <path> [--top <n>]
+      Rank the cycle delta between two registries by (workload x stall
+      cause) from the records' 5-bin attribution (default --top 10).
+      Also printed automatically when a compare fails.
+
+  html --registry <path>... [--spans <file>] [--reference <file>]
+       [--bench-json <file>] --out <file>
+      Write a single self-contained HTML dashboard: attribution treemap
+      from the registry, per-core span timelines from a bench --spans
+      document, fidelity scoreboard from the reference file, and trend
+      sparklines from BENCH_sc.json.
 
 Paths may be record files or registry directories (results/runs, results/golden).
 ";
@@ -174,7 +191,74 @@ fn cmd_compare(args: &[String]) -> Result<bool, String> {
     opts.strict_wall = flag_value(&parsed, "--strict-wall").is_some();
     let verdict = compare(&baseline, &candidate, opts);
     print!("{}", verdict.render());
+    if !verdict.pass() {
+        // The causal follow-up CI wants on every red gate: where did
+        // the cycles move? Top contributors by (workload x stall cause).
+        print!("{}", sc_report::explain_render(&baseline, &candidate, 10));
+    }
     Ok(verdict.pass())
+}
+
+fn cmd_explain(args: &[String]) -> Result<bool, String> {
+    let (positional, parsed) =
+        parse_flags(args, &[("--baseline", true), ("--candidate", true), ("--top", true)])?;
+    if !positional.is_empty() {
+        return Err(format!("unexpected argument '{}'", positional[0].display()));
+    }
+    let baseline = registry_records(&parsed, "--baseline")?;
+    let candidate = registry_records(&parsed, "--candidate")?;
+    let mut top = 10usize;
+    if let Some(t) = flag_value(&parsed, "--top") {
+        top = t.parse().map_err(|e| format!("--top '{t}': {e}"))?;
+    }
+    print!("{}", sc_report::explain_render(&baseline, &candidate, top));
+    Ok(true)
+}
+
+fn cmd_html(args: &[String]) -> Result<bool, String> {
+    let (positional, parsed) = parse_flags(
+        args,
+        &[
+            ("--registry", true),
+            ("--spans", true),
+            ("--reference", true),
+            ("--bench-json", true),
+            ("--out", true),
+        ],
+    )?;
+    if !positional.is_empty() {
+        return Err(format!("unexpected argument '{}'", positional[0].display()));
+    }
+    let records = registry_records(&parsed, "--registry")?;
+    let mut dash = sc_report::Dashboard { records, ..Default::default() };
+    for path in flag_values(&parsed, "--spans") {
+        let doc = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        dash.spans.extend(sc_report::parse_spans_doc(&doc).map_err(|e| format!("{path}: {e}"))?);
+    }
+    if let Some(ref_path) = flag_value(&parsed, "--reference") {
+        let doc = std::fs::read_to_string(ref_path).map_err(|e| format!("{ref_path}: {e}"))?;
+        let reference = Reference::parse(&doc).map_err(|e| format!("{ref_path}: {e}"))?;
+        dash.scores = scoreboard(&dash.records, &reference);
+    }
+    dash.trend = match flag_value(&parsed, "--bench-json") {
+        Some(path) => {
+            let doc = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            sc_report::parse_bench_json(&doc).map_err(|e| format!("{path}: {e}"))?
+        }
+        // No trajectory file: derive a single-point trend from the
+        // registry itself so the section still renders.
+        None => trend::trend(&dash.records),
+    };
+    let out = flag_value(&parsed, "--out").ok_or("missing --out <file>")?;
+    std::fs::write(out, sc_report::html_render(&dash)).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "wrote {out} ({} records, {} span workloads, {} figures, {} trend points)",
+        dash.records.len(),
+        dash.spans.len(),
+        dash.scores.len(),
+        dash.trend.len()
+    );
+    Ok(true)
 }
 
 fn cmd_scoreboard(args: &[String]) -> Result<bool, String> {

@@ -14,11 +14,18 @@
 //! * [`scoreboard`] / [`trend`] — paper fidelity (measured geomean
 //!   speedups vs the figures in `results/paper_reference.json`, with
 //!   per-figure drift budgets) and the cross-commit `BENCH_sc.json`
-//!   trajectory CI archives.
+//!   trajectory CI archives;
+//! * [`explain`] / [`html`] — the causal layer: rank the cycle delta
+//!   between two registries by (workload × stall cause) via
+//!   `sc-explain` (printed automatically when a compare fails), and the
+//!   self-contained HTML dashboard (scoreboard, attribution treemap,
+//!   per-core span timelines, trend sparklines).
 //!
 //! Everything is hand-rolled JSON over `sc_probe::json` — the workspace
 //! builds offline, with no serde.
 
+pub mod explain;
+pub mod html;
 pub mod record;
 pub mod registry;
 pub mod regress;
@@ -26,6 +33,8 @@ pub mod scoreboard;
 pub mod tightness;
 pub mod trend;
 
+pub use explain::{attr_map, rank as explain_rank, render as explain_render};
+pub use html::{parse_bench_json, parse_spans_doc, render as html_render, Dashboard};
 pub use record::{
     append_records, current_git_sha, fnv1a, hex, parse_record_file, render_record_file, RunRecord,
     ATTR_BINS, SCHEMA_VERSION,

@@ -31,6 +31,16 @@ for i in $(seq "$REPEATS"); do
   "$BIN/fig07_accels" --datasets E --cost --record "$OUT/fig07_accels.json" >/dev/null
   "$BIN/fig08_cpu_speedup" --datasets C,E --skip-fsm --cost \
     --record "$OUT/fig08_cpu_speedup.json" >/dev/null
+  # The attribution/ablation-sweep figures: one small dataset each keeps
+  # them cheap, but every one of the 12 bench bins now lands in the
+  # registry, so `sc-report trend`'s per_bench coverage map is complete
+  # and a bin silently dropping out of the matrix fails the compare.
+  "$BIN/fig09_10_breakdown" --datasets C --cost \
+    --record "$OUT/fig09_10_breakdown.json" >/dev/null
+  "$BIN/fig11_gpu" --datasets E --cost --record "$OUT/fig11_gpu.json" >/dev/null
+  "$BIN/fig12_sus" --datasets E --cost --record "$OUT/fig12_sus.json" >/dev/null
+  "$BIN/fig13_bandwidth" --datasets E --cost --record "$OUT/fig13_bandwidth.json" >/dev/null
+  "$BIN/fig14_lengths" --datasets E --cost --record "$OUT/fig14_lengths.json" >/dev/null
   "$BIN/fig15_tensor" --matrices C,E --cost --record "$OUT/fig15_tensor.json" >/dev/null
   "$BIN/fig16_tensor_accels" --matrices C,E --cost \
     --record "$OUT/fig16_tensor_accels.json" >/dev/null

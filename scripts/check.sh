@@ -40,6 +40,20 @@ trap 'rm -rf "$tmp"' EXIT
 bash scripts/bench_record.sh "$tmp" 1
 target/release/sc-report compare --baseline results/golden --candidate "$tmp"
 
+echo "==> explain smoke: spans, critical path, attribution diff, dashboard"
+smoke="$tmp/smoke"
+mkdir -p "$smoke"
+target/release/fig09_10_breakdown --datasets C \
+  --spans "$smoke/fig09.spans.json" --explain "$smoke/fig09.explain.txt" >/dev/null
+grep -q "critical path:" "$smoke/fig09.explain.txt"
+target/release/sc-report explain \
+  --baseline results/golden --candidate "$tmp" >/dev/null
+target/release/sc-report html --registry "$tmp" \
+  --spans "$smoke/fig09.spans.json" \
+  --reference results/paper_reference.json \
+  --out "$smoke/dashboard.html"
+test -s "$smoke/dashboard.html"
+
 echo "==> cost gate on the committed goldens"
 target/release/sc-report tightness --registry results/golden --require
 
