@@ -19,6 +19,7 @@ use sc_gpm::exec::{self, SetBackend, StreamBackend};
 use sc_gpm::plan::Induced;
 use sc_gpm::{iep, App, Pattern, Plan};
 use sc_graph::Dataset;
+use sc_host::Phase;
 use sparsecore::{Engine, SparseCoreConfig};
 
 fn main() {
@@ -36,18 +37,23 @@ fn main() {
     println!("# Ablation 1: bounded intersection (Figure 2(b)) vs post-filtering (2(a))\n");
     let mut rows = Vec::new();
     for &d in &datasets {
-        let g = d.build();
+        let g = cli.in_phase(Phase::Generate, || d.build());
         let order = [0usize, 1, 2, 3];
         let pat = Pattern::tailed_triangle();
         let stride = stride_for(App::TailedTriangle, d);
         let cfg = SparseCoreConfig::paper();
         let run = |plan: &Plan| {
-            let mut b = StreamBackend::with_engine(&g, Engine::new(cfg), false);
-            let (n, _) = exec::count_sampled(&g, plan, &mut b, stride);
-            (n, b.finish() * stride as u64)
+            cli.in_phase(Phase::Simulate, || {
+                let mut b = StreamBackend::with_engine(&g, Engine::new(cfg), false);
+                let (n, _) = exec::count_sampled(&g, plan, &mut b, stride);
+                (n, b.finish() * stride as u64)
+            })
         };
-        let (n1, bounded) = run(&Plan::compile(&pat, &order, Induced::Vertex));
-        let (n2, unbounded) = run(&Plan::compile_unbounded(&pat, &order, Induced::Vertex));
+        let plan = cli.in_phase(Phase::Emit, || Plan::compile(&pat, &order, Induced::Vertex));
+        let plan_unbounded =
+            cli.in_phase(Phase::Emit, || Plan::compile_unbounded(&pat, &order, Induced::Vertex));
+        let (n1, bounded) = run(&plan);
+        let (n2, unbounded) = run(&plan_unbounded);
         assert_eq!(n1, n2);
         cli.record(&format!("bounded/{}", d.tag()), Some(&cfg), n1, bounded, Some(unbounded));
         rows.push(vec![
@@ -73,11 +79,14 @@ fn main() {
         (App::Clique5, App::Clique5NoNested),
     ] {
         for &d in &datasets {
-            let g = d.build();
+            let g = cli.in_phase(Phase::Generate, || d.build());
             let stride = stride_for(without, d);
             let cfg = SparseCoreConfig::paper();
-            let a = run_sparsecore_probed(&g, with, cfg, stride, &probe);
-            let b = run_sparsecore_probed(&g, without, cfg, stride, &probe);
+            let a = cli
+                .in_phase(Phase::Simulate, || run_sparsecore_probed(&g, with, cfg, stride, &probe));
+            let b = cli.in_phase(Phase::Simulate, || {
+                run_sparsecore_probed(&g, without, cfg, stride, &probe)
+            });
             assert_eq!(a.count, b.count);
             cli.record(
                 &format!("nested/{with}/{}", d.tag()),
@@ -106,13 +115,17 @@ fn main() {
     println!("# Ablation 3: scratchpad (16 KiB) vs none\n");
     let mut rows = Vec::new();
     for &d in &datasets {
-        let g = d.build();
+        let g = cli.in_phase(Phase::Generate, || d.build());
         let stride = stride_for(App::Triangle, d);
         let cfg = SparseCoreConfig::paper();
-        let with = run_sparsecore_probed(&g, App::Triangle, cfg, stride, &probe);
+        let with = cli.in_phase(Phase::Simulate, || {
+            run_sparsecore_probed(&g, App::Triangle, cfg, stride, &probe)
+        });
         let mut no_sp = SparseCoreConfig::paper();
         no_sp.scratchpad.size_bytes = 0;
-        let without = run_sparsecore_probed(&g, App::Triangle, no_sp, stride, &probe);
+        let without = cli.in_phase(Phase::Simulate, || {
+            run_sparsecore_probed(&g, App::Triangle, no_sp, stride, &probe)
+        });
         assert_eq!(with.count, without.count);
         cli.record(
             &format!("scratchpad/{}", d.tag()),
@@ -136,10 +149,10 @@ fn main() {
     println!("\n# Ablation 4: IEP three-chain counting vs enumeration (software-only)\n");
     let mut rows = Vec::new();
     for &d in &datasets {
-        let g = d.build();
+        let g = cli.in_phase(Phase::Generate, || d.build());
         let cfg = SparseCoreConfig::paper();
-        let enumerated = App::ThreeChain.run_stream(&g, cfg);
-        let via_iep = iep::count_stream(&g, cfg);
+        let enumerated = cli.in_phase(Phase::Simulate, || App::ThreeChain.run_stream(&g, cfg));
+        let via_iep = cli.in_phase(Phase::Simulate, || iep::count_stream(&g, cfg));
         assert_eq!(enumerated.count, via_iep.three_chains);
         cli.record(
             &format!("iep/{}", d.tag()),

@@ -9,6 +9,7 @@
 use sc_bench::{render_table, BenchCli};
 use sc_gpm::App;
 use sc_graph::Dataset;
+use sc_host::Phase;
 use sc_tensor::{MatrixDataset, TensorDataset};
 
 fn main() {
@@ -36,7 +37,7 @@ fn main() {
     let mut rows = Vec::new();
     for d in Dataset::ALL {
         let spec = d.spec();
-        let g = d.build();
+        let g = cli.in_phase(Phase::Generate, || d.build());
         // Edge count as the functional checksum: the generators are
         // deterministic, so any change means the workloads changed.
         cli.record(&format!("table4/{}", spec.tag), None, g.num_edges() as u64, 0, None);
@@ -74,7 +75,7 @@ fn main() {
     let mut rows = Vec::new();
     for m in MatrixDataset::ALL {
         let spec = m.spec();
-        let built = m.build();
+        let built = cli.in_phase(Phase::Generate, || m.build());
         cli.record(&format!("table5m/{}", spec.tag), None, built.nnz() as u64, 0, None);
         rows.push(vec![
             spec.tag.to_string(),
@@ -109,7 +110,7 @@ fn main() {
     let mut rows = Vec::new();
     for t in TensorDataset::ALL {
         let spec = t.spec();
-        let built = t.build();
+        let built = cli.in_phase(Phase::Generate, || t.build());
         cli.record(&format!("table5t/{}", spec.tag), None, built.nnz() as u64, 0, None);
         rows.push(vec![
             spec.tag.to_string(),

@@ -15,6 +15,7 @@ use sc_bench::{gmean, render_table, run_sparsecore_probed, stride_for, BenchCli}
 use sc_gpm::exec::{self, SetBackend};
 use sc_gpm::App;
 use sc_graph::Dataset;
+use sc_host::Phase;
 use sparsecore::SparseCoreConfig;
 
 fn main() {
@@ -42,10 +43,12 @@ fn main() {
         let mut row = vec![app.tag().to_string()];
         let mut speedups = Vec::new();
         for &d in &datasets {
-            let g = d.build();
+            let g = cli.in_phase(Phase::Generate, || d.build());
             let stride = stride_for(app, d);
             let cfg = SparseCoreConfig::paper_one_su();
-            let sc = run_sparsecore_probed(&g, app, cfg, stride, &probe);
+            let sc = cli
+                .in_phase(Phase::Simulate, || run_sparsecore_probed(&g, app, cfg, stride, &probe));
+            let sim = cli.phase(Phase::Simulate);
             let mut fm = FlexMinerModel::new(&g);
             let mut fm_count = 0;
             for plan in app.plans() {
@@ -53,6 +56,7 @@ fn main() {
                 fm_count += est;
             }
             let fm_cycles = fm.finish() * stride as u64;
+            drop(sim);
             assert_eq!(sc.count, fm_count, "{app} on {d}");
             cli.record(
                 &format!("fm/{app}/{}", d.tag()),
@@ -86,16 +90,19 @@ fn main() {
     for (app, k) in [(App::Triangle, 3), (App::Clique4, 4), (App::Clique5, 5)] {
         let mut row = vec![app.tag().to_string()];
         for &d in &datasets {
-            let g = d.build();
+            let g = cli.in_phase(Phase::Generate, || d.build());
             let stride = stride_for(app, d).max(4); // TrieJax enumerates k! per clique
             let cfg = SparseCoreConfig::paper_one_su();
-            let sc = run_sparsecore_probed(&g, app, cfg, stride, &probe);
+            let sc = cli
+                .in_phase(Phase::Simulate, || run_sparsecore_probed(&g, app, cfg, stride, &probe));
             // TrieJax model runs unsampled per start vertex internally;
             // subsample by running on the same stride via cycle scaling.
-            let tj = triejax::count_cliques(&g, k);
+            let tj = cli.in_phase(Phase::Simulate, || triejax::count_cliques(&g, k));
             assert_eq!(
                 tj.embeddings,
-                run_sparsecore_probed(&g, app, cfg, 1, &probe).count * triejax::factorial(k),
+                cli.in_phase(Phase::Simulate, || run_sparsecore_probed(&g, app, cfg, 1, &probe))
+                    .count
+                    * triejax::factorial(k),
                 "{app} on {d}: TrieJax embeddings should be k! x cliques"
             );
             cli.record(
@@ -128,10 +135,12 @@ fn main() {
         println!("# Section 6.3.1: SparseCore speedup over GRAMER (triangle)\n");
         let mut rows = Vec::new();
         for &d in &datasets {
-            let g = d.build();
+            let g = cli.in_phase(Phase::Generate, || d.build());
             let cfg = SparseCoreConfig::paper_one_su();
-            let sc = run_sparsecore_probed(&g, App::Triangle, cfg, 1, &probe);
-            let gr = gramer::mine_clique(&g, 3);
+            let sc = cli.in_phase(Phase::Simulate, || {
+                run_sparsecore_probed(&g, App::Triangle, cfg, 1, &probe)
+            });
+            let gr = cli.in_phase(Phase::Simulate, || gramer::mine_clique(&g, 3));
             cli.record(
                 &format!("gramer/T/{}", d.tag()),
                 Some(&cfg),

@@ -14,6 +14,7 @@ use sc_gpm::exec::SetBackend;
 use sc_gpm::fsm::{assign_labels, run_fsm};
 use sc_gpm::{App, ScalarBackend, StreamBackend};
 use sc_graph::Dataset;
+use sc_host::Phase;
 use sparsecore::{Engine, SparseCoreConfig};
 
 fn main() {
@@ -36,11 +37,12 @@ fn main() {
         let mut row = vec![app.tag().to_string()];
         let mut speedups = Vec::new();
         for &d in &datasets {
-            let g = d.build();
+            let g = cli.in_phase(Phase::Generate, || d.build());
             let stride = stride_for(app, d);
-            let cpu = run_cpu(&g, app, stride);
+            let cpu = cli.in_phase(Phase::Simulate, || run_cpu(&g, app, stride));
             let cfg = SparseCoreConfig::paper();
-            let sc = run_sparsecore_probed(&g, app, cfg, stride, &probe);
+            let sc = cli
+                .in_phase(Phase::Simulate, || run_sparsecore_probed(&g, app, cfg, stride, &probe));
             assert_eq!(cpu.count, sc.count, "count mismatch for {app} on {d} (stride {stride})");
             cli.record(
                 &format!("{app}/{}", d.tag()),
@@ -72,10 +74,11 @@ fn main() {
 
     if !skip_fsm {
         println!("# FSM on mico (MNI support thresholds)");
-        let g = Dataset::Mico.build();
-        let labels = assign_labels(&g, 4, 0x5eed);
+        let g = cli.in_phase(Phase::Generate, || Dataset::Mico.build());
+        let labels = cli.in_phase(Phase::Generate, || assign_labels(&g, 4, 0x5eed));
         let mut rows = Vec::new();
         for threshold in [1000u64, 2000] {
+            let sim = cli.phase(Phase::Simulate);
             let mut cpu_b = ScalarBackend::new(&g);
             let cpu = run_fsm(&g, &labels, threshold, &mut cpu_b);
             let cfg = SparseCoreConfig::paper();
@@ -87,6 +90,7 @@ fn main() {
             let _ = (cpu_b.finish(), sc_b.finish());
             sc_b.engine().probe_snapshot();
             sc_b.engine().submit_spans(0);
+            drop(sim);
             cli.record(
                 &format!("fsm/mico/{threshold}"),
                 Some(&cfg),

@@ -29,6 +29,7 @@ use sc_gpm::exec::{self, ScalarBackend, SetBackend, StreamBackend};
 use sc_gpm::sched::{count_stream_dynamic_probed, DEFAULT_CHUNK};
 use sc_gpm::App;
 use sc_graph::Dataset;
+use sc_host::Phase;
 use sc_probe::{AttrBin, Probe, ProbeLevel};
 use sparsecore::{Engine, SparseCoreConfig};
 
@@ -65,13 +66,15 @@ fn main() {
     let mut rows = Vec::new();
     for app in apps {
         for &d in &datasets {
-            let g = d.build();
+            let g = cli.in_phase(Phase::Generate, || d.build());
             let stride = stride_for(app, d);
+            let sim = cli.phase(Phase::Simulate);
             let mut b = ScalarBackend::new(&g);
             for plan in app.plans() {
                 exec::count_sampled(&g, &plan, &mut b, stride);
             }
             b.finish();
+            drop(sim);
             let [c, m, o, i] = b.core().breakdown().fractions();
             rows.push(vec![
                 format!("{app}/{}", d.tag()),
@@ -92,9 +95,10 @@ fn main() {
     let mut rows = Vec::new();
     for app in apps {
         for &d in &datasets {
-            let g = d.build();
+            let g = cli.in_phase(Phase::Generate, || d.build());
             let stride = stride_for(app, d);
             let cfg = SparseCoreConfig::paper();
+            let sim = cli.phase(Phase::Simulate);
             let mut engine = Engine::new(cfg);
             engine.set_probe(cli.probe());
             let mut b = StreamBackend::with_engine(&g, engine, app.uses_nested());
@@ -104,6 +108,7 @@ fn main() {
                 count += est;
             }
             let cycles = b.finish();
+            drop(sim);
             let attr = *b.engine().attribution();
             assert_eq!(
                 attr.total(),
@@ -128,7 +133,7 @@ fn main() {
 
     if cli.value("--sched") == Some("dynamic") {
         let cores: usize = cli.value("--cores").map_or(6, |v| v.parse().expect("--cores N"));
-        multicore_attribution(&datasets, cores);
+        multicore_attribution(&cli, &datasets, cores);
     }
     cli.write_probe_outputs();
 }
@@ -139,7 +144,7 @@ fn main() {
 /// (The scheduler re-asserts the same law internally from the engines'
 /// attribution registers; here it is re-proved from the span snapshots,
 /// which carry the bins at site granularity.)
-fn multicore_attribution(datasets: &[Dataset], cores: usize) {
+fn multicore_attribution(cli: &BenchCli, datasets: &[Dataset], cores: usize) {
     println!("\n# Multicore (dynamic): per-core cycle attribution conservation\n");
     // A section-local probe with spans on, so the per-core bins are
     // observable even when the process-level probe is off.
@@ -152,17 +157,19 @@ fn multicore_attribution(datasets: &[Dataset], cores: usize) {
         .collect();
     let mut rows = Vec::new();
     for &d in datasets {
-        let g = d.build();
+        let g = cli.in_phase(Phase::Generate, || d.build());
         let plan = &App::Triangle.plans()[0];
-        let (run, _) = count_stream_dynamic_probed(
-            &g,
-            plan,
-            SparseCoreConfig::paper(),
-            true,
-            cores,
-            DEFAULT_CHUNK,
-            probe.clone(),
-        );
+        let (run, _) = cli.in_phase(Phase::Simulate, || {
+            count_stream_dynamic_probed(
+                &g,
+                plan,
+                SparseCoreConfig::paper(),
+                true,
+                cores,
+                DEFAULT_CHUNK,
+                probe.clone(),
+            )
+        });
         let snaps = probe.take_spans();
         assert_eq!(snaps.len(), cores, "{}: one span snapshot per core", d.tag());
         for snap in &snaps {

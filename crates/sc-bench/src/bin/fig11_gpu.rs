@@ -12,6 +12,7 @@ use sc_accel::gpu::{estimate, GpuConfig};
 use sc_bench::{render_table, run_sparsecore_probed, stride_for, BenchCli};
 use sc_gpm::App;
 use sc_graph::Dataset;
+use sc_host::Phase;
 use sparsecore::SparseCoreConfig;
 
 fn main() {
@@ -46,12 +47,15 @@ fn main() {
     let mut rows = Vec::new();
     for app in apps {
         for &d in &datasets {
-            let g = d.build();
+            let g = cli.in_phase(Phase::Generate, || d.build());
             let stride = stride_for(app, d);
             let cfg = SparseCoreConfig::paper();
-            let sc = run_sparsecore_probed(&g, app, cfg, stride, &probe);
-            let gpu_with = estimate(&g, app, GpuConfig::k40m(), true);
-            let gpu_without = estimate(&g, app, GpuConfig::k40m(), false);
+            let sc = cli
+                .in_phase(Phase::Simulate, || run_sparsecore_probed(&g, app, cfg, stride, &probe));
+            let gpu_with =
+                cli.in_phase(Phase::Simulate, || estimate(&g, app, GpuConfig::k40m(), true));
+            let gpu_without =
+                cli.in_phase(Phase::Simulate, || estimate(&g, app, GpuConfig::k40m(), false));
             cli.record(
                 &format!("{app}/{}", d.tag()),
                 Some(&cfg),

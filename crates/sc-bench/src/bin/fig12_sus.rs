@@ -12,6 +12,7 @@ use sc_gpm::plan::Induced;
 use sc_gpm::sched::{count_stream_dynamic, DEFAULT_CHUNK};
 use sc_gpm::{App, Pattern, Plan};
 use sc_graph::Dataset;
+use sc_host::Phase;
 use sparsecore::SparseCoreConfig;
 
 fn main() {
@@ -34,15 +35,18 @@ fn main() {
     let mut rows = Vec::new();
     for app in App::FIG8 {
         for &d in &datasets {
-            let g = d.build();
+            let g = cli.in_phase(Phase::Generate, || d.build());
             let stride = stride_for(app, d);
-            let base =
-                run_sparsecore_probed(&g, app, SparseCoreConfig::with_sus(1), stride, &probe);
+            let base = cli.in_phase(Phase::Simulate, || {
+                run_sparsecore_probed(&g, app, SparseCoreConfig::with_sus(1), stride, &probe)
+            });
             cli.discard_spans(); // baseline run, not a recorded workload
             let mut row = vec![format!("{app}/{}", d.tag())];
             for &n in &sus {
                 let cfg = SparseCoreConfig::with_sus(n);
-                let m = run_sparsecore_probed(&g, app, cfg, stride, &probe);
+                let m = cli.in_phase(Phase::Simulate, || {
+                    run_sparsecore_probed(&g, app, cfg, stride, &probe)
+                });
                 assert_eq!(m.count, base.count);
                 cli.record(
                     &format!("{app}/{}/su{n}", d.tag()),
@@ -63,14 +67,17 @@ fn main() {
     // dynamically-scheduled cores at 1 and 4 SUs. Not part of the golden
     // record matrix — the multicore bin owns those records.
     println!("\n# SUs x six dynamically-scheduled cores (triangle counting)\n");
-    let plan = Plan::compile(&Pattern::triangle(), &[0, 1, 2], Induced::Vertex);
+    let plan = cli
+        .in_phase(Phase::Emit, || Plan::compile(&Pattern::triangle(), &[0, 1, 2], Induced::Vertex));
     let mut rows = Vec::new();
     for &d in &datasets {
-        let g = d.build();
-        let base =
-            count_stream_dynamic(&g, &plan, SparseCoreConfig::with_sus(1), true, 6, DEFAULT_CHUNK);
-        let wide =
-            count_stream_dynamic(&g, &plan, SparseCoreConfig::with_sus(4), true, 6, DEFAULT_CHUNK);
+        let g = cli.in_phase(Phase::Generate, || d.build());
+        let base = cli.in_phase(Phase::Simulate, || {
+            count_stream_dynamic(&g, &plan, SparseCoreConfig::with_sus(1), true, 6, DEFAULT_CHUNK)
+        });
+        let wide = cli.in_phase(Phase::Simulate, || {
+            count_stream_dynamic(&g, &plan, SparseCoreConfig::with_sus(4), true, 6, DEFAULT_CHUNK)
+        });
         assert_eq!(base.count, wide.count);
         rows.push(vec![
             d.tag().to_string(),

@@ -11,6 +11,7 @@
 use sc_bench::{render_table, run_sparsecore_probed, stride_for, BenchCli};
 use sc_gpm::App;
 use sc_graph::Dataset;
+use sc_host::Phase;
 use sparsecore::SparseCoreConfig;
 
 fn main() {
@@ -33,15 +34,18 @@ fn main() {
     let mut rows = Vec::new();
     for app in App::FIG8 {
         for &d in &datasets {
-            let g = d.build();
+            let g = cli.in_phase(Phase::Generate, || d.build());
             let stride = stride_for(app, d);
-            let base =
-                run_sparsecore_probed(&g, app, SparseCoreConfig::with_bandwidth(2), stride, &probe);
+            let base = cli.in_phase(Phase::Simulate, || {
+                run_sparsecore_probed(&g, app, SparseCoreConfig::with_bandwidth(2), stride, &probe)
+            });
             cli.discard_spans(); // baseline run, not a recorded workload
             let mut row = vec![format!("{app}/{}", d.tag())];
             for &bw in &bws {
                 let cfg = SparseCoreConfig::with_bandwidth(bw);
-                let m = run_sparsecore_probed(&g, app, cfg, stride, &probe);
+                let m = cli.in_phase(Phase::Simulate, || {
+                    run_sparsecore_probed(&g, app, cfg, stride, &probe)
+                });
                 assert_eq!(m.count, base.count);
                 cli.record(
                     &format!("{app}/{}/bw{bw}", d.tag()),

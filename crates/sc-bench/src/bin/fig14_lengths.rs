@@ -17,6 +17,7 @@
 use sc_bench::{render_table, run_sparsecore_backend, stride_for, BenchCli};
 use sc_gpm::App;
 use sc_graph::Dataset;
+use sc_host::Phase;
 use sparsecore::SparseCoreConfig;
 
 const POINTS: [u32; 9] = [0, 5, 10, 25, 50, 100, 200, 300, 500];
@@ -34,12 +35,8 @@ fn main() {
     let cli = BenchCli::parse();
     sc_bench::verify_gpm_apps(&cli, &App::FIG8);
     sc_bench::cost_gpm_apps(&cli, &App::FIG8);
-    sc_bench::cost_check_lengths(
-        &cli,
-        &Dataset::EmailEuCore.build(),
-        App::Triangle,
-        SparseCoreConfig::paper(),
-    );
+    let euc = cli.in_phase(Phase::Generate, || Dataset::EmailEuCore.build());
+    sc_bench::cost_check_lengths(&cli, &euc, App::Triangle, SparseCoreConfig::paper());
     let header: Vec<String> = std::iter::once("series".to_string())
         .chain(POINTS.iter().map(|p| format!("<={p}")))
         .chain(["mean".to_string()])
@@ -54,12 +51,14 @@ fn main() {
         App::Clique5,
         App::TailedTriangle,
     ];
-    let g = Dataset::EmailEuCore.build();
+    let g = &euc;
     let mut rows = Vec::new();
     for app in apps {
         let stride = stride_for(app, Dataset::EmailEuCore);
         let cfg = SparseCoreConfig::paper();
-        let (m, backend) = run_sparsecore_backend(&g, app, cfg, stride, &cli.probe());
+        let (m, backend) = cli.in_phase(Phase::Simulate, || {
+            run_sparsecore_backend(g, app, cfg, stride, &cli.probe())
+        });
         cli.record(&format!("cdf/{}", app.tag()), Some(&cfg), m.count, m.cycles, None);
         rows.push(cdf_row(app.tag().to_string(), &backend.engine().stats().lengths));
     }
@@ -68,10 +67,12 @@ fn main() {
     println!("\n# Figure 14 (right): triangle-counting stream-length CDFs by dataset\n");
     let mut rows = Vec::new();
     for d in Dataset::ALL {
-        let g = d.build();
+        let g = cli.in_phase(Phase::Generate, || d.build());
         let stride = stride_for(App::Triangle, d);
         let cfg = SparseCoreConfig::paper();
-        let (m, backend) = run_sparsecore_backend(&g, App::Triangle, cfg, stride, &cli.probe());
+        let (m, backend) = cli.in_phase(Phase::Simulate, || {
+            run_sparsecore_backend(&g, App::Triangle, cfg, stride, &cli.probe())
+        });
         cli.record(&format!("tc/{}", d.tag()), Some(&cfg), m.count, m.cycles, None);
         rows.push(cdf_row(d.tag().to_string(), &backend.engine().stats().lengths));
     }

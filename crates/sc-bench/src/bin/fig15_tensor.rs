@@ -15,6 +15,7 @@
 //! [--matrices C,E,F] [--skip-tensors]`
 
 use sc_bench::{gmean, render_table, BenchCli};
+use sc_host::Phase;
 use sc_kernels::{
     adaptive, adaptive_oracle, gustavson, gustavson_sampled, inner_product, outer_product,
     outer_product_sampled, ttm_sampled, ttv_sampled, AdaptiveOptions, InnerOptions,
@@ -80,10 +81,11 @@ fn main() {
     let mut rows = Vec::new();
     let (mut sp_in, mut sp_out, mut sp_gus) = (Vec::new(), Vec::new(), Vec::new());
     for &m in &matrices {
-        let a = m.build();
-        let acsc = a.to_csc();
+        let a = cli.in_phase(Phase::Generate, || m.build());
+        let acsc = cli.in_phase(Phase::Generate, || a.to_csc());
         let opts = inner_opts(m);
 
+        let sim = cli.phase(Phase::Simulate);
         let cpu_in = inner_product(&a, &acsc, &mut ScalarTensorBackend::new(), opts);
         let sc_in =
             inner_product(&a, &acsc, &mut StreamTensorBackend::with_engine(mk_engine()), opts);
@@ -103,6 +105,7 @@ fn main() {
         let sc_gus =
             gustavson_sampled(&a, &a, &mut StreamTensorBackend::with_engine(mk_engine()), stride);
         let s_gus = cpu_gus.cycles as f64 / sc_gus.cycles.max(1) as f64;
+        drop(sim);
 
         // Product nnz is the functional checksum: both sides must build
         // the same C, and the regression gate exact-compares it.
@@ -157,12 +160,16 @@ fn main() {
     ];
     let mut rows = Vec::new();
     for &m in &matrices {
-        let a = m.build();
+        let a = cli.in_phase(Phase::Generate, || m.build());
         // Block sampling at the inner-product stride keeps the chooser's
         // worst case (all blocks pick inner) as cheap as panel (a).
         let opts = AdaptiveOptions { block_rows: 8, block_sample: inner_opts(m).row_sample };
-        let cpu = adaptive(&a, &a, &mut ScalarTensorBackend::new(), &cfg, opts);
-        let sc = adaptive(&a, &a, &mut StreamTensorBackend::with_engine(mk_engine()), &cfg, opts);
+        let cpu = cli.in_phase(Phase::Simulate, || {
+            adaptive(&a, &a, &mut ScalarTensorBackend::new(), &cfg, opts)
+        });
+        let sc = cli.in_phase(Phase::Simulate, || {
+            adaptive(&a, &a, &mut StreamTensorBackend::with_engine(mk_engine()), &cfg, opts)
+        });
         let s = cpu.result.cycles as f64 / sc.result.cycles.max(1) as f64;
         cli.record(
             &format!("adaptive/{}", m.tag()),
@@ -179,9 +186,10 @@ fn main() {
     // Skewed synthetic: half dense rows (inner wins), half single-nonzero
     // rows (Gustavson wins). The per-block chooser must beat every fixed
     // dataflow here, and the measured oracle bounds its regret.
-    let (sa, sb) = sc_bench::skewed_spmspm(32, 32);
-    let sbcsc = sb.to_csc();
-    let sacsc = sa.to_csc();
+    let (sa, sb) = cli.in_phase(Phase::Generate, || sc_bench::skewed_spmspm(32, 32));
+    let sbcsc = cli.in_phase(Phase::Generate, || sb.to_csc());
+    let sacsc = cli.in_phase(Phase::Generate, || sa.to_csc());
+    let skew_sim = cli.phase(Phase::Simulate);
     let fixed = [
         inner_product(
             &sa,
@@ -214,6 +222,7 @@ fn main() {
         or.result.cycles,
         ad.result.cycles
     );
+    drop(skew_sim);
     cli.record(
         "adaptive/skew32",
         Some(&cfg),
@@ -246,12 +255,13 @@ fn main() {
         println!("# Figure 15(b): TTV and TTM speedup over CPU\n");
         let mut rows = Vec::new();
         for t in TensorDataset::ALL {
-            let a = t.build();
+            let a = cli.in_phase(Phase::Generate, || t.build());
             let d2 = a.dims()[2];
             // Fiber sampling keeps the dense-operand dots tractable; both
             // backends use the same stride. Factor rank 8.
             let stride = 16usize;
             let v: Vec<f64> = (0..d2).map(|i| 0.5 + (i % 17) as f64 * 0.1).collect();
+            let sim = cli.phase(Phase::Simulate);
             let cpu_ttv = ttv_sampled(&a, &v, &mut ScalarTensorBackend::new(), stride);
             let sc_ttv =
                 ttv_sampled(&a, &v, &mut StreamTensorBackend::with_engine(mk_engine()), stride);
@@ -264,6 +274,7 @@ fn main() {
             let sc_ttm =
                 ttm_sampled(&a, &b, &mut StreamTensorBackend::with_engine(mk_engine()), stride);
             let s_ttm = cpu_ttm.cycles as f64 / sc_ttm.cycles.max(1) as f64;
+            drop(sim);
 
             // Dense outputs: hash the f64 bit patterns (exact arithmetic
             // reproducibility, not approximate closeness).

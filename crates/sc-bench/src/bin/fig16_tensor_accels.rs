@@ -13,6 +13,7 @@
 
 use sc_accel::{ExTensorBackend, GammaBackend, OuterSpaceBackend};
 use sc_bench::{gmean, render_table, BenchCli};
+use sc_host::Phase;
 use sc_kernels::{
     adaptive, gustavson_sampled, inner_product, outer_product_sampled, AdaptiveOptions,
     InnerOptions, StreamTensorBackend,
@@ -45,8 +46,8 @@ fn main() {
 
     let mut sp = vec![Vec::new(); 6];
     for m in &matrices {
-        let a = m.build();
-        let acsc = a.to_csc();
+        let a = cli.in_phase(Phase::Generate, || m.build());
+        let acsc = cli.in_phase(Phase::Generate, || a.to_csc());
         let opts = InnerOptions {
             row_sample: Some(match a.rows() {
                 d if d > 9000 => 64,
@@ -57,6 +58,7 @@ fn main() {
             }),
         };
         // Baseline: SparseCore inner product.
+        let sim = cli.phase(Phase::Simulate);
         let sc_inner_run =
             inner_product(&a, &acsc, &mut StreamTensorBackend::with_engine(mk_engine()), opts);
         let sc_inner = sc_inner_run.cycles;
@@ -84,6 +86,7 @@ fn main() {
         let sc_adapt_run =
             adaptive(&a, &a, &mut StreamTensorBackend::with_engine(mk_engine()), &cfg, adapt_opts);
         let sc_adapt = sc_adapt_run.result.cycles;
+        drop(sim);
 
         // SparseCore-side runs become records; the inner-product run is
         // everyone's comparison point, matching the figure's baseline.

@@ -17,6 +17,7 @@ use sc_gpm::plan::Induced;
 use sc_gpm::sched::{count_stream_dynamic_probed, DEFAULT_CHUNK};
 use sc_gpm::{Pattern, Plan};
 use sc_graph::Dataset;
+use sc_host::Phase;
 use sc_kernels::{gustavson_multicore, gustavson_multicore_probed, ttv_multicore_probed};
 use sc_tensor::{MatrixDataset, TensorDataset};
 use sparsecore::{SchedMode, SparseCoreConfig};
@@ -53,12 +54,16 @@ fn main() {
         None => DEFAULT_CHUNK,
     };
     let probe = cli.probe();
-    let plan = Plan::compile(&Pattern::triangle(), &[0, 1, 2], Induced::Vertex);
+    let plan = cli
+        .in_phase(Phase::Emit, || Plan::compile(&Pattern::triangle(), &[0, 1, 2], Induced::Vertex));
     if cli.verifying() {
+        let _scope = cli.phase(Phase::Verify);
         let vcfg = sc_verify::VerifyConfig::for_config(&SparseCoreConfig::paper());
         cli.verify_program("tc/plan", &plan.emit_program(), &vcfg);
     }
-    cli.cost_program("tc/plan", &plan.emit_program(), &SparseCoreConfig::paper());
+    cli.in_phase(Phase::Verify, || {
+        cli.cost_program("tc/plan", &plan.emit_program(), &SparseCoreConfig::paper())
+    });
 
     println!("# Multi-core triangle counting: speedup vs 1 core (chunk={chunk})\n");
     let header: Vec<String> = ["graph".to_string(), "sched".to_string()]
@@ -68,10 +73,11 @@ fn main() {
         .collect();
     let mut rows = Vec::new();
     for &d in &datasets {
-        let g = d.build();
+        let g = cli.in_phase(Phase::Generate, || d.build());
         let cfg = SparseCoreConfig::paper();
         if cli.verifying() {
             // Prove the partition plans disjoint before the cores run them.
+            let _scope = cli.phase(Phase::Verify);
             let n = g.num_vertices();
             for &c in &CORES {
                 cli.verify_shard_plan(&format!("tc/{}/c{c}/static-shards", d.tag()), c, n);
@@ -84,20 +90,22 @@ fn main() {
         }
         // Everyone's baseline: the 1-core static run. Its spans are
         // discarded — the first recorded workload must not inherit them.
-        let (base, _) = count_stream_parallel_probed(&g, &plan, cfg, true, 1, probe.clone());
+        let (base, _) = cli.in_phase(Phase::Simulate, || {
+            count_stream_parallel_probed(&g, &plan, cfg, true, 1, probe.clone())
+        });
         cli.discard_spans();
         for &mode in &modes {
             let mut row = vec![d.tag().to_string(), mode.name().to_string()];
             let mut last_imbalance = 1.0;
             for &c in &CORES {
-                let (run, report) = match mode {
+                let (run, report) = cli.in_phase(Phase::Simulate, || match mode {
                     SchedMode::Static => {
                         count_stream_parallel_probed(&g, &plan, cfg, true, c, probe.clone())
                     }
                     SchedMode::Dynamic => {
                         count_stream_dynamic_probed(&g, &plan, cfg, true, c, chunk, probe.clone())
                     }
-                };
+                });
                 assert_eq!(run.count, base.count, "partitioning changed the count");
                 if !report.is_empty() {
                     eprintln!("  sanitizer findings ({} / {c} cores):\n{report}", d.tag());
@@ -143,8 +151,9 @@ fn tensor_section(cli: &BenchCli, modes: &[SchedMode], chunk: usize) {
     let mut rows = Vec::new();
 
     for m in [MatrixDataset::Circuit204, MatrixDataset::EmailEuCore] {
-        let a = m.build();
+        let a = cli.in_phase(Phase::Generate, || m.build());
         if cli.verifying() {
+            let _scope = cli.phase(Phase::Verify);
             for &c in &CORES {
                 cli.verify_shard_plan(&format!("spmspm/{}/c{c}/row-shards", m.tag()), c, a.rows());
             }
@@ -154,13 +163,16 @@ fn tensor_section(cli: &BenchCli, modes: &[SchedMode], chunk: usize) {
                 a.rows(),
             );
         }
-        let (_, base, _) = gustavson_multicore(&a, &a, cfg, 1, SchedMode::Static, chunk);
+        let (_, base, _) = cli.in_phase(Phase::Simulate, || {
+            gustavson_multicore(&a, &a, cfg, 1, SchedMode::Static, chunk)
+        });
         for &mode in modes {
             let mut row = vec![format!("spmspm/{}", m.tag()), mode.name().to_string()];
             let mut last_imbalance = 1.0;
             for &c in &CORES {
-                let (r, run, report) =
-                    gustavson_multicore_probed(&a, &a, cfg, c, mode, chunk, cli.probe());
+                let (r, run, report) = cli.in_phase(Phase::Simulate, || {
+                    gustavson_multicore_probed(&a, &a, cfg, c, mode, chunk, cli.probe())
+                });
                 if !report.is_empty() {
                     eprintln!("  sanitizer findings (spmspm {} / {c} cores):\n{report}", m.tag());
                 }
@@ -180,8 +192,9 @@ fn tensor_section(cli: &BenchCli, modes: &[SchedMode], chunk: usize) {
     }
 
     for t in [TensorDataset::ChicagoCrime] {
-        let a = t.build();
+        let a = cli.in_phase(Phase::Generate, || t.build());
         if cli.verifying() {
+            let _scope = cli.phase(Phase::Verify);
             let nf = a.num_fibers();
             for &c in &CORES {
                 cli.verify_shard_plan(&format!("ttv/{}/c{c}/fiber-shards", t.tag()), c, nf);
@@ -194,14 +207,16 @@ fn tensor_section(cli: &BenchCli, modes: &[SchedMode], chunk: usize) {
         }
         let d2 = a.dims()[2];
         let v: Vec<f64> = (0..d2).map(|i| 0.5 + (i % 17) as f64 * 0.1).collect();
-        let (_, base, _) =
-            ttv_multicore_probed(&a, &v, cfg, 1, SchedMode::Static, chunk, sc_probe::Probe::off());
+        let (_, base, _) = cli.in_phase(Phase::Simulate, || {
+            ttv_multicore_probed(&a, &v, cfg, 1, SchedMode::Static, chunk, sc_probe::Probe::off())
+        });
         for &mode in modes {
             let mut row = vec![format!("ttv/{}", t.tag()), mode.name().to_string()];
             let mut last_imbalance = 1.0;
             for &c in &CORES {
-                let (r, run, report) =
-                    ttv_multicore_probed(&a, &v, cfg, c, mode, chunk, cli.probe());
+                let (r, run, report) = cli.in_phase(Phase::Simulate, || {
+                    ttv_multicore_probed(&a, &v, cfg, c, mode, chunk, cli.probe())
+                });
                 if !report.is_empty() {
                     eprintln!("  sanitizer findings (ttv {} / {c} cores):\n{report}", t.tag());
                 }

@@ -32,6 +32,16 @@
 //!   workload from its span logs (`sc_explain::extract`, which re-proves
 //!   the conservation invariant: path length == final simulated clock)
 //!   and write a text report; implies spans.
+//! - `--host` — host-process observability: per-workload wall split by
+//!   phase (generate / emit / verify / simulate / record / other) from
+//!   `sc-host`'s switching phase timers, peak RSS, and allocator stats,
+//!   printed per workload and attached to `--record` records as the
+//!   `host` section for `sc-report host`'s budget gates.
+//!
+//! Independently of `--host`, every bench installs the `sc-host`
+//! flight recorder's panic hook and logs one structured event per
+//! workload / rejected obligation; the ring is dumped to stderr (and
+//! `SC_FLIGHT` as JSON, when set) only on panic or nonzero exit.
 //!
 //! Binary-specific flags (`--skip-fsm`, `--gramer`, `--matrices`, ...)
 //! stay in their binaries and read through [`BenchCli::flag`] /
@@ -42,8 +52,10 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use sc_graph::Dataset;
+use sc_host::flight::{self, Level};
+use sc_host::{AllocStats, Phase, PhaseTimers};
 use sc_probe::{Probe, ProbeLevel};
-use sc_report::{RunRecord, ATTR_BINS};
+use sc_report::{HostSection, RunRecord, ATTR_BINS};
 use sparsecore::SparseCoreConfig;
 
 /// Parsed cross-cutting flags plus the probe they configure. Construct
@@ -82,6 +94,18 @@ pub struct BenchCli {
     /// `wall_ms` covers everything since the previous record (graph
     /// build + baseline + SparseCore run for that workload).
     last_mark: Cell<Instant>,
+    /// `--host`: host-process observability (phase timers, RSS,
+    /// allocator accounting).
+    host: bool,
+    /// The switching phase-timer state machine; only touched when
+    /// `--host` is on, and drained per workload by [`BenchCli::record`]
+    /// so phase windows line up with `last_mark` windows.
+    timers: RefCell<PhaseTimers>,
+    /// Allocator counters at the last drain, for per-window deltas.
+    last_alloc: Cell<AllocStats>,
+    /// Every host section produced so far, for the end-of-run summary
+    /// (and tests); parallel to the per-workload `# host:` lines.
+    host_log: RefCell<Vec<HostSection>>,
 }
 
 /// The cross-cutting flags every bench accepts: `(name, takes_value)`.
@@ -96,6 +120,7 @@ const COMMON_SPECS: &[(&str, bool)] = &[
     ("--cost", false),
     ("--spans", true),
     ("--explain", true),
+    ("--host", false),
 ];
 
 impl BenchCli {
@@ -190,6 +215,23 @@ impl BenchCli {
         if cost {
             println!("# cost: ON (static cycle bounds + replay soundness gate via sc-cost)\n");
         }
+        let host = args.iter().any(|a| a == "--host");
+        if host {
+            println!(
+                "# host: ON (phase timers + RSS/alloc accounting; counting allocator {})\n",
+                if sc_host::alloc::enabled() { "installed" } else { "off" }
+            );
+        }
+        // The flight recorder rides along unconditionally: it records a
+        // handful of events per workload and only ever speaks on panic
+        // or nonzero exit.
+        flight::install_panic_hook();
+        flight::log(
+            Level::Info,
+            &bench,
+            "bench start",
+            &[("args", args.iter().skip(1).cloned().collect::<Vec<_>>().join(" "))],
+        );
         Self {
             args,
             bench,
@@ -209,6 +251,10 @@ impl BenchCli {
             records: RefCell::new(Vec::new()),
             span_docs: RefCell::new(Vec::new()),
             last_mark: Cell::new(Instant::now()),
+            host,
+            timers: RefCell::new(PhaseTimers::new()),
+            last_alloc: Cell::new(sc_host::alloc::stats()),
+            host_log: RefCell::new(Vec::new()),
         }
     }
 
@@ -248,6 +294,38 @@ impl BenchCli {
     /// Is span logging active (`--spans` or `--explain`)?
     pub fn spans_on(&self) -> bool {
         self.spans.is_some() || self.explain.is_some()
+    }
+
+    /// Is `--host` active?
+    pub fn hosting(&self) -> bool {
+        self.host
+    }
+
+    /// Run `f` attributed to host phase `phase`, restoring the previous
+    /// phase afterwards. Inert (a single branch) without `--host`, so
+    /// phase scopes cost nothing in the probes-off overhead budget.
+    pub fn in_phase<T>(&self, phase: Phase, f: impl FnOnce() -> T) -> T {
+        if !self.host {
+            return f();
+        }
+        let prev = self.timers.borrow_mut().switch(phase);
+        let out = f();
+        self.timers.borrow_mut().switch(prev);
+        out
+    }
+
+    /// RAII variant of [`BenchCli::in_phase`] for scopes that span
+    /// several statements: the returned guard restores the previous
+    /// phase on drop.
+    pub fn phase(&self, phase: Phase) -> PhaseGuard<'_> {
+        let prev = self.host.then(|| self.timers.borrow_mut().switch(phase));
+        PhaseGuard { cli: self, prev }
+    }
+
+    /// Host sections produced so far, one per recorded workload (tests
+    /// inspect these; the same sections ride on `pending_records`).
+    pub fn pending_host(&self) -> Vec<HostSection> {
+        self.host_log.borrow().clone()
     }
 
     /// Is `--verify` active? Benches can skip building verification
@@ -309,11 +387,23 @@ impl BenchCli {
                         "# cost: {label}: VIOLATION (simulated {} outside static {})",
                         out.simulated, out.report.cycles
                     );
+                    flight::log(
+                        Level::Error,
+                        &self.bench,
+                        "cost VIOLATION",
+                        &[("label", label.to_string()), ("simulated", out.simulated.to_string())],
+                    );
                 }
             }
             Err(e) => {
                 self.cost_violated.set(self.cost_violated.get() + 1);
                 println!("# cost: {label}: VIOLATION ({e})");
+                flight::log(
+                    Level::Error,
+                    &self.bench,
+                    "cost VIOLATION",
+                    &[("label", label.to_string()), ("error", e.to_string())],
+                );
             }
         }
         self.probe.gauge("cost.tightness", self.cost_worst_tightness.get());
@@ -413,6 +503,12 @@ impl BenchCli {
             for d in findings {
                 println!("#   {d}");
             }
+            flight::log(
+                Level::Error,
+                &self.bench,
+                "verify REJECTED",
+                &[("label", label.to_string()), ("detail", detail.to_string())],
+            );
         }
     }
 
@@ -438,6 +534,44 @@ impl BenchCli {
     ) {
         let now = Instant::now();
         let wall_ms = now.duration_since(self.last_mark.replace(now)).as_secs_f64() * 1e3;
+        // Close the host phase window first, so its walls cover the same
+        // span as `wall_ms`. Draining leaves the timers in the `record`
+        // phase: the bookkeeping below is charged to the *next* window's
+        // record bucket, and the tail switch below returns to `other`.
+        let host_section = self.host.then(|| {
+            let walls = self.timers.borrow_mut().drain(Phase::Record);
+            let alloc_now = sc_host::alloc::stats();
+            let delta = alloc_now.since(&self.last_alloc.replace(alloc_now));
+            let section = HostSection {
+                phase_ms: walls.ms,
+                peak_rss_kb: sc_host::rss::peak_rss_kb(),
+                alloc_count: delta.count,
+                alloc_bytes: delta.bytes,
+                alloc_peak_bytes: alloc_now.peak_live,
+            };
+            let split = Phase::ALL
+                .iter()
+                .map(|p| format!("{} {:.1}", p.name(), section.get(*p)))
+                .collect::<Vec<_>>()
+                .join(" + ");
+            println!(
+                "# host: {workload}: wall {:.1} ms = {split}; peak rss {}; allocs +{} (+{:.1} MB)",
+                section.total_ms(),
+                section
+                    .peak_rss_kb
+                    .map_or("n/a".into(), |kb| format!("{:.1} MB", kb as f64 / 1024.0)),
+                section.alloc_count,
+                section.alloc_bytes as f64 / (1024.0 * 1024.0),
+            );
+            self.host_log.borrow_mut().push(section.clone());
+            section
+        });
+        flight::log(
+            Level::Debug,
+            &self.bench,
+            workload,
+            &[("cycles", cycles.to_string()), ("wall_ms", format!("{wall_ms:.2}"))],
+        );
         // Drain span snapshots per workload even without --record, so
         // `--spans`/`--explain` work standalone. Draining here (at the
         // same call sites `--record` already requires) keeps each
@@ -449,6 +583,9 @@ impl BenchCli {
             }
         }
         if self.record.is_none() {
+            if self.host {
+                self.timers.borrow_mut().switch(Phase::Other);
+            }
             return;
         }
         let metrics = sc_probe::json::parse(&self.probe.metrics_json())
@@ -472,7 +609,11 @@ impl BenchCli {
             wall_ms,
             attr,
             metrics,
+            host: host_section,
         });
+        if self.host {
+            self.timers.borrow_mut().switch(Phase::Other);
+        }
     }
 
     /// Records queued so far (tests inspect these without touching disk).
@@ -583,12 +724,43 @@ impl BenchCli {
                 println!("# explain: critical-path report -> {}", path.display());
             }
         }
+        if self.host {
+            let sections = self.host_log.borrow();
+            assert!(
+                !sections.is_empty(),
+                "--host given but no workload produced a host section (bench bug?)"
+            );
+            let mut phase_ms = [0.0f64; Phase::COUNT];
+            for s in sections.iter() {
+                for (acc, ms) in phase_ms.iter_mut().zip(s.phase_ms) {
+                    *acc += ms;
+                }
+            }
+            let total_ms: f64 = phase_ms.iter().sum();
+            let split = Phase::ALL
+                .iter()
+                .map(|p| format!("{} {:.1}", p.name(), phase_ms[p.index()]))
+                .collect::<Vec<_>>()
+                .join(" + ");
+            let peak_kb = sections.iter().filter_map(|s| s.peak_rss_kb).max();
+            let allocs: u64 = sections.iter().map(|s| s.alloc_count).sum();
+            let alloc_mb: f64 =
+                sections.iter().map(|s| s.alloc_bytes).sum::<u64>() as f64 / (1024.0 * 1024.0);
+            println!(
+                "# host: total: {} workloads in {total_ms:.1} ms ({:.1} records/s) = {split}; \
+                 peak rss {}; allocs {allocs} ({alloc_mb:.1} MB)",
+                sections.len(),
+                if total_ms > 0.0 { sections.len() as f64 / (total_ms / 1e3) } else { 0.0 },
+                peak_kb.map_or("n/a".into(), |kb| format!("{:.1} MB", kb as f64 / 1024.0)),
+            );
+        }
         if self.verify {
             let (checked, rejected) = self.verify_counts();
             assert!(checked > 0, "--verify given but the bench checked no obligation (bench bug?)");
             println!("# verify: {checked} obligations checked, {rejected} rejected");
             if rejected > 0 {
                 eprintln!("error: {rejected} static-verification obligations REJECTED");
+                flight::dump("nonzero exit: verify rejections");
                 std::process::exit(1);
             }
         }
@@ -601,8 +773,24 @@ impl BenchCli {
             );
             if violated > 0 {
                 eprintln!("error: {violated} cost-soundness checks VIOLATED");
+                flight::dump("nonzero exit: cost violations");
                 std::process::exit(1);
             }
+        }
+    }
+}
+
+/// RAII host-phase scope from [`BenchCli::phase`]: restores the
+/// previous phase when dropped. Inert when `--host` is off.
+pub struct PhaseGuard<'a> {
+    cli: &'a BenchCli,
+    prev: Option<Phase>,
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev {
+            self.cli.timers.borrow_mut().switch(prev);
         }
     }
 }
@@ -843,6 +1031,70 @@ mod tests {
         assert!(!c.probe().spans_on());
         c.record("w", None, 0, 0, None);
         assert!(c.pending_spans().is_empty());
+    }
+
+    #[test]
+    fn host_sections_ride_on_records_and_phase_walls_sum_to_the_wall() {
+        let c = cli(&["--record", "/tmp/reg.json", "--host"]);
+        assert!(c.hosting());
+        c.in_phase(Phase::Generate, || std::thread::sleep(std::time::Duration::from_millis(2)));
+        {
+            let _g = c.phase(Phase::Simulate);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        c.record("w1", None, 0, 10, None);
+        let records = c.pending_records();
+        let h = records[0].host.as_ref().expect("--host attaches a section");
+        assert!(h.get(Phase::Generate) >= 1.0, "{h:?}");
+        assert!(h.get(Phase::Simulate) >= 1.0, "{h:?}");
+        // The phase walls cover the record's wall window (same clock,
+        // drained at the same call; allow scheduler-level skew).
+        assert!(
+            (h.total_ms() - records[0].wall_ms).abs() <= 0.5 + records[0].wall_ms * 0.05,
+            "phase sum {} vs wall {}",
+            h.total_ms(),
+            records[0].wall_ms
+        );
+        if cfg!(target_os = "linux") {
+            assert!(h.peak_rss_kb.unwrap() > 0, "peak RSS populated on Linux");
+        }
+        if sc_host::alloc::enabled() {
+            let v: Vec<u64> = Vec::with_capacity(1024);
+            drop(v);
+            c.record("w2", None, 0, 10, None);
+            let h2 = &c.pending_host()[1];
+            assert!(h2.alloc_count > 0, "window delta counts allocations: {h2:?}");
+        }
+        // Each record starts a fresh phase window.
+        c.record("w3", None, 0, 10, None);
+        let h3 = c.pending_host().pop().unwrap();
+        assert!(h3.get(Phase::Generate) < 1.0, "{h3:?}");
+        // Records with host sections still round-trip the schema.
+        for r in c.pending_records() {
+            r.round_trip().unwrap();
+        }
+    }
+
+    #[test]
+    fn host_off_means_no_sections_and_inert_scopes() {
+        let c = cli(&["--record", "/tmp/reg.json"]);
+        assert!(!c.hosting());
+        assert_eq!(c.in_phase(Phase::Simulate, || 42), 42);
+        let _g = c.phase(Phase::Generate);
+        c.record("w", None, 0, 1, None);
+        assert!(c.pending_records()[0].host.is_none());
+        assert!(c.pending_host().is_empty());
+    }
+
+    #[test]
+    fn host_works_standalone_without_record() {
+        let c = cli(&["--host"]);
+        assert!(c.hosting());
+        assert!(!c.recording());
+        c.in_phase(Phase::Simulate, || ());
+        c.record("w", None, 0, 1, None);
+        assert!(c.pending_records().is_empty(), "no --record, no records");
+        assert_eq!(c.pending_host().len(), 1, "the host section is still produced");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use sc_gpm::exec::{self, ScalarBackend, SetBackend, StreamBackend};
 use sc_gpm::App;
 use sc_graph::{CsrGraph, Dataset};
+use sc_host::Phase;
 use sc_probe::Probe;
 use sparsecore::{Engine, SparseCoreConfig};
 
@@ -165,6 +166,7 @@ pub fn verify_gpm_apps(cli: &BenchCli, apps: &[App]) {
     if !cli.verifying() {
         return;
     }
+    let _scope = cli.phase(Phase::Verify);
     let vcfg = sc_verify::VerifyConfig::for_config(&SparseCoreConfig::paper());
     for &app in apps {
         for (i, plan) in app.plans().iter().enumerate() {
@@ -182,6 +184,7 @@ pub fn verify_tensor_kernels(cli: &BenchCli) {
     if !cli.verifying() {
         return;
     }
+    let _scope = cli.phase(Phase::Verify);
     use sc_kernels::{gustavson, ttv, StreamTensorBackend};
     use sc_tensor::{CsfTensor, CsrMatrix};
 
@@ -217,6 +220,7 @@ pub fn cost_gpm_apps(cli: &BenchCli, apps: &[App]) {
     if !cli.costing() {
         return;
     }
+    let _scope = cli.phase(Phase::Verify);
     let cfg = SparseCoreConfig::paper();
     for &app in apps {
         for (i, plan) in app.plans().iter().enumerate() {
@@ -233,6 +237,7 @@ pub fn cost_tensor_kernels(cli: &BenchCli) {
     if !cli.costing() {
         return;
     }
+    let _scope = cli.phase(Phase::Verify);
     use sc_kernels::{gustavson, ttv, StreamTensorBackend};
     use sc_tensor::{CsfTensor, CsrMatrix};
 
@@ -272,6 +277,7 @@ pub fn cost_check_lengths(cli: &BenchCli, g: &CsrGraph, app: App, cfg: SparseCor
     if !cli.costing() {
         return;
     }
+    let _scope = cli.phase(Phase::Verify);
     let mut engine = Engine::new(cfg);
     engine.record_trace();
     let mut backend = StreamBackend::with_engine(g, engine, app.uses_nested());

@@ -1,0 +1,284 @@
+//! Bounded flight recorder.
+//!
+//! A process-global ring of structured log events (level, target,
+//! message, key=value fields). Recording is a short critical section on
+//! one `Mutex` around a `VecDeque` — events are emitted at workload
+//! granularity (dozens per run, not per simulated cycle), so the lock
+//! is never contended in practice. When the ring is full the oldest
+//! event is dropped and counted, so memory stays bounded no matter how
+//! long a run is.
+//!
+//! The ring is *dumped* — rendered to stderr and, when the `SC_FLIGHT`
+//! environment variable names a path, to a JSON file — in exactly two
+//! situations: a panic (via [`install_panic_hook`], which chains the
+//! previous hook) and an explicit [`dump`] before a nonzero exit. A
+//! clean run prints nothing, so the recorder is free noise-wise.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Default ring capacity: enough for every workload of the largest
+/// bench matrix with room to spare, small enough to never matter.
+pub const DEFAULT_CAPACITY: usize = 512;
+
+/// Severity of a flight-recorder event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Debug,
+    Info,
+    Warn,
+    Error,
+}
+
+impl Level {
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Monotonic sequence number (never reused, survives drops).
+    pub seq: u64,
+    pub level: Level,
+    /// Subsystem that emitted the event (e.g. the bench bin name).
+    pub target: String,
+    pub message: String,
+    /// Structured key=value payload.
+    pub fields: Vec<(String, String)>,
+}
+
+struct Ring {
+    events: VecDeque<Event>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl Ring {
+    const fn new() -> Self {
+        Ring { events: VecDeque::new(), capacity: DEFAULT_CAPACITY, next_seq: 0, dropped: 0 }
+    }
+
+    fn push(&mut self, level: Level, target: &str, message: &str, fields: &[(&str, String)]) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            self.next_seq += 1;
+            return;
+        }
+        while self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(Event {
+            seq: self.next_seq,
+            level,
+            target: target.to_string(),
+            message: message.to_string(),
+            fields: fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
+        });
+        self.next_seq += 1;
+    }
+}
+
+static RING: Mutex<Ring> = Mutex::new(Ring::new());
+
+fn ring() -> std::sync::MutexGuard<'static, Ring> {
+    // A poisoned ring (panic while holding the lock) still holds valid
+    // data; the recorder exists precisely for failure paths.
+    RING.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Record one event.
+pub fn log(level: Level, target: &str, message: &str, fields: &[(&str, String)]) {
+    ring().push(level, target, message, fields);
+}
+
+/// Resize the ring (testing / tuning). Existing overflow is trimmed.
+pub fn set_capacity(capacity: usize) {
+    let mut r = ring();
+    r.capacity = capacity;
+    while r.events.len() > capacity {
+        r.events.pop_front();
+        r.dropped += 1;
+    }
+}
+
+/// Copy out the current events and the dropped count.
+pub fn snapshot() -> (Vec<Event>, u64) {
+    let r = ring();
+    (r.events.iter().cloned().collect(), r.dropped)
+}
+
+/// Clear the ring (testing). Sequence numbers keep counting.
+pub fn clear() {
+    let mut r = ring();
+    r.events.clear();
+    r.dropped = 0;
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Render the current ring as a JSON document.
+pub fn to_json() -> String {
+    let (events, dropped) = snapshot();
+    let mut out = String::new();
+    let _ = write!(out, "{{\"dropped\":{dropped},\"events\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"seq\":{},\"level\":\"{}\",\"target\":", e.seq, e.level.name());
+        escape_json(&e.target, &mut out);
+        out.push_str(",\"message\":");
+        escape_json(&e.message, &mut out);
+        out.push_str(",\"fields\":{");
+        for (j, (k, v)) in e.fields.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            escape_json(k, &mut out);
+            out.push(':');
+            escape_json(v, &mut out);
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Dump the ring to stderr (human-readable) and, if `SC_FLIGHT` names a
+/// path, write the JSON document there too. Called on panic and before
+/// nonzero exits; a no-op when the ring is empty.
+pub fn dump(reason: &str) {
+    let (events, dropped) = snapshot();
+    if events.is_empty() && dropped == 0 {
+        return;
+    }
+    eprintln!("== flight recorder ({reason}): {} event(s), {dropped} dropped ==", events.len());
+    for e in &events {
+        let mut line = format!("  [{:>5}] {:5} {}: {}", e.seq, e.level.name(), e.target, e.message);
+        for (k, v) in &e.fields {
+            let _ = write!(line, " {k}={v}");
+        }
+        eprintln!("{line}");
+    }
+    if let Ok(path) = std::env::var("SC_FLIGHT") {
+        if !path.is_empty() {
+            match std::fs::write(&path, to_json()) {
+                Ok(()) => eprintln!("  flight JSON written to {path}"),
+                Err(e) => eprintln!("  flight JSON write to {path} failed: {e}"),
+            }
+        }
+    }
+}
+
+static HOOK_INSTALLED: AtomicBool = AtomicBool::new(false);
+
+/// Install a panic hook that dumps the flight recorder, chaining the
+/// previously installed hook. Idempotent.
+pub fn install_panic_hook() {
+    if HOOK_INSTALLED.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        previous(info);
+        dump("panic");
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The ring is process-global, so the tests that depend on its
+    /// contents run under one lock to stay deterministic under the
+    /// parallel test harness.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let _g = locked();
+        clear();
+        set_capacity(4);
+        for i in 0..10u32 {
+            log(Level::Info, "test", &format!("event {i}"), &[]);
+        }
+        let (events, dropped) = snapshot();
+        assert_eq!(events.len(), 4);
+        assert_eq!(dropped, 6);
+        // The survivors are the most recent events, in order.
+        let msgs: Vec<_> = events.iter().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, ["event 6", "event 7", "event 8", "event 9"]);
+        // Sequence numbers are gapless across the drop.
+        for w in events.windows(2) {
+            assert_eq!(w[1].seq, w[0].seq + 1);
+        }
+        set_capacity(DEFAULT_CAPACITY);
+        clear();
+    }
+
+    #[test]
+    fn json_escapes_hostile_strings() {
+        let _g = locked();
+        clear();
+        log(
+            Level::Error,
+            "quo\"ted",
+            "line\nbreak\tand \\slash",
+            &[("k\"ey", "va\u{1}lue".to_string())],
+        );
+        let json = to_json();
+        assert!(json.contains("\"target\":\"quo\\\"ted\""), "{json}");
+        assert!(json.contains("line\\nbreak\\tand \\\\slash"), "{json}");
+        assert!(json.contains("\"k\\\"ey\":\"va\\u0001lue\""), "{json}");
+        assert!(!json.contains('\n'), "raw newline leaked into JSON");
+        clear();
+    }
+
+    #[test]
+    fn levels_are_ordered_and_named() {
+        assert!(
+            Level::Debug < Level::Info && Level::Info < Level::Warn && Level::Warn < Level::Error
+        );
+        assert_eq!(
+            [Level::Debug, Level::Info, Level::Warn, Level::Error].map(Level::name),
+            ["debug", "info", "warn", "error"]
+        );
+    }
+
+    #[test]
+    fn panic_hook_installation_is_idempotent() {
+        install_panic_hook();
+        install_panic_hook(); // second call must not re-chain
+    }
+}

@@ -1,0 +1,184 @@
+//! Scoped host phase timers.
+//!
+//! The design is a *switching state machine*, not a stack of nested
+//! guards: the process is in exactly one phase at any instant, and
+//! switching phases accrues the elapsed wall time to the phase being
+//! left. Two invariants fall out by construction and are what the
+//! `host` record section relies on:
+//!
+//! * no wall time is ever double-counted (there is one `since` mark);
+//! * the per-phase walls, including the implicit [`Phase::Other`]
+//!   bucket, sum exactly to the drained window.
+
+use std::time::{Duration, Instant};
+
+/// The host phases a bench run moves through. `Other` is the implicit
+/// remainder (CLI parsing, table rendering, artifact writing) so the
+/// breakdown always covers the whole window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Dataset/matrix construction (`Dataset::build` and friends).
+    Generate,
+    /// Stream-program emission and plan compilation.
+    Emit,
+    /// Static checking: lint, `sc-verify` obligations, `sc-cost` bounds.
+    Verify,
+    /// Driving the simulated machine.
+    Simulate,
+    /// Draining probes and building `RunRecord`s.
+    Record,
+    /// Everything else (the implicit remainder).
+    Other,
+}
+
+impl Phase {
+    /// All phases, in the canonical serialization order used by the
+    /// `host.phase_ms` record section.
+    pub const ALL: [Phase; 6] =
+        [Phase::Generate, Phase::Emit, Phase::Verify, Phase::Simulate, Phase::Record, Phase::Other];
+
+    /// Number of phases (the length of `phase_ms` arrays).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable lowercase name, used as the JSON key.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Generate => "generate",
+            Phase::Emit => "emit",
+            Phase::Verify => "verify",
+            Phase::Simulate => "simulate",
+            Phase::Record => "record",
+            Phase::Other => "other",
+        }
+    }
+
+    /// Index into [`Phase::ALL`]-ordered arrays.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&p| p == self).expect("phase is in ALL")
+    }
+
+    /// Parse a [`Phase::name`] back; `None` for unknown names.
+    pub fn parse(name: &str) -> Option<Phase> {
+        Self::ALL.into_iter().find(|p| p.name() == name)
+    }
+}
+
+/// Per-phase wall milliseconds for one drained window, in
+/// [`Phase::ALL`] order.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseWalls {
+    pub ms: [f64; Phase::COUNT],
+}
+
+impl PhaseWalls {
+    /// Total wall across all phases (equals the window length).
+    pub fn total_ms(&self) -> f64 {
+        self.ms.iter().sum()
+    }
+
+    /// Wall for one phase.
+    pub fn get(&self, p: Phase) -> f64 {
+        self.ms[p.index()]
+    }
+}
+
+/// The switching phase-timer state machine.
+#[derive(Debug, Clone)]
+pub struct PhaseTimers {
+    current: Phase,
+    since: Instant,
+    acc: [Duration; Phase::COUNT],
+}
+
+impl Default for PhaseTimers {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PhaseTimers {
+    /// Start a fresh window in [`Phase::Other`].
+    pub fn new() -> Self {
+        PhaseTimers {
+            current: Phase::Other,
+            since: Instant::now(),
+            acc: [Duration::ZERO; Phase::COUNT],
+        }
+    }
+
+    /// The phase currently accruing time.
+    pub fn current(&self) -> Phase {
+        self.current
+    }
+
+    /// Switch to `next`, charging the elapsed time to the phase being
+    /// left. Returns the previous phase so scoped guards can restore it.
+    pub fn switch(&mut self, next: Phase) -> Phase {
+        let now = Instant::now();
+        self.acc[self.current.index()] += now.duration_since(self.since);
+        self.since = now;
+        std::mem::replace(&mut self.current, next)
+    }
+
+    /// Close the window: charge the tail to the current phase, return
+    /// the per-phase walls, and reset the accumulators so the next
+    /// window starts at zero in phase `next`.
+    pub fn drain(&mut self, next: Phase) -> PhaseWalls {
+        self.switch(next);
+        let mut walls = PhaseWalls::default();
+        for (slot, acc) in walls.ms.iter_mut().zip(&mut self.acc) {
+            *slot = acc.as_secs_f64() * 1e3;
+            *acc = Duration::ZERO;
+        }
+        walls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_names_round_trip_and_index_is_stable() {
+        for (i, p) in Phase::ALL.into_iter().enumerate() {
+            assert_eq!(p.index(), i);
+            assert_eq!(Phase::parse(p.name()), Some(p));
+        }
+        assert_eq!(Phase::parse("bogus"), None);
+        // The serialization order is part of the record schema.
+        let names: Vec<_> = Phase::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names, ["generate", "emit", "verify", "simulate", "record", "other"]);
+    }
+
+    #[test]
+    fn switch_charges_the_phase_being_left() {
+        let mut t = PhaseTimers::new();
+        assert_eq!(t.current(), Phase::Other);
+        assert_eq!(t.switch(Phase::Simulate), Phase::Other);
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(t.switch(Phase::Other), Phase::Simulate);
+        let walls = t.drain(Phase::Other);
+        assert!(walls.get(Phase::Simulate) >= 1.0, "{walls:?}");
+        assert_eq!(walls.get(Phase::Generate), 0.0);
+    }
+
+    #[test]
+    fn drain_resets_the_window_and_walls_sum_to_the_total() {
+        let mut t = PhaseTimers::new();
+        t.switch(Phase::Generate);
+        std::thread::sleep(Duration::from_millis(1));
+        t.switch(Phase::Simulate);
+        std::thread::sleep(Duration::from_millis(1));
+        let walls = t.drain(Phase::Other);
+        let total = walls.total_ms();
+        assert!(total >= 2.0, "{walls:?}");
+        // Sum-to-total is exact by construction (same accumulators).
+        assert!((walls.ms.iter().sum::<f64>() - total).abs() < 1e-12);
+        // The next window starts from zero.
+        let walls2 = t.drain(Phase::Other);
+        assert!(walls2.total_ms() < 1000.0);
+        for p in [Phase::Generate, Phase::Simulate] {
+            assert_eq!(walls2.get(p), 0.0, "accumulator for {} not reset", p.name());
+        }
+    }
+}

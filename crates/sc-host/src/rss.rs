@@ -1,0 +1,67 @@
+//! Resident-set-size sampling.
+//!
+//! On Linux this parses `/proc/self/status` (`VmHWM` for the peak,
+//! `VmRSS` for the current value), which the kernel maintains for free;
+//! on other platforms both samplers return `None` and consumers render
+//! the column as unavailable rather than zero.
+
+/// Peak resident set size in kilobytes (`VmHWM`), if the platform
+/// exposes it.
+pub fn peak_rss_kb() -> Option<u64> {
+    proc_status_kb("VmHWM:")
+}
+
+/// Current resident set size in kilobytes (`VmRSS`), if the platform
+/// exposes it.
+pub fn current_rss_kb() -> Option<u64> {
+    proc_status_kb("VmRSS:")
+}
+
+#[cfg(target_os = "linux")]
+fn proc_status_kb(key: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_status_kb(&status, key)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn proc_status_kb(_key: &str) -> Option<u64> {
+    None
+}
+
+/// Parse a `Key:   12345 kB` line out of a `/proc/self/status` body.
+/// Split out from the I/O so it is testable everywhere.
+fn parse_status_kb(status: &str, key: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with(key))?;
+    let rest = line[key.len()..].trim();
+    let digits = rest.split_whitespace().next()?;
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIXTURE: &str =
+        "Name:\tsc-bench\nVmPeak:\t  201000 kB\nVmHWM:\t  104872 kB\nVmRSS:\t   99004 kB\n";
+
+    #[test]
+    fn parses_proc_status_lines() {
+        assert_eq!(parse_status_kb(FIXTURE, "VmHWM:"), Some(104_872));
+        assert_eq!(parse_status_kb(FIXTURE, "VmRSS:"), Some(99_004));
+        assert_eq!(parse_status_kb(FIXTURE, "VmSwap:"), None);
+        assert_eq!(parse_status_kb("VmHWM: garbage kB\n", "VmHWM:"), None);
+    }
+
+    #[test]
+    fn live_sampling_is_positive_on_linux() {
+        if cfg!(target_os = "linux") {
+            let peak = peak_rss_kb().expect("VmHWM available on Linux");
+            let cur = current_rss_kb().expect("VmRSS available on Linux");
+            assert!(peak > 0 && cur > 0);
+            assert!(peak >= cur.min(peak), "peak tracks the high-water mark");
+        } else {
+            assert_eq!(peak_rss_kb(), None);
+            assert_eq!(current_rss_kb(), None);
+        }
+    }
+}

@@ -88,9 +88,11 @@ impl Registry {
     }
 
     /// Add `delta` to the counter `name` (creating it at zero).
+    /// Saturates at `u64::MAX` — a pegged counter reads as "at least
+    /// this many", never a wrapped-around small number or a panic.
     pub fn count(&mut self, name: &str, delta: u64) {
         if let Some(c) = self.counters.get_mut(name) {
-            *c += delta;
+            *c = c.saturating_add(delta);
         } else {
             self.counters.insert(name.to_string(), delta);
         }
@@ -232,6 +234,38 @@ mod tests {
         r.count("engine.reads", 3);
         assert_eq!(r.counter("engine.reads"), 5);
         assert_eq!(r.counter("missing"), 0);
+    }
+
+    #[test]
+    fn counter_overflow_saturates_instead_of_wrapping() {
+        let mut r = Registry::new();
+        r.count("pegged", u64::MAX - 1);
+        r.count("pegged", 10);
+        assert_eq!(r.counter("pegged"), u64::MAX, "saturate, never wrap");
+        r.count("pegged", 1);
+        assert_eq!(r.counter("pegged"), u64::MAX, "stays pegged");
+        // Merging two near-max registries is the same operation and must
+        // obey the same law.
+        let mut other = Registry::new();
+        other.count("pegged", u64::MAX);
+        r.merge(&other);
+        assert_eq!(r.counter("pegged"), u64::MAX);
+    }
+
+    #[test]
+    fn duplicate_gauge_registration_is_last_write_wins() {
+        let mut r = Registry::new();
+        r.gauge("engine.hit_rate", 0.25);
+        r.gauge("engine.hit_rate", 0.75);
+        assert_eq!(r.gauge_value("engine.hit_rate"), Some(0.75));
+        // The snapshot carries exactly one entry for the name.
+        let doc = r.to_json();
+        assert_eq!(doc.matches("hit_rate").count(), 1, "{doc}");
+        // merge() follows the same rule: the other registry's value wins.
+        let mut other = Registry::new();
+        other.gauge("engine.hit_rate", 0.5);
+        r.merge(&other);
+        assert_eq!(r.gauge_value("engine.hit_rate"), Some(0.5));
     }
 
     #[test]

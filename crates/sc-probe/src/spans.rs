@@ -447,6 +447,46 @@ mod tests {
     }
 
     #[test]
+    fn default_ring_overflow_keeps_grid_exact_and_a_segment_suffix() {
+        // Alternate (site, bin) causes so no two adjacent records
+        // coalesce: DEFAULT_RING + EXTRA distinct segments with 1 and 2
+        // cycles in turn, overflowing the default ring by exactly EXTRA.
+        const EXTRA: usize = 137;
+        let n = DEFAULT_RING + EXTRA;
+        let mut log = SpanLog::new(DEFAULT_RING);
+        let mut expect_scalar = 0u64;
+        let mut expect_mem = 0u64;
+        for i in 0..n {
+            if i % 2 == 0 {
+                log.record(1, Site::Scalar, AttrBin::ScalarOverlap);
+                expect_scalar += 1;
+            } else {
+                log.record(2, Site::MemReady, AttrBin::MemStall);
+                expect_mem += 2;
+            }
+        }
+        assert_eq!(log.dropped(), EXTRA as u64, "one drop per overflowing segment");
+        let snap = log.snapshot(0);
+        // The totals grid never loses cycles to the ring bound.
+        assert_eq!(snap.total, expect_scalar + expect_mem);
+        assert_eq!(snap.grid_total(), snap.total);
+        assert_eq!(
+            snap.totals[Site::Scalar as usize][AttrBin::ScalarOverlap.index()],
+            expect_scalar
+        );
+        assert_eq!(snap.totals[Site::MemReady as usize][AttrBin::MemStall.index()], expect_mem);
+        // The surviving segments are a gapless suffix of the timeline
+        // ending at the cursor; the hole is entirely at the front.
+        assert_eq!(snap.segments.len(), DEFAULT_RING);
+        assert_eq!(snap.dropped, EXTRA as u64);
+        assert!(snap.segments[0].start > 0, "oldest segments were dropped");
+        for w in snap.segments.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "suffix must be gapless");
+        }
+        assert_eq!(snap.segments.last().unwrap().end, snap.total);
+    }
+
+    #[test]
     fn snapshot_json_round_trips() {
         let mut log = SpanLog::new(8);
         log.record(4, Site::Scalar, AttrBin::ScalarOverlap);

@@ -8,6 +8,8 @@
 //!                      [--markdown <file>] [--gate]
 //! sc-report tightness --registry <path>... [--max <ratio>] [--require]
 //! sc-report trend --registry <path>... [--out <file>]
+//! sc-report host --registry <path>... [--baseline <path>...] [--out <file>]
+//!                [--max-wall-regress <pct>] [--max-rss-kb <kb>] [--require]
 //! sc-report explain --baseline <path> --candidate <path> [--top <n>]
 //! sc-report html --registry <path>... [--spans <file>] [--reference <file>]
 //!                [--bench-json <file>] --out <file>
@@ -33,6 +35,7 @@ fn main() -> ExitCode {
         "scoreboard" => cmd_scoreboard(rest),
         "tightness" => cmd_tightness(rest),
         "trend" => cmd_trend(rest),
+        "host" => cmd_host(rest),
         "explain" => cmd_explain(rest),
         "html" => cmd_html(rest),
         "--help" | "-h" | "help" => {
@@ -76,7 +79,19 @@ usage: sc-report <verify|compare|scoreboard|tightness|trend> [options]
       --require also fails when no record carries cost gauges.
 
   trend --registry <path>... [--out <file>]
-      Cross-commit trajectory; --out writes the BENCH_sc.json document.
+      Cross-commit trajectory; --out merges the fresh points into the
+      BENCH_sc.json document (one point per git SHA, append order
+      stable, re-recorded SHAs replaced in place).
+
+  host --registry <path>... [--baseline <path>...] [--out <file>]
+       [--max-wall-regress <pct>] [--max-rss-kb <kb>] [--require]
+      Host-perf view of a registry recorded with --host: wall split by
+      phase, peak RSS, allocator pressure, records/s. Budget gates exit
+      1 on violation: total wall may exceed the --baseline registry's
+      by at most --max-wall-regress percent (default 100), and no
+      record may exceed --max-rss-kb peak RSS (default 4194304 = 4 GiB).
+      --require also fails when no record carries a host section.
+      --out merges the host-annotated trend points into BENCH_sc.json.
 
   explain --baseline <path> --candidate <path> [--top <n>]
       Rank the cycle delta between two registries by (workload x stall
@@ -320,9 +335,68 @@ fn cmd_trend(args: &[String]) -> Result<bool, String> {
     let points = trend::trend(&records);
     print!("{}", trend::render_text(&points));
     if let Some(out) = flag_value(&parsed, "--out") {
-        std::fs::write(out, trend::render_bench_json(&points))
-            .map_err(|e| format!("{out}: {e}"))?;
-        println!("wrote {out} ({} trajectory points)", points.len());
+        let merged = write_bench_json(out, points)?;
+        println!("wrote {out} ({merged} trajectory points)");
     }
     Ok(true)
+}
+
+/// Merge fresh trend points into the `BENCH_sc.json` document at `out`
+/// (accumulating one point per git SHA) and write it back. Returns the
+/// merged point count.
+fn write_bench_json(out: &str, fresh: Vec<sc_report::TrendPoint>) -> Result<usize, String> {
+    let existing = match std::fs::read_to_string(out) {
+        Ok(doc) => sc_report::parse_bench_json(&doc).map_err(|e| format!("{out}: {e}"))?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(format!("{out}: {e}")),
+    };
+    let merged = sc_report::merge_points(existing, fresh);
+    std::fs::write(out, trend::render_bench_json(&merged)).map_err(|e| format!("{out}: {e}"))?;
+    Ok(merged.len())
+}
+
+fn cmd_host(args: &[String]) -> Result<bool, String> {
+    let (positional, parsed) = parse_flags(
+        args,
+        &[
+            ("--registry", true),
+            ("--baseline", true),
+            ("--out", true),
+            ("--max-wall-regress", true),
+            ("--max-rss-kb", true),
+            ("--require", false),
+        ],
+    )?;
+    if !positional.is_empty() {
+        return Err(format!("unexpected argument '{}'", positional[0].display()));
+    }
+    let records = registry_records(&parsed, "--registry")?;
+    let baseline = if flag_values(&parsed, "--baseline").is_empty() {
+        None
+    } else {
+        Some(registry_records(&parsed, "--baseline")?)
+    };
+    let mut opts = sc_report::HostGateOptions::default();
+    if let Some(pct) = flag_value(&parsed, "--max-wall-regress") {
+        opts.max_wall_regress_pct =
+            pct.parse::<f64>().map_err(|e| format!("--max-wall-regress '{pct}': {e}"))?;
+        if !opts.max_wall_regress_pct.is_finite() || opts.max_wall_regress_pct < 0.0 {
+            return Err("--max-wall-regress must be a finite percentage >= 0".into());
+        }
+    }
+    if let Some(kb) = flag_value(&parsed, "--max-rss-kb") {
+        opts.max_rss_kb = kb.parse::<u64>().map_err(|e| format!("--max-rss-kb '{kb}': {e}"))?;
+    }
+    opts.require_host = flag_value(&parsed, "--require").is_some();
+    let rows = sc_report::host_summarize(&records);
+    print!("{}", sc_report::host::render(&rows, &sc_report::host::total_row(&records)));
+    if let Some(out) = flag_value(&parsed, "--out") {
+        let merged = write_bench_json(out, trend::trend(&records))?;
+        println!("wrote {out} ({merged} trajectory points)");
+    }
+    let (pass, findings) = sc_report::host_gate(&records, baseline.as_deref(), &opts);
+    for f in &findings {
+        eprintln!("host gate: {f}");
+    }
+    Ok(pass)
 }

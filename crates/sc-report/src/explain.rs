@@ -67,6 +67,7 @@ mod tests {
             wall_ms: 1.0,
             attr,
             metrics: json::parse("{}").unwrap(),
+            host: None,
         }
     }
 

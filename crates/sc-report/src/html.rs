@@ -87,6 +87,11 @@ pub fn parse_spans_doc(doc: &str) -> Result<Vec<(String, Vec<SpanSnapshot>)>, St
 /// Structural problems, naming the offending point.
 pub fn parse_bench_json(doc: &str) -> Result<Vec<TrendPoint>, String> {
     let v = json::parse(doc).map_err(|e| format!("BENCH_sc.json is not valid JSON: {e}"))?;
+    let schema =
+        v.get("schema").and_then(Value::as_f64).ok_or("BENCH_sc.json: missing 'schema'")?;
+    if schema as u64 != 1 {
+        return Err(format!("BENCH_sc.json: schema {schema} != supported 1"));
+    }
     let pts =
         v.get("points").and_then(Value::as_arr).ok_or("BENCH_sc.json: missing 'points' array")?;
     let mut out = Vec::with_capacity(pts.len());
@@ -99,6 +104,31 @@ pub fn parse_bench_json(doc: &str) -> Result<Vec<TrendPoint>, String> {
                 per_bench.insert(bench.clone(), n.as_f64().unwrap_or(0.0) as usize);
             }
         }
+        let host = match p.get("host") {
+            None | Some(Value::Null) => None,
+            Some(h) => {
+                let phases = h.get("phase_ms").ok_or(format!("point {i}: host.phase_ms"))?;
+                let mut phase_ms = [0.0; sc_host::Phase::COUNT];
+                for (j, phase) in sc_host::Phase::ALL.into_iter().enumerate() {
+                    phase_ms[j] = phases
+                        .get(phase.name())
+                        .and_then(Value::as_f64)
+                        .ok_or(format!("point {i}: host.phase_ms.{}", phase.name()))?;
+                }
+                Some(crate::trend::TrendHost {
+                    phase_ms,
+                    peak_rss_kb: h
+                        .get("peak_rss_kb")
+                        .and_then(Value::as_f64)
+                        .ok_or(format!("point {i}: host.peak_rss_kb"))?
+                        as u64,
+                    records_per_s: h
+                        .get("records_per_s")
+                        .and_then(Value::as_f64)
+                        .ok_or(format!("point {i}: host.records_per_s"))?,
+                })
+            }
+        };
         out.push(TrendPoint {
             git_sha: p
                 .get("git_sha")
@@ -110,6 +140,7 @@ pub fn parse_bench_json(doc: &str) -> Result<Vec<TrendPoint>, String> {
             gmean_speedup: p.get("gmean_speedup").and_then(Value::as_f64),
             total_wall_ms: num("total_wall_ms")?,
             per_bench,
+            host,
         });
     }
     Ok(out)
@@ -438,6 +469,7 @@ mod tests {
             wall_ms: 1.0,
             attr,
             metrics: json::parse("{}").unwrap(),
+            host: None,
         }
     }
 
@@ -495,6 +527,26 @@ mod tests {
         // Self-contained: no external fetches of any kind.
         assert!(!html.contains("http://") && !html.contains("https://"), "external URL");
         assert!(!html.contains("<script"), "no JS needed");
+    }
+
+    #[test]
+    fn timeline_hatches_the_dropped_prefix_when_the_ring_overflowed() {
+        // An intact log renders no truncation marker...
+        let html = render(&Dashboard { spans: spans_doc(), ..Dashboard::default() });
+        assert!(!html.contains("url(#drop)"), "intact ring must not hatch");
+        // ...but once the ring drops segments, the unrecorded prefix is
+        // hatched and labelled so the gap reads as truncation, not idle.
+        let mut log = SpanLog::new(2);
+        log.record(3, Site::Scalar, AttrBin::ScalarOverlap);
+        log.record(4, Site::MemReady, AttrBin::MemStall);
+        log.record(5, Site::SuBusy, AttrBin::SuCompare);
+        let snap = log.snapshot(0);
+        assert!(snap.dropped > 0);
+        let spans = vec![("TC/overflow".into(), vec![snap])];
+        let html = render(&Dashboard { spans, ..Dashboard::default() });
+        assert!(html.contains("url(#drop)"), "dropped prefix must hatch");
+        assert!(html.contains("dropped from the ring"), "marker carries the drop count tooltip");
+        assert!(html.contains("<pattern id=\"drop\""), "hatch pattern def is self-contained");
     }
 
     #[test]

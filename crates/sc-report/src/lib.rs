@@ -25,6 +25,7 @@
 //! builds offline, with no serde.
 
 pub mod explain;
+pub mod host;
 pub mod html;
 pub mod record;
 pub mod registry;
@@ -34,13 +35,14 @@ pub mod tightness;
 pub mod trend;
 
 pub use explain::{attr_map, rank as explain_rank, render as explain_render};
+pub use host::{gate as host_gate, summarize as host_summarize, HostGateOptions, HostRow};
 pub use html::{parse_bench_json, parse_spans_doc, render as html_render, Dashboard};
 pub use record::{
-    append_records, current_git_sha, fnv1a, hex, parse_record_file, render_record_file, RunRecord,
-    ATTR_BINS, SCHEMA_VERSION,
+    append_records, current_git_sha, fnv1a, hex, parse_record_file, render_record_file,
+    HostSection, RunRecord, ATTR_BINS, SCHEMA_VERSION,
 };
 pub use registry::{load_path, load_paths};
 pub use regress::{compare, CompareOptions, Finding, Severity, Verdict};
 pub use scoreboard::{overall_drift_pct, scoreboard, FigureScore, Metric, Reference};
 pub use tightness::{summarize as tightness_summarize, TightnessRow};
-pub use trend::{render_bench_json, trend, TrendPoint};
+pub use trend::{merge_points, render_bench_json, trend, TrendHost, TrendPoint};

@@ -18,6 +18,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::Path;
 
+use sc_host::Phase;
 use sc_probe::json::{self, Value};
 
 /// Version of the record schema. Bump when a field is added, removed or
@@ -59,6 +60,94 @@ pub struct RunRecord {
     /// The sc-probe metrics snapshot at record time (counters accumulate
     /// across a bench's workloads; gauges reflect the latest run).
     pub metrics: Value,
+    /// Host-side telemetry for the window that produced this record
+    /// (phase walls, peak RSS, allocator stats). `None` for records
+    /// produced without `--host` — the field is optional so schema 1
+    /// registries from before the host layer still parse.
+    pub host: Option<HostSection>,
+}
+
+/// Host-process telemetry attached to a record by `--host`.
+///
+/// `phase_ms` is in [`Phase::ALL`] order and sums (including the
+/// implicit `other` bucket) to the record's wall window by construction
+/// of the switching phase timers; `peak_rss_kb` is the process-wide
+/// `VmHWM` (`None` where the platform has no cheap RSS source); the
+/// alloc fields come from the counting global allocator — count/bytes
+/// are deltas for this record's window, `alloc_peak_bytes` is the
+/// process-wide peak of live bytes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HostSection {
+    /// Per-phase host wall milliseconds, in [`Phase::ALL`] order.
+    pub phase_ms: [f64; Phase::COUNT],
+    /// Peak resident set size in kB (`VmHWM`); `None` off-Linux.
+    pub peak_rss_kb: Option<u64>,
+    /// Allocations made during this record's window.
+    pub alloc_count: u64,
+    /// Bytes allocated during this record's window.
+    pub alloc_bytes: u64,
+    /// Process-wide peak of live heap bytes (0 when counting is off).
+    pub alloc_peak_bytes: u64,
+}
+
+impl HostSection {
+    /// Total host wall across all phases (≈ the record's `wall_ms`).
+    pub fn total_ms(&self) -> f64 {
+        self.phase_ms.iter().sum()
+    }
+
+    /// Wall for one named phase.
+    pub fn get(&self, p: Phase) -> f64 {
+        self.phase_ms[p.index()]
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\"phase_ms\":{");
+        for (i, p) in Phase::ALL.into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str(&mut out, p.name());
+            out.push(':');
+            json::write_f64(&mut out, self.phase_ms[i]);
+        }
+        out.push_str("},\"peak_rss_kb\":");
+        match self.peak_rss_kb {
+            Some(kb) => {
+                let _ = write!(out, "{kb}");
+            }
+            None => out.push_str("null"),
+        }
+        let _ = write!(
+            out,
+            ",\"alloc_count\":{},\"alloc_bytes\":{},\"alloc_peak_bytes\":{}}}",
+            self.alloc_count, self.alloc_bytes, self.alloc_peak_bytes
+        );
+        out
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let phases = v.get("phase_ms").ok_or("host missing 'phase_ms'")?;
+        let mut phase_ms = [0.0; Phase::COUNT];
+        for (i, p) in Phase::ALL.into_iter().enumerate() {
+            phase_ms[i] = phases
+                .get(p.name())
+                .and_then(Value::as_f64)
+                .ok_or(format!("host.phase_ms missing numeric '{}'", p.name()))?;
+        }
+        let peak_rss_kb = match v.get("peak_rss_kb") {
+            None | Some(Value::Null) => None,
+            Some(Value::Num(n)) => Some(*n as u64),
+            Some(other) => return Err(format!("host.peak_rss_kb is not numeric: {other:?}")),
+        };
+        Ok(HostSection {
+            phase_ms,
+            peak_rss_kb,
+            alloc_count: num(v, "alloc_count")? as u64,
+            alloc_bytes: num(v, "alloc_bytes")? as u64,
+            alloc_peak_bytes: num(v, "alloc_peak_bytes")? as u64,
+        })
+    }
 }
 
 impl RunRecord {
@@ -121,6 +210,10 @@ impl RunRecord {
         out.push('}');
         field(&mut out, "metrics");
         out.push_str(&self.metrics.to_json());
+        if let Some(host) = &self.host {
+            field(&mut out, "host");
+            out.push_str(&host.to_json());
+        }
         out.push('}');
         out
     }
@@ -161,6 +254,10 @@ impl RunRecord {
             wall_ms: num(v, "wall_ms")?,
             attr,
             metrics: v.get("metrics").cloned().ok_or("record missing 'metrics'")?,
+            host: match obj.get("host") {
+                None | Some(Value::Null) => None,
+                Some(h) => Some(HostSection::from_value(h).map_err(|e| format!("host: {e}"))?),
+            },
         })
     }
 
@@ -325,6 +422,17 @@ mod tests {
             wall_ms: 12.75,
             attr: [10_000, 20_000, 30_000, 5_000, 60_000],
             metrics: json::parse(r#"{"engine":{"reads":42},"attr":{"total":125000}}"#).unwrap(),
+            host: None,
+        }
+    }
+
+    pub(crate) fn sample_host() -> HostSection {
+        HostSection {
+            phase_ms: [4.5, 0.25, 1.0, 6.0, 0.5, 0.5],
+            peak_rss_kb: Some(104_872),
+            alloc_count: 12_345,
+            alloc_bytes: 9_876_543,
+            alloc_peak_bytes: 55_000_000,
         }
     }
 
@@ -334,6 +442,35 @@ mod tests {
         let mut no_baseline = sample("cdf/T/C");
         no_baseline.baseline_cycles = None;
         no_baseline.round_trip().unwrap();
+    }
+
+    #[test]
+    fn host_section_round_trips_and_stays_optional() {
+        // With a host section, including the off-Linux None RSS case.
+        let mut r = sample("TC/C");
+        r.host = Some(sample_host());
+        r.round_trip().unwrap();
+        let h = r.host.as_mut().unwrap();
+        h.peak_rss_kb = None;
+        r.round_trip().unwrap();
+        // Phase walls sum to the total and are addressable by phase.
+        let h = r.host.as_ref().unwrap();
+        assert!((h.total_ms() - 12.75).abs() < 1e-9);
+        assert_eq!(h.get(Phase::Simulate), 6.0);
+        // A record without the section omits the key entirely, so a
+        // pre-host schema-1 document is also a valid current document.
+        let plain = sample("TC/C");
+        assert!(!plain.to_json().contains("\"host\""));
+        plain.round_trip().unwrap();
+        // Explicit null parses as absent.
+        let doc = plain.to_json().replacen(",\"metrics\":", ",\"host\":null,\"metrics\":", 1);
+        assert_eq!(RunRecord::from_value(&json::parse(&doc).unwrap()).unwrap(), plain);
+        // A malformed host section is a hard error, not a silent None.
+        let mut bad = sample("TC/C");
+        bad.host = Some(sample_host());
+        let doc = bad.to_json().replacen("\"simulate\":6", "\"simulate\":\"6\"", 1);
+        let err = RunRecord::from_value(&json::parse(&doc).unwrap()).unwrap_err();
+        assert!(err.contains("host") && err.contains("simulate"), "{err}");
     }
 
     #[test]

@@ -81,6 +81,7 @@ mod tests {
             wall_ms: 1.0,
             attr: [20, 20, 20, 20, 20],
             metrics: json::parse("{}").unwrap(),
+            host: None,
         }
     }
 

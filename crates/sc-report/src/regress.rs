@@ -242,6 +242,7 @@ mod tests {
             wall_ms: wall,
             attr: [cycles / 5; 5],
             metrics: json::parse("{}").unwrap(),
+            host: None,
         }
     }
 

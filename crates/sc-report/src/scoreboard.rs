@@ -359,6 +359,7 @@ mod tests {
             wall_ms: 1.0,
             attr: [0; 5],
             metrics: json::parse("{}").unwrap(),
+            host: None,
         }
     }
 

@@ -120,6 +120,7 @@ mod tests {
             wall_ms: 0.0,
             attr: [0; 5],
             metrics,
+            host: None,
         }
     }
 

@@ -3,6 +3,7 @@
 
 use std::collections::BTreeMap;
 
+use sc_host::Phase;
 use sc_probe::json;
 
 use crate::record::RunRecord;
@@ -23,6 +24,22 @@ pub struct TrendPoint {
     pub total_wall_ms: f64,
     /// Per-bench record counts, for spotting coverage drift at a glance.
     pub per_bench: BTreeMap<String, usize>,
+    /// Host-perf aggregate over the records that carry a `host` section
+    /// (absent for pre-host registries).
+    pub host: Option<TrendHost>,
+}
+
+/// The host-perf slice of a trend point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendHost {
+    /// Summed per-phase host wall ms, in [`Phase::ALL`] order.
+    pub phase_ms: [f64; Phase::COUNT],
+    /// Max peak RSS (kB) seen across the point's records; 0 when no
+    /// record could sample RSS (non-Linux hosts).
+    pub peak_rss_kb: u64,
+    /// Records produced per host wall second — the throughput number
+    /// the ROADMAP host-parallel refactor must move.
+    pub records_per_s: f64,
 }
 
 /// Fold records into one [`TrendPoint`] per git SHA, in first-appearance
@@ -50,16 +67,56 @@ pub fn trend(records: &[RunRecord]) -> Vec<TrendPoint> {
             for r in group {
                 *per_bench.entry(r.bench.clone()).or_default() += 1;
             }
+            let total_wall_ms: f64 = group.iter().map(|r| r.wall_ms).sum();
+            let mut phase_ms = [0.0; Phase::COUNT];
+            let mut peak_rss_kb = 0u64;
+            let mut with_host = 0usize;
+            for r in group {
+                if let Some(h) = &r.host {
+                    with_host += 1;
+                    for (acc, ms) in phase_ms.iter_mut().zip(h.phase_ms) {
+                        *acc += ms;
+                    }
+                    peak_rss_kb = peak_rss_kb.max(h.peak_rss_kb.unwrap_or(0));
+                }
+            }
+            let host = (with_host > 0).then(|| TrendHost {
+                phase_ms,
+                peak_rss_kb,
+                records_per_s: if total_wall_ms > 0.0 {
+                    group.len() as f64 / (total_wall_ms / 1e3)
+                } else {
+                    0.0
+                },
+            });
             TrendPoint {
                 git_sha: sha,
                 records: group.len(),
                 total_cycles: group.iter().map(|r| r.cycles).sum(),
                 gmean_speedup,
-                total_wall_ms: group.iter().map(|r| r.wall_ms).sum(),
+                total_wall_ms,
                 per_bench,
+                host,
             }
         })
         .collect()
+}
+
+/// Merge freshly computed points into an existing trajectory: existing
+/// points keep their order, a fresh point for an already-present SHA
+/// *replaces* it in place (re-recording a commit updates the point
+/// instead of duplicating it), and genuinely new SHAs append at the
+/// end. This is what lets `BENCH_sc.json` accumulate one point per
+/// recorded run across commits.
+pub fn merge_points(existing: Vec<TrendPoint>, fresh: Vec<TrendPoint>) -> Vec<TrendPoint> {
+    let mut out = existing;
+    for p in fresh {
+        match out.iter_mut().find(|e| e.git_sha == p.git_sha) {
+            Some(slot) => *slot = p,
+            None => out.push(p),
+        }
+    }
+    out
 }
 
 /// Serialize trend points as the `BENCH_sc.json` document:
@@ -88,7 +145,22 @@ pub fn render_bench_json(points: &[TrendPoint]) -> String {
             json::write_str(&mut out, bench);
             out.push_str(&format!(":{n}"));
         }
-        out.push_str("}}");
+        out.push('}');
+        if let Some(h) = &p.host {
+            out.push_str(",\"host\":{\"phase_ms\":{");
+            for (i, phase) in Phase::ALL.into_iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::write_str(&mut out, phase.name());
+                out.push(':');
+                json::write_f64(&mut out, (h.phase_ms[i] * 1_000.0).round() / 1_000.0);
+            }
+            out.push_str(&format!("}},\"peak_rss_kb\":{},\"records_per_s\":", h.peak_rss_kb));
+            json::write_f64(&mut out, (h.records_per_s * 1_000.0).round() / 1_000.0);
+            out.push('}');
+        }
+        out.push('}');
     }
     out.push_str("\n]}\n");
     out
@@ -97,17 +169,18 @@ pub fn render_bench_json(points: &[TrendPoint]) -> String {
 /// Render the trend as an aligned plain-text table for the terminal.
 pub fn render_text(points: &[TrendPoint]) -> String {
     let mut out = format!(
-        "{:<14} {:>8} {:>16} {:>10} {:>12}\n",
-        "git_sha", "records", "total_cycles", "gmean", "wall_ms"
+        "{:<14} {:>8} {:>16} {:>10} {:>12} {:>8}\n",
+        "git_sha", "records", "total_cycles", "gmean", "wall_ms", "rec/s"
     );
     for p in points {
         out.push_str(&format!(
-            "{:<14} {:>8} {:>16} {:>10} {:>12.1}\n",
+            "{:<14} {:>8} {:>16} {:>10} {:>12.1} {:>8}\n",
             p.git_sha,
             p.records,
             p.total_cycles,
             p.gmean_speedup.map_or("-".into(), |g| format!("{g:.2}x")),
             p.total_wall_ms,
+            p.host.as_ref().map_or("-".into(), |h| format!("{:.1}", h.records_per_s)),
         ));
     }
     out
@@ -129,6 +202,7 @@ mod tests {
             wall_ms: 3.0,
             attr: [0; 5],
             metrics: json::parse("{}").unwrap(),
+            host: None,
         }
     }
 
@@ -161,5 +235,68 @@ mod tests {
         assert_eq!(pts[0].get("git_sha").unwrap().as_str(), Some("abc"));
         assert_eq!(pts[0].get("gmean_speedup").unwrap().as_f64(), Some(2.5));
         assert!(render_text(&points).contains("abc"));
+    }
+
+    fn hosted(sha: &str, cycles: u64) -> RunRecord {
+        let mut r = rec(sha, "fig08", cycles, Some(4 * cycles));
+        r.host = Some(crate::record::HostSection {
+            phase_ms: [1.0, 0.125, 0.25, 1.5, 0.125, 0.0],
+            peak_rss_kb: Some(50_000),
+            alloc_count: 10,
+            alloc_bytes: 1000,
+            alloc_peak_bytes: 2000,
+        });
+        r
+    }
+
+    #[test]
+    fn host_aggregate_sums_phases_and_derives_throughput() {
+        let points = trend(&[hosted("abc", 100), hosted("abc", 200), rec("abc", "fig15", 1, None)]);
+        assert_eq!(points.len(), 1);
+        let h = points[0].host.as_ref().expect("host records present");
+        assert!((h.phase_ms[0] - 2.0).abs() < 1e-9, "generate sums over host records");
+        assert_eq!(h.peak_rss_kb, 50_000);
+        // 3 records over 9 ms of total wall.
+        assert!((h.records_per_s - 3.0 / 9.0e-3).abs() < 1e-6);
+        // No host sections at all → no host aggregate.
+        assert!(trend(&[rec("abc", "fig08", 1, None)])[0].host.is_none());
+    }
+
+    /// The BENCH_sc.json schema guard: render → parse → render is
+    /// byte-stable (so CI merges are idempotent), the host slice
+    /// round-trips, and non-schema-1 documents are rejected.
+    #[test]
+    fn bench_json_schema_round_trips_byte_stable() {
+        let points = trend(&[hosted("abc", 100), rec("def", "fig08", 7, None), hosted("ghi", 300)]);
+        let doc = render_bench_json(&points);
+        let parsed = crate::html::parse_bench_json(&doc).unwrap();
+        // Rendering rounds floats to fixed precision, so stability is
+        // judged on the rendered form: one extra round trip is identity.
+        assert_eq!(render_bench_json(&parsed), doc, "second render must be byte-identical");
+        assert_eq!(parsed.len(), points.len());
+        assert_eq!(parsed[0].host.as_ref().unwrap().peak_rss_kb, 50_000);
+        assert!(parsed[1].host.is_none());
+        assert!(crate::html::parse_bench_json("{\"schema\":2,\"points\":[]}")
+            .unwrap_err()
+            .contains("schema"));
+        assert!(crate::html::parse_bench_json("{\"points\":[]}").unwrap_err().contains("schema"));
+    }
+
+    /// The accumulation fix: merging a fresh run into an existing
+    /// trajectory appends new SHAs in order and replaces re-recorded
+    /// SHAs in place, never duplicating or reordering.
+    #[test]
+    fn merge_accumulates_one_point_per_sha_in_stable_order() {
+        let existing = trend(&[rec("aaa", "fig08", 10, None), rec("bbb", "fig08", 20, None)]);
+        let fresh = trend(&[hosted("bbb", 99), hosted("ccc", 30)]);
+        let merged = merge_points(existing.clone(), fresh);
+        let shas: Vec<_> = merged.iter().map(|p| p.git_sha.as_str()).collect();
+        assert_eq!(shas, ["aaa", "bbb", "ccc"], "append order stable, no duplicates");
+        assert_eq!(merged[0], existing[0], "untouched point survives verbatim");
+        assert_eq!(merged[1].total_cycles, 99, "re-recorded SHA replaced in place");
+        assert!(merged[1].host.is_some(), "replacement carries the fresh host slice");
+        // Merging the same fresh set again is a no-op.
+        let again = merge_points(merged.clone(), trend(&[hosted("bbb", 99), hosted("ccc", 30)]));
+        assert_eq!(again, merged);
     }
 }

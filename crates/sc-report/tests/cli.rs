@@ -27,6 +27,7 @@ fn sample(workload: &str, cycles: u64, checksum: u64) -> RunRecord {
         wall_ms: 10.0,
         attr: [cycles / 5; 5],
         metrics: sc_probe::json::parse(r#"{"attr":{"total":1}}"#).unwrap(),
+        host: None,
     }
 }
 
@@ -191,6 +192,109 @@ fn trend_writes_bench_json() {
     let points = v.get("points").unwrap().as_arr().unwrap();
     assert_eq!(points.len(), 2);
     assert_eq!(points[0].get("git_sha").unwrap().as_str(), Some("cafe12345678"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trend_out_accumulates_points_across_runs() {
+    let dir = temp_dir("trend_merge");
+    let out_path = dir.join("BENCH_sc.json");
+    // First recorded run seeds the trajectory.
+    let reg1 = write_registry(&dir, "run1.json", &[sample("TC/C", 1000, 42)]);
+    let out = sc_report(&[
+        "trend",
+        "--registry",
+        reg1.to_str().unwrap(),
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    // A later run at a different SHA appends; the seed point survives.
+    let mut newer = sample("TC/C", 900, 42);
+    newer.git_sha = "beef00000000".into();
+    let reg2 = write_registry(&dir, "run2.json", &[newer.clone()]);
+    let out = sc_report(&[
+        "trend",
+        "--registry",
+        reg2.to_str().unwrap(),
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    assert!(stdout(&out).contains("2 trajectory points"), "{}", stdout(&out));
+    let doc = std::fs::read_to_string(&out_path).unwrap();
+    let v = sc_probe::json::parse(&doc).unwrap();
+    let points = v.get("points").unwrap().as_arr().unwrap();
+    assert_eq!(points.len(), 2, "seed point must survive the second write:\n{doc}");
+    assert_eq!(points[0].get("git_sha").unwrap().as_str(), Some("cafe12345678"));
+    assert_eq!(points[1].get("git_sha").unwrap().as_str(), Some("beef00000000"));
+    // Re-recording the same SHA replaces in place instead of duplicating.
+    newer.cycles = 901;
+    let reg3 = write_registry(&dir, "run3.json", &[newer]);
+    let out = sc_report(&[
+        "trend",
+        "--registry",
+        reg3.to_str().unwrap(),
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stdout(&out));
+    let doc = std::fs::read_to_string(&out_path).unwrap();
+    let v = sc_probe::json::parse(&doc).unwrap();
+    let points = v.get("points").unwrap().as_arr().unwrap();
+    assert_eq!(points.len(), 2);
+    assert_eq!(points[1].get("total_cycles").unwrap().as_f64(), Some(901.0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn hosted(workload: &str, wall_ms: f64, rss_kb: u64) -> RunRecord {
+    let mut r = sample(workload, 1000, 42);
+    r.wall_ms = wall_ms;
+    r.host = Some(sc_report::HostSection {
+        phase_ms: [wall_ms * 0.4, 0.0, 0.0, wall_ms * 0.5, wall_ms * 0.1, 0.0],
+        peak_rss_kb: Some(rss_kb),
+        alloc_count: 10,
+        alloc_bytes: 1 << 20,
+        alloc_peak_bytes: 1 << 22,
+    });
+    r
+}
+
+#[test]
+fn host_reports_and_gates_budgets() {
+    let dir = temp_dir("host");
+    let reg = write_registry(&dir, "runs.json", &[hosted("TC/C", 10.0, 90_000)]);
+    let reg_s = reg.to_str().unwrap();
+    // Defaults pass and the table renders phases + totals.
+    let out_path = dir.join("BENCH_sc.json");
+    let out =
+        sc_report(&["host", "--registry", reg_s, "--require", "--out", out_path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}\n{}", stdout(&out), String::from_utf8_lossy(&out.stderr));
+    let text = stdout(&out);
+    assert!(text.contains("simulate") && text.contains("TOTAL"), "{text}");
+    let doc = std::fs::read_to_string(&out_path).unwrap();
+    assert!(doc.contains("\"host\""), "trend point carries the host slice:\n{doc}");
+    // Deliberate budget violations exit nonzero.
+    let out = sc_report(&["host", "--registry", reg_s, "--max-rss-kb", "1"]);
+    assert_eq!(out.status.code(), Some(1), "RSS ceiling must trip");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("peak RSS"), "names the gate");
+    let slow = write_registry(&dir, "slow.json", &[hosted("TC/C", 20.0, 90_000)]);
+    let out = sc_report(&[
+        "host",
+        "--registry",
+        slow.to_str().unwrap(),
+        "--baseline",
+        reg_s,
+        "--max-wall-regress",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "--max-wall-regress 0 must reject any slowdown");
+    // A registry recorded without --host fails --require but passes without it.
+    let bare = write_registry(&dir, "bare.json", &[sample("TC/C", 1000, 42)]);
+    let out = sc_report(&["host", "--registry", bare.to_str().unwrap(), "--require"]);
+    assert_eq!(out.status.code(), Some(1));
+    let out = sc_report(&["host", "--registry", bare.to_str().unwrap()]);
+    assert!(out.status.success());
     let _ = std::fs::remove_dir_all(&dir);
 }
 

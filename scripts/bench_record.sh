@@ -28,29 +28,29 @@ for i in $(seq "$REPEATS"); do
   # --cost on every engine-driven bench: each records the soundness
   # replay gate's gauges (cost.checked / cost.violations /
   # cost.tightness), which `sc-report tightness` gates on below.
-  "$BIN/fig07_accels" --datasets E --cost --record "$OUT/fig07_accels.json" >/dev/null
-  "$BIN/fig08_cpu_speedup" --datasets C,E --skip-fsm --cost \
+  "$BIN/fig07_accels" --datasets E --cost --host --record "$OUT/fig07_accels.json" >/dev/null
+  "$BIN/fig08_cpu_speedup" --datasets C,E --skip-fsm --cost --host \
     --record "$OUT/fig08_cpu_speedup.json" >/dev/null
   # The attribution/ablation-sweep figures: one small dataset each keeps
   # them cheap, but every one of the 12 bench bins now lands in the
   # registry, so `sc-report trend`'s per_bench coverage map is complete
   # and a bin silently dropping out of the matrix fails the compare.
-  "$BIN/fig09_10_breakdown" --datasets C --cost \
+  "$BIN/fig09_10_breakdown" --datasets C --cost --host \
     --record "$OUT/fig09_10_breakdown.json" >/dev/null
-  "$BIN/fig11_gpu" --datasets E --cost --record "$OUT/fig11_gpu.json" >/dev/null
-  "$BIN/fig12_sus" --datasets E --cost --record "$OUT/fig12_sus.json" >/dev/null
-  "$BIN/fig13_bandwidth" --datasets E --cost --record "$OUT/fig13_bandwidth.json" >/dev/null
-  "$BIN/fig14_lengths" --datasets E --cost --record "$OUT/fig14_lengths.json" >/dev/null
-  "$BIN/fig15_tensor" --matrices C,E --cost --record "$OUT/fig15_tensor.json" >/dev/null
-  "$BIN/fig16_tensor_accels" --matrices C,E --cost \
+  "$BIN/fig11_gpu" --datasets E --cost --host --record "$OUT/fig11_gpu.json" >/dev/null
+  "$BIN/fig12_sus" --datasets E --cost --host --record "$OUT/fig12_sus.json" >/dev/null
+  "$BIN/fig13_bandwidth" --datasets E --cost --host --record "$OUT/fig13_bandwidth.json" >/dev/null
+  "$BIN/fig14_lengths" --datasets E --cost --host --record "$OUT/fig14_lengths.json" >/dev/null
+  "$BIN/fig15_tensor" --matrices C,E --cost --host --record "$OUT/fig15_tensor.json" >/dev/null
+  "$BIN/fig16_tensor_accels" --matrices C,E --cost --host \
     --record "$OUT/fig16_tensor_accels.json" >/dev/null
-  "$BIN/ablations" --datasets E --cost --record "$OUT/ablations.json" >/dev/null
+  "$BIN/ablations" --datasets E --cost --host --record "$OUT/ablations.json" >/dev/null
   # Both scheduler modes plus the sharded tensor kernels, with the
   # invariant sanitizer on: the dynamic scheduler is deterministic by
   # construction, so its records exact-compare like everything else.
-  "$BIN/multicore" --datasets E --sched both --chunk 8 --tensor --sanitize --cost \
+  "$BIN/multicore" --datasets E --sched both --chunk 8 --tensor --sanitize --cost --host \
     --record "$OUT/multicore.json" >/dev/null
-  "$BIN/datasets_report" --record "$OUT/datasets_report.json" >/dev/null
+  "$BIN/datasets_report" --host --record "$OUT/datasets_report.json" >/dev/null
 done
 
 "$BIN/sc-report" verify "$OUT"
@@ -58,3 +58,7 @@ done
 # and the worst upper/simulated ratio stays within budget. --require
 # catches a silently dropped --cost flag above.
 "$BIN/sc-report" tightness --registry "$OUT" --require
+# Host gate: every bench ran with --host (at least one host section per
+# registry) and peak RSS stays under the default ceiling. --require
+# catches a silently dropped --host flag above.
+"$BIN/sc-report" host --registry "$OUT" --require

@@ -54,6 +54,18 @@ target/release/sc-report html --registry "$tmp" \
   --out "$smoke/dashboard.html"
 test -s "$smoke/dashboard.html"
 
+echo "==> host-perf smoke: budget gates and deliberate violation"
+# bench_record.sh already enforced `host --require` on the fresh run;
+# here the wall budget is additionally gated against the committed
+# goldens, and a deliberately impossible RSS ceiling must be *caught*
+# (any process's peak RSS exceeds 1 kB, deterministically).
+target/release/sc-report host --registry "$tmp" \
+  --baseline results/golden --require >/dev/null
+if target/release/sc-report host --registry "$tmp" --max-rss-kb 1 >/dev/null 2>&1; then
+  echo "host gate failed to trip on an impossible RSS ceiling" >&2
+  exit 1
+fi
+
 echo "==> cost gate on the committed goldens"
 target/release/sc-report tightness --registry results/golden --require
 
