@@ -32,37 +32,34 @@ fn main() {
         Dataset::Haverford76,
         Dataset::WikiVote,
     ]);
-    let probe = cli.probe();
-
     println!("# Ablation 1: bounded intersection (Figure 2(b)) vs post-filtering (2(a))\n");
-    let mut rows = Vec::new();
-    for &d in &datasets {
-        let g = cli.in_phase(Phase::Generate, || d.build());
+    let rows = cli.sweep(&datasets, |w, &d| {
+        let g = w.in_phase(Phase::Generate, || d.build());
         let order = [0usize, 1, 2, 3];
         let pat = Pattern::tailed_triangle();
         let stride = stride_for(App::TailedTriangle, d);
         let cfg = SparseCoreConfig::paper();
         let run = |plan: &Plan| {
-            cli.in_phase(Phase::Simulate, || {
+            w.in_phase(Phase::Simulate, || {
                 let mut b = StreamBackend::with_engine(&g, Engine::new(cfg), false);
                 let (n, _) = exec::count_sampled(&g, plan, &mut b, stride);
                 (n, b.finish() * stride as u64)
             })
         };
-        let plan = cli.in_phase(Phase::Emit, || Plan::compile(&pat, &order, Induced::Vertex));
+        let plan = w.in_phase(Phase::Emit, || Plan::compile(&pat, &order, Induced::Vertex));
         let plan_unbounded =
-            cli.in_phase(Phase::Emit, || Plan::compile_unbounded(&pat, &order, Induced::Vertex));
+            w.in_phase(Phase::Emit, || Plan::compile_unbounded(&pat, &order, Induced::Vertex));
         let (n1, bounded) = run(&plan);
         let (n2, unbounded) = run(&plan_unbounded);
         assert_eq!(n1, n2);
-        cli.record(&format!("bounded/{}", d.tag()), Some(&cfg), n1, bounded, Some(unbounded));
-        rows.push(vec![
+        w.record(&format!("bounded/{}", d.tag()), Some(&cfg), n1, bounded, Some(unbounded));
+        vec![
             d.tag().to_string(),
             format!("{bounded}"),
             format!("{unbounded}"),
             format!("{:.2}", unbounded as f64 / bounded.max(1) as f64),
-        ]);
-    }
+        ]
+    });
     println!(
         "{}",
         render_table(
@@ -72,37 +69,39 @@ fn main() {
     );
 
     println!("\n# Ablation 2: S_NESTINTER vs explicit loops (T/TS, 4C/4CS, 5C/5CS)\n");
-    let mut rows = Vec::new();
-    for (with, without) in [
+    let pairs = [
         (App::Triangle, App::TriangleNoNested),
         (App::Clique4, App::Clique4NoNested),
         (App::Clique5, App::Clique5NoNested),
-    ] {
-        for &d in &datasets {
-            let g = cli.in_phase(Phase::Generate, || d.build());
-            let stride = stride_for(without, d);
-            let cfg = SparseCoreConfig::paper();
-            let a = cli
-                .in_phase(Phase::Simulate, || run_sparsecore_probed(&g, with, cfg, stride, &probe));
-            let b = cli.in_phase(Phase::Simulate, || {
-                run_sparsecore_probed(&g, without, cfg, stride, &probe)
-            });
-            assert_eq!(a.count, b.count);
-            cli.record(
-                &format!("nested/{with}/{}", d.tag()),
-                Some(&cfg),
-                a.count,
-                a.cycles,
-                Some(b.cycles),
-            );
-            rows.push(vec![
-                format!("{with}/{}", d.tag()),
-                format!("{}", a.cycles),
-                format!("{}", b.cycles),
-                format!("{:.2}", b.cycles as f64 / a.cycles.max(1) as f64),
-            ]);
-        }
-    }
+    ];
+    let cells: Vec<(App, App, Dataset)> = pairs
+        .iter()
+        .flat_map(|&(with, without)| datasets.iter().map(move |&d| (with, without, d)))
+        .collect();
+    let rows = cli.sweep(&cells, |w, &(with, without, d)| {
+        let g = w.in_phase(Phase::Generate, || d.build());
+        let stride = stride_for(without, d);
+        let cfg = SparseCoreConfig::paper();
+        let probe = w.probe();
+        let a =
+            w.in_phase(Phase::Simulate, || run_sparsecore_probed(&g, with, cfg, stride, &probe));
+        let b =
+            w.in_phase(Phase::Simulate, || run_sparsecore_probed(&g, without, cfg, stride, &probe));
+        assert_eq!(a.count, b.count);
+        w.record(
+            &format!("nested/{with}/{}", d.tag()),
+            Some(&cfg),
+            a.count,
+            a.cycles,
+            Some(b.cycles),
+        );
+        vec![
+            format!("{with}/{}", d.tag()),
+            format!("{}", a.cycles),
+            format!("{}", b.cycles),
+            format!("{:.2}", b.cycles as f64 / a.cycles.max(1) as f64),
+        ]
+    });
     println!(
         "{}",
         render_table(
@@ -113,61 +112,60 @@ fn main() {
     println!("(paper: enabling nested intersection speeds these up by 1.65x on average)\n");
 
     println!("# Ablation 3: scratchpad (16 KiB) vs none\n");
-    let mut rows = Vec::new();
-    for &d in &datasets {
-        let g = cli.in_phase(Phase::Generate, || d.build());
+    let rows = cli.sweep(&datasets, |w, &d| {
+        let g = w.in_phase(Phase::Generate, || d.build());
         let stride = stride_for(App::Triangle, d);
         let cfg = SparseCoreConfig::paper();
-        let with = cli.in_phase(Phase::Simulate, || {
+        let probe = w.probe();
+        let with = w.in_phase(Phase::Simulate, || {
             run_sparsecore_probed(&g, App::Triangle, cfg, stride, &probe)
         });
         let mut no_sp = SparseCoreConfig::paper();
         no_sp.scratchpad.size_bytes = 0;
-        let without = cli.in_phase(Phase::Simulate, || {
+        let without = w.in_phase(Phase::Simulate, || {
             run_sparsecore_probed(&g, App::Triangle, no_sp, stride, &probe)
         });
         assert_eq!(with.count, without.count);
-        cli.record(
+        w.record(
             &format!("scratchpad/{}", d.tag()),
             Some(&cfg),
             with.count,
             with.cycles,
             Some(without.cycles),
         );
-        rows.push(vec![
+        vec![
             d.tag().to_string(),
             format!("{}", with.cycles),
             format!("{}", without.cycles),
             format!("{:.2}", without.cycles as f64 / with.cycles.max(1) as f64),
-        ]);
-    }
+        ]
+    });
     println!(
         "{}",
         render_table(&["graph".into(), "with".into(), "without".into(), "benefit".into()], &rows)
     );
 
     println!("\n# Ablation 4: IEP three-chain counting vs enumeration (software-only)\n");
-    let mut rows = Vec::new();
-    for &d in &datasets {
-        let g = cli.in_phase(Phase::Generate, || d.build());
+    let rows = cli.sweep(&datasets, |w, &d| {
+        let g = w.in_phase(Phase::Generate, || d.build());
         let cfg = SparseCoreConfig::paper();
-        let enumerated = cli.in_phase(Phase::Simulate, || App::ThreeChain.run_stream(&g, cfg));
-        let via_iep = cli.in_phase(Phase::Simulate, || iep::count_stream(&g, cfg));
+        let enumerated = w.in_phase(Phase::Simulate, || App::ThreeChain.run_stream(&g, cfg));
+        let via_iep = w.in_phase(Phase::Simulate, || iep::count_stream(&g, cfg));
         assert_eq!(enumerated.count, via_iep.three_chains);
-        cli.record(
+        w.record(
             &format!("iep/{}", d.tag()),
             Some(&cfg),
             via_iep.three_chains,
             via_iep.cycles,
             Some(enumerated.cycles),
         );
-        rows.push(vec![
+        vec![
             d.tag().to_string(),
             format!("{}", enumerated.cycles),
             format!("{}", via_iep.cycles),
             format!("{:.2}", enumerated.cycles as f64 / via_iep.cycles.max(1) as f64),
-        ]);
-    }
+        ]
+    });
     println!(
         "{}",
         render_table(&["graph".into(), "enumerate".into(), "IEP".into(), "benefit".into()], &rows)

@@ -34,14 +34,13 @@ fn main() {
     println!("plus FSM (frequent subgraph mining, MNI support, <=3 edges)\n");
 
     println!("# Table 4: graph datasets (generated vs paper)\n");
-    let mut rows = Vec::new();
-    for d in Dataset::ALL {
+    let rows = cli.sweep(&Dataset::ALL, |w, &d| {
         let spec = d.spec();
-        let g = cli.in_phase(Phase::Generate, || d.build());
+        let g = w.in_phase(Phase::Generate, || d.build());
         // Edge count as the functional checksum: the generators are
         // deterministic, so any change means the workloads changed.
-        cli.record(&format!("table4/{}", spec.tag), None, g.num_edges() as u64, 0, None);
-        rows.push(vec![
+        w.record(&format!("table4/{}", spec.tag), None, g.num_edges() as u64, 0, None);
+        vec![
             spec.tag.to_string(),
             spec.name.to_string(),
             format!("{}", g.num_vertices()),
@@ -51,8 +50,8 @@ fn main() {
             format!("{}", spec.paper_vertices),
             format!("{}", spec.paper_edges),
             format!("1/{}", spec.scale_down),
-        ]);
-    }
+        ]
+    });
     println!(
         "{}",
         render_table(
@@ -72,12 +71,11 @@ fn main() {
     );
 
     println!("\n# Table 5: matrices and tensors (generated vs paper)\n");
-    let mut rows = Vec::new();
-    for m in MatrixDataset::ALL {
+    let rows = cli.sweep(&MatrixDataset::ALL, |w, &m| {
         let spec = m.spec();
-        let built = cli.in_phase(Phase::Generate, || m.build());
-        cli.record(&format!("table5m/{}", spec.tag), None, built.nnz() as u64, 0, None);
-        rows.push(vec![
+        let built = w.in_phase(Phase::Generate, || m.build());
+        w.record(&format!("table5m/{}", spec.tag), None, built.nnz() as u64, 0, None);
+        vec![
             spec.tag.to_string(),
             spec.name.to_string(),
             format!("{0}x{0}", spec.dim),
@@ -87,8 +85,8 @@ fn main() {
             format!("{0}x{0}", spec.paper_dim),
             format!("{}", spec.paper_nnz),
             format!("1/{}", spec.scale_down),
-        ]);
-    }
+        ]
+    });
     println!(
         "{}",
         render_table(
@@ -107,12 +105,11 @@ fn main() {
         )
     );
 
-    let mut rows = Vec::new();
-    for t in TensorDataset::ALL {
+    let rows = cli.sweep(&TensorDataset::ALL, |w, &t| {
         let spec = t.spec();
-        let built = cli.in_phase(Phase::Generate, || t.build());
-        cli.record(&format!("table5t/{}", spec.tag), None, built.nnz() as u64, 0, None);
-        rows.push(vec![
+        let built = w.in_phase(Phase::Generate, || t.build());
+        w.record(&format!("table5t/{}", spec.tag), None, built.nnz() as u64, 0, None);
+        vec![
             spec.tag.to_string(),
             spec.name.to_string(),
             format!("{:?}", spec.dims),
@@ -121,8 +118,8 @@ fn main() {
             format!("{:?}", spec.paper_dims),
             format!("{}", spec.paper_nnz),
             format!("1/{}", spec.scale_down),
-        ]);
-    }
+        ]
+    });
     println!(
         "{}",
         render_table(

@@ -30,52 +30,53 @@ fn main() {
         Dataset::Youtube,
     ]);
     let with_gramer = cli.flag("--gramer");
-    let probe = cli.probe();
 
     println!("# Figure 7: SparseCore (1 SU) speedup over FlexMiner (1 PE)\n");
     let header: Vec<String> = std::iter::once("app".to_string())
         .chain(datasets.iter().map(|d| d.tag().to_string()))
         .chain(["gmean".to_string()])
         .collect();
+    let fm_cells: Vec<(App, Dataset)> =
+        App::FIG7.iter().flat_map(|&app| datasets.iter().map(move |&d| (app, d))).collect();
+    let fm_speedups = cli.sweep(&fm_cells, |w, &(app, d)| {
+        let g = w.in_phase(Phase::Generate, || d.build());
+        let stride = stride_for(app, d);
+        let cfg = SparseCoreConfig::paper_one_su();
+        let sc =
+            w.in_phase(Phase::Simulate, || run_sparsecore_probed(&g, app, cfg, stride, &w.probe()));
+        let sim = w.phase(Phase::Simulate);
+        let mut fm = FlexMinerModel::new(&g);
+        let mut fm_count = 0;
+        for plan in app.plans() {
+            let (est, _) = exec::count_sampled(&g, &plan, &mut fm, stride);
+            fm_count += est;
+        }
+        let fm_cycles = fm.finish() * stride as u64;
+        drop(sim);
+        assert_eq!(sc.count, fm_count, "{app} on {d}");
+        w.record(
+            &format!("fm/{app}/{}", d.tag()),
+            Some(&cfg),
+            sc.count,
+            sc.cycles,
+            Some(fm_cycles),
+        );
+        let speedup = fm_cycles as f64 / sc.cycles.max(1) as f64;
+        eprintln!(
+            "  {app} on {}: flexminer={fm_cycles} sc={} speedup={speedup:.2}",
+            d.tag(),
+            sc.cycles
+        );
+        speedup
+    });
     let mut rows = Vec::new();
     let mut fm_speedups_all = Vec::new();
-    for app in App::FIG7 {
+    for (i, app) in App::FIG7.iter().enumerate() {
+        let speedups = &fm_speedups[i * datasets.len()..(i + 1) * datasets.len()];
         let mut row = vec![app.tag().to_string()];
-        let mut speedups = Vec::new();
-        for &d in &datasets {
-            let g = cli.in_phase(Phase::Generate, || d.build());
-            let stride = stride_for(app, d);
-            let cfg = SparseCoreConfig::paper_one_su();
-            let sc = cli
-                .in_phase(Phase::Simulate, || run_sparsecore_probed(&g, app, cfg, stride, &probe));
-            let sim = cli.phase(Phase::Simulate);
-            let mut fm = FlexMinerModel::new(&g);
-            let mut fm_count = 0;
-            for plan in app.plans() {
-                let (est, _) = exec::count_sampled(&g, &plan, &mut fm, stride);
-                fm_count += est;
-            }
-            let fm_cycles = fm.finish() * stride as u64;
-            drop(sim);
-            assert_eq!(sc.count, fm_count, "{app} on {d}");
-            cli.record(
-                &format!("fm/{app}/{}", d.tag()),
-                Some(&cfg),
-                sc.count,
-                sc.cycles,
-                Some(fm_cycles),
-            );
-            let speedup = fm_cycles as f64 / sc.cycles.max(1) as f64;
-            speedups.push(speedup);
-            row.push(format!("{speedup:.2}"));
-            eprintln!(
-                "  {app} on {}: flexminer={fm_cycles} sc={} speedup={speedup:.2}",
-                d.tag(),
-                sc.cycles
-            );
-        }
-        row.push(format!("{:.2}", gmean(&speedups)));
-        fm_speedups_all.extend(speedups);
+        row.extend(speedups.iter().map(|s| format!("{s:.2}")));
+        row.push(format!("{:.2}", gmean(speedups)));
+        fm_speedups_all.extend_from_slice(speedups);
         rows.push(row);
     }
     println!("{}", render_table(&header, &rows));
@@ -85,43 +86,46 @@ fn main() {
     );
 
     println!("# Figure 7 (log-scale panels): SparseCore speedup over TrieJax (cliques)\n");
+    let cliques = [(App::Triangle, 3), (App::Clique4, 4), (App::Clique5, 5)];
+    let tj_cells: Vec<(App, usize, Dataset)> =
+        cliques.iter().flat_map(|&(app, k)| datasets.iter().map(move |&d| (app, k, d))).collect();
+    let tj_all = cli.sweep(&tj_cells, |w, &(app, k, d)| {
+        let g = w.in_phase(Phase::Generate, || d.build());
+        let stride = stride_for(app, d).max(4); // TrieJax enumerates k! per clique
+        let cfg = SparseCoreConfig::paper_one_su();
+        let sc =
+            w.in_phase(Phase::Simulate, || run_sparsecore_probed(&g, app, cfg, stride, &w.probe()));
+        // TrieJax model runs unsampled per start vertex internally;
+        // subsample by running on the same stride via cycle scaling.
+        let tj = w.in_phase(Phase::Simulate, || triejax::count_cliques(&g, k));
+        assert_eq!(
+            tj.embeddings,
+            w.in_phase(Phase::Simulate, || run_sparsecore_probed(&g, app, cfg, 1, &w.probe()))
+                .count
+                * triejax::factorial(k),
+            "{app} on {d}: TrieJax embeddings should be k! x cliques"
+        );
+        w.record(
+            &format!("tj/{app}/{}", d.tag()),
+            Some(&cfg),
+            sc.count,
+            sc.cycles,
+            Some(tj.cycles),
+        );
+        let speedup = tj.cycles as f64 / (sc.cycles.max(1)) as f64;
+        eprintln!(
+            "  {app} on {}: triejax={} sc={} speedup={speedup:.1}",
+            d.tag(),
+            tj.cycles,
+            sc.cycles
+        );
+        speedup
+    });
     let mut rows = Vec::new();
-    let mut tj_all = Vec::new();
-    for (app, k) in [(App::Triangle, 3), (App::Clique4, 4), (App::Clique5, 5)] {
+    for (i, (app, _)) in cliques.iter().enumerate() {
+        let speedups = &tj_all[i * datasets.len()..(i + 1) * datasets.len()];
         let mut row = vec![app.tag().to_string()];
-        for &d in &datasets {
-            let g = cli.in_phase(Phase::Generate, || d.build());
-            let stride = stride_for(app, d).max(4); // TrieJax enumerates k! per clique
-            let cfg = SparseCoreConfig::paper_one_su();
-            let sc = cli
-                .in_phase(Phase::Simulate, || run_sparsecore_probed(&g, app, cfg, stride, &probe));
-            // TrieJax model runs unsampled per start vertex internally;
-            // subsample by running on the same stride via cycle scaling.
-            let tj = cli.in_phase(Phase::Simulate, || triejax::count_cliques(&g, k));
-            assert_eq!(
-                tj.embeddings,
-                cli.in_phase(Phase::Simulate, || run_sparsecore_probed(&g, app, cfg, 1, &probe))
-                    .count
-                    * triejax::factorial(k),
-                "{app} on {d}: TrieJax embeddings should be k! x cliques"
-            );
-            cli.record(
-                &format!("tj/{app}/{}", d.tag()),
-                Some(&cfg),
-                sc.count,
-                sc.cycles,
-                Some(tj.cycles),
-            );
-            let speedup = tj.cycles as f64 / (sc.cycles.max(1)) as f64;
-            tj_all.push(speedup);
-            row.push(format!("{speedup:.1}"));
-            eprintln!(
-                "  {app} on {}: triejax={} sc={} speedup={speedup:.1}",
-                d.tag(),
-                tj.cycles,
-                sc.cycles
-            );
-        }
+        row.extend(speedups.iter().map(|s| format!("{s:.1}")));
         row.push(String::new());
         rows.push(row);
     }
@@ -133,15 +137,14 @@ fn main() {
 
     if with_gramer {
         println!("# Section 6.3.1: SparseCore speedup over GRAMER (triangle)\n");
-        let mut rows = Vec::new();
-        for &d in &datasets {
-            let g = cli.in_phase(Phase::Generate, || d.build());
+        let rows = cli.sweep(&datasets, |w, &d| {
+            let g = w.in_phase(Phase::Generate, || d.build());
             let cfg = SparseCoreConfig::paper_one_su();
-            let sc = cli.in_phase(Phase::Simulate, || {
-                run_sparsecore_probed(&g, App::Triangle, cfg, 1, &probe)
+            let sc = w.in_phase(Phase::Simulate, || {
+                run_sparsecore_probed(&g, App::Triangle, cfg, 1, &w.probe())
             });
-            let gr = cli.in_phase(Phase::Simulate, || gramer::mine_clique(&g, 3));
-            cli.record(
+            let gr = w.in_phase(Phase::Simulate, || gramer::mine_clique(&g, 3));
+            w.record(
                 &format!("gramer/T/{}", d.tag()),
                 Some(&cfg),
                 sc.count,
@@ -149,12 +152,8 @@ fn main() {
                 Some(gr.cycles),
             );
             let speedup = gr.cycles as f64 / sc.cycles.max(1) as f64;
-            rows.push(vec![
-                d.tag().to_string(),
-                format!("{}", gr.candidates),
-                format!("{speedup:.1}"),
-            ]);
-        }
+            vec![d.tag().to_string(), format!("{}", gr.candidates), format!("{speedup:.1}")]
+        });
         println!(
             "{}",
             render_table(&["graph".into(), "gramer candidates".into(), "speedup".into()], &rows)

@@ -23,7 +23,6 @@ fn main() {
     sc_bench::cost_gpm_apps(&cli, &App::FIG8);
     let datasets = cli.datasets(&Dataset::ALL);
     let skip_fsm = cli.flag("--skip-fsm");
-    let probe = cli.probe();
 
     println!("# Figure 8: SparseCore (4 SUs) speedup over CPU baseline\n");
     let header: Vec<String> = std::iter::once("app".to_string())
@@ -31,39 +30,37 @@ fn main() {
         .chain(["gmean".to_string()])
         .collect();
 
+    // One sweep item per (app, graph) cell; speedups come back in the
+    // same app-major order the table is assembled in.
+    let cells: Vec<(App, Dataset)> =
+        App::FIG8.iter().flat_map(|&app| datasets.iter().map(move |&d| (app, d))).collect();
+    let speedups = cli.sweep(&cells, |w, &(app, d)| {
+        let g = w.in_phase(Phase::Generate, || d.build());
+        let stride = stride_for(app, d);
+        let cpu = w.in_phase(Phase::Simulate, || run_cpu(&g, app, stride));
+        let cfg = SparseCoreConfig::paper();
+        let sc =
+            w.in_phase(Phase::Simulate, || run_sparsecore_probed(&g, app, cfg, stride, &w.probe()));
+        assert_eq!(cpu.count, sc.count, "count mismatch for {app} on {d} (stride {stride})");
+        w.record(&format!("{app}/{}", d.tag()), Some(&cfg), sc.count, sc.cycles, Some(cpu.cycles));
+        let speedup = cpu.cycles as f64 / sc.cycles.max(1) as f64;
+        eprintln!(
+            "  {app} on {}: cpu={} sc={} speedup={speedup:.2} (stride {stride}, count {})",
+            d.tag(),
+            cpu.cycles,
+            sc.cycles,
+            sc.count
+        );
+        speedup
+    });
     let mut rows = Vec::new();
     let mut all_speedups = Vec::new();
-    for app in App::FIG8 {
+    for (i, app) in App::FIG8.iter().enumerate() {
+        let app_speedups = &speedups[i * datasets.len()..(i + 1) * datasets.len()];
         let mut row = vec![app.tag().to_string()];
-        let mut speedups = Vec::new();
-        for &d in &datasets {
-            let g = cli.in_phase(Phase::Generate, || d.build());
-            let stride = stride_for(app, d);
-            let cpu = cli.in_phase(Phase::Simulate, || run_cpu(&g, app, stride));
-            let cfg = SparseCoreConfig::paper();
-            let sc = cli
-                .in_phase(Phase::Simulate, || run_sparsecore_probed(&g, app, cfg, stride, &probe));
-            assert_eq!(cpu.count, sc.count, "count mismatch for {app} on {d} (stride {stride})");
-            cli.record(
-                &format!("{app}/{}", d.tag()),
-                Some(&cfg),
-                sc.count,
-                sc.cycles,
-                Some(cpu.cycles),
-            );
-            let speedup = cpu.cycles as f64 / sc.cycles.max(1) as f64;
-            speedups.push(speedup);
-            row.push(format!("{speedup:.2}"));
-            eprintln!(
-                "  {app} on {}: cpu={} sc={} speedup={speedup:.2} (stride {stride}, count {})",
-                d.tag(),
-                cpu.cycles,
-                sc.cycles,
-                sc.count
-            );
-        }
-        row.push(format!("{:.2}", gmean(&speedups)));
-        all_speedups.extend(speedups);
+        row.extend(app_speedups.iter().map(|s| format!("{s:.2}")));
+        row.push(format!("{:.2}", gmean(app_speedups)));
+        all_speedups.extend_from_slice(app_speedups);
         rows.push(row);
     }
     println!("{}", render_table(&header, &rows));
@@ -76,14 +73,14 @@ fn main() {
         println!("# FSM on mico (MNI support thresholds)");
         let g = cli.in_phase(Phase::Generate, || Dataset::Mico.build());
         let labels = cli.in_phase(Phase::Generate, || assign_labels(&g, 4, 0x5eed));
-        let mut rows = Vec::new();
-        for threshold in [1000u64, 2000] {
-            let sim = cli.phase(Phase::Simulate);
+        let thresholds = [1000u64, 2000];
+        let rows = cli.sweep(&thresholds, |w, &threshold| {
+            let sim = w.phase(Phase::Simulate);
             let mut cpu_b = ScalarBackend::new(&g);
             let cpu = run_fsm(&g, &labels, threshold, &mut cpu_b);
             let cfg = SparseCoreConfig::paper();
             let mut engine = Engine::new(cfg);
-            engine.set_probe(probe.clone());
+            engine.set_probe(w.probe());
             let mut sc_b = StreamBackend::with_engine(&g, engine, true);
             let sc = run_fsm(&g, &labels, threshold, &mut sc_b);
             assert_eq!(cpu.frequent, sc.frequent, "FSM result mismatch");
@@ -91,21 +88,21 @@ fn main() {
             sc_b.engine().probe_snapshot();
             sc_b.engine().submit_spans(0);
             drop(sim);
-            cli.record(
+            w.record(
                 &format!("fsm/mico/{threshold}"),
                 Some(&cfg),
                 sc.frequent.len() as u64,
                 sc.cycles,
                 Some(cpu.cycles),
             );
-            rows.push(vec![
+            vec![
                 format!("{threshold}"),
                 format!("{}", cpu.frequent.len()),
                 format!("{}", cpu.cycles),
                 format!("{}", sc.cycles),
                 format!("{:.2}", cpu.cycles as f64 / sc.cycles.max(1) as f64),
-            ]);
-        }
+            ]
+        });
         println!(
             "{}",
             render_table(

@@ -63,28 +63,27 @@ fn main() {
         "other%".to_string(),
         "intersect%".to_string(),
     ];
-    let mut rows = Vec::new();
-    for app in apps {
-        for &d in &datasets {
-            let g = cli.in_phase(Phase::Generate, || d.build());
-            let stride = stride_for(app, d);
-            let sim = cli.phase(Phase::Simulate);
-            let mut b = ScalarBackend::new(&g);
-            for plan in app.plans() {
-                exec::count_sampled(&g, &plan, &mut b, stride);
-            }
-            b.finish();
-            drop(sim);
-            let [c, m, o, i] = b.core().breakdown().fractions();
-            rows.push(vec![
-                format!("{app}/{}", d.tag()),
-                format!("{:.1}", c * 100.0),
-                format!("{:.1}", m * 100.0),
-                format!("{:.1}", o * 100.0),
-                format!("{:.1}", i * 100.0),
-            ]);
+    let cells: Vec<(App, Dataset)> =
+        apps.iter().flat_map(|&app| datasets.iter().map(move |&d| (app, d))).collect();
+    let rows = cli.sweep(&cells, |w, &(app, d)| {
+        let g = w.in_phase(Phase::Generate, || d.build());
+        let stride = stride_for(app, d);
+        let sim = w.phase(Phase::Simulate);
+        let mut b = ScalarBackend::new(&g);
+        for plan in app.plans() {
+            exec::count_sampled(&g, &plan, &mut b, stride);
         }
-    }
+        b.finish();
+        drop(sim);
+        let [c, m, o, i] = b.core().breakdown().fractions();
+        vec![
+            format!("{app}/{}", d.tag()),
+            format!("{:.1}", c * 100.0),
+            format!("{:.1}", m * 100.0),
+            format!("{:.1}", o * 100.0),
+            format!("{:.1}", i * 100.0),
+        ]
+    });
     println!("{}", render_table(&header, &rows));
 
     println!("\n# Figure 10: SparseCore cycle attribution (sc-probe, five bins)\n");
@@ -92,40 +91,37 @@ fn main() {
         .chain(AttrBin::ALL.iter().map(|bin| format!("{}%", bin.name())))
         .chain(["cycles".to_string()])
         .collect();
-    let mut rows = Vec::new();
-    for app in apps {
-        for &d in &datasets {
-            let g = cli.in_phase(Phase::Generate, || d.build());
-            let stride = stride_for(app, d);
-            let cfg = SparseCoreConfig::paper();
-            let sim = cli.phase(Phase::Simulate);
-            let mut engine = Engine::new(cfg);
-            engine.set_probe(cli.probe());
-            let mut b = StreamBackend::with_engine(&g, engine, app.uses_nested());
-            let mut count = 0;
-            for plan in app.plans() {
-                let (est, _) = exec::count_sampled(&g, &plan, &mut b, stride);
-                count += est;
-            }
-            let cycles = b.finish();
-            drop(sim);
-            let attr = *b.engine().attribution();
-            assert_eq!(
-                attr.total(),
-                cycles,
-                "attribution must conserve modeled cycles ({app}/{})",
-                d.tag()
-            );
-            b.engine().probe_snapshot();
-            b.engine().submit_spans(0);
-            cli.record(&format!("{app}/{}", d.tag()), Some(&cfg), count, cycles, None);
-            let fr = attr.fractions();
-            let mut row = vec![format!("{app}/{}", d.tag())];
-            row.extend(fr.iter().map(|f| format!("{:.1}", f * 100.0)));
-            row.push(cycles.to_string());
-            rows.push(row);
+    let rows = cli.sweep(&cells, |w, &(app, d)| {
+        let g = w.in_phase(Phase::Generate, || d.build());
+        let stride = stride_for(app, d);
+        let cfg = SparseCoreConfig::paper();
+        let sim = w.phase(Phase::Simulate);
+        let mut engine = Engine::new(cfg);
+        engine.set_probe(w.probe());
+        let mut b = StreamBackend::with_engine(&g, engine, app.uses_nested());
+        let mut count = 0;
+        for plan in app.plans() {
+            let (est, _) = exec::count_sampled(&g, &plan, &mut b, stride);
+            count += est;
         }
-    }
+        let cycles = b.finish();
+        drop(sim);
+        let attr = *b.engine().attribution();
+        assert_eq!(
+            attr.total(),
+            cycles,
+            "attribution must conserve modeled cycles ({app}/{})",
+            d.tag()
+        );
+        b.engine().probe_snapshot();
+        b.engine().submit_spans(0);
+        w.record(&format!("{app}/{}", d.tag()), Some(&cfg), count, cycles, None);
+        let fr = attr.fractions();
+        let mut row = vec![format!("{app}/{}", d.tag())];
+        row.extend(fr.iter().map(|f| format!("{:.1}", f * 100.0)));
+        row.push(cycles.to_string());
+        row
+    });
     println!("{}", render_table(&header, &rows));
     println!("\n(paper: CPU mispredict share is large in the set-operation apps;");
     println!(" SparseCore shifts cycles into the SU-compare/scalar-overlap bins.");
@@ -146,20 +142,20 @@ fn main() {
 /// which carry the bins at site granularity.)
 fn multicore_attribution(cli: &BenchCli, datasets: &[Dataset], cores: usize) {
     println!("\n# Multicore (dynamic): per-core cycle attribution conservation\n");
-    // A section-local probe with spans on, so the per-core bins are
-    // observable even when the process-level probe is off.
-    let probe = Probe::new(ProbeLevel::Metrics);
-    probe.enable_spans();
     let header: Vec<String> = ["graph/core".to_string()]
         .into_iter()
         .chain(AttrBin::ALL.iter().map(|bin| format!("{}%", bin.name())))
         .chain(["cycles".to_string()])
         .collect();
-    let mut rows = Vec::new();
-    for &d in datasets {
-        let g = cli.in_phase(Phase::Generate, || d.build());
+    let per_dataset = cli.sweep(datasets, |w, &d| {
+        // An item-local probe with spans on, so the per-core bins are
+        // observable even when the process-level probe is off (and no
+        // sibling item can drain or dilute this dataset's snapshots).
+        let probe = Probe::new(ProbeLevel::Metrics);
+        probe.enable_spans();
+        let g = w.in_phase(Phase::Generate, || d.build());
         let plan = &App::Triangle.plans()[0];
-        let (run, _) = cli.in_phase(Phase::Simulate, || {
+        let (run, _) = w.in_phase(Phase::Simulate, || {
             count_stream_dynamic_probed(
                 &g,
                 plan,
@@ -172,6 +168,7 @@ fn multicore_attribution(cli: &BenchCli, datasets: &[Dataset], cores: usize) {
         });
         let snaps = probe.take_spans();
         assert_eq!(snaps.len(), cores, "{}: one span snapshot per core", d.tag());
+        let mut dataset_rows = Vec::new();
         for snap in &snaps {
             let per_bin = snap.per_bin();
             assert_eq!(
@@ -185,9 +182,11 @@ fn multicore_attribution(cli: &BenchCli, datasets: &[Dataset], cores: usize) {
             let mut row = vec![format!("{}/core{}", d.tag(), snap.core)];
             row.extend(per_bin.iter().map(|&c| format!("{:.1}", c as f64 / total * 100.0)));
             row.push(snap.total.to_string());
-            rows.push(row);
+            dataset_rows.push(row);
         }
-    }
+        dataset_rows
+    });
+    let rows: Vec<Vec<String>> = per_dataset.into_iter().flatten().collect();
     println!("{}", render_table(&header, &rows));
     println!("\n(each core's five bins sum to that core's completion clock — asserted)");
 }

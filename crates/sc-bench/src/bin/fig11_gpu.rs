@@ -25,7 +25,6 @@ fn main() {
         Dataset::Haverford76,
         Dataset::WikiVote,
     ]);
-    let probe = cli.probe();
     let apps = [
         App::Triangle,
         App::Clique4,
@@ -44,35 +43,33 @@ fn main() {
         "speedup w/o".to_string(),
         "speedup w/".to_string(),
     ];
-    let mut rows = Vec::new();
-    for app in apps {
-        for &d in &datasets {
-            let g = cli.in_phase(Phase::Generate, || d.build());
-            let stride = stride_for(app, d);
-            let cfg = SparseCoreConfig::paper();
-            let sc = cli
-                .in_phase(Phase::Simulate, || run_sparsecore_probed(&g, app, cfg, stride, &probe));
-            let gpu_with =
-                cli.in_phase(Phase::Simulate, || estimate(&g, app, GpuConfig::k40m(), true));
-            let gpu_without =
-                cli.in_phase(Phase::Simulate, || estimate(&g, app, GpuConfig::k40m(), false));
-            cli.record(
-                &format!("{app}/{}", d.tag()),
-                Some(&cfg),
-                sc.count,
-                sc.cycles,
-                Some(gpu_with.cycles_at_1ghz),
-            );
-            rows.push(vec![
-                format!("{app}/{}", d.tag()),
-                format!("{}", sc.cycles),
-                format!("{}", gpu_without.cycles_at_1ghz),
-                format!("{}", gpu_with.cycles_at_1ghz),
-                format!("{:.0}", gpu_without.cycles_at_1ghz as f64 / sc.cycles.max(1) as f64),
-                format!("{:.0}", gpu_with.cycles_at_1ghz as f64 / sc.cycles.max(1) as f64),
-            ]);
-        }
-    }
+    let cells: Vec<(App, Dataset)> =
+        apps.iter().flat_map(|&app| datasets.iter().map(move |&d| (app, d))).collect();
+    let rows = cli.sweep(&cells, |w, &(app, d)| {
+        let g = w.in_phase(Phase::Generate, || d.build());
+        let stride = stride_for(app, d);
+        let cfg = SparseCoreConfig::paper();
+        let sc =
+            w.in_phase(Phase::Simulate, || run_sparsecore_probed(&g, app, cfg, stride, &w.probe()));
+        let gpu_with = w.in_phase(Phase::Simulate, || estimate(&g, app, GpuConfig::k40m(), true));
+        let gpu_without =
+            w.in_phase(Phase::Simulate, || estimate(&g, app, GpuConfig::k40m(), false));
+        w.record(
+            &format!("{app}/{}", d.tag()),
+            Some(&cfg),
+            sc.count,
+            sc.cycles,
+            Some(gpu_with.cycles_at_1ghz),
+        );
+        vec![
+            format!("{app}/{}", d.tag()),
+            format!("{}", sc.cycles),
+            format!("{}", gpu_without.cycles_at_1ghz),
+            format!("{}", gpu_with.cycles_at_1ghz),
+            format!("{:.0}", gpu_without.cycles_at_1ghz as f64 / sc.cycles.max(1) as f64),
+            format!("{:.0}", gpu_with.cycles_at_1ghz as f64 / sc.cycles.max(1) as f64),
+        ]
+    });
     println!("{}", render_table(&header, &rows));
     println!("\n(paper: SparseCore outperforms both GPU variants significantly;");
     println!(" symmetry breaking helps the GPU too)");

@@ -25,41 +25,39 @@ fn main() {
         Dataset::Haverford76,
         Dataset::WikiVote,
     ]);
-    let probe = cli.probe();
     let sus = [1usize, 2, 4, 8, 16];
 
     println!("# Figure 12: speedup vs 1 SU as the number of SUs grows\n");
     let header: Vec<String> = std::iter::once("app/graph".to_string())
         .chain(sus.iter().map(|n| format!("{n} SU")))
         .collect();
-    let mut rows = Vec::new();
-    for app in App::FIG8 {
-        for &d in &datasets {
-            let g = cli.in_phase(Phase::Generate, || d.build());
-            let stride = stride_for(app, d);
-            let base = cli.in_phase(Phase::Simulate, || {
-                run_sparsecore_probed(&g, app, SparseCoreConfig::with_sus(1), stride, &probe)
-            });
-            cli.discard_spans(); // baseline run, not a recorded workload
-            let mut row = vec![format!("{app}/{}", d.tag())];
-            for &n in &sus {
-                let cfg = SparseCoreConfig::with_sus(n);
-                let m = cli.in_phase(Phase::Simulate, || {
-                    run_sparsecore_probed(&g, app, cfg, stride, &probe)
-                });
-                assert_eq!(m.count, base.count);
-                cli.record(
-                    &format!("{app}/{}/su{n}", d.tag()),
-                    Some(&cfg),
-                    m.count,
-                    m.cycles,
-                    Some(base.cycles),
-                );
-                row.push(format!("{:.2}", base.cycles as f64 / m.cycles.max(1) as f64));
-            }
-            rows.push(row);
+    let cells: Vec<(App, Dataset)> =
+        App::FIG8.iter().flat_map(|&app| datasets.iter().map(move |&d| (app, d))).collect();
+    let rows = cli.sweep(&cells, |w, &(app, d)| {
+        let g = w.in_phase(Phase::Generate, || d.build());
+        let stride = stride_for(app, d);
+        let probe = w.probe();
+        let base = w.in_phase(Phase::Simulate, || {
+            run_sparsecore_probed(&g, app, SparseCoreConfig::with_sus(1), stride, &probe)
+        });
+        w.discard_spans(); // baseline run, not a recorded workload
+        let mut row = vec![format!("{app}/{}", d.tag())];
+        for &n in &sus {
+            let cfg = SparseCoreConfig::with_sus(n);
+            let m =
+                w.in_phase(Phase::Simulate, || run_sparsecore_probed(&g, app, cfg, stride, &probe));
+            assert_eq!(m.count, base.count);
+            w.record(
+                &format!("{app}/{}/su{n}", d.tag()),
+                Some(&cfg),
+                m.count,
+                m.cycles,
+                Some(base.cycles),
+            );
+            row.push(format!("{:.2}", base.cycles as f64 / m.cycles.max(1) as f64));
         }
-    }
+        row
+    });
     println!("{}", render_table(&header, &rows));
     println!("\n(paper: improvements up to 4 SUs, then significantly less benefit)");
 
@@ -69,22 +67,21 @@ fn main() {
     println!("\n# SUs x six dynamically-scheduled cores (triangle counting)\n");
     let plan = cli
         .in_phase(Phase::Emit, || Plan::compile(&Pattern::triangle(), &[0, 1, 2], Induced::Vertex));
-    let mut rows = Vec::new();
-    for &d in &datasets {
-        let g = cli.in_phase(Phase::Generate, || d.build());
-        let base = cli.in_phase(Phase::Simulate, || {
+    let rows = cli.sweep(&datasets, |w, &d| {
+        let g = w.in_phase(Phase::Generate, || d.build());
+        let base = w.in_phase(Phase::Simulate, || {
             count_stream_dynamic(&g, &plan, SparseCoreConfig::with_sus(1), true, 6, DEFAULT_CHUNK)
         });
-        let wide = cli.in_phase(Phase::Simulate, || {
+        let wide = w.in_phase(Phase::Simulate, || {
             count_stream_dynamic(&g, &plan, SparseCoreConfig::with_sus(4), true, 6, DEFAULT_CHUNK)
         });
         assert_eq!(base.count, wide.count);
-        rows.push(vec![
+        vec![
             d.tag().to_string(),
             format!("{:.2}", base.cycles as f64 / wide.cycles.max(1) as f64),
             format!("{:.2}", wide.imbalance()),
-        ]);
-    }
+        ]
+    });
     println!(
         "{}",
         render_table(

@@ -24,41 +24,39 @@ fn main() {
         Dataset::Haverford76,
         Dataset::WikiVote,
     ]);
-    let probe = cli.probe();
     let bws = [2u64, 4, 8, 16, 32, 64];
 
     println!("# Figure 13: speedup vs 2 elements/cycle as bandwidth grows\n");
     let header: Vec<String> = std::iter::once("app/graph".to_string())
         .chain(bws.iter().map(|b| format!("{b}/cyc")))
         .collect();
-    let mut rows = Vec::new();
-    for app in App::FIG8 {
-        for &d in &datasets {
-            let g = cli.in_phase(Phase::Generate, || d.build());
-            let stride = stride_for(app, d);
-            let base = cli.in_phase(Phase::Simulate, || {
-                run_sparsecore_probed(&g, app, SparseCoreConfig::with_bandwidth(2), stride, &probe)
-            });
-            cli.discard_spans(); // baseline run, not a recorded workload
-            let mut row = vec![format!("{app}/{}", d.tag())];
-            for &bw in &bws {
-                let cfg = SparseCoreConfig::with_bandwidth(bw);
-                let m = cli.in_phase(Phase::Simulate, || {
-                    run_sparsecore_probed(&g, app, cfg, stride, &probe)
-                });
-                assert_eq!(m.count, base.count);
-                cli.record(
-                    &format!("{app}/{}/bw{bw}", d.tag()),
-                    Some(&cfg),
-                    m.count,
-                    m.cycles,
-                    Some(base.cycles),
-                );
-                row.push(format!("{:.2}", base.cycles as f64 / m.cycles.max(1) as f64));
-            }
-            rows.push(row);
+    let cells: Vec<(App, Dataset)> =
+        App::FIG8.iter().flat_map(|&app| datasets.iter().map(move |&d| (app, d))).collect();
+    let rows = cli.sweep(&cells, |w, &(app, d)| {
+        let g = w.in_phase(Phase::Generate, || d.build());
+        let stride = stride_for(app, d);
+        let probe = w.probe();
+        let base = w.in_phase(Phase::Simulate, || {
+            run_sparsecore_probed(&g, app, SparseCoreConfig::with_bandwidth(2), stride, &probe)
+        });
+        w.discard_spans(); // baseline run, not a recorded workload
+        let mut row = vec![format!("{app}/{}", d.tag())];
+        for &bw in &bws {
+            let cfg = SparseCoreConfig::with_bandwidth(bw);
+            let m =
+                w.in_phase(Phase::Simulate, || run_sparsecore_probed(&g, app, cfg, stride, &probe));
+            assert_eq!(m.count, base.count);
+            w.record(
+                &format!("{app}/{}/bw{bw}", d.tag()),
+                Some(&cfg),
+                m.count,
+                m.cycles,
+                Some(base.cycles),
+            );
+            row.push(format!("{:.2}", base.cycles as f64 / m.cycles.max(1) as f64));
         }
-    }
+        row
+    });
     println!("{}", render_table(&header, &rows));
     println!("\n(paper: diminishing returns beyond ~32 elements/cycle;");
     println!(" nested-instruction apps T/4C/5C benefit most)");

@@ -52,30 +52,27 @@ fn main() {
         App::TailedTriangle,
     ];
     let g = &euc;
-    let mut rows = Vec::new();
-    for app in apps {
+    let rows = cli.sweep(&apps, |w, &app| {
         let stride = stride_for(app, Dataset::EmailEuCore);
         let cfg = SparseCoreConfig::paper();
-        let (m, backend) = cli.in_phase(Phase::Simulate, || {
-            run_sparsecore_backend(g, app, cfg, stride, &cli.probe())
-        });
-        cli.record(&format!("cdf/{}", app.tag()), Some(&cfg), m.count, m.cycles, None);
-        rows.push(cdf_row(app.tag().to_string(), &backend.engine().stats().lengths));
-    }
+        let (m, backend) =
+            w.in_phase(Phase::Simulate, || run_sparsecore_backend(g, app, cfg, stride, &w.probe()));
+        w.record(&format!("cdf/{}", app.tag()), Some(&cfg), m.count, m.cycles, None);
+        cdf_row(app.tag().to_string(), &backend.engine().stats().lengths)
+    });
     println!("{}", render_table(&header, &rows));
 
     println!("\n# Figure 14 (right): triangle-counting stream-length CDFs by dataset\n");
-    let mut rows = Vec::new();
-    for d in Dataset::ALL {
-        let g = cli.in_phase(Phase::Generate, || d.build());
+    let rows = cli.sweep(&Dataset::ALL, |w, &d| {
+        let g = w.in_phase(Phase::Generate, || d.build());
         let stride = stride_for(App::Triangle, d);
         let cfg = SparseCoreConfig::paper();
-        let (m, backend) = cli.in_phase(Phase::Simulate, || {
-            run_sparsecore_backend(&g, App::Triangle, cfg, stride, &cli.probe())
+        let (m, backend) = w.in_phase(Phase::Simulate, || {
+            run_sparsecore_backend(&g, App::Triangle, cfg, stride, &w.probe())
         });
-        cli.record(&format!("tc/{}", d.tag()), Some(&cfg), m.count, m.cycles, None);
-        rows.push(cdf_row(d.tag().to_string(), &backend.engine().stats().lengths));
-    }
+        w.record(&format!("tc/{}", d.tag()), Some(&cfg), m.count, m.cycles, None);
+        cdf_row(d.tag().to_string(), &backend.engine().stats().lengths)
+    });
     println!("{}", render_table(&header, &rows));
     println!("\n(paper: clique apps skew short; high-max-degree graphs have long tails)");
     cli.write_probe_outputs();

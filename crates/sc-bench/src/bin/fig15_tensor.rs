@@ -63,11 +63,12 @@ fn main() {
     sc_bench::cost_tensor_kernels(&cli);
     let matrices = matrix_filter(&cli);
     let skip_tensors = cli.flag("--skip-tensors");
-    let probe = cli.probe();
     let cfg = SparseCoreConfig::paper_one_su();
-    let mk_engine = || {
+    // Each sweep worker builds engines against its own probe, so the
+    // per-workload attribution gauges stay item-local.
+    let mk_engine = |w: &BenchCli| {
         let mut e = Engine::new(cfg);
-        e.set_probe(probe.clone());
+        e.set_probe(w.probe());
         e
     };
 
@@ -78,17 +79,15 @@ fn main() {
         "outer".to_string(),
         "gustavson".to_string(),
     ];
-    let mut rows = Vec::new();
-    let (mut sp_in, mut sp_out, mut sp_gus) = (Vec::new(), Vec::new(), Vec::new());
-    for &m in &matrices {
-        let a = cli.in_phase(Phase::Generate, || m.build());
-        let acsc = cli.in_phase(Phase::Generate, || a.to_csc());
+    let panel_a = cli.sweep(&matrices, |w, &m| {
+        let a = w.in_phase(Phase::Generate, || m.build());
+        let acsc = w.in_phase(Phase::Generate, || a.to_csc());
         let opts = inner_opts(m);
 
-        let sim = cli.phase(Phase::Simulate);
+        let sim = w.phase(Phase::Simulate);
         let cpu_in = inner_product(&a, &acsc, &mut ScalarTensorBackend::new(), opts);
         let sc_in =
-            inner_product(&a, &acsc, &mut StreamTensorBackend::with_engine(mk_engine()), opts);
+            inner_product(&a, &acsc, &mut StreamTensorBackend::with_engine(mk_engine(w)), opts);
         let s_in = cpu_in.cycles as f64 / sc_in.cycles.max(1) as f64;
 
         let stride = merge_stride(m);
@@ -96,42 +95,47 @@ fn main() {
         let sc_out = outer_product_sampled(
             &acsc,
             &a,
-            &mut StreamTensorBackend::with_engine(mk_engine()),
+            &mut StreamTensorBackend::with_engine(mk_engine(w)),
             stride,
         );
         let s_out = cpu_out.cycles as f64 / sc_out.cycles.max(1) as f64;
 
         let cpu_gus = gustavson_sampled(&a, &a, &mut ScalarTensorBackend::new(), stride);
         let sc_gus =
-            gustavson_sampled(&a, &a, &mut StreamTensorBackend::with_engine(mk_engine()), stride);
+            gustavson_sampled(&a, &a, &mut StreamTensorBackend::with_engine(mk_engine(w)), stride);
         let s_gus = cpu_gus.cycles as f64 / sc_gus.cycles.max(1) as f64;
         drop(sim);
 
         // Product nnz is the functional checksum: both sides must build
         // the same C, and the regression gate exact-compares it.
         let tag = m.tag();
-        cli.record(
+        w.record(
             &format!("inner/{tag}"),
             Some(&cfg),
             sc_in.c.nnz() as u64,
             sc_in.cycles,
             Some(cpu_in.cycles),
         );
-        cli.record(
+        w.record(
             &format!("outer/{tag}"),
             Some(&cfg),
             sc_out.c.nnz() as u64,
             sc_out.cycles,
             Some(cpu_out.cycles),
         );
-        cli.record(
+        w.record(
             &format!("gustavson/{tag}"),
             Some(&cfg),
             sc_gus.c.nnz() as u64,
             sc_gus.cycles,
             Some(cpu_gus.cycles),
         );
-
+        eprintln!("  {}: inner {s_in:.2} outer {s_out:.2} gustavson {s_gus:.2}", m.tag());
+        (s_in, s_out, s_gus)
+    });
+    let mut rows = Vec::new();
+    let (mut sp_in, mut sp_out, mut sp_gus) = (Vec::new(), Vec::new(), Vec::new());
+    for (m, &(s_in, s_out, s_gus)) in matrices.iter().zip(&panel_a) {
         sp_in.push(s_in);
         sp_out.push(s_out);
         sp_gus.push(s_gus);
@@ -141,7 +145,6 @@ fn main() {
             format!("{s_out:.2}"),
             format!("{s_gus:.2}"),
         ]);
-        eprintln!("  {}: inner {s_in:.2} outer {s_out:.2} gustavson {s_gus:.2}", m.tag());
     }
     rows.push(vec![
         "gmean".to_string(),
@@ -158,20 +161,19 @@ fn main() {
         "speedup".to_string(),
         "blocks inner/outer/gustavson".to_string(),
     ];
-    let mut rows = Vec::new();
-    for &m in &matrices {
-        let a = cli.in_phase(Phase::Generate, || m.build());
+    let mut rows = cli.sweep(&matrices, |w, &m| {
+        let a = w.in_phase(Phase::Generate, || m.build());
         // Block sampling at the inner-product stride keeps the chooser's
         // worst case (all blocks pick inner) as cheap as panel (a).
         let opts = AdaptiveOptions { block_rows: 8, block_sample: inner_opts(m).row_sample };
-        let cpu = cli.in_phase(Phase::Simulate, || {
+        let cpu = w.in_phase(Phase::Simulate, || {
             adaptive(&a, &a, &mut ScalarTensorBackend::new(), &cfg, opts)
         });
-        let sc = cli.in_phase(Phase::Simulate, || {
-            adaptive(&a, &a, &mut StreamTensorBackend::with_engine(mk_engine()), &cfg, opts)
+        let sc = w.in_phase(Phase::Simulate, || {
+            adaptive(&a, &a, &mut StreamTensorBackend::with_engine(mk_engine(w)), &cfg, opts)
         });
         let s = cpu.result.cycles as f64 / sc.result.cycles.max(1) as f64;
-        cli.record(
+        w.record(
             &format!("adaptive/{}", m.tag()),
             Some(&cfg),
             sc.result.c.nnz() as u64,
@@ -179,9 +181,9 @@ fn main() {
             Some(cpu.result.cycles),
         );
         let [ci, co, cg] = sc.chosen_counts();
-        rows.push(vec![m.tag().to_string(), format!("{s:.2}"), format!("{ci}/{co}/{cg}")]);
         eprintln!("  {}: adaptive {s:.2} (blocks {ci}/{co}/{cg})", m.tag());
-    }
+        vec![m.tag().to_string(), format!("{s:.2}"), format!("{ci}/{co}/{cg}")]
+    });
 
     // Skewed synthetic: half dense rows (inner wins), half single-nonzero
     // rows (Gustavson wins). The per-block chooser must beat every fixed
@@ -194,19 +196,19 @@ fn main() {
         inner_product(
             &sa,
             &sbcsc,
-            &mut StreamTensorBackend::with_engine(mk_engine()),
+            &mut StreamTensorBackend::with_engine(mk_engine(&cli)),
             InnerOptions::default(),
         )
         .cycles,
-        outer_product(&sacsc, &sb, &mut StreamTensorBackend::with_engine(mk_engine())).cycles,
-        gustavson(&sa, &sb, &mut StreamTensorBackend::with_engine(mk_engine())).cycles,
+        outer_product(&sacsc, &sb, &mut StreamTensorBackend::with_engine(mk_engine(&cli))).cycles,
+        gustavson(&sa, &sb, &mut StreamTensorBackend::with_engine(mk_engine(&cli))).cycles,
     ];
     let opts = AdaptiveOptions { block_rows: 16, block_sample: None };
-    let ad = adaptive(&sa, &sb, &mut StreamTensorBackend::with_engine(mk_engine()), &cfg, opts);
+    let ad = adaptive(&sa, &sb, &mut StreamTensorBackend::with_engine(mk_engine(&cli)), &cfg, opts);
     let or = adaptive_oracle(
         &sa,
         &sb,
-        &mut StreamTensorBackend::with_engine(mk_engine()),
+        &mut StreamTensorBackend::with_engine(mk_engine(&cli)),
         || StreamTensorBackend::with_engine(Engine::new(cfg)),
         opts,
     );
@@ -253,18 +255,17 @@ fn main() {
 
     if !skip_tensors {
         println!("# Figure 15(b): TTV and TTM speedup over CPU\n");
-        let mut rows = Vec::new();
-        for t in TensorDataset::ALL {
-            let a = cli.in_phase(Phase::Generate, || t.build());
+        let rows = cli.sweep(&TensorDataset::ALL, |w, &t| {
+            let a = w.in_phase(Phase::Generate, || t.build());
             let d2 = a.dims()[2];
             // Fiber sampling keeps the dense-operand dots tractable; both
             // backends use the same stride. Factor rank 8.
             let stride = 16usize;
             let v: Vec<f64> = (0..d2).map(|i| 0.5 + (i % 17) as f64 * 0.1).collect();
-            let sim = cli.phase(Phase::Simulate);
+            let sim = w.phase(Phase::Simulate);
             let cpu_ttv = ttv_sampled(&a, &v, &mut ScalarTensorBackend::new(), stride);
             let sc_ttv =
-                ttv_sampled(&a, &v, &mut StreamTensorBackend::with_engine(mk_engine()), stride);
+                ttv_sampled(&a, &v, &mut StreamTensorBackend::with_engine(mk_engine(w)), stride);
             let s_ttv = cpu_ttv.cycles as f64 / sc_ttv.cycles.max(1) as f64;
 
             let b: Vec<Vec<f64>> = (0..8)
@@ -272,7 +273,7 @@ fn main() {
                 .collect();
             let cpu_ttm = ttm_sampled(&a, &b, &mut ScalarTensorBackend::new(), stride);
             let sc_ttm =
-                ttm_sampled(&a, &b, &mut StreamTensorBackend::with_engine(mk_engine()), stride);
+                ttm_sampled(&a, &b, &mut StreamTensorBackend::with_engine(mk_engine(w)), stride);
             let s_ttm = cpu_ttm.cycles as f64 / sc_ttm.cycles.max(1) as f64;
             drop(sim);
 
@@ -283,14 +284,14 @@ fn main() {
             let ttm_sum = sc_report::fnv1a(
                 sc_ttm.z.iter().flatten().flatten().flat_map(|x| x.to_bits().to_le_bytes()),
             );
-            cli.record(
+            w.record(
                 &format!("ttv/{}", t.tag()),
                 Some(&cfg),
                 ttv_sum,
                 sc_ttv.cycles,
                 Some(cpu_ttv.cycles),
             );
-            cli.record(
+            w.record(
                 &format!("ttm/{}", t.tag()),
                 Some(&cfg),
                 ttm_sum,
@@ -298,9 +299,9 @@ fn main() {
                 Some(cpu_ttm.cycles),
             );
 
-            rows.push(vec![t.tag().to_string(), format!("{s_ttv:.2}"), format!("{s_ttm:.2}")]);
             eprintln!("  {}: ttv {s_ttv:.2} ttm {s_ttm:.2}", t.tag());
-        }
+            vec![t.tag().to_string(), format!("{s_ttv:.2}"), format!("{s_ttm:.2}")]
+        });
         println!("{}", render_table(&["tensor".into(), "TTV".into(), "TTM".into()], &rows));
         println!("(paper: avg 2.44x TTV, 4.49x TTM)");
     }

@@ -36,18 +36,18 @@ fn main() {
     sc_bench::verify_tensor_kernels(&cli);
     sc_bench::cost_tensor_kernels(&cli);
     let matrices = matrix_filter(&cli);
-    let probe = cli.probe();
     let cfg = SparseCoreConfig::paper_one_su();
-    let mk_engine = || {
+    // Per-worker engines keep the attribution gauges item-local under
+    // a parallel sweep.
+    let mk_engine = |w: &BenchCli| {
         let mut e = Engine::new(cfg);
-        e.set_probe(probe.clone());
+        e.set_probe(w.probe());
         e
     };
 
-    let mut sp = vec![Vec::new(); 6];
-    for m in &matrices {
-        let a = cli.in_phase(Phase::Generate, || m.build());
-        let acsc = cli.in_phase(Phase::Generate, || a.to_csc());
+    let per_matrix = cli.sweep(&matrices, |w, m| {
+        let a = w.in_phase(Phase::Generate, || m.build());
+        let acsc = w.in_phase(Phase::Generate, || a.to_csc());
         let opts = InnerOptions {
             row_sample: Some(match a.rows() {
                 d if d > 9000 => 64,
@@ -58,9 +58,9 @@ fn main() {
             }),
         };
         // Baseline: SparseCore inner product.
-        let sim = cli.phase(Phase::Simulate);
+        let sim = w.phase(Phase::Simulate);
         let sc_inner_run =
-            inner_product(&a, &acsc, &mut StreamTensorBackend::with_engine(mk_engine()), opts);
+            inner_product(&a, &acsc, &mut StreamTensorBackend::with_engine(mk_engine(w)), opts);
         let sc_inner = sc_inner_run.cycles;
         let stride = match *m {
             MatrixDataset::Tsopf => 16,
@@ -71,48 +71,48 @@ fn main() {
         let sc_outer_run = outer_product_sampled(
             &acsc,
             &a,
-            &mut StreamTensorBackend::with_engine(mk_engine()),
+            &mut StreamTensorBackend::with_engine(mk_engine(w)),
             stride,
         );
         let sc_outer = sc_outer_run.cycles;
         let osp = outer_product_sampled(&acsc, &a, &mut OuterSpaceBackend::new(), stride).cycles;
         let sc_gus_run =
-            gustavson_sampled(&a, &a, &mut StreamTensorBackend::with_engine(mk_engine()), stride);
+            gustavson_sampled(&a, &a, &mut StreamTensorBackend::with_engine(mk_engine(w)), stride);
         let sc_gus = sc_gus_run.cycles;
         let gam = gustavson_sampled(&a, &a, &mut GammaBackend::new(), stride).cycles;
         // Flexibility taken one step further: SparseCore picking its own
         // dataflow per row block from the static cost model.
         let adapt_opts = AdaptiveOptions { block_rows: 8, block_sample: opts.row_sample };
         let sc_adapt_run =
-            adaptive(&a, &a, &mut StreamTensorBackend::with_engine(mk_engine()), &cfg, adapt_opts);
+            adaptive(&a, &a, &mut StreamTensorBackend::with_engine(mk_engine(w)), &cfg, adapt_opts);
         let sc_adapt = sc_adapt_run.result.cycles;
         drop(sim);
 
         // SparseCore-side runs become records; the inner-product run is
         // everyone's comparison point, matching the figure's baseline.
         let tag = m.tag();
-        cli.record(
+        w.record(
             &format!("inner/{tag}"),
             Some(&cfg),
             sc_inner_run.c.nnz() as u64,
             sc_inner,
             None,
         );
-        cli.record(
+        w.record(
             &format!("outer/{tag}"),
             Some(&cfg),
             sc_outer_run.c.nnz() as u64,
             sc_outer,
             Some(sc_inner),
         );
-        cli.record(
+        w.record(
             &format!("gustavson/{tag}"),
             Some(&cfg),
             sc_gus_run.c.nnz() as u64,
             sc_gus,
             Some(sc_inner),
         );
-        cli.record(
+        w.record(
             &format!("adaptive/{tag}"),
             Some(&cfg),
             sc_adapt_run.result.c.nnz() as u64,
@@ -121,13 +121,17 @@ fn main() {
         );
 
         let base = sc_inner.max(1) as f64;
-        for (i, c) in [ext, sc_outer, osp, sc_gus, gam, sc_adapt].into_iter().enumerate() {
-            sp[i].push(base / c.max(1) as f64);
-        }
         eprintln!(
             "  {}: sc-inner={sc_inner} extensor={ext} sc-outer={sc_outer} outerspace={osp} sc-gus={sc_gus} gamma={gam} sc-adaptive={sc_adapt}",
             m.tag()
         );
+        [ext, sc_outer, osp, sc_gus, gam, sc_adapt].map(|c| base / c.max(1) as f64)
+    });
+    let mut sp = vec![Vec::new(); 6];
+    for speedups in &per_matrix {
+        for (i, &s) in speedups.iter().enumerate() {
+            sp[i].push(s);
+        }
     }
 
     println!("# Figure 16: gmean speedup over SparseCore inner-product (1 unit each)\n");

@@ -53,7 +53,6 @@ fn main() {
         }),
         None => DEFAULT_CHUNK,
     };
-    let probe = cli.probe();
     let plan = cli
         .in_phase(Phase::Emit, || Plan::compile(&Pattern::triangle(), &[0, 1, 2], Induced::Vertex));
     if cli.verifying() {
@@ -71,18 +70,20 @@ fn main() {
         .chain(CORES.iter().map(|c| format!("{c} cores")))
         .chain(["imbalance@6".to_string()])
         .collect();
-    let mut rows = Vec::new();
-    for &d in &datasets {
-        let g = cli.in_phase(Phase::Generate, || d.build());
+    // One sweep item per dataset: each worker builds its own graph,
+    // proves its own partition plans, and records its mode/core matrix.
+    let per_dataset = cli.sweep(&datasets, |w, &d| {
+        let probe = w.probe();
+        let g = w.in_phase(Phase::Generate, || d.build());
         let cfg = SparseCoreConfig::paper();
-        if cli.verifying() {
+        if w.verifying() {
             // Prove the partition plans disjoint before the cores run them.
-            let _scope = cli.phase(Phase::Verify);
+            let _scope = w.phase(Phase::Verify);
             let n = g.num_vertices();
             for &c in &CORES {
-                cli.verify_shard_plan(&format!("tc/{}/c{c}/static-shards", d.tag()), c, n);
+                w.verify_shard_plan(&format!("tc/{}/c{c}/static-shards", d.tag()), c, n);
             }
-            cli.verify_chunk_plan(
+            w.verify_chunk_plan(
                 &format!("tc/{}/dynamic-chunks", d.tag()),
                 &sparsecore::chunks(n, chunk),
                 n,
@@ -90,15 +91,16 @@ fn main() {
         }
         // Everyone's baseline: the 1-core static run. Its spans are
         // discarded — the first recorded workload must not inherit them.
-        let (base, _) = cli.in_phase(Phase::Simulate, || {
+        let (base, _) = w.in_phase(Phase::Simulate, || {
             count_stream_parallel_probed(&g, &plan, cfg, true, 1, probe.clone())
         });
-        cli.discard_spans();
+        w.discard_spans();
+        let mut dataset_rows = Vec::new();
         for &mode in &modes {
             let mut row = vec![d.tag().to_string(), mode.name().to_string()];
             let mut last_imbalance = 1.0;
             for &c in &CORES {
-                let (run, report) = cli.in_phase(Phase::Simulate, || match mode {
+                let (run, report) = w.in_phase(Phase::Simulate, || match mode {
                     SchedMode::Static => {
                         count_stream_parallel_probed(&g, &plan, cfg, true, c, probe.clone())
                     }
@@ -110,7 +112,7 @@ fn main() {
                 if !report.is_empty() {
                     eprintln!("  sanitizer findings ({} / {c} cores):\n{report}", d.tag());
                 }
-                cli.record(
+                w.record(
                     &format!("tc/{}/c{c}/{}", d.tag(), mode.name()),
                     Some(&cfg),
                     run.count,
@@ -121,9 +123,11 @@ fn main() {
                 last_imbalance = run.imbalance();
             }
             row.push(format!("{last_imbalance:.2}"));
-            rows.push(row);
+            dataset_rows.push(row);
         }
-    }
+        dataset_rows
+    });
+    let rows: Vec<Vec<String>> = per_dataset.into_iter().flatten().collect();
     println!("{}", render_table(&header, &rows));
     println!("\n(static interleaving bounds hub-induced imbalance; the dynamic");
     println!(" chunk scheduler assigns work by simulated clock, so hub-heavy");
@@ -148,35 +152,35 @@ fn tensor_section(cli: &BenchCli, modes: &[SchedMode], chunk: usize) {
         .chain(CORES.iter().map(|c| format!("{c} cores")))
         .chain(["imbalance@6".to_string()])
         .collect();
-    let mut rows = Vec::new();
-
-    for m in [MatrixDataset::Circuit204, MatrixDataset::EmailEuCore] {
-        let a = cli.in_phase(Phase::Generate, || m.build());
-        if cli.verifying() {
-            let _scope = cli.phase(Phase::Verify);
+    let matrices = [MatrixDataset::Circuit204, MatrixDataset::EmailEuCore];
+    let spmspm_rows = cli.sweep(&matrices, |w, &m| {
+        let a = w.in_phase(Phase::Generate, || m.build());
+        if w.verifying() {
+            let _scope = w.phase(Phase::Verify);
             for &c in &CORES {
-                cli.verify_shard_plan(&format!("spmspm/{}/c{c}/row-shards", m.tag()), c, a.rows());
+                w.verify_shard_plan(&format!("spmspm/{}/c{c}/row-shards", m.tag()), c, a.rows());
             }
-            cli.verify_chunk_plan(
+            w.verify_chunk_plan(
                 &format!("spmspm/{}/dynamic-chunks", m.tag()),
                 &sparsecore::chunks(a.rows(), chunk),
                 a.rows(),
             );
         }
-        let (_, base, _) = cli.in_phase(Phase::Simulate, || {
+        let (_, base, _) = w.in_phase(Phase::Simulate, || {
             gustavson_multicore(&a, &a, cfg, 1, SchedMode::Static, chunk)
         });
+        let mut matrix_rows = Vec::new();
         for &mode in modes {
             let mut row = vec![format!("spmspm/{}", m.tag()), mode.name().to_string()];
             let mut last_imbalance = 1.0;
             for &c in &CORES {
-                let (r, run, report) = cli.in_phase(Phase::Simulate, || {
-                    gustavson_multicore_probed(&a, &a, cfg, c, mode, chunk, cli.probe())
+                let (r, run, report) = w.in_phase(Phase::Simulate, || {
+                    gustavson_multicore_probed(&a, &a, cfg, c, mode, chunk, w.probe())
                 });
                 if !report.is_empty() {
                     eprintln!("  sanitizer findings (spmspm {} / {c} cores):\n{report}", m.tag());
                 }
-                cli.record(
+                w.record(
                     &format!("spmspm/{}/c{c}/{}", m.tag(), mode.name()),
                     Some(&cfg),
                     r.c.nnz() as u64,
@@ -187,19 +191,21 @@ fn tensor_section(cli: &BenchCli, modes: &[SchedMode], chunk: usize) {
                 last_imbalance = run.imbalance();
             }
             row.push(format!("{last_imbalance:.2}"));
-            rows.push(row);
+            matrix_rows.push(row);
         }
-    }
+        matrix_rows
+    });
 
-    for t in [TensorDataset::ChicagoCrime] {
-        let a = cli.in_phase(Phase::Generate, || t.build());
-        if cli.verifying() {
-            let _scope = cli.phase(Phase::Verify);
+    let tensors = [TensorDataset::ChicagoCrime];
+    let ttv_rows = cli.sweep(&tensors, |w, &t| {
+        let a = w.in_phase(Phase::Generate, || t.build());
+        if w.verifying() {
+            let _scope = w.phase(Phase::Verify);
             let nf = a.num_fibers();
             for &c in &CORES {
-                cli.verify_shard_plan(&format!("ttv/{}/c{c}/fiber-shards", t.tag()), c, nf);
+                w.verify_shard_plan(&format!("ttv/{}/c{c}/fiber-shards", t.tag()), c, nf);
             }
-            cli.verify_chunk_plan(
+            w.verify_chunk_plan(
                 &format!("ttv/{}/dynamic-chunks", t.tag()),
                 &sparsecore::chunks(nf, chunk),
                 nf,
@@ -207,22 +213,23 @@ fn tensor_section(cli: &BenchCli, modes: &[SchedMode], chunk: usize) {
         }
         let d2 = a.dims()[2];
         let v: Vec<f64> = (0..d2).map(|i| 0.5 + (i % 17) as f64 * 0.1).collect();
-        let (_, base, _) = cli.in_phase(Phase::Simulate, || {
+        let (_, base, _) = w.in_phase(Phase::Simulate, || {
             ttv_multicore_probed(&a, &v, cfg, 1, SchedMode::Static, chunk, sc_probe::Probe::off())
         });
+        let mut tensor_rows = Vec::new();
         for &mode in modes {
             let mut row = vec![format!("ttv/{}", t.tag()), mode.name().to_string()];
             let mut last_imbalance = 1.0;
             for &c in &CORES {
-                let (r, run, report) = cli.in_phase(Phase::Simulate, || {
-                    ttv_multicore_probed(&a, &v, cfg, c, mode, chunk, cli.probe())
+                let (r, run, report) = w.in_phase(Phase::Simulate, || {
+                    ttv_multicore_probed(&a, &v, cfg, c, mode, chunk, w.probe())
                 });
                 if !report.is_empty() {
                     eprintln!("  sanitizer findings (ttv {} / {c} cores):\n{report}", t.tag());
                 }
                 let sum =
                     sc_report::fnv1a(r.z.iter().flatten().flat_map(|x| x.to_bits().to_le_bytes()));
-                cli.record(
+                w.record(
                     &format!("ttv/{}/c{c}/{}", t.tag(), mode.name()),
                     Some(&cfg),
                     sum,
@@ -233,10 +240,12 @@ fn tensor_section(cli: &BenchCli, modes: &[SchedMode], chunk: usize) {
                 last_imbalance = run.imbalance();
             }
             row.push(format!("{last_imbalance:.2}"));
-            rows.push(row);
+            tensor_rows.push(row);
         }
-    }
+        tensor_rows
+    });
 
+    let rows: Vec<Vec<String>> = spmspm_rows.into_iter().chain(ttv_rows).flatten().collect();
     println!("{}", render_table(&header, &rows));
     println!("\n(rows/fibers shard whole output cells, so the multicore tensor");
     println!(" results are byte-identical to the serial kernels)");

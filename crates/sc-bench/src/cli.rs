@@ -37,6 +37,12 @@
 //!   `sc-host`'s switching phase timers, peak RSS, and allocator stats,
 //!   printed per workload and attached to `--record` records as the
 //!   `host` section for `sc-report host`'s budget gates.
+//! - `--jobs N` — shard independent workloads of the bench across `N`
+//!   host worker threads via [`BenchCli::sweep`] (`auto`/`0` = all
+//!   cores). Host threads only: every simulation stays byte-identical,
+//!   and the emitted registry, span documents, and probe outputs are
+//!   merged in workload order, so they match `--jobs 1` exactly (up to
+//!   wall-clock timings, which are measurements, not model outputs).
 //!
 //! Independently of `--host`, every bench installs the `sc-host`
 //! flight recorder's panic hook and logs one structured event per
@@ -49,6 +55,8 @@
 
 use std::cell::{Cell, RefCell};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use sc_graph::Dataset;
@@ -106,6 +114,14 @@ pub struct BenchCli {
     /// Every host section produced so far, for the end-of-run summary
     /// (and tests); parallel to the per-workload `# host:` lines.
     host_log: RefCell<Vec<HostSection>>,
+    /// `--jobs`: worker-pool width for [`BenchCli::sweep`] (1 = the
+    /// serial path, which still runs through the same per-item worker
+    /// machinery so both paths are byte-identical by construction).
+    jobs: usize,
+    /// Sweep workers buffer their stdout here instead of printing, so
+    /// the parent can flush per-item output in deterministic workload
+    /// order. `None` on the parent CLI (prints directly).
+    sink: Option<RefCell<String>>,
 }
 
 /// The cross-cutting flags every bench accepts: `(name, takes_value)`.
@@ -121,6 +137,7 @@ const COMMON_SPECS: &[(&str, bool)] = &[
     ("--spans", true),
     ("--explain", true),
     ("--host", false),
+    ("--jobs", true),
 ];
 
 impl BenchCli {
@@ -222,6 +239,18 @@ impl BenchCli {
                 if sc_host::alloc::enabled() { "installed" } else { "off" }
             );
         }
+        let jobs = match value_of(&args, "--jobs") {
+            None => 1,
+            Some(s) if s == "auto" || s == "0" => {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            }
+            Some(s) => s.parse::<usize>().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+                panic!("--jobs expects a positive integer or 'auto', got '{s}'")
+            }),
+        };
+        if jobs > 1 {
+            println!("# jobs: {jobs} (host worker threads; simulated timing unchanged)");
+        }
         // The flight recorder rides along unconditionally: it records a
         // handful of events per workload and only ever speaks on panic
         // or nonzero exit.
@@ -253,8 +282,10 @@ impl BenchCli {
             last_mark: Cell::new(Instant::now()),
             host,
             timers: RefCell::new(PhaseTimers::new()),
-            last_alloc: Cell::new(sc_host::alloc::stats()),
+            last_alloc: Cell::new(sc_host::alloc::thread_stats()),
             host_log: RefCell::new(Vec::new()),
+            jobs,
+            sink: None,
         }
     }
 
@@ -299,6 +330,227 @@ impl BenchCli {
     /// Is `--host` active?
     pub fn hosting(&self) -> bool {
         self.host
+    }
+
+    /// The `--jobs` worker-pool width (1 without the flag).
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Print one line of per-workload output. On the parent CLI this is
+    /// `println!`; on a sweep worker the line lands in the worker's
+    /// buffer and the parent flushes it in workload order, so bench
+    /// stdout stays byte-deterministic under `--jobs N`. Bench bins
+    /// should route any stdout they emit *inside* a sweep closure
+    /// through this.
+    pub fn say(&self, line: &str) {
+        match &self.sink {
+            Some(buf) => {
+                let mut b = buf.borrow_mut();
+                b.push_str(line);
+                b.push('\n');
+            }
+            None => println!("{line}"),
+        }
+    }
+
+    /// Route [`BenchCli::say`] output (including sweep-worker flushes)
+    /// into an in-memory buffer instead of stdout. Tests use this to
+    /// observe output ordering.
+    pub fn capture_output(&mut self) {
+        self.sink = Some(RefCell::new(String::new()));
+    }
+
+    /// Everything captured since [`BenchCli::capture_output`] (empty if
+    /// output was never captured).
+    pub fn captured_output(&self) -> String {
+        self.sink.as_ref().map(|b| b.borrow().clone()).unwrap_or_default()
+    }
+
+    /// Run one closure per item, sharded across the `--jobs` worker
+    /// pool, and return the closure results in item order.
+    ///
+    /// Each item gets a **fresh worker `BenchCli`** (own probe, own
+    /// phase timers, own stdout buffer, verify/cost counters seeded from
+    /// this CLI's state at sweep start) regardless of the pool width —
+    /// `--jobs 1` runs the items inline through the very same worker
+    /// machinery, so the two paths cannot diverge. After the pool
+    /// drains, per-item residues (buffered stdout, queued records, span
+    /// documents, host sections, verify/cost counter deltas, the
+    /// worker's probe) are absorbed back into this CLI **in item
+    /// order**, never completion order: the emitted registry, span and
+    /// probe outputs are therefore independent of scheduling, and
+    /// byte-identical between `--jobs 1` and `--jobs N` (wall-clock
+    /// fields excepted — those are measurements, not model outputs).
+    ///
+    /// The closure must treat its item as self-contained: record via
+    /// the *worker* CLI it is handed, print via [`BenchCli::say`], and
+    /// not touch the parent CLI (which is not `Sync` and is not
+    /// reachable from the pool anyway).
+    ///
+    /// # Panics
+    ///
+    /// A panicking worker finishes the scope and then propagates the
+    /// panic (the flight recorder's panic hook has already dumped the
+    /// ring by then, stamped with the worker's thread name).
+    pub fn sweep<I: Sync, R: Send>(
+        &self,
+        items: &[I],
+        f: impl Fn(&BenchCli, &I) -> R + Sync,
+    ) -> Vec<R> {
+        let spec = self.worker_spec();
+        let jobs = self.jobs.min(items.len()).max(1);
+        if jobs <= 1 {
+            let outs = items
+                .iter()
+                .map(|item| {
+                    let worker = Self::worker(&spec);
+                    let out = f(&worker, item);
+                    self.absorb(worker.residue(&spec));
+                    out
+                })
+                .collect();
+            self.last_mark.set(Instant::now());
+            return outs;
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<(R, SweepResidue)>>> =
+            items.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for w in 0..jobs {
+                let (spec, next, slots, f) = (&spec, &next, &slots, &f);
+                std::thread::Builder::new()
+                    .name(format!("sweep-worker-{w}"))
+                    .spawn_scoped(scope, move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        let worker = Self::worker(spec);
+                        let out = f(&worker, &items[i]);
+                        *slots[i].lock().unwrap() = Some((out, worker.residue(spec)));
+                    })
+                    .expect("spawning a sweep worker thread");
+            }
+        });
+        let mut outs = Vec::with_capacity(items.len());
+        for slot in slots {
+            let (out, residue) =
+                slot.into_inner().unwrap().expect("every sweep item completed exactly once");
+            self.absorb(residue);
+            outs.push(out);
+        }
+        // The sweep's wall belongs to its items, not to whatever the
+        // parent records next: re-mark so a post-sweep serial record
+        // measures only its own work.
+        self.last_mark.set(Instant::now());
+        outs
+    }
+
+    /// The plain-data (`Sync`) snapshot a worker `BenchCli` is built
+    /// from. Captured once at sweep start, so every worker — and every
+    /// item under `--jobs 1` — sees the identical seed state.
+    fn worker_spec(&self) -> WorkerSpec {
+        WorkerSpec {
+            args: self.args.clone(),
+            bench: self.bench.clone(),
+            level: self.probe.level(),
+            spans: self.spans.clone(),
+            explain: self.explain.clone(),
+            record: self.record.clone(),
+            verify: self.verify,
+            cost: self.cost,
+            host: self.host,
+            seed_verify: (self.verify_checked.get(), self.verify_rejected.get()),
+            seed_cost: (self.cost_checked.get(), self.cost_violated.get()),
+            seed_tightness: self.cost_worst_tightness.get(),
+        }
+    }
+
+    /// Build a worker CLI on the current thread: fresh probe at the
+    /// parent's level, fresh thread-pinned phase timers, a stdout
+    /// buffer, and verify/cost counters seeded from the sweep-start
+    /// snapshot so per-item records keep carrying cumulative `cost.*`
+    /// gauges (the `sc-report tightness` contract).
+    fn worker(spec: &WorkerSpec) -> BenchCli {
+        let probe = Probe::new(spec.level);
+        if spec.spans.is_some() || spec.explain.is_some() {
+            probe.enable_spans();
+        }
+        if spec.cost && spec.seed_cost.0 > 0 {
+            probe.gauge("cost.tightness", spec.seed_tightness);
+            probe.gauge("cost.checked", spec.seed_cost.0 as f64);
+            probe.gauge("cost.violations", spec.seed_cost.1 as f64);
+        }
+        BenchCli {
+            args: spec.args.clone(),
+            bench: spec.bench.clone(),
+            probe,
+            trace: None,
+            metrics: None,
+            record: spec.record.clone(),
+            spans: spec.spans.clone(),
+            explain: spec.explain.clone(),
+            verify: spec.verify,
+            cost: spec.cost,
+            verify_checked: Cell::new(spec.seed_verify.0),
+            verify_rejected: Cell::new(spec.seed_verify.1),
+            cost_checked: Cell::new(spec.seed_cost.0),
+            cost_violated: Cell::new(spec.seed_cost.1),
+            cost_worst_tightness: Cell::new(spec.seed_tightness),
+            records: RefCell::new(Vec::new()),
+            span_docs: RefCell::new(Vec::new()),
+            last_mark: Cell::new(Instant::now()),
+            host: spec.host,
+            timers: RefCell::new(PhaseTimers::new()),
+            last_alloc: Cell::new(sc_host::alloc::thread_stats()),
+            host_log: RefCell::new(Vec::new()),
+            jobs: 1,
+            sink: Some(RefCell::new(String::new())),
+        }
+    }
+
+    /// Strip a finished worker down to the plain-data residue the parent
+    /// merges. Counter residues are deltas against the sweep-start seed,
+    /// so absorbing them is pure addition.
+    fn residue(self, spec: &WorkerSpec) -> SweepResidue {
+        SweepResidue {
+            out: self.sink.map(RefCell::into_inner).unwrap_or_default(),
+            records: self.records.into_inner(),
+            spans: self.span_docs.into_inner(),
+            host: self.host_log.into_inner(),
+            verify: (
+                self.verify_checked.get() - spec.seed_verify.0,
+                self.verify_rejected.get() - spec.seed_verify.1,
+            ),
+            cost: (
+                self.cost_checked.get() - spec.seed_cost.0,
+                self.cost_violated.get() - spec.seed_cost.1,
+            ),
+            tightness: self.cost_worst_tightness.get(),
+            probe: self.probe,
+        }
+    }
+
+    /// Merge one item's residue into this CLI: flush its stdout, append
+    /// its records / span documents / host sections, add its counter
+    /// deltas, and absorb its probe. Called in item order only.
+    fn absorb(&self, r: SweepResidue) {
+        if !r.out.is_empty() {
+            match &self.sink {
+                Some(buf) => buf.borrow_mut().push_str(&r.out),
+                None => print!("{}", r.out),
+            }
+        }
+        self.records.borrow_mut().extend(r.records);
+        self.span_docs.borrow_mut().extend(r.spans);
+        self.host_log.borrow_mut().extend(r.host);
+        self.verify_checked.set(self.verify_checked.get() + r.verify.0);
+        self.verify_rejected.set(self.verify_rejected.get() + r.verify.1);
+        self.cost_checked.set(self.cost_checked.get() + r.cost.0);
+        self.cost_violated.set(self.cost_violated.get() + r.cost.1);
+        self.cost_worst_tightness.set(self.cost_worst_tightness.get().max(r.tightness));
+        self.probe.absorb(&r.probe);
     }
 
     /// Run `f` attributed to host phase `phase`, restoring the previous
@@ -377,16 +629,16 @@ impl BenchCli {
                     None => "unbounded".to_string(),
                 };
                 if out.sound() {
-                    println!(
+                    self.say(&format!(
                         "# cost: {label}: SOUND (cycles {} contains simulated {}, tightness {tightness})",
                         out.report.cycles, out.simulated
-                    );
+                    ));
                 } else {
                     self.cost_violated.set(self.cost_violated.get() + 1);
-                    println!(
+                    self.say(&format!(
                         "# cost: {label}: VIOLATION (simulated {} outside static {})",
                         out.simulated, out.report.cycles
-                    );
+                    ));
                     flight::log(
                         Level::Error,
                         &self.bench,
@@ -397,7 +649,7 @@ impl BenchCli {
             }
             Err(e) => {
                 self.cost_violated.set(self.cost_violated.get() + 1);
-                println!("# cost: {label}: VIOLATION ({e})");
+                self.say(&format!("# cost: {label}: VIOLATION ({e})"));
                 flight::log(
                     Level::Error,
                     &self.bench,
@@ -421,10 +673,10 @@ impl BenchCli {
         }
         self.cost_checked.set(self.cost_checked.get() + 1);
         if ok {
-            println!("# cost: {label}: SOUND ({detail})");
+            self.say(&format!("# cost: {label}: SOUND ({detail})"));
         } else {
             self.cost_violated.set(self.cost_violated.get() + 1);
-            println!("# cost: {label}: VIOLATION ({detail})");
+            self.say(&format!("# cost: {label}: VIOLATION ({detail})"));
         }
         self.probe.gauge("cost.checked", self.cost_checked.get() as f64);
         self.probe.gauge("cost.violations", self.cost_violated.get() as f64);
@@ -496,12 +748,12 @@ impl BenchCli {
     ) {
         self.verify_checked.set(self.verify_checked.get() + 1);
         if verified {
-            println!("# verify: {label}: VERIFIED ({detail})");
+            self.say(&format!("# verify: {label}: VERIFIED ({detail})"));
         } else {
             self.verify_rejected.set(self.verify_rejected.get() + 1);
-            println!("# verify: {label}: REJECTED ({detail})");
+            self.say(&format!("# verify: {label}: REJECTED ({detail})"));
             for d in findings {
-                println!("#   {d}");
+                self.say(&format!("#   {d}"));
             }
             flight::log(
                 Level::Error,
@@ -540,7 +792,10 @@ impl BenchCli {
         // record bucket, and the tail switch below returns to `other`.
         let host_section = self.host.then(|| {
             let walls = self.timers.borrow_mut().drain(Phase::Record);
-            let alloc_now = sc_host::alloc::stats();
+            // Thread-local counters, so a sweep worker's per-workload
+            // alloc deltas never include a sibling worker's traffic
+            // (the peak is still the process-wide high-water mark).
+            let alloc_now = sc_host::alloc::thread_stats();
             let delta = alloc_now.since(&self.last_alloc.replace(alloc_now));
             let section = HostSection {
                 phase_ms: walls.ms,
@@ -554,7 +809,7 @@ impl BenchCli {
                 .map(|p| format!("{} {:.1}", p.name(), section.get(*p)))
                 .collect::<Vec<_>>()
                 .join(" + ");
-            println!(
+            self.say(&format!(
                 "# host: {workload}: wall {:.1} ms = {split}; peak rss {}; allocs +{} (+{:.1} MB)",
                 section.total_ms(),
                 section
@@ -562,7 +817,7 @@ impl BenchCli {
                     .map_or("n/a".into(), |kb| format!("{:.1} MB", kb as f64 / 1024.0)),
                 section.alloc_count,
                 section.alloc_bytes as f64 / (1024.0 * 1024.0),
-            );
+            ));
             self.host_log.borrow_mut().push(section.clone());
             section
         });
@@ -667,6 +922,14 @@ impl BenchCli {
             );
         }
         if let Some(path) = &self.metrics {
+            // Gauge merges are last-write-wins, so after a sweep the
+            // cumulative cost gauges hold the *last item's* view;
+            // republish the true totals before snapshotting.
+            if self.cost && self.cost_checked.get() > 0 {
+                self.probe.gauge("cost.tightness", self.cost_worst_tightness.get());
+                self.probe.gauge("cost.checked", self.cost_checked.get() as f64);
+                self.probe.gauge("cost.violations", self.cost_violated.get() as f64);
+            }
             std::fs::write(path, self.probe.metrics_json())
                 .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
             println!("# probe: metrics snapshot -> {}", path.display());
@@ -746,9 +1009,12 @@ impl BenchCli {
             let allocs: u64 = sections.iter().map(|s| s.alloc_count).sum();
             let alloc_mb: f64 =
                 sections.iter().map(|s| s.alloc_bytes).sum::<u64>() as f64 / (1024.0 * 1024.0);
+            // Under --jobs the per-workload walls overlap in real time,
+            // so the sum is aggregate worker wall, not elapsed wall.
+            let wall_kind = if self.jobs > 1 { " aggregate worker wall" } else { "" };
             println!(
-                "# host: total: {} workloads in {total_ms:.1} ms ({:.1} records/s) = {split}; \
-                 peak rss {}; allocs {allocs} ({alloc_mb:.1} MB)",
+                "# host: total: {} workloads in {total_ms:.1} ms{wall_kind} ({:.1} records/s) = \
+                 {split}; peak rss {}; allocs {allocs} ({alloc_mb:.1} MB)",
                 sections.len(),
                 if total_ms > 0.0 { sections.len() as f64 / (total_ms / 1e3) } else { 0.0 },
                 peak_kb.map_or("n/a".into(), |kb| format!("{:.1} MB", kb as f64 / 1024.0)),
@@ -778,6 +1044,39 @@ impl BenchCli {
             }
         }
     }
+}
+
+/// The plain-data seed a sweep worker `BenchCli` is built from. Every
+/// field is `Sync` (no `Cell`/`RefCell`/`Probe`), so one spec can be
+/// shared by reference across the whole worker pool.
+struct WorkerSpec {
+    args: Vec<String>,
+    bench: String,
+    level: ProbeLevel,
+    spans: Option<PathBuf>,
+    explain: Option<PathBuf>,
+    record: Option<PathBuf>,
+    verify: bool,
+    cost: bool,
+    host: bool,
+    seed_verify: (usize, usize),
+    seed_cost: (usize, usize),
+    seed_tightness: f64,
+}
+
+/// What one sweep item leaves behind: everything the parent CLI needs
+/// to merge, and nothing thread-bound (the worker's `PhaseTimers` die
+/// with the worker). Counter fields are deltas against the sweep-start
+/// seed.
+struct SweepResidue {
+    out: String,
+    records: Vec<RunRecord>,
+    spans: Vec<(String, Vec<sc_probe::SpanSnapshot>)>,
+    host: Vec<HostSection>,
+    verify: (usize, usize),
+    cost: (usize, usize),
+    tightness: f64,
+    probe: Probe,
 }
 
 /// RAII host-phase scope from [`BenchCli::phase`]: restores the
@@ -1095,6 +1394,117 @@ mod tests {
         c.record("w", None, 0, 1, None);
         assert!(c.pending_records().is_empty(), "no --record, no records");
         assert_eq!(c.pending_host().len(), 1, "the host section is still produced");
+    }
+
+    /// Strip the wall-clock measurements a determinism comparison must
+    /// ignore (they are timings, not model outputs).
+    fn deterministic_view(records: Vec<RunRecord>) -> Vec<RunRecord> {
+        records
+            .into_iter()
+            .map(|mut r| {
+                r.wall_ms = 0.0;
+                r.host = None;
+                r
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sweep_returns_results_and_records_in_item_order() {
+        let c = cli(&["--record", "/tmp/reg.json", "--jobs", "3"]);
+        let items: Vec<u64> = (0..7).collect();
+        let out = c.sweep(&items, |w, &i| {
+            // Later items finish first, so completion order is the
+            // reverse of item order.
+            std::thread::sleep(std::time::Duration::from_millis((7 - i) * 2));
+            w.record(&format!("w{i}"), None, i ^ 0xabc, 100 + i, None);
+            i * 10
+        });
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60]);
+        let records = c.pending_records();
+        assert_eq!(records.len(), 7);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.workload, format!("w{i}"));
+            assert_eq!(r.cycles, 100 + i as u64);
+        }
+    }
+
+    #[test]
+    fn sweep_serial_and_parallel_outputs_are_identical() {
+        let run = |jobs: &str| {
+            let c = cli(&["--record", "/tmp/reg.json", "--jobs", jobs]);
+            let items: Vec<u64> = (0..6).collect();
+            c.sweep(&items, |w, &i| {
+                std::thread::sleep(std::time::Duration::from_millis((6 - i) * 2));
+                let p = w.probe();
+                p.gauge("attr.su_compare", (i * 7) as f64);
+                p.gauge("attr.total", (i * 7) as f64);
+                p.count("sweep.runs", 1);
+                w.record(&format!("w{i}"), None, i.wrapping_mul(0x9e37), i * 1000, Some(i * 2000));
+            });
+            c
+        };
+        let serial = run("1");
+        let parallel = run("4");
+        assert_eq!(
+            deterministic_view(serial.pending_records()),
+            deterministic_view(parallel.pending_records()),
+        );
+        // The merged parent registries match byte-for-byte too: counters
+        // sum, gauges land in item order (last write wins, same winner).
+        assert_eq!(serial.probe().metrics_json(), parallel.probe().metrics_json());
+        assert_eq!(serial.probe().counter("sweep.runs"), 6);
+    }
+
+    #[test]
+    fn sweep_seeds_workers_with_presweep_counters_and_merges_deltas() {
+        let c = cli(&["--record", "/tmp/reg.json", "--cost", "--verify", "--jobs", "2"]);
+        // A pre-sweep obligation, as benches that cost-check shared
+        // kernels before the workload loop do.
+        c.cost_check("pre", true, "seed");
+        c.verify_shard_plan("pre", 4, 103);
+        let items: Vec<u64> = (0..4).collect();
+        c.sweep(&items, |w, &i| {
+            w.cost_check(&format!("item{i}"), true, "per-item");
+            w.record(&format!("w{i}"), None, 0, 1, None);
+        });
+        assert_eq!(c.cost_counts(), (5, 0), "1 seed + 4 per-item obligations");
+        assert_eq!(c.verify_counts(), (1, 0), "workers add no verify obligations here");
+        // Every record still carries the cumulative cost gauges the
+        // `sc-report tightness --require` gate depends on.
+        for (i, r) in c.pending_records().iter().enumerate() {
+            let checked = r
+                .metrics
+                .get("cost")
+                .and_then(|v| v.get("checked"))
+                .and_then(sc_probe::json::Value::as_f64)
+                .unwrap_or_else(|| panic!("record {i} lost its cost gauges: {:?}", r.metrics));
+            assert_eq!(checked as u64, 2, "seed (1) + this item's own check (1)");
+        }
+    }
+
+    #[test]
+    fn sweep_worker_output_flushes_to_the_parent_sink_in_item_order() {
+        // Give the parent its own sink so the flush order is observable.
+        let mut c = cli(&["--jobs", "4"]);
+        c.sink = Some(RefCell::new(String::new()));
+        let items: Vec<u64> = (0..5).collect();
+        c.sweep(&items, |w, &i| {
+            std::thread::sleep(std::time::Duration::from_millis((5 - i) * 2));
+            w.say(&format!("line {i}"));
+        });
+        let out = c.sink.as_ref().unwrap().borrow().clone();
+        assert_eq!(out, "line 0\nline 1\nline 2\nline 3\nline 4\n");
+    }
+
+    #[test]
+    fn jobs_parses_auto_and_rejects_zero_width_garbage() {
+        assert_eq!(cli(&[]).jobs(), 1);
+        assert_eq!(cli(&["--jobs", "3"]).jobs(), 3);
+        assert!(cli(&["--jobs", "auto"]).jobs() >= 1);
+        assert!(cli(&["--jobs", "0"]).jobs() >= 1, "'0' means auto, not a zero-width pool");
+        let err = std::panic::catch_unwind(|| cli(&["--jobs", "-2"]));
+        assert!(err.is_err(), "negative widths are rejected");
     }
 
     #[test]

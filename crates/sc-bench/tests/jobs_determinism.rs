@@ -1,0 +1,135 @@
+//! `--jobs N` determinism: a parallel sweep must be observationally
+//! identical to the serial run. For three representative bins
+//! (multicore: GPM scheduling + sharded tensor kernels; fig09_10:
+//! attribution breakdowns; fig15: the tensor dataflow matrix) the
+//! emitted registry, metrics snapshot, and stdout are compared between
+//! `--jobs 1` and `--jobs 4` — byte-identical apart from wall-clock
+//! measurements (`wall_ms`, host sections) and the `# jobs:` banner.
+
+use sc_report::record::{parse_record_file, RunRecord};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+struct RunOutput {
+    records: Vec<RunRecord>,
+    metrics: String,
+    stdout: String,
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("jobs_determinism_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("creating a scratch dir");
+    dir
+}
+
+/// Run `bin` with `--jobs <jobs>`, recording into `dir`. The registry
+/// and metrics filenames are the same for every jobs level (each level
+/// gets its own directory), so the `# record:`/`# probe:` stdout lines
+/// only differ in the directory component, which is stripped with the
+/// other wall-clock-dependent lines.
+fn run(bin: &str, args: &[&str], jobs: &str, dir: &Path) -> RunOutput {
+    let reg = dir.join("registry.json");
+    let metrics = dir.join("metrics.json");
+    let out = Command::new(bin)
+        .args(args)
+        .args(["--jobs", jobs])
+        .arg("--record")
+        .arg(&reg)
+        .arg("--metrics")
+        .arg(&metrics)
+        .output()
+        .unwrap_or_else(|e| panic!("spawning {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} --jobs {jobs} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = std::fs::read_to_string(&reg).expect("registry written");
+    RunOutput {
+        records: parse_record_file(&doc).expect("registry parses"),
+        metrics: std::fs::read_to_string(&metrics).expect("metrics written"),
+        stdout: String::from_utf8(out.stdout).expect("utf-8 stdout"),
+    }
+}
+
+/// Everything in a record except the wall-clock measurements, which
+/// legitimately vary run to run (and between worker threads).
+fn deterministic_records(mut records: Vec<RunRecord>) -> Vec<RunRecord> {
+    for r in &mut records {
+        r.wall_ms = 0.0;
+        r.host = None;
+    }
+    records
+}
+
+/// Stdout minus the `# jobs:` banner, `# host:` wall summaries, and the
+/// output-path echo lines (whose directory component names the jobs
+/// level under test).
+fn deterministic_stdout(stdout: &str) -> String {
+    stdout
+        .lines()
+        .filter(|l| {
+            !l.starts_with("# jobs:")
+                && !l.starts_with("# host:")
+                && !l.starts_with("# record:")
+                && !l.starts_with("# probe:")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn assert_jobs_deterministic(name: &str, bin: &str, args: &[&str]) {
+    let serial_dir = tmp_dir(&format!("{name}_j1"));
+    let parallel_dir = tmp_dir(&format!("{name}_j4"));
+    let serial = run(bin, args, "1", &serial_dir);
+    let parallel = run(bin, args, "4", &parallel_dir);
+
+    assert_eq!(
+        deterministic_records(serial.records),
+        deterministic_records(parallel.records),
+        "{name}: registry records must be identical between --jobs 1 and --jobs 4"
+    );
+    // The metrics snapshot is one merged registry document; with no
+    // --host flag there is nothing wall-clock-dependent in it, so the
+    // comparison is byte-for-byte.
+    assert_eq!(
+        serial.metrics, parallel.metrics,
+        "{name}: metrics snapshots must be byte-identical"
+    );
+    assert_eq!(
+        deterministic_stdout(&serial.stdout),
+        deterministic_stdout(&parallel.stdout),
+        "{name}: stdout must be identical modulo the jobs banner"
+    );
+
+    let _ = std::fs::remove_dir_all(&serial_dir);
+    let _ = std::fs::remove_dir_all(&parallel_dir);
+}
+
+#[test]
+fn multicore_registry_is_jobs_invariant() {
+    assert_jobs_deterministic(
+        "multicore",
+        env!("CARGO_BIN_EXE_multicore"),
+        &["--datasets", "E", "--tensor", "--sanitize", "--cost", "--verify"],
+    );
+}
+
+#[test]
+fn fig09_10_registry_is_jobs_invariant() {
+    assert_jobs_deterministic(
+        "fig09_10",
+        env!("CARGO_BIN_EXE_fig09_10_breakdown"),
+        &["--datasets", "C", "--cost"],
+    );
+}
+
+#[test]
+fn fig15_registry_is_jobs_invariant() {
+    assert_jobs_deterministic(
+        "fig15",
+        env!("CARGO_BIN_EXE_fig15_tensor"),
+        &["--matrices", "C,E", "--skip-tensors", "--cost"],
+    );
+}

@@ -8,18 +8,32 @@
 //! [`enabled`] reports `false`, so consumers can render "n/a" instead
 //! of misleading zeros.
 //!
-//! Overhead is four relaxed atomic RMWs per allocation — invisible next
-//! to the allocation itself — and the counters are monotonically
-//! consistent enough for per-workload deltas, which is all the `host`
-//! record section needs.
+//! Overhead is a handful of relaxed atomic RMWs per allocation —
+//! invisible next to the allocation itself. The peak-live update is an
+//! explicit compare-exchange max loop: a plain read-compare-store pair
+//! would let two concurrently allocating threads each observe a stale
+//! peak and under-report the true maximum, which matters now that the
+//! `--jobs` sweep executor allocates from worker threads.
+//!
+//! For per-*thread* windows (a worker's own allocation delta, untainted
+//! by its siblings) the wrapper additionally bumps two `thread_local!`
+//! cells; [`thread_stats`] reads them. The cells are `const`-initialized
+//! `Cell<u64>`s with no destructor, so touching them from inside the
+//! global allocator cannot recurse into an allocation.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
 static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
 static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
 static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
 static PEAK_LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_ALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
+    static THREAD_ALLOC_BYTES: Cell<u64> = const { Cell::new(0) };
+}
 
 /// A [`GlobalAlloc`] that counts and then defers to [`System`].
 pub struct CountingAlloc;
@@ -29,7 +43,17 @@ fn note_alloc(size: usize) {
     ALLOC_COUNT.fetch_add(1, Relaxed);
     ALLOC_BYTES.fetch_add(size as u64, Relaxed);
     let live = LIVE_BYTES.fetch_add(size as u64, Relaxed) + size as u64;
-    PEAK_LIVE_BYTES.fetch_max(live, Relaxed);
+    // Compare-exchange max: never overwrite a larger peak another thread
+    // published between our load and our store.
+    let mut peak = PEAK_LIVE_BYTES.load(Relaxed);
+    while live > peak {
+        match PEAK_LIVE_BYTES.compare_exchange_weak(peak, live, Relaxed, Relaxed) {
+            Ok(_) => break,
+            Err(observed) => peak = observed,
+        }
+    }
+    let _ = THREAD_ALLOC_COUNT.try_with(|c| c.set(c.get() + 1));
+    let _ = THREAD_ALLOC_BYTES.try_with(|c| c.set(c.get() + size as u64));
 }
 
 #[inline]
@@ -120,6 +144,20 @@ pub fn stats() -> AllocStats {
     }
 }
 
+/// Read the calling thread's counters: `count`/`bytes` cover only this
+/// thread's allocations (so a `--jobs` worker's per-workload delta is
+/// untainted by its siblings), while `live`/`peak_live` stay the
+/// process-wide values — per-thread liveness is meaningless once a
+/// buffer is freed on a different thread than allocated it.
+pub fn thread_stats() -> AllocStats {
+    AllocStats {
+        count: THREAD_ALLOC_COUNT.with(Cell::get),
+        bytes: THREAD_ALLOC_BYTES.with(Cell::get),
+        live: LIVE_BYTES.load(Relaxed),
+        peak_live: PEAK_LIVE_BYTES.load(Relaxed),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +176,63 @@ mod tests {
         } else {
             assert_eq!(after, AllocStats::default());
         }
+    }
+
+    #[test]
+    fn concurrent_peak_is_never_under_reported() {
+        if !enabled() {
+            return;
+        }
+        // Eight threads each hold a block while reading the live
+        // counter; every observed live value is a lower bound on the
+        // true peak, so the final peak must dominate all of them.
+        let observed_max = std::sync::Arc::new(AtomicU64::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let observed = std::sync::Arc::clone(&observed_max);
+                std::thread::spawn(move || {
+                    for round in 0..64 {
+                        let block: Vec<u8> = vec![0; 4096 + t * 512 + round];
+                        let live_while_held = stats().live;
+                        observed.fetch_max(live_while_held, Relaxed);
+                        drop(block);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let peak = stats().peak_live;
+        let seen = observed_max.load(Relaxed);
+        assert!(peak >= seen, "peak {peak} under-reports an observed live of {seen}");
+    }
+
+    #[test]
+    fn thread_stats_exclude_sibling_allocations() {
+        if !enabled() {
+            return;
+        }
+        let before = thread_stats();
+        // A sibling thread allocates heavily; none of it may show up in
+        // this thread's window.
+        std::thread::spawn(|| {
+            let sink: Vec<Vec<u8>> = (0..32).map(|_| vec![0u8; 8192]).collect();
+            assert!(thread_stats().bytes >= 32 * 8192, "the sibling sees its own work");
+            drop(sink);
+        })
+        .join()
+        .unwrap();
+        let quiet = thread_stats().since(&before);
+        assert!(
+            quiet.bytes < 32 * 8192,
+            "sibling allocations leaked into this thread's window: {quiet:?}"
+        );
+        // This thread's own allocations do land in its window.
+        let v: Vec<u8> = Vec::with_capacity(1 << 14);
+        let after = thread_stats().since(&before);
+        drop(v);
+        assert!(after.count >= 1 && after.bytes >= 1 << 14, "{after:?}");
     }
 
     #[test]

@@ -1,23 +1,31 @@
 //! Bounded flight recorder.
 //!
 //! A process-global ring of structured log events (level, target,
-//! message, key=value fields). Recording is a short critical section on
-//! one `Mutex` around a `VecDeque` — events are emitted at workload
-//! granularity (dozens per run, not per simulated cycle), so the lock
-//! is never contended in practice. When the ring is full the oldest
-//! event is dropped and counted, so memory stays bounded no matter how
-//! long a run is.
+//! message, key=value fields), each stamped with the recording thread —
+//! under a `--jobs` sweep the worker that emitted an event is part of
+//! the story. Recording is a short critical section on one `Mutex`
+//! around a `VecDeque` — events are emitted at workload granularity
+//! (dozens per run, not per simulated cycle), so the lock is never
+//! contended in practice. When the ring is full the oldest event is
+//! dropped and counted, so memory stays bounded no matter how long a
+//! run is.
 //!
 //! The ring is *dumped* — rendered to stderr and, when the `SC_FLIGHT`
 //! environment variable names a path, to a JSON file — in exactly two
 //! situations: a panic (via [`install_panic_hook`], which chains the
 //! previous hook) and an explicit [`dump`] before a nonzero exit. A
 //! clean run prints nothing, so the recorder is free noise-wise.
+//!
+//! The dump path never *blocks* on the ring lock: a thread that panics
+//! inside [`log`]'s critical section still holds the lock when the
+//! panic hook runs, and a blocking lock there would deadlock the very
+//! failure path the recorder exists for. [`dump`] uses `try_lock` and
+//! degrades to an honest "ring busy" note instead.
 
 use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, TryLockError};
 
 /// Default ring capacity: enough for every workload of the largest
 /// bench matrix with room to spare, small enough to never matter.
@@ -52,8 +60,19 @@ pub struct Event {
     /// Subsystem that emitted the event (e.g. the bench bin name).
     pub target: String,
     pub message: String,
+    /// The thread that recorded the event: its name when it has one
+    /// (e.g. `main`), otherwise the `ThreadId` debug form.
+    pub thread: String,
     /// Structured key=value payload.
     pub fields: Vec<(String, String)>,
+}
+
+fn current_thread_label() -> String {
+    let t = std::thread::current();
+    match t.name() {
+        Some(n) => n.to_string(),
+        None => format!("{:?}", t.id()),
+    }
 }
 
 struct Ring {
@@ -83,6 +102,7 @@ impl Ring {
             level,
             target: target.to_string(),
             message: message.to_string(),
+            thread: current_thread_label(),
             fields: fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
         });
         self.next_seq += 1;
@@ -118,6 +138,21 @@ pub fn snapshot() -> (Vec<Event>, u64) {
     (r.events.iter().cloned().collect(), r.dropped)
 }
 
+/// Like [`snapshot`], but never blocks: `None` when another thread
+/// holds the ring lock right now. This is the only safe way to read the
+/// ring from a panic hook — the panicking thread may *be* the lock
+/// holder.
+pub fn try_snapshot() -> Option<(Vec<Event>, u64)> {
+    match RING.try_lock() {
+        Ok(r) => Some((r.events.iter().cloned().collect(), r.dropped)),
+        Err(TryLockError::Poisoned(e)) => {
+            let r = e.into_inner();
+            Some((r.events.iter().cloned().collect(), r.dropped))
+        }
+        Err(TryLockError::WouldBlock) => None,
+    }
+}
+
 /// Clear the ring (testing). Sequence numbers keep counting.
 pub fn clear() {
     let mut r = ring();
@@ -143,9 +178,7 @@ fn escape_json(s: &str, out: &mut String) {
     out.push('"');
 }
 
-/// Render the current ring as a JSON document.
-pub fn to_json() -> String {
-    let (events, dropped) = snapshot();
+fn render_json(events: &[Event], dropped: u64) -> String {
     let mut out = String::new();
     let _ = write!(out, "{{\"dropped\":{dropped},\"events\":[");
     for (i, e) in events.iter().enumerate() {
@@ -156,6 +189,8 @@ pub fn to_json() -> String {
         escape_json(&e.target, &mut out);
         out.push_str(",\"message\":");
         escape_json(&e.message, &mut out);
+        out.push_str(",\"thread\":");
+        escape_json(&e.thread, &mut out);
         out.push_str(",\"fields\":{");
         for (j, (k, v)) in e.fields.iter().enumerate() {
             if j > 0 {
@@ -171,17 +206,42 @@ pub fn to_json() -> String {
     out
 }
 
+/// Render the current ring as a JSON document.
+pub fn to_json() -> String {
+    let (events, dropped) = snapshot();
+    render_json(&events, dropped)
+}
+
 /// Dump the ring to stderr (human-readable) and, if `SC_FLIGHT` names a
 /// path, write the JSON document there too. Called on panic and before
-/// nonzero exits; a no-op when the ring is empty.
+/// nonzero exits; a no-op when the ring is empty. Never blocks on the
+/// ring lock (see the module docs): when the lock is busy — e.g. the
+/// panicking thread is inside [`log`] — it emits a degraded note and,
+/// under `SC_FLIGHT`, a minimal but well-formed JSON document, instead
+/// of deadlocking the failure path.
 pub fn dump(reason: &str) {
-    let (events, dropped) = snapshot();
+    let Some((events, dropped)) = try_snapshot() else {
+        eprintln!("== flight recorder ({reason}): ring lock busy, events unavailable ==");
+        if let Ok(path) = std::env::var("SC_FLIGHT") {
+            if !path.is_empty() {
+                let _ = std::fs::write(&path, render_json(&[], 0));
+            }
+        }
+        return;
+    };
     if events.is_empty() && dropped == 0 {
         return;
     }
     eprintln!("== flight recorder ({reason}): {} event(s), {dropped} dropped ==", events.len());
     for e in &events {
-        let mut line = format!("  [{:>5}] {:5} {}: {}", e.seq, e.level.name(), e.target, e.message);
+        let mut line = format!(
+            "  [{:>5}] {:5} {} ({}): {}",
+            e.seq,
+            e.level.name(),
+            e.target,
+            e.thread,
+            e.message
+        );
         for (k, v) in &e.fields {
             let _ = write!(line, " {k}={v}");
         }
@@ -189,7 +249,7 @@ pub fn dump(reason: &str) {
     }
     if let Ok(path) = std::env::var("SC_FLIGHT") {
         if !path.is_empty() {
-            match std::fs::write(&path, to_json()) {
+            match std::fs::write(&path, render_json(&events, dropped)) {
                 Ok(()) => eprintln!("  flight JSON written to {path}"),
                 Err(e) => eprintln!("  flight JSON write to {path} failed: {e}"),
             }
@@ -262,6 +322,46 @@ mod tests {
         assert!(json.contains("line\\nbreak\\tand \\\\slash"), "{json}");
         assert!(json.contains("\"k\\\"ey\":\"va\\u0001lue\""), "{json}");
         assert!(!json.contains('\n'), "raw newline leaked into JSON");
+        clear();
+    }
+
+    #[test]
+    fn events_are_stamped_with_the_recording_thread() {
+        let _g = locked();
+        clear();
+        log(Level::Info, "test", "from the test thread", &[]);
+        std::thread::Builder::new()
+            .name("sweep-worker-3".into())
+            .spawn(|| log(Level::Info, "test", "from a worker", &[]))
+            .unwrap()
+            .join()
+            .unwrap();
+        let (events, _) = snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].thread, current_thread_label());
+        assert_eq!(events[1].thread, "sweep-worker-3");
+        let json = to_json();
+        assert!(json.contains("\"thread\":\"sweep-worker-3\""), "{json}");
+        clear();
+    }
+
+    #[test]
+    fn try_snapshot_degrades_instead_of_blocking() {
+        let _g = locked();
+        clear();
+        log(Level::Warn, "test", "pre-lock event", &[]);
+        assert!(try_snapshot().is_some(), "uncontended try_snapshot reads the ring");
+        // Hold the ring lock on this thread — exactly the state a panic
+        // inside `log` leaves behind — and prove the dump path does not
+        // block on it from another thread.
+        let held = RING.lock().unwrap_or_else(|e| e.into_inner());
+        std::thread::spawn(|| {
+            assert!(try_snapshot().is_none(), "try_snapshot must not block on a held ring");
+            dump("lock-held degradation"); // must return, not deadlock
+        })
+        .join()
+        .unwrap();
+        drop(held);
         clear();
     }
 

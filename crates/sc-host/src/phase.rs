@@ -9,7 +9,19 @@
 //! * no wall time is ever double-counted (there is one `since` mark);
 //! * the per-phase walls, including the implicit [`Phase::Other`]
 //!   bucket, sum exactly to the drained window.
+//!
+//! A `PhaseTimers` is **pinned to the thread that created it**: the
+//! invariants above only hold while one thread drives the state
+//! machine, so a cross-thread [`PhaseTimers::switch`]/[`drain`] is a
+//! hard error (panic) rather than a silently corrupted breakdown. The
+//! `--jobs` sweep executor gives every worker its own timers and merges
+//! the drained [`PhaseWalls`] with [`PhaseWalls::add`]; under
+//! parallelism the aggregated walls sum to the *total worker wall*
+//! (which exceeds the elapsed wall clock by up to the worker count).
+//!
+//! [`drain`]: PhaseTimers::drain
 
+use std::thread::ThreadId;
 use std::time::{Duration, Instant};
 
 /// The host phases a bench run moves through. `Other` is the implicit
@@ -80,14 +92,26 @@ impl PhaseWalls {
     pub fn get(&self, p: Phase) -> f64 {
         self.ms[p.index()]
     }
+
+    /// Accumulate another window's walls bucket-wise. This is the
+    /// aggregation rule for parallel sweeps: per-worker windows add, so
+    /// the aggregate total is worker wall (not elapsed wall clock).
+    pub fn add(&mut self, other: &PhaseWalls) {
+        for (acc, ms) in self.ms.iter_mut().zip(other.ms) {
+            *acc += ms;
+        }
+    }
 }
 
-/// The switching phase-timer state machine.
+/// The switching phase-timer state machine, pinned to the thread that
+/// created it (see the module docs for why cross-thread use is a hard
+/// error).
 #[derive(Debug, Clone)]
 pub struct PhaseTimers {
     current: Phase,
     since: Instant,
     acc: [Duration; Phase::COUNT],
+    owner: ThreadId,
 }
 
 impl Default for PhaseTimers {
@@ -97,12 +121,14 @@ impl Default for PhaseTimers {
 }
 
 impl PhaseTimers {
-    /// Start a fresh window in [`Phase::Other`].
+    /// Start a fresh window in [`Phase::Other`], pinned to the calling
+    /// thread.
     pub fn new() -> Self {
         PhaseTimers {
             current: Phase::Other,
             since: Instant::now(),
             acc: [Duration::ZERO; Phase::COUNT],
+            owner: std::thread::current().id(),
         }
     }
 
@@ -111,9 +137,25 @@ impl PhaseTimers {
         self.current
     }
 
+    fn assert_owner(&self) {
+        let caller = std::thread::current().id();
+        assert_eq!(
+            self.owner, caller,
+            "PhaseTimers is pinned to its creating thread ({:?}); a phase scope on {:?} would \
+             corrupt the walls-sum-to-window invariant — give each worker its own timers",
+            self.owner, caller
+        );
+    }
+
     /// Switch to `next`, charging the elapsed time to the phase being
     /// left. Returns the previous phase so scoped guards can restore it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called from a thread other than the one that created
+    /// the timers.
     pub fn switch(&mut self, next: Phase) -> Phase {
+        self.assert_owner();
         let now = Instant::now();
         self.acc[self.current.index()] += now.duration_since(self.since);
         self.since = now;
@@ -160,6 +202,44 @@ mod tests {
         let walls = t.drain(Phase::Other);
         assert!(walls.get(Phase::Simulate) >= 1.0, "{walls:?}");
         assert_eq!(walls.get(Phase::Generate), 0.0);
+    }
+
+    #[test]
+    fn cross_thread_switch_is_a_hard_error() {
+        // PhaseTimers is Send, so the only guard against a worker thread
+        // silently corrupting the walls-sum-to-window invariant is the
+        // owner pin; a cross-thread switch must panic, not mis-account.
+        let mut t = PhaseTimers::new();
+        t.switch(Phase::Generate);
+        let outcome = std::thread::spawn(move || {
+            t.switch(Phase::Simulate);
+        })
+        .join();
+        assert!(outcome.is_err(), "cross-thread switch was silently accepted");
+        // A timers created *on* the worker thread works there.
+        std::thread::spawn(|| {
+            let mut w = PhaseTimers::new();
+            w.switch(Phase::Simulate);
+            let walls = w.drain(Phase::Other);
+            assert!(walls.total_ms() >= 0.0);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn walls_add_is_bucket_wise() {
+        let mut a = PhaseWalls::default();
+        a.ms[Phase::Generate.index()] = 1.5;
+        a.ms[Phase::Simulate.index()] = 2.0;
+        let mut b = PhaseWalls::default();
+        b.ms[Phase::Simulate.index()] = 3.0;
+        b.ms[Phase::Other.index()] = 0.5;
+        a.add(&b);
+        assert_eq!(a.get(Phase::Generate), 1.5);
+        assert_eq!(a.get(Phase::Simulate), 5.0);
+        assert_eq!(a.get(Phase::Other), 0.5);
+        assert!((a.total_ms() - 7.0).abs() < 1e-12);
     }
 
     #[test]

@@ -337,6 +337,41 @@ impl Probe {
             .as_ref()
             .map_or_else(Vec::new, |i| std::mem::take(&mut i.lock().unwrap().span_buf))
     }
+
+    /// Drain `other` into this probe: counters add, gauges take
+    /// `other`'s last-written values, histograms merge bucket-wise
+    /// ([`metrics::Registry::merge`]), trace events append
+    /// ([`trace::Tracer::absorb`]), pending span snapshots append, and
+    /// the sim clock takes the max. `other` is left empty.
+    ///
+    /// This is the merge step of the `--jobs` sweep executor: each
+    /// workload records into its own probe and the parent absorbs the
+    /// residues in workload order, so the merged result is independent
+    /// of worker completion order. Absorbing a disabled probe, or into
+    /// a disabled probe, is a no-op — as is self-absorption (clones
+    /// sharing one buffer).
+    pub fn absorb(&self, other: &Probe) {
+        let (Some(dst), Some(src)) = (&self.inner, &other.inner) else {
+            return;
+        };
+        if Arc::ptr_eq(dst, src) {
+            return;
+        }
+        let (now, registry, tracer, spans) = {
+            let mut g = src.lock().unwrap();
+            (
+                g.now,
+                std::mem::take(&mut g.registry),
+                std::mem::take(&mut g.tracer),
+                std::mem::take(&mut g.span_buf),
+            )
+        };
+        let mut g = dst.lock().unwrap();
+        g.now = g.now.max(now);
+        g.registry.merge(&registry);
+        g.tracer.absorb(tracer);
+        g.span_buf.extend(spans);
+    }
 }
 
 /// The compiled-out probe: same API, every method a no-op, so
@@ -411,6 +446,7 @@ impl Probe {
     pub fn take_spans(&self) -> Vec<SpanSnapshot> {
         Vec::new()
     }
+    pub fn absorb(&self, _other: &Probe) {}
 }
 
 #[cfg(all(test, feature = "probe"))]
@@ -479,6 +515,40 @@ mod tests {
         assert!(!off.spans_on());
         off.submit_spans(0, log.snapshot(0));
         assert!(off.take_spans().is_empty());
+    }
+
+    #[test]
+    fn absorb_merges_and_drains_the_other_probe() {
+        let parent = Probe::new(ProbeLevel::Trace);
+        parent.count("engine.reads", 10);
+        parent.gauge("attr.total", 1.0);
+        parent.set_now(50);
+
+        let worker = Probe::new(ProbeLevel::Trace);
+        worker.count("engine.reads", 5);
+        worker.gauge("attr.total", 2.0);
+        worker.span(Track::Engine, "s", 0, 120, &[]);
+        let mut log = SpanLog::new(4);
+        log.record(3, Site::Scalar, AttrBin::ScalarOverlap);
+        worker.enable_spans();
+        worker.submit_spans(0, log.snapshot(0));
+
+        parent.absorb(&worker);
+        assert_eq!(parent.counter("engine.reads"), 15, "counters add");
+        assert!(parent.metrics_json().contains("\"total\":2"), "gauges take the worker's value");
+        assert_eq!(parent.trace_len(), 1, "trace events append");
+        assert_eq!(parent.now(), 120, "clock is the max");
+        assert_eq!(parent.take_spans().len(), 1, "span snapshots carry over");
+        // The worker is drained, so double-absorption cannot double-count.
+        parent.absorb(&worker);
+        assert_eq!(parent.counter("engine.reads"), 15);
+        // Self/clone absorption and disabled endpoints are no-ops.
+        let clone = parent.clone();
+        parent.absorb(&clone);
+        assert_eq!(parent.counter("engine.reads"), 15);
+        parent.absorb(&Probe::off());
+        Probe::off().absorb(&parent);
+        assert_eq!(parent.counter("engine.reads"), 15);
     }
 
     #[test]

@@ -139,6 +139,18 @@ impl Tracer {
         self.push(Event { name: name.to_string(), track, ts, dur: None, args: args.to_vec() })
     }
 
+    /// Append another tracer's events (the `--jobs` sweep merges worker
+    /// tracers this way, in deterministic workload order). Events past
+    /// [`Tracer::CAP`] are dropped and counted like live recording, and
+    /// the other tracer's drop count carries over; export order is
+    /// unaffected since [`Tracer::to_json`] sorts by timestamp anyway.
+    pub fn absorb(&mut self, other: Tracer) {
+        self.dropped += other.dropped;
+        for ev in other.events {
+            self.push(ev);
+        }
+    }
+
     /// Export as Chrome `trace_event` JSON: `{"traceEvents": [...]}` with
     /// metadata rows first, then all events sorted by `ts`.
     pub fn to_json(&self, pid: u64) -> String {

@@ -40,6 +40,19 @@ trap 'rm -rf "$tmp"' EXIT
 bash scripts/bench_record.sh "$tmp" 1
 target/release/sc-report compare --baseline results/golden --candidate "$tmp"
 
+echo "==> jobs-determinism smoke: --jobs 4 must exact-match --jobs 1"
+# One sweep-shaped bin at both pool widths; `sc-report compare` gates
+# the exact metrics (cycles, checksums, attribution), so any
+# nondeterminism the parallel sweep introduced fails here. Wall-clock
+# drift between the two runs only warns, by design.
+j1="$tmp/jobs1" j4="$tmp/jobs4"
+mkdir -p "$j1" "$j4"
+target/release/fig09_10_breakdown --datasets C --cost --host --jobs 1 \
+  --record "$j1/fig09_10_breakdown.json" >/dev/null
+target/release/fig09_10_breakdown --datasets C --cost --host --jobs 4 \
+  --record "$j4/fig09_10_breakdown.json" >/dev/null
+target/release/sc-report compare --baseline "$j1" --candidate "$j4" >/dev/null
+
 echo "==> explain smoke: spans, critical path, attribution diff, dashboard"
 smoke="$tmp/smoke"
 mkdir -p "$smoke"

@@ -1,0 +1,59 @@
+//! A worker-thread panic mid-sweep must still produce a well-formed
+//! `SC_FLIGHT` JSON dump.
+//!
+//! This is the failure path the flight recorder exists for: with
+//! `--jobs` the panicking thread is usually *not* the main thread, and
+//! before the ring was thread-safe a worker panic could corrupt or
+//! deadlock the dump. The test installs the panic hook, points
+//! `SC_FLIGHT` at a temp file, panics on a named worker thread, and
+//! then parses the dump with the strict `sc_probe::json` parser.
+//!
+//! It lives in its own integration-test binary because it mutates
+//! process environment and the process-global ring; no other test
+//! shares the process.
+
+use sc_host::flight::{self, Level};
+use sc_probe::json;
+
+#[test]
+fn worker_panic_dumps_well_formed_flight_json() {
+    let path = std::env::temp_dir().join(format!("sc_flight_panic_{}.json", std::process::id()));
+    std::env::set_var("SC_FLIGHT", &path);
+    flight::clear();
+    flight::install_panic_hook();
+
+    flight::log(Level::Info, "flight_panic", "bench start", &[("args", "--jobs 4".to_string())]);
+    let worker = std::thread::Builder::new()
+        .name("sweep-worker-1".into())
+        .spawn(|| {
+            flight::log(
+                Level::Error,
+                "flight_panic",
+                "workload wedged",
+                &[("workload", "tc/E/c4".to_string())],
+            );
+            panic!("simulated worker failure");
+        })
+        .unwrap();
+    assert!(worker.join().is_err(), "the worker must actually panic");
+
+    let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("panic hook wrote no SC_FLIGHT dump at {}: {e}", path.display())
+    });
+    let doc =
+        json::parse(&raw).unwrap_or_else(|e| panic!("dump is not well-formed JSON: {e}\n{raw}"));
+
+    let events = doc.get("events").and_then(json::Value::as_arr).expect("events array");
+    assert!(events.len() >= 2, "both events survive the panic: {raw}");
+    let threads: Vec<&str> =
+        events.iter().filter_map(|e| e.get("thread").and_then(json::Value::as_str)).collect();
+    assert_eq!(threads.len(), events.len(), "every event carries a thread stamp");
+    assert!(threads.contains(&"sweep-worker-1"), "worker thread stamped by name: {threads:?}");
+    let messages: Vec<&str> =
+        events.iter().filter_map(|e| e.get("message").and_then(json::Value::as_str)).collect();
+    assert!(messages.contains(&"workload wedged"), "{messages:?}");
+
+    std::env::remove_var("SC_FLIGHT");
+    let _ = std::fs::remove_file(&path);
+    flight::clear();
+}
